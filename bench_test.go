@@ -1,0 +1,227 @@
+// Package waitfreebn's root bench suite: one testing.B benchmark per paper
+// figure/table and per DESIGN.md ablation, at CI-friendly scale.
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale runs (m=10M, P up to 32) are driven by cmd/bnbench, which
+// sweeps the same code paths with flags; these benches pin the workloads
+// small enough to finish in minutes while preserving the comparisons'
+// shape. The mapping to the paper:
+//
+//	BenchmarkFig3_*     — Figure 3 (construction, m sweep, vs lock-based)
+//	BenchmarkFig4_*     — Figure 4 (construction, n sweep, vs lock-based)
+//	BenchmarkFig5_*     — Figure 5 (all-pairs MI, n sweep)
+//	BenchmarkHeadline_* — the 23.5×-at-32-cores strategy comparison
+//	BenchmarkAblation*  — A1 queue kind, A2 partition rule, A3 MI
+//	                      schedule, A4 per-core table kind
+package waitfreebn
+
+import (
+	"fmt"
+	"testing"
+
+	"waitfreebn/internal/baseline"
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/sched"
+	"waitfreebn/internal/spsc"
+	"waitfreebn/internal/structure"
+)
+
+// benchPs returns the worker counts to sweep: 1, 2, 4, ..., up to twice
+// GOMAXPROCS (oversubscription shows the contention cliff of the
+// lock-based baselines even on small machines).
+func benchPs() []int {
+	max := sched.DefaultP() * 2
+	var ps []int
+	for p := 1; p <= max; p <<= 1 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func benchData(b *testing.B, m, n, r int) *dataset.Dataset {
+	b.Helper()
+	d := dataset.NewUniformCard(m, n, r)
+	d.UniformIndependent(42, sched.DefaultP())
+	return d
+}
+
+func benchConstruction(b *testing.B, d *dataset.Dataset, strat baseline.Strategy) {
+	for _, p := range benchPs() {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(d.NumSamples()) * int64(d.NumVars()))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := baseline.Build(strat, d, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 3: construction time vs P for several m (n fixed at 30). ---
+
+func BenchmarkFig3_Construction(b *testing.B) {
+	for _, m := range []int{100_000, 1_000_000} { // paper: 0.1M, 1M, 10M
+		d := benchData(b, m, 30, 2)
+		for _, strat := range []baseline.Strategy{baseline.WaitFree, baseline.StripedLock} {
+			b.Run(fmt.Sprintf("m=%d/%s", m, strat), func(b *testing.B) {
+				benchConstruction(b, d, strat)
+			})
+		}
+	}
+}
+
+// --- Figure 4: construction time vs P for several n (m fixed). ---
+
+func BenchmarkFig4_Construction(b *testing.B) {
+	const m = 1_000_000 // paper: 10M
+	for _, n := range []int{30, 40, 50} {
+		d := benchData(b, m, n, 2)
+		for _, strat := range []baseline.Strategy{baseline.WaitFree, baseline.StripedLock} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, strat), func(b *testing.B) {
+				benchConstruction(b, d, strat)
+			})
+		}
+	}
+}
+
+// --- Figure 5: all-pairs mutual information vs P for several n. ---
+
+func BenchmarkFig5_AllPairsMI(b *testing.B) {
+	const m = 200_000 // paper: 10M
+	for _, n := range []int{30, 40, 50} {
+		d := benchData(b, m, n, 2)
+		pt, _, err := core.Build(d, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for _, p := range benchPs() {
+				b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						pt.AllPairsMI(p, core.MIPartitionParallel)
+					}
+				})
+			}
+		})
+	}
+}
+
+// --- Headline table: every construction strategy at max parallelism. ---
+
+func BenchmarkHeadline_Strategies(b *testing.B) {
+	d := benchData(b, 1_000_000, 30, 2)
+	p := sched.DefaultP()
+	for _, strat := range baseline.Strategies() {
+		b.Run(strat.String(), func(b *testing.B) {
+			b.SetBytes(int64(d.NumSamples()) * int64(d.NumVars()))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := baseline.Build(strat, d, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation A1: inter-core queue implementation. ---
+
+func BenchmarkAblationQueue(b *testing.B) {
+	d := benchData(b, 1_000_000, 30, 2)
+	p := sched.DefaultP()
+	for _, q := range []spsc.Kind{spsc.KindChunked, spsc.KindRing, spsc.KindMutex} {
+		b.Run(q.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Build(d, core.Options{P: p, Queue: q}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation A2: key→owner partition rule. ---
+
+func BenchmarkAblationPartition(b *testing.B) {
+	d := benchData(b, 1_000_000, 30, 2)
+	p := sched.DefaultP()
+	for _, k := range []core.PartitionKind{core.PartitionModulo, core.PartitionRange, core.PartitionHash} {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Build(d, core.Options{P: p, Partition: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation A3: all-pairs MI schedule. ---
+
+func BenchmarkAblationMISchedule(b *testing.B) {
+	d := benchData(b, 200_000, 16, 2)
+	pt, _, err := core.Build(d, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sched.DefaultP()
+	for _, s := range []core.MISchedule{core.MIPartitionParallel, core.MIPairParallel, core.MIFused} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt.AllPairsMI(p, s)
+			}
+		})
+	}
+}
+
+// --- Ablation A4: per-core count-table implementation. ---
+
+func BenchmarkAblationTable(b *testing.B) {
+	d := benchData(b, 1_000_000, 30, 2)
+	p := sched.DefaultP()
+	for _, k := range []core.TableKind{core.TableOpenAddressing, core.TableChained, core.TableGoMap} {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Build(d, core.Options{P: p, Table: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- End-to-end: the full three-phase learner (context for the primitives). ---
+
+func BenchmarkEndToEndStructureLearning(b *testing.B) {
+	d := benchData(b, 200_000, 12, 2)
+	for i := 0; i < 200_000; i++ {
+		// Plant a chain x0→x1→x2 so the learner has structure to find.
+		d.Set(i, 1, d.Get(i, 0))
+		d.Set(i, 2, d.Get(i, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := structure.Learn(d, structure.Config{P: sched.DefaultP()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation A6: partition rule under zipf skew. ---
+
+func BenchmarkAblationSkew(b *testing.B) {
+	d := dataset.NewUniformCard(1_000_000, 30, 3)
+	d.Zipf(42, 1.5, sched.DefaultP())
+	p := sched.DefaultP()
+	for _, k := range []core.PartitionKind{core.PartitionModulo, core.PartitionRange, core.PartitionHash} {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Build(d, core.Options{P: p, Partition: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package waitfreebn
+
+// CLI integration tests: build the real binaries and drive the documented
+// pipeline datagen → bnlearn → bninfer and datagen → bntable end to end.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the command binaries once into a temp dir.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	tools := buildTools(t, "datagen", "bnlearn", "bntable", "bninfer")
+	work := t.TempDir()
+	csv := filepath.Join(work, "data.csv")
+	model := filepath.Join(work, "model.json")
+	table := filepath.Join(work, "table.wfbn")
+
+	// datagen: sample the cancer network.
+	run(t, tools["datagen"], "-net", "cancer", "-m", "120000", "-seed", "5", "-out", csv)
+	if fi, err := os.Stat(csv); err != nil || fi.Size() == 0 {
+		t.Fatalf("datagen produced no data: %v", err)
+	}
+
+	// bnlearn: constraint-based with G-test, emit a fitted model.
+	out := run(t, tools["bnlearn"], "-in", csv, "-gtest", "-emit", model)
+	if !strings.Contains(out, "learned skeleton") {
+		t.Fatalf("bnlearn output unexpected:\n%s", out)
+	}
+	// The three strong cancer edges must appear (x1-x2, x2-x3, x2-x4).
+	for _, edge := range []string{"x2", "x3"} {
+		if !strings.Contains(out, edge) {
+			t.Fatalf("bnlearn missed %s:\n%s", edge, out)
+		}
+	}
+
+	// bnlearn with hill climbing on the same data.
+	hc := run(t, tools["bnlearn"], "-in", csv, "-algo", "hillclimb")
+	if !strings.Contains(hc, "hill-climbed DAG") {
+		t.Fatalf("hillclimb output unexpected:\n%s", hc)
+	}
+
+	// bntable: build a serialized table from the CSV, inspect and query it.
+	run(t, tools["bntable"], "build", "-in", csv, "-card", "2,2,2,2,2", "-out", table)
+	info := run(t, tools["bntable"], "info", "-table", table)
+	if !strings.Contains(info, "samples:       120000") {
+		t.Fatalf("bntable info unexpected:\n%s", info)
+	}
+	marg := run(t, tools["bntable"], "marginal", "-table", table, "-vars", "2")
+	if !strings.Contains(marg, "P(x2=0)") || !strings.Contains(marg, "P(x2=1)") {
+		t.Fatalf("bntable marginal unexpected:\n%s", marg)
+	}
+	mi := run(t, tools["bntable"], "mi", "-table", table, "-topk", "3")
+	if !strings.Contains(mi, "I(x") {
+		t.Fatalf("bntable mi unexpected:\n%s", mi)
+	}
+
+	// bninfer: query the emitted model with both engines; outputs agree.
+	ve := run(t, tools["bninfer"], "-model", model, "-query", "2", "-evidence", "3=1")
+	jt := run(t, tools["bninfer"], "-model", model, "-query", "2", "-evidence", "3=1", "-engine", "jtree")
+	if !strings.Contains(ve, "x2=1:") || !strings.Contains(jt, "x2=1:") {
+		t.Fatalf("bninfer output unexpected:\nve: %s\njtree: %s", ve, jt)
+	}
+	veLine := lineContaining(ve, "x2=1:")
+	jtLine := lineContaining(jt, "x2=1:")
+	if veLine != jtLine {
+		t.Fatalf("engines disagree: %q vs %q", veLine, jtLine)
+	}
+
+	// bninfer MPE honors evidence.
+	mpe := run(t, tools["bninfer"], "-model", model, "-mpe", "-evidence", "2=1")
+	if !strings.Contains(mpe, "x2 = 1  (evidence)") {
+		t.Fatalf("mpe output unexpected:\n%s", mpe)
+	}
+}
+
+func lineContaining(s, substr string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			return strings.TrimSpace(line)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,167 @@
+// Command bnbench regenerates the paper's evaluation figures and the
+// ablation studies from DESIGN.md.
+//
+// Usage:
+//
+//	bnbench -exp all                         # everything, scaled-down defaults
+//	bnbench -exp fig3 -m 10000000 -maxP 32   # paper-scale Figure 3
+//	bnbench -exp fig5 -schedule fused
+//	bnbench -exp headline -csv out.csv
+//
+// Experiments: fig3, fig4, fig5, headline, ablation-queue,
+// ablation-partition, ablation-mischedule, ablation-table, all.
+//
+// Each figure prints two panels — running time and speedup — mirroring the
+// (a)/(b) layout of the paper's figures. -csv additionally writes long-form
+// CSV for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"waitfreebn/internal/bench"
+	"waitfreebn/internal/core"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
+		m        = flag.Int("m", 1000000, "samples for single-m experiments (paper: 10000000)")
+		mList    = flag.String("mlist", "", "comma-separated m values for fig3 (default m/10, m, m*10 capped)")
+		n        = flag.Int("n", 30, "variables for single-n experiments (paper: 30)")
+		nList    = flag.String("nlist", "30,40,50", "comma-separated n values for fig4/fig5")
+		r        = flag.Int("r", 2, "states per variable")
+		maxP     = flag.Int("maxP", runtime.GOMAXPROCS(0), "largest worker count; sweep is 1,2,4,...,maxP")
+		reps     = flag.Int("reps", 3, "timing repetitions (best-of)")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		schedule = flag.String("schedule", "fused", "fig5 MI schedule: partition|pair|fused")
+		csvPath  = flag.String("csv", "", "also write long-form CSV to this file")
+		accNet   = flag.String("net", "asia", "ground-truth network for -exp accuracy: asia|cancer|chain10|naivebayes10")
+	)
+	flag.Parse()
+
+	pr := bench.Params{Seed: *seed, Reps: *reps, Ps: bench.DefaultPs(*maxP)}
+	sched, err := parseSchedule(*schedule)
+	if err != nil {
+		fatal(err)
+	}
+
+	ms, err := parseList(*mList)
+	if err != nil {
+		fatal(fmt.Errorf("bad -mlist: %w", err))
+	}
+	if len(ms) == 0 {
+		ms = []int{*m / 10, *m}
+	}
+	ns, err := parseList(*nList)
+	if err != nil {
+		fatal(fmt.Errorf("bad -nlist: %w", err))
+	}
+
+	var tables []*bench.Table
+	run := func(name string, f func() *bench.Table) {
+		if *exp == name || *exp == "all" {
+			fmt.Fprintf(os.Stderr, "running %s...\n", name)
+			tables = append(tables, f())
+		}
+	}
+	run("fig3", func() *bench.Table { return bench.Fig3(ms, *n, *r, pr) })
+	run("fig4", func() *bench.Table { return bench.Fig4(*m, ns, *r, pr) })
+	run("fig5", func() *bench.Table { return bench.Fig5(*m, ns, *r, sched, pr) })
+	run("headline", func() *bench.Table { return bench.Headline(*m, *n, *r, pr) })
+	run("ablation-queue", func() *bench.Table { return bench.AblationQueue(*m, *n, *r, pr) })
+	run("ablation-partition", func() *bench.Table { return bench.AblationPartition(*m, *n, *r, pr) })
+	run("ablation-mischedule", func() *bench.Table { return bench.AblationMISchedule(*m, min(*n, 16), *r, pr) })
+	run("ablation-table", func() *bench.Table { return bench.AblationTable(*m, *n, *r, pr) })
+	run("counters", func() *bench.Table { return bench.CountersTable(*m, *n, *r, pr) })
+	run("stages", func() *bench.Table { return bench.StagesTable(*m, *n, *r, pr) })
+	run("ablation-skew", func() *bench.Table { return bench.AblationSkew(*m, *n, max(*r, 3), 1.5, pr) })
+
+	if *exp == "accuracy" || *exp == "all" {
+		fmt.Fprintln(os.Stderr, "running accuracy...")
+		ms := []int{*m / 100, *m / 10, *m}
+		out, err := bench.Accuracy(*accNet, ms, *seed, 4)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	if len(tables) == 0 && *exp != "accuracy" {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	for _, t := range tables {
+		if strings.HasPrefix(t.Title, "Counters:") {
+			// Counter tables carry no timings; emit CSV-style rows instead
+			// of the two timing panels.
+			fmt.Printf("== %s ==\n", t.Title)
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			continue
+		}
+		if err := bench.WriteBoth(os.Stdout, t); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		for _, t := range tables {
+			if _, err := fmt.Fprintf(f, "# %s\n", t.Title); err != nil {
+				fatal(err)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}
+
+func parseSchedule(s string) (core.MISchedule, error) {
+	switch s {
+	case "partition", "partition-parallel":
+		return core.MIPartitionParallel, nil
+	case "pair", "pair-parallel":
+		return core.MIPairParallel, nil
+	case "pair-dynamic":
+		return core.MIPairDynamic, nil
+	case "fused":
+		return core.MIFused, nil
+	default:
+		return 0, fmt.Errorf("unknown schedule %q", s)
+	}
+}
+
+func parseList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("non-positive value %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bnbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"waitfreebn/internal/core"
+)
+
+func TestParseList(t *testing.T) {
+	got, err := parseList(" 10, 20,30 ")
+	if err != nil || len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if got, err := parseList(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+	for _, in := range []string{"a", "1,b", "0", "-3"} {
+		if _, err := parseList(in); err == nil {
+			t.Errorf("%q accepted", in)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	cases := map[string]core.MISchedule{
+		"partition":          core.MIPartitionParallel,
+		"partition-parallel": core.MIPartitionParallel,
+		"pair":               core.MIPairParallel,
+		"pair-dynamic":       core.MIPairDynamic,
+		"fused":              core.MIFused,
+	}
+	for in, want := range cases {
+		got, err := parseSchedule(in)
+		if err != nil || got != want {
+			t.Errorf("parseSchedule(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSchedule("bogus"); err == nil {
+		t.Error("bogus schedule accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Command bninfer answers probabilistic queries against a model produced
+// by `bnlearn -emit` (or any model in the same JSON schema), completing
+// the toolchain loop: datagen → bnlearn → bninfer.
+//
+// Usage:
+//
+//	bninfer -model model.json -query 2                      # P(x2)
+//	bninfer -model network.bif -query 2                     # BIF models work too
+//	bninfer -model model.json -query 2 -evidence 3=1,1=0    # P(x2 | x3=1, x1=0)
+//	bninfer -model model.json -mpe -evidence 3=1            # most probable explanation
+//	bninfer -model model.json -engine jtree -query 2        # junction-tree engine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"waitfreebn/internal/bn"
+	"waitfreebn/internal/infer"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model JSON path (required)")
+		query     = flag.Int("query", -1, "variable id to query")
+		evidence  = flag.String("evidence", "", "comma-separated var=state assignments")
+		mpe       = flag.Bool("mpe", false, "compute the most probable explanation instead of a marginal")
+		engine    = flag.String("engine", "ve", "inference engine for marginals: ve | jtree")
+		do        = flag.String("do", "", "interventions var=state,... applied with the do-operator before querying")
+	)
+	flag.Parse()
+
+	if *modelPath == "" {
+		fatal(fmt.Errorf("-model is required"))
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	var net *bn.Network
+	if strings.HasSuffix(*modelPath, ".bif") {
+		net, _, _, err = bn.ReadBIF(f)
+	} else {
+		net, err = bn.ReadJSON(f)
+	}
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	ev, err := parseEvidence(*evidence)
+	if err != nil {
+		fatal(err)
+	}
+	interventions, err := parseEvidence(*do)
+	if err != nil {
+		fatal(fmt.Errorf("bad -do: %w", err))
+	}
+	for v, s := range interventions {
+		if _, clash := ev[v]; clash {
+			fatal(fmt.Errorf("variable %d is both evidence and intervention", v))
+		}
+		net, err = net.Intervene(v, s)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *mpe:
+		assignment, prob, err := infer.MPE(net, ev)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("most probable explanation (joint probability %.6g):\n", prob)
+		for v, s := range assignment {
+			marker := ""
+			if _, isEv := ev[v]; isEv {
+				marker = "  (evidence)"
+			}
+			fmt.Printf("  x%d = %d%s\n", v, s, marker)
+		}
+	case *query >= 0:
+		var dist []float64
+		switch *engine {
+		case "ve":
+			dist, err = infer.QueryMarginal(net, *query, ev)
+		case "jtree":
+			var jt *infer.JunctionTree
+			jt, err = infer.NewJunctionTree(net)
+			if err == nil {
+				if err = jt.Calibrate(ev); err == nil {
+					dist, err = jt.Marginal(*query)
+				}
+			}
+		default:
+			err = fmt.Errorf("unknown engine %q", *engine)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		cond := ""
+		if len(ev) > 0 {
+			cond = *evidence
+		}
+		if len(interventions) > 0 {
+			if cond != "" {
+				cond += ", "
+			}
+			cond += "do(" + *do + ")"
+		}
+		if cond != "" {
+			fmt.Printf("P(x%d | %s):\n", *query, cond)
+		} else {
+			fmt.Printf("P(x%d):\n", *query)
+		}
+		for s, p := range dist {
+			fmt.Printf("  x%d=%d: %.6f\n", *query, s, p)
+		}
+	default:
+		fatal(fmt.Errorf("specify -query <var> or -mpe"))
+	}
+}
+
+func parseEvidence(s string) (map[int]uint8, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	ev := map[int]uint8{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad evidence %q (want var=state)", part)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, fmt.Errorf("bad evidence variable %q: %v", kv[0], err)
+		}
+		st, err := strconv.Atoi(strings.TrimSpace(kv[1]))
+		if err != nil {
+			return nil, fmt.Errorf("bad evidence state %q: %v", kv[1], err)
+		}
+		if st < 0 || st > 255 {
+			return nil, fmt.Errorf("evidence state %d outside [0,255]", st)
+		}
+		if _, dup := ev[v]; dup {
+			return nil, fmt.Errorf("duplicate evidence for variable %d", v)
+		}
+		ev[v] = uint8(st)
+	}
+	return ev, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bninfer:", err)
+	os.Exit(1)
+}

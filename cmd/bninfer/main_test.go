@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseEvidence(t *testing.T) {
+	ev, err := parseEvidence("3=1, 1=0 ,7=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]uint8{3: 1, 1: 0, 7: 2}
+	if len(ev) != len(want) {
+		t.Fatalf("parsed %v", ev)
+	}
+	for k, v := range want {
+		if ev[k] != v {
+			t.Fatalf("parsed %v", ev)
+		}
+	}
+}
+
+func TestParseEvidenceEmpty(t *testing.T) {
+	ev, err := parseEvidence("  ")
+	if err != nil || ev != nil {
+		t.Fatalf("empty evidence: %v, %v", ev, err)
+	}
+}
+
+func TestParseEvidenceErrors(t *testing.T) {
+	for _, in := range []string{"3", "x=1", "3=y", "3=300", "3=-1", "3=1,3=0"} {
+		if _, err := parseEvidence(in); err == nil {
+			t.Errorf("%q accepted", in)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Command bntable builds, inspects and queries serialized potential
+// tables — the "build once, query many" workflow the wait-free
+// construction primitive enables.
+//
+// Usage:
+//
+//	bntable build -in data.csv -card 2,2,2,2 -out table.wfbn [-p 8]
+//	bntable info  -table table.wfbn
+//	bntable marginal -table table.wfbn -vars 0,3 [-p 8]
+//	bntable mi    -table table.wfbn -topk 10 [-p 8]
+//
+// `build` streams the CSV in blocks through the incremental wait-free
+// builder, so the dataset never needs to fit in memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "build":
+		runBuild(args)
+	case "info":
+		runInfo(args)
+	case "marginal":
+		runMarginal(args)
+	case "mi":
+		runMI(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bntable build|info|marginal|mi [flags]")
+	os.Exit(2)
+}
+
+func runBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV (default stdin)")
+	cardStr := fs.String("card", "", "comma-separated per-variable cardinalities (required)")
+	out := fs.String("out", "table.wfbn", "output table path")
+	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
+	block := fs.Int("block", 65536, "streaming block size (rows)")
+	parseFlags(fs, args)
+
+	card, err := parseInts(*cardStr)
+	if err != nil || len(card) == 0 {
+		fatal(fmt.Errorf("bad -card %q: %v", *cardStr, err))
+	}
+	codec, err := encoding.NewCodec(card)
+	if err != nil {
+		fatal(err)
+	}
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	builder := core.NewBuilder(codec, *block, core.Options{P: *p})
+	if err := dataset.StreamCSV(src, card, *block, builder.AddBlock); err != nil {
+		fatal(err)
+	}
+	pt, st := builder.Finalize()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := pt.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built %s: %d samples, %d distinct keys, %d bytes (P=%d, %d foreign-key transfers)\n",
+		*out, pt.NumSamples(), pt.Len(), n, st.P, st.ForeignKeys)
+}
+
+func runInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	table := fs.String("table", "", "serialized table path (required)")
+	parseFlags(fs, args)
+	pt := loadTable(*table, 1)
+	codec := pt.Codec()
+	fmt.Printf("variables:     %d\n", codec.NumVars())
+	fmt.Printf("cardinalities: %v\n", codec.Cardinalities())
+	fmt.Printf("key space:     %d\n", codec.KeySpace())
+	fmt.Printf("samples:       %d\n", pt.NumSamples())
+	fmt.Printf("distinct keys: %d (%.2f%% of key space)\n",
+		pt.Len(), 100*float64(pt.Len())/float64(codec.KeySpace()))
+}
+
+func runMarginal(args []string) {
+	fs := flag.NewFlagSet("marginal", flag.ExitOnError)
+	table := fs.String("table", "", "serialized table path (required)")
+	varsStr := fs.String("vars", "", "comma-separated variable ids (required)")
+	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
+	parseFlags(fs, args)
+	vars, err := parseInts(*varsStr)
+	if err != nil || len(vars) == 0 {
+		fatal(fmt.Errorf("bad -vars %q: %v", *varsStr, err))
+	}
+	pt := loadTable(*table, workerCount(*p))
+	mg := pt.Marginalize(vars, *p)
+	states := make([]uint8, 0, len(vars))
+	dec := pt.Codec().SubsetDecoder(vars)
+	for cell := 0; cell < mg.Cells(); cell++ {
+		states = dec.CellStates(cell, states[:0])
+		fmt.Printf("P(")
+		for k, v := range vars {
+			if k > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("x%d=%d", v, states[k])
+		}
+		fmt.Printf(") = %.6f  (count %d)\n",
+			float64(mg.Counts[cell])/float64(mg.M), mg.Counts[cell])
+	}
+}
+
+func runMI(args []string) {
+	fs := flag.NewFlagSet("mi", flag.ExitOnError)
+	table := fs.String("table", "", "serialized table path (required)")
+	topk := fs.Int("topk", 10, "pairs to print")
+	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
+	parseFlags(fs, args)
+	pt := loadTable(*table, workerCount(*p))
+	mi := pt.AllPairsMI(*p, core.MIFused)
+	type pr struct {
+		i, j int
+		v    float64
+	}
+	var pairs []pr
+	mi.ForEachPair(func(i, j int, v float64) { pairs = append(pairs, pr{i, j, v}) })
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].v > pairs[b].v })
+	if *topk > len(pairs) {
+		*topk = len(pairs)
+	}
+	for _, q := range pairs[:*topk] {
+		// Also report the G statistic for significance context.
+		joint := pt.MarginalizePair(q.i, q.j, *p)
+		g := stats.GStatistic(joint.Counts, joint.Card[0], joint.Card[1])
+		fmt.Printf("I(x%d; x%d) = %.6f bits  (G = %.1f)\n", q.i, q.j, q.v, g)
+	}
+}
+
+func loadTable(path string, partitions int) *core.PotentialTable {
+	if path == "" {
+		fatal(fmt.Errorf("-table is required"))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	pt, err := core.ReadTable(f, partitions)
+	if err != nil {
+		fatal(err)
+	}
+	return pt
+}
+
+func workerCount(p int) int {
+	if p <= 0 {
+		return 4
+	}
+	return p
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bntable:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// All-pairs mutual information — the drafting pre-processing step
+// (Algorithm 4) that the paper's primitives exist to accelerate.
+//
+// The workload plants a handful of dependencies inside otherwise
+// independent data, runs the full parallel pipeline (wait-free table
+// construction → all-pairs MI), and prints the pairs ranked by mutual
+// information: the planted edges surface at the top, the independent pairs
+// crowd ~0.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+)
+
+func main() {
+	const (
+		m = 500_000 // observations
+		n = 16      // variables
+		p = 4       // workers
+	)
+
+	// Independent binary background noise...
+	data := dataset.NewUniformCard(m, n, 2)
+	data.UniformIndependent(7, p)
+
+	// ...with three planted dependencies of decreasing strength:
+	//   x1 → x4  (copy:      I = 1 bit)
+	//   x2 → x9  (10% noise: I ≈ 0.53 bits)
+	//   x5 → x12 (25% noise: I ≈ 0.19 bits)
+	noise := dataset.NewUniformCard(m, 2, 100)
+	noise.UniformIndependent(8, p)
+	for i := 0; i < m; i++ {
+		data.Set(i, 4, data.Get(i, 1))
+		v9 := data.Get(i, 2)
+		if noise.Get(i, 0) < 10 {
+			v9 ^= 1
+		}
+		data.Set(i, 9, v9)
+		v12 := data.Get(i, 5)
+		if noise.Get(i, 1) < 25 {
+			v12 ^= 1
+		}
+		data.Set(i, 12, v12)
+	}
+
+	start := time.Now()
+	table, _, err := core.Build(data, core.Options{P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+
+	start = time.Now()
+	mi := table.AllPairsMI(p, core.MIFused)
+	miTime := time.Since(start)
+
+	type pair struct {
+		i, j int
+		v    float64
+	}
+	var pairs []pair
+	mi.ForEachPair(func(i, j int, v float64) { pairs = append(pairs, pair{i, j, v}) })
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].v > pairs[b].v })
+
+	fmt.Printf("m=%d n=%d: table build %v (%d distinct keys), all-pairs MI over %d pairs %v\n\n",
+		m, n, buildTime.Round(time.Millisecond), table.Len(), mi.NumPairs(), miTime.Round(time.Millisecond))
+	fmt.Println("top 6 pairs by mutual information (planted edges in capitals):")
+	for k := 0; k < 6 && k < len(pairs); k++ {
+		pr := pairs[k]
+		marker := ""
+		if (pr.i == 1 && pr.j == 4) || (pr.i == 2 && pr.j == 9) || (pr.i == 5 && pr.j == 12) {
+			marker = "  ← PLANTED"
+		}
+		fmt.Printf("  I(x%-2d; x%-2d) = %.4f bits%s\n", pr.i, pr.j, pr.v, marker)
+	}
+	fmt.Printf("\nmedian of remaining %d pairs: %.6f bits (independent noise floor)\n",
+		len(pairs)-3, pairs[3+(len(pairs)-3)/2].v)
+}

@@ -1,0 +1,78 @@
+// The complete pipeline, data to posterior: forward-sample a ground-truth
+// network, learn the structure with the wait-free primitives (skeleton →
+// v-structures → Meek rules → DAG), fit conditional probability tables,
+// and answer diagnostic queries by variable elimination — comparing every
+// posterior against exact inference on the true model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"waitfreebn/internal/bn"
+	"waitfreebn/internal/infer"
+	"waitfreebn/internal/structure"
+)
+
+func main() {
+	truth := bn.Cancer()
+	const m = 500_000
+	data, err := truth.Sample(m, 2024, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled %d observations from %q\n", m, truth.Name())
+
+	// 1. Structure: three-phase learner on the wait-free primitives.
+	res, err := structure.Learn(data, structure.Config{P: 4, Epsilon: 0.002})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlearned skeleton: %v\n", res.Graph.Edges())
+	fmt.Printf("oriented:         %v directed, %v undirected\n",
+		res.PDAG.DirectedEdges(), res.PDAG.UndirectedEdges())
+
+	// 2. Extend the partially directed graph to a DAG and fit parameters.
+	dag, err := res.PDAG.ToDAG()
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := bn.FitCPTs("learned-cancer", dag, data, 1 /* Laplace */, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel fit: mean log-likelihood %.4f bits/sample (true model: %.4f)\n",
+		model.MeanLogLikelihood(data, 4), truth.MeanLogLikelihood(data, 4))
+
+	// 3. Diagnostic queries by variable elimination, vs the true model.
+	queries := []struct {
+		label    string
+		v        int
+		evidence map[int]uint8
+	}{
+		{"P(cancer)", 2, nil},
+		{"P(cancer | xray=+)", 2, map[int]uint8{3: 1}},
+		{"P(cancer | xray=+, smoker=yes)", 2, map[int]uint8{3: 1, 1: 1}},
+		{"P(smoker | cancer=yes)", 1, map[int]uint8{2: 1}},
+		{"P(dyspnea | pollution=high)", 4, map[int]uint8{0: 1}},
+	}
+	fmt.Printf("\n%-34s %10s %10s %8s\n", "query", "learned", "true", "|Δ|")
+	worst := 0.0
+	for _, q := range queries {
+		got, err := infer.QueryMarginal(model, q.v, q.evidence)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := infer.QueryMarginal(truth, q.v, q.evidence)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diff := math.Abs(got[1] - want[1])
+		if diff > worst {
+			worst = diff
+		}
+		fmt.Printf("%-34s %10.4f %10.4f %8.4f\n", q.label, got[1], want[1], diff)
+	}
+	fmt.Printf("\nlargest posterior deviation: %.4f\n", worst)
+}

@@ -1,0 +1,129 @@
+// Out-of-core construction: the wait-free primitive applied blockwise to a
+// dataset streamed from disk, then serialized so later analyses skip the
+// build entirely.
+//
+// The demo writes a CSV to a temp directory, streams it back in 8k-row
+// blocks through the incremental builder (never holding the dataset in
+// memory), saves the potential table, reloads it, and verifies that
+// marginals and mutual information match a conventional in-memory build.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+)
+
+func main() {
+	const (
+		m     = 300_000
+		n     = 12
+		r     = 3
+		block = 8192
+		p     = 4
+	)
+	dir, err := os.MkdirTemp("", "waitfreebn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Materialize a dataset on disk.
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(77, p)
+	csvPath := filepath.Join(dir, "train.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := data.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(csvPath)
+	fmt.Printf("wrote %s (%.1f MB, %d rows)\n", csvPath, float64(info.Size())/1e6, m)
+
+	// 2. Stream it back through the incremental wait-free builder.
+	codec, err := data.Codec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder := core.NewBuilder(codec, block, core.Options{P: p})
+	in, err := os.Open(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	blocks := 0
+	err = dataset.StreamCSV(in, data.Cardinalities(), block, func(rows [][]uint8) error {
+		blocks++
+		return builder.AddBlock(rows)
+	})
+	in.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, st := builder.Finalize()
+	fmt.Printf("streamed build: %d blocks of ≤%d rows in %v (%d distinct keys, %d queue transfers)\n",
+		blocks, block, time.Since(start).Round(time.Millisecond), table.Len(), st.ForeignKeys)
+
+	// 3. Serialize, reload, and verify against an in-memory build.
+	tablePath := filepath.Join(dir, "table.wfbn")
+	tf, err := os.Create(tablePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bytes, err := table.WriteTo(tf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf.Close()
+	fmt.Printf("serialized table: %.1f MB on disk\n", float64(bytes)/1e6)
+
+	tf, err = os.Open(tablePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := core.ReadTable(tf, p)
+	tf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	direct, _, err := core.Build(data, core.Options{P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !reloaded.Equal(direct) {
+		log.Fatal("reloaded table differs from direct build!")
+	}
+	fmt.Println("reloaded table is bit-identical to the in-memory build")
+
+	// 4. Use the reloaded table: one marginal and the strongest MI pair.
+	mg := reloaded.MarginalizePair(2, 7, p)
+	fmt.Printf("\nP(x2, x7) from the reloaded table (should be ~%.4f everywhere):\n", 1.0/float64(r*r))
+	worst := 0.0
+	for a := uint8(0); a < r; a++ {
+		for b := uint8(0); b < r; b++ {
+			dev := math.Abs(mg.Prob(a, b) - 1.0/float64(r*r))
+			if dev > worst {
+				worst = dev
+			}
+		}
+	}
+	fmt.Printf("largest deviation from uniform: %.5f\n", worst)
+	mi := reloaded.AllPairsMI(p, core.MIFused)
+	max := 0.0
+	mi.ForEachPair(func(i, j int, v float64) {
+		if v > max {
+			max = v
+		}
+	})
+	fmt.Printf("max pairwise MI on independent data: %.6f bits (noise floor)\n", max)
+}

@@ -1,0 +1,3 @@
+module waitfreebn
+
+go 1.22

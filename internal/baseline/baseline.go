@@ -1,0 +1,261 @@
+// Package baseline implements the competing potential-table construction
+// strategies the wait-free primitive is evaluated against.
+//
+// The paper's comparison point is Intel TBB's concurrent_hash_map, which
+// ensures thread safety "with the aid of a lock operation" — per-bucket
+// locking. StripedLock reproduces that contention profile directly; the
+// other strategies bracket it from both sides:
+//
+//	Sequential  — single thread, the T(1) reference.
+//	GlobalLock  — one mutex around one table (coarsest locking).
+//	StripedLock — per-stripe mutexes (the TBB concurrent_hash_map analogue).
+//	SyncMap     — sync.Map with atomic per-key counters.
+//	CASMap      — lock-free open addressing with CAS insert/add (finer than
+//	              TBB: no locks, but CAS retry loops — lock-free, not
+//	              wait-free).
+//	ShardedMerge— per-worker private tables merged at the end (embarrassing
+//	              parallelism; uses 2× memory and a serial-ish merge, the
+//	              trade-off the paper's design avoids).
+//	WaitFree    — the paper's primitive, via internal/core, for uniform
+//	              sweep code in benches.
+//
+// Every strategy produces a *core.PotentialTable so results are comparable
+// and differentially testable, and every strategy reports contention
+// counters so the shape of Figures 3-4 can be reproduced even on hardware
+// with few cores.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/hashtable"
+	"waitfreebn/internal/rng"
+	"waitfreebn/internal/sched"
+)
+
+// Strategy names a table-construction implementation.
+type Strategy int
+
+const (
+	// Sequential is the single-threaded reference builder.
+	Sequential Strategy = iota
+	// GlobalLock guards a single shared table with one mutex.
+	GlobalLock
+	// StripedLock shards the table into lock-striped buckets, the
+	// structural analogue of TBB's concurrent_hash_map.
+	StripedLock
+	// SyncMap uses sync.Map holding *atomic.Uint64 counters.
+	SyncMap
+	// CASMap is a lock-free open-addressing table updated with CAS.
+	CASMap
+	// ShardedMerge gives each worker a private table and merges them.
+	ShardedMerge
+	// WaitFree is the paper's two-stage wait-free primitive.
+	WaitFree
+)
+
+// Strategies lists every strategy in presentation order.
+func Strategies() []Strategy {
+	return []Strategy{Sequential, GlobalLock, StripedLock, SyncMap, CASMap, ShardedMerge, WaitFree}
+}
+
+// String returns the strategy's display name.
+func (s Strategy) String() string {
+	switch s {
+	case Sequential:
+		return "sequential"
+	case GlobalLock:
+		return "global-lock"
+	case StripedLock:
+		return "striped-lock"
+	case SyncMap:
+		return "sync-map"
+	case CASMap:
+		return "cas-map"
+	case ShardedMerge:
+		return "sharded-merge"
+	case WaitFree:
+		return "wait-free"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseStrategy resolves a display name back to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("baseline: unknown strategy %q", name)
+}
+
+// Counters reports synchronization work done during a build. Zero-valued
+// fields simply do not apply to the strategy.
+type Counters struct {
+	LockAcquisitions uint64 // mutex Lock calls on shared state
+	CASRetries       uint64 // failed compare-and-swap attempts
+	QueueTransfers   uint64 // keys routed through wait-free queues
+}
+
+// Build constructs the potential table from data using the strategy with p
+// workers and returns it with contention counters.
+func Build(s Strategy, data *dataset.Dataset, p int) (*core.PotentialTable, Counters, error) {
+	codec, err := data.Codec()
+	if err != nil {
+		return nil, Counters{}, fmt.Errorf("baseline: %w", err)
+	}
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	m := data.NumSamples()
+	switch s {
+	case Sequential:
+		pt, err := core.BuildSequential(data)
+		return pt, Counters{}, err
+	case GlobalLock:
+		return buildGlobalLock(data, codec, m, p)
+	case StripedLock:
+		return buildStripedLock(data, codec, m, p)
+	case SyncMap:
+		return buildSyncMap(data, codec, m, p)
+	case CASMap:
+		return buildCASMap(data, codec, m, p, tableHint(m, codec))
+	case ShardedMerge:
+		return buildShardedMerge(data, codec, m, p)
+	case WaitFree:
+		pt, st, err := core.Build(data, core.Options{P: p})
+		return pt, Counters{QueueTransfers: st.ForeignKeys}, err
+	default:
+		return nil, Counters{}, fmt.Errorf("baseline: unknown strategy %d", s)
+	}
+}
+
+func tableHint(m int, codec *encoding.Codec) int {
+	hint := uint64(m)
+	if codec.KeySpace() < hint {
+		hint = codec.KeySpace()
+	}
+	if hint > 1<<24 {
+		hint = 1 << 24
+	}
+	return int(hint)
+}
+
+// buildGlobalLock: one table, one mutex, every update takes the lock.
+func buildGlobalLock(data *dataset.Dataset, codec *encoding.Codec, m, p int) (*core.PotentialTable, Counters, error) {
+	table := hashtable.New(tableHint(m, codec))
+	var mu sync.Mutex
+	var locks atomic.Uint64
+	spans := sched.BlockPartition(m, p)
+	sched.Run(p, func(w int) {
+		var local uint64
+		for i := spans[w].Lo; i < spans[w].Hi; i++ {
+			key := codec.Encode(data.Row(i))
+			mu.Lock()
+			table.Inc(key)
+			mu.Unlock()
+			local++
+		}
+		locks.Add(local)
+	})
+	pt := core.NewPotentialTable(codec, []hashtable.Counter{table}, uint64(m))
+	return pt, Counters{LockAcquisitions: locks.Load()}, nil
+}
+
+// stripeCount is the number of lock stripes; TBB's concurrent_hash_map
+// locks per bucket, so the stripe count is generous to be fair to the
+// baseline.
+const stripeCount = 256
+
+// buildStripedLock: the TBB concurrent_hash_map analogue. Keys hash to one
+// of stripeCount stripes, each a mutex-guarded table. Contention arises
+// exactly as in TBB: two cores updating keys in the same stripe serialize.
+func buildStripedLock(data *dataset.Dataset, codec *encoding.Codec, m, p int) (*core.PotentialTable, Counters, error) {
+	type stripe struct {
+		mu    sync.Mutex
+		table *hashtable.Table
+		_     [40]byte // soften false sharing between stripe headers
+	}
+	stripes := make([]stripe, stripeCount)
+	hint := tableHint(m, codec)/stripeCount + 1
+	for i := range stripes {
+		stripes[i].table = hashtable.New(hint)
+	}
+	var locks atomic.Uint64
+	spans := sched.BlockPartition(m, p)
+	sched.Run(p, func(w int) {
+		var local uint64
+		for i := spans[w].Lo; i < spans[w].Hi; i++ {
+			key := codec.Encode(data.Row(i))
+			st := &stripes[rng.Mix64(key)>>32&(stripeCount-1)]
+			st.mu.Lock()
+			st.table.Inc(key)
+			st.mu.Unlock()
+			local++
+		}
+		locks.Add(local)
+	})
+	parts := make([]hashtable.Counter, stripeCount)
+	for i := range stripes {
+		parts[i] = stripes[i].table
+	}
+	pt := core.NewPotentialTable(codec, parts, uint64(m))
+	return pt, Counters{LockAcquisitions: locks.Load()}, nil
+}
+
+// buildSyncMap: sync.Map from key to *atomic.Uint64.
+func buildSyncMap(data *dataset.Dataset, codec *encoding.Codec, m, p int) (*core.PotentialTable, Counters, error) {
+	var sm sync.Map
+	spans := sched.BlockPartition(m, p)
+	sched.Run(p, func(w int) {
+		for i := spans[w].Lo; i < spans[w].Hi; i++ {
+			key := codec.Encode(data.Row(i))
+			if v, ok := sm.Load(key); ok {
+				v.(*atomic.Uint64).Add(1)
+				continue
+			}
+			fresh := &atomic.Uint64{}
+			fresh.Store(1)
+			if v, raced := sm.LoadOrStore(key, fresh); raced {
+				v.(*atomic.Uint64).Add(1)
+			}
+		}
+	})
+	// Materialize into a single partition table.
+	table := hashtable.New(tableHint(m, codec))
+	sm.Range(func(k, v any) bool {
+		table.Add(k.(uint64), v.(*atomic.Uint64).Load())
+		return true
+	})
+	pt := core.NewPotentialTable(codec, []hashtable.Counter{table}, uint64(m))
+	return pt, Counters{}, nil
+}
+
+// buildShardedMerge: each worker fills a private table; tables become the
+// partitions of the result directly, but overlapping keys across workers
+// must be merged, which is the serial tail this strategy pays.
+func buildShardedMerge(data *dataset.Dataset, codec *encoding.Codec, m, p int) (*core.PotentialTable, Counters, error) {
+	locals := make([]*hashtable.Table, p)
+	hint := tableHint(m, codec) / p * 2
+	spans := sched.BlockPartition(m, p)
+	sched.Run(p, func(w int) {
+		t := hashtable.New(hint)
+		for i := spans[w].Lo; i < spans[w].Hi; i++ {
+			t.Inc(codec.Encode(data.Row(i)))
+		}
+		locals[w] = t
+	})
+	merged := locals[0]
+	for w := 1; w < p; w++ {
+		merged.Merge(locals[w])
+	}
+	pt := core.NewPotentialTable(codec, []hashtable.Counter{merged}, uint64(m))
+	return pt, Counters{}, nil
+}

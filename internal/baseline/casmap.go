@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/hashtable"
+	"waitfreebn/internal/rng"
+	"waitfreebn/internal/sched"
+)
+
+// casTable is a fixed-capacity lock-free open-addressing hash table for
+// concurrent counting. Slots are claimed by CAS on the key word; counts are
+// atomic adds. It is lock-free but not wait-free: a thread can lose a CAS
+// race (or probe past freshly claimed slots) an unbounded number of times
+// under contention — precisely the progress-guarantee gap between this
+// design and the paper's primitive.
+//
+// The table does not grow; it is sized for the expected number of distinct
+// keys up front (the builders size it from m) and reports exhaustion.
+type casTable struct {
+	keys   []atomic.Uint64 // emptyCASSlot = free
+	counts []atomic.Uint64
+	mask   uint64
+	used   atomic.Int64
+	limit  int64
+}
+
+const emptyCASSlot = ^uint64(0)
+
+func newCASTable(capacityHint int) *casTable {
+	capacity := 64
+	for capacity*7/8 < capacityHint {
+		capacity <<= 1
+	}
+	t := &casTable{
+		keys:   make([]atomic.Uint64, capacity),
+		counts: make([]atomic.Uint64, capacity),
+		mask:   uint64(capacity - 1),
+		limit:  int64(capacity) * 7 / 8,
+	}
+	for i := range t.keys {
+		t.keys[i].Store(emptyCASSlot)
+	}
+	return t
+}
+
+// add increments key's count by one, returning the number of CAS retries
+// (failed claims) and whether the table had room.
+func (t *casTable) add(key uint64) (retries uint64, ok bool) {
+	i := rng.Mix64(key) & t.mask
+	for {
+		cur := t.keys[i].Load()
+		if cur == key {
+			t.counts[i].Add(1)
+			return retries, true
+		}
+		if cur == emptyCASSlot {
+			if t.used.Load() >= t.limit {
+				return retries, false
+			}
+			if t.keys[i].CompareAndSwap(emptyCASSlot, key) {
+				t.used.Add(1)
+				t.counts[i].Add(1)
+				return retries, true
+			}
+			retries++
+			continue // re-inspect the slot we lost
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// buildCASMap constructs the table with the lock-free CAS strategy. hint
+// sizes the fixed-capacity table; Build passes tableHint(m, codec).
+func buildCASMap(data *dataset.Dataset, codec *encoding.Codec, m, p, hint int) (*core.PotentialTable, Counters, error) {
+	ct := newCASTable(hint)
+	var totalRetries atomic.Uint64
+	var overflowed atomic.Bool
+	spans := sched.BlockPartition(m, p)
+	sched.Run(p, func(w int) {
+		var retries uint64
+		for i := spans[w].Lo; i < spans[w].Hi; i++ {
+			if overflowed.Load() {
+				return
+			}
+			r, ok := ct.add(codec.Encode(data.Row(i)))
+			retries += r
+			if !ok {
+				overflowed.Store(true)
+				return
+			}
+		}
+		totalRetries.Add(retries)
+	})
+	if overflowed.Load() {
+		return nil, Counters{}, fmt.Errorf("baseline: cas-map capacity exhausted (distinct keys exceeded hint)")
+	}
+	// Materialize into a single-owner table.
+	table := hashtable.New(int(ct.used.Load()))
+	for i := range ct.keys {
+		if k := ct.keys[i].Load(); k != emptyCASSlot {
+			table.Add(k, ct.counts[i].Load())
+		}
+	}
+	pt := core.NewPotentialTable(codec, []hashtable.Counter{table}, uint64(m))
+	return pt, Counters{CASRetries: totalRetries.Load()}, nil
+}

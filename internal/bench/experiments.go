@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"waitfreebn/internal/baseline"
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/spsc"
+)
+
+// Params are the workload knobs shared by the experiments, defaulted to a
+// scaled-down version of the paper's setup (Section V uses m up to 10M and
+// a 32-core machine; pass -m/-maxP at the CLI to restore them).
+type Params struct {
+	Seed uint64 // workload seed
+	Reps int    // timing repetitions (best-of)
+	Ps   []int  // worker counts to sweep
+}
+
+// DefaultPs returns the power-of-two core counts the paper sweeps,
+// truncated to maxP: 1, 2, 4, ..., maxP.
+func DefaultPs(maxP int) []int {
+	var ps []int
+	for p := 1; p <= maxP; p <<= 1 {
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		ps = []int{1}
+	}
+	return ps
+}
+
+func (p Params) withDefaults() Params {
+	if p.Reps < 1 {
+		p.Reps = 3
+	}
+	if len(p.Ps) == 0 {
+		p.Ps = DefaultPs(8)
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// Fig3 reproduces Figure 3: wait-free table construction vs the lock-based
+// (TBB-analogue) builder, sweeping the number of samples m with the
+// variable count fixed (paper: n=30, m ∈ {0.1M, 1M, 10M}).
+func Fig3(ms []int, n, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 3: table construction, n=%d r=%d, m sweep", n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	for _, m := range ms {
+		data := dataset.NewUniformCard(m, n, r)
+		data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+		for _, strat := range []baseline.Strategy{baseline.WaitFree, baseline.StripedLock} {
+			t.Series = append(t.Series, constructionSeries(
+				fmt.Sprintf("%s m=%s", strat, human(m)), strat, data, pr))
+		}
+	}
+	t.FillSpeedups()
+	return t
+}
+
+// Fig4 reproduces Figure 4: construction scalability sweeping the number
+// of random variables n with m fixed (paper: m=10M, n ∈ {30, 40, 50}).
+func Fig4(m int, ns []int, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 4: table construction, m=%s r=%d, n sweep", human(m), r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	for _, n := range ns {
+		data := dataset.NewUniformCard(m, n, r)
+		data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+		for _, strat := range []baseline.Strategy{baseline.WaitFree, baseline.StripedLock} {
+			t.Series = append(t.Series, constructionSeries(
+				fmt.Sprintf("%s n=%d", strat, n), strat, data, pr))
+		}
+	}
+	t.FillSpeedups()
+	return t
+}
+
+// Fig5 reproduces Figure 5: all-pairs mutual information over the
+// wait-free-built potential table, sweeping n (paper: m=10M,
+// n ∈ {30, 40, 50}).
+func Fig5(m int, ns []int, r int, schedule core.MISchedule, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 5: all-pairs MI (%s), m=%s r=%d, n sweep", schedule, human(m), r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	for _, n := range ns {
+		data := dataset.NewUniformCard(m, n, r)
+		data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+		var series Series
+		series.Label = fmt.Sprintf("n=%d", n)
+		for _, p := range pr.Ps {
+			pt, _, err := core.Build(data, core.Options{P: p})
+			if err != nil {
+				panic(err)
+			}
+			sec := TimeBest(pr.Reps, func() { pt.AllPairsMI(p, schedule) })
+			series.Points = append(series.Points, Measurement{P: p, Seconds: sec})
+		}
+		t.Series = append(t.Series, series)
+	}
+	t.FillSpeedups()
+	return t
+}
+
+// Headline reproduces the summary comparison behind the paper's headline
+// number (23.5× at 32 cores): every strategy's construction time and
+// speedup at each core count for one workload.
+func Headline(m, n, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Headline: construction strategies, m=%s n=%d r=%d", human(m), n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+	for _, strat := range baseline.Strategies() {
+		if strat == baseline.Sequential {
+			continue // it is every series' own P=1 point in spirit
+		}
+		t.Series = append(t.Series, constructionSeries(strat.String(), strat, data, pr))
+	}
+	t.FillSpeedups()
+	return t
+}
+
+// AblationQueue is ablation A1: construction time by inter-core queue kind.
+func AblationQueue(m, n, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation A1: queue kind, m=%s n=%d r=%d", human(m), n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+	for _, q := range []spsc.Kind{spsc.KindChunked, spsc.KindRing, spsc.KindMutex} {
+		t.Series = append(t.Series, optionsSeries("queue="+q.String(), data, pr,
+			func(p int) core.Options { return core.Options{P: p, Queue: q} }))
+	}
+	t.FillSpeedups()
+	return t
+}
+
+// AblationPartition is ablation A2: construction time by key→owner rule.
+func AblationPartition(m, n, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation A2: partition rule, m=%s n=%d r=%d", human(m), n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+	for _, k := range []core.PartitionKind{core.PartitionModulo, core.PartitionRange, core.PartitionHash} {
+		t.Series = append(t.Series, optionsSeries("partition="+k.String(), data, pr,
+			func(p int) core.Options { return core.Options{P: p, Partition: k} }))
+	}
+	t.FillSpeedups()
+	return t
+}
+
+// AblationMISchedule is ablation A3: all-pairs MI time by schedule.
+func AblationMISchedule(m, n, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation A3: MI schedule, m=%s n=%d r=%d", human(m), n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+	for _, sch := range []core.MISchedule{core.MIPartitionParallel, core.MIPairParallel, core.MIPairDynamic, core.MIFused} {
+		var series Series
+		series.Label = sch.String()
+		for _, p := range pr.Ps {
+			pt, _, err := core.Build(data, core.Options{P: p})
+			if err != nil {
+				panic(err)
+			}
+			sec := TimeBest(pr.Reps, func() { pt.AllPairsMI(p, sch) })
+			series.Points = append(series.Points, Measurement{P: p, Seconds: sec})
+		}
+		t.Series = append(t.Series, series)
+	}
+	t.FillSpeedups()
+	return t
+}
+
+// AblationTable is ablation A4: construction time by per-core table kind.
+func AblationTable(m, n, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation A4: per-core table kind, m=%s n=%d r=%d", human(m), n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+	for _, k := range []core.TableKind{core.TableOpenAddressing, core.TableChained, core.TableGoMap} {
+		t.Series = append(t.Series, optionsSeries("table="+k.String(), data, pr,
+			func(p int) core.Options { return core.Options{P: p, Table: k} }))
+	}
+	t.FillSpeedups()
+	return t
+}
+
+func constructionSeries(label string, strat baseline.Strategy, data *dataset.Dataset, pr Params) Series {
+	s := Series{Label: label}
+	for _, p := range pr.Ps {
+		var counters baseline.Counters
+		sec := TimeBest(pr.Reps, func() {
+			_, c, err := baseline.Build(strat, data, p)
+			if err != nil {
+				panic(err)
+			}
+			counters = c
+		})
+		s.Points = append(s.Points, Measurement{P: p, Seconds: sec, Counters: counters})
+	}
+	return s
+}
+
+func optionsSeries(label string, data *dataset.Dataset, pr Params, opts func(p int) core.Options) Series {
+	s := Series{Label: label}
+	for _, p := range pr.Ps {
+		sec := TimeBest(pr.Reps, func() {
+			if _, _, err := core.Build(data, opts(p)); err != nil {
+				panic(err)
+			}
+		})
+		s.Points = append(s.Points, Measurement{P: p, Seconds: sec})
+	}
+	return s
+}
+
+func maxPs(ps []int) int {
+	max := 1
+	for _, p := range ps {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+func human(m int) string {
+	switch {
+	case m >= 1000000 && m%1000000 == 0:
+		return fmt.Sprintf("%dM", m/1000000)
+	case m >= 100000:
+		return fmt.Sprintf("%.1fM", float64(m)/1e6)
+	case m >= 1000 && m%1000 == 0:
+		return fmt.Sprintf("%dk", m/1000)
+	default:
+		return fmt.Sprintf("%d", m)
+	}
+}
+
+// WriteBoth renders the time panel and the speedup panel of a figure,
+// matching the paper's (a)/(b) layout.
+func WriteBoth(w io.Writer, t *Table) error {
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := t.SpeedupView().WriteText(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Counters reports the synchronization-work table: for each strategy and
+// worker count, the contention counters that explain the wall-clock
+// curves. These numbers are core-count-independent, which makes them the
+// portable half of the Fig. 3/4 comparison (see EXPERIMENTS.md).
+func CountersTable(m, n, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Counters: synchronization work, m=%s n=%d r=%d", human(m), n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+	for _, strat := range []baseline.Strategy{baseline.GlobalLock, baseline.StripedLock, baseline.CASMap, baseline.WaitFree} {
+		s := Series{Label: strat.String()}
+		for _, p := range pr.Ps {
+			_, counters, err := baseline.Build(strat, data, p)
+			if err != nil {
+				panic(err)
+			}
+			s.Points = append(s.Points, Measurement{P: p, Seconds: 0, Counters: counters})
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+// StagesTable splits wait-free construction into its two stages at each
+// worker count, using the per-stage critical-path timers in core.Stats.
+// The paper's analysis predicts stage 1 = O(m·n/P) (encode + classify +
+// local updates) and stage 2 = O(m/P) (queue drains), so stage 1 should
+// dominate by roughly a factor of n at every P.
+func StagesTable(m, n, r int, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Stages: wait-free construction split, m=%s n=%d r=%d", human(m), n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
+	stage1 := Series{Label: "stage1 (classify+route)"}
+	stage2 := Series{Label: "stage2 (drain)"}
+	for _, p := range pr.Ps {
+		var best1, best2 float64
+		for rep := 0; rep < pr.Reps; rep++ {
+			_, st, err := core.Build(data, core.Options{P: p})
+			if err != nil {
+				panic(err)
+			}
+			s1, s2 := st.Stage1Time.Seconds(), st.Stage2Time.Seconds()
+			if rep == 0 || s1 < best1 {
+				best1 = s1
+			}
+			if rep == 0 || s2 < best2 {
+				best2 = s2
+			}
+		}
+		stage1.Points = append(stage1.Points, Measurement{P: p, Seconds: best1})
+		stage2.Points = append(stage2.Points, Measurement{P: p, Seconds: best2})
+	}
+	t.Series = []Series{stage1, stage2}
+	t.FillSpeedups()
+	return t
+}
+
+// AblationSkew is ablation A6: construction under zipf-skewed data, where
+// partition rules differ in ways uniform data hides. Range partitioning
+// keys on high-order variables and collapses under skew (hot keys land in
+// one partition); modulo and hash stay balanced. Series report wall-clock;
+// partition imbalance is visible through the queue-transfer counters and
+// the per-partition sizes the correctness tests assert on.
+func AblationSkew(m, n, r int, skew float64, pr Params) *Table {
+	pr = pr.withDefaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation A6: partition rule under zipf(%.1f) skew, m=%s n=%d r=%d", skew, human(m), n, r),
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	data := dataset.NewUniformCard(m, n, r)
+	data.Zipf(pr.Seed, skew, maxPs(pr.Ps))
+	for _, k := range []core.PartitionKind{core.PartitionModulo, core.PartitionRange, core.PartitionHash} {
+		t.Series = append(t.Series, optionsSeries("partition="+k.String(), data, pr,
+			func(p int) core.Options { return core.Options{P: p, Partition: k} }))
+	}
+	t.FillSpeedups()
+	return t
+}

@@ -1,0 +1,574 @@
+package bn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// BIF (Bayesian Interchange Format) support, the format the Bayesian
+// network repository the paper cites ([1]) distributes its networks in.
+// WriteBIF/ReadBIF round trip through the subset of the format that
+// repository uses:
+//
+//	network <name> { }
+//	variable <name> { type discrete [ <k> ] { s0, s1, ... }; }
+//	probability ( <child> ) { table p0, p1, ...; }
+//	probability ( <child> | <p1>, <p2> ) { (s_a, s_b) p0, p1, ...; ... }
+//
+// Variables keep their declaration order as ids. State names are preserved
+// on write as "s<i>" unless the network was itself read from BIF, in which
+// case original names survive in the round trip via the name tables
+// returned by ReadBIF.
+
+// WriteBIF serializes the network in BIF. varNames and stateNames may be
+// nil (defaults "x<i>" and "s<i>"); when given, they must cover every
+// variable/state.
+func (n *Network) WriteBIF(w io.Writer, varNames []string, stateNames [][]string) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	vname := func(v int) string {
+		if v < len(varNames) && varNames[v] != "" {
+			return varNames[v]
+		}
+		return fmt.Sprintf("x%d", v)
+	}
+	sname := func(v, s int) string {
+		if v < len(stateNames) && s < len(stateNames[v]) && stateNames[v][s] != "" {
+			return stateNames[v][s]
+		}
+		return fmt.Sprintf("s%d", s)
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "network %s {\n}\n", bifIdent(n.name))
+	for v := 0; v < n.NumVars(); v++ {
+		fmt.Fprintf(bw, "variable %s {\n  type discrete [ %d ] { ", vname(v), n.Cardinality(v))
+		for s := 0; s < n.Cardinality(v); s++ {
+			if s > 0 {
+				bw.WriteString(", ")
+			}
+			bw.WriteString(sname(v, s))
+		}
+		bw.WriteString(" };\n}\n")
+	}
+	for v := 0; v < n.NumVars(); v++ {
+		parents := n.dag.Parents(v)
+		if len(parents) == 0 {
+			fmt.Fprintf(bw, "probability ( %s ) {\n  table ", vname(v))
+			for s, p := range n.cpts[v].rows[0] {
+				if s > 0 {
+					bw.WriteString(", ")
+				}
+				bw.WriteString(formatProb(p))
+			}
+			bw.WriteString(";\n}\n")
+			continue
+		}
+		fmt.Fprintf(bw, "probability ( %s | ", vname(v))
+		for i, p := range parents {
+			if i > 0 {
+				bw.WriteString(", ")
+			}
+			bw.WriteString(vname(p))
+		}
+		bw.WriteString(" ) {\n")
+		// Enumerate parent configurations in our row order (first parent
+		// varies slowest), writing state tuples explicitly.
+		states := make([]int, len(parents))
+		for row := range n.cpts[v].rows {
+			rem := row
+			for k := len(parents) - 1; k >= 0; k-- {
+				states[k] = rem % n.Cardinality(parents[k])
+				rem /= n.Cardinality(parents[k])
+			}
+			bw.WriteString("  (")
+			for k, ps := range states {
+				if k > 0 {
+					bw.WriteString(", ")
+				}
+				bw.WriteString(sname(parents[k], ps))
+			}
+			bw.WriteString(") ")
+			for s, p := range n.cpts[v].rows[row] {
+				if s > 0 {
+					bw.WriteString(", ")
+				}
+				bw.WriteString(formatProb(p))
+			}
+			bw.WriteString(";\n")
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+func formatProb(p float64) string {
+	return strconv.FormatFloat(p, 'g', -1, 64)
+}
+
+func bifIdent(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// ReadBIF parses a BIF document, returning the network plus the variable
+// and state name tables (ids follow declaration order).
+func ReadBIF(r io.Reader) (*Network, []string, [][]string, error) {
+	toks, err := bifTokenize(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p := &bifParser{toks: toks}
+	return p.parse()
+}
+
+// --- tokenizer ---
+
+func bifTokenize(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for {
+		c, _, err := br.ReadRune()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case c == '/':
+			// Line (//) and block (/* */) comments.
+			next, _, err := br.ReadRune()
+			if err != nil {
+				return nil, fmt.Errorf("bn: bif: dangling '/'")
+			}
+			switch next {
+			case '/':
+				for {
+					c, _, err = br.ReadRune()
+					if err != nil || c == '\n' {
+						break
+					}
+				}
+			case '*':
+				prev := rune(0)
+				for {
+					c, _, err = br.ReadRune()
+					if err != nil {
+						return nil, fmt.Errorf("bn: bif: unterminated comment")
+					}
+					if prev == '*' && c == '/' {
+						break
+					}
+					prev = c
+				}
+			default:
+				return nil, fmt.Errorf("bn: bif: unexpected '/%c'", next)
+			}
+			flush()
+		case unicode.IsSpace(c):
+			flush()
+		case strings.ContainsRune("{}()[]|,;", c):
+			flush()
+			toks = append(toks, string(c))
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	flush()
+	return toks, nil
+}
+
+// --- parser ---
+
+type bifParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *bifParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *bifParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *bifParser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("bn: bif: expected %q, got %q (token %d)", want, got, p.pos)
+	}
+	return nil
+}
+
+// skipBlock consumes a balanced { ... } block.
+func (p *bifParser) skipBlock() error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		switch t := p.next(); t {
+		case "{":
+			depth++
+		case "}":
+			depth--
+		case "":
+			return fmt.Errorf("bn: bif: unterminated block")
+		}
+	}
+	return nil
+}
+
+type bifVariable struct {
+	name   string
+	states []string
+}
+
+// cptDecl is one parsed probability block: either the flat "table" row
+// (no parents) or explicit (stateTuple, probabilities) rows.
+type cptDecl struct {
+	child   string
+	parents []string
+	table   []float64
+	tuples  [][]string
+	probs   [][]float64
+}
+
+func (p *bifParser) parse() (*Network, []string, [][]string, error) {
+	netName := "bif"
+	var vars []bifVariable
+	varIdx := map[string]int{}
+	var cpts []cptDecl
+
+	for p.pos < len(p.toks) {
+		switch t := p.next(); t {
+		case "network":
+			netName = p.next()
+			if err := p.skipBlock(); err != nil {
+				return nil, nil, nil, err
+			}
+		case "variable":
+			name := p.next()
+			if name == "" || name == "{" {
+				return nil, nil, nil, fmt.Errorf("bn: bif: variable without a name")
+			}
+			if _, dup := varIdx[name]; dup {
+				return nil, nil, nil, fmt.Errorf("bn: bif: duplicate variable %q", name)
+			}
+			v, err := p.parseVariableBlock(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			varIdx[name] = len(vars)
+			vars = append(vars, v)
+		case "probability":
+			d := cptDecl{}
+			if err := p.expect("("); err != nil {
+				return nil, nil, nil, err
+			}
+			d.child = p.next()
+			if p.peek() == "|" {
+				p.next()
+				for p.peek() != ")" && p.peek() != "" {
+					tok := p.next()
+					if tok == "," {
+						continue
+					}
+					d.parents = append(d.parents, tok)
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, nil, nil, err
+			}
+			if err := p.parseProbabilityBlock(&d); err != nil {
+				return nil, nil, nil, err
+			}
+			cpts = append(cpts, d)
+		case "property":
+			// Skip to the terminating semicolon.
+			for p.peek() != ";" && p.peek() != "" {
+				p.next()
+			}
+			p.next()
+		default:
+			return nil, nil, nil, fmt.Errorf("bn: bif: unexpected token %q", t)
+		}
+	}
+
+	if len(vars) == 0 {
+		return nil, nil, nil, fmt.Errorf("bn: bif: no variables declared")
+	}
+	card := make([]int, len(vars))
+	varNames := make([]string, len(vars))
+	stateNames := make([][]string, len(vars))
+	stateIdx := make([]map[string]int, len(vars))
+	for i, v := range vars {
+		card[i] = len(v.states)
+		varNames[i] = v.name
+		stateNames[i] = v.states
+		stateIdx[i] = map[string]int{}
+		for s, sn := range v.states {
+			if _, dup := stateIdx[i][sn]; dup {
+				return nil, nil, nil, fmt.Errorf("bn: bif: variable %q has duplicate state %q", v.name, sn)
+			}
+			stateIdx[i][sn] = s
+		}
+	}
+	net := NewNetwork(netName, card)
+
+	// Edges first (CPT shapes depend on them).
+	for _, d := range cpts {
+		child, ok := varIdx[d.child]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("bn: bif: probability for undeclared variable %q", d.child)
+		}
+		seenParent := map[int]bool{}
+		for _, pn := range d.parents {
+			parent, ok := varIdx[pn]
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("bn: bif: undeclared parent %q of %q", pn, d.child)
+			}
+			if parent == child {
+				return nil, nil, nil, fmt.Errorf("bn: bif: %q lists itself as a parent", d.child)
+			}
+			if seenParent[parent] {
+				return nil, nil, nil, fmt.Errorf("bn: bif: %q lists parent %q twice", d.child, pn)
+			}
+			seenParent[parent] = true
+			if err := net.AddEdge(parent, child); err != nil {
+				return nil, nil, nil, fmt.Errorf("bn: bif: %w", err)
+			}
+		}
+	}
+	// Then tables.
+	seen := make([]bool, len(vars))
+	for _, d := range cpts {
+		child := varIdx[d.child]
+		if seen[child] {
+			return nil, nil, nil, fmt.Errorf("bn: bif: duplicate probability block for %q", d.child)
+		}
+		seen[child] = true
+		rowsN := net.NumParentRows(child)
+		rows := make([][]float64, rowsN)
+		if len(d.parents) == 0 {
+			if len(d.table) != card[child] {
+				return nil, nil, nil, fmt.Errorf("bn: bif: %q table has %d entries, want %d", d.child, len(d.table), card[child])
+			}
+			rows[0] = d.table
+		} else {
+			// Our rows are indexed by SORTED parent ids; the BIF block
+			// lists parents in its own order. Map each tuple.
+			parentIDs := make([]int, len(d.parents))
+			for i, pn := range d.parents {
+				parentIDs[i] = varIdx[pn]
+			}
+			sorted := append([]int(nil), parentIDs...)
+			sort.Ints(sorted)
+			for ri, tuple := range d.tuples {
+				if len(tuple) != len(d.parents) {
+					return nil, nil, nil, fmt.Errorf("bn: bif: %q row %d has %d states, want %d", d.child, ri, len(tuple), len(d.parents))
+				}
+				// State of each parent id in this row.
+				byID := map[int]int{}
+				for k, sn := range tuple {
+					s, ok := stateIdx[parentIDs[k]][sn]
+					if !ok {
+						return nil, nil, nil, fmt.Errorf("bn: bif: unknown state %q of %q", sn, d.parents[k])
+					}
+					byID[parentIDs[k]] = s
+				}
+				idx := 0
+				for _, pid := range sorted {
+					idx = idx*card[pid] + byID[pid]
+				}
+				if idx < 0 || idx >= rowsN {
+					return nil, nil, nil, fmt.Errorf("bn: bif: row index %d out of range for %q", idx, d.child)
+				}
+				if rows[idx] != nil {
+					return nil, nil, nil, fmt.Errorf("bn: bif: duplicate row %v for %q", tuple, d.child)
+				}
+				if len(d.probs[ri]) != card[child] {
+					return nil, nil, nil, fmt.Errorf("bn: bif: %q row %v has %d probabilities, want %d", d.child, tuple, len(d.probs[ri]), card[child])
+				}
+				rows[idx] = d.probs[ri]
+			}
+			for ri, row := range rows {
+				if row == nil {
+					return nil, nil, nil, fmt.Errorf("bn: bif: %q is missing parent configuration %d", d.child, ri)
+				}
+			}
+		}
+		if err := net.SetCPT(child, rows); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			return nil, nil, nil, fmt.Errorf("bn: bif: variable %q has no probability block", vars[v].name)
+		}
+	}
+	return net, varNames, stateNames, nil
+}
+
+func (p *bifParser) parseVariableBlock(name string) (bifVariable, error) {
+	v := bifVariable{name: name}
+	if err := p.expect("{"); err != nil {
+		return v, err
+	}
+	for {
+		switch t := p.next(); t {
+		case "}":
+			if len(v.states) == 0 {
+				return v, fmt.Errorf("bn: bif: variable %q has no states", name)
+			}
+			return v, nil
+		case "type":
+			if err := p.expect("discrete"); err != nil {
+				return v, err
+			}
+			if err := p.expect("["); err != nil {
+				return v, err
+			}
+			countTok := p.next()
+			count, err := strconv.Atoi(countTok)
+			if err != nil {
+				return v, fmt.Errorf("bn: bif: bad state count %q: %v", countTok, err)
+			}
+			if err := p.expect("]"); err != nil {
+				return v, err
+			}
+			if err := p.expect("{"); err != nil {
+				return v, err
+			}
+			for p.peek() != "}" && p.peek() != "" {
+				tok := p.next()
+				if tok == "," {
+					continue
+				}
+				v.states = append(v.states, tok)
+			}
+			if err := p.expect("}"); err != nil {
+				return v, err
+			}
+			if err := p.expect(";"); err != nil {
+				return v, err
+			}
+			if len(v.states) != count {
+				return v, fmt.Errorf("bn: bif: variable %q declares %d states but lists %d", name, count, len(v.states))
+			}
+		case "property":
+			for p.peek() != ";" && p.peek() != "" {
+				p.next()
+			}
+			p.next()
+		case "":
+			return v, fmt.Errorf("bn: bif: unterminated variable block for %q", name)
+		default:
+			return v, fmt.Errorf("bn: bif: unexpected token %q in variable %q", t, name)
+		}
+	}
+}
+
+func (p *bifParser) parseProbabilityBlock(d *cptDecl) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		switch t := p.next(); t {
+		case "}":
+			if len(d.parents) == 0 && d.table == nil {
+				return fmt.Errorf("bn: bif: %q has no table", d.child)
+			}
+			if len(d.parents) > 0 && len(d.tuples) == 0 {
+				return fmt.Errorf("bn: bif: %q has no rows", d.child)
+			}
+			return nil
+		case "table":
+			probs, err := p.parseNumberList()
+			if err != nil {
+				return err
+			}
+			d.table = probs
+		case "(":
+			var tuple []string
+			for p.peek() != ")" && p.peek() != "" {
+				tok := p.next()
+				if tok == "," {
+					continue
+				}
+				tuple = append(tuple, tok)
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+			probs, err := p.parseNumberList()
+			if err != nil {
+				return err
+			}
+			d.tuples = append(d.tuples, tuple)
+			d.probs = append(d.probs, probs)
+		case "property":
+			for p.peek() != ";" && p.peek() != "" {
+				p.next()
+			}
+			p.next()
+		case "":
+			return fmt.Errorf("bn: bif: unterminated probability block for %q", d.child)
+		default:
+			return fmt.Errorf("bn: bif: unexpected token %q in probability block for %q", t, d.child)
+		}
+	}
+}
+
+// parseNumberList consumes comma-separated floats up to a semicolon.
+func (p *bifParser) parseNumberList() ([]float64, error) {
+	var out []float64
+	for {
+		switch tok := p.next(); tok {
+		case ";":
+			if len(out) == 0 {
+				return nil, fmt.Errorf("bn: bif: empty number list")
+			}
+			return out, nil
+		case ",":
+			continue
+		case "":
+			return nil, fmt.Errorf("bn: bif: unterminated number list")
+		default:
+			f, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bn: bif: bad probability %q: %v", tok, err)
+			}
+			out = append(out, f)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package bn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBIFRoundTrip(t *testing.T) {
+	for _, net := range []*Network{Asia(), Cancer(), Sprinkler(), Chain(5, 3, 0.8), RandomDAG(6, 2, 0.3, 2, 1, 3)} {
+		var buf bytes.Buffer
+		if err := net.WriteBIF(&buf, nil, nil); err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		back, names, states, err := ReadBIF(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", net.Name(), err, buf.String())
+		}
+		if back.NumVars() != net.NumVars() {
+			t.Fatalf("%s: variable count changed", net.Name())
+		}
+		if len(names) != net.NumVars() || len(states) != net.NumVars() {
+			t.Fatalf("%s: name tables wrong size", net.Name())
+		}
+		// Structure preserved.
+		a, b := net.DAG().Edges(), back.DAG().Edges()
+		if len(a) != len(b) {
+			t.Fatalf("%s: edges %v vs %v", net.Name(), a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: edges differ: %v vs %v", net.Name(), a, b)
+			}
+		}
+		// Distribution preserved on sampled configurations.
+		d, err := net.Sample(300, 9, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < d.NumSamples(); i++ {
+			row := d.Row(i)
+			if math.Abs(net.JointProb(row)-back.JointProb(row)) > 1e-12 {
+				t.Fatalf("%s: joint differs after BIF round trip", net.Name())
+			}
+		}
+	}
+}
+
+func TestBIFRoundTripWithNames(t *testing.T) {
+	net := Sprinkler()
+	varNames := []string{"cloudy", "sprinkler", "rain", "wet_grass"}
+	stateNames := [][]string{{"no", "yes"}, {"off", "on"}, {"dry", "wet"}, {"dry", "wet"}}
+	var buf bytes.Buffer
+	if err := net.WriteBIF(&buf, varNames, stateNames); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"variable cloudy", "probability ( wet_grass | sprinkler, rain )", "(off, dry)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("BIF output missing %q:\n%s", want, out)
+		}
+	}
+	back, names, states, err := ReadBIF(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[3] != "wet_grass" || states[1][1] != "on" {
+		t.Errorf("names not preserved: %v / %v", names, states)
+	}
+	if math.Abs(back.JointProb([]uint8{1, 0, 1, 1})-net.JointProb([]uint8{1, 0, 1, 1})) > 1e-12 {
+		t.Error("distribution changed")
+	}
+}
+
+func TestReadBIFHandwritten(t *testing.T) {
+	// A hand-written document exercising comments, odd whitespace, parent
+	// order different from id order, and the repository style.
+	in := `
+// classic sprinkler
+network wetgrass { }
+variable rain { type discrete [ 2 ] { no, yes }; }
+variable sprinkler {
+  type discrete [ 2 ] { off, on };
+}
+/* grass */
+variable grass { type discrete [ 2 ] { dry, wet }; }
+probability ( rain ) { table 0.8, 0.2; }
+probability ( sprinkler | rain ) {
+  (no) 0.6, 0.4;
+  (yes) 0.99, 0.01;
+}
+probability ( grass | sprinkler, rain ) {
+  (off, no) 1.0, 0.0;
+  (off, yes) 0.2, 0.8;
+  (on, no) 0.1, 0.9;
+  (on, yes) 0.01, 0.99;
+}
+`
+	net, names, states, err := ReadBIF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name() != "wetgrass" || net.NumVars() != 3 {
+		t.Fatalf("parsed %q with %d vars", net.Name(), net.NumVars())
+	}
+	if names[0] != "rain" || states[2][1] != "wet" {
+		t.Fatalf("names: %v %v", names, states)
+	}
+	// rain=yes(1), sprinkler=off(0) ⇒ P(grass=wet) = 0.8.
+	sample := []uint8{1, 0, 1}
+	want := 0.2 * 0.99 * 0.8
+	if got := net.JointProb(sample); math.Abs(got-want) > 1e-12 {
+		t.Errorf("joint = %v, want %v", got, want)
+	}
+	// Parent listed in block order (sprinkler, rain) but our parents are
+	// sorted (rain=0, sprinkler=1): the mapping must have been applied.
+	ps := net.DAG().Parents(2)
+	if len(ps) != 2 || ps[0] != 0 || ps[1] != 1 {
+		t.Fatalf("grass parents %v", ps)
+	}
+}
+
+func TestReadBIFErrors(t *testing.T) {
+	cases := map[string]string{
+		"no variables":   `network x { }`,
+		"dup variable":   `variable a { type discrete [ 2 ] { x, y }; } variable a { type discrete [ 2 ] { x, y }; } probability ( a ) { table .5,.5; }`,
+		"state count":    `variable a { type discrete [ 3 ] { x, y }; } probability ( a ) { table 1; }`,
+		"missing cpt":    `variable a { type discrete [ 2 ] { x, y }; }`,
+		"wrong arity":    `variable a { type discrete [ 2 ] { x, y }; } probability ( a ) { table 0.5, 0.25, 0.25; }`,
+		"unknown parent": `variable a { type discrete [ 2 ] { x, y }; } probability ( a | b ) { (x) .5,.5; }`,
+		"unknown state":  `variable a { type discrete [ 2 ] { x, y }; } variable b { type discrete [ 2 ] { x, y }; } probability ( a ) { table .5,.5; } probability ( b | a ) { (z) .5,.5; (y) .5,.5; }`,
+		"missing row":    `variable a { type discrete [ 2 ] { x, y }; } variable b { type discrete [ 2 ] { x, y }; } probability ( a ) { table .5,.5; } probability ( b | a ) { (x) .5,.5; }`,
+		"dup row":        `variable a { type discrete [ 2 ] { x, y }; } variable b { type discrete [ 2 ] { x, y }; } probability ( a ) { table .5,.5; } probability ( b | a ) { (x) .5,.5; (x) .5,.5; }`,
+		"bad number":     `variable a { type discrete [ 2 ] { x, y }; } probability ( a ) { table q, .5; }`,
+		"not a dist":     `variable a { type discrete [ 2 ] { x, y }; } probability ( a ) { table .9,.9; }`,
+		"dup cpt":        `variable a { type discrete [ 2 ] { x, y }; } probability ( a ) { table .5,.5; } probability ( a ) { table .5,.5; }`,
+		"cycle":          `variable a { type discrete [ 2 ] { x, y }; } variable b { type discrete [ 2 ] { x, y }; } probability ( a | b ) { (x) .5,.5; (y) .5,.5; } probability ( b | a ) { (x) .5,.5; (y) .5,.5; }`,
+		"self parent":    `variable a { type discrete [ 2 ] { x, y }; } probability ( a | a ) { (x) .5,.5; (y) .5,.5; }`,
+		"dup parent":     `variable a { type discrete [ 2 ] { x, y }; } variable b { type discrete [ 2 ] { x, y }; } probability ( a ) { table .5,.5; } probability ( b | a, a ) { (x, x) .5,.5; (y, y) .5,.5; }`,
+		"garbage":        `hello world`,
+		"unterminated":   `variable a { type discrete [ 2 ] { x, y };`,
+	}
+	for name, in := range cases {
+		if _, _, _, err := ReadBIF(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteBIFRequiresValidNetwork(t *testing.T) {
+	n := NewNetwork("x", []int{2})
+	var buf bytes.Buffer
+	if err := n.WriteBIF(&buf, nil, nil); err == nil {
+		t.Fatal("WriteBIF accepted unparameterized network")
+	}
+}

@@ -1,0 +1,263 @@
+// Package bn implements discrete Bayesian networks: a DAG over discrete
+// variables plus one conditional probability table (CPT) per variable.
+//
+// The paper evaluates its primitives on synthetic uniform data but the full
+// learning pipeline needs ground-truth networks to measure edge recovery,
+// so this package supplies the generative side: forward (ancestral)
+// sampling into a dataset, joint probability evaluation, and a catalogue of
+// standard test networks.
+package bn
+
+import (
+	"fmt"
+	"math"
+
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/graph"
+	"waitfreebn/internal/rng"
+	"waitfreebn/internal/sched"
+)
+
+// CPT is the conditional probability table of one variable: a row of
+// probabilities over the variable's states for every joint configuration
+// of its parents. Rows are indexed by mixed-radix encoding of the parent
+// states (first parent varies slowest), matching ParentRowIndex.
+type CPT struct {
+	rows [][]float64 // rows[parentCfg][state]
+}
+
+// Network is a discrete Bayesian network. Construct with NewNetwork, add
+// edges, then set CPTs; Validate or Sample will report structural
+// problems.
+type Network struct {
+	name string
+	dag  *graph.DAG
+	card []int
+	cpts []CPT
+}
+
+// NewNetwork creates a network over variables with the given cardinalities.
+func NewNetwork(name string, cardinalities []int) *Network {
+	for j, r := range cardinalities {
+		if r < 1 || r > 256 {
+			panic(fmt.Sprintf("bn: variable %d cardinality %d outside [1,256]", j, r))
+		}
+	}
+	return &Network{
+		name: name,
+		dag:  graph.NewDAG(len(cardinalities)),
+		card: append([]int(nil), cardinalities...),
+		cpts: make([]CPT, len(cardinalities)),
+	}
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// NumVars returns the number of variables.
+func (n *Network) NumVars() int { return len(n.card) }
+
+// Cardinality returns the number of states of variable v.
+func (n *Network) Cardinality(v int) int { return n.card[v] }
+
+// Cardinalities returns a copy of all cardinalities.
+func (n *Network) Cardinalities() []int { return append([]int(nil), n.card...) }
+
+// DAG returns the network's graph (alias; treat as read-only once CPTs are
+// set — adding edges after SetCPT invalidates the table shapes).
+func (n *Network) DAG() *graph.DAG { return n.dag }
+
+// AddEdge inserts the directed edge u→v, returning an error on cycles.
+func (n *Network) AddEdge(u, v int) error { return n.dag.AddEdge(u, v) }
+
+// MustAddEdge is AddEdge that panics on cycle.
+func (n *Network) MustAddEdge(u, v int) { n.dag.MustAddEdge(u, v) }
+
+// NumParentRows returns the number of parent configurations of v.
+func (n *Network) NumParentRows(v int) int {
+	rows := 1
+	for _, p := range n.dag.Parents(v) {
+		rows *= n.card[p]
+	}
+	return rows
+}
+
+// ParentRowIndex computes the CPT row index for variable v given a full
+// sample (one state per network variable).
+func (n *Network) ParentRowIndex(v int, sample []uint8) int {
+	idx := 0
+	for _, p := range n.dag.Parents(v) {
+		idx = idx*n.card[p] + int(sample[p])
+	}
+	return idx
+}
+
+// SetCPT assigns the CPT of v. rows must have NumParentRows(v) rows of
+// Cardinality(v) non-negative entries each, every row summing to 1 within
+// 1e-9.
+func (n *Network) SetCPT(v int, rows [][]float64) error {
+	wantRows := n.NumParentRows(v)
+	if len(rows) != wantRows {
+		return fmt.Errorf("bn: variable %d CPT has %d rows, want %d", v, len(rows), wantRows)
+	}
+	cpt := CPT{rows: make([][]float64, wantRows)}
+	for r, row := range rows {
+		if len(row) != n.card[v] {
+			return fmt.Errorf("bn: variable %d CPT row %d has %d entries, want %d", v, r, len(row), n.card[v])
+		}
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 || math.IsNaN(p) {
+				return fmt.Errorf("bn: variable %d CPT row %d has invalid probability %v", v, r, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("bn: variable %d CPT row %d sums to %v", v, r, sum)
+		}
+		cpt.rows[r] = append([]float64(nil), row...)
+	}
+	n.cpts[v] = cpt
+	return nil
+}
+
+// MustSetCPT is SetCPT that panics on error, for static network catalogues.
+func (n *Network) MustSetCPT(v int, rows [][]float64) {
+	if err := n.SetCPT(v, rows); err != nil {
+		panic(err)
+	}
+}
+
+// CondProb returns P(v = state | parents as in sample).
+func (n *Network) CondProb(v int, state uint8, sample []uint8) float64 {
+	return n.cpts[v].rows[n.ParentRowIndex(v, sample)][state]
+}
+
+// Validate confirms every variable has a complete, well-formed CPT.
+func (n *Network) Validate() error {
+	for v := range n.cpts {
+		if n.cpts[v].rows == nil {
+			return fmt.Errorf("bn: variable %d has no CPT", v)
+		}
+		if len(n.cpts[v].rows) != n.NumParentRows(v) {
+			return fmt.Errorf("bn: variable %d CPT shape stale (edges changed after SetCPT?)", v)
+		}
+	}
+	return nil
+}
+
+// JointProb returns the probability of a complete sample under the network.
+func (n *Network) JointProb(sample []uint8) float64 {
+	if len(sample) != len(n.card) {
+		panic(fmt.Sprintf("bn: sample has %d states, network has %d variables", len(sample), len(n.card)))
+	}
+	p := 1.0
+	for v := range n.card {
+		p *= n.CondProb(v, sample[v], sample)
+	}
+	return p
+}
+
+// Sample forward-samples m observations into a new dataset using p
+// workers. Output is deterministic in seed and independent of p.
+func (n *Network) Sample(m int, seed uint64, p int) (*dataset.Dataset, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	order := n.dag.TopoOrder()
+	d := dataset.New(m, n.card)
+
+	const chunk = 4096
+	chunks := (m + chunk - 1) / chunk
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	if chunks == 0 {
+		return d, nil
+	}
+	if p > chunks {
+		p = chunks
+	}
+	sched.Run(p, func(w int) {
+		sample := make([]uint8, len(n.card))
+		for c := w; c < chunks; c += p {
+			src := rng.NewXoshiro256SS(rng.Mix64(rng.Mix64(seed) ^ rng.Mix64(uint64(c)+0x51ed)))
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > m {
+				hi = m
+			}
+			for i := lo; i < hi; i++ {
+				for _, v := range order {
+					row := n.cpts[v].rows[n.ParentRowIndex(v, sample)]
+					u := src.Float64()
+					acc := 0.0
+					s := 0
+					for ; s < len(row)-1; s++ {
+						acc += row[s]
+						if u < acc {
+							break
+						}
+					}
+					sample[v] = uint8(s)
+				}
+				for v, s := range sample {
+					d.Set(i, v, s)
+				}
+			}
+		}
+	})
+	return d, nil
+}
+
+// TrueMI returns the exact mutual information I(X_i;X_j) in bits implied by
+// the network, computed by exhaustive enumeration of the joint. It is
+// exponential in NumVars and intended for validating learned MI values on
+// small test networks.
+func (n *Network) TrueMI(i, j int) float64 {
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	ri, rj := n.card[i], n.card[j]
+	joint := make([]float64, ri*rj)
+	sample := make([]uint8, len(n.card))
+	var walk func(v int, p float64)
+	order := n.dag.TopoOrder()
+	walk = func(idx int, p float64) {
+		if p == 0 {
+			return
+		}
+		if idx == len(order) {
+			joint[int(sample[i])*rj+int(sample[j])] += p
+			return
+		}
+		v := order[idx]
+		for s := 0; s < n.card[v]; s++ {
+			sample[v] = uint8(s)
+			walk(idx+1, p*n.CondProb(v, uint8(s), sample))
+		}
+		sample[v] = 0
+	}
+	walk(0, 1)
+
+	px := make([]float64, ri)
+	py := make([]float64, rj)
+	for x := 0; x < ri; x++ {
+		for y := 0; y < rj; y++ {
+			px[x] += joint[x*rj+y]
+			py[y] += joint[x*rj+y]
+		}
+	}
+	var mi float64
+	for x := 0; x < ri; x++ {
+		for y := 0; y < rj; y++ {
+			pxy := joint[x*rj+y]
+			if pxy > 0 {
+				mi += pxy * math.Log2(pxy/(px[x]*py[y]))
+			}
+		}
+	}
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}

@@ -1,0 +1,437 @@
+package bn
+
+import (
+	"math"
+	"testing"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/rng"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad cardinality did not panic")
+		}
+	}()
+	NewNetwork("bad", []int{2, 0})
+}
+
+func TestSetCPTValidation(t *testing.T) {
+	n := NewNetwork("t", []int{2, 2})
+	n.MustAddEdge(0, 1)
+	cases := map[string][][]float64{
+		"wrong row count":  {{0.5, 0.5}},
+		"wrong row width":  {{0.5, 0.5}, {1.0}},
+		"negative":         {{1.5, -0.5}, {0.5, 0.5}},
+		"doesn't sum to 1": {{0.5, 0.4}, {0.5, 0.5}},
+	}
+	for name, rows := range cases {
+		if err := n.SetCPT(1, rows); err == nil {
+			t.Errorf("%s: SetCPT accepted invalid table", name)
+		}
+	}
+	if err := n.SetCPT(1, [][]float64{{0.3, 0.7}, {0.9, 0.1}}); err != nil {
+		t.Errorf("valid CPT rejected: %v", err)
+	}
+}
+
+func TestValidateDetectsMissingAndStaleCPTs(t *testing.T) {
+	n := NewNetwork("t", []int{2, 2})
+	if err := n.Validate(); err == nil {
+		t.Error("Validate accepted network without CPTs")
+	}
+	n.MustSetCPT(0, [][]float64{{0.5, 0.5}})
+	n.MustSetCPT(1, [][]float64{{0.5, 0.5}})
+	if err := n.Validate(); err != nil {
+		t.Errorf("Validate rejected complete network: %v", err)
+	}
+	// Adding an edge after CPTs are set invalidates the child's shape.
+	n.MustAddEdge(0, 1)
+	if err := n.Validate(); err == nil {
+		t.Error("Validate accepted stale CPT after edge insertion")
+	}
+}
+
+func TestParentRowIndex(t *testing.T) {
+	n := NewNetwork("t", []int{2, 3, 2})
+	n.MustAddEdge(0, 2)
+	n.MustAddEdge(1, 2)
+	// Parents of 2 are (0, 1) sorted; row = s0*3 + s1.
+	if got := n.ParentRowIndex(2, []uint8{1, 2, 0}); got != 5 {
+		t.Errorf("ParentRowIndex = %d, want 5", got)
+	}
+	if got := n.NumParentRows(2); got != 6 {
+		t.Errorf("NumParentRows = %d, want 6", got)
+	}
+	if got := n.NumParentRows(0); got != 1 {
+		t.Errorf("root NumParentRows = %d, want 1", got)
+	}
+}
+
+func TestJointProbSumsToOne(t *testing.T) {
+	for _, net := range []*Network{Asia(), Cancer(), Chain(5, 3, 0.8), NaiveBayes(4, 2, 0.9)} {
+		nv := net.NumVars()
+		sample := make([]uint8, nv)
+		var total float64
+		var walk func(v int)
+		walk = func(v int) {
+			if v == nv {
+				total += net.JointProb(sample)
+				return
+			}
+			for s := 0; s < net.Cardinality(v); s++ {
+				sample[v] = uint8(s)
+				walk(v + 1)
+			}
+		}
+		walk(0)
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("%s: joint sums to %v", net.Name(), total)
+		}
+	}
+}
+
+func TestJointProbPanicsOnArity(t *testing.T) {
+	net := Cancer()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JointProb with wrong arity did not panic")
+		}
+	}()
+	net.JointProb([]uint8{0, 0})
+}
+
+func TestSampleDeterministicAcrossP(t *testing.T) {
+	net := Asia()
+	a, err := net.Sample(5000, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Sample(5000, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		for j := 0; j < 8; j++ {
+			if a.Get(i, j) != b.Get(i, j) {
+				t.Fatalf("sample (%d,%d) differs across P", i, j)
+			}
+		}
+	}
+}
+
+func TestSampleRequiresCPTs(t *testing.T) {
+	n := NewNetwork("t", []int{2})
+	if _, err := n.Sample(10, 1, 1); err == nil {
+		t.Fatal("Sample succeeded without CPTs")
+	}
+}
+
+func TestSampleEmpiricalMatchesJoint(t *testing.T) {
+	// Empirical frequency of every complete configuration must approach
+	// the network's joint probability.
+	net := Cancer()
+	const m = 200000
+	d, err := net.Sample(m, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint32]int{}
+	for i := 0; i < m; i++ {
+		var key uint32
+		for j := 0; j < 5; j++ {
+			key = key<<1 | uint32(d.Get(i, j))
+		}
+		counts[key]++
+	}
+	sample := make([]uint8, 5)
+	var walk func(v int)
+	walk = func(v int) {
+		if v == 5 {
+			var key uint32
+			for _, s := range sample {
+				key = key<<1 | uint32(s)
+			}
+			want := net.JointProb(sample)
+			got := float64(counts[key]) / m
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("config %v: empirical %.4f vs joint %.4f", sample, got, want)
+			}
+			return
+		}
+		for s := 0; s < 2; s++ {
+			sample[v] = uint8(s)
+			walk(v + 1)
+		}
+	}
+	walk(0)
+}
+
+func TestSampleRootMarginal(t *testing.T) {
+	// Chain root is uniform over r states.
+	net := Chain(4, 3, 0.7)
+	const m = 60000
+	d, err := net.Sample(m, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [3]int
+	for i := 0; i < m; i++ {
+		counts[d.Get(i, 0)]++
+	}
+	for s, c := range counts {
+		if math.Abs(float64(c)/m-1.0/3) > 0.01 {
+			t.Errorf("root state %d frequency %.4f", s, float64(c)/m)
+		}
+	}
+}
+
+func TestTrueMIChain(t *testing.T) {
+	// For the copy-chain with keep=1 the MI between adjacent variables is
+	// log2(r); with keep=1/r the chain is independent (MI=0).
+	perfect := Chain(3, 2, 1)
+	if mi := perfect.TrueMI(0, 1); math.Abs(mi-1) > 1e-9 {
+		t.Errorf("perfect chain I(0;1) = %v, want 1", mi)
+	}
+	if mi := perfect.TrueMI(0, 2); math.Abs(mi-1) > 1e-9 {
+		t.Errorf("perfect chain I(0;2) = %v, want 1", mi)
+	}
+	indep := Chain(3, 2, 0.5)
+	if mi := indep.TrueMI(0, 1); mi > 1e-9 {
+		t.Errorf("independent chain I(0;1) = %v, want 0", mi)
+	}
+}
+
+func TestTrueMIMonotoneAlongChain(t *testing.T) {
+	// Data-processing inequality: I(0;1) >= I(0;2) >= I(0;3).
+	net := Chain(4, 2, 0.85)
+	i01 := net.TrueMI(0, 1)
+	i02 := net.TrueMI(0, 2)
+	i03 := net.TrueMI(0, 3)
+	if !(i01 >= i02 && i02 >= i03) {
+		t.Errorf("DPI violated: %v, %v, %v", i01, i02, i03)
+	}
+	if i01 <= 0 || i03 <= 0 {
+		t.Errorf("chain MIs should be positive: %v, %v", i01, i03)
+	}
+}
+
+func TestEmpiricalMIMatchesTrueMI(t *testing.T) {
+	// End-to-end: sample from Asia, build the potential table with the
+	// wait-free primitive, compute all-pairs MI, compare against the exact
+	// MI from the network.
+	net := Asia()
+	const m = 300000
+	d, err := net.Sample(m, 99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _, err := core.Build(d, core.Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := pt.AllPairsMI(4, core.MIFused)
+	for i := 0; i < 7; i++ {
+		for j := i + 1; j < 8; j++ {
+			want := net.TrueMI(i, j)
+			got := mi.At(i, j)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("I(%d;%d): empirical %.4f vs true %.4f", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCatalogStructures(t *testing.T) {
+	asia := Asia()
+	if asia.NumVars() != 8 || asia.DAG().NumEdges() != 8 {
+		t.Errorf("asia shape: %d vars %d edges", asia.NumVars(), asia.DAG().NumEdges())
+	}
+	if err := asia.Validate(); err != nil {
+		t.Errorf("asia invalid: %v", err)
+	}
+	cancer := Cancer()
+	if cancer.NumVars() != 5 || cancer.DAG().NumEdges() != 4 {
+		t.Errorf("cancer shape: %d vars %d edges", cancer.NumVars(), cancer.DAG().NumEdges())
+	}
+	nb := NaiveBayes(6, 3, 0.8)
+	if nb.DAG().NumEdges() != 5 {
+		t.Errorf("naive bayes edges = %d", nb.DAG().NumEdges())
+	}
+	for v := 1; v < 6; v++ {
+		if ps := nb.DAG().Parents(v); len(ps) != 1 || ps[0] != 0 {
+			t.Errorf("naive bayes parents of %d: %v", v, ps)
+		}
+	}
+}
+
+func TestRandomDAGProperties(t *testing.T) {
+	net := RandomDAG(12, 3, 0.3, 3, 1.0, 5)
+	if err := net.Validate(); err != nil {
+		t.Fatalf("random network invalid: %v", err)
+	}
+	for v := 0; v < 12; v++ {
+		if len(net.DAG().Parents(v)) > 3 {
+			t.Errorf("node %d has %d parents, cap 3", v, len(net.DAG().Parents(v)))
+		}
+	}
+	// Determinism.
+	net2 := RandomDAG(12, 3, 0.3, 3, 1.0, 5)
+	if len(net.DAG().Edges()) != len(net2.DAG().Edges()) {
+		t.Error("RandomDAG not deterministic in seed")
+	}
+	// Sampling from it works.
+	if _, err := net.Sample(1000, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogSpecPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"chain n=0":      func() { Chain(0, 2, 0.5) },
+		"chain r=1":      func() { Chain(3, 1, 0.5) },
+		"chain keep":     func() { Chain(3, 2, 1.5) },
+		"nb n=1":         func() { NaiveBayes(1, 2, 0.5) },
+		"random density": func() { RandomDAG(3, 2, 2.0, 2, 1, 1) },
+		"random alpha":   func() { RandomDAG(3, 2, 0.5, 2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDirichletSamplesAreDistributions(t *testing.T) {
+	src := newTestRNG()
+	for i := 0; i < 100; i++ {
+		d := dirichlet(src, 4, 0.5)
+		sum := 0.0
+		for _, p := range d {
+			if p < 0 {
+				t.Fatalf("negative dirichlet component %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("dirichlet sums to %v", sum)
+		}
+	}
+}
+
+func TestGammaSampleMean(t *testing.T) {
+	// E[Gamma(a)] = a.
+	src := newTestRNG()
+	for _, a := range []float64{0.5, 1, 2, 5} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += gammaSample(src, a)
+		}
+		mean := sum / n
+		if math.Abs(mean-a)/a > 0.05 {
+			t.Errorf("Gamma(%v) sample mean %v", a, mean)
+		}
+	}
+}
+
+func TestSampleIntoDatasetCardinalities(t *testing.T) {
+	net := Chain(4, 5, 0.6)
+	d, err := net.Sample(100, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *dataset.Dataset = d
+	for j := 0; j < 4; j++ {
+		if d.Cardinality(j) != 5 {
+			t.Errorf("dataset cardinality %d", d.Cardinality(j))
+		}
+	}
+}
+
+func newTestRNG() *rng.Xoshiro256SS { return rng.NewXoshiro256SS(123) }
+
+func TestSprinklerNetwork(t *testing.T) {
+	net := Sprinkler()
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if net.NumVars() != 4 || net.DAG().NumEdges() != 4 {
+		t.Fatalf("shape: %d vars %d edges", net.NumVars(), net.DAG().NumEdges())
+	}
+	// Known prior: P(rain=1) = 0.5·0.2 + 0.5·0.8 = 0.5.
+	joint := 0.0
+	sample := make([]uint8, 4)
+	var walk func(v int)
+	walk = func(v int) {
+		if v == 4 {
+			if sample[2] == 1 {
+				joint += net.JointProb(sample)
+			}
+			return
+		}
+		for s := uint8(0); s < 2; s++ {
+			sample[v] = s
+			walk(v + 1)
+		}
+	}
+	walk(0)
+	if math.Abs(joint-0.5) > 1e-12 {
+		t.Errorf("P(rain) = %v, want 0.5", joint)
+	}
+}
+
+func TestGridNetwork(t *testing.T) {
+	net := Grid(3, 4, 2, 0.7)
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if net.NumVars() != 12 {
+		t.Fatalf("vars = %d", net.NumVars())
+	}
+	// Edge count: rows·(cols-1) + (rows-1)·cols = 3·3 + 2·4 = 17.
+	if got := net.DAG().NumEdges(); got != 17 {
+		t.Fatalf("edges = %d, want 17", got)
+	}
+	// Interior node has exactly 2 parents.
+	if got := len(net.DAG().Parents(5)); got != 2 {
+		t.Errorf("interior parents = %d", got)
+	}
+	// Sampling works and adjacent cells correlate.
+	d, err := net.Sample(40000, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := 0; i < d.NumSamples(); i++ {
+		if d.Get(i, 0) == d.Get(i, 1) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / 40000; frac < 0.6 {
+		t.Errorf("adjacent agreement %.3f, expected > 0.6 with keep 0.7", frac)
+	}
+}
+
+func TestGridSpecPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"rows": func() { Grid(0, 2, 2, 0.5) },
+		"r":    func() { Grid(2, 2, 1, 0.5) },
+		"keep": func() { Grid(2, 2, 2, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,350 @@
+package bn
+
+import (
+	"fmt"
+	"math"
+
+	"waitfreebn/internal/rng"
+)
+
+// Asia returns the classic 8-node "Asia" (chest clinic) network of
+// Lauritzen & Spiegelhalter (1988), a standard benchmark from the Bayesian
+// network repository the paper cites. Variables (all binary, state 1 =
+// "yes"):
+//
+//	0 visit-to-Asia  1 smoking  2 tuberculosis  3 lung-cancer
+//	4 bronchitis     5 tb-or-cancer  6 x-ray  7 dyspnea
+func Asia() *Network {
+	n := NewNetwork("asia", []int{2, 2, 2, 2, 2, 2, 2, 2})
+	n.MustAddEdge(0, 2) // asia → tub
+	n.MustAddEdge(1, 3) // smoke → lung
+	n.MustAddEdge(1, 4) // smoke → bronc
+	n.MustAddEdge(2, 5) // tub → either
+	n.MustAddEdge(3, 5) // lung → either
+	n.MustAddEdge(5, 6) // either → xray
+	n.MustAddEdge(5, 7) // either → dysp
+	n.MustAddEdge(4, 7) // bronc → dysp
+
+	n.MustSetCPT(0, [][]float64{{0.99, 0.01}})
+	n.MustSetCPT(1, [][]float64{{0.5, 0.5}})
+	n.MustSetCPT(2, [][]float64{ // P(tub | asia)
+		{0.99, 0.01}, // asia = no
+		{0.95, 0.05}, // asia = yes
+	})
+	n.MustSetCPT(3, [][]float64{ // P(lung | smoke)
+		{0.99, 0.01},
+		{0.90, 0.10},
+	})
+	n.MustSetCPT(4, [][]float64{ // P(bronc | smoke)
+		{0.70, 0.30},
+		{0.40, 0.60},
+	})
+	n.MustSetCPT(5, [][]float64{ // P(either | tub, lung): logical OR
+		{1, 0}, // tub=0, lung=0
+		{0, 1}, // tub=0, lung=1
+		{0, 1}, // tub=1, lung=0
+		{0, 1}, // tub=1, lung=1
+	})
+	n.MustSetCPT(6, [][]float64{ // P(xray | either)
+		{0.95, 0.05},
+		{0.02, 0.98},
+	})
+	n.MustSetCPT(7, [][]float64{ // P(dysp | either, bronc)
+		{0.90, 0.10}, // either=0, bronc=0
+		{0.20, 0.80}, // either=0, bronc=1
+		{0.30, 0.70}, // either=1, bronc=0
+		{0.10, 0.90}, // either=1, bronc=1
+	})
+	return n
+}
+
+// Cancer returns the 5-node "Cancer" network (Korb & Nicholson):
+//
+//	0 pollution  1 smoker  2 cancer  3 x-ray  4 dyspnea
+func Cancer() *Network {
+	n := NewNetwork("cancer", []int{2, 2, 2, 2, 2})
+	n.MustAddEdge(0, 2)
+	n.MustAddEdge(1, 2)
+	n.MustAddEdge(2, 3)
+	n.MustAddEdge(2, 4)
+	n.MustSetCPT(0, [][]float64{{0.9, 0.1}})
+	n.MustSetCPT(1, [][]float64{{0.7, 0.3}})
+	n.MustSetCPT(2, [][]float64{ // P(cancer | pollution, smoker)
+		{0.999, 0.001},
+		{0.97, 0.03},
+		{0.98, 0.02},
+		{0.95, 0.05},
+	})
+	n.MustSetCPT(3, [][]float64{
+		{0.8, 0.2},
+		{0.1, 0.9},
+	})
+	n.MustSetCPT(4, [][]float64{
+		{0.7, 0.3},
+		{0.35, 0.65},
+	})
+	return n
+}
+
+// Chain returns an n-variable chain 0→1→…→n-1 of r-state variables where
+// each child copies its parent with probability keep and otherwise draws
+// uniformly from the remaining states. Chains have known independence
+// structure (X_i ⊥ X_k | X_j for i<j<k), which exercises thinning.
+func Chain(n, r int, keep float64) *Network {
+	if n < 1 || r < 2 || keep < 0 || keep > 1 {
+		panic(fmt.Sprintf("bn: invalid chain spec n=%d r=%d keep=%v", n, r, keep))
+	}
+	card := make([]int, n)
+	for i := range card {
+		card[i] = r
+	}
+	net := NewNetwork(fmt.Sprintf("chain-%d-%d", n, r), card)
+	uniform := make([]float64, r)
+	for s := range uniform {
+		uniform[s] = 1.0 / float64(r)
+	}
+	net.MustSetCPT(0, [][]float64{uniform})
+	other := (1 - keep) / float64(r-1)
+	for v := 1; v < n; v++ {
+		net.MustAddEdge(v-1, v)
+		rows := make([][]float64, r)
+		for ps := 0; ps < r; ps++ {
+			row := make([]float64, r)
+			for s := range row {
+				if s == ps {
+					row[s] = keep
+				} else {
+					row[s] = other
+				}
+			}
+			rows[ps] = row
+		}
+		net.MustSetCPT(v, rows)
+	}
+	return net
+}
+
+// NaiveBayes returns a star network: class variable 0 with n-1 leaf
+// children, each reflecting the class with probability keep.
+func NaiveBayes(n, r int, keep float64) *Network {
+	if n < 2 || r < 2 || keep < 0 || keep > 1 {
+		panic(fmt.Sprintf("bn: invalid naive-bayes spec n=%d r=%d keep=%v", n, r, keep))
+	}
+	card := make([]int, n)
+	for i := range card {
+		card[i] = r
+	}
+	net := NewNetwork(fmt.Sprintf("naive-bayes-%d-%d", n, r), card)
+	uniform := make([]float64, r)
+	for s := range uniform {
+		uniform[s] = 1.0 / float64(r)
+	}
+	net.MustSetCPT(0, [][]float64{uniform})
+	other := (1 - keep) / float64(r-1)
+	rows := make([][]float64, r)
+	for ps := 0; ps < r; ps++ {
+		row := make([]float64, r)
+		for s := range row {
+			if s == ps {
+				row[s] = keep
+			} else {
+				row[s] = other
+			}
+		}
+		rows[ps] = row
+	}
+	for v := 1; v < n; v++ {
+		net.MustAddEdge(0, v)
+		net.MustSetCPT(v, rows)
+	}
+	return net
+}
+
+// RandomDAG returns a random network on n r-state variables: each ordered
+// pair (i, j) with i < j becomes an edge with probability density, capped
+// at maxParents parents per node, with CPT rows drawn from a symmetric
+// Dirichlet(alpha) via the RNG. Deterministic in seed.
+func RandomDAG(n, r int, density float64, maxParents int, alpha float64, seed uint64) *Network {
+	if n < 1 || r < 2 || density < 0 || density > 1 || maxParents < 0 || alpha <= 0 {
+		panic(fmt.Sprintf("bn: invalid random spec n=%d r=%d density=%v maxParents=%d alpha=%v", n, r, density, maxParents, alpha))
+	}
+	card := make([]int, n)
+	for i := range card {
+		card[i] = r
+	}
+	net := NewNetwork(fmt.Sprintf("random-%d-%d-%d", n, r, seed), card)
+	src := rng.NewXoshiro256SS(seed)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if len(net.dag.Parents(j)) >= maxParents {
+				break
+			}
+			if src.Float64() < density {
+				net.MustAddEdge(i, j)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		rows := make([][]float64, net.NumParentRows(v))
+		for ri := range rows {
+			rows[ri] = dirichlet(src, r, alpha)
+		}
+		net.MustSetCPT(v, rows)
+	}
+	return net
+}
+
+// dirichlet draws one symmetric Dirichlet(alpha) sample of dimension k
+// using gamma variates (Marsaglia–Tsang for alpha >= 1, boost for < 1).
+func dirichlet(src *rng.Xoshiro256SS, k int, alpha float64) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(src, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1.0 / float64(k)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func gammaSample(src *rng.Xoshiro256SS, alpha float64) float64 {
+	if alpha < 1 {
+		// Boosting: Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := src.Float64()
+		for u == 0 {
+			u = src.Float64()
+		}
+		return gammaSample(src, alpha+1) * math.Pow(u, 1/alpha)
+	}
+	// Marsaglia–Tsang squeeze method.
+	d := alpha - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := normal(src)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := src.Float64()
+		if u == 0 {
+			continue
+		}
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// normal returns a standard normal variate via Box–Muller.
+func normal(src *rng.Xoshiro256SS) float64 {
+	u1 := src.Float64()
+	for u1 == 0 {
+		u1 = src.Float64()
+	}
+	u2 := src.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Sprinkler returns the classic 4-node wet-grass network (Russell &
+// Norvig):
+//
+//	0 cloudy  1 sprinkler  2 rain  3 wet-grass
+func Sprinkler() *Network {
+	n := NewNetwork("sprinkler", []int{2, 2, 2, 2})
+	n.MustAddEdge(0, 1) // cloudy → sprinkler
+	n.MustAddEdge(0, 2) // cloudy → rain
+	n.MustAddEdge(1, 3) // sprinkler → wet
+	n.MustAddEdge(2, 3) // rain → wet
+	n.MustSetCPT(0, [][]float64{{0.5, 0.5}})
+	n.MustSetCPT(1, [][]float64{ // P(sprinkler | cloudy)
+		{0.5, 0.5},
+		{0.9, 0.1},
+	})
+	n.MustSetCPT(2, [][]float64{ // P(rain | cloudy)
+		{0.8, 0.2},
+		{0.2, 0.8},
+	})
+	n.MustSetCPT(3, [][]float64{ // P(wet | sprinkler, rain)
+		{1.00, 0.00},
+		{0.10, 0.90},
+		{0.10, 0.90},
+		{0.01, 0.99},
+	})
+	return n
+}
+
+// Grid returns a rows×cols lattice network: node (i,j) (numbered
+// row-major) has parents (i-1,j) and (i,j-1) where they exist, with a
+// noisy-copy CPT that follows each parent with weight keep. Grids have
+// higher treewidth than trees or chains, which exercises the
+// conditioning-set machinery and junction-tree construction.
+func Grid(rows, cols, r int, keep float64) *Network {
+	if rows < 1 || cols < 1 || r < 2 || keep < 0 || keep > 1 {
+		panic(fmt.Sprintf("bn: invalid grid spec %dx%d r=%d keep=%v", rows, cols, r, keep))
+	}
+	n := rows * cols
+	card := make([]int, n)
+	for i := range card {
+		card[i] = r
+	}
+	net := NewNetwork(fmt.Sprintf("grid-%dx%d-%d", rows, cols, r), card)
+	id := func(i, j int) int { return i*cols + j }
+	uniform := make([]float64, r)
+	for s := range uniform {
+		uniform[s] = 1.0 / float64(r)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := id(i, j)
+			var parents []int
+			if i > 0 {
+				net.MustAddEdge(id(i-1, j), v)
+				parents = append(parents, id(i-1, j))
+			}
+			if j > 0 {
+				net.MustAddEdge(id(i, j-1), v)
+				parents = append(parents, id(i, j-1))
+			}
+			rowsN := net.NumParentRows(v)
+			cpt := make([][]float64, rowsN)
+			if len(parents) == 0 {
+				cpt[0] = append([]float64(nil), uniform...)
+			} else {
+				// Mixture: follow a uniformly chosen parent with weight
+				// keep, else uniform noise; row index decodes parent
+				// states mixed-radix (first parent slowest).
+				for pr := 0; pr < rowsN; pr++ {
+					row := make([]float64, r)
+					states := make([]int, len(parents))
+					rem := pr
+					for k := len(parents) - 1; k >= 0; k-- {
+						states[k] = rem % r
+						rem /= r
+					}
+					for s := 0; s < r; s++ {
+						row[s] = (1 - keep) / float64(r)
+					}
+					for _, ps := range states {
+						row[ps] += keep / float64(len(parents))
+					}
+					cpt[pr] = row
+				}
+			}
+			net.MustSetCPT(v, cpt)
+		}
+	}
+	return net
+}

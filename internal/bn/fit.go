@@ -1,0 +1,154 @@
+package bn
+
+import (
+	"fmt"
+	"math"
+
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/graph"
+	"waitfreebn/internal/sched"
+)
+
+// FitCPTs estimates the conditional probability tables of a fixed DAG from
+// data by maximum likelihood with Laplace (add-alpha) smoothing:
+//
+//	P(v=s | pa) = (count(v=s, pa) + alpha) / (count(pa) + alpha·r_v)
+//
+// alpha = 0 is plain maximum likelihood (rows never observed fall back to
+// uniform). Counting runs on p workers with private accumulators — the
+// same contention-free pattern as the marginalization primitive.
+//
+// Together with the structure learner this completes the pipeline:
+// skeleton → orientation → DAG → parameters.
+func FitCPTs(name string, dag *graph.DAG, data *dataset.Dataset, alpha float64, p int) (*Network, error) {
+	if dag.N() != data.NumVars() {
+		return nil, fmt.Errorf("bn: DAG has %d vertices, data has %d variables", dag.N(), data.NumVars())
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("bn: negative smoothing %v", alpha)
+	}
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	net := NewNetwork(name, data.Cardinalities())
+	for _, e := range dag.Edges() {
+		if err := net.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("bn: %w", err)
+		}
+	}
+
+	nv := data.NumVars()
+	// Per-variable count matrix offsets: counts for variable v occupy
+	// rows·r_v consecutive cells.
+	offsets := make([]int, nv+1)
+	for v := 0; v < nv; v++ {
+		offsets[v+1] = offsets[v] + net.NumParentRows(v)*net.Cardinality(v)
+	}
+	totalCells := offsets[nv]
+
+	m := data.NumSamples()
+	if p > m && m > 0 {
+		p = m
+	}
+	if p < 1 {
+		p = 1
+	}
+	partials := make([][]float64, p)
+	spans := sched.BlockPartition(m, p)
+	sched.Run(p, func(w int) {
+		counts := make([]float64, totalCells)
+		for i := spans[w].Lo; i < spans[w].Hi; i++ {
+			row := data.Row(i)
+			for v := 0; v < nv; v++ {
+				pr := net.ParentRowIndex(v, row)
+				counts[offsets[v]+pr*net.Cardinality(v)+int(row[v])]++
+			}
+		}
+		partials[w] = counts
+	})
+	counts := partials[0]
+	for w := 1; w < p; w++ {
+		for c, x := range partials[w] {
+			counts[c] += x
+		}
+	}
+
+	for v := 0; v < nv; v++ {
+		rv := net.Cardinality(v)
+		rowsN := net.NumParentRows(v)
+		rows := make([][]float64, rowsN)
+		for pr := 0; pr < rowsN; pr++ {
+			row := make([]float64, rv)
+			var total float64
+			for s := 0; s < rv; s++ {
+				row[s] = counts[offsets[v]+pr*rv+s] + alpha
+				total += row[s]
+			}
+			if total == 0 {
+				// Parent configuration never observed and no smoothing:
+				// fall back to uniform so the CPT stays a distribution.
+				for s := range row {
+					row[s] = 1 / float64(rv)
+				}
+			} else {
+				for s := range row {
+					row[s] /= total
+				}
+			}
+			rows[pr] = row
+		}
+		if err := net.SetCPT(v, rows); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// LogLikelihood returns the total log₂-likelihood of the dataset under the
+// network, computed on p workers. Samples containing a zero-probability
+// configuration contribute -Inf, as they must.
+func (n *Network) LogLikelihood(data *dataset.Dataset, p int) float64 {
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	if data.NumVars() != n.NumVars() {
+		panic(fmt.Sprintf("bn: data has %d variables, network has %d", data.NumVars(), n.NumVars()))
+	}
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	m := data.NumSamples()
+	if p > m && m > 0 {
+		p = m
+	}
+	if m == 0 {
+		return 0
+	}
+	partials := make([]float64, p)
+	spans := sched.BlockPartition(m, p)
+	sched.Run(p, func(w int) {
+		var ll float64
+		for i := spans[w].Lo; i < spans[w].Hi; i++ {
+			row := data.Row(i)
+			for v := 0; v < n.NumVars(); v++ {
+				ll += math.Log2(n.CondProb(v, row[v], row))
+			}
+		}
+		partials[w] = ll
+	})
+	total := 0.0
+	for _, x := range partials {
+		total += x
+	}
+	return total
+}
+
+// MeanLogLikelihood returns LogLikelihood divided by the sample count —
+// the per-sample cross-entropy in bits (negated), a scale-free model fit
+// measure for comparing learned structures.
+func (n *Network) MeanLogLikelihood(data *dataset.Dataset, p int) float64 {
+	if data.NumSamples() == 0 {
+		return 0
+	}
+	return n.LogLikelihood(data, p) / float64(data.NumSamples())
+}

@@ -1,0 +1,61 @@
+package bn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: arbitrary bytes must never panic the model reader, and any
+// accepted model must be valid and re-serializable.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Cancer().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"name":"x","cardinalities":[2],"edges":[],"cpts":[[[0.5,0.5]]]}`)
+	f.Add(`{"cardinalities":[2,2],"edges":[[0,1],[1,0]]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		net, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("accepted model fails validation: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := net.WriteJSON(&out); werr != nil {
+			t.Fatalf("accepted model fails to serialize: %v", werr)
+		}
+	})
+}
+
+// FuzzReadBIF: arbitrary text must never panic the BIF parser; accepted
+// documents must produce valid, re-serializable networks.
+func FuzzReadBIF(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Sprinkler().WriteBIF(&buf, nil, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("network x { }")
+	f.Add("variable a { type discrete [ 2 ] { x, y }; } probability ( a ) { table .5,.5; }")
+	f.Add("// comment\n/* block */ variable")
+	f.Add("probability ( a | b, c ) { (x, y) 1; }")
+	f.Fuzz(func(t *testing.T, input string) {
+		net, _, _, err := ReadBIF(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("accepted network fails validation: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := net.WriteBIF(&out, nil, nil); werr != nil {
+			t.Fatalf("accepted network fails to serialize: %v", werr)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package bn
+
+import "fmt"
+
+// Intervene returns the mutilated network for the intervention do(v = s):
+// all edges into v are severed and v's CPT becomes the point mass on s,
+// while every other CPT is preserved. Querying the result answers causal
+// questions — P(y | do(v=s)) generally differs from the observational
+// P(y | v=s), which is the whole point of learning a directed structure
+// rather than a dependence skeleton.
+func (n *Network) Intervene(v int, s uint8) (*Network, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if v < 0 || v >= n.NumVars() {
+		return nil, fmt.Errorf("bn: intervention variable %d outside [0,%d)", v, n.NumVars())
+	}
+	if int(s) >= n.Cardinality(v) {
+		return nil, fmt.Errorf("bn: intervention state %d out of range for variable %d", s, v)
+	}
+	out := NewNetwork(fmt.Sprintf("%s|do(x%d=%d)", n.name, v, s), n.Cardinalities())
+	for _, e := range n.dag.Edges() {
+		if e[1] == v {
+			continue // sever incoming edges
+		}
+		if err := out.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	for u := 0; u < n.NumVars(); u++ {
+		if u == v {
+			row := make([]float64, n.Cardinality(v))
+			row[s] = 1
+			if err := out.SetCPT(v, [][]float64{row}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Parent sets of other variables are unchanged (only v's parents
+		// were severed), so the CPTs copy over unchanged.
+		rows := make([][]float64, len(n.cpts[u].rows))
+		for r, row := range n.cpts[u].rows {
+			rows[r] = append([]float64(nil), row...)
+		}
+		if err := out.SetCPT(u, rows); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

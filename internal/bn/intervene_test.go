@@ -1,0 +1,127 @@
+package bn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterveneStructure(t *testing.T) {
+	net := Cancer() // pollution(0)→cancer(2)←smoker(1), cancer→xray(3), cancer→dysp(4)
+	mut, err := net.Intervene(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mut.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mut.DAG().Parents(2)) != 0 {
+		t.Errorf("do(cancer) left parents: %v", mut.DAG().Parents(2))
+	}
+	if !mut.DAG().HasEdge(2, 3) || !mut.DAG().HasEdge(2, 4) {
+		t.Error("outgoing edges lost")
+	}
+	// v is clamped.
+	sample := []uint8{0, 0, 0, 0, 0}
+	if p := mut.CondProb(2, 1, sample); p != 1 {
+		t.Errorf("P(cancer=1 | do) = %v", p)
+	}
+}
+
+// enumerate computes P(target = 1) under net by full enumeration.
+func enumerate(net *Network, target int) float64 {
+	nv := net.NumVars()
+	sample := make([]uint8, nv)
+	total := 0.0
+	var walk func(v int)
+	walk = func(v int) {
+		if v == nv {
+			if sample[target] == 1 {
+				total += net.JointProb(sample)
+			}
+			return
+		}
+		for s := 0; s < net.Cardinality(v); s++ {
+			sample[v] = uint8(s)
+			walk(v + 1)
+		}
+	}
+	walk(0)
+	return total
+}
+
+func TestInterveneVsConditioning(t *testing.T) {
+	// In Cancer: conditioning on cancer=1 raises P(smoker) (diagnostic
+	// inference flows upstream), but do(cancer=1) must NOT change
+	// P(smoker): intervention severs the causal inflow.
+	net := Cancer()
+	mut, err := net.Intervene(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorSmoker := enumerate(net, 1)
+	doSmoker := enumerate(mut, 1)
+	if math.Abs(doSmoker-priorSmoker) > 1e-12 {
+		t.Errorf("do(cancer) changed P(smoker): %v vs %v", doSmoker, priorSmoker)
+	}
+	// Downstream effects remain: do(cancer=1) raises P(xray=1) above prior.
+	priorXray := enumerate(net, 3)
+	doXray := enumerate(mut, 3)
+	if doXray <= priorXray {
+		t.Errorf("do(cancer=1) did not raise P(xray): %v vs %v", doXray, priorXray)
+	}
+	// And P(xray | do(cancer=1)) equals the CPT row directly.
+	if math.Abs(doXray-0.9) > 1e-12 {
+		t.Errorf("P(xray|do(cancer=1)) = %v, want 0.9", doXray)
+	}
+}
+
+func TestInterveneErrors(t *testing.T) {
+	net := Cancer()
+	if _, err := net.Intervene(9, 0); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if _, err := net.Intervene(0, 5); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+	if _, err := NewNetwork("x", []int{2}).Intervene(0, 0); err == nil {
+		t.Error("unparameterized network accepted")
+	}
+}
+
+func TestInterveneRootIsNoopDistribution(t *testing.T) {
+	// Intervening on a root only clamps it; the conditional distribution
+	// downstream must match observational conditioning on the same value.
+	net := Chain(4, 2, 0.8)
+	mut, err := net.Intervene(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(x3=1 | do(x0=1)) == P(x3=1 | x0=1) for a root intervention.
+	doP := enumerate(mut, 3)
+	// Observational: P(x3=1 | x0=1) via enumeration.
+	nv := net.NumVars()
+	sample := make([]uint8, nv)
+	joint, marg := 0.0, 0.0
+	var walk func(v int)
+	walk = func(v int) {
+		if v == nv {
+			if sample[0] == 1 {
+				p := net.JointProb(sample)
+				marg += p
+				if sample[3] == 1 {
+					joint += p
+				}
+			}
+			return
+		}
+		for s := 0; s < 2; s++ {
+			sample[v] = uint8(s)
+			walk(v + 1)
+		}
+	}
+	walk(0)
+	cond := joint / marg
+	if math.Abs(doP-cond) > 1e-12 {
+		t.Errorf("root intervention %v != conditioning %v", doP, cond)
+	}
+}

@@ -1,0 +1,95 @@
+package bn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// JSON model serialization, so learned and fitted networks can be saved,
+// versioned, and loaded by other tools. The schema is deliberately plain:
+//
+//	{
+//	  "name": "asia",
+//	  "cardinalities": [2, 2, ...],
+//	  "edges": [[0, 2], [1, 3], ...],
+//	  "cpts": [ [[0.99, 0.01]], ... ]   // cpts[v][parentRow][state]
+//	}
+//
+// Parent rows use the same mixed-radix order as ParentRowIndex (sorted
+// parents, first parent varying slowest).
+
+type networkJSON struct {
+	Name          string        `json:"name"`
+	Cardinalities []int         `json:"cardinalities"`
+	Edges         [][2]int      `json:"edges"`
+	CPTs          [][][]float64 `json:"cpts"`
+}
+
+// WriteJSON serializes the network. The network must be fully
+// parameterized (Validate passes).
+func (n *Network) WriteJSON(w io.Writer) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	out := networkJSON{
+		Name:          n.name,
+		Cardinalities: n.Cardinalities(),
+		Edges:         n.dag.Edges(),
+		CPTs:          make([][][]float64, n.NumVars()),
+	}
+	for v := 0; v < n.NumVars(); v++ {
+		rows := make([][]float64, len(n.cpts[v].rows))
+		for r, row := range n.cpts[v].rows {
+			rows[r] = append([]float64(nil), row...)
+		}
+		out.CPTs[v] = rows
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a network written by WriteJSON, validating
+// structure and probability tables.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var in networkJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("bn: decoding model: %w", err)
+	}
+	if len(in.Cardinalities) == 0 {
+		return nil, fmt.Errorf("bn: model has no variables")
+	}
+	for j, c := range in.Cardinalities {
+		if c < 1 || c > 256 {
+			return nil, fmt.Errorf("bn: variable %d cardinality %d outside [1,256]", j, c)
+		}
+	}
+	net := NewNetwork(in.Name, in.Cardinalities)
+	for _, e := range in.Edges {
+		if e[0] < 0 || e[0] >= net.NumVars() || e[1] < 0 || e[1] >= net.NumVars() || e[0] == e[1] {
+			return nil, fmt.Errorf("bn: invalid edge %v", e)
+		}
+		if err := net.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("bn: %w", err)
+		}
+	}
+	if len(in.CPTs) != net.NumVars() {
+		return nil, fmt.Errorf("bn: model has %d CPTs for %d variables", len(in.CPTs), net.NumVars())
+	}
+	for v, rows := range in.CPTs {
+		for _, row := range rows {
+			for _, p := range row {
+				if math.IsNaN(p) || math.IsInf(p, 0) {
+					return nil, fmt.Errorf("bn: variable %d CPT contains non-finite probability", v)
+				}
+			}
+		}
+		if err := net.SetCPT(v, rows); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}

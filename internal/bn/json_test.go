@@ -1,0 +1,84 @@
+package bn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, net := range []*Network{Asia(), Cancer(), Chain(5, 3, 0.8), RandomDAG(7, 2, 0.3, 2, 1, 9)} {
+		var buf bytes.Buffer
+		if err := net.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		if back.Name() != net.Name() || back.NumVars() != net.NumVars() {
+			t.Fatalf("%s: identity lost", net.Name())
+		}
+		// Structure preserved.
+		a, b := net.DAG().Edges(), back.DAG().Edges()
+		if len(a) != len(b) {
+			t.Fatalf("%s: edge count %d != %d", net.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: edges differ", net.Name())
+			}
+		}
+		// Distribution preserved: joint probabilities agree on samples.
+		d, err := net.Sample(200, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < d.NumSamples(); i++ {
+			row := d.Row(i)
+			if math.Abs(net.JointProb(row)-back.JointProb(row)) > 1e-15 {
+				t.Fatalf("%s: joint differs after round trip", net.Name())
+			}
+		}
+	}
+}
+
+func TestWriteJSONRequiresValidNetwork(t *testing.T) {
+	n := NewNetwork("incomplete", []int{2})
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err == nil {
+		t.Fatal("WriteJSON accepted network without CPTs")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"no variables": `{"name":"x","cardinalities":[],"edges":[],"cpts":[]}`,
+		"bad card":     `{"name":"x","cardinalities":[0],"edges":[],"cpts":[[[1.0]]]}`,
+		"bad edge":     `{"name":"x","cardinalities":[2,2],"edges":[[0,5]],"cpts":[[[0.5,0.5]],[[0.5,0.5]]]}`,
+		"self loop":    `{"name":"x","cardinalities":[2,2],"edges":[[1,1]],"cpts":[[[0.5,0.5]],[[0.5,0.5]]]}`,
+		"cycle":        `{"name":"x","cardinalities":[2,2],"edges":[[0,1],[1,0]],"cpts":[[[0.5,0.5]],[[0.5,0.5]]]}`,
+		"cpt count":    `{"name":"x","cardinalities":[2,2],"edges":[],"cpts":[[[0.5,0.5]]]}`,
+		"cpt rows":     `{"name":"x","cardinalities":[2,2],"edges":[[0,1]],"cpts":[[[0.5,0.5]],[[0.5,0.5]]]}`,
+		"not a dist":   `{"name":"x","cardinalities":[2],"edges":[],"cpts":[[[0.7,0.7]]]}`,
+		"non-finite":   `{"name":"x","cardinalities":[2],"edges":[],"cpts":[[[1e999,0]]]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONMinimalValid(t *testing.T) {
+	in := `{"name":"coin","cardinalities":[2],"edges":[],"cpts":[[[0.4,0.6]]]}`
+	net, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := net.JointProb([]uint8{1}); math.Abs(p-0.6) > 1e-15 {
+		t.Errorf("P = %v", p)
+	}
+}

@@ -1,0 +1,49 @@
+package bn
+
+import (
+	"math"
+
+	"waitfreebn/internal/dataset"
+)
+
+// Model-selection scores for comparing candidate structures, as used by
+// the score-based learning paradigm the paper contrasts with (Section III:
+// likelihood, posterior and Bayesian-metric scores). Scores are computed
+// for a fully parameterized network against a dataset; higher is better.
+
+// NumParameters returns the number of free parameters of the network:
+// Σ_v parentRows(v) · (r_v - 1).
+func (n *Network) NumParameters() int {
+	total := 0
+	for v := 0; v < n.NumVars(); v++ {
+		total += n.NumParentRows(v) * (n.Cardinality(v) - 1)
+	}
+	return total
+}
+
+// BIC returns the Bayesian information criterion in bits:
+//
+//	LL(data) - (k/2)·log₂(m)
+//
+// where k is the number of free parameters and m the sample count. BIC is
+// consistent: with enough data it ranks the true structure highest.
+func (n *Network) BIC(data *dataset.Dataset, p int) float64 {
+	m := float64(data.NumSamples())
+	if m == 0 {
+		return 0
+	}
+	return n.LogLikelihood(data, p) - float64(n.NumParameters())/2*math.Log2(m)
+}
+
+// AIC returns the Akaike information criterion in bits:
+//
+//	LL(data) - k/ln 2
+//
+// (the usual -2·lnL + 2k rescaled to the bit/log₂ convention used across
+// this repository, so AIC and BIC are directly comparable to LogLikelihood).
+func (n *Network) AIC(data *dataset.Dataset, p int) float64 {
+	if data.NumSamples() == 0 {
+		return 0
+	}
+	return n.LogLikelihood(data, p) - float64(n.NumParameters())/math.Ln2
+}

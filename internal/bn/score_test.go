@@ -1,0 +1,84 @@
+package bn
+
+import (
+	"testing"
+
+	"waitfreebn/internal/graph"
+)
+
+func TestNumParameters(t *testing.T) {
+	// Chain of 4 binary vars: root 1 param + 3 children × 2 rows × 1.
+	net := Chain(4, 2, 0.8)
+	if got := net.NumParameters(); got != 1+3*2 {
+		t.Errorf("chain params = %d, want 7", got)
+	}
+	// Asia: roots 1+1, 2-row binaries 2×4, either 4 rows, dysp 4 rows.
+	asia := Asia()
+	want := 1 + 1 + 2 + 2 + 2 + 4 + 2 + 4
+	if got := asia.NumParameters(); got != want {
+		t.Errorf("asia params = %d, want %d", got, want)
+	}
+}
+
+func TestBICPrefersTrueStructure(t *testing.T) {
+	truth := Chain(5, 2, 0.85)
+	d, err := truth.Sample(50000, 91, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := FitCPTs("right", truth.DAG(), d, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := FitCPTs("empty", graph.NewDAG(5), d, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overfull: every variable gets both earlier neighbors as parents.
+	full := graph.NewDAG(5)
+	for j := 1; j < 5; j++ {
+		full.MustAddEdge(j-1, j)
+		if j >= 2 {
+			full.MustAddEdge(j-2, j)
+		}
+	}
+	over, err := FitCPTs("over", full, d, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bicRight := right.BIC(d, 4)
+	bicEmpty := empty.BIC(d, 4)
+	bicOver := over.BIC(d, 4)
+	if bicRight <= bicEmpty {
+		t.Errorf("BIC(true)=%v should beat BIC(empty)=%v", bicRight, bicEmpty)
+	}
+	if bicRight <= bicOver {
+		t.Errorf("BIC(true)=%v should beat BIC(overfull)=%v", bicRight, bicOver)
+	}
+}
+
+func TestAICPenalizesLessThanBICAtScale(t *testing.T) {
+	truth := Chain(4, 2, 0.8)
+	d, err := truth.Sample(10000, 92, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitCPTs("f", truth.DAG(), d, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll := fit.LogLikelihood(d, 2)
+	aic := fit.AIC(d, 2)
+	bic := fit.BIC(d, 2)
+	if !(bic < aic && aic < ll) {
+		t.Errorf("expected BIC (%v) < AIC (%v) < LL (%v) at m=10000", bic, aic, ll)
+	}
+}
+
+func TestScoresEmptyData(t *testing.T) {
+	net := Cancer()
+	d, _ := net.Sample(0, 1, 1)
+	if net.BIC(d, 1) != 0 || net.AIC(d, 1) != 0 {
+		t.Error("scores on empty data should be 0")
+	}
+}

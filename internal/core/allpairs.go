@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"waitfreebn/internal/sched"
+	"waitfreebn/internal/stats"
+)
+
+// MISchedule selects how Algorithm 4 distributes the n(n-1)/2 pairwise
+// mutual-information computations over workers (ablation A3).
+type MISchedule int
+
+const (
+	// MIPartitionParallel runs Algorithm 4 as written: pairs are processed
+	// one at a time, and for each pair all P workers cooperate on the
+	// marginalization (Algorithm 3 with P cores), followed by a merge and
+	// one Ent evaluation.
+	MIPartitionParallel MISchedule = iota
+	// MIPairParallel distributes pairs cyclically across workers; each
+	// worker scans the whole table for each of its pairs and computes MI
+	// locally. No synchronization per pair, but every worker reads every
+	// partition.
+	MIPairParallel
+	// MIFused makes a single pass over the table per worker, decoding each
+	// key once into its full state string and updating all n(n-1)/2
+	// contingency tables; partial contingency sets are merged at the end.
+	// This trades memory (n²r²/2 cells per worker) for touching each table
+	// entry once instead of once per pair — an optimization beyond the
+	// paper, benchmarked as ablation A3.
+	MIFused
+	// MIPairDynamic is MIPairParallel with dynamic chunk claiming instead
+	// of static cyclic assignment: workers pull the next pair from a
+	// shared atomic counter, so per-pair cost variation (mixed
+	// cardinalities, rebalanced partitions) cannot strand a worker idle.
+	MIPairDynamic
+)
+
+// String returns the schedule's human-readable name.
+func (s MISchedule) String() string {
+	switch s {
+	case MIPartitionParallel:
+		return "partition-parallel"
+	case MIPairParallel:
+		return "pair-parallel"
+	case MIFused:
+		return "fused"
+	case MIPairDynamic:
+		return "pair-dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// MIMatrix holds I(X_i;X_j) for all unordered pairs i < j over n variables,
+// stored as a flattened strictly-upper-triangular matrix.
+type MIMatrix struct {
+	N      int
+	values []float64
+}
+
+// NewMIMatrix returns a zeroed matrix for n variables.
+func NewMIMatrix(n int) *MIMatrix {
+	if n < 1 {
+		panic(fmt.Sprintf("core: NewMIMatrix with n = %d", n))
+	}
+	return &MIMatrix{N: n, values: make([]float64, n*(n-1)/2)}
+}
+
+// PairIndex flattens an unordered pair to its triangular index. It panics
+// unless 0 <= i < j < n.
+func (m *MIMatrix) PairIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	if i < 0 || i == j || j >= m.N {
+		panic(fmt.Sprintf("core: pair (%d,%d) invalid for n = %d", i, j, m.N))
+	}
+	// Offset of row i in the packed triangle plus the column offset.
+	return i*(2*m.N-i-1)/2 + (j - i - 1)
+}
+
+// At returns I(X_i;X_j).
+func (m *MIMatrix) At(i, j int) float64 { return m.values[m.PairIndex(i, j)] }
+
+// Set assigns I(X_i;X_j).
+func (m *MIMatrix) Set(i, j int, v float64) { m.values[m.PairIndex(i, j)] = v }
+
+// NumPairs returns n(n-1)/2.
+func (m *MIMatrix) NumPairs() int { return len(m.values) }
+
+// ForEachPair calls fn(i, j, value) for every pair in (i, j) order.
+func (m *MIMatrix) ForEachPair(fn func(i, j int, v float64)) {
+	idx := 0
+	for i := 0; i < m.N-1; i++ {
+		for j := i + 1; j < m.N; j++ {
+			fn(i, j, m.values[idx])
+			idx++
+		}
+	}
+}
+
+// AllPairsMI computes the mutual information of every pair of variables
+// from the potential table (Algorithm 4) using p workers and the given
+// schedule. p <= 0 selects GOMAXPROCS.
+func (t *PotentialTable) AllPairsMI(p int, schedule MISchedule) *MIMatrix {
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	n := t.codec.NumVars()
+	mi := NewMIMatrix(n)
+	switch schedule {
+	case MIPartitionParallel:
+		t.allPairsPartitionParallel(mi, p)
+	case MIPairParallel:
+		t.allPairsPairParallel(mi, p)
+	case MIFused:
+		t.allPairsFused(mi, p)
+	case MIPairDynamic:
+		t.allPairsPairDynamic(mi, p)
+	default:
+		panic("core: unknown MI schedule")
+	}
+	return mi
+}
+
+// allPairsPartitionParallel is Algorithm 4 as printed: a sequential loop
+// over pairs, each marginalized by all P workers (Algorithm 3), with P(x)
+// and P(y) recovered from the pairwise joint by summation.
+func (t *PotentialTable) allPairsPartitionParallel(mi *MIMatrix, p int) {
+	n := mi.N
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			joint := t.MarginalizePair(i, j, p)
+			mi.Set(i, j, stats.MutualInfoCounts(joint.Counts, joint.Card[0], joint.Card[1]))
+		}
+	}
+}
+
+// allPairsPairParallel distributes pairs cyclically across workers.
+func (t *PotentialTable) allPairsPairParallel(mi *MIMatrix, p int) {
+	n := mi.N
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, mi.NumPairs())
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	assign := sched.CyclicAssign(len(pairs), p)
+	sched.Run(p, func(w int) {
+		for _, pi := range assign[w] {
+			pr := pairs[pi]
+			dec := t.codec.PairDecoder(pr.i, pr.j)
+			ri, rj := t.codec.Cardinality(pr.i), t.codec.Cardinality(pr.j)
+			counts := make([]uint64, ri*rj)
+			for _, part := range t.parts {
+				part.Range(func(key, count uint64) bool {
+					counts[dec.Cell(key)] += count
+					return true
+				})
+			}
+			mi.Set(pr.i, pr.j, stats.MutualInfoCounts(counts, ri, rj))
+		}
+	})
+}
+
+// allPairsPairDynamic distributes pairs with dynamic chunk claiming.
+func (t *PotentialTable) allPairsPairDynamic(mi *MIMatrix, p int) {
+	n := mi.N
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, mi.NumPairs())
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	sched.DynamicFor(len(pairs), p, 1, func(pi int) {
+		pr := pairs[pi]
+		dec := t.codec.PairDecoder(pr.i, pr.j)
+		ri, rj := t.codec.Cardinality(pr.i), t.codec.Cardinality(pr.j)
+		counts := make([]uint64, ri*rj)
+		for _, part := range t.parts {
+			part.Range(func(key, count uint64) bool {
+				counts[dec.Cell(key)] += count
+				return true
+			})
+		}
+		mi.Set(pr.i, pr.j, stats.MutualInfoCounts(counts, ri, rj))
+	})
+}
+
+// allPairsFused scans each partition once, decodes every key fully, and
+// updates all pairwise contingency tables in one pass.
+func (t *PotentialTable) allPairsFused(mi *MIMatrix, p int) {
+	n := mi.N
+	if p > len(t.parts) {
+		p = len(t.parts)
+	}
+	// Per-pair contingency table offsets within one flat slice.
+	offsets := make([]int, mi.NumPairs()+1)
+	idx := 0
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			offsets[idx+1] = offsets[idx] + t.codec.Cardinality(i)*t.codec.Cardinality(j)
+			idx++
+		}
+	}
+	totalCells := offsets[len(offsets)-1]
+
+	partials := make([][]uint64, p)
+	assign := t.partitionAssignment(p)
+	sched.Run(p, func(w int) {
+		counts := make([]uint64, totalCells)
+		states := make([]uint8, 0, n)
+		for _, part := range assign[w] {
+			t.parts[part].Range(func(key, count uint64) bool {
+				states = t.codec.Decode(key, states[:0])
+				pairIdx := 0
+				for i := 0; i < n-1; i++ {
+					si := int(states[i])
+					for j := i + 1; j < n; j++ {
+						rj := t.codec.Cardinality(j)
+						counts[offsets[pairIdx]+si*rj+int(states[j])] += count
+						pairIdx++
+					}
+				}
+				return true
+			})
+		}
+		partials[w] = counts
+	})
+
+	merged := partials[0]
+	for w := 1; w < p; w++ {
+		for c, v := range partials[w] {
+			merged[c] += v
+		}
+	}
+	idx = 0
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			ri, rj := t.codec.Cardinality(i), t.codec.Cardinality(j)
+			mi.Set(i, j, stats.MutualInfoCounts(merged[offsets[idx]:offsets[idx+1]], ri, rj))
+			idx++
+		}
+	}
+}

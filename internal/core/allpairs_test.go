@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/stats"
+)
+
+func TestMIMatrixIndexing(t *testing.T) {
+	m := NewMIMatrix(5)
+	if m.NumPairs() != 10 {
+		t.Fatalf("NumPairs = %d, want 10", m.NumPairs())
+	}
+	// Indices must be a bijection onto [0, 10).
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 5; j++ {
+			idx := m.PairIndex(i, j)
+			if idx < 0 || idx >= 10 || seen[idx] {
+				t.Fatalf("PairIndex(%d,%d) = %d invalid or duplicate", i, j, idx)
+			}
+			seen[idx] = true
+			// Symmetry of argument order.
+			if m.PairIndex(j, i) != idx {
+				t.Fatalf("PairIndex(%d,%d) != PairIndex(%d,%d)", j, i, i, j)
+			}
+		}
+	}
+}
+
+func TestMIMatrixSetAt(t *testing.T) {
+	m := NewMIMatrix(4)
+	m.Set(1, 3, 0.5)
+	if got := m.At(1, 3); got != 0.5 {
+		t.Errorf("At(1,3) = %v", got)
+	}
+	if got := m.At(3, 1); got != 0.5 {
+		t.Errorf("At(3,1) = %v (symmetric access)", got)
+	}
+}
+
+func TestMIMatrixForEachPair(t *testing.T) {
+	m := NewMIMatrix(4)
+	count := 0
+	var lastI, lastJ = -1, -1
+	m.ForEachPair(func(i, j int, v float64) {
+		if i >= j {
+			t.Fatalf("ForEachPair yielded (%d,%d)", i, j)
+		}
+		if i < lastI || (i == lastI && j <= lastJ) {
+			t.Fatalf("ForEachPair out of order: (%d,%d) after (%d,%d)", i, j, lastI, lastJ)
+		}
+		lastI, lastJ = i, j
+		count++
+	})
+	if count != 6 {
+		t.Fatalf("ForEachPair visited %d pairs, want 6", count)
+	}
+}
+
+func TestMIMatrixPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n<1":      func() { NewMIMatrix(0) },
+		"i==j":     func() { NewMIMatrix(3).PairIndex(1, 1) },
+		"j>=n":     func() { NewMIMatrix(3).PairIndex(0, 3) },
+		"negative": func() { NewMIMatrix(3).PairIndex(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// bruteAllPairsMI computes all-pairs MI directly from the dataset.
+func bruteAllPairsMI(d *dataset.Dataset) *MIMatrix {
+	n := d.NumVars()
+	mi := NewMIMatrix(n)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			ri, rj := d.Cardinality(i), d.Cardinality(j)
+			counts := make([]uint64, ri*rj)
+			for s := 0; s < d.NumSamples(); s++ {
+				counts[int(d.Get(s, i))*rj+int(d.Get(s, j))]++
+			}
+			mi.Set(i, j, stats.MutualInfoCounts(counts, ri, rj))
+		}
+	}
+	return mi
+}
+
+func matricesEqual(a, b *MIMatrix, tol float64) bool {
+	if a.N != b.N {
+		return false
+	}
+	equal := true
+	a.ForEachPair(func(i, j int, v float64) {
+		if math.Abs(v-b.At(i, j)) > tol {
+			equal = false
+		}
+	})
+	return equal
+}
+
+func TestAllPairsMIAllSchedulesMatchBruteForce(t *testing.T) {
+	d := uniformData(t, 8000, 7, 3, 30)
+	pt, _, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteAllPairsMI(d)
+	for _, sch := range []MISchedule{MIPartitionParallel, MIPairParallel, MIFused, MIPairDynamic} {
+		got := pt.AllPairsMI(4, sch)
+		if !matricesEqual(got, want, 1e-12) {
+			t.Errorf("schedule %v differs from brute force", sch)
+		}
+	}
+}
+
+func TestAllPairsMIIndependentOfWorkers(t *testing.T) {
+	d := uniformData(t, 5000, 6, 2, 31)
+	pt, _, err := Build(d, Options{P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := pt.AllPairsMI(1, MIFused)
+	for _, p := range []int{2, 5, 16} {
+		for _, sch := range []MISchedule{MIPartitionParallel, MIPairParallel, MIFused, MIPairDynamic} {
+			if got := pt.AllPairsMI(p, sch); !matricesEqual(got, ref, 1e-12) {
+				t.Errorf("p=%d schedule %v differs", p, sch)
+			}
+		}
+	}
+}
+
+func TestAllPairsMIDetectsPlantedDependence(t *testing.T) {
+	// Variables 0..4 independent uniform, but variable 1 copied into 3:
+	// I(1;3) should be ~1 bit, every other pair ~0.
+	const m = 20000
+	d := dataset.NewUniformCard(m, 5, 2)
+	d.UniformIndependent(32, 4)
+	for i := 0; i < m; i++ {
+		d.Set(i, 3, d.Get(i, 1))
+	}
+	pt, _, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := pt.AllPairsMI(4, MIFused)
+	if got := mi.At(1, 3); got < 0.99 {
+		t.Errorf("I(1;3) = %v, want ~1", got)
+	}
+	mi.ForEachPair(func(i, j int, v float64) {
+		if i == 1 && j == 3 {
+			return
+		}
+		if v > 0.01 {
+			t.Errorf("I(%d;%d) = %v, want ~0 for independent pair", i, j, v)
+		}
+	})
+}
+
+func TestAllPairsMINoisyChannel(t *testing.T) {
+	// Variable 2 = variable 0 with 10% flip noise: the binary symmetric
+	// channel with crossover 0.1 has capacity-related MI
+	// I = 1 - H(0.1) ≈ 0.531 bits when the input is uniform.
+	const m = 100000
+	d := dataset.NewUniformCard(m, 3, 2)
+	d.UniformIndependent(33, 4)
+	flip := dataset.NewUniformCard(m, 1, 10)
+	flip.UniformIndependent(34, 4)
+	for i := 0; i < m; i++ {
+		v := d.Get(i, 0)
+		if flip.Get(i, 0) == 0 { // 10% chance
+			v ^= 1
+		}
+		d.Set(i, 2, v)
+	}
+	pt, _, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := pt.AllPairsMI(4, MIFused)
+	h01 := -0.1*math.Log2(0.1) - 0.9*math.Log2(0.9)
+	want := 1 - h01
+	if got := mi.At(0, 2); math.Abs(got-want) > 0.02 {
+		t.Errorf("I(0;2) = %v, want ~%v", got, want)
+	}
+}
+
+func TestAllPairsMIUnknownSchedulePanics(t *testing.T) {
+	d := uniformData(t, 100, 3, 2, 35)
+	pt, _, _ := Build(d, Options{P: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown schedule did not panic")
+		}
+	}()
+	pt.AllPairsMI(2, MISchedule(99))
+}
+
+func TestScheduleAndKindStrings(t *testing.T) {
+	if MIPartitionParallel.String() != "partition-parallel" ||
+		MIPairParallel.String() != "pair-parallel" ||
+		MIFused.String() != "fused" ||
+		MIPairDynamic.String() != "pair-dynamic" ||
+		MISchedule(9).String() != "unknown" {
+		t.Error("MISchedule.String mismatch")
+	}
+	if PartitionModulo.String() != "modulo" || PartitionRange.String() != "range" ||
+		PartitionHash.String() != "hash" || PartitionKind(9).String() != "unknown" {
+		t.Error("PartitionKind.String mismatch")
+	}
+	if TableOpenAddressing.String() != "open-addressing" || TableChained.String() != "chained" ||
+		TableGoMap.String() != "gomap" || TableKind(9).String() != "unknown" {
+		t.Error("TableKind.String mismatch")
+	}
+}
+
+func TestAllPairsMIMixedCardinalities(t *testing.T) {
+	d := dataset.New(6000, []int{2, 3, 4, 2, 5})
+	d.UniformIndependent(36, 4)
+	pt, _, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteAllPairsMI(d)
+	for _, sch := range []MISchedule{MIPartitionParallel, MIPairParallel, MIFused, MIPairDynamic} {
+		if got := pt.AllPairsMI(3, sch); !matricesEqual(got, want, 1e-12) {
+			t.Errorf("schedule %v differs on mixed cardinalities", sch)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/hashtable"
+	"waitfreebn/internal/sched"
+	"waitfreebn/internal/spsc"
+)
+
+// Options configures the wait-free table construction primitive. The zero
+// value selects the paper's configuration at P = GOMAXPROCS: modulo
+// partitioning, unbounded chunked queues, open-addressing tables.
+type Options struct {
+	// P is the number of cores (workers, partitions). 0 means GOMAXPROCS.
+	P int
+	// Partition selects the key→owner mapping (ablation A2).
+	Partition PartitionKind
+	// Queue selects the inter-core queue implementation (ablation A1).
+	Queue spsc.Kind
+	// RingCapacity sizes each queue when Queue == spsc.KindRing. 0 sizes
+	// each ring to hold a worker's entire block (m/P rounded up), which
+	// can never overflow.
+	RingCapacity int
+	// Table selects the per-partition count table (ablation A4).
+	Table TableKind
+	// TableHint pre-sizes each partition table. 0 applies a heuristic
+	// based on m and the key space.
+	TableHint int
+}
+
+func (o Options) withDefaults(m int, keySpace uint64) Options {
+	if o.P <= 0 {
+		o.P = sched.DefaultP()
+	}
+	if o.RingCapacity <= 0 {
+		o.RingCapacity = (m + o.P - 1) / o.P
+		if o.RingCapacity == 0 {
+			o.RingCapacity = 1
+		}
+	}
+	if o.TableHint <= 0 {
+		// Expected distinct keys is at most min(m, keySpace); assume they
+		// spread evenly over partitions and pad by 2× to absorb skew.
+		distinct := uint64(m)
+		if keySpace < distinct {
+			distinct = keySpace
+		}
+		hint := distinct / uint64(o.P) * 2
+		if hint > 1<<24 {
+			hint = 1 << 24 // cap the up-front allocation; tables grow on demand
+		}
+		o.TableHint = int(hint)
+	}
+	return o
+}
+
+// Stats reports what the construction primitive did, for instrumentation
+// and for the contention-shape comparisons in EXPERIMENTS.md.
+type Stats struct {
+	P            int    // workers used
+	LocalKeys    uint64 // stage-1 keys updated directly in the owner's table
+	ForeignKeys  uint64 // stage-1 keys routed through queues
+	Stage2Pops   uint64 // keys drained in stage 2 (== ForeignKeys on success)
+	DistinctKeys int    // table entries after construction
+
+	// Stage1Time and Stage2Time are the slowest worker's wall-clock in
+	// each stage (the critical path). The paper's analysis predicts
+	// stage 1 = O(m·n/P) and stage 2 = O(m/P); these expose the split.
+	Stage1Time time.Duration
+	Stage2Time time.Duration
+}
+
+// queueMatrix holds the P×(P-1) queues of Algorithm 1: q[i][j] carries keys
+// produced by core i and owned by core j (q[i][i] is unused and nil).
+type queueMatrix [][]spsc.Queue
+
+func newQueueMatrix(p int, kind spsc.Kind, ringCap int) queueMatrix {
+	q := make(queueMatrix, p)
+	for i := range q {
+		q[i] = make([]spsc.Queue, p)
+		for j := range q[i] {
+			if i == j {
+				continue
+			}
+			q[i][j] = spsc.New(kind, ringCap)
+		}
+	}
+	return q
+}
+
+// Build runs the wait-free table construction primitive over data:
+// stage 1 (Algorithm 1) classifies and routes keys, one barrier, stage 2
+// (Algorithm 2) drains foreign keys. Every worker writes only its own
+// partition table and the tails of its own queues, so no operation ever
+// waits on another worker.
+//
+// Build fails only on configuration errors (e.g. a bounded ring queue that
+// overflows); the default options cannot fail.
+func Build(data *dataset.Dataset, opts Options) (*PotentialTable, Stats, error) {
+	codec, err := data.Codec()
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("core: %w", err)
+	}
+	return BuildKeys(keySourceFromDataset(data, codec), codec, data.NumSamples(), opts)
+}
+
+// KeySource yields the key of sample i. Build encodes rows on the fly
+// (the O(m·n/P) encode cost is part of stage 1, as in the paper);
+// BuildKeys also accepts pre-encoded key streams for benches that isolate
+// table-update cost from encode cost.
+type KeySource func(i int) uint64
+
+func keySourceFromDataset(data *dataset.Dataset, codec *encoding.Codec) KeySource {
+	return func(i int) uint64 { return codec.Encode(data.Row(i)) }
+}
+
+// KeySourceFromSlice adapts a pre-encoded key slice.
+func KeySourceFromSlice(keys []uint64) KeySource {
+	return func(i int) uint64 { return keys[i] }
+}
+
+// BuildKeys is Build over an arbitrary key stream of length m.
+func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*PotentialTable, Stats, error) {
+	opts = opts.withDefaults(m, codec.KeySpace())
+	p := opts.P
+
+	parts := make([]hashtable.Counter, p)
+	for i := range parts {
+		parts[i] = opts.Table.new(opts.TableHint)
+	}
+	queues := newQueueMatrix(p, opts.Queue, opts.RingCapacity)
+	owner := opts.Partition.partitioner(p, codec.KeySpace())
+	spans := sched.BlockPartition(m, p)
+	barrier := sched.NewBarrier(p)
+
+	type workerStats struct {
+		local, foreign, pops uint64
+		stage1, stage2       time.Duration
+		err                  error
+	}
+	ws := make([]workerStats, p)
+
+	sched.Run(p, func(w int) {
+		// ---- Stage 1 (Algorithm 1): classify, update own table, route
+		// foreign keys. Writes: parts[w], tails of queues[w][*].
+		t0 := time.Now()
+		span := spans[w]
+		table := parts[w]
+		outs := queues[w]
+		var local, foreign uint64
+		for i := span.Lo; i < span.Hi; i++ {
+			key := source(i)
+			dst := owner(key)
+			if dst == w {
+				table.Inc(key)
+				local++
+			} else {
+				if !outs[dst].Push(key) {
+					ws[w].err = fmt.Errorf("core: queue %d→%d overflow (ring capacity %d); use spsc.KindChunked or a larger RingCapacity", w, dst, opts.RingCapacity)
+					break
+				}
+				foreign++
+			}
+		}
+		ws[w].local, ws[w].foreign = local, foreign
+		ws[w].stage1 = time.Since(t0)
+
+		// ---- The single synchronization step between the stages.
+		barrier.Wait()
+
+		// ---- Stage 2 (Algorithm 2): drain queues addressed to w.
+		// Reads: heads of queues[*][w]; writes: parts[w].
+		t1 := time.Now()
+		var pops uint64
+		for src := 0; src < p; src++ {
+			if src == w {
+				continue
+			}
+			q := queues[src][w]
+			for {
+				key, ok := q.Pop()
+				if !ok {
+					break
+				}
+				table.Inc(key)
+				pops++
+			}
+		}
+		ws[w].pops = pops
+		ws[w].stage2 = time.Since(t1)
+	})
+
+	var st Stats
+	st.P = p
+	for w := range ws {
+		if ws[w].err != nil {
+			return nil, Stats{}, ws[w].err
+		}
+		st.LocalKeys += ws[w].local
+		st.ForeignKeys += ws[w].foreign
+		st.Stage2Pops += ws[w].pops
+		if ws[w].stage1 > st.Stage1Time {
+			st.Stage1Time = ws[w].stage1
+		}
+		if ws[w].stage2 > st.Stage2Time {
+			st.Stage2Time = ws[w].stage2
+		}
+	}
+	pt := NewPotentialTable(codec, parts, st.LocalKeys+st.Stage2Pops)
+	st.DistinctKeys = pt.Len()
+	return pt, st, nil
+}
+
+// BuildSequential constructs the same potential table with a single thread
+// and a single partition — the T(1) reference all speedup numbers are
+// measured against, and the correctness oracle for every parallel strategy.
+func BuildSequential(data *dataset.Dataset) (*PotentialTable, error) {
+	codec, err := data.Codec()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m := data.NumSamples()
+	hint := uint64(m)
+	if codec.KeySpace() < hint {
+		hint = codec.KeySpace()
+	}
+	if hint > 1<<24 {
+		hint = 1 << 24
+	}
+	table := hashtable.New(int(hint))
+	for i := 0; i < m; i++ {
+		table.Inc(codec.Encode(data.Row(i)))
+	}
+	return NewPotentialTable(codec, []hashtable.Counter{table}, uint64(m)), nil
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/spsc"
+)
+
+func uniformData(t testing.TB, m, n, r int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	d := dataset.NewUniformCard(m, n, r)
+	d.UniformIndependent(seed, 4)
+	return d
+}
+
+func TestBuildSequentialCountsEveryRow(t *testing.T) {
+	d := uniformData(t, 5000, 8, 2, 1)
+	pt, err := BuildSequential(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.NumSamples() != 5000 {
+		t.Fatalf("NumSamples = %d", pt.NumSamples())
+	}
+	if pt.Total() != 5000 {
+		t.Fatalf("Total = %d", pt.Total())
+	}
+	// Recount with a plain map oracle.
+	codec, _ := d.Codec()
+	oracle := map[uint64]uint64{}
+	for i := 0; i < d.NumSamples(); i++ {
+		oracle[codec.Encode(d.Row(i))]++
+	}
+	if pt.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", pt.Len(), len(oracle))
+	}
+	for k, c := range oracle {
+		if pt.Get(k) != c {
+			t.Fatalf("Get(%d) = %d, oracle %d", k, pt.Get(k), c)
+		}
+	}
+}
+
+func TestBuildMatchesSequential(t *testing.T) {
+	d := uniformData(t, 20000, 10, 2, 2)
+	ref, err := BuildSequential(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		pt, st, err := Build(d, Options{P: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if !pt.Equal(ref) {
+			t.Fatalf("P=%d: parallel table differs from sequential", p)
+		}
+		if st.LocalKeys+st.ForeignKeys != 20000 {
+			t.Fatalf("P=%d: local %d + foreign %d != m", p, st.LocalKeys, st.ForeignKeys)
+		}
+		if st.ForeignKeys != st.Stage2Pops {
+			t.Fatalf("P=%d: foreign %d != pops %d", p, st.ForeignKeys, st.Stage2Pops)
+		}
+		if st.DistinctKeys != ref.Len() {
+			t.Fatalf("P=%d: DistinctKeys %d != %d", p, st.DistinctKeys, ref.Len())
+		}
+	}
+}
+
+func TestBuildAllOptionCombinations(t *testing.T) {
+	d := uniformData(t, 8000, 8, 3, 3)
+	ref, err := BuildSequential(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []PartitionKind{PartitionModulo, PartitionRange, PartitionHash} {
+		for _, q := range []spsc.Kind{spsc.KindChunked, spsc.KindRing, spsc.KindMutex} {
+			for _, tk := range []TableKind{TableOpenAddressing, TableChained, TableGoMap} {
+				opts := Options{P: 4, Partition: part, Queue: q, Table: tk}
+				pt, _, err := Build(d, opts)
+				if err != nil {
+					t.Fatalf("%v/%v/%v: %v", part, q, tk, err)
+				}
+				if !pt.Equal(ref) {
+					t.Fatalf("%v/%v/%v: table differs from sequential", part, q, tk)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildRespectsPartitionOwnership(t *testing.T) {
+	d := uniformData(t, 10000, 6, 4, 4)
+	for _, kind := range []PartitionKind{PartitionModulo, PartitionRange, PartitionHash} {
+		pt, _, err := Build(d, Options{P: 4, Partition: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := kind.partitioner(4, pt.Codec().KeySpace())
+		for w, part := range pt.parts {
+			part.Range(func(key, count uint64) bool {
+				if owner(key) != w {
+					t.Fatalf("%v: key %d stored in partition %d, owner %d", kind, key, w, owner(key))
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestBuildRingOverflowReturnsError(t *testing.T) {
+	d := uniformData(t, 10000, 6, 4, 5)
+	_, _, err := Build(d, Options{P: 4, Queue: spsc.KindRing, RingCapacity: 2})
+	if err == nil {
+		t.Fatal("expected overflow error from undersized ring")
+	}
+}
+
+func TestBuildRingDefaultCapacityNeverOverflows(t *testing.T) {
+	d := uniformData(t, 10000, 6, 4, 6)
+	pt, _, err := Build(d, Options{P: 4, Queue: spsc.KindRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := BuildSequential(d)
+	if !pt.Equal(ref) {
+		t.Fatal("ring-built table differs from sequential")
+	}
+}
+
+func TestBuildDefaultsApplied(t *testing.T) {
+	d := uniformData(t, 100, 4, 2, 7)
+	pt, st, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.P < 1 {
+		t.Fatalf("Stats.P = %d", st.P)
+	}
+	if pt.Partitions() != st.P {
+		t.Fatalf("partitions %d != P %d", pt.Partitions(), st.P)
+	}
+}
+
+func TestBuildEmptyDataset(t *testing.T) {
+	d := dataset.NewUniformCard(0, 4, 2)
+	pt, st, err := Build(d, Options{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Len() != 0 || pt.Total() != 0 || pt.NumSamples() != 0 {
+		t.Fatalf("empty build: len=%d total=%d m=%d", pt.Len(), pt.Total(), pt.NumSamples())
+	}
+	if st.LocalKeys != 0 || st.ForeignKeys != 0 {
+		t.Fatalf("empty build stats: %+v", st)
+	}
+}
+
+func TestBuildSingleRow(t *testing.T) {
+	d := dataset.NewUniformCard(1, 3, 2)
+	d.Set(0, 0, 1)
+	d.Set(0, 2, 1)
+	pt, _, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, _ := d.Codec()
+	key := codec.Encode([]uint8{1, 0, 1})
+	if pt.Get(key) != 1 || pt.Len() != 1 {
+		t.Fatalf("single-row table: Get=%d Len=%d", pt.Get(key), pt.Len())
+	}
+}
+
+func TestBuildMoreWorkersThanRows(t *testing.T) {
+	d := uniformData(t, 3, 4, 2, 8)
+	ref, _ := BuildSequential(d)
+	pt, _, err := Build(d, Options{P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Equal(ref) {
+		t.Fatal("P > m build differs from sequential")
+	}
+}
+
+func TestBuildKeysFromSlice(t *testing.T) {
+	d := uniformData(t, 5000, 8, 2, 9)
+	codec, _ := d.Codec()
+	keys := d.EncodeKeys(codec, 2)
+	pt, _, err := BuildKeys(KeySourceFromSlice(keys), codec, len(keys), Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := BuildSequential(d)
+	if !pt.Equal(ref) {
+		t.Fatal("BuildKeys over pre-encoded slice differs from sequential")
+	}
+}
+
+func TestBuildRejectsOverflowingCardinalities(t *testing.T) {
+	// 64 four-state variables → 2^128 key space, must be rejected.
+	d := dataset.NewUniformCard(10, 64, 4)
+	if _, _, err := Build(d, Options{P: 2}); err == nil {
+		t.Fatal("expected key-space overflow error")
+	}
+	if _, err := BuildSequential(d); err == nil {
+		t.Fatal("expected key-space overflow error from sequential builder")
+	}
+}
+
+func TestBuildSkewedDataStillCorrect(t *testing.T) {
+	// Heavy skew concentrates keys in one partition; correctness must hold.
+	d := dataset.NewUniformCard(20000, 8, 3)
+	d.Zipf(10, 2.5, 4)
+	ref, _ := BuildSequential(d)
+	pt, st, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Equal(ref) {
+		t.Fatal("skewed build differs from sequential")
+	}
+	if st.LocalKeys+st.ForeignKeys != 20000 {
+		t.Fatalf("key accounting broken: %+v", st)
+	}
+}
+
+func TestStage2DrainsAllQueues(t *testing.T) {
+	// With P=2 and modulo partitioning, roughly half the keys are foreign;
+	// verify foreign routing actually happened (the wait-free path is
+	// exercised, not bypassed).
+	d := uniformData(t, 10000, 8, 2, 10)
+	_, st, err := Build(d, Options{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ForeignKeys == 0 {
+		t.Fatal("no foreign keys routed; stage 2 untested")
+	}
+	frac := float64(st.ForeignKeys) / 10000
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("foreign fraction %.3f, expected ~0.5 for P=2 uniform data", frac)
+	}
+}
+
+func TestBuildStageTimesPopulated(t *testing.T) {
+	d := uniformData(t, 50000, 10, 2, 11)
+	_, st, err := Build(d, Options{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stage1Time <= 0 {
+		t.Error("Stage1Time not recorded")
+	}
+	if st.Stage2Time <= 0 {
+		t.Error("Stage2Time not recorded")
+	}
+	// Stage 1 does O(m·n/P) work (encode + update) vs stage 2's O(m/P)
+	// pops; stage 1 should dominate on this workload.
+	if st.Stage2Time > st.Stage1Time*10 {
+		t.Errorf("stage2 (%v) implausibly slower than stage1 (%v)", st.Stage2Time, st.Stage1Time)
+	}
+}

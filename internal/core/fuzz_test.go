@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"waitfreebn/internal/dataset"
+)
+
+// FuzzReadTable: arbitrary bytes must never panic the table reader — they
+// either parse to a valid table or return an error. Run with
+// `go test -fuzz FuzzReadTable ./internal/core` for continuous fuzzing;
+// under plain `go test` the seed corpus below runs as regression tests.
+func FuzzReadTable(f *testing.F) {
+	// Seed with a valid table and mutations of it.
+	d := dataset.NewUniformCard(500, 5, 2)
+	d.UniformIndependent(1, 2)
+	pt, _, err := Build(d, Options{P: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := pt.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("WFBN1\n"))
+	f.Add([]byte("WFBN1\n\x01\x02\x00\x00"))
+	mutated := append([]byte(nil), valid...)
+	for i := 6; i < len(mutated); i += 7 {
+		mutated[i] ^= 0xFF
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, err := ReadTable(bytes.NewReader(data), 2)
+		if err == nil && pt == nil {
+			t.Fatal("nil table with nil error")
+		}
+		if err == nil {
+			// Whatever parsed must be internally consistent.
+			if pt.Total() != pt.NumSamples() {
+				t.Fatalf("parsed table inconsistent: total %d, m %d", pt.Total(), pt.NumSamples())
+			}
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/hashtable"
+	"waitfreebn/internal/sched"
+)
+
+// Builder is the incremental form of the wait-free construction primitive:
+// training data arrives in blocks (e.g. chunks of a file too large to hold
+// in memory) and each AddBlock runs the two-stage protocol over just that
+// block, accumulating into the same partition tables. The final table is
+// identical to a one-shot Build over the concatenated blocks.
+//
+// A Builder retains its P partition tables and P×(P-1) queues across
+// blocks, so per-block overhead is two barrier episodes, not re-allocation.
+// Builder methods must be called from a single goroutine; the parallelism
+// is internal.
+type Builder struct {
+	codec   *encoding.Codec
+	opts    Options
+	parts   []hashtable.Counter
+	queues  queueMatrix
+	owner   func(uint64) int
+	barrier *sched.Barrier
+	stats   Stats
+	done    bool
+}
+
+// NewBuilder prepares an incremental builder for data with the codec's
+// variable layout. Options follow the same defaults as Build; the ring
+// capacity default sizes for blocks of up to blockHint rows (0 = 64k).
+func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
+	if blockHint <= 0 {
+		blockHint = 1 << 16
+	}
+	opts = opts.withDefaults(blockHint, codec.KeySpace())
+	b := &Builder{
+		codec:   codec,
+		opts:    opts,
+		parts:   make([]hashtable.Counter, opts.P),
+		owner:   opts.Partition.partitioner(opts.P, codec.KeySpace()),
+		barrier: sched.NewBarrier(opts.P),
+	}
+	for i := range b.parts {
+		b.parts[i] = opts.Table.new(opts.TableHint)
+	}
+	b.queues = newQueueMatrix(opts.P, opts.Queue, opts.RingCapacity)
+	b.stats.P = opts.P
+	return b
+}
+
+// AddBlock counts a block of rows (each a state string of the codec's
+// arity) into the table using the two-stage wait-free protocol.
+func (b *Builder) AddBlock(rows [][]uint8) error {
+	return b.addKeys(len(rows), func(i int) uint64 { return b.codec.Encode(rows[i]) })
+}
+
+// AddKeys counts a block of pre-encoded keys.
+func (b *Builder) AddKeys(keys []uint64) error {
+	return b.addKeys(len(keys), func(i int) uint64 { return keys[i] })
+}
+
+func (b *Builder) addKeys(m int, source KeySource) error {
+	if b.done {
+		return fmt.Errorf("core: Builder used after Finalize")
+	}
+	p := b.opts.P
+	spans := sched.BlockPartition(m, p)
+	type ws struct {
+		local, foreign, pops uint64
+		err                  error
+	}
+	stats := make([]ws, p)
+	sched.Run(p, func(w int) {
+		span := spans[w]
+		table := b.parts[w]
+		outs := b.queues[w]
+		for i := span.Lo; i < span.Hi; i++ {
+			key := source(i)
+			dst := b.owner(key)
+			if dst == w {
+				table.Inc(key)
+				stats[w].local++
+			} else {
+				if !outs[dst].Push(key) {
+					stats[w].err = fmt.Errorf("core: queue %d→%d overflow in incremental block", w, dst)
+					break
+				}
+				stats[w].foreign++
+			}
+		}
+		b.barrier.Wait()
+		for src := 0; src < p; src++ {
+			if src == w {
+				continue
+			}
+			q := b.queues[src][w]
+			for {
+				key, ok := q.Pop()
+				if !ok {
+					break
+				}
+				table.Inc(key)
+				stats[w].pops++
+			}
+		}
+	})
+	for w := range stats {
+		if stats[w].err != nil {
+			return stats[w].err
+		}
+		b.stats.LocalKeys += stats[w].local
+		b.stats.ForeignKeys += stats[w].foreign
+		b.stats.Stage2Pops += stats[w].pops
+	}
+	return nil
+}
+
+// Finalize returns the accumulated potential table and construction stats.
+// The builder cannot be used afterwards.
+func (b *Builder) Finalize() (*PotentialTable, Stats) {
+	b.done = true
+	pt := NewPotentialTable(b.codec, b.parts, b.stats.LocalKeys+b.stats.Stage2Pops)
+	b.stats.DistinctKeys = pt.Len()
+	return pt, b.stats
+}
+
+// Samples returns how many rows have been counted so far.
+func (b *Builder) Samples() uint64 { return b.stats.LocalKeys + b.stats.Stage2Pops + pendingForeign(b) }
+
+func pendingForeign(b *Builder) uint64 {
+	// Between blocks all queues are drained, so foreign == pops; this
+	// accounts for the (unreachable in practice) case of a failed block.
+	return b.stats.ForeignKeys - b.stats.Stage2Pops
+}

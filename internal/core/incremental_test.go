@@ -1,0 +1,232 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/spsc"
+)
+
+func TestBuilderMatchesOneShotBuild(t *testing.T) {
+	d := uniformData(t, 30000, 8, 3, 50)
+	ref, err := BuildSequential(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, _ := d.Codec()
+	b := NewBuilder(codec, 0, Options{P: 4})
+	// Feed in uneven blocks.
+	for lo := 0; lo < d.NumSamples(); {
+		hi := lo + 7000
+		if hi > d.NumSamples() {
+			hi = d.NumSamples()
+		}
+		rows := make([][]uint8, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			rows = append(rows, d.Row(i))
+		}
+		if err := b.AddBlock(rows); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	pt, st := b.Finalize()
+	if !pt.Equal(ref) {
+		t.Fatal("incremental table differs from one-shot")
+	}
+	if st.LocalKeys+st.ForeignKeys != 30000 {
+		t.Fatalf("key accounting: %+v", st)
+	}
+	if st.DistinctKeys != ref.Len() {
+		t.Fatalf("DistinctKeys %d != %d", st.DistinctKeys, ref.Len())
+	}
+}
+
+func TestBuilderAddKeys(t *testing.T) {
+	d := uniformData(t, 10000, 6, 2, 51)
+	codec, _ := d.Codec()
+	keys := d.EncodeKeys(codec, 2)
+	ref, _ := BuildSequential(d)
+
+	b := NewBuilder(codec, 0, Options{P: 3})
+	if err := b.AddKeys(keys[:4000]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddKeys(keys[4000:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Samples(); got != 10000 {
+		t.Fatalf("Samples = %d", got)
+	}
+	pt, _ := b.Finalize()
+	if !pt.Equal(ref) {
+		t.Fatal("AddKeys table differs")
+	}
+}
+
+func TestBuilderEmptyBlocks(t *testing.T) {
+	codec, _ := encoding.NewUniformCodec(4, 2)
+	b := NewBuilder(codec, 0, Options{P: 2})
+	if err := b.AddKeys(nil); err != nil {
+		t.Fatal(err)
+	}
+	pt, st := b.Finalize()
+	if pt.Len() != 0 || st.LocalKeys != 0 {
+		t.Fatalf("empty builder produced %d keys", pt.Len())
+	}
+}
+
+func TestBuilderUseAfterFinalize(t *testing.T) {
+	codec, _ := encoding.NewUniformCodec(4, 2)
+	b := NewBuilder(codec, 0, Options{P: 2})
+	b.Finalize()
+	if err := b.AddKeys([]uint64{1}); err == nil {
+		t.Fatal("AddKeys after Finalize accepted")
+	}
+}
+
+func TestBuilderRingOverflowSurfaces(t *testing.T) {
+	codec, _ := encoding.NewUniformCodec(8, 2)
+	b := NewBuilder(codec, 4, Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2})
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i % 256)
+	}
+	if err := b.AddKeys(keys); err == nil {
+		t.Fatal("expected ring overflow error")
+	}
+}
+
+func TestBuilderBlocksLargerThanHint(t *testing.T) {
+	// Chunked queues have no capacity limit, so blocks larger than the
+	// hint must work.
+	codec, _ := encoding.NewUniformCodec(10, 2)
+	d := uniformData(t, 50000, 10, 2, 52)
+	ref, _ := BuildSequential(d)
+	b := NewBuilder(codec, 16, Options{P: 4}) // tiny hint
+	if err := b.AddKeys(d.EncodeKeys(codec, 2)); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := b.Finalize()
+	if !pt.Equal(ref) {
+		t.Fatal("table differs")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d := uniformData(t, 20000, 8, 3, 53)
+	pt, _, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := pt.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	for _, parts := range []int{0, 1, 4} {
+		back, err := ReadTable(bytes.NewReader(buf.Bytes()), parts)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if !back.Equal(pt) {
+			t.Fatalf("parts=%d: round trip differs", parts)
+		}
+		if back.NumSamples() != pt.NumSamples() {
+			t.Fatalf("parts=%d: m %d != %d", parts, back.NumSamples(), pt.NumSamples())
+		}
+		// Mixed-cardinality metadata must round trip too.
+		if back.Codec().KeySpace() != pt.Codec().KeySpace() {
+			t.Fatal("codec mismatch")
+		}
+	}
+}
+
+func TestSerializeDeterministic(t *testing.T) {
+	d := uniformData(t, 5000, 6, 2, 54)
+	a, _, _ := Build(d, Options{P: 2})
+	b, _ := BuildSequential(d)
+	var bufA, bufB bytes.Buffer
+	if _, err := a.WriteTo(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("serialization depends on partitioning")
+	}
+}
+
+func TestSerializeMixedCardinalities(t *testing.T) {
+	d := dataset.New(3000, []int{2, 5, 3, 7})
+	d.UniformIndependent(55, 2)
+	pt, _, err := Build(d, Options{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := pt.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTable(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(pt) {
+		t.Fatal("mixed-cardinality round trip differs")
+	}
+	for j, want := range []int{2, 5, 3, 7} {
+		if back.Codec().Cardinality(j) != want {
+			t.Errorf("cardinality %d = %d, want %d", j, back.Codec().Cardinality(j), want)
+		}
+	}
+}
+
+func TestReadTableRejectsCorruptInput(t *testing.T) {
+	d := uniformData(t, 1000, 5, 2, 56)
+	pt, _, _ := Build(d, Options{P: 2})
+	var buf bytes.Buffer
+	if _, err := pt.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXXX\n"), good[6:]...),
+		"truncated":    good[:len(good)/2],
+		"short header": good[:8],
+	}
+	for name, data := range cases {
+		if _, err := ReadTable(bytes.NewReader(data), 1); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+	// Wrong count trailer: flip the last byte (a count varint) where
+	// doing so changes the total.
+	mutated := append([]byte(nil), good...)
+	mutated[len(mutated)-1] ^= 0x01
+	if _, err := ReadTable(bytes.NewReader(mutated), 1); err == nil {
+		t.Error("count-sum mismatch accepted")
+	}
+}
+
+func TestReadTableRejectsAbsurdHeader(t *testing.T) {
+	// Magic + huge variable count.
+	var buf bytes.Buffer
+	buf.Write(tableMagic)
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // big varint
+	if _, err := ReadTable(&buf, 1); err == nil {
+		t.Error("absurd variable count accepted")
+	}
+	if _, err := ReadTable(strings.NewReader("WFBN1\n\x00"), 1); err == nil {
+		t.Error("zero variables accepted")
+	}
+}

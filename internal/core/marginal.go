@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"waitfreebn/internal/sched"
+)
+
+// Marginal is a dense marginal distribution table over an ordered subset of
+// variables, produced by Algorithm 3. Counts are raw occurrence counts;
+// Prob applies the deferred normalization by m (paper footnote 2,
+// Algorithm 3 line 17).
+type Marginal struct {
+	Vars   []int    // the variables V, in table order
+	Card   []int    // their cardinalities
+	Counts []uint64 // flattened row-major counts, len = Π Card
+	M      uint64   // total samples (the normalizer)
+}
+
+// Cells returns the number of cells in the marginal table.
+func (mg *Marginal) Cells() int { return len(mg.Counts) }
+
+// Count returns the raw count for the given states of Vars (same order).
+func (mg *Marginal) Count(states ...uint8) uint64 {
+	return mg.Counts[mg.cell(states)]
+}
+
+// Prob returns the empirical probability of the given states of Vars.
+func (mg *Marginal) Prob(states ...uint8) float64 {
+	if mg.M == 0 {
+		return 0
+	}
+	return float64(mg.Counts[mg.cell(states)]) / float64(mg.M)
+}
+
+func (mg *Marginal) cell(states []uint8) int {
+	if len(states) != len(mg.Vars) {
+		panic(fmt.Sprintf("core: Marginal over %d variables indexed with %d states", len(mg.Vars), len(states)))
+	}
+	idx := 0
+	for k, s := range states {
+		if int(s) >= mg.Card[k] {
+			panic(fmt.Sprintf("core: state %d out of range for variable %d (cardinality %d)", s, mg.Vars[k], mg.Card[k]))
+		}
+		idx = idx*mg.Card[k] + int(s)
+	}
+	return idx
+}
+
+// Total returns the sum of all counts (== M for a marginal over a complete
+// table).
+func (mg *Marginal) Total() uint64 {
+	var total uint64
+	for _, c := range mg.Counts {
+		total += c
+	}
+	return total
+}
+
+// SumOver marginalizes further: it sums out every variable of mg except
+// keep (an index into mg.Vars, not a variable id), returning the 1-D
+// marginal of that variable. All-pairs MI uses this to derive P(x) and
+// P(y) from P(x,y) instead of rescanning the table (Section IV-C).
+func (mg *Marginal) SumOver(keep int) *Marginal {
+	if keep < 0 || keep >= len(mg.Vars) {
+		panic(fmt.Sprintf("core: SumOver(%d) on a %d-variable marginal", keep, len(mg.Vars)))
+	}
+	out := &Marginal{
+		Vars:   []int{mg.Vars[keep]},
+		Card:   []int{mg.Card[keep]},
+		Counts: make([]uint64, mg.Card[keep]),
+		M:      mg.M,
+	}
+	// Stride of `keep` in the row-major layout.
+	stride := 1
+	for k := keep + 1; k < len(mg.Card); k++ {
+		stride *= mg.Card[k]
+	}
+	for cell, c := range mg.Counts {
+		out.Counts[cell/stride%mg.Card[keep]] += c
+	}
+	return out
+}
+
+// Marginalize computes the marginal distribution over vars using p workers
+// (Algorithm 3). Each worker scans a disjoint subset of the partitions,
+// decoding only the variables in vars from each key and accumulating a
+// partial marginal; partials are then merged (line 16). p <= 0 selects
+// GOMAXPROCS; p is additionally capped at the partition count, since
+// partitions are the unit of read parallelism.
+func (t *PotentialTable) Marginalize(vars []int, p int) *Marginal {
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	if p > len(t.parts) {
+		p = len(t.parts)
+	}
+	dec := t.codec.SubsetDecoder(vars)
+	cells := dec.Cells()
+
+	partials := make([][]uint64, p)
+	assign := t.partitionAssignment(p)
+	sched.Run(p, func(w int) {
+		partial := make([]uint64, cells)
+		for _, part := range assign[w] {
+			t.parts[part].Range(func(key, count uint64) bool {
+				partial[dec.Cell(key)] += count
+				return true
+			})
+		}
+		partials[w] = partial
+	})
+
+	counts := partials[0]
+	for w := 1; w < p; w++ {
+		for c, v := range partials[w] {
+			counts[c] += v
+		}
+	}
+
+	card := make([]int, len(vars))
+	for k, v := range vars {
+		card[k] = t.codec.Cardinality(v)
+	}
+	return &Marginal{
+		Vars:   append([]int(nil), vars...),
+		Card:   card,
+		Counts: counts,
+		M:      t.m,
+	}
+}
+
+// MarginalizePair is Marginalize for the two-variable case used by the
+// drafting phase; it avoids the general subset-decoder indirection with a
+// fixed-arity fast path.
+func (t *PotentialTable) MarginalizePair(i, j int, p int) *Marginal {
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	if p > len(t.parts) {
+		p = len(t.parts)
+	}
+	dec := t.codec.PairDecoder(i, j)
+	ri, rj := t.codec.Cardinality(i), t.codec.Cardinality(j)
+	cells := ri * rj
+
+	partials := make([][]uint64, p)
+	assign := t.partitionAssignment(p)
+	sched.Run(p, func(w int) {
+		partial := make([]uint64, cells)
+		for _, part := range assign[w] {
+			t.parts[part].Range(func(key, count uint64) bool {
+				partial[dec.Cell(key)] += count
+				return true
+			})
+		}
+		partials[w] = partial
+	})
+
+	counts := partials[0]
+	for w := 1; w < p; w++ {
+		for c, v := range partials[w] {
+			counts[c] += v
+		}
+	}
+	return &Marginal{
+		Vars:   []int{i, j},
+		Card:   []int{ri, rj},
+		Counts: counts,
+		M:      t.m,
+	}
+}

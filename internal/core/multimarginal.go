@@ -1,0 +1,70 @@
+package core
+
+import (
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/sched"
+)
+
+// MarginalizeMany computes marginal tables for several variable subsets in
+// a single pass over the potential table. Algorithm 3 scans all partitions
+// once per marginal; when a consumer needs many marginals (the CI-test
+// batches of thickening, or sufficient statistics for score-based search),
+// fusing the scans amortizes the per-key cost the same way the fused
+// all-pairs-MI schedule does: each key is visited once and contributes to
+// every requested marginal.
+//
+// The result is index-aligned with varsets. p <= 0 selects GOMAXPROCS.
+func (t *PotentialTable) MarginalizeMany(varsets [][]int, p int) []*Marginal {
+	if len(varsets) == 0 {
+		return nil
+	}
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	if p > len(t.parts) {
+		p = len(t.parts)
+	}
+	decs := make([]*encoding.SubsetDecoder, len(varsets))
+	offsets := make([]int, len(varsets)+1)
+	for k, vars := range varsets {
+		decs[k] = t.codec.SubsetDecoder(vars)
+		offsets[k+1] = offsets[k] + decs[k].Cells()
+	}
+	totalCells := offsets[len(varsets)]
+
+	partials := make([][]uint64, p)
+	assign := t.partitionAssignment(p)
+	sched.Run(p, func(w int) {
+		counts := make([]uint64, totalCells)
+		for _, part := range assign[w] {
+			t.parts[part].Range(func(key, count uint64) bool {
+				for k, dec := range decs {
+					counts[offsets[k]+dec.Cell(key)] += count
+				}
+				return true
+			})
+		}
+		partials[w] = counts
+	})
+	merged := partials[0]
+	for w := 1; w < p; w++ {
+		for c, v := range partials[w] {
+			merged[c] += v
+		}
+	}
+
+	out := make([]*Marginal, len(varsets))
+	for k, vars := range varsets {
+		card := make([]int, len(vars))
+		for i, v := range vars {
+			card[i] = t.codec.Cardinality(v)
+		}
+		out[k] = &Marginal{
+			Vars:   append([]int(nil), vars...),
+			Card:   card,
+			Counts: merged[offsets[k]:offsets[k+1]:offsets[k+1]],
+			M:      t.m,
+		}
+	}
+	return out
+}

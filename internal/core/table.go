@@ -1,0 +1,271 @@
+// Package core implements the paper's two contributed primitives and their
+// composition:
+//
+//   - wait-free potential-table construction (Algorithms 1 and 2) — Build;
+//   - parallel marginalization (Algorithm 3) — PotentialTable.Marginalize;
+//   - all-pairs mutual information for the drafting phase of Cheng et al.'s
+//     structure-learning algorithm (Algorithm 4) — AllPairsMI.
+//
+// A PotentialTable represents the empirical joint distribution of the
+// training data as P disjoint hash tables, one per key-space partition,
+// exactly as produced by the wait-free construction. Counts are raw
+// occurrence counts; normalization by m is deferred to the moment a
+// marginal is consumed (footnote 2 of the paper).
+package core
+
+import (
+	"fmt"
+
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/hashtable"
+	"waitfreebn/internal/rng"
+	"waitfreebn/internal/sched"
+)
+
+// PartitionKind selects how keys are mapped to owning partitions during
+// construction (ablation A2). The paper uses modulo (Algorithm 1, line 9).
+type PartitionKind int
+
+const (
+	// PartitionModulo assigns key to partition key % P (the paper's rule).
+	PartitionModulo PartitionKind = iota
+	// PartitionRange splits the key space into P contiguous ranges. With
+	// mixed-radix keys this keeps high-order variables together, which can
+	// skew partition sizes when the data is not uniform in those variables.
+	PartitionRange
+	// PartitionHash assigns key to partition mix64(key) % P, decoupling
+	// ownership from key structure entirely.
+	PartitionHash
+)
+
+// String returns the kind's human-readable name.
+func (k PartitionKind) String() string {
+	switch k {
+	case PartitionModulo:
+		return "modulo"
+	case PartitionRange:
+		return "range"
+	case PartitionHash:
+		return "hash"
+	default:
+		return "unknown"
+	}
+}
+
+// partitioner returns the key→owner function for P partitions over the
+// given key space.
+func (k PartitionKind) partitioner(p int, keySpace uint64) func(uint64) int {
+	switch k {
+	case PartitionModulo:
+		return func(key uint64) int { return int(key % uint64(p)) }
+	case PartitionRange:
+		width := (keySpace + uint64(p) - 1) / uint64(p)
+		return func(key uint64) int { return int(key / width) }
+	case PartitionHash:
+		return func(key uint64) int { return int(rng.Mix64(key) % uint64(p)) }
+	default:
+		panic("core: unknown partition kind")
+	}
+}
+
+// TableKind selects the per-partition count-table implementation
+// (ablation A4).
+type TableKind int
+
+const (
+	// TableOpenAddressing selects the open-addressing table (default).
+	TableOpenAddressing TableKind = iota
+	// TableChained selects the separate-chaining table.
+	TableChained
+	// TableGoMap selects Go's built-in map.
+	TableGoMap
+)
+
+// String returns the kind's human-readable name.
+func (k TableKind) String() string {
+	switch k {
+	case TableOpenAddressing:
+		return "open-addressing"
+	case TableChained:
+		return "chained"
+	case TableGoMap:
+		return "gomap"
+	default:
+		return "unknown"
+	}
+}
+
+func (k TableKind) new(hint int) hashtable.Counter {
+	switch k {
+	case TableOpenAddressing:
+		return hashtable.New(hint)
+	case TableChained:
+		return hashtable.NewChained(hint)
+	case TableGoMap:
+		return hashtable.NewMapTable(hint)
+	default:
+		panic("core: unknown table kind")
+	}
+}
+
+// PotentialTable is the distributed potential-table representation: the
+// empirical joint counts of the training data split across P single-owner
+// partitions. It is immutable after construction and safe for concurrent
+// readers.
+type PotentialTable struct {
+	codec *encoding.Codec
+	parts []hashtable.Counter
+	m     uint64 // total number of samples counted
+}
+
+// NewPotentialTable assembles a table directly from parts; it is exported
+// for tests and for builders in other packages (baseline strategies produce
+// the same representation). m must equal the sum of all counts.
+func NewPotentialTable(codec *encoding.Codec, parts []hashtable.Counter, m uint64) *PotentialTable {
+	return &PotentialTable{codec: codec, parts: parts, m: m}
+}
+
+// Codec returns the key codec the table was built with.
+func (t *PotentialTable) Codec() *encoding.Codec { return t.codec }
+
+// Partitions returns the number of partitions P.
+func (t *PotentialTable) Partitions() int { return len(t.parts) }
+
+// NumSamples returns m, the number of observations counted into the table.
+func (t *PotentialTable) NumSamples() uint64 { return t.m }
+
+// Len returns the number of distinct keys across all partitions.
+func (t *PotentialTable) Len() int {
+	total := 0
+	for _, p := range t.parts {
+		total += p.Len()
+	}
+	return total
+}
+
+// Get returns the count recorded for key, searching every partition.
+// Lookup is O(P) in the worst case; bulk consumers should use Range or
+// Marginalize instead.
+func (t *PotentialTable) Get(key uint64) uint64 {
+	for _, p := range t.parts {
+		if c := p.Get(key); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Total returns the sum of all counts; it equals NumSamples for a table
+// built from a dataset.
+func (t *PotentialTable) Total() uint64 {
+	var total uint64
+	for _, p := range t.parts {
+		total += p.Total()
+	}
+	return total
+}
+
+// PartitionSizes returns the number of distinct keys in each partition —
+// the balance metric discussed in Section IV-C.
+func (t *PotentialTable) PartitionSizes() []int {
+	sizes := make([]int, len(t.parts))
+	for i, p := range t.parts {
+		sizes[i] = p.Len()
+	}
+	return sizes
+}
+
+// Range calls fn for every (key, count) pair across all partitions in
+// unspecified order. Returning false stops the iteration.
+func (t *PotentialTable) Range(fn func(key, count uint64) bool) {
+	for _, p := range t.parts {
+		stopped := false
+		p.Range(func(key, count uint64) bool {
+			if !fn(key, count) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Equal reports whether two tables represent the same key→count mapping,
+// regardless of partition count or strategy.
+func (t *PotentialTable) Equal(other *PotentialTable) bool {
+	if t.Len() != other.Len() || t.m != other.m {
+		return false
+	}
+	equal := true
+	t.Range(func(key, count uint64) bool {
+		if other.Get(key) != count {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+// Rebalance redistributes entries into parts partitions of near-equal
+// entry counts. Partition-by-key-range matters only during construction;
+// marginalization is indifferent to which partition holds a key
+// (Section IV-C), so rebalancing preserves all query results while
+// equalizing per-worker marginalization work. The table is rebuilt with
+// open-addressing partitions.
+func (t *PotentialTable) Rebalance(parts int) {
+	if parts <= 0 {
+		panic(fmt.Sprintf("core: Rebalance with parts = %d", parts))
+	}
+	total := t.Len()
+	target := (total + parts - 1) / parts
+	if target == 0 {
+		target = 1
+	}
+	newParts := make([]hashtable.Counter, parts)
+	for i := range newParts {
+		newParts[i] = hashtable.New(target)
+	}
+	idx, inCurrent := 0, 0
+	t.Range(func(key, count uint64) bool {
+		if inCurrent == target && idx < parts-1 {
+			idx++
+			inCurrent = 0
+		}
+		newParts[idx].Add(key, count)
+		inCurrent++
+		return true
+	})
+	t.parts = newParts
+}
+
+// maxImbalance returns the ratio of the largest to the smallest partition
+// entry count (1.0 = perfectly balanced). Used by tests and diagnostics.
+func (t *PotentialTable) maxImbalance() float64 {
+	sizes := t.PartitionSizes()
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min == 0 {
+		if max == 0 {
+			return 1
+		}
+		return float64(max)
+	}
+	return float64(max) / float64(min)
+}
+
+// partitionAssignment distributes the table's partitions across p workers
+// cyclically, for read-side parallel scans.
+func (t *PotentialTable) partitionAssignment(p int) [][]int {
+	return sched.CyclicAssign(len(t.parts), p)
+}

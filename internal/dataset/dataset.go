@@ -1,0 +1,328 @@
+// Package dataset defines the training-data representation (the m×n matrix
+// D of Section II-B) and the synthetic workload generators used by the
+// paper's evaluation.
+//
+// A Dataset stores one byte per observation cell, row-major, so row i is a
+// contiguous state string D_i — the exact layout the table-construction
+// primitive scans. Generators produce data deterministically from a seed,
+// in parallel, with one RNG stream per worker so that the output is
+// independent of P.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/rng"
+	"waitfreebn/internal/sched"
+)
+
+// Dataset is an m×n matrix of discrete observations. Cell (i, j) holds the
+// state of variable j in sample i, with states in [0, Cardinality(j)).
+type Dataset struct {
+	m, n  int
+	card  []int
+	cells []uint8 // row-major, len = m*n
+}
+
+// New returns an all-zero dataset with m samples of the given per-variable
+// cardinalities. It panics on m < 0, empty cardinalities, or a cardinality
+// outside [1, 256].
+func New(m int, cardinalities []int) *Dataset {
+	if m < 0 {
+		panic(fmt.Sprintf("dataset: negative sample count %d", m))
+	}
+	if len(cardinalities) == 0 {
+		panic("dataset: no variables")
+	}
+	for j, r := range cardinalities {
+		if r < 1 || r > 256 {
+			panic(fmt.Sprintf("dataset: variable %d cardinality %d outside [1,256]", j, r))
+		}
+	}
+	return &Dataset{
+		m:     m,
+		n:     len(cardinalities),
+		card:  append([]int(nil), cardinalities...),
+		cells: make([]uint8, m*len(cardinalities)),
+	}
+}
+
+// NewUniformCard returns an all-zero dataset with m samples of n variables
+// that all take r states.
+func NewUniformCard(m, n, r int) *Dataset {
+	card := make([]int, n)
+	for i := range card {
+		card[i] = r
+	}
+	return New(m, card)
+}
+
+// NumSamples returns m.
+func (d *Dataset) NumSamples() int { return d.m }
+
+// NumVars returns n.
+func (d *Dataset) NumVars() int { return d.n }
+
+// Cardinality returns the number of states of variable j.
+func (d *Dataset) Cardinality(j int) int { return d.card[j] }
+
+// Cardinalities returns a copy of the per-variable cardinalities.
+func (d *Dataset) Cardinalities() []int { return append([]int(nil), d.card...) }
+
+// Row returns sample i as a slice aliasing the dataset's storage. Callers
+// must not modify it; use Set for writes.
+func (d *Dataset) Row(i int) []uint8 {
+	return d.cells[i*d.n : (i+1)*d.n : (i+1)*d.n]
+}
+
+// Get returns the state of variable j in sample i.
+func (d *Dataset) Get(i, j int) uint8 { return d.cells[i*d.n+j] }
+
+// Set assigns the state of variable j in sample i. It panics if the state
+// exceeds the variable's cardinality.
+func (d *Dataset) Set(i, j int, s uint8) {
+	if int(s) >= d.card[j] {
+		panic(fmt.Sprintf("dataset: state %d out of range for variable %d (cardinality %d)", s, j, d.card[j]))
+	}
+	d.cells[i*d.n+j] = s
+}
+
+// Codec returns the key codec matching this dataset's cardinalities.
+func (d *Dataset) Codec() (*encoding.Codec, error) {
+	return encoding.NewCodec(d.card)
+}
+
+// genChunk is the number of rows generated from one RNG stream. Streams
+// are a function of (seed, chunk index) only, so generated data is
+// identical for every worker count p.
+const genChunk = 4096
+
+// chunkSeed derives the RNG stream for one chunk of rows.
+func chunkSeed(seed uint64, chunk int) uint64 {
+	return rng.Mix64(rng.Mix64(seed) ^ rng.Mix64(uint64(chunk)+0x9e37))
+}
+
+// forEachChunk runs gen(chunk, lo, hi) over fixed-size row chunks,
+// distributing chunks cyclically across p workers.
+func (d *Dataset) forEachChunk(p int, gen func(chunk, lo, hi int)) {
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	chunks := (d.m + genChunk - 1) / genChunk
+	if chunks == 0 {
+		return
+	}
+	if p > chunks {
+		p = chunks
+	}
+	sched.Run(p, func(w int) {
+		for c := w; c < chunks; c += p {
+			lo := c * genChunk
+			hi := lo + genChunk
+			if hi > d.m {
+				hi = d.m
+			}
+			gen(c, lo, hi)
+		}
+	})
+}
+
+// UniformIndependent fills the dataset with independent uniform draws per
+// variable — the exact workload of the paper's evaluation ("synthesized
+// from uniform and independent distributions for each variable",
+// Section V-A). Generation runs on p workers; the result depends only on
+// seed, not on p.
+func (d *Dataset) UniformIndependent(seed uint64, p int) {
+	d.forEachChunk(p, func(chunk, lo, hi int) {
+		src := rng.NewXoshiro256SS(chunkSeed(seed, chunk))
+		for i := lo; i < hi; i++ {
+			row := d.cells[i*d.n : (i+1)*d.n]
+			for j := range row {
+				row[j] = uint8(src.Uint64n(uint64(d.card[j])))
+			}
+		}
+	})
+}
+
+// Zipf fills the dataset with independent draws per variable where state s
+// of variable j has probability proportional to 1/(s+1)^skew. skew = 0
+// degenerates to uniform. Skewed data concentrates keys in fewer distinct
+// state strings, which stresses the contention behaviour of lock-based
+// builders (hot keys) without changing the wait-free builder's path.
+func (d *Dataset) Zipf(seed uint64, skew float64, p int) {
+	// Precompute per-variable cumulative distributions.
+	cdfs := make([][]float64, d.n)
+	for j := 0; j < d.n; j++ {
+		w := make([]float64, d.card[j])
+		var sum float64
+		for s := range w {
+			w[s] = 1.0 / math.Pow(float64(s+1), skew)
+			sum += w[s]
+		}
+		cdf := make([]float64, d.card[j])
+		acc := 0.0
+		for s := range w {
+			acc += w[s] / sum
+			cdf[s] = acc
+		}
+		cdf[len(cdf)-1] = 1.0
+		cdfs[j] = cdf
+	}
+	d.forEachChunk(p, func(chunk, rowLo, rowHi int) {
+		src := rng.NewXoshiro256SS(chunkSeed(seed, chunk))
+		for i := rowLo; i < rowHi; i++ {
+			row := d.cells[i*d.n : (i+1)*d.n]
+			for j := range row {
+				u := src.Float64()
+				cdf := cdfs[j]
+				lo, hi := 0, len(cdf)-1
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if cdf[mid] < u {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				row[j] = uint8(lo)
+			}
+		}
+	})
+}
+
+// EncodeKeys converts every row to its key (Eq. 3) using p workers,
+// appending into dst. This is a convenience for tests and benches that
+// need the key stream without the table; the construction primitive itself
+// encodes on the fly.
+func (d *Dataset) EncodeKeys(codec *encoding.Codec, p int) []uint64 {
+	keys := make([]uint64, d.m)
+	spans := sched.BlockPartition(d.m, p)
+	sched.Run(p, func(w int) {
+		for i := spans[w].Lo; i < spans[w].Hi; i++ {
+			keys[i] = codec.Encode(d.Row(i))
+		}
+	})
+	return keys
+}
+
+// WriteCSV writes the dataset with a header row "x0,x1,..." followed by one
+// integer row per sample.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for j := 0; j < d.n; j++ {
+		if j > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "x%d", j); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for i := 0; i < d.m; i++ {
+		row := d.Row(i)
+		for j, s := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(s))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any integer CSV with a
+// header row). Cardinalities are inferred as 1 + max observed state per
+// column unless card is non-nil, in which case states are validated
+// against it.
+func ReadCSV(r io.Reader, card []int) (*Dataset, error) {
+	d, _, err := ReadCSVNamed(r, card)
+	return d, err
+}
+
+// ReadCSVNamed is ReadCSV that additionally returns the header's column
+// names, so downstream reporting can use the dataset's own labels.
+func ReadCSVNamed(r io.Reader, card []int) (*Dataset, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("dataset: empty input")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	n := len(header)
+	if n == 0 || (n == 1 && header[0] == "") {
+		return nil, nil, fmt.Errorf("dataset: empty header")
+	}
+	names := make([]string, n)
+	for j, h := range header {
+		names[j] = strings.TrimSpace(h)
+	}
+	if card != nil && len(card) != n {
+		return nil, nil, fmt.Errorf("dataset: header has %d columns, cardinalities has %d", n, len(card))
+	}
+	var rows [][]uint8
+	maxState := make([]int, n)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != n {
+			return nil, nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(fields), n)
+		}
+		row := make([]uint8, n)
+		for j, f := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d column %d: %v", line, j, err)
+			}
+			if v < 0 || v > 255 {
+				return nil, nil, fmt.Errorf("dataset: line %d column %d: state %d outside [0,255]", line, j, v)
+			}
+			if card != nil && v >= card[j] {
+				return nil, nil, fmt.Errorf("dataset: line %d column %d: state %d >= cardinality %d", line, j, v, card[j])
+			}
+			if v > maxState[j] {
+				maxState[j] = v
+			}
+			row[j] = uint8(v)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if card == nil {
+		card = make([]int, n)
+		for j := range card {
+			card[j] = maxState[j] + 1
+		}
+	}
+	d := New(len(rows), card)
+	for i, row := range rows {
+		copy(d.cells[i*n:(i+1)*n], row)
+	}
+	return d, names, nil
+}

@@ -1,0 +1,261 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		m    int
+		card []int
+	}{
+		{"negative m", -1, []int{2}},
+		{"no vars", 5, nil},
+		{"zero card", 5, []int{2, 0}},
+		{"card too big", 5, []int{257}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", tc.name)
+				}
+			}()
+			New(tc.m, tc.card)
+		}()
+	}
+}
+
+func TestGetSetRow(t *testing.T) {
+	d := New(3, []int{2, 3})
+	d.Set(1, 0, 1)
+	d.Set(1, 1, 2)
+	if d.Get(1, 0) != 1 || d.Get(1, 1) != 2 {
+		t.Fatalf("Get after Set: (%d,%d)", d.Get(1, 0), d.Get(1, 1))
+	}
+	row := d.Row(1)
+	if len(row) != 2 || row[0] != 1 || row[1] != 2 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+	if d.Get(0, 0) != 0 || d.Get(2, 1) != 0 {
+		t.Error("untouched cells should be zero")
+	}
+}
+
+func TestSetOutOfRangePanics(t *testing.T) {
+	d := New(1, []int{2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set out-of-range state did not panic")
+		}
+	}()
+	d.Set(0, 0, 2)
+}
+
+func TestAccessors(t *testing.T) {
+	d := New(7, []int{2, 3, 4})
+	if d.NumSamples() != 7 || d.NumVars() != 3 {
+		t.Fatalf("dims = (%d,%d)", d.NumSamples(), d.NumVars())
+	}
+	if d.Cardinality(1) != 3 {
+		t.Fatalf("Cardinality(1) = %d", d.Cardinality(1))
+	}
+	got := d.Cardinalities()
+	got[0] = 99
+	if d.Cardinality(0) != 2 {
+		t.Error("Cardinalities must return a copy")
+	}
+}
+
+func TestUniformIndependentDeterministicAcrossP(t *testing.T) {
+	const m, n, r = 1000, 8, 3
+	ref := NewUniformCard(m, n, r)
+	ref.UniformIndependent(42, 1)
+	for _, p := range []int{2, 3, 7} {
+		d := NewUniformCard(m, n, r)
+		d.UniformIndependent(42, p)
+		if !bytes.Equal(d.cells, ref.cells) {
+			t.Fatalf("p=%d produced different data than p=1", p)
+		}
+	}
+}
+
+func TestUniformIndependentSeedsDiffer(t *testing.T) {
+	a := NewUniformCard(100, 5, 2)
+	b := NewUniformCard(100, 5, 2)
+	a.UniformIndependent(1, 2)
+	b.UniformIndependent(2, 2)
+	if bytes.Equal(a.cells, b.cells) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestUniformIndependentMarginalsRoughlyUniform(t *testing.T) {
+	const m, n, r = 30000, 4, 3
+	d := NewUniformCard(m, n, r)
+	d.UniformIndependent(7, 4)
+	for j := 0; j < n; j++ {
+		var counts [r]int
+		for i := 0; i < m; i++ {
+			counts[d.Get(i, j)]++
+		}
+		for s, c := range counts {
+			frac := float64(c) / m
+			if math.Abs(frac-1.0/r) > 0.02 {
+				t.Errorf("var %d state %d frequency %.4f, want ~%.4f", j, s, frac, 1.0/r)
+			}
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	const m = 20000
+	d := NewUniformCard(m, 1, 4)
+	d.Zipf(3, 2.0, 2)
+	var counts [4]int
+	for i := 0; i < m; i++ {
+		counts[d.Get(i, 0)]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]) {
+		t.Errorf("zipf counts not decreasing: %v", counts)
+	}
+	if frac := float64(counts[0]) / m; frac < 0.5 {
+		t.Errorf("state 0 frequency %.3f, expected majority under skew 2", frac)
+	}
+}
+
+func TestZipfZeroSkewIsUniform(t *testing.T) {
+	const m = 30000
+	d := NewUniformCard(m, 1, 4)
+	d.Zipf(5, 0, 2)
+	var counts [4]int
+	for i := 0; i < m; i++ {
+		counts[d.Get(i, 0)]++
+	}
+	for s, c := range counts {
+		if math.Abs(float64(c)/m-0.25) > 0.02 {
+			t.Errorf("state %d frequency %.4f under zero skew", s, float64(c)/m)
+		}
+	}
+}
+
+func TestZipfDeterministicAcrossP(t *testing.T) {
+	a := NewUniformCard(500, 3, 5)
+	b := NewUniformCard(500, 3, 5)
+	a.Zipf(11, 1.5, 1)
+	b.Zipf(11, 1.5, 4)
+	if !bytes.Equal(a.cells, b.cells) {
+		t.Error("Zipf output depends on P")
+	}
+}
+
+func TestEncodeKeysMatchesCodec(t *testing.T) {
+	d := NewUniformCard(200, 6, 3)
+	d.UniformIndependent(9, 2)
+	codec, err := d.Codec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := d.EncodeKeys(codec, 3)
+	if len(keys) != 200 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for i := range keys {
+		if want := codec.Encode(d.Row(i)); keys[i] != want {
+			t.Fatalf("key %d = %d, want %d", i, keys[i], want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := New(4, []int{2, 3, 5})
+	d.UniformIndependent(13, 1)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, d.Cardinalities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSamples() != 4 || back.NumVars() != 3 {
+		t.Fatalf("round trip dims (%d,%d)", back.NumSamples(), back.NumVars())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if back.Get(i, j) != d.Get(i, j) {
+				t.Fatalf("cell (%d,%d): %d != %d", i, j, back.Get(i, j), d.Get(i, j))
+			}
+		}
+	}
+}
+
+func TestReadCSVInfersCardinalities(t *testing.T) {
+	in := "a,b\n0,2\n1,0\n0,1\n"
+	d, err := ReadCSV(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cardinality(0) != 2 || d.Cardinality(1) != 3 {
+		t.Fatalf("inferred cardinalities (%d,%d), want (2,3)", d.Cardinality(0), d.Cardinality(1))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		card []int
+	}{
+		"empty input":        {"", nil},
+		"ragged row":         {"a,b\n0\n", nil},
+		"non-integer":        {"a\nx\n", nil},
+		"negative state":     {"a\n-1\n", nil},
+		"state over 255":     {"a\n300\n", nil},
+		"card mismatch":      {"a,b\n0,0\n", []int{2}},
+		"state outside card": {"a\n5\n", []int{2}},
+	}
+	for name, tc := range cases {
+		if _, err := ReadCSV(strings.NewReader(tc.in), tc.card); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("a\n0\n\n1\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 2 {
+		t.Fatalf("NumSamples = %d, want 2", d.NumSamples())
+	}
+}
+
+func BenchmarkUniformIndependent(b *testing.B) {
+	d := NewUniformCard(100000, 30, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.UniformIndependent(uint64(i), 4)
+	}
+}
+
+func TestReadCSVNamedReturnsHeader(t *testing.T) {
+	in := "smoke , cancer,xray\n0,1,0\n"
+	d, names, err := ReadCSVNamed(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumVars() != 3 {
+		t.Fatalf("vars = %d", d.NumVars())
+	}
+	want := []string{"smoke", "cancer", "xray"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}

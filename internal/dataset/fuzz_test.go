@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary text must never panic the CSV reader.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n0,1\n1,0\n")
+	f.Add("")
+	f.Add("x\n")
+	f.Add("a,b\n0\n")
+	f.Add("a\n-1\n")
+	f.Add("a\n999999999999999999999\n")
+	f.Add("a,a,a\n0,0,0\n\n\n1,1,1")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input), nil)
+		if err == nil && d == nil {
+			t.Fatal("nil dataset with nil error")
+		}
+		if err == nil {
+			// Parsed data must round trip.
+			var buf bytes.Buffer
+			if werr := d.WriteCSV(&buf); werr != nil {
+				t.Fatalf("round trip write failed: %v", werr)
+			}
+			back, rerr := ReadCSV(&buf, d.Cardinalities())
+			if rerr != nil {
+				t.Fatalf("round trip read failed: %v", rerr)
+			}
+			if back.NumSamples() != d.NumSamples() {
+				t.Fatalf("round trip lost rows: %d != %d", back.NumSamples(), d.NumSamples())
+			}
+		}
+	})
+}
+
+// FuzzStreamCSV: the streaming reader must agree with the batch reader on
+// accept/reject for any input.
+func FuzzStreamCSV(f *testing.F) {
+	f.Add("a,b\n0,1\n1,0\n")
+	f.Add("a\n0\n\n1\n")
+	f.Add("a,b\n0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		batch, batchErr := ReadCSV(strings.NewReader(input), []int{2, 2})
+		streamed := 0
+		streamErr := StreamCSV(strings.NewReader(input), []int{2, 2}, 3, func(rows [][]uint8) error {
+			streamed += len(rows)
+			return nil
+		})
+		if (batchErr == nil) != (streamErr == nil) {
+			t.Fatalf("accept/reject disagreement: batch=%v stream=%v", batchErr, streamErr)
+		}
+		if batchErr == nil && streamed != batch.NumSamples() {
+			t.Fatalf("row counts differ: stream %d vs batch %d", streamed, batch.NumSamples())
+		}
+	})
+}

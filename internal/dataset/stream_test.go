@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStreamCSVDeliversAllRows(t *testing.T) {
+	d := NewUniformCard(1000, 4, 3)
+	d.UniformIndependent(60, 2)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]uint8
+	err := StreamCSV(&buf, d.Cardinalities(), 64, func(rows [][]uint8) error {
+		for _, r := range rows {
+			got = append(got, append([]uint8(nil), r...)) // copy: backing reused
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("streamed %d rows", len(got))
+	}
+	for i, row := range got {
+		for j, s := range row {
+			if s != d.Get(i, j) {
+				t.Fatalf("row %d col %d: %d != %d", i, j, s, d.Get(i, j))
+			}
+		}
+	}
+}
+
+func TestStreamCSVBlockSizes(t *testing.T) {
+	d := NewUniformCard(100, 2, 2)
+	d.UniformIndependent(61, 1)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, bs := range []int{1, 7, 100, 1000, 0 /* default */} {
+		blocks, total := 0, 0
+		err := StreamCSV(bytes.NewReader(data), []int{2, 2}, bs, func(rows [][]uint8) error {
+			blocks++
+			total += len(rows)
+			if bs > 0 && len(rows) > bs {
+				return fmt.Errorf("block of %d exceeds size %d", len(rows), bs)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+		if total != 100 {
+			t.Fatalf("bs=%d: total %d", bs, total)
+		}
+		if bs == 1 && blocks != 100 {
+			t.Fatalf("bs=1: %d blocks", blocks)
+		}
+	}
+}
+
+func TestStreamCSVErrors(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		card []int
+	}{
+		"no cards":       {"a\n0\n", nil},
+		"bad card":       {"a\n0\n", []int{0}},
+		"empty":          {"", []int{2}},
+		"header width":   {"a,b\n0,0\n", []int{2}},
+		"ragged":         {"a,b\n0\n", []int{2, 2}},
+		"non-integer":    {"a\nz\n", []int{2}},
+		"state too big":  {"a\n5\n", []int{2}},
+		"negative state": {"a\n-1\n", []int{2}},
+	}
+	for name, tc := range cases {
+		err := StreamCSV(strings.NewReader(tc.in), tc.card, 8, func([][]uint8) error { return nil })
+		if err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestStreamCSVCallbackErrorAborts(t *testing.T) {
+	in := "a\n0\n1\n0\n1\n"
+	calls := 0
+	err := StreamCSV(strings.NewReader(in), []int{2}, 1, func([][]uint8) error {
+		calls++
+		return fmt.Errorf("stop")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestStreamCSVSkipsBlankLines(t *testing.T) {
+	total := 0
+	err := StreamCSV(strings.NewReader("a\n0\n\n1\n\n"), []int{2}, 8, func(rows [][]uint8) error {
+		total += len(rows)
+		return nil
+	})
+	if err != nil || total != 2 {
+		t.Fatalf("err=%v total=%d", err, total)
+	}
+}

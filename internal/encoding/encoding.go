@@ -1,0 +1,240 @@
+// Package encoding implements the state-string ↔ key codec at the heart of
+// the potential-table representation (Eqs. 3 and 4 of the paper).
+//
+// A training record over n discrete random variables is a "state string"
+// (s_1, ..., s_n) with s_j ∈ {0, ..., r_j-1}. Rather than storing the string
+// itself with each table entry, the paper encodes it as a single integer key
+// using a mixed-radix positional system:
+//
+//	key = Σ_j s_j · Π_{k<j} r_k        (Eq. 3; for uniform r: Σ_j s_j·r^(j-1))
+//
+// and recovers individual states with
+//
+//	s_j = (key / Π_{k<j} r_k) mod r_j   (Eq. 4)
+//
+// The codec precomputes the strides Π_{k<j} r_k so both directions are a
+// handful of integer operations per variable, and decoding a *subset* of
+// variables (needed by marginalization) never touches the other positions.
+//
+// Keys are uint64. A Codec can only be constructed when Π r_k fits in 63
+// bits; this is exactly the sparse regime the paper targets (e.g. n=50
+// binary variables → 2^50 possible keys, of which at most m are observed).
+package encoding
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxKeyBits is the number of usable bits in a key. Products of
+// cardinalities must fit strictly within this budget.
+const MaxKeyBits = 63
+
+// Codec converts between state strings and integer keys for a fixed list of
+// per-variable cardinalities. It is immutable after construction and safe
+// for concurrent use by multiple goroutines.
+type Codec struct {
+	card   []uint64 // cardinality r_j of each variable
+	stride []uint64 // stride[j] = Π_{k<j} card[k]; stride[0] = 1
+	space  uint64   // Π_j card[j] = total number of distinct keys
+}
+
+// NewCodec builds a codec for variables with the given cardinalities.
+// Every cardinality must be at least 1, and their product must fit in 63
+// bits; otherwise an error describing the offending input is returned.
+func NewCodec(cardinalities []int) (*Codec, error) {
+	if len(cardinalities) == 0 {
+		return nil, fmt.Errorf("encoding: no variables")
+	}
+	c := &Codec{
+		card:   make([]uint64, len(cardinalities)),
+		stride: make([]uint64, len(cardinalities)),
+	}
+	space := uint64(1)
+	for j, r := range cardinalities {
+		if r < 1 {
+			return nil, fmt.Errorf("encoding: variable %d has cardinality %d (must be >= 1)", j, r)
+		}
+		c.card[j] = uint64(r)
+		c.stride[j] = space
+		hi, lo := bits.Mul64(space, uint64(r))
+		if hi != 0 || lo >= 1<<MaxKeyBits {
+			return nil, fmt.Errorf("encoding: key space overflows %d bits at variable %d (cardinality %d)", MaxKeyBits, j, r)
+		}
+		space = lo
+	}
+	c.space = space
+	return c, nil
+}
+
+// NewUniformCodec builds a codec for n variables that all take r states,
+// the simplified setting used throughout the paper's exposition.
+func NewUniformCodec(n, r int) (*Codec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("encoding: n must be positive, got %d", n)
+	}
+	card := make([]int, n)
+	for i := range card {
+		card[i] = r
+	}
+	return NewCodec(card)
+}
+
+// NumVars returns the number of variables n.
+func (c *Codec) NumVars() int { return len(c.card) }
+
+// Cardinality returns r_j, the number of states of variable j.
+func (c *Codec) Cardinality(j int) int { return int(c.card[j]) }
+
+// Cardinalities returns a copy of all per-variable cardinalities.
+func (c *Codec) Cardinalities() []int {
+	out := make([]int, len(c.card))
+	for i, r := range c.card {
+		out[i] = int(r)
+	}
+	return out
+}
+
+// KeySpace returns Π_j r_j, the number of distinct keys (one more than the
+// largest encodable key).
+func (c *Codec) KeySpace() uint64 { return c.space }
+
+// Stride returns Π_{k<j} r_k, the positional weight of variable j in a key.
+func (c *Codec) Stride(j int) uint64 { return c.stride[j] }
+
+// Encode maps a state string to its key (Eq. 3). The states slice must have
+// exactly NumVars entries, each within the variable's cardinality; violations
+// panic, since they indicate corrupt training data that must not be counted.
+func (c *Codec) Encode(states []uint8) uint64 {
+	if len(states) != len(c.card) {
+		panic(fmt.Sprintf("encoding: Encode got %d states, codec has %d variables", len(states), len(c.card)))
+	}
+	var key uint64
+	for j, s := range states {
+		if uint64(s) >= c.card[j] {
+			panic(fmt.Sprintf("encoding: state %d of variable %d out of range [0,%d)", s, j, c.card[j]))
+		}
+		key += uint64(s) * c.stride[j]
+	}
+	return key
+}
+
+// Decode recovers the full state string from a key (Eq. 4 applied to every
+// position), appending into dst to avoid allocation in hot loops. It panics
+// if key is outside the key space.
+func (c *Codec) Decode(key uint64, dst []uint8) []uint8 {
+	if key >= c.space {
+		panic(fmt.Sprintf("encoding: key %d outside key space %d", key, c.space))
+	}
+	for j := range c.card {
+		dst = append(dst, uint8(key/c.stride[j]%c.card[j]))
+	}
+	return dst
+}
+
+// DecodeVar extracts the state of a single variable j from a key (Eq. 4).
+// This is the operation marginalization performs per key: O(1), and it never
+// reconstructs the rest of the state string.
+func (c *Codec) DecodeVar(key uint64, j int) uint8 {
+	return uint8(key / c.stride[j] % c.card[j])
+}
+
+// PairDecoder decodes the states of a fixed pair of variables from keys.
+// All-pairs mutual information (Algorithm 4) calls this once per table
+// entry per pair, so the strides and cardinalities are captured up front.
+type PairDecoder struct {
+	strideI, strideJ uint64
+	cardI, cardJ     uint64
+}
+
+// PairDecoder returns a decoder for the (i, j) variable pair.
+func (c *Codec) PairDecoder(i, j int) PairDecoder {
+	return PairDecoder{
+		strideI: c.stride[i], strideJ: c.stride[j],
+		cardI: c.card[i], cardJ: c.card[j],
+	}
+}
+
+// Decode returns the states (s_i, s_j) encoded in key.
+func (d PairDecoder) Decode(key uint64) (uint8, uint8) {
+	return uint8(key / d.strideI % d.cardI), uint8(key / d.strideJ % d.cardJ)
+}
+
+// Cell returns the row-major index s_i·r_j + s_j of the key's states in an
+// r_i×r_j contingency table, the layout used by marginal tables.
+func (d PairDecoder) Cell(key uint64) int {
+	si := key / d.strideI % d.cardI
+	sj := key / d.strideJ % d.cardJ
+	return int(si*d.cardJ + sj)
+}
+
+// SubsetDecoder decodes the states of an arbitrary fixed subset V of
+// variables from keys and flattens them into a mixed-radix cell index over
+// V's joint state space. Marginalization onto V (Algorithm 3) uses one of
+// these per worker.
+type SubsetDecoder struct {
+	stride    []uint64 // source strides of the subset variables
+	card      []uint64 // cardinalities of the subset variables
+	outStride []uint64 // row-major strides within the marginal table
+	cells     uint64   // Π card over the subset
+}
+
+// SubsetDecoder returns a decoder for the given variables, in the given
+// order (the order fixes the marginal table's layout). It panics if vars is
+// empty, contains duplicates, or references an unknown variable.
+func (c *Codec) SubsetDecoder(vars []int) *SubsetDecoder {
+	if len(vars) == 0 {
+		panic("encoding: SubsetDecoder with empty variable set")
+	}
+	d := &SubsetDecoder{
+		stride:    make([]uint64, len(vars)),
+		card:      make([]uint64, len(vars)),
+		outStride: make([]uint64, len(vars)),
+	}
+	seen := make(map[int]bool, len(vars))
+	for k, v := range vars {
+		if v < 0 || v >= len(c.card) {
+			panic(fmt.Sprintf("encoding: variable %d out of range [0,%d)", v, len(c.card)))
+		}
+		if seen[v] {
+			panic(fmt.Sprintf("encoding: duplicate variable %d in subset", v))
+		}
+		seen[v] = true
+		d.stride[k] = c.stride[v]
+		d.card[k] = c.card[v]
+	}
+	// Row-major: the last listed variable varies fastest.
+	cells := uint64(1)
+	for k := len(vars) - 1; k >= 0; k-- {
+		d.outStride[k] = cells
+		cells *= d.card[k]
+	}
+	d.cells = cells
+	return d
+}
+
+// Cells returns the number of cells in the marginal table over the subset.
+func (d *SubsetDecoder) Cells() int { return int(d.cells) }
+
+// Cell maps a full-table key to the flattened marginal-table cell index of
+// the subset's states.
+func (d *SubsetDecoder) Cell(key uint64) int {
+	var idx uint64
+	for k := range d.stride {
+		idx += key / d.stride[k] % d.card[k] * d.outStride[k]
+	}
+	return int(idx)
+}
+
+// CellStates recovers the subset's state string from a flattened marginal
+// cell index, appending into dst. It is the inverse of Cell restricted to
+// the subset and is used when reporting marginal tables.
+func (d *SubsetDecoder) CellStates(cell int, dst []uint8) []uint8 {
+	if cell < 0 || uint64(cell) >= d.cells {
+		panic(fmt.Sprintf("encoding: cell %d outside marginal space %d", cell, d.cells))
+	}
+	for k := range d.outStride {
+		dst = append(dst, uint8(uint64(cell)/d.outStride[k]%d.card[k]))
+	}
+	return dst
+}

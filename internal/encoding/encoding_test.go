@@ -1,0 +1,312 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCodec(t *testing.T, card []int) *Codec {
+	t.Helper()
+	c, err := NewCodec(card)
+	if err != nil {
+		t.Fatalf("NewCodec(%v): %v", card, err)
+	}
+	return c
+}
+
+func TestNewCodecErrors(t *testing.T) {
+	cases := [][]int{
+		{},                 // no variables
+		{0},                // zero cardinality
+		{2, -1},            // negative cardinality
+		{1 << 32, 1 << 32}, // product overflows 63 bits
+	}
+	for _, card := range cases {
+		if _, err := NewCodec(card); err == nil {
+			t.Errorf("NewCodec(%v): expected error", card)
+		}
+	}
+}
+
+func TestNewCodec63BitBoundary(t *testing.T) {
+	// 2^62 fits; 2^63 must not.
+	ok := make([]int, 31)
+	for i := range ok {
+		ok[i] = 4 // 4^31 = 2^62
+	}
+	if _, err := NewCodec(ok); err != nil {
+		t.Errorf("2^62 key space should be accepted: %v", err)
+	}
+	bad := append(append([]int{}, ok...), 2) // 2^63
+	if _, err := NewCodec(bad); err == nil {
+		t.Error("2^63 key space should be rejected")
+	}
+}
+
+func TestNewUniformCodec(t *testing.T) {
+	c, err := NewUniformCodec(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVars() != 30 {
+		t.Errorf("NumVars = %d, want 30", c.NumVars())
+	}
+	if c.KeySpace() != 1<<30 {
+		t.Errorf("KeySpace = %d, want 2^30", c.KeySpace())
+	}
+	for j := 0; j < 30; j++ {
+		if c.Cardinality(j) != 2 {
+			t.Errorf("Cardinality(%d) = %d, want 2", j, c.Cardinality(j))
+		}
+		if c.Stride(j) != 1<<uint(j) {
+			t.Errorf("Stride(%d) = %d, want 2^%d", j, c.Stride(j), j)
+		}
+	}
+	if _, err := NewUniformCodec(0, 2); err == nil {
+		t.Error("NewUniformCodec(0, 2) should fail")
+	}
+}
+
+func TestEncodeMatchesPaperFormula(t *testing.T) {
+	// Eq. 3 with uniform r: key = Σ s_j · r^(j-1).
+	c := mustCodec(t, []int{3, 3, 3, 3})
+	states := []uint8{2, 0, 1, 2}
+	want := uint64(2*1 + 0*3 + 1*9 + 2*27)
+	if got := c.Encode(states); got != want {
+		t.Errorf("Encode(%v) = %d, want %d", states, got, want)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := mustCodec(t, []int{2, 3, 5, 7, 2})
+	var buf []uint8
+	for key := uint64(0); key < c.KeySpace(); key++ {
+		buf = c.Decode(key, buf[:0])
+		if got := c.Encode(buf); got != key {
+			t.Fatalf("Encode(Decode(%d)) = %d", key, got)
+		}
+	}
+}
+
+func TestEncodeBijective(t *testing.T) {
+	// Every distinct state string maps to a distinct key (1-to-1 mapping
+	// claimed in Section IV-A).
+	c := mustCodec(t, []int{2, 3, 4})
+	seen := make(map[uint64][]uint8)
+	var states []uint8
+	for a := uint8(0); a < 2; a++ {
+		for b := uint8(0); b < 3; b++ {
+			for d := uint8(0); d < 4; d++ {
+				states = append(states[:0], a, b, d)
+				key := c.Encode(states)
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("key %d produced by both %v and %v", key, prev, states)
+				}
+				seen[key] = append([]uint8{}, states...)
+			}
+		}
+	}
+	if len(seen) != int(c.KeySpace()) {
+		t.Fatalf("saw %d keys, want %d", len(seen), c.KeySpace())
+	}
+}
+
+func TestDecodeVarMatchesDecode(t *testing.T) {
+	c := mustCodec(t, []int{4, 2, 3, 5})
+	var buf []uint8
+	for key := uint64(0); key < c.KeySpace(); key++ {
+		buf = c.Decode(key, buf[:0])
+		for j := 0; j < c.NumVars(); j++ {
+			if got := c.DecodeVar(key, j); got != buf[j] {
+				t.Fatalf("DecodeVar(%d, %d) = %d, Decode gave %d", key, j, got, buf[j])
+			}
+		}
+	}
+}
+
+func TestEncodePanics(t *testing.T) {
+	c := mustCodec(t, []int{2, 2})
+	for name, states := range map[string][]uint8{
+		"wrong length":       {1},
+		"state out of range": {1, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Encode(%v) did not panic", name, states)
+				}
+			}()
+			c.Encode(states)
+		}()
+	}
+}
+
+func TestDecodePanicsOutsideKeySpace(t *testing.T) {
+	c := mustCodec(t, []int{2, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("Decode(keySpace) did not panic")
+		}
+	}()
+	c.Decode(c.KeySpace(), nil)
+}
+
+func TestPairDecoder(t *testing.T) {
+	c := mustCodec(t, []int{2, 3, 4, 5})
+	d := c.PairDecoder(1, 3)
+	var buf []uint8
+	for key := uint64(0); key < c.KeySpace(); key++ {
+		buf = c.Decode(key, buf[:0])
+		si, sj := d.Decode(key)
+		if si != buf[1] || sj != buf[3] {
+			t.Fatalf("PairDecoder.Decode(%d) = (%d,%d), want (%d,%d)", key, si, sj, buf[1], buf[3])
+		}
+		if cell := d.Cell(key); cell != int(si)*5+int(sj) {
+			t.Fatalf("PairDecoder.Cell(%d) = %d, want %d", key, cell, int(si)*5+int(sj))
+		}
+	}
+}
+
+func TestSubsetDecoderSingleVar(t *testing.T) {
+	c := mustCodec(t, []int{2, 3, 4})
+	d := c.SubsetDecoder([]int{1})
+	if d.Cells() != 3 {
+		t.Fatalf("Cells = %d, want 3", d.Cells())
+	}
+	for key := uint64(0); key < c.KeySpace(); key++ {
+		if got, want := d.Cell(key), int(c.DecodeVar(key, 1)); got != want {
+			t.Fatalf("Cell(%d) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestSubsetDecoderMatchesPairDecoder(t *testing.T) {
+	c := mustCodec(t, []int{3, 2, 4, 2})
+	pd := c.PairDecoder(0, 2)
+	sd := c.SubsetDecoder([]int{0, 2})
+	if sd.Cells() != 12 {
+		t.Fatalf("Cells = %d, want 12", sd.Cells())
+	}
+	for key := uint64(0); key < c.KeySpace(); key++ {
+		if pd.Cell(key) != sd.Cell(key) {
+			t.Fatalf("key %d: pair cell %d != subset cell %d", key, pd.Cell(key), sd.Cell(key))
+		}
+	}
+}
+
+func TestSubsetDecoderCellStatesRoundTrip(t *testing.T) {
+	c := mustCodec(t, []int{2, 3, 4, 5})
+	d := c.SubsetDecoder([]int{3, 0, 2})
+	var full, sub []uint8
+	for key := uint64(0); key < c.KeySpace(); key++ {
+		full = c.Decode(key, full[:0])
+		cell := d.Cell(key)
+		sub = d.CellStates(cell, sub[:0])
+		want := []uint8{full[3], full[0], full[2]}
+		for k := range want {
+			if sub[k] != want[k] {
+				t.Fatalf("key %d cell %d: CellStates = %v, want %v", key, cell, sub, want)
+			}
+		}
+	}
+}
+
+func TestSubsetDecoderPanics(t *testing.T) {
+	c := mustCodec(t, []int{2, 2, 2})
+	for name, vars := range map[string][]int{
+		"empty":     {},
+		"negative":  {-1},
+		"too large": {3},
+		"duplicate": {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: SubsetDecoder(%v) did not panic", name, vars)
+				}
+			}()
+			c.SubsetDecoder(vars)
+		}()
+	}
+	d := c.SubsetDecoder([]int{0, 1})
+	for _, cell := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CellStates(%d) did not panic", cell)
+				}
+			}()
+			d.CellStates(cell, nil)
+		}()
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	// Property: for random cardinalities and random valid state strings,
+	// Decode(Encode(s)) == s and every DecodeVar agrees.
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		card := make([]int, n)
+		for i := range card {
+			card[i] = 1 + r.Intn(6)
+		}
+		c, err := NewCodec(card)
+		if err != nil {
+			return false
+		}
+		states := make([]uint8, n)
+		for i := range states {
+			states[i] = uint8(r.Intn(card[i]))
+		}
+		key := c.Encode(states)
+		if key >= c.KeySpace() {
+			return false
+		}
+		back := c.Decode(key, nil)
+		for j := range states {
+			if back[j] != states[j] || c.DecodeVar(key, j) != states[j] {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCardinalitiesCopy(t *testing.T) {
+	c := mustCodec(t, []int{2, 3})
+	got := c.Cardinalities()
+	got[0] = 99
+	if c.Cardinality(0) != 2 {
+		t.Error("Cardinalities must return a copy")
+	}
+}
+
+func BenchmarkEncode30Vars(b *testing.B) {
+	c, _ := NewUniformCodec(30, 2)
+	states := make([]uint8, 30)
+	for i := range states {
+		states[i] = uint8(i % 2)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += c.Encode(states)
+	}
+	_ = sink
+}
+
+func BenchmarkPairDecoderCell(b *testing.B) {
+	c, _ := NewUniformCodec(30, 2)
+	d := c.PairDecoder(3, 17)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += d.Cell(uint64(i) & (1<<30 - 1))
+	}
+	_ = sink
+}

@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DAG is a directed acyclic graph on n vertices. Acyclicity is enforced at
+// AddEdge time, so a DAG value is acyclic by construction.
+type DAG struct {
+	n       int
+	adj     [][]bool
+	parents [][]int // sorted
+	childs  [][]int // sorted
+}
+
+// NewDAG returns an empty DAG on n vertices.
+func NewDAG(n int) *DAG {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	return &DAG{
+		n:       n,
+		adj:     adj,
+		parents: make([][]int, n),
+		childs:  make([][]int, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *DAG) N() int { return g.n }
+
+func (g *DAG) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d outside [0,%d)", v, g.n))
+	}
+}
+
+// AddEdge inserts the directed edge u→v. It returns an error (and leaves
+// the graph unchanged) if the edge would create a cycle; it panics on
+// out-of-range vertices or self-loops, which are programming errors.
+func (g *DAG) AddEdge(u, v int) error {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on %d", u))
+	}
+	if g.adj[u][v] {
+		return nil
+	}
+	if g.reaches(v, u) {
+		return fmt.Errorf("graph: edge %d→%d would create a cycle", u, v)
+	}
+	g.adj[u][v] = true
+	g.childs[u] = insertSorted(g.childs[u], v)
+	g.parents[v] = insertSorted(g.parents[v], u)
+	return nil
+}
+
+// MustAddEdge is AddEdge for statically known acyclic structures; it
+// panics on cycle.
+func (g *DAG) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes u→v if present.
+func (g *DAG) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if !g.adj[u][v] {
+		return
+	}
+	g.adj[u][v] = false
+	g.childs[u] = removeSorted(g.childs[u], v)
+	g.parents[v] = removeSorted(g.parents[v], u)
+}
+
+// HasEdge reports whether u→v is an edge.
+func (g *DAG) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Parents returns the sorted parents of v (alias; do not modify).
+func (g *DAG) Parents(v int) []int {
+	g.check(v)
+	return g.parents[v]
+}
+
+// Children returns the sorted children of v (alias; do not modify).
+func (g *DAG) Children(v int) []int {
+	g.check(v)
+	return g.childs[v]
+}
+
+// NumEdges returns the number of directed edges.
+func (g *DAG) NumEdges() int {
+	total := 0
+	for _, cs := range g.childs {
+		total += len(cs)
+	}
+	return total
+}
+
+// Edges returns all directed edges (u, v), sorted.
+func (g *DAG) Edges() [][2]int {
+	var edges [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.childs[u] {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return edges
+}
+
+// reaches reports whether there is a directed path from u to v.
+func (g *DAG) reaches(u, v int) bool {
+	if u == v {
+		return true
+	}
+	visited := make([]bool, g.n)
+	stack := []int{u}
+	visited[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range g.childs[x] {
+			if y == v {
+				return true
+			}
+			if !visited[y] {
+				visited[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+// TopoOrder returns a topological ordering of the vertices (Kahn's
+// algorithm; ties broken by vertex number for determinism).
+func (g *DAG) TopoOrder() []int {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.parents[v])
+	}
+	var frontier []int
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, v)
+		for _, c := range g.childs[v] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				frontier = append(frontier, c)
+			}
+		}
+	}
+	if len(order) != g.n {
+		// Impossible by construction; defend against internal corruption.
+		panic("graph: cycle detected in DAG")
+	}
+	return order
+}
+
+// Skeleton returns the undirected graph obtained by dropping edge
+// directions.
+func (g *DAG) Skeleton() *Undirected {
+	u := NewUndirected(g.n)
+	for a := 0; a < g.n; a++ {
+		for _, b := range g.childs[a] {
+			u.AddEdge(a, b)
+		}
+	}
+	return u
+}
+
+// Moralize returns the moral graph: the skeleton plus edges between every
+// pair of parents that share a child ("marrying" the parents).
+func (g *DAG) Moralize() *Undirected {
+	u := g.Skeleton()
+	for v := 0; v < g.n; v++ {
+		ps := g.parents[v]
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				u.AddEdge(ps[i], ps[j])
+			}
+		}
+	}
+	return u
+}
+
+// DSeparated reports whether every x ∈ X is d-separated from every y ∈ Y
+// given the conditioning set Z, using the reachable-by-active-paths ball
+// algorithm (Koller & Friedman, Algorithm 3.1). X, Y, Z must be disjoint.
+func (g *DAG) DSeparated(X, Y, Z []int) bool {
+	inZ := make([]bool, g.n)
+	for _, z := range Z {
+		g.check(z)
+		inZ[z] = true
+	}
+	// Ancestors of Z (inclusive) determine whether a collider is active.
+	ancZ := make([]bool, g.n)
+	var mark func(v int)
+	mark = func(v int) {
+		if ancZ[v] {
+			return
+		}
+		ancZ[v] = true
+		for _, p := range g.parents[v] {
+			mark(p)
+		}
+	}
+	for _, z := range Z {
+		mark(z)
+	}
+
+	inY := make([]bool, g.n)
+	for _, y := range Y {
+		g.check(y)
+		inY[y] = true
+	}
+
+	// Ball algorithm from each x: states are (vertex, direction), where
+	// direction records whether we arrived via an incoming ("down", from a
+	// parent) or outgoing ("up", from a child) traversal.
+	const (
+		up   = 0 // arrived at v from one of v's children, or start
+		down = 1 // arrived at v from one of v's parents
+	)
+	for _, x := range X {
+		g.check(x)
+		visited := make([][2]bool, g.n)
+		type state struct{ v, dir int }
+		stack := []state{{x, up}}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[s.v][s.dir] {
+				continue
+			}
+			visited[s.v][s.dir] = true
+			if inY[s.v] && s.v != x {
+				return false // active path reached Y
+			}
+			if s.dir == up {
+				// Arrived from a child (or start): if v ∉ Z we may go up
+				// to parents and down to children.
+				if !inZ[s.v] {
+					for _, p := range g.parents[s.v] {
+						stack = append(stack, state{p, up})
+					}
+					for _, c := range g.childs[s.v] {
+						stack = append(stack, state{c, down})
+					}
+				}
+			} else {
+				// Arrived from a parent: chain through to children unless
+				// blocked by Z; v is a (potential) collider, so we may
+				// bounce back up to parents only if v has a descendant in
+				// Z (tracked by ancZ).
+				if !inZ[s.v] {
+					for _, c := range g.childs[s.v] {
+						stack = append(stack, state{c, down})
+					}
+				}
+				if ancZ[s.v] {
+					for _, p := range g.parents[s.v] {
+						stack = append(stack, state{p, up})
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the DAG.
+func (g *DAG) Clone() *DAG {
+	c := NewDAG(g.n)
+	for u := 0; u < g.n; u++ {
+		copy(c.adj[u], g.adj[u])
+		c.parents[u] = append([]int(nil), g.parents[u]...)
+		c.childs[u] = append([]int(nil), g.childs[u]...)
+	}
+	return c
+}

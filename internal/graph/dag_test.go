@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"testing"
+)
+
+func chainDAG(t *testing.T, n int) *DAG {
+	t.Helper()
+	g := NewDAG(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestDAGBasic(t *testing.T) {
+	g := NewDAG(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("directed edge direction wrong")
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if ps := g.Parents(3); len(ps) != 1 || ps[0] != 1 {
+		t.Errorf("Parents(3) = %v", ps)
+	}
+	if cs := g.Children(0); len(cs) != 2 || cs[0] != 1 || cs[1] != 2 {
+		t.Errorf("Children(0) = %v", cs)
+	}
+	g.MustAddEdge(0, 1) // duplicate is a no-op
+	if g.NumEdges() != 3 {
+		t.Error("duplicate edge changed count")
+	}
+}
+
+func TestDAGRejectsCycles(t *testing.T) {
+	g := chainDAG(t, 4) // 0→1→2→3
+	if err := g.AddEdge(3, 0); err == nil {
+		t.Fatal("cycle 3→0 accepted")
+	}
+	if err := g.AddEdge(2, 1); err == nil {
+		t.Fatal("cycle 2→1 accepted")
+	}
+	// Graph must be unchanged after rejections.
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d after rejected inserts", g.NumEdges())
+	}
+	if err := g.AddEdge(0, 3); err != nil {
+		t.Errorf("forward edge rejected: %v", err)
+	}
+}
+
+func TestDAGMustAddEdgePanics(t *testing.T) {
+	g := chainDAG(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge on cycle did not panic")
+		}
+	}()
+	g.MustAddEdge(2, 0)
+}
+
+func TestDAGRemoveEdge(t *testing.T) {
+	g := chainDAG(t, 3)
+	g.RemoveEdge(0, 1)
+	g.RemoveEdge(0, 2) // absent
+	if g.HasEdge(0, 1) || g.NumEdges() != 1 {
+		t.Error("RemoveEdge failed")
+	}
+	// Removing re-permits the reverse edge.
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Errorf("reverse edge after removal rejected: %v", err)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := NewDAG(6)
+	g.MustAddEdge(5, 0)
+	g.MustAddEdge(5, 2)
+	g.MustAddEdge(4, 0)
+	g.MustAddEdge(4, 1)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 1)
+	order := g.TopoOrder()
+	pos := make([]int, 6)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topological order %v", e, order)
+		}
+	}
+	if len(order) != 6 {
+		t.Errorf("order length %d", len(order))
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := NewDAG(5) // no edges: ties everywhere
+	order := g.TopoOrder()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("expected identity order for edgeless DAG, got %v", order)
+		}
+	}
+}
+
+func TestSkeletonAndMoralize(t *testing.T) {
+	// v-structure 0→2←1.
+	g := NewDAG(3)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 2)
+	sk := g.Skeleton()
+	if !sk.HasEdge(0, 2) || !sk.HasEdge(1, 2) || sk.HasEdge(0, 1) {
+		t.Error("skeleton wrong")
+	}
+	mor := g.Moralize()
+	if !mor.HasEdge(0, 1) {
+		t.Error("moralization must marry parents 0 and 1")
+	}
+	if mor.NumEdges() != 3 {
+		t.Errorf("moral graph edges = %d, want 3", mor.NumEdges())
+	}
+}
+
+func TestDSeparationChain(t *testing.T) {
+	// 0→1→2: 0 and 2 dependent marginally, independent given 1.
+	g := chainDAG(t, 3)
+	if g.DSeparated([]int{0}, []int{2}, nil) {
+		t.Error("chain ends should be d-connected with empty Z")
+	}
+	if !g.DSeparated([]int{0}, []int{2}, []int{1}) {
+		t.Error("chain ends should be d-separated given the middle")
+	}
+}
+
+func TestDSeparationFork(t *testing.T) {
+	// 1←0→2 (common cause).
+	g := NewDAG(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	if g.DSeparated([]int{1}, []int{2}, nil) {
+		t.Error("fork children d-connected marginally")
+	}
+	if !g.DSeparated([]int{1}, []int{2}, []int{0}) {
+		t.Error("fork children d-separated given the root")
+	}
+}
+
+func TestDSeparationCollider(t *testing.T) {
+	// 0→2←1 (v-structure): independent marginally, dependent given 2 or a
+	// descendant of 2.
+	g := NewDAG(4)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	if !g.DSeparated([]int{0}, []int{1}, nil) {
+		t.Error("collider parents should be d-separated marginally")
+	}
+	if g.DSeparated([]int{0}, []int{1}, []int{2}) {
+		t.Error("conditioning on collider opens the path")
+	}
+	if g.DSeparated([]int{0}, []int{1}, []int{3}) {
+		t.Error("conditioning on collider's descendant opens the path")
+	}
+}
+
+func TestDSeparationDiamond(t *testing.T) {
+	// 0→1→3, 0→2→3.
+	g := NewDAG(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	if g.DSeparated([]int{0}, []int{3}, []int{1}) {
+		t.Error("path through 2 remains active")
+	}
+	if !g.DSeparated([]int{0}, []int{3}, []int{1, 2}) {
+		t.Error("blocking both middles separates 0 from 3")
+	}
+	// 1 and 2: share parent 0, and are collider parents at 3.
+	if !g.DSeparated([]int{1}, []int{2}, []int{0}) {
+		t.Error("1 ⊥ 2 | 0 should hold (collider 3 not conditioned)")
+	}
+	if g.DSeparated([]int{1}, []int{2}, []int{0, 3}) {
+		t.Error("conditioning on collider 3 reopens dependence")
+	}
+}
+
+func TestDSeparationAsiaLikeFragment(t *testing.T) {
+	// smoking(0)→bronchitis(1), smoking(0)→cancer(2),
+	// bronchitis(1)→dyspnea(3)←cancer(2).
+	g := NewDAG(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	// bronchitis ⊥ cancer | smoking.
+	if !g.DSeparated([]int{1}, []int{2}, []int{0}) {
+		t.Error("1 ⊥ 2 | 0 expected")
+	}
+	// smoking ⊥ dyspnea? No — two directed paths.
+	if g.DSeparated([]int{0}, []int{3}, nil) {
+		t.Error("0 and 3 are dependent")
+	}
+}
+
+func TestDSeparationSets(t *testing.T) {
+	g := chainDAG(t, 5) // 0→1→2→3→4
+	if !g.DSeparated([]int{0, 1}, []int{3, 4}, []int{2}) {
+		t.Error("{0,1} ⊥ {3,4} | {2} on a chain")
+	}
+	if g.DSeparated([]int{0, 3}, []int{4}, []int{2}) {
+		t.Error("3→4 is direct; cannot be separated")
+	}
+}
+
+func TestDAGPanics(t *testing.T) {
+	g := NewDAG(3)
+	for name, fn := range map[string]func(){
+		"negative n": func() { NewDAG(-2) },
+		"self loop":  func() { _ = g.AddEdge(2, 2) },
+		"range":      func() { _ = g.AddEdge(0, 5) },
+		"dsep range": func() { g.DSeparated([]int{7}, []int{0}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDAGClone(t *testing.T) {
+	g := chainDAG(t, 4)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	c.MustAddEdge(0, 3)
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 3) {
+		t.Error("Clone shares state with original")
+	}
+	if len(c.TopoOrder()) != 4 {
+		t.Error("clone is not a valid DAG")
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOT rendering for the three graph kinds, so learned structures can be
+// inspected with Graphviz (`dot -Tsvg`). Vertex labels default to "x<i>";
+// pass names to override (extra names are ignored, missing ones fall back
+// to the default).
+
+func dotName(names []string, v int) string {
+	if v < len(names) && names[v] != "" {
+		return quoteDot(names[v])
+	}
+	return fmt.Sprintf("x%d", v)
+}
+
+func quoteDot(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// WriteDOT renders the undirected graph in DOT format.
+func (g *Undirected) WriteDOT(w io.Writer, names []string) error {
+	var b strings.Builder
+	b.WriteString("graph G {\n")
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&b, "  %s;\n", dotName(names, v))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %s -- %s;\n", dotName(names, e[0]), dotName(names, e[1]))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteDOT renders the DAG in DOT format.
+func (g *DAG) WriteDOT(w io.Writer, names []string) error {
+	var b strings.Builder
+	b.WriteString("digraph G {\n")
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&b, "  %s;\n", dotName(names, v))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %s -> %s;\n", dotName(names, e[0]), dotName(names, e[1]))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteDOT renders the PDAG in DOT format: directed edges with arrowheads,
+// undirected edges without (`dir=none`).
+func (p *PDAG) WriteDOT(w io.Writer, names []string) error {
+	var b strings.Builder
+	b.WriteString("digraph G {\n")
+	for v := 0; v < p.n; v++ {
+		fmt.Fprintf(&b, "  %s;\n", dotName(names, v))
+	}
+	for _, e := range p.DirectedEdges() {
+		fmt.Fprintf(&b, "  %s -> %s;\n", dotName(names, e[0]), dotName(names, e[1]))
+	}
+	for _, e := range p.UndirectedEdges() {
+		fmt.Fprintf(&b, "  %s -> %s [dir=none];\n", dotName(names, e[0]), dotName(names, e[1]))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUndirectedWriteDOT(t *testing.T) {
+	g := NewUndirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph G {", "x0 -- x1;", "x1 -- x2;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "->") {
+		t.Error("undirected DOT contains arrows")
+	}
+}
+
+func TestDAGWriteDOTWithNames(t *testing.T) {
+	g := NewDAG(3)
+	g.MustAddEdge(0, 2)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, []string{"smoke", "", `we"ird`}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph G {", `"smoke" -> "we\"ird";`, "x1;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPDAGWriteDOT(t *testing.T) {
+	p := NewPDAG(3)
+	p.AddUndirected(0, 1)
+	p.Orient(0, 1)
+	p.AddUndirected(1, 2)
+	var buf bytes.Buffer
+	if err := p.WriteDOT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x0 -> x1;") {
+		t.Errorf("directed edge missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x1 -> x2 [dir=none];") {
+		t.Errorf("undirected edge missing:\n%s", out)
+	}
+}

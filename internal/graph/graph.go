@@ -1,0 +1,204 @@
+// Package graph provides the graph machinery used by the structure
+// learner: undirected graphs for the draft/thicken/thin phases, directed
+// acyclic graphs for ground-truth Bayesian networks, and the reachability
+// and d-separation queries the conditional-independence machinery needs.
+//
+// Vertices are dense integers [0, n), matching variable indexes everywhere
+// else in the repository. Adjacency is stored both as a matrix (O(1) edge
+// tests, n ≤ a few thousand here) and as sorted neighbor lists (fast
+// iteration).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Undirected is a simple undirected graph on n vertices.
+type Undirected struct {
+	n   int
+	adj [][]bool
+	nbr [][]int // lazily maintained sorted adjacency lists
+}
+
+// NewUndirected returns an empty undirected graph on n vertices.
+func NewUndirected(n int) *Undirected {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	return &Undirected{n: n, adj: adj, nbr: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+func (g *Undirected) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d outside [0,%d)", v, g.n))
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are rejected.
+func (g *Undirected) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on %d", u))
+	}
+	if g.adj[u][v] {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	g.nbr[u] = insertSorted(g.nbr[u], v)
+	g.nbr[v] = insertSorted(g.nbr[v], u)
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Undirected) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if !g.adj[u][v] {
+		return
+	}
+	g.adj[u][v] = false
+	g.adj[v][u] = false
+	g.nbr[u] = removeSorted(g.nbr[u], v)
+	g.nbr[v] = removeSorted(g.nbr[v], u)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Undirected) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Neighbors returns the sorted neighbors of v. The returned slice aliases
+// internal state and must not be modified.
+func (g *Undirected) Neighbors(v int) []int {
+	g.check(v)
+	return g.nbr[v]
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Undirected) Degree(v int) int {
+	g.check(v)
+	return len(g.nbr[v])
+}
+
+// NumEdges returns the number of edges.
+func (g *Undirected) NumEdges() int {
+	total := 0
+	for _, ns := range g.nbr {
+		total += len(ns)
+	}
+	return total / 2
+}
+
+// Edges returns all edges as (u, v) pairs with u < v, sorted.
+func (g *Undirected) Edges() [][2]int {
+	var edges [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.nbr[u] {
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy.
+func (g *Undirected) Clone() *Undirected {
+	c := NewUndirected(g.n)
+	for u := 0; u < g.n; u++ {
+		copy(c.adj[u], g.adj[u])
+		c.nbr[u] = append([]int(nil), g.nbr[u]...)
+	}
+	return c
+}
+
+// HasPath reports whether u and v are connected by any path, optionally
+// excluding a set of blocked vertices (used by Cheng's algorithm to test
+// connectivity "apart from the direct edge" and around cut sets). u and v
+// themselves are never treated as blocked.
+func (g *Undirected) HasPath(u, v int, blocked map[int]bool) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return true
+	}
+	visited := make([]bool, g.n)
+	visited[u] = true
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range g.nbr[x] {
+			if visited[y] || (blocked != nil && blocked[y] && y != v) {
+				continue
+			}
+			if y == v {
+				return true
+			}
+			visited[y] = true
+			stack = append(stack, y)
+		}
+	}
+	return false
+}
+
+// AdjacencyPath reports whether u and v are connected when the direct edge
+// {u, v} is ignored — the "is there another route" test used while
+// drafting.
+func (g *Undirected) AdjacencyPath(u, v int) bool {
+	if !g.adj[u][v] {
+		return g.HasPath(u, v, nil)
+	}
+	g.RemoveEdge(u, v)
+	ok := g.HasPath(u, v, nil)
+	g.AddEdge(u, v)
+	return ok
+}
+
+// NeighborsOnPaths returns the neighbors of u that lie on at least one
+// path from u to v (excluding the direct edge {u,v} itself): exactly the
+// candidate cut-set Cheng et al. condition on in try_to_separate. A
+// neighbor w qualifies if w == v is false and w can reach v without going
+// back through u.
+func (g *Undirected) NeighborsOnPaths(u, v int) []int {
+	g.check(u)
+	g.check(v)
+	var out []int
+	blocked := map[int]bool{u: true}
+	for _, w := range g.nbr[u] {
+		if w == v {
+			continue
+		}
+		if g.HasPath(w, v, blocked) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

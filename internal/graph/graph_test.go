@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestUndirectedBasic(t *testing.T) {
+	g := NewUndirected(5)
+	if g.N() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("fresh graph: N=%d edges=%d", g.N(), g.NumEdges())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate is a no-op
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("spurious edge")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Errorf("degrees: %d, %d", g.Degree(1), g.Degree(3))
+	}
+	ns := g.Neighbors(1)
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Errorf("Neighbors(1) = %v", ns)
+	}
+}
+
+func TestUndirectedRemoveEdge(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.RemoveEdge(0, 1)
+	g.RemoveEdge(0, 3) // absent edge is a no-op
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge not removed")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(1) != 1 {
+		t.Errorf("Degree(1) = %d, want 1", g.Degree(1))
+	}
+}
+
+func TestUndirectedEdges(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 1)
+	edges := g.Edges()
+	want := [][2]int{{0, 2}, {1, 3}}
+	if len(edges) != 2 || edges[0] != want[0] || edges[1] != want[1] {
+		t.Errorf("Edges = %v, want %v", edges, want)
+	}
+}
+
+func TestUndirectedPanics(t *testing.T) {
+	g := NewUndirected(3)
+	for name, fn := range map[string]func(){
+		"negative n":    func() { NewUndirected(-1) },
+		"self loop":     func() { g.AddEdge(1, 1) },
+		"out of range":  func() { g.AddEdge(0, 3) },
+		"neighbors oob": func() { g.Neighbors(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	// 0-1-2-3, and isolated 4.
+	g := NewUndirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !g.HasPath(0, 3, nil) {
+		t.Error("0 should reach 3")
+	}
+	if g.HasPath(0, 4, nil) {
+		t.Error("0 should not reach isolated 4")
+	}
+	if !g.HasPath(2, 2, nil) {
+		t.Error("vertex should reach itself")
+	}
+	// Blocking the middle vertex cuts the path.
+	if g.HasPath(0, 3, map[int]bool{2: true}) {
+		t.Error("blocking 2 should disconnect 0 from 3")
+	}
+	// Blocking the destination itself must not prevent arrival.
+	if !g.HasPath(0, 3, map[int]bool{3: true}) {
+		t.Error("blocked destination should still be reachable")
+	}
+}
+
+func TestHasPathMultipleRoutes(t *testing.T) {
+	// Cycle 0-1-2-0 plus chain 2-3.
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	if g.HasPath(0, 3, map[int]bool{2: true}) {
+		t.Error("2 is a cut vertex for 0-3")
+	}
+	if !g.HasPath(0, 2, map[int]bool{1: true}) {
+		t.Error("direct edge 0-2 bypasses blocked 1")
+	}
+}
+
+func TestAdjacencyPath(t *testing.T) {
+	// Triangle 0-1-2: removing edge 0-1 still leaves path through 2.
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 3)
+	if !g.AdjacencyPath(0, 1) {
+		t.Error("0 and 1 connected through 2 apart from direct edge")
+	}
+	if g.AdjacencyPath(0, 3) {
+		t.Error("0-3 has only the direct edge")
+	}
+	// The probe must not permanently alter the graph.
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 3) {
+		t.Error("AdjacencyPath mutated the graph")
+	}
+	// Also works for non-adjacent pairs.
+	g2 := NewUndirected(3)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(1, 2)
+	if !g2.AdjacencyPath(0, 2) {
+		t.Error("non-adjacent connected pair")
+	}
+}
+
+func TestNeighborsOnPaths(t *testing.T) {
+	// u=0 with neighbors 1, 2, 3; v=4. 1-4 and 2-4 edges exist, 3 dangles.
+	g := NewUndirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(2, 4)
+	got := g.NeighborsOnPaths(0, 4)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("NeighborsOnPaths = %v, want [1 2]", got)
+	}
+	// Direct edge to v must be excluded.
+	g.AddEdge(0, 4)
+	got = g.NeighborsOnPaths(0, 4)
+	if len(got) != 2 {
+		t.Errorf("direct edge contaminated result: %v", got)
+	}
+	// Paths that double back through u must not count.
+	h := NewUndirected(4)
+	h.AddEdge(0, 1) // neighbor 1 connects to v=3 only via u=0
+	h.AddEdge(0, 3)
+	if got := h.NeighborsOnPaths(0, 3); len(got) != 0 {
+		t.Errorf("path through u counted: %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewUndirected(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 2) {
+		t.Error("Clone shares state with original")
+	}
+}

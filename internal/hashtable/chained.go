@@ -1,0 +1,164 @@
+package hashtable
+
+import "waitfreebn/internal/rng"
+
+// ChainedTable is a separate-chaining hash table from uint64 keys to uint64
+// counts. It serves as the ablation counterpart to the open-addressing
+// Table (bench A4) and as a structurally independent oracle in differential
+// tests. Like Table, it is single-owner and unsynchronized.
+type ChainedTable struct {
+	buckets []int32 // head index into nodes, -1 = empty
+	nodes   []chainNode
+}
+
+type chainNode struct {
+	key   uint64
+	count uint64
+	next  int32
+}
+
+// NewChained returns a chained table pre-sized for sizeHint entries.
+func NewChained(sizeHint int) *ChainedTable {
+	capacity := minCapacity
+	for capacity < sizeHint {
+		capacity <<= 1
+	}
+	t := &ChainedTable{
+		buckets: make([]int32, capacity),
+		nodes:   make([]chainNode, 0, sizeHint),
+	}
+	for i := range t.buckets {
+		t.buckets[i] = -1
+	}
+	return t
+}
+
+// Len returns the number of distinct keys stored.
+func (t *ChainedTable) Len() int { return len(t.nodes) }
+
+// Add increments the count of key by delta, inserting the key if absent.
+func (t *ChainedTable) Add(key, delta uint64) {
+	mask := uint64(len(t.buckets) - 1)
+	b := rng.Mix64(key) & mask
+	for i := t.buckets[b]; i >= 0; i = t.nodes[i].next {
+		if t.nodes[i].key == key {
+			t.nodes[i].count += delta
+			return
+		}
+	}
+	t.nodes = append(t.nodes, chainNode{key: key, count: delta, next: t.buckets[b]})
+	t.buckets[b] = int32(len(t.nodes) - 1)
+	if len(t.nodes) > len(t.buckets) {
+		t.grow()
+	}
+}
+
+// Inc increments the count of key by one.
+func (t *ChainedTable) Inc(key uint64) { t.Add(key, 1) }
+
+// Get returns the count stored for key, or 0 if absent.
+func (t *ChainedTable) Get(key uint64) uint64 {
+	mask := uint64(len(t.buckets) - 1)
+	for i := t.buckets[rng.Mix64(key)&mask]; i >= 0; i = t.nodes[i].next {
+		if t.nodes[i].key == key {
+			return t.nodes[i].count
+		}
+	}
+	return 0
+}
+
+// Range calls fn for every (key, count) pair in unspecified order.
+// Returning false stops the iteration early.
+func (t *ChainedTable) Range(fn func(key, count uint64) bool) {
+	for i := range t.nodes {
+		if !fn(t.nodes[i].key, t.nodes[i].count) {
+			return
+		}
+	}
+}
+
+// Total returns the sum of all counts.
+func (t *ChainedTable) Total() uint64 {
+	var total uint64
+	for i := range t.nodes {
+		total += t.nodes[i].count
+	}
+	return total
+}
+
+// Reset removes all entries but keeps allocated capacity.
+func (t *ChainedTable) Reset() {
+	for i := range t.buckets {
+		t.buckets[i] = -1
+	}
+	t.nodes = t.nodes[:0]
+}
+
+func (t *ChainedTable) grow() {
+	capacity := len(t.buckets) << 1
+	t.buckets = make([]int32, capacity)
+	for i := range t.buckets {
+		t.buckets[i] = -1
+	}
+	mask := uint64(capacity - 1)
+	for i := range t.nodes {
+		b := rng.Mix64(t.nodes[i].key) & mask
+		t.nodes[i].next = t.buckets[b]
+		t.buckets[b] = int32(i)
+	}
+}
+
+// Counter is the common interface of the count tables in this package and
+// of Go's built-in map wrapped by MapTable. The construction strategies are
+// written against it so every table type can be swapped in for ablation.
+type Counter interface {
+	Add(key, delta uint64)
+	Inc(key uint64)
+	Get(key uint64) uint64
+	Len() int
+	Total() uint64
+	Range(fn func(key, count uint64) bool)
+}
+
+var (
+	_ Counter = (*Table)(nil)
+	_ Counter = (*ChainedTable)(nil)
+	_ Counter = (MapTable)(nil)
+)
+
+// MapTable adapts Go's built-in map to the Counter interface, as the
+// simplest possible oracle and the third arm of ablation A4.
+type MapTable map[uint64]uint64
+
+// NewMapTable returns a MapTable pre-sized for sizeHint entries.
+func NewMapTable(sizeHint int) MapTable { return make(MapTable, sizeHint) }
+
+// Add increments the count of key by delta.
+func (m MapTable) Add(key, delta uint64) { m[key] += delta }
+
+// Inc increments the count of key by one.
+func (m MapTable) Inc(key uint64) { m[key]++ }
+
+// Get returns the count stored for key, or 0 if absent.
+func (m MapTable) Get(key uint64) uint64 { return m[key] }
+
+// Len returns the number of distinct keys.
+func (m MapTable) Len() int { return len(m) }
+
+// Total returns the sum of all counts.
+func (m MapTable) Total() uint64 {
+	var total uint64
+	for _, c := range m {
+		total += c
+	}
+	return total
+}
+
+// Range calls fn for every (key, count) pair in unspecified order.
+func (m MapTable) Range(fn func(key, count uint64) bool) {
+	for k, c := range m {
+		if !fn(k, c) {
+			return
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package hashtable provides the single-owner count tables that back each
+// key-space partition of the potential table (the H_p of Algorithms 1-3).
+//
+// Each table is owned and mutated by exactly one goroutine — the wait-free
+// construction protocol guarantees that — so the implementations here are
+// deliberately unsynchronized and optimized for the access pattern the
+// primitives generate: a long stream of Add(key, 1) during construction,
+// then read-only iteration during marginalization.
+//
+// Two implementations are provided:
+//
+//   - Table: open addressing with linear probing over a power-of-two array
+//     of (key, count) slots. This is the default; its sequential probe runs
+//     are cache-friendly, and iteration touches memory in one linear pass.
+//   - ChainedTable: classic separate chaining. It exists as an ablation
+//     point (bench A4) and as an oracle in differential tests.
+//
+// Keys are arbitrary uint64 values. Because mixed-radix keys are far from
+// uniformly distributed in their low bits, slots are addressed by a
+// SplitMix64 finalizer of the key rather than by the raw key.
+package hashtable
+
+import (
+	"fmt"
+
+	"waitfreebn/internal/rng"
+)
+
+// emptySlot marks an unoccupied slot. The potential-table key space is
+// capped at 2^63, so ^uint64(0) can never be a legal key.
+const emptySlot = ^uint64(0)
+
+// maxLoadNum/maxLoadDen is the load factor threshold (7/8 keeps probe runs
+// short while wasting little memory for count-table workloads).
+const (
+	maxLoadNum = 7
+	maxLoadDen = 8
+)
+
+const minCapacity = 16
+
+// Table is an open-addressing hash table from uint64 keys to uint64 counts.
+// The zero value is not usable; call New. Table is NOT safe for concurrent
+// mutation: the construction protocol gives each Table a single owner.
+type Table struct {
+	keys   []uint64
+	counts []uint64
+	len    int
+	grows  int // number of rehashes, exposed for instrumentation
+}
+
+// New returns a table pre-sized to hold sizeHint entries without rehashing.
+// A non-positive hint yields the minimum capacity.
+func New(sizeHint int) *Table {
+	capacity := minCapacity
+	for capacity*maxLoadNum/maxLoadDen < sizeHint {
+		capacity <<= 1
+	}
+	t := &Table{
+		keys:   make([]uint64, capacity),
+		counts: make([]uint64, capacity),
+	}
+	for i := range t.keys {
+		t.keys[i] = emptySlot
+	}
+	return t
+}
+
+// Len returns the number of distinct keys stored.
+func (t *Table) Len() int { return t.len }
+
+// Capacity returns the current slot-array length (a power of two).
+func (t *Table) Capacity() int { return len(t.keys) }
+
+// Grows returns how many times the table has rehashed since creation.
+func (t *Table) Grows() int { return t.grows }
+
+// Add increments the count of key by delta, inserting the key if absent.
+// key must not be the reserved sentinel ^uint64(0).
+func (t *Table) Add(key, delta uint64) {
+	if key == emptySlot {
+		panic("hashtable: reserved key ^uint64(0)")
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := rng.Mix64(key) & mask
+	for {
+		switch t.keys[i] {
+		case key:
+			t.counts[i] += delta
+			return
+		case emptySlot:
+			t.keys[i] = key
+			t.counts[i] = delta
+			t.len++
+			if t.len*maxLoadDen > len(t.keys)*maxLoadNum {
+				t.grow()
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Inc increments the count of key by one. It is the construction hot path.
+func (t *Table) Inc(key uint64) { t.Add(key, 1) }
+
+// Get returns the count stored for key, or 0 if the key is absent.
+func (t *Table) Get(key uint64) uint64 {
+	if key == emptySlot {
+		return 0
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := rng.Mix64(key) & mask
+	for {
+		switch t.keys[i] {
+		case key:
+			return t.counts[i]
+		case emptySlot:
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Range calls fn for every (key, count) pair in unspecified order. fn must
+// not mutate the table. Returning false stops the iteration early.
+func (t *Table) Range(fn func(key, count uint64) bool) {
+	for i, k := range t.keys {
+		if k != emptySlot {
+			if !fn(k, t.counts[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Total returns the sum of all counts (the number of samples whose keys
+// landed in this partition).
+func (t *Table) Total() uint64 {
+	var total uint64
+	for i, k := range t.keys {
+		if k != emptySlot {
+			total += t.counts[i]
+		}
+	}
+	return total
+}
+
+// Merge adds every entry of other into t. Rebalancing partitions before
+// marginalization (Section IV-C) is built from Merge.
+func (t *Table) Merge(other *Table) {
+	other.Range(func(key, count uint64) bool {
+		t.Add(key, count)
+		return true
+	})
+}
+
+// Reset removes all entries but keeps the allocated capacity, so a builder
+// can be reused across runs without churning the allocator.
+func (t *Table) Reset() {
+	for i := range t.keys {
+		t.keys[i] = emptySlot
+	}
+	t.len = 0
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		keys:   append([]uint64(nil), t.keys...),
+		counts: append([]uint64(nil), t.counts...),
+		len:    t.len,
+		grows:  t.grows,
+	}
+	return c
+}
+
+// Equal reports whether two tables hold exactly the same key→count mapping,
+// regardless of capacity or insertion order.
+func (t *Table) Equal(other *Table) bool {
+	if t.len != other.len {
+		return false
+	}
+	equal := true
+	t.Range(func(key, count uint64) bool {
+		if other.Get(key) != count {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+// String summarizes the table for debugging.
+func (t *Table) String() string {
+	return fmt.Sprintf("hashtable.Table{len=%d cap=%d grows=%d}", t.len, len(t.keys), t.grows)
+}
+
+func (t *Table) grow() {
+	oldKeys, oldCounts := t.keys, t.counts
+	capacity := len(oldKeys) << 1
+	t.keys = make([]uint64, capacity)
+	t.counts = make([]uint64, capacity)
+	for i := range t.keys {
+		t.keys[i] = emptySlot
+	}
+	mask := uint64(capacity - 1)
+	for i, k := range oldKeys {
+		if k == emptySlot {
+			continue
+		}
+		j := rng.Mix64(k) & mask
+		for t.keys[j] != emptySlot {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = k
+		t.counts[j] = oldCounts[i]
+	}
+	t.grows++
+}

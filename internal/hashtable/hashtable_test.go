@@ -1,0 +1,352 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waitfreebn/internal/rng"
+)
+
+func TestTableBasic(t *testing.T) {
+	ht := New(0)
+	if ht.Len() != 0 {
+		t.Fatalf("new table Len = %d", ht.Len())
+	}
+	ht.Inc(5)
+	ht.Inc(5)
+	ht.Add(7, 3)
+	if got := ht.Get(5); got != 2 {
+		t.Errorf("Get(5) = %d, want 2", got)
+	}
+	if got := ht.Get(7); got != 3 {
+		t.Errorf("Get(7) = %d, want 3", got)
+	}
+	if got := ht.Get(6); got != 0 {
+		t.Errorf("Get(6) = %d, want 0", got)
+	}
+	if ht.Len() != 2 {
+		t.Errorf("Len = %d, want 2", ht.Len())
+	}
+	if ht.Total() != 5 {
+		t.Errorf("Total = %d, want 5", ht.Total())
+	}
+}
+
+func TestTableZeroKey(t *testing.T) {
+	ht := New(4)
+	ht.Inc(0)
+	ht.Inc(0)
+	if got := ht.Get(0); got != 2 {
+		t.Errorf("Get(0) = %d, want 2", got)
+	}
+}
+
+func TestTableReservedKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add of sentinel key did not panic")
+		}
+	}()
+	New(4).Inc(^uint64(0))
+}
+
+func TestTableGrowth(t *testing.T) {
+	ht := New(0)
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		ht.Inc(i * 1000003)
+	}
+	if ht.Len() != n {
+		t.Fatalf("Len = %d, want %d", ht.Len(), n)
+	}
+	if ht.Grows() == 0 {
+		t.Error("expected at least one rehash growing from minimum capacity")
+	}
+	for i := uint64(0); i < n; i++ {
+		if got := ht.Get(i * 1000003); got != 1 {
+			t.Fatalf("Get(%d) = %d after growth", i*1000003, got)
+		}
+	}
+}
+
+func TestTableSizeHintAvoidsGrowth(t *testing.T) {
+	const n = 10000
+	ht := New(n)
+	for i := uint64(0); i < n; i++ {
+		ht.Inc(i)
+	}
+	if ht.Grows() != 0 {
+		t.Errorf("pre-sized table rehashed %d times", ht.Grows())
+	}
+}
+
+func TestTableRange(t *testing.T) {
+	ht := New(8)
+	want := map[uint64]uint64{1: 2, 9: 1, 100: 7}
+	for k, c := range want {
+		ht.Add(k, c)
+	}
+	got := map[uint64]uint64{}
+	ht.Range(func(key, count uint64) bool {
+		got[key] = count
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d keys, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Errorf("Range gave %d for key %d, want %d", got[k], k, c)
+		}
+	}
+}
+
+func TestTableRangeEarlyStop(t *testing.T) {
+	ht := New(8)
+	for i := uint64(0); i < 100; i++ {
+		ht.Inc(i)
+	}
+	visits := 0
+	ht.Range(func(key, count uint64) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Errorf("early-stopping Range visited %d entries, want 5", visits)
+	}
+}
+
+func TestTableMerge(t *testing.T) {
+	a, b := New(8), New(8)
+	a.Add(1, 2)
+	a.Add(2, 3)
+	b.Add(2, 5)
+	b.Add(3, 1)
+	a.Merge(b)
+	for k, want := range map[uint64]uint64{1: 2, 2: 8, 3: 1} {
+		if got := a.Get(k); got != want {
+			t.Errorf("after merge Get(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if a.Len() != 3 {
+		t.Errorf("after merge Len = %d, want 3", a.Len())
+	}
+}
+
+func TestTableReset(t *testing.T) {
+	ht := New(8)
+	for i := uint64(0); i < 50; i++ {
+		ht.Inc(i)
+	}
+	capBefore := ht.Capacity()
+	ht.Reset()
+	if ht.Len() != 0 || ht.Total() != 0 {
+		t.Fatalf("after Reset: Len=%d Total=%d", ht.Len(), ht.Total())
+	}
+	if ht.Capacity() != capBefore {
+		t.Errorf("Reset changed capacity %d -> %d", capBefore, ht.Capacity())
+	}
+	ht.Inc(3)
+	if ht.Get(3) != 1 {
+		t.Error("table unusable after Reset")
+	}
+}
+
+func TestTableCloneIndependent(t *testing.T) {
+	ht := New(8)
+	ht.Add(1, 1)
+	c := ht.Clone()
+	c.Add(1, 10)
+	c.Add(2, 1)
+	if ht.Get(1) != 1 || ht.Get(2) != 0 {
+		t.Error("Clone is not independent of the original")
+	}
+	if c.Get(1) != 11 {
+		t.Errorf("clone Get(1) = %d, want 11", c.Get(1))
+	}
+}
+
+func TestTableEqual(t *testing.T) {
+	a, b := New(8), New(1024)
+	for i := uint64(0); i < 100; i++ {
+		a.Add(i, i+1)
+	}
+	for i := uint64(99); ; i-- {
+		b.Add(i, i+1)
+		if i == 0 {
+			break
+		}
+	}
+	if !a.Equal(b) {
+		t.Error("tables with same content but different capacity/order should be Equal")
+	}
+	b.Inc(5)
+	if a.Equal(b) {
+		t.Error("tables with different counts should not be Equal")
+	}
+	c := New(8)
+	if a.Equal(c) {
+		t.Error("tables with different lengths should not be Equal")
+	}
+}
+
+func TestTableAgainstMapOracle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ht := New(0)
+		oracle := map[uint64]uint64{}
+		// Narrow key range forces frequent collisions of distinct keys
+		// into the same probe runs.
+		for op := 0; op < 2000; op++ {
+			key := uint64(r.Intn(100))
+			delta := uint64(r.Intn(5) + 1)
+			ht.Add(key, delta)
+			oracle[key] += delta
+		}
+		if ht.Len() != len(oracle) {
+			return false
+		}
+		for k, c := range oracle {
+			if ht.Get(k) != c {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableAdversarialKeys(t *testing.T) {
+	// Mixed-radix keys from binary variables are dense small integers; keys
+	// sharing low bits stress the mixer. Also probe around the 63-bit cap.
+	ht := New(0)
+	keys := []uint64{0, 1, 2, 3, 1 << 62, 1<<63 - 1, 1 << 40, 1<<40 + 1}
+	for mult := uint64(1); mult <= 3; mult++ {
+		for _, k := range keys {
+			ht.Add(k, mult)
+		}
+	}
+	for _, k := range keys {
+		if got := ht.Get(k); got != 6 {
+			t.Errorf("Get(%#x) = %d, want 6", k, got)
+		}
+	}
+}
+
+func runCounterSuite(t *testing.T, name string, mk func(hint int) Counter) {
+	t.Run(name, func(t *testing.T) {
+		c := mk(0)
+		src := rng.NewXoshiro256SS(77)
+		oracle := map[uint64]uint64{}
+		for i := 0; i < 5000; i++ {
+			k := src.Uint64n(500)
+			c.Inc(k)
+			oracle[k]++
+		}
+		if c.Len() != len(oracle) {
+			t.Fatalf("Len = %d, want %d", c.Len(), len(oracle))
+		}
+		if c.Total() != 5000 {
+			t.Fatalf("Total = %d, want 5000", c.Total())
+		}
+		for k, want := range oracle {
+			if got := c.Get(k); got != want {
+				t.Fatalf("Get(%d) = %d, want %d", k, got, want)
+			}
+		}
+		seen := 0
+		c.Range(func(key, count uint64) bool {
+			if oracle[key] != count {
+				t.Fatalf("Range gave (%d,%d), oracle has %d", key, count, oracle[key])
+			}
+			seen++
+			return true
+		})
+		if seen != len(oracle) {
+			t.Fatalf("Range visited %d keys, want %d", seen, len(oracle))
+		}
+	})
+}
+
+func TestCounterImplementations(t *testing.T) {
+	runCounterSuite(t, "open-addressing", func(h int) Counter { return New(h) })
+	runCounterSuite(t, "chained", func(h int) Counter { return NewChained(h) })
+	runCounterSuite(t, "gomap", func(h int) Counter { return NewMapTable(h) })
+}
+
+func TestChainedReset(t *testing.T) {
+	ct := NewChained(4)
+	for i := uint64(0); i < 100; i++ {
+		ct.Inc(i)
+	}
+	ct.Reset()
+	if ct.Len() != 0 || ct.Total() != 0 {
+		t.Fatalf("after Reset: Len=%d Total=%d", ct.Len(), ct.Total())
+	}
+	ct.Inc(42)
+	if ct.Get(42) != 1 || ct.Get(41) != 0 {
+		t.Error("chained table unusable after Reset")
+	}
+}
+
+func TestChainedRangeEarlyStop(t *testing.T) {
+	ct := NewChained(4)
+	for i := uint64(0); i < 100; i++ {
+		ct.Inc(i)
+	}
+	visits := 0
+	ct.Range(func(key, count uint64) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Errorf("early-stopping Range visited %d entries, want 1", visits)
+	}
+}
+
+func TestOpenVsChainedDifferential(t *testing.T) {
+	open := New(0)
+	chained := NewChained(0)
+	src := rng.NewXoshiro256SS(123)
+	for i := 0; i < 20000; i++ {
+		k := src.Uint64n(3000)
+		open.Inc(k)
+		chained.Inc(k)
+	}
+	if open.Len() != chained.Len() {
+		t.Fatalf("Len mismatch: open=%d chained=%d", open.Len(), chained.Len())
+	}
+	open.Range(func(key, count uint64) bool {
+		if chained.Get(key) != count {
+			t.Fatalf("key %d: open=%d chained=%d", key, count, chained.Get(key))
+		}
+		return true
+	})
+}
+
+func BenchmarkTableInc(b *testing.B) {
+	benchCounterInc(b, New(1<<20))
+}
+
+func BenchmarkChainedInc(b *testing.B) {
+	benchCounterInc(b, NewChained(1<<20))
+}
+
+func BenchmarkMapInc(b *testing.B) {
+	benchCounterInc(b, NewMapTable(1<<20))
+}
+
+func benchCounterInc(b *testing.B, c Counter) {
+	src := rng.NewXoshiro256SS(1)
+	keys := make([]uint64, 1<<20)
+	for i := range keys {
+		keys[i] = src.Uint64n(1 << 19)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc(keys[i&(1<<20-1)])
+	}
+}

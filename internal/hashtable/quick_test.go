@@ -1,0 +1,121 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMergeEqualsSum: merging any two tables yields exactly the
+// key-wise sum of their contents.
+func TestQuickMergeEqualsSum(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(40))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := New(0), New(0)
+		oracle := map[uint64]uint64{}
+		for i := 0; i < 500; i++ {
+			k := uint64(r.Intn(200))
+			d := uint64(r.Intn(4) + 1)
+			if r.Intn(2) == 0 {
+				a.Add(k, d)
+			} else {
+				b.Add(k, d)
+			}
+			oracle[k] += d
+		}
+		a.Merge(b)
+		if a.Len() != len(oracle) {
+			return false
+		}
+		for k, c := range oracle {
+			if a.Get(k) != c {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneThenDivergence: a clone equals the original until either
+// side mutates, and mutations never leak across.
+func TestQuickCloneThenDivergence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := New(0)
+		for i := 0; i < 300; i++ {
+			orig.Add(uint64(r.Intn(100)), uint64(r.Intn(3)+1))
+		}
+		clone := orig.Clone()
+		if !orig.Equal(clone) {
+			return false
+		}
+		snapshot := map[uint64]uint64{}
+		orig.Range(func(k, c uint64) bool {
+			snapshot[k] = c
+			return true
+		})
+		for i := 0; i < 100; i++ {
+			clone.Add(uint64(r.Intn(100)), 1)
+		}
+		// Original unchanged.
+		ok := orig.Len() == len(snapshot)
+		orig.Range(func(k, c uint64) bool {
+			if snapshot[k] != c {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickResetThenRefillMatchesFresh: a reused (Reset) table behaves
+// identically to a freshly allocated one.
+func TestQuickResetThenRefillMatchesFresh(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		reused := New(0)
+		for i := 0; i < 400; i++ {
+			reused.Add(uint64(r.Intn(300)), 1)
+		}
+		reused.Reset()
+		fresh := New(0)
+		r2 := rand.New(rand.NewSource(seed + 1))
+		for i := 0; i < 400; i++ {
+			k := uint64(r2.Intn(300))
+			reused.Inc(k)
+			fresh.Inc(k)
+		}
+		return reused.Equal(fresh)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTotalInvariant: Total always equals the number of Inc calls.
+func TestQuickTotalInvariant(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(func(seed int64, n16 uint16) bool {
+		n := int(n16 % 2000)
+		r := rand.New(rand.NewSource(seed))
+		for _, c := range []Counter{New(0), NewChained(0), NewMapTable(0)} {
+			for i := 0; i < n; i++ {
+				c.Inc(uint64(r.Intn(64)))
+			}
+			if c.Total() != uint64(n) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

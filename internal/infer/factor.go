@@ -1,0 +1,270 @@
+// Package infer implements exact inference on discrete Bayesian networks
+// by variable elimination over dense factors.
+//
+// Inference is the complementary problem the paper situates its work
+// against (Section III cites the junction-tree decompositions of Xia &
+// Prasanna); here it completes the learned-model pipeline: structures
+// learned by internal/structure and parameterized by bn.FitCPTs can be
+// queried for posterior marginals, and inference answers double as an
+// independent oracle for the empirical marginals the potential table
+// produces.
+package infer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Factor is a non-negative function over the joint states of an ordered
+// set of variables, stored densely in row-major order (the last listed
+// variable varies fastest). CPTs, marginals and intermediate products of
+// variable elimination are all Factors.
+type Factor struct {
+	vars   []int     // variable ids, strictly increasing
+	card   []int     // cardinalities, parallel to vars
+	values []float64 // len = Π card
+}
+
+// NewFactor creates a factor over the given variables (which must be
+// strictly increasing) with all values zero.
+func NewFactor(vars []int, card []int) *Factor {
+	if len(vars) != len(card) {
+		panic(fmt.Sprintf("infer: %d vars with %d cardinalities", len(vars), len(card)))
+	}
+	size := 1
+	for i, v := range vars {
+		if i > 0 && vars[i-1] >= v {
+			panic(fmt.Sprintf("infer: vars not strictly increasing: %v", vars))
+		}
+		if card[i] < 1 {
+			panic(fmt.Sprintf("infer: cardinality %d for variable %d", card[i], v))
+		}
+		size *= card[i]
+	}
+	return &Factor{
+		vars:   append([]int(nil), vars...),
+		card:   append([]int(nil), card...),
+		values: make([]float64, size),
+	}
+}
+
+// Vars returns the factor's variables (alias; do not modify).
+func (f *Factor) Vars() []int { return f.vars }
+
+// Card returns the factor's cardinalities (alias; do not modify).
+func (f *Factor) Card() []int { return f.card }
+
+// Size returns the number of cells.
+func (f *Factor) Size() int { return len(f.values) }
+
+// index converts an assignment (one state per factor variable, in factor
+// order) to a flat cell index.
+func (f *Factor) index(assign []int) int {
+	idx := 0
+	for i, s := range assign {
+		if s < 0 || s >= f.card[i] {
+			panic(fmt.Sprintf("infer: state %d out of range for variable %d", s, f.vars[i]))
+		}
+		idx = idx*f.card[i] + s
+	}
+	return idx
+}
+
+// At returns the value for the given assignment.
+func (f *Factor) At(assign ...int) float64 {
+	if len(assign) != len(f.vars) {
+		panic(fmt.Sprintf("infer: %d states for a %d-variable factor", len(assign), len(f.vars)))
+	}
+	return f.values[f.index(assign)]
+}
+
+// Set assigns the value for the given assignment.
+func (f *Factor) Set(value float64, assign ...int) {
+	if len(assign) != len(f.vars) {
+		panic(fmt.Sprintf("infer: %d states for a %d-variable factor", len(assign), len(f.vars)))
+	}
+	f.values[f.index(assign)] = value
+}
+
+// assignment decodes flat cell idx into dst (factor order).
+func (f *Factor) assignment(idx int, dst []int) []int {
+	dst = dst[:0]
+	for range f.vars {
+		dst = append(dst, 0)
+	}
+	for i := len(f.vars) - 1; i >= 0; i-- {
+		dst[i] = idx % f.card[i]
+		idx /= f.card[i]
+	}
+	return dst
+}
+
+// Multiply returns the factor product f·g over the union of their
+// variables.
+func (f *Factor) Multiply(g *Factor) *Factor {
+	uVars, uCard := unionVars(f, g)
+	out := NewFactor(uVars, uCard)
+	fPos := positions(uVars, f.vars)
+	gPos := positions(uVars, g.vars)
+	assign := make([]int, len(uVars))
+	fAssign := make([]int, len(f.vars))
+	gAssign := make([]int, len(g.vars))
+	for idx := range out.values {
+		assign = out.assignment(idx, assign)
+		for i, p := range fPos {
+			fAssign[i] = assign[p]
+		}
+		for i, p := range gPos {
+			gAssign[i] = assign[p]
+		}
+		out.values[idx] = f.values[f.index(fAssign)] * g.values[g.index(gAssign)]
+	}
+	return out
+}
+
+// SumOut returns the factor with variable v summed out. Summing out the
+// last variable yields a scalar factor (no variables, one value).
+func (f *Factor) SumOut(v int) *Factor {
+	pos := -1
+	for i, fv := range f.vars {
+		if fv == v {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("infer: variable %d not in factor %v", v, f.vars))
+	}
+	outVars := make([]int, 0, len(f.vars)-1)
+	outCard := make([]int, 0, len(f.vars)-1)
+	for i := range f.vars {
+		if i != pos {
+			outVars = append(outVars, f.vars[i])
+			outCard = append(outCard, f.card[i])
+		}
+	}
+	out := NewFactor(outVars, outCard)
+	assign := make([]int, len(f.vars))
+	reduced := make([]int, len(outVars))
+	for idx, val := range f.values {
+		if val == 0 {
+			continue
+		}
+		assign = f.assignment(idx, assign)
+		k := 0
+		for i, s := range assign {
+			if i != pos {
+				reduced[k] = s
+				k++
+			}
+		}
+		out.values[out.index(reduced)] += val
+	}
+	return out
+}
+
+// Restrict returns the factor with variable v clamped to state s: v is
+// removed and only cells consistent with v=s survive.
+func (f *Factor) Restrict(v int, s int) *Factor {
+	pos := -1
+	for i, fv := range f.vars {
+		if fv == v {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("infer: variable %d not in factor %v", v, f.vars))
+	}
+	if s < 0 || s >= f.card[pos] {
+		panic(fmt.Sprintf("infer: state %d out of range for variable %d", s, v))
+	}
+	outVars := make([]int, 0, len(f.vars)-1)
+	outCard := make([]int, 0, len(f.vars)-1)
+	for i := range f.vars {
+		if i != pos {
+			outVars = append(outVars, f.vars[i])
+			outCard = append(outCard, f.card[i])
+		}
+	}
+	out := NewFactor(outVars, outCard)
+	assign := make([]int, len(f.vars))
+	reduced := make([]int, len(outVars))
+	for idx, val := range f.values {
+		assign = f.assignment(idx, assign)
+		if assign[pos] != s {
+			continue
+		}
+		k := 0
+		for i, st := range assign {
+			if i != pos {
+				reduced[k] = st
+				k++
+			}
+		}
+		out.values[out.index(reduced)] = val
+	}
+	return out
+}
+
+// Normalize scales the factor so its values sum to 1, returning the
+// normalizer (the pre-normalization sum). A zero factor is left unchanged
+// and returns 0.
+func (f *Factor) Normalize() float64 {
+	var total float64
+	for _, v := range f.values {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	for i := range f.values {
+		f.values[i] /= total
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (f *Factor) Clone() *Factor {
+	return &Factor{
+		vars:   append([]int(nil), f.vars...),
+		card:   append([]int(nil), f.card...),
+		values: append([]float64(nil), f.values...),
+	}
+}
+
+func unionVars(f, g *Factor) ([]int, []int) {
+	cards := map[int]int{}
+	for i, v := range f.vars {
+		cards[v] = f.card[i]
+	}
+	for i, v := range g.vars {
+		if c, ok := cards[v]; ok && c != g.card[i] {
+			panic(fmt.Sprintf("infer: variable %d has cardinality %d in one factor, %d in another", v, c, g.card[i]))
+		}
+		cards[v] = g.card[i]
+	}
+	vars := make([]int, 0, len(cards))
+	for v := range cards {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	card := make([]int, len(vars))
+	for i, v := range vars {
+		card[i] = cards[v]
+	}
+	return vars, card
+}
+
+// positions maps each of sub's variables to its index within super.
+func positions(super, sub []int) []int {
+	out := make([]int, len(sub))
+	for i, v := range sub {
+		j := sort.SearchInts(super, v)
+		if j == len(super) || super[j] != v {
+			panic(fmt.Sprintf("infer: variable %d missing from union", v))
+		}
+		out[i] = j
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomFactor draws a factor over a random subset of variable ids
+// {0..5} with random cardinalities (consistent via the shared card table)
+// and uniform random non-negative values.
+func randomFactor(r *rand.Rand, card []int) *Factor {
+	n := len(card)
+	var vars []int
+	for v := 0; v < n; v++ {
+		if r.Intn(2) == 0 {
+			vars = append(vars, v)
+		}
+	}
+	if len(vars) == 0 {
+		vars = []int{r.Intn(n)}
+	}
+	fc := make([]int, len(vars))
+	for i, v := range vars {
+		fc[i] = card[v]
+	}
+	f := NewFactor(vars, fc)
+	for i := range f.values {
+		f.values[i] = r.Float64()
+	}
+	return f
+}
+
+func factorsNear(a, b *Factor, tol float64) bool {
+	if len(a.vars) != len(b.vars) || len(a.values) != len(b.values) {
+		return false
+	}
+	for i := range a.vars {
+		if a.vars[i] != b.vars[i] {
+			return false
+		}
+	}
+	for i := range a.values {
+		if math.Abs(a.values[i]-b.values[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func sharedCard(r *rand.Rand) []int {
+	card := make([]int, 6)
+	for i := range card {
+		card[i] = 2 + r.Intn(3)
+	}
+	return card
+}
+
+func TestQuickMultiplyCommutative(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(70))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		card := sharedCard(r)
+		f, g := randomFactor(r, card), randomFactor(r, card)
+		return factorsNear(f.Multiply(g), g.Multiply(f), 1e-12)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMultiplyAssociative(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		card := sharedCard(r)
+		f, g, h := randomFactor(r, card), randomFactor(r, card), randomFactor(r, card)
+		lhs := f.Multiply(g).Multiply(h)
+		rhs := f.Multiply(g.Multiply(h))
+		return factorsNear(lhs, rhs, 1e-9)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSumOutOrderIrrelevant(t *testing.T) {
+	// Summing out two variables in either order gives the same factor.
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(72))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		card := sharedCard(r)
+		f := randomFactor(r, card)
+		if len(f.vars) < 2 {
+			return true
+		}
+		a, b := f.vars[0], f.vars[1]
+		lhs := f.SumOut(a).SumOut(b)
+		rhs := f.SumOut(b).SumOut(a)
+		return factorsNear(lhs, rhs, 1e-9)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSumOutPreservesTotal(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(73))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		card := sharedCard(r)
+		f := randomFactor(r, card)
+		sumAll := func(x *Factor) float64 {
+			t := 0.0
+			for _, v := range x.values {
+				t += v
+			}
+			return t
+		}
+		before := sumAll(f)
+		after := sumAll(f.SumOut(f.vars[r.Intn(len(f.vars))]))
+		return math.Abs(before-after) < 1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRestrictThenSumEqualsSlice(t *testing.T) {
+	// Summing the restricted factor over everything equals the slice total
+	// of the original where v = s.
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(74))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		card := sharedCard(r)
+		f := randomFactor(r, card)
+		pos := r.Intn(len(f.vars))
+		v := f.vars[pos]
+		s := r.Intn(f.card[pos])
+		restricted := f.Restrict(v, s)
+		var want float64
+		assign := make([]int, len(f.vars))
+		for idx, val := range f.values {
+			assign = f.assignment(idx, assign)
+			if assign[pos] == s {
+				want += val
+			}
+		}
+		var got float64
+		for _, val := range restricted.values {
+			got += val
+		}
+		return math.Abs(got-want) < 1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxOutBoundsSumOut(t *testing.T) {
+	// max ≤ sum cell-wise for non-negative factors.
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(75))}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		card := sharedCard(r)
+		f := randomFactor(r, card)
+		v := f.vars[r.Intn(len(f.vars))]
+		mx := f.MaxOut(v)
+		sm := f.SumOut(v)
+		for i := range mx.values {
+			if mx.values[i] > sm.values[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,333 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"waitfreebn/internal/bn"
+)
+
+const tol = 1e-9
+
+// bruteMarginal computes P(v | evidence) by full joint enumeration.
+func bruteMarginal(t *testing.T, net *bn.Network, v int, evidence map[int]uint8) []float64 {
+	t.Helper()
+	nv := net.NumVars()
+	out := make([]float64, net.Cardinality(v))
+	sample := make([]uint8, nv)
+	var walk func(i int)
+	var total float64
+	walk = func(i int) {
+		if i == nv {
+			p := net.JointProb(sample)
+			out[sample[v]] += p
+			total += p
+			return
+		}
+		if ev, ok := evidence[i]; ok {
+			sample[i] = ev
+			walk(i + 1)
+			return
+		}
+		for s := 0; s < net.Cardinality(i); s++ {
+			sample[i] = uint8(s)
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	if total == 0 {
+		t.Fatal("brute: evidence probability zero")
+	}
+	for s := range out {
+		out[s] /= total
+	}
+	return out
+}
+
+func TestFactorBasics(t *testing.T) {
+	f := NewFactor([]int{1, 3}, []int{2, 3})
+	if f.Size() != 6 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	f.Set(0.5, 1, 2)
+	if got := f.At(1, 2); got != 0.5 {
+		t.Errorf("At = %v", got)
+	}
+	if got := f.At(0, 0); got != 0 {
+		t.Errorf("unset cell = %v", got)
+	}
+}
+
+func TestFactorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"vars/card mismatch": func() { NewFactor([]int{1}, []int{2, 2}) },
+		"not increasing":     func() { NewFactor([]int{2, 1}, []int{2, 2}) },
+		"zero card":          func() { NewFactor([]int{0}, []int{0}) },
+		"At arity":           func() { NewFactor([]int{0}, []int{2}).At(1, 1) },
+		"At range":           func() { NewFactor([]int{0}, []int{2}).At(2) },
+		"SumOut missing":     func() { NewFactor([]int{0}, []int{2}).SumOut(5) },
+		"Restrict missing":   func() { NewFactor([]int{0}, []int{2}).Restrict(5, 0) },
+		"Restrict range":     func() { NewFactor([]int{0}, []int{2}).Restrict(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFactorMultiply(t *testing.T) {
+	// f(A) · g(A,B) over binary A, B.
+	f := NewFactor([]int{0}, []int{2})
+	f.Set(0.3, 0)
+	f.Set(0.7, 1)
+	g := NewFactor([]int{0, 1}, []int{2, 2})
+	g.Set(0.1, 0, 0)
+	g.Set(0.9, 0, 1)
+	g.Set(0.5, 1, 0)
+	g.Set(0.5, 1, 1)
+	h := f.Multiply(g)
+	want := map[[2]int]float64{
+		{0, 0}: 0.03, {0, 1}: 0.27, {1, 0}: 0.35, {1, 1}: 0.35,
+	}
+	for k, w := range want {
+		if got := h.At(k[0], k[1]); math.Abs(got-w) > tol {
+			t.Errorf("h%v = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestFactorMultiplyDisjoint(t *testing.T) {
+	f := NewFactor([]int{0}, []int{2})
+	f.Set(2, 0)
+	f.Set(3, 1)
+	g := NewFactor([]int{5}, []int{2})
+	g.Set(10, 0)
+	g.Set(100, 1)
+	h := f.Multiply(g)
+	if got := h.At(1, 0); got != 30 {
+		t.Errorf("disjoint product = %v, want 30", got)
+	}
+	if len(h.Vars()) != 2 || h.Vars()[0] != 0 || h.Vars()[1] != 5 {
+		t.Errorf("union vars %v", h.Vars())
+	}
+}
+
+func TestFactorMultiplyCardMismatchPanics(t *testing.T) {
+	f := NewFactor([]int{0}, []int{2})
+	g := NewFactor([]int{0}, []int{3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cardinality mismatch did not panic")
+		}
+	}()
+	f.Multiply(g)
+}
+
+func TestFactorSumOut(t *testing.T) {
+	g := NewFactor([]int{0, 1}, []int{2, 3})
+	v := 1.0
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 3; b++ {
+			g.Set(v, a, b)
+			v++
+		}
+	}
+	s := g.SumOut(1)
+	if got := s.At(0); got != 1+2+3 {
+		t.Errorf("SumOut row 0 = %v", got)
+	}
+	if got := s.At(1); got != 4+5+6 {
+		t.Errorf("SumOut row 1 = %v", got)
+	}
+	// Summing out the last variable gives a scalar factor.
+	sc := s.SumOut(0)
+	if sc.Size() != 1 || sc.values[0] != 21 {
+		t.Errorf("scalar factor = %+v", sc)
+	}
+}
+
+func TestFactorRestrict(t *testing.T) {
+	g := NewFactor([]int{0, 1}, []int{2, 2})
+	g.Set(1, 0, 0)
+	g.Set(2, 0, 1)
+	g.Set(3, 1, 0)
+	g.Set(4, 1, 1)
+	r := g.Restrict(0, 1)
+	if r.At(0) != 3 || r.At(1) != 4 {
+		t.Errorf("Restrict wrong: %v %v", r.At(0), r.At(1))
+	}
+}
+
+func TestFactorNormalize(t *testing.T) {
+	f := NewFactor([]int{0}, []int{2})
+	f.Set(1, 0)
+	f.Set(3, 1)
+	if z := f.Normalize(); z != 4 {
+		t.Errorf("normalizer %v", z)
+	}
+	if f.At(0) != 0.25 || f.At(1) != 0.75 {
+		t.Errorf("normalized %v %v", f.At(0), f.At(1))
+	}
+	zero := NewFactor([]int{0}, []int{2})
+	if z := zero.Normalize(); z != 0 {
+		t.Errorf("zero factor normalizer %v", z)
+	}
+}
+
+func TestFactorCloneIndependent(t *testing.T) {
+	f := NewFactor([]int{0}, []int{2})
+	f.Set(1, 0)
+	c := f.Clone()
+	c.Set(9, 0)
+	if f.At(0) != 1 {
+		t.Error("Clone shares values")
+	}
+}
+
+func TestFromCPTIsConditionalDistribution(t *testing.T) {
+	net := bn.Asia()
+	for v := 0; v < net.NumVars(); v++ {
+		f := FromCPT(net, v)
+		// Summing out v from the CPT factor yields all-ones over parents.
+		s := f.SumOut(v)
+		for i := range s.values {
+			if math.Abs(s.values[i]-1) > tol {
+				t.Errorf("variable %d: CPT rows don't sum to 1 (cell %d = %v)", v, i, s.values[i])
+			}
+		}
+	}
+}
+
+func TestQueryPriorMarginals(t *testing.T) {
+	for _, net := range []*bn.Network{bn.Cancer(), bn.Asia(), bn.Chain(5, 3, 0.8)} {
+		for v := 0; v < net.NumVars(); v++ {
+			got, err := QueryMarginal(net, v, nil)
+			if err != nil {
+				t.Fatalf("%s var %d: %v", net.Name(), v, err)
+			}
+			want := bruteMarginal(t, net, v, nil)
+			for s := range want {
+				if math.Abs(got[s]-want[s]) > tol {
+					t.Errorf("%s: P(x%d=%d) = %v, want %v", net.Name(), v, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+func TestQueryPosteriorWithEvidence(t *testing.T) {
+	net := bn.Asia()
+	cases := []map[int]uint8{
+		{6: 1},       // positive x-ray
+		{7: 1, 1: 1}, // dyspnea + smoker
+		{0: 1, 6: 0}, // visited asia, negative x-ray
+	}
+	for _, ev := range cases {
+		for v := 0; v < net.NumVars(); v++ {
+			if _, isEv := ev[v]; isEv {
+				continue
+			}
+			got, err := QueryMarginal(net, v, ev)
+			if err != nil {
+				t.Fatalf("ev %v var %d: %v", ev, v, err)
+			}
+			want := bruteMarginal(t, net, v, ev)
+			for s := range want {
+				if math.Abs(got[s]-want[s]) > 1e-6 {
+					t.Errorf("ev %v: P(x%d=%d|e) = %v, want %v", ev, v, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+func TestQueryJointOfTwoVariables(t *testing.T) {
+	net := bn.Cancer()
+	f, err := Query(net, []int{0, 1}, map[int]uint8{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marginalize the 2-var result and compare to single-var queries.
+	m0 := f.SumOut(1)
+	want0, err := QueryMarginal(net, 0, map[int]uint8{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if math.Abs(m0.At(s)-want0[s]) > 1e-9 {
+			t.Errorf("joint-then-marginal %v vs direct %v", m0.At(s), want0[s])
+		}
+	}
+}
+
+func TestQueryEvidenceChangesBelief(t *testing.T) {
+	// Classic explaining-away check in Cancer: observing cancer raises
+	// P(smoker); additionally observing pollution lowers it again
+	// (slightly) — at minimum the posterior must differ from the prior.
+	net := bn.Cancer()
+	prior, _ := QueryMarginal(net, 1, nil)
+	post, _ := QueryMarginal(net, 1, map[int]uint8{2: 1})
+	if post[1] <= prior[1] {
+		t.Errorf("P(smoker|cancer) = %v should exceed prior %v", post[1], prior[1])
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	net := bn.Cancer()
+	if _, err := Query(net, nil, nil); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := Query(net, []int{9}, nil); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+	if _, err := Query(net, []int{0, 0}, nil); err == nil {
+		t.Error("duplicate query accepted")
+	}
+	if _, err := Query(net, []int{0}, map[int]uint8{0: 1}); err == nil {
+		t.Error("query==evidence accepted")
+	}
+	if _, err := Query(net, []int{0}, map[int]uint8{9: 1}); err == nil {
+		t.Error("out-of-range evidence accepted")
+	}
+	if _, err := Query(net, []int{0}, map[int]uint8{1: 5}); err == nil {
+		t.Error("out-of-range evidence state accepted")
+	}
+}
+
+func TestQueryImpossibleEvidence(t *testing.T) {
+	// Asia's "either" node is deterministic OR: either=0 with tub=1 is
+	// impossible evidence.
+	net := bn.Asia()
+	if _, err := Query(net, []int{1}, map[int]uint8{2: 1, 5: 0}); err == nil {
+		t.Error("zero-probability evidence accepted")
+	}
+}
+
+func TestQueryMatchesEmpiricalMarginals(t *testing.T) {
+	// Cross-check inference against the potential-table pipeline: sampled
+	// marginals must converge to VE answers.
+	net := bn.Cancer()
+	d, err := net.Sample(300000, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := QueryMarginal(net, 4, nil) // P(dyspnea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	for i := 0; i < d.NumSamples(); i++ {
+		if d.Get(i, 4) == 1 {
+			count++
+		}
+	}
+	got := float64(count) / float64(d.NumSamples())
+	if math.Abs(got-want[1]) > 0.005 {
+		t.Errorf("empirical P(dysp=1) = %v vs VE %v", got, want[1])
+	}
+}

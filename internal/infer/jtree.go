@@ -1,0 +1,395 @@
+package infer
+
+import (
+	"fmt"
+	"sort"
+
+	"waitfreebn/internal/bn"
+	"waitfreebn/internal/graph"
+)
+
+// Junction-tree (clique-tree) inference: the exact-inference architecture
+// behind the parallel-inference line of work the paper builds on (Xia &
+// Prasanna's junction-tree decompositions, Section III). Where variable
+// elimination answers one query per elimination run, a calibrated junction
+// tree answers marginals for every variable from one two-pass message
+// schedule.
+//
+// Construction: moralize the DAG, triangulate with the min-fill heuristic,
+// collect maximal cliques from the elimination order, and connect them by
+// a maximum-weight spanning tree on separator sizes (which satisfies the
+// running-intersection property for triangulated graphs).
+
+// Clique is one node of the junction tree.
+type Clique struct {
+	Vars      []int // sorted member variables
+	potential *Factor
+	belief    *Factor // after calibration
+}
+
+// JunctionTree is a calibrated-on-demand clique tree for one network.
+type JunctionTree struct {
+	net        *bn.Network
+	cliques    []*Clique
+	adj        [][]int // tree adjacency between cliques
+	calibrated bool
+}
+
+// NewJunctionTree builds the clique tree for net (without evidence;
+// Calibrate applies evidence later). It fails only when the network has no
+// valid CPTs.
+func NewJunctionTree(net *bn.Network) (*JunctionTree, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.NumVars()
+	moral := net.DAG().Moralize()
+
+	// --- Min-fill triangulation over a working copy. ---
+	work := moral.Clone()
+	eliminated := make([]bool, n)
+	var cliqueSets [][]int
+	for step := 0; step < n; step++ {
+		// Pick the uneliminated vertex whose neighborhood needs the fewest
+		// fill-in edges; ties toward the lower vertex id.
+		best, bestFill := -1, 0
+		for v := 0; v < n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			fill := fillInCount(work, v, eliminated)
+			if best < 0 || fill < bestFill {
+				best, bestFill = v, fill
+			}
+		}
+		// The clique of this elimination step: v plus its live neighbors.
+		members := []int{best}
+		for _, u := range work.Neighbors(best) {
+			if !eliminated[u] {
+				members = append(members, u)
+			}
+		}
+		sort.Ints(members)
+		cliqueSets = append(cliqueSets, members)
+		// Connect the neighbors (fill-in) and retire v.
+		live := members[:0:0]
+		for _, u := range members {
+			if u != best {
+				live = append(live, u)
+			}
+		}
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				work.AddEdge(live[i], live[j])
+			}
+		}
+		eliminated[best] = true
+	}
+
+	// --- Keep only maximal cliques. ---
+	var maximal [][]int
+	for i, c := range cliqueSets {
+		isMax := true
+		for j, d := range cliqueSets {
+			if i != j && subsetOf(c, d) && (len(c) < len(d) || i > j) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			maximal = append(maximal, c)
+		}
+	}
+
+	jt := &JunctionTree{net: net}
+	for _, vars := range maximal {
+		jt.cliques = append(jt.cliques, &Clique{Vars: vars})
+	}
+
+	// --- Maximum-weight spanning tree over separator sizes (Prim). ---
+	k := len(jt.cliques)
+	jt.adj = make([][]int, k)
+	if k > 1 {
+		inTree := make([]bool, k)
+		inTree[0] = true
+		for added := 1; added < k; added++ {
+			bestI, bestJ, bestW := -1, -1, -1
+			for i := 0; i < k; i++ {
+				if !inTree[i] {
+					continue
+				}
+				for j := 0; j < k; j++ {
+					if inTree[j] {
+						continue
+					}
+					w := intersectionSize(jt.cliques[i].Vars, jt.cliques[j].Vars)
+					if w > bestW {
+						bestI, bestJ, bestW = i, j, w
+					}
+				}
+			}
+			jt.adj[bestI] = append(jt.adj[bestI], bestJ)
+			jt.adj[bestJ] = append(jt.adj[bestJ], bestI)
+			inTree[bestJ] = true
+		}
+	}
+	return jt, nil
+}
+
+// NumCliques returns the number of cliques in the tree.
+func (jt *JunctionTree) NumCliques() int { return len(jt.cliques) }
+
+// MaxCliqueSize returns the largest clique cardinality (the treewidth + 1
+// of the triangulation found).
+func (jt *JunctionTree) MaxCliqueSize() int {
+	max := 0
+	for _, c := range jt.cliques {
+		if len(c.Vars) > max {
+			max = len(c.Vars)
+		}
+	}
+	return max
+}
+
+// Calibrate assigns CPT factors (with evidence restricted) to cliques and
+// runs a two-pass sum-product message schedule, leaving every clique with
+// its joint belief. It must be called before Marginal; re-calling with
+// different evidence re-calibrates.
+func (jt *JunctionTree) Calibrate(evidence map[int]uint8) error {
+	for v, s := range evidence {
+		if v < 0 || v >= jt.net.NumVars() {
+			return fmt.Errorf("infer: evidence variable %d outside [0,%d)", v, jt.net.NumVars())
+		}
+		if int(s) >= jt.net.Cardinality(v) {
+			return fmt.Errorf("infer: evidence state %d out of range for variable %d", s, v)
+		}
+	}
+	// Initialize clique potentials to 1 over their scopes.
+	for _, c := range jt.cliques {
+		card := make([]int, len(c.Vars))
+		for i, v := range c.Vars {
+			card[i] = jt.net.Cardinality(v)
+		}
+		f := NewFactor(c.Vars, card)
+		for i := range f.values {
+			f.values[i] = 1
+		}
+		c.potential = f
+	}
+	// Multiply each CPT factor (evidence-restricted) into one containing
+	// clique. A junction tree of the moral graph always has one, since a
+	// CPT's scope {v} ∪ parents(v) is a moral-graph clique.
+	for v := 0; v < jt.net.NumVars(); v++ {
+		f := FromCPT(jt.net, v)
+		for ev, s := range evidence {
+			if containsVar(f.vars, ev) {
+				f = f.Restrict(ev, int(s))
+			}
+		}
+		// Evidence restriction on an evidence-only CPT can yield a scalar;
+		// multiply it into clique 0.
+		home := -1
+		for ci, c := range jt.cliques {
+			if subsetOf(f.vars, c.Vars) {
+				home = ci
+				break
+			}
+		}
+		if home < 0 {
+			return fmt.Errorf("infer: internal error: no clique contains CPT scope %v", f.vars)
+		}
+		jt.cliques[home].potential = jt.cliques[home].potential.Multiply(f)
+	}
+
+	// Two-pass message passing rooted at clique 0.
+	k := len(jt.cliques)
+	messages := make(map[[2]int]*Factor, 2*(k-1))
+	// Collect (post-order) then distribute (pre-order).
+	var collect func(v, parent int)
+	collect = func(v, parent int) {
+		for _, u := range jt.adj[v] {
+			if u != parent {
+				collect(u, v)
+			}
+		}
+		if parent >= 0 {
+			messages[[2]int{v, parent}] = jt.message(v, parent, messages)
+		}
+	}
+	collect(0, -1)
+	var distribute func(v, parent int)
+	distribute = func(v, parent int) {
+		for _, u := range jt.adj[v] {
+			if u != parent {
+				messages[[2]int{v, u}] = jt.message(v, u, messages)
+				distribute(u, v)
+			}
+		}
+	}
+	distribute(0, -1)
+
+	// Beliefs: potential × all incoming messages.
+	evidenceProb := -1.0
+	for ci, c := range jt.cliques {
+		b := c.potential
+		for _, u := range jt.adj[ci] {
+			b = b.Multiply(messages[[2]int{u, ci}])
+		}
+		// Normalize each belief; the normalizer is P(evidence) and must be
+		// consistent across cliques (calibration invariant checked by
+		// tests).
+		z := b.Normalize()
+		if z == 0 {
+			return fmt.Errorf("infer: evidence has probability zero")
+		}
+		if evidenceProb < 0 {
+			evidenceProb = z
+		}
+		c.belief = b
+	}
+	jt.calibrated = true
+	return nil
+}
+
+// message computes the message from clique `from` to clique `to`: the
+// product of from's potential and all messages into `from` except to→from,
+// summed down to the separator.
+func (jt *JunctionTree) message(from, to int, messages map[[2]int]*Factor) *Factor {
+	f := jt.cliques[from].potential
+	for _, u := range jt.adj[from] {
+		if u == to {
+			continue
+		}
+		if msg, ok := messages[[2]int{u, from}]; ok {
+			f = f.Multiply(msg)
+		}
+	}
+	sep := intersect(jt.cliques[from].Vars, jt.cliques[to].Vars)
+	// Sum out everything not in the separator.
+	for _, v := range f.vars {
+		if !containsVar(sep, v) {
+			f = f.SumOut(v)
+		}
+	}
+	return f
+}
+
+// Marginal returns the posterior P(v | evidence used at Calibrate) from
+// the calibrated tree.
+func (jt *JunctionTree) Marginal(v int) ([]float64, error) {
+	if !jt.calibrated {
+		return nil, fmt.Errorf("infer: junction tree not calibrated")
+	}
+	if v < 0 || v >= jt.net.NumVars() {
+		return nil, fmt.Errorf("infer: variable %d outside [0,%d)", v, jt.net.NumVars())
+	}
+	for _, c := range jt.cliques {
+		if !containsVar(c.Vars, v) {
+			continue
+		}
+		b := c.belief
+		for _, u := range b.vars {
+			if u != v {
+				b = b.SumOut(u)
+			}
+		}
+		if len(b.vars) == 1 && b.vars[0] == v {
+			out := make([]float64, jt.net.Cardinality(v))
+			copy(out, b.values)
+			return out, nil
+		}
+		// Variable was evidence-restricted out of the belief: the
+		// posterior is the point mass Calibrate clamped; callers query
+		// evidence variables rarely, so reconstruct it from the net.
+		break
+	}
+	return nil, fmt.Errorf("infer: variable %d not in any clique belief (evidence variable?)", v)
+}
+
+func fillInCount(g *graph.Undirected, v int, eliminated []bool) int {
+	var live []int
+	for _, u := range g.Neighbors(v) {
+		if !eliminated[u] {
+			live = append(live, u)
+		}
+	}
+	fill := 0
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			if !g.HasEdge(live[i], live[j]) {
+				fill++
+			}
+		}
+	}
+	return fill
+}
+
+// subsetOf reports whether sorted slice a ⊆ sorted slice b.
+func subsetOf(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i == len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectionSize(a, b []int) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// AllMarginals returns the posterior of every non-evidence variable from
+// one calibration — the batch-query advantage of the junction tree over
+// per-query variable elimination. Entries for evidence variables are nil.
+func (jt *JunctionTree) AllMarginals(evidence map[int]uint8) ([][]float64, error) {
+	if err := jt.Calibrate(evidence); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, jt.net.NumVars())
+	for v := range out {
+		if _, isEv := evidence[v]; isEv {
+			continue
+		}
+		dist, err := jt.Marginal(v)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = dist
+	}
+	return out, nil
+}

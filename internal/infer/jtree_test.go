@@ -1,0 +1,312 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"waitfreebn/internal/bn"
+)
+
+func TestJunctionTreeStructure(t *testing.T) {
+	jt, err := NewJunctionTree(bn.Asia())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.NumCliques() < 2 {
+		t.Fatalf("asia junction tree has %d cliques", jt.NumCliques())
+	}
+	// Asia's treewidth is small; the min-fill tree should keep cliques ≤ 4.
+	if jt.MaxCliqueSize() > 4 {
+		t.Errorf("max clique size %d, expected <= 4 for asia", jt.MaxCliqueSize())
+	}
+	// Every CPT family must be covered by some clique (checked implicitly
+	// by Calibrate succeeding).
+	if err := jt.Calibrate(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJunctionTreeRunningIntersection(t *testing.T) {
+	// RIP: for every pair of cliques containing variable v, all cliques on
+	// the tree path between them contain v.
+	jt, err := NewJunctionTree(bn.Asia())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := jt.NumCliques()
+	// BFS path between each clique pair.
+	path := func(a, b int) []int {
+		prev := make([]int, k)
+		for i := range prev {
+			prev[i] = -2
+		}
+		prev[a] = -1
+		queue := []int{a}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if x == b {
+				break
+			}
+			for _, y := range jt.adj[x] {
+				if prev[y] == -2 {
+					prev[y] = x
+					queue = append(queue, y)
+				}
+			}
+		}
+		var p []int
+		for x := b; x != -1; x = prev[x] {
+			p = append(p, x)
+		}
+		return p
+	}
+	for v := 0; v < 8; v++ {
+		var holders []int
+		for ci, c := range jt.cliques {
+			if containsVar(c.Vars, v) {
+				holders = append(holders, ci)
+			}
+		}
+		for i := 0; i < len(holders); i++ {
+			for j := i + 1; j < len(holders); j++ {
+				for _, mid := range path(holders[i], holders[j]) {
+					if !containsVar(jt.cliques[mid].Vars, v) {
+						t.Fatalf("RIP violated: variable %d missing from clique %v on path %d→%d",
+							v, jt.cliques[mid].Vars, holders[i], holders[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestJunctionTreeMatchesVEPriors(t *testing.T) {
+	for _, net := range []*bn.Network{bn.Cancer(), bn.Asia(), bn.Chain(7, 3, 0.8), bn.NaiveBayes(6, 2, 0.9)} {
+		jt, err := NewJunctionTree(net)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		if err := jt.Calibrate(nil); err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		for v := 0; v < net.NumVars(); v++ {
+			got, err := jt.Marginal(v)
+			if err != nil {
+				t.Fatalf("%s var %d: %v", net.Name(), v, err)
+			}
+			want, err := QueryMarginal(net, v, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range want {
+				if math.Abs(got[s]-want[s]) > 1e-9 {
+					t.Errorf("%s: P(x%d=%d) jtree %v vs VE %v", net.Name(), v, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+func TestJunctionTreeMatchesVEWithEvidence(t *testing.T) {
+	net := bn.Asia()
+	jt, err := NewJunctionTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []map[int]uint8{
+		{6: 1},
+		{7: 1, 1: 0},
+		{0: 1, 6: 0, 4: 1},
+	} {
+		if err := jt.Calibrate(ev); err != nil {
+			t.Fatalf("ev %v: %v", ev, err)
+		}
+		for v := 0; v < net.NumVars(); v++ {
+			if _, isEv := ev[v]; isEv {
+				continue
+			}
+			got, err := jt.Marginal(v)
+			if err != nil {
+				t.Fatalf("ev %v var %d: %v", ev, v, err)
+			}
+			want, err := QueryMarginal(net, v, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range want {
+				if math.Abs(got[s]-want[s]) > 1e-9 {
+					t.Errorf("ev %v: P(x%d=%d|e) jtree %v vs VE %v", ev, v, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+func TestJunctionTreeRecalibration(t *testing.T) {
+	// Calibrate twice with different evidence; the second result must not
+	// leak state from the first.
+	net := bn.Cancer()
+	jt, err := NewJunctionTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jt.Calibrate(map[int]uint8{2: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jt.Calibrate(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := jt.Marginal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := QueryMarginal(net, 1, nil)
+	if math.Abs(got[1]-want[1]) > 1e-9 {
+		t.Errorf("recalibration leaked: %v vs %v", got[1], want[1])
+	}
+}
+
+func TestJunctionTreeErrors(t *testing.T) {
+	net := bn.Cancer()
+	jt, err := NewJunctionTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jt.Marginal(0); err == nil {
+		t.Error("Marginal before Calibrate accepted")
+	}
+	if err := jt.Calibrate(map[int]uint8{9: 0}); err == nil {
+		t.Error("out-of-range evidence accepted")
+	}
+	if err := jt.Calibrate(map[int]uint8{0: 9}); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+	// Impossible evidence in Asia.
+	ajt, _ := NewJunctionTree(bn.Asia())
+	if err := ajt.Calibrate(map[int]uint8{2: 1, 5: 0}); err == nil {
+		t.Error("zero-probability evidence accepted")
+	}
+	// Unparameterized network.
+	if _, err := NewJunctionTree(bn.NewNetwork("x", []int{2})); err == nil {
+		t.Error("network without CPTs accepted")
+	}
+	jt2, _ := NewJunctionTree(net)
+	jt2.Calibrate(nil)
+	if _, err := jt2.Marginal(99); err == nil {
+		t.Error("out-of-range marginal accepted")
+	}
+}
+
+func TestJunctionTreeSingleCliqueNetwork(t *testing.T) {
+	// A fully connected tiny model collapses to one clique.
+	net := bn.Chain(2, 2, 0.9)
+	jt, err := NewJunctionTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.NumCliques() != 1 {
+		t.Fatalf("2-chain should be one clique, got %d", jt.NumCliques())
+	}
+	if err := jt.Calibrate(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := jt.Marginal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := QueryMarginal(net, 1, nil)
+	if math.Abs(got[0]-want[0]) > 1e-12 {
+		t.Errorf("single-clique marginal %v vs %v", got, want)
+	}
+}
+
+func TestJunctionTreeRandomNetworksMatchVE(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		net := bn.RandomDAG(9, 2, 0.3, 3, 1.0, seed)
+		jt, err := NewJunctionTree(net)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := jt.Calibrate(map[int]uint8{0: 1}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for v := 1; v < 9; v++ {
+			got, err := jt.Marginal(v)
+			if err != nil {
+				t.Fatalf("seed %d var %d: %v", seed, v, err)
+			}
+			want, err := QueryMarginal(net, v, map[int]uint8{0: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range want {
+				if math.Abs(got[s]-want[s]) > 1e-9 {
+					t.Errorf("seed %d: P(x%d=%d|x0=1) jtree %v vs VE %v", seed, v, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+func TestAllMarginalsMatchesPerQuery(t *testing.T) {
+	net := bn.Asia()
+	jt, err := NewJunctionTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := map[int]uint8{6: 1}
+	all, err := jt.AllMarginals(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[6] != nil {
+		t.Error("evidence variable should have nil marginal")
+	}
+	for v := 0; v < net.NumVars(); v++ {
+		if v == 6 {
+			continue
+		}
+		want, err := QueryMarginal(net, v, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range want {
+			if math.Abs(all[v][s]-want[s]) > 1e-9 {
+				t.Errorf("var %d state %d: %v vs %v", v, s, all[v][s], want[s])
+			}
+		}
+	}
+}
+
+func TestJunctionTreeGridMatchesVE(t *testing.T) {
+	// 3×3 grid: treewidth 3 — a real triangulation exercise, unlike the
+	// tree-like catalogue networks.
+	net := bn.Grid(3, 3, 2, 0.7)
+	jt, err := NewJunctionTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.MaxCliqueSize() < 3 {
+		t.Errorf("grid max clique %d, expected >= 3", jt.MaxCliqueSize())
+	}
+	ev := map[int]uint8{0: 1, 8: 0}
+	if err := jt.Calibrate(ev); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 8; v++ {
+		got, err := jt.Marginal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := QueryMarginal(net, v, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range want {
+			if math.Abs(got[s]-want[s]) > 1e-9 {
+				t.Errorf("grid P(x%d=%d|e): jtree %v vs VE %v", v, s, got[s], want[s])
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package infer
+
+import (
+	"fmt"
+
+	"waitfreebn/internal/bn"
+)
+
+// MaxOut returns the factor with variable v eliminated by maximization
+// instead of summation — the max-product counterpart of SumOut.
+func (f *Factor) MaxOut(v int) *Factor {
+	pos := -1
+	for i, fv := range f.vars {
+		if fv == v {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("infer: variable %d not in factor %v", v, f.vars))
+	}
+	outVars := make([]int, 0, len(f.vars)-1)
+	outCard := make([]int, 0, len(f.vars)-1)
+	for i := range f.vars {
+		if i != pos {
+			outVars = append(outVars, f.vars[i])
+			outCard = append(outCard, f.card[i])
+		}
+	}
+	out := NewFactor(outVars, outCard)
+	for i := range out.values {
+		out.values[i] = -1 // below any probability
+	}
+	assign := make([]int, len(f.vars))
+	reduced := make([]int, len(outVars))
+	for idx, val := range f.values {
+		assign = f.assignment(idx, assign)
+		k := 0
+		for i, s := range assign {
+			if i != pos {
+				reduced[k] = s
+				k++
+			}
+		}
+		if o := out.index(reduced); val > out.values[o] {
+			out.values[o] = val
+		}
+	}
+	return out
+}
+
+// MPE computes a most probable explanation: an assignment to every
+// non-evidence variable maximizing the joint probability consistent with
+// the evidence. It returns the full assignment (evidence included) and its
+// joint probability. Ties are broken toward lower states deterministically.
+func MPE(net *bn.Network, evidence map[int]uint8) ([]uint8, float64, error) {
+	if err := net.Validate(); err != nil {
+		return nil, 0, err
+	}
+	nv := net.NumVars()
+	for v, s := range evidence {
+		if v < 0 || v >= nv {
+			return nil, 0, fmt.Errorf("infer: evidence variable %d outside [0,%d)", v, nv)
+		}
+		if int(s) >= net.Cardinality(v) {
+			return nil, 0, fmt.Errorf("infer: evidence state %d out of range for variable %d", s, v)
+		}
+	}
+
+	var pool []*Factor
+	for v := 0; v < nv; v++ {
+		f := FromCPT(net, v)
+		for ev, s := range evidence {
+			if containsVar(f.vars, ev) {
+				f = f.Restrict(ev, int(s))
+			}
+		}
+		pool = append(pool, f)
+	}
+
+	// Eliminate non-evidence variables by max-product, remembering the
+	// product factor at each elimination for the traceback.
+	type record struct {
+		v    int
+		prod *Factor
+	}
+	var trace []record
+	remaining := map[int]bool{}
+	for v := 0; v < nv; v++ {
+		if _, isEv := evidence[v]; !isEv {
+			remaining[v] = true
+		}
+	}
+	for len(remaining) > 0 {
+		best, bestCost := -1, 0
+		for v := range remaining {
+			cost := eliminationCost(pool, v, net)
+			if best < 0 || cost < bestCost || (cost == bestCost && v < best) {
+				best, bestCost = v, cost
+			}
+		}
+		var keep []*Factor
+		var prod *Factor
+		for _, f := range pool {
+			if containsVar(f.vars, best) {
+				if prod == nil {
+					prod = f
+				} else {
+					prod = prod.Multiply(f)
+				}
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		if prod == nil {
+			prod = scalarFactor(1) // variable restricted away entirely
+			prod.vars = []int{best}
+			prod.card = []int{net.Cardinality(best)}
+			prod.values = make([]float64, net.Cardinality(best))
+			for i := range prod.values {
+				prod.values[i] = 1
+			}
+		}
+		trace = append(trace, record{v: best, prod: prod})
+		pool = append(keep, prod.MaxOut(best))
+		delete(remaining, best)
+	}
+
+	// The left-over factors are scalars; their product is the MPE
+	// probability (conditional factors already absorbed evidence).
+	prob := 1.0
+	for _, f := range pool {
+		if f.Size() != 1 {
+			return nil, 0, fmt.Errorf("infer: internal error: non-scalar residual factor over %v", f.vars)
+		}
+		prob *= f.values[0]
+	}
+	if prob == 0 {
+		return nil, 0, fmt.Errorf("infer: evidence has probability zero")
+	}
+
+	// Traceback in reverse elimination order: each recorded product factor
+	// mentions only its variable and variables eliminated later (or
+	// evidence), so the argmax is well defined at pop time.
+	assignment := make([]uint8, nv)
+	fixed := make([]bool, nv)
+	for v, s := range evidence {
+		assignment[v] = s
+		fixed[v] = true
+	}
+	for i := len(trace) - 1; i >= 0; i-- {
+		rec := trace[i]
+		f := rec.prod
+		// Restrict f to the already-fixed variables.
+		for _, fv := range f.vars {
+			if fv != rec.v && fixed[fv] {
+				f = f.Restrict(fv, int(assignment[fv]))
+			}
+		}
+		if len(f.vars) != 1 || f.vars[0] != rec.v {
+			return nil, 0, fmt.Errorf("infer: internal error: traceback factor over %v for variable %d", f.vars, rec.v)
+		}
+		bestS, bestV := 0, f.values[0]
+		for s := 1; s < len(f.values); s++ {
+			if f.values[s] > bestV {
+				bestS, bestV = s, f.values[s]
+			}
+		}
+		assignment[rec.v] = uint8(bestS)
+		fixed[rec.v] = true
+	}
+	// Report the joint probability of the chosen assignment (not the
+	// conditional), which callers can verify against JointProb directly.
+	return assignment, net.JointProb(assignment), nil
+}

@@ -1,0 +1,147 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"waitfreebn/internal/bn"
+)
+
+// bruteMPE enumerates all completions of the evidence and returns the
+// maximum joint probability (the assignment itself may tie; compare
+// probabilities, not states).
+func bruteMPE(net *bn.Network, evidence map[int]uint8) float64 {
+	nv := net.NumVars()
+	sample := make([]uint8, nv)
+	best := -1.0
+	var walk func(v int)
+	walk = func(v int) {
+		if v == nv {
+			if p := net.JointProb(sample); p > best {
+				best = p
+			}
+			return
+		}
+		if s, ok := evidence[v]; ok {
+			sample[v] = s
+			walk(v + 1)
+			return
+		}
+		for s := 0; s < net.Cardinality(v); s++ {
+			sample[v] = uint8(s)
+			walk(v + 1)
+		}
+	}
+	walk(0)
+	return best
+}
+
+func TestFactorMaxOut(t *testing.T) {
+	f := NewFactor([]int{0, 1}, []int{2, 3})
+	vals := [][]float64{{1, 5, 2}, {4, 0, 3}}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 3; b++ {
+			f.Set(vals[a][b], a, b)
+		}
+	}
+	m := f.MaxOut(1)
+	if m.At(0) != 5 || m.At(1) != 4 {
+		t.Errorf("MaxOut over columns: %v %v", m.At(0), m.At(1))
+	}
+	m2 := f.MaxOut(0)
+	if m2.At(0) != 4 || m2.At(1) != 5 || m2.At(2) != 3 {
+		t.Errorf("MaxOut over rows: %v %v %v", m2.At(0), m2.At(1), m2.At(2))
+	}
+}
+
+func TestFactorMaxOutPanicsOnMissingVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxOut of absent variable did not panic")
+		}
+	}()
+	NewFactor([]int{0}, []int{2}).MaxOut(3)
+}
+
+func TestMPEMatchesBruteForce(t *testing.T) {
+	for _, net := range []*bn.Network{bn.Cancer(), bn.Asia(), bn.Chain(6, 3, 0.7)} {
+		cases := []map[int]uint8{
+			nil,
+			{0: 1},
+			{net.NumVars() - 1: 1},
+		}
+		for _, ev := range cases {
+			got, prob, err := MPE(net, ev)
+			if err != nil {
+				t.Fatalf("%s ev=%v: %v", net.Name(), ev, err)
+			}
+			want := bruteMPE(net, ev)
+			if math.Abs(prob-want) > 1e-12 {
+				t.Errorf("%s ev=%v: MPE prob %v, brute force %v (assignment %v)",
+					net.Name(), ev, prob, want, got)
+			}
+			// The returned assignment must honor the evidence and have the
+			// claimed probability.
+			for v, s := range ev {
+				if got[v] != s {
+					t.Errorf("%s: MPE violated evidence at %d", net.Name(), v)
+				}
+			}
+			if jp := net.JointProb(got); math.Abs(jp-prob) > 1e-15 {
+				t.Errorf("%s: reported prob %v but JointProb = %v", net.Name(), prob, jp)
+			}
+		}
+	}
+}
+
+func TestMPEDeterministicChain(t *testing.T) {
+	// keep=0.9 chain: the MPE with no evidence picks a constant chain;
+	// with the last variable clamped to state 2, the whole chain follows.
+	net := bn.Chain(5, 3, 0.9)
+	got, _, err := MPE(net, map[int]uint8{4: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if got[v] != 2 {
+			t.Fatalf("MPE = %v, want all 2s", got)
+		}
+	}
+}
+
+func TestMPEErrors(t *testing.T) {
+	net := bn.Asia()
+	if _, _, err := MPE(net, map[int]uint8{99: 0}); err == nil {
+		t.Error("out-of-range evidence variable accepted")
+	}
+	if _, _, err := MPE(net, map[int]uint8{0: 7}); err == nil {
+		t.Error("out-of-range evidence state accepted")
+	}
+	// Impossible evidence: tub=1 with either=0.
+	if _, _, err := MPE(net, map[int]uint8{2: 1, 5: 0}); err == nil {
+		t.Error("zero-probability evidence accepted")
+	}
+	bad := bn.NewNetwork("no-cpts", []int{2})
+	if _, _, err := MPE(bad, nil); err == nil {
+		t.Error("unparameterized network accepted")
+	}
+}
+
+func TestMPEAllEvidence(t *testing.T) {
+	// Every variable observed: MPE is the evidence itself.
+	net := bn.Cancer()
+	ev := map[int]uint8{0: 0, 1: 1, 2: 0, 3: 0, 4: 1}
+	got, prob, err := MPE(net, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range ev {
+		if got[v] != s {
+			t.Fatalf("assignment %v differs from evidence", got)
+		}
+	}
+	want := net.JointProb([]uint8{0, 1, 0, 0, 1})
+	if math.Abs(prob-want) > 1e-15 {
+		t.Errorf("prob %v, want %v", prob, want)
+	}
+}

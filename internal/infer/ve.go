@@ -1,0 +1,206 @@
+package infer
+
+import (
+	"fmt"
+	"sort"
+
+	"waitfreebn/internal/bn"
+)
+
+// FromCPT converts variable v's conditional probability table into a
+// factor over {v} ∪ parents(v).
+func FromCPT(net *bn.Network, v int) *Factor {
+	dag := net.DAG()
+	scope := append(append([]int(nil), dag.Parents(v)...), v)
+	sort.Ints(scope)
+	card := make([]int, len(scope))
+	for i, sv := range scope {
+		card[i] = net.Cardinality(sv)
+	}
+	f := NewFactor(scope, card)
+
+	// Enumerate all joint assignments of the scope and read the CPT.
+	sample := make([]uint8, net.NumVars())
+	assign := make([]int, len(scope))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(scope) {
+			p := net.CondProb(v, sample[v], sample)
+			f.Set(p, assign...)
+			return
+		}
+		for s := 0; s < card[i]; s++ {
+			assign[i] = s
+			sample[scope[i]] = uint8(s)
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return f
+}
+
+// Query computes the posterior joint distribution P(query | evidence) by
+// variable elimination with a min-fill-in-spirit greedy order (smallest
+// intermediate factor first). It returns a normalized factor over the
+// query variables in increasing order.
+func Query(net *bn.Network, query []int, evidence map[int]uint8) (*Factor, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	nv := net.NumVars()
+	if len(query) == 0 {
+		return nil, fmt.Errorf("infer: empty query")
+	}
+	inQuery := make([]bool, nv)
+	for _, q := range query {
+		if q < 0 || q >= nv {
+			return nil, fmt.Errorf("infer: query variable %d outside [0,%d)", q, nv)
+		}
+		if inQuery[q] {
+			return nil, fmt.Errorf("infer: duplicate query variable %d", q)
+		}
+		if _, isEv := evidence[q]; isEv {
+			return nil, fmt.Errorf("infer: variable %d is both query and evidence", q)
+		}
+		inQuery[q] = true
+	}
+	for v, s := range evidence {
+		if v < 0 || v >= nv {
+			return nil, fmt.Errorf("infer: evidence variable %d outside [0,%d)", v, nv)
+		}
+		if int(s) >= net.Cardinality(v) {
+			return nil, fmt.Errorf("infer: evidence state %d out of range for variable %d", s, v)
+		}
+	}
+
+	// Build the factor pool: one CPT factor per variable, with evidence
+	// clamped immediately.
+	var pool []*Factor
+	for v := 0; v < nv; v++ {
+		f := FromCPT(net, v)
+		for ev, s := range evidence {
+			if containsVar(f.vars, ev) {
+				f = f.Restrict(ev, int(s))
+			}
+		}
+		if len(f.vars) > 0 || f.Size() > 0 {
+			pool = append(pool, f)
+		}
+	}
+
+	// Eliminate every non-query, non-evidence variable, greedily choosing
+	// the variable whose elimination produces the smallest factor.
+	remaining := map[int]bool{}
+	for v := 0; v < nv; v++ {
+		if _, isEv := evidence[v]; !isEv && !inQuery[v] {
+			remaining[v] = true
+		}
+	}
+	for len(remaining) > 0 {
+		best, bestCost := -1, 0
+		for v := range remaining {
+			cost := eliminationCost(pool, v, net)
+			if best < 0 || cost < bestCost || (cost == bestCost && v < best) {
+				best, bestCost = v, cost
+			}
+		}
+		pool = eliminate(pool, best)
+		delete(remaining, best)
+	}
+
+	// Multiply what is left and normalize.
+	result := scalarFactor(1)
+	for _, f := range pool {
+		result = result.Multiply(f)
+	}
+	if result.Normalize() == 0 {
+		return nil, fmt.Errorf("infer: evidence has probability zero")
+	}
+	// The result's variables are exactly the query variables (sorted).
+	if len(result.vars) != countTrue(inQuery) {
+		return nil, fmt.Errorf("infer: internal error: result scope %v does not match query", result.vars)
+	}
+	return result, nil
+}
+
+// QueryMarginal is Query for a single variable, returning its posterior
+// distribution as a plain slice.
+func QueryMarginal(net *bn.Network, v int, evidence map[int]uint8) ([]float64, error) {
+	f, err := Query(net, []int{v}, evidence)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, net.Cardinality(v))
+	for s := range out {
+		out[s] = f.At(s)
+	}
+	return out, nil
+}
+
+// eliminate multiplies all pool factors mentioning v, sums v out, and
+// returns the new pool.
+func eliminate(pool []*Factor, v int) []*Factor {
+	var keep []*Factor
+	var prod *Factor
+	for _, f := range pool {
+		if containsVar(f.vars, v) {
+			if prod == nil {
+				prod = f
+			} else {
+				prod = prod.Multiply(f)
+			}
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	if prod == nil {
+		return pool // variable appears nowhere (already restricted away)
+	}
+	return append(keep, prod.SumOut(v))
+}
+
+// eliminationCost estimates the size of the factor produced by
+// eliminating v: the product of cardinalities of the union of scopes of
+// factors mentioning v (minus v itself).
+func eliminationCost(pool []*Factor, v int, net *bn.Network) int {
+	scope := map[int]bool{}
+	found := false
+	for _, f := range pool {
+		if containsVar(f.vars, v) {
+			found = true
+			for _, fv := range f.vars {
+				scope[fv] = true
+			}
+		}
+	}
+	if !found {
+		return 0
+	}
+	cost := 1
+	for sv := range scope {
+		if sv != v {
+			cost *= net.Cardinality(sv)
+		}
+	}
+	return cost
+}
+
+func scalarFactor(v float64) *Factor {
+	f := &Factor{values: []float64{v}}
+	return f
+}
+
+func containsVar(vars []int, v int) bool {
+	i := sort.SearchInts(vars, v)
+	return i < len(vars) && vars[i] == v
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

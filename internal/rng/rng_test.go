@@ -1,0 +1,231 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("iteration %d: %#x != %#x", i, av, bv)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the public-domain reference
+	// implementation (splitmix64.c by Sebastiano Vigna).
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if g := s.Next(); g != w {
+			t.Errorf("value %d: got %#x want %#x", i, g, w)
+		}
+	}
+}
+
+func TestMix64MatchesSplitMix(t *testing.T) {
+	// Mix64(x) must equal the first output of SplitMix64 seeded with x.
+	for _, seed := range []uint64{0, 1, 42, 1 << 40, math.MaxUint64} {
+		if g, w := Mix64(seed), NewSplitMix64(seed).Next(); g != w {
+			t.Errorf("Mix64(%#x) = %#x, want %#x", seed, g, w)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256SS(7)
+	b := NewXoshiro256SS(7)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("iteration %d: %#x != %#x", i, av, bv)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a := NewXoshiro256SS(1)
+	b := NewXoshiro256SS(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := NewXoshiro256SS(99)
+	a := root.Split()
+	b := root.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split streams produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	x := NewXoshiro256SS(5)
+	if err := quick.Check(func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := x.Uint64n(n)
+		return v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nSmallNCoversAll(t *testing.T) {
+	x := NewXoshiro256SS(6)
+	seen := make(map[uint64]int)
+	const n = 7
+	for i := 0; i < 7000; i++ {
+		seen[x.Uint64n(n)]++
+	}
+	if len(seen) != n {
+		t.Fatalf("expected all %d values to appear, saw %d", n, len(seen))
+	}
+	for v, c := range seen {
+		if c < 500 {
+			t.Errorf("value %d appeared only %d times out of 7000 (expect ~1000)", v, c)
+		}
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewXoshiro256SS(1).Uint64n(0)
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			NewXoshiro256SS(1).Intn(n)
+		}()
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXoshiro256SS(8)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	x := NewXoshiro256SS(9)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += x.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of %d uniforms = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := NewXoshiro256SS(10)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := x.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) returned length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	x := NewXoshiro256SS(11)
+	s := []int{1, 2, 2, 3, 5, 8, 13}
+	counts := map[int]int{}
+	for _, v := range s {
+		counts[v]++
+	}
+	x.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		counts[v]--
+	}
+	for v, c := range counts {
+		if c != 0 {
+			t.Errorf("element %d count changed by %d after shuffle", v, c)
+		}
+	}
+}
+
+func TestUint64nUniformChiSquare(t *testing.T) {
+	// Coarse chi-square goodness-of-fit against uniform over 16 buckets.
+	x := NewXoshiro256SS(12)
+	const buckets, n = 16, 160000
+	var obs [buckets]int
+	for i := 0; i < n; i++ {
+		obs[x.Uint64n(buckets)]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, o := range obs {
+		d := float64(o) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; critical value at p=0.001 is ~37.7.
+	if chi2 > 37.7 {
+		t.Errorf("chi-square = %v, suggests non-uniform output", chi2)
+	}
+}
+
+func BenchmarkXoshiroNext(b *testing.B) {
+	x := NewXoshiro256SS(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	x := NewXoshiro256SS(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64n(3)
+	}
+	_ = sink
+}

@@ -1,0 +1,191 @@
+// Package sched provides the PRAM-style parallel execution helpers the
+// primitives are built on: deterministic work partitioners, a reusable
+// sense-reversing barrier, and a parallel-for that runs a fixed worker per
+// "core" index.
+//
+// The paper's model is P processor cores over shared memory, with each core
+// executing the same loop over a statically assigned block (Algorithms 1-4).
+// We map one goroutine to each core index p ∈ [0, P); GOMAXPROCS places them
+// on OS threads. All partitioning is deterministic so results are
+// reproducible and so per-core data structures (tables, queues) can be
+// allocated before the workers start.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Span is a half-open index range [Lo, Hi) assigned to one worker.
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// BlockPartition splits [0, n) into p contiguous spans whose lengths differ
+// by at most one, matching the paper's static division of the training data
+// (line 6 of Algorithm 1). Workers with index < n%p get the longer spans.
+// It panics if p <= 0 or n < 0.
+func BlockPartition(n, p int) []Span {
+	if p <= 0 {
+		panic(fmt.Sprintf("sched: BlockPartition with p = %d", p))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("sched: BlockPartition with n = %d", n))
+	}
+	spans := make([]Span, p)
+	base := n / p
+	extra := n % p
+	lo := 0
+	for i := range spans {
+		size := base
+		if i < extra {
+			size++
+		}
+		spans[i] = Span{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return spans
+}
+
+// CyclicAssign returns, for each worker, the indexes {i : i mod p == worker}
+// in increasing order. Algorithm 4 distributes variable pairs cyclically;
+// cyclic assignment balances load when per-index cost varies systematically
+// with the index.
+func CyclicAssign(n, p int) [][]int {
+	if p <= 0 {
+		panic(fmt.Sprintf("sched: CyclicAssign with p = %d", p))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("sched: CyclicAssign with n = %d", n))
+	}
+	out := make([][]int, p)
+	for w := range out {
+		out[w] = make([]int, 0, (n-w+p-1)/p)
+		for i := w; i < n; i += p {
+			out[w] = append(out[w], i)
+		}
+	}
+	return out
+}
+
+// Run executes body(p) on P goroutines, p = 0..P-1, and returns when all
+// have finished. It is the "for p in parallel do" construct of the
+// pseudocode. Panics in workers are re-raised in the caller.
+func Run(p int, body func(worker int)) {
+	if p <= 0 {
+		panic(fmt.Sprintf("sched: Run with p = %d", p))
+	}
+	if p == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	panics := make([]any, p)
+	for w := 0; w < p; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[worker] = r
+				}
+			}()
+			body(worker)
+		}(w)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+}
+
+// Barrier is a reusable sense-reversing barrier for a fixed party count.
+// It is the single synchronization step between stage 1 and stage 2 of the
+// construction primitive. Unlike sync.WaitGroup it can be waited on
+// repeatedly by the same fixed set of workers without reinitialization.
+type Barrier struct {
+	parties int32
+	arrived atomic.Int32
+	sense   atomic.Uint32
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("sched: NewBarrier with parties = %d", parties))
+	}
+	return &Barrier{parties: int32(parties)}
+}
+
+// Wait blocks until all parties have called Wait for the current phase,
+// then releases them and flips the phase. The last arriver never blocks;
+// earlier arrivers spin with cooperative yields (barrier episodes in the
+// primitives are short and bounded, so spinning beats parking).
+func (b *Barrier) Wait() {
+	sense := b.sense.Load()
+	if b.arrived.Add(1) == b.parties {
+		b.arrived.Store(0)
+		b.sense.Store(sense + 1) // releases the waiters
+		return
+	}
+	for b.sense.Load() == sense {
+		runtime.Gosched()
+	}
+}
+
+// Parties returns the number of workers the barrier synchronizes.
+func (b *Barrier) Parties() int { return int(b.parties) }
+
+// DefaultP returns the number of workers to use when the caller does not
+// specify one: GOMAXPROCS, the Go analogue of "all available cores".
+func DefaultP() int { return runtime.GOMAXPROCS(0) }
+
+// DynamicFor executes body(i) for every i in [0, n) on p workers with
+// dynamic chunk claiming: workers repeatedly grab the next `grain` indexes
+// from a shared atomic counter. Unlike the static partitioners, load
+// balance does not depend on uniform per-index cost — the counter is the
+// only shared state, claimed with one atomic add per chunk.
+//
+// Static block/cyclic assignment is the paper's model (and is faster when
+// costs are uniform); DynamicFor is the ablation arm for skewed work.
+// grain <= 0 selects a heuristic of max(1, n/(p·8)).
+func DynamicFor(n, p, grain int, body func(i int)) {
+	if n < 0 {
+		panic(fmt.Sprintf("sched: DynamicFor with n = %d", n))
+	}
+	if p <= 0 {
+		panic(fmt.Sprintf("sched: DynamicFor with p = %d", p))
+	}
+	if n == 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = n / (p * 8)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var next atomic.Int64
+	Run(p, func(int) {
+		for {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockPartitionCoversExactly(t *testing.T) {
+	if err := quick.Check(func(n16 uint16, p8 uint8) bool {
+		n := int(n16 % 1000)
+		p := int(p8%32) + 1
+		spans := BlockPartition(n, p)
+		if len(spans) != p {
+			return false
+		}
+		prev := 0
+		for _, s := range spans {
+			if s.Lo != prev || s.Hi < s.Lo {
+				return false
+			}
+			prev = s.Hi
+		}
+		return prev == n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockPartitionBalanced(t *testing.T) {
+	spans := BlockPartition(10, 4)
+	want := []Span{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	for i, s := range spans {
+		if s != want[i] {
+			t.Errorf("span %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+	// Lengths differ by at most one.
+	min, max := spans[0].Len(), spans[0].Len()
+	for _, s := range spans {
+		if l := s.Len(); l < min {
+			min = l
+		} else if l > max {
+			max = l
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("span lengths differ by %d", max-min)
+	}
+}
+
+func TestBlockPartitionEdgeCases(t *testing.T) {
+	// More workers than items: trailing spans are empty.
+	spans := BlockPartition(2, 5)
+	total := 0
+	for _, s := range spans {
+		total += s.Len()
+	}
+	if total != 2 {
+		t.Errorf("total span length = %d, want 2", total)
+	}
+	// Zero items.
+	for _, s := range BlockPartition(0, 3) {
+		if s.Len() != 0 {
+			t.Errorf("nonempty span %+v for n=0", s)
+		}
+	}
+}
+
+func TestBlockPartitionPanics(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 0}, {10, -1}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BlockPartition(%d,%d) did not panic", tc.n, tc.p)
+				}
+			}()
+			BlockPartition(tc.n, tc.p)
+		}()
+	}
+}
+
+func TestCyclicAssignCoversExactly(t *testing.T) {
+	n, p := 23, 4
+	assign := CyclicAssign(n, p)
+	seen := make([]bool, n)
+	for w, idxs := range assign {
+		for _, i := range idxs {
+			if i%p != w {
+				t.Fatalf("index %d assigned to worker %d", i, w)
+			}
+			if seen[i] {
+				t.Fatalf("index %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d never assigned", i)
+		}
+	}
+}
+
+func TestCyclicAssignPanics(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CyclicAssign(%d,%d) did not panic", tc.n, tc.p)
+				}
+			}()
+			CyclicAssign(tc.n, tc.p)
+		}()
+	}
+}
+
+func TestRunExecutesEachWorkerOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 7, 16} {
+		var calls [16]atomic.Int32
+		Run(p, func(w int) {
+			calls[w].Add(1)
+		})
+		for w := 0; w < p; w++ {
+			if got := calls[w].Load(); got != 1 {
+				t.Errorf("p=%d: worker %d ran %d times", p, w, got)
+			}
+		}
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	Run(4, func(w int) {
+		if w == 2 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRunPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run(0) did not panic")
+		}
+	}()
+	Run(0, func(int) {})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 8
+	const rounds = 50
+	b := NewBarrier(p)
+	var phase atomic.Int32
+	var violations atomic.Int32
+	Run(p, func(w int) {
+		for r := 0; r < rounds; r++ {
+			// Everyone increments, then waits; after the barrier the
+			// counter must show all p increments for this round.
+			phase.Add(1)
+			b.Wait()
+			if got := phase.Load(); int(got) < (r+1)*p {
+				violations.Add(1)
+			}
+			b.Wait() // second barrier so no one races ahead into round r+1
+		}
+	})
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d barrier violations", v)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 100; i++ {
+		b.Wait() // must never deadlock with a single party
+	}
+	if b.Parties() != 1 {
+		t.Errorf("Parties = %d", b.Parties())
+	}
+}
+
+func TestNewBarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestDefaultPPositive(t *testing.T) {
+	if DefaultP() < 1 {
+		t.Fatalf("DefaultP = %d", DefaultP())
+	}
+}
+
+func BenchmarkBarrier4(b *testing.B) {
+	const p = 4
+	bar := NewBarrier(p)
+	b.ResetTimer()
+	Run(p, func(w int) {
+		for i := 0; i < b.N; i++ {
+			bar.Wait()
+		}
+	})
+}
+
+func TestDynamicForCoversExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, p, grain int }{
+		{100, 4, 7}, {1000, 3, 0}, {5, 8, 1}, {0, 2, 4}, {1, 1, 100},
+	} {
+		counts := make([]atomic.Int32, tc.n)
+		DynamicFor(tc.n, tc.p, tc.grain, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d p=%d grain=%d: index %d executed %d times",
+					tc.n, tc.p, tc.grain, i, got)
+			}
+		}
+	}
+}
+
+func TestDynamicForPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative n": func() { DynamicFor(-1, 2, 1, func(int) {}) },
+		"zero p":     func() { DynamicFor(10, 0, 1, func(int) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDynamicForBalancesSkew(t *testing.T) {
+	// One pathological index costs far more than the rest; with dynamic
+	// claiming at grain 1 every worker stays busy, so total work per
+	// worker (tracked by index count) must differ.
+	var perWorker [4]atomic.Int32
+	var workerOf [64]atomic.Int32
+	DynamicFor(64, 4, 1, func(i int) {
+		// no real way to observe worker id through the closure; just
+		// assert full coverage (balance itself is best-effort).
+		workerOf[i].Add(1)
+		perWorker[i%4].Add(1)
+	})
+	for i := range workerOf {
+		if workerOf[i].Load() != 1 {
+			t.Fatalf("index %d not executed exactly once", i)
+		}
+	}
+}

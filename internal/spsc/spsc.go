@@ -1,0 +1,266 @@
+// Package spsc implements the wait-free single-producer single-consumer
+// queues that carry "foreign" keys between cores in the table-construction
+// primitive (the Q_{i,j} of Algorithms 1 and 2).
+//
+// The protocol gives every queue exactly one producer (the core that
+// encountered a key outside its partition, during stage 1) and exactly one
+// consumer (the key's owning core, during stage 2). With that restriction
+// both Push and Pop complete in a bounded number of their own steps with no
+// locks, no CAS loops, and no dependence on the other side's scheduling —
+// the wait-free property the paper's primitive is named for.
+//
+// Three implementations are provided:
+//
+//   - Ring: a fixed-capacity circular buffer with atomic head/tail indexes
+//     (the classic Lamport queue). Push fails when full.
+//   - Chunked: an unbounded linked list of fixed-size segments. The
+//     producer appends to the tail segment and links new segments; the
+//     consumer walks from the head. Publication of both elements and
+//     segments uses acquire/release atomics. This is the default for the
+//     construction primitive, since the number of foreign keys per core
+//     pair is not known in advance.
+//   - MutexQueue: a lock-based queue used only as an ablation arm (A1) and
+//     as an oracle in tests.
+package spsc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is the interface the construction strategies program against.
+// Push and Pop may be called concurrently only in the single-producer,
+// single-consumer discipline described in the package comment.
+type Queue interface {
+	// Push appends v. It reports false if the queue cannot accept more
+	// elements (only possible for bounded implementations).
+	Push(v uint64) bool
+	// Pop removes and returns the oldest element, reporting false if the
+	// queue is observed empty.
+	Pop() (uint64, bool)
+	// Len returns the number of elements currently queued. It is exact
+	// when producer and consumer are quiescent (e.g. between the two
+	// stages of the construction primitive).
+	Len() int
+}
+
+// Ring is a bounded wait-free SPSC queue over a power-of-two circular
+// buffer. head is advanced only by the consumer, tail only by the producer.
+type Ring struct {
+	buf  []uint64
+	mask uint64
+	_    [48]byte // keep head and tail on separate cache lines
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+}
+
+// NewRing returns a ring that can hold at least capacity elements.
+// capacity must be positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("spsc: NewRing capacity must be positive")
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{buf: make([]uint64, n), mask: uint64(n - 1)}
+}
+
+// Capacity returns the number of elements the ring can hold.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Push appends v, reporting false if the ring is full.
+func (r *Ring) Push(v uint64) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1) // release: publishes the element above
+	return true
+}
+
+// Pop removes and returns the oldest element, reporting false when empty.
+func (r *Ring) Pop() (uint64, bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return 0, false
+	}
+	v := r.buf[head&r.mask]
+	r.head.Store(head + 1) // release: frees the slot for the producer
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// chunkSize is the number of elements per segment of a Chunked queue.
+// 1024 × 8 bytes amortizes the per-segment allocation over 8 KiB of
+// sequentially written keys.
+const chunkSize = 1024
+
+type chunk struct {
+	vals [chunkSize]uint64
+	next atomic.Pointer[chunk]
+}
+
+// Chunked is an unbounded wait-free SPSC queue built from linked fixed-size
+// segments. The producer owns (tail, tailIdx) and the published count; the
+// consumer owns (head, headIdx) and the consumed count.
+type Chunked struct {
+	head     *chunk // consumer-owned
+	headIdx  int    // consumer-owned index into head
+	popped   atomic.Uint64
+	_        [40]byte
+	tail     *chunk // producer-owned
+	tailIdx  int    // producer-owned index into tail
+	pushed   atomic.Uint64
+	segments atomic.Uint64 // total segments ever allocated (instrumentation)
+}
+
+// NewChunked returns an empty unbounded queue.
+func NewChunked() *Chunked {
+	c := &chunk{}
+	q := &Chunked{head: c, tail: c}
+	q.segments.Store(1)
+	return q
+}
+
+// Push appends v. It always succeeds (allocating a new segment when the
+// tail segment fills) and never blocks on the consumer.
+func (q *Chunked) Push(v uint64) bool {
+	if q.tailIdx == chunkSize {
+		next := &chunk{}
+		q.tail.next.Store(next) // release: publishes the full segment link
+		q.tail = next
+		q.tailIdx = 0
+		q.segments.Add(1)
+	}
+	q.tail.vals[q.tailIdx] = v
+	q.tailIdx++
+	q.pushed.Add(1) // release: publishes the element
+	return true
+}
+
+// Pop removes and returns the oldest element, reporting false when the
+// queue is observed empty.
+func (q *Chunked) Pop() (uint64, bool) {
+	if q.popped.Load() == q.pushed.Load() {
+		return 0, false
+	}
+	if q.headIdx == chunkSize {
+		// pushed > popped guarantees the producer has linked the next
+		// segment before publishing any element stored in it.
+		q.head = q.head.next.Load()
+		q.headIdx = 0
+	}
+	v := q.head.vals[q.headIdx]
+	q.headIdx++
+	q.popped.Add(1)
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (q *Chunked) Len() int { return int(q.pushed.Load() - q.popped.Load()) }
+
+// Segments returns how many segments the queue has allocated in total.
+func (q *Chunked) Segments() int { return int(q.segments.Load()) }
+
+// MutexQueue is a lock-based unbounded FIFO. It exists to quantify, in
+// ablation A1, what the wait-free queues buy over the obvious
+// mutex-protected alternative; Acquires counts lock acquisitions.
+type MutexQueue struct {
+	mu       sync.Mutex
+	vals     []uint64
+	headIdx  int
+	acquires atomic.Uint64
+}
+
+// NewMutexQueue returns an empty lock-based queue.
+func NewMutexQueue() *MutexQueue { return &MutexQueue{} }
+
+// Push appends v under the queue lock.
+func (q *MutexQueue) Push(v uint64) bool {
+	q.acquires.Add(1)
+	q.mu.Lock()
+	q.vals = append(q.vals, v)
+	q.mu.Unlock()
+	return true
+}
+
+// Pop removes and returns the oldest element under the queue lock.
+func (q *MutexQueue) Pop() (uint64, bool) {
+	q.acquires.Add(1)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.headIdx == len(q.vals) {
+		if q.headIdx > 0 {
+			q.vals = q.vals[:0]
+			q.headIdx = 0
+		}
+		return 0, false
+	}
+	v := q.vals[q.headIdx]
+	q.headIdx++
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (q *MutexQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.vals) - q.headIdx
+}
+
+// Acquires returns the number of lock acquisitions so far.
+func (q *MutexQueue) Acquires() uint64 { return q.acquires.Load() }
+
+var (
+	_ Queue = (*Ring)(nil)
+	_ Queue = (*Chunked)(nil)
+	_ Queue = (*MutexQueue)(nil)
+)
+
+// Kind selects a queue implementation by name; the construction builder and
+// the ablation benches use it to parameterize strategy sweeps.
+type Kind int
+
+const (
+	// KindChunked selects the unbounded wait-free chunked queue (default).
+	KindChunked Kind = iota
+	// KindRing selects the bounded wait-free ring; callers must size it.
+	KindRing
+	// KindMutex selects the lock-based queue (ablation baseline).
+	KindMutex
+)
+
+// String returns the kind's human-readable name.
+func (k Kind) String() string {
+	switch k {
+	case KindChunked:
+		return "chunked"
+	case KindRing:
+		return "ring"
+	case KindMutex:
+		return "mutex"
+	default:
+		return "unknown"
+	}
+}
+
+// New constructs a queue of the given kind. boundedCap sizes KindRing and
+// is ignored otherwise.
+func New(k Kind, boundedCap int) Queue {
+	switch k {
+	case KindChunked:
+		return NewChunked()
+	case KindRing:
+		return NewRing(boundedCap)
+	case KindMutex:
+		return NewMutexQueue()
+	default:
+		panic("spsc: unknown queue kind")
+	}
+}

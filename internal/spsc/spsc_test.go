@@ -1,0 +1,302 @@
+package spsc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"waitfreebn/internal/rng"
+)
+
+func kinds() map[string]func() Queue {
+	return map[string]func() Queue{
+		"ring":    func() Queue { return NewRing(1 << 16) },
+		"chunked": func() Queue { return NewChunked() },
+		"mutex":   func() Queue { return NewMutexQueue() },
+	}
+}
+
+func TestQueueFIFOSequential(t *testing.T) {
+	for name, mk := range kinds() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if _, ok := q.Pop(); ok {
+				t.Fatal("Pop on empty queue reported ok")
+			}
+			for i := uint64(0); i < 1000; i++ {
+				if !q.Push(i) {
+					t.Fatalf("Push(%d) failed", i)
+				}
+			}
+			if q.Len() != 1000 {
+				t.Fatalf("Len = %d, want 1000", q.Len())
+			}
+			for i := uint64(0); i < 1000; i++ {
+				v, ok := q.Pop()
+				if !ok || v != i {
+					t.Fatalf("Pop #%d = (%d,%v), want (%d,true)", i, v, ok, i)
+				}
+			}
+			if _, ok := q.Pop(); ok {
+				t.Fatal("Pop after drain reported ok")
+			}
+			if q.Len() != 0 {
+				t.Fatalf("Len after drain = %d", q.Len())
+			}
+		})
+	}
+}
+
+func TestQueueInterleavedPushPop(t *testing.T) {
+	for name, mk := range kinds() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			next := uint64(0)
+			expect := uint64(0)
+			src := rng.NewXoshiro256SS(3)
+			for op := 0; op < 20000; op++ {
+				if src.Uint64n(2) == 0 {
+					if q.Push(next) {
+						next++
+					}
+				} else if v, ok := q.Pop(); ok {
+					if v != expect {
+						t.Fatalf("op %d: popped %d, want %d", op, v, expect)
+					}
+					expect++
+				}
+			}
+			// Drain the remainder.
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					break
+				}
+				if v != expect {
+					t.Fatalf("drain: popped %d, want %d", v, expect)
+				}
+				expect++
+			}
+			if expect != next {
+				t.Fatalf("popped %d values, pushed %d", expect, next)
+			}
+		})
+	}
+}
+
+func TestRingCapacityAndFull(t *testing.T) {
+	r := NewRing(10) // rounds up to 16
+	if r.Capacity() != 16 {
+		t.Fatalf("Capacity = %d, want 16", r.Capacity())
+	}
+	for i := uint64(0); i < 16; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push %d failed before capacity", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("Push succeeded on a full ring")
+	}
+	if v, ok := r.Pop(); !ok || v != 0 {
+		t.Fatalf("Pop = (%d,%v)", v, ok)
+	}
+	if !r.Push(99) {
+		t.Fatal("Push failed after freeing one slot")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	// Push/pop many times the capacity to exercise index wrap.
+	v := uint64(0)
+	e := uint64(0)
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Push(v) {
+				t.Fatal("unexpected full")
+			}
+			v++
+		}
+		for i := 0; i < 3; i++ {
+			got, ok := r.Pop()
+			if !ok || got != e {
+				t.Fatalf("round %d: Pop = (%d,%v), want %d", round, got, ok, e)
+			}
+			e++
+		}
+	}
+}
+
+func TestNewRingPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%d) did not panic", c)
+				}
+			}()
+			NewRing(c)
+		}()
+	}
+}
+
+func TestChunkedCrossesSegments(t *testing.T) {
+	q := NewChunked()
+	n := uint64(chunkSize*3 + 7)
+	for i := uint64(0); i < n; i++ {
+		q.Push(i)
+	}
+	if q.Segments() != 4 {
+		t.Fatalf("Segments = %d, want 4", q.Segments())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d,%v)", i, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestMutexQueueAcquiresCounter(t *testing.T) {
+	q := NewMutexQueue()
+	q.Push(1)
+	q.Push(2)
+	q.Pop()
+	if got := q.Acquires(); got != 3 {
+		t.Errorf("Acquires = %d, want 3", got)
+	}
+}
+
+// TestConcurrentSPSC runs a real producer goroutine against a real consumer
+// goroutine and checks that every value arrives exactly once, in order.
+// Run with -race to validate the memory-ordering claims.
+func TestConcurrentSPSC(t *testing.T) {
+	const n = 200000
+	for name, mk := range kinds() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := uint64(0); i < n; {
+					if q.Push(i) {
+						i++
+					} else {
+						runtime.Gosched() // ring full: let the consumer run
+					}
+				}
+			}()
+			errs := make(chan error, 1)
+			go func() {
+				defer wg.Done()
+				expect := uint64(0)
+				for expect < n {
+					v, ok := q.Pop()
+					if !ok {
+						runtime.Gosched() // queue empty: let the producer run
+						continue
+					}
+					if v != expect {
+						select {
+						case errs <- errorf("popped %d, want %d", v, expect):
+						default:
+						}
+						return
+					}
+					expect++
+				}
+			}()
+			wg.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+			if q.Len() != 0 {
+				t.Fatalf("Len = %d after concurrent run", q.Len())
+			}
+		})
+	}
+}
+
+// TestConcurrentRingSmall stresses wraparound under concurrency with a tiny
+// ring, maximizing full/empty boundary transitions.
+func TestConcurrentRingSmall(t *testing.T) {
+	const n = 100000
+	q := NewRing(2)
+	done := make(chan uint64, 1)
+	go func() {
+		var sum uint64
+		count := 0
+		for count < n {
+			if v, ok := q.Pop(); ok {
+				sum += v
+				count++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		done <- sum
+	}()
+	var want uint64
+	for i := uint64(0); i < n; {
+		if q.Push(i) {
+			want += i
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if got := <-done; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func errorf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{KindChunked: "chunked", KindRing: "ring", KindMutex: "mutex", Kind(99): "unknown"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestNewByKind(t *testing.T) {
+	if _, ok := New(KindChunked, 0).(*Chunked); !ok {
+		t.Error("New(KindChunked) wrong type")
+	}
+	if _, ok := New(KindRing, 8).(*Ring); !ok {
+		t.Error("New(KindRing) wrong type")
+	}
+	if _, ok := New(KindMutex, 0).(*MutexQueue); !ok {
+		t.Error("New(KindMutex) wrong type")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(unknown kind) did not panic")
+			}
+		}()
+		New(Kind(42), 0)
+	}()
+}
+
+func BenchmarkRingPushPop(b *testing.B)    { benchQueue(b, NewRing(1<<12)) }
+func BenchmarkChunkedPushPop(b *testing.B) { benchQueue(b, NewChunked()) }
+func BenchmarkMutexPushPop(b *testing.B)   { benchQueue(b, NewMutexQueue()) }
+
+func benchQueue(b *testing.B, q Queue) {
+	for i := 0; i < b.N; i++ {
+		q.Push(uint64(i))
+		q.Pop()
+	}
+}

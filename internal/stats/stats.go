@@ -1,0 +1,264 @@
+// Package stats implements the statistical tests that drive structure
+// learning: entropy, mutual information (Definition 2), conditional mutual
+// information (Definition 3), and the χ²/G independence tests mentioned in
+// Section III as the usual alternatives.
+//
+// All functions operate on raw count vectors — contingency tables in
+// row-major layout — and perform the count→probability normalization
+// internally, matching the deferred-normalization design of the potential
+// table. Logarithms are base 2, so all information quantities are in bits.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// log2 computes log₂(x); callers guarantee x > 0.
+func log2(x float64) float64 { return math.Log2(x) }
+
+// EntropyCounts returns the Shannon entropy H(X) in bits of the empirical
+// distribution given by counts. Zero cells contribute nothing (0·log 0 = 0).
+// An all-zero vector has zero entropy.
+func EntropyCounts(counts []uint64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	tf := float64(total)
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / tf
+		h -= p * log2(p)
+	}
+	return h
+}
+
+// MutualInfoCounts returns the mutual information I(X;Y) in bits from an
+// ri×rj contingency table in row-major layout (cell (x,y) at x·rj + y).
+// This is Definition 2 evaluated with the empirical distribution; the
+// marginals P(x) and P(y) are obtained by summing the joint, exactly as
+// Algorithm 4 derives them from P(x,y).
+func MutualInfoCounts(joint []uint64, ri, rj int) float64 {
+	if len(joint) != ri*rj {
+		panic(fmt.Sprintf("stats: joint has %d cells, want %d×%d", len(joint), ri, rj))
+	}
+	rowSums := make([]uint64, ri)
+	colSums := make([]uint64, rj)
+	var total uint64
+	for x := 0; x < ri; x++ {
+		for y := 0; y < rj; y++ {
+			c := joint[x*rj+y]
+			rowSums[x] += c
+			colSums[y] += c
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	tf := float64(total)
+	var mi float64
+	for x := 0; x < ri; x++ {
+		if rowSums[x] == 0 {
+			continue
+		}
+		for y := 0; y < rj; y++ {
+			c := joint[x*rj+y]
+			if c == 0 {
+				continue
+			}
+			pxy := float64(c) / tf
+			// P(x,y) / (P(x)·P(y)) = c·total / (rowSum·colSum)
+			mi += pxy * log2(float64(c)*tf/(float64(rowSums[x])*float64(colSums[y])))
+		}
+	}
+	if mi < 0 {
+		// MI is non-negative; tiny negatives arise from floating-point
+		// cancellation on near-independent data.
+		return 0
+	}
+	return mi
+}
+
+// CondMutualInfoCounts returns the conditional mutual information
+// I(X;Y|Z) in bits from a flattened rz×ri×rj count array (cell (z,x,y) at
+// (z·ri + x)·rj + y), where Z may be a compound of several conditioning
+// variables flattened into one axis. This is Definition 3:
+//
+//	I(X;Y|Z) = Σ P(x,y,z) log [ P(x,y|z) / (P(x|z)·P(y|z)) ]
+//
+// which decomposes as Σ_z P(z) · I(X;Y | Z=z); with an empty conditioning
+// set (rz = 1) it reduces to MutualInfoCounts, as the paper notes.
+func CondMutualInfoCounts(joint []uint64, rz, ri, rj int) float64 {
+	if len(joint) != rz*ri*rj {
+		panic(fmt.Sprintf("stats: joint has %d cells, want %d×%d×%d", len(joint), rz, ri, rj))
+	}
+	var total uint64
+	for _, c := range joint {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	tf := float64(total)
+	var cmi float64
+	slice := make([]uint64, ri*rj)
+	for z := 0; z < rz; z++ {
+		var zTotal uint64
+		for i := range slice {
+			slice[i] = joint[z*ri*rj+i]
+			zTotal += slice[i]
+		}
+		if zTotal == 0 {
+			continue
+		}
+		cmi += float64(zTotal) / tf * MutualInfoCounts(slice, ri, rj)
+	}
+	return cmi
+}
+
+// GStatistic returns the G-test statistic for independence on an ri×rj
+// contingency table: G = 2·Σ O·ln(O/E). G = 2·N·ln(2)·I(X;Y) when I is in
+// bits; under independence G is asymptotically χ² with (ri-1)(rj-1)
+// degrees of freedom.
+func GStatistic(joint []uint64, ri, rj int) float64 {
+	var total uint64
+	for _, c := range joint {
+		total += c
+	}
+	return 2 * float64(total) * math.Ln2 * MutualInfoCounts(joint, ri, rj)
+}
+
+// ChiSquare returns Pearson's χ² statistic for independence on an ri×rj
+// contingency table: Σ (O-E)²/E over cells with E > 0.
+func ChiSquare(joint []uint64, ri, rj int) float64 {
+	if len(joint) != ri*rj {
+		panic(fmt.Sprintf("stats: joint has %d cells, want %d×%d", len(joint), ri, rj))
+	}
+	rowSums := make([]uint64, ri)
+	colSums := make([]uint64, rj)
+	var total uint64
+	for x := 0; x < ri; x++ {
+		for y := 0; y < rj; y++ {
+			c := joint[x*rj+y]
+			rowSums[x] += c
+			colSums[y] += c
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	tf := float64(total)
+	var chi2 float64
+	for x := 0; x < ri; x++ {
+		for y := 0; y < rj; y++ {
+			e := float64(rowSums[x]) * float64(colSums[y]) / tf
+			if e == 0 {
+				continue
+			}
+			d := float64(joint[x*rj+y]) - e
+			chi2 += d * d / e
+		}
+	}
+	return chi2
+}
+
+// ChiSquareCritical returns the upper critical value of the χ² distribution
+// with df degrees of freedom at significance level alpha ∈ {0.05, 0.01}.
+// It uses the Wilson–Hilferty cube approximation, accurate to well under 1%
+// for df ≥ 1, which is ample for an independence-test threshold.
+func ChiSquareCritical(df int, alpha float64) float64 {
+	if df <= 0 {
+		panic(fmt.Sprintf("stats: ChiSquareCritical with df = %d", df))
+	}
+	var z, zHalf float64
+	switch alpha {
+	case 0.05:
+		z, zHalf = 1.6448536269514722, 1.9599639845400545
+	case 0.01:
+		z, zHalf = 2.3263478740408408, 2.5758293035489004
+	default:
+		panic(fmt.Sprintf("stats: unsupported alpha %v (use 0.05 or 0.01)", alpha))
+	}
+	// Exact closed forms for the low degrees of freedom where the
+	// Wilson–Hilferty approximation is weakest: χ²₁ = Z², χ²₂ = Exp(1/2).
+	switch df {
+	case 1:
+		return zHalf * zHalf
+	case 2:
+		return -2 * math.Log(alpha)
+	}
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// JointEntropyCounts returns H(X,Y) in bits from an ri×rj contingency
+// table; the table shape is irrelevant to the value, but the signature
+// mirrors MutualInfoCounts for symmetry at call sites.
+func JointEntropyCounts(joint []uint64, ri, rj int) float64 {
+	if len(joint) != ri*rj {
+		panic(fmt.Sprintf("stats: joint has %d cells, want %d×%d", len(joint), ri, rj))
+	}
+	return EntropyCounts(joint)
+}
+
+// MutualInfoCountsMM returns the Miller-Madow bias-corrected mutual
+// information estimate in bits. The plug-in estimator MutualInfoCounts is
+// biased upward for finite samples by approximately
+//
+//	(K_xy - K_x - K_y + 1) / (2·N·ln 2)
+//
+// where K are the numbers of non-empty cells of the joint and the two
+// marginals. The correction matters exactly where the learner operates:
+// deciding whether a small MI value reflects dependence or sampling noise.
+// The result is clamped at 0.
+func MutualInfoCountsMM(joint []uint64, ri, rj int) float64 {
+	if len(joint) != ri*rj {
+		panic(fmt.Sprintf("stats: joint has %d cells, want %d×%d", len(joint), ri, rj))
+	}
+	rowSeen := make([]bool, ri)
+	colSeen := make([]bool, rj)
+	var total uint64
+	kxy := 0
+	for x := 0; x < ri; x++ {
+		for y := 0; y < rj; y++ {
+			c := joint[x*rj+y]
+			if c == 0 {
+				continue
+			}
+			kxy++
+			rowSeen[x] = true
+			colSeen[y] = true
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	kx, ky := 0, 0
+	for _, s := range rowSeen {
+		if s {
+			kx++
+		}
+	}
+	for _, s := range colSeen {
+		if s {
+			ky++
+		}
+	}
+	bias := float64(kxy-kx-ky+1) / (2 * float64(total) * math.Ln2)
+	mi := MutualInfoCounts(joint, ri, rj) - bias
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}

@@ -1,0 +1,399 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEntropyUniform(t *testing.T) {
+	// H of a uniform distribution over 2^k outcomes is exactly k bits.
+	for k := 0; k <= 4; k++ {
+		n := 1 << k
+		counts := make([]uint64, n)
+		for i := range counts {
+			counts[i] = 7
+		}
+		if h := EntropyCounts(counts); !near(h, float64(k), eps) {
+			t.Errorf("H(uniform over %d) = %v, want %d", n, h, k)
+		}
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	if h := EntropyCounts([]uint64{100, 0, 0}); !near(h, 0, eps) {
+		t.Errorf("H(point mass) = %v, want 0", h)
+	}
+	if h := EntropyCounts([]uint64{0, 0}); h != 0 {
+		t.Errorf("H(empty) = %v, want 0", h)
+	}
+	if h := EntropyCounts(nil); h != 0 {
+		t.Errorf("H(nil) = %v, want 0", h)
+	}
+}
+
+func TestEntropyKnownValue(t *testing.T) {
+	// H(1/4, 3/4) = 2 - (3/4)·log2(3) ≈ 0.8112781245.
+	h := EntropyCounts([]uint64{1, 3})
+	want := 2 - 0.75*math.Log2(3)
+	if !near(h, want, 1e-10) {
+		t.Errorf("H(1/4,3/4) = %v, want %v", h, want)
+	}
+}
+
+func TestEntropyScaleInvariant(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint8, k uint8) bool {
+		mult := uint64(k%9) + 1
+		base := []uint64{uint64(a), uint64(b), uint64(c)}
+		scaled := []uint64{uint64(a) * mult, uint64(b) * mult, uint64(c) * mult}
+		return near(EntropyCounts(base), EntropyCounts(scaled), 1e-9)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIIndependent(t *testing.T) {
+	// Product-form table: counts c_xy = rowWeight[x] * colWeight[y]
+	// represents exact independence, so I must be 0.
+	rows := []uint64{3, 5}
+	cols := []uint64{2, 7, 1}
+	joint := make([]uint64, 6)
+	for x := range rows {
+		for y := range cols {
+			joint[x*3+y] = rows[x] * cols[y]
+		}
+	}
+	if mi := MutualInfoCounts(joint, 2, 3); !near(mi, 0, 1e-10) {
+		t.Errorf("I(independent) = %v, want 0", mi)
+	}
+}
+
+func TestMIPerfectlyDependent(t *testing.T) {
+	// Y == X uniform over r states: I(X;Y) = H(X) = log2(r).
+	for _, r := range []int{2, 3, 4} {
+		joint := make([]uint64, r*r)
+		for x := 0; x < r; x++ {
+			joint[x*r+x] = 10
+		}
+		if mi := MutualInfoCounts(joint, r, r); !near(mi, math.Log2(float64(r)), 1e-10) {
+			t.Errorf("I(X;X) over %d states = %v, want %v", r, mi, math.Log2(float64(r)))
+		}
+	}
+}
+
+func TestMIKnownValue(t *testing.T) {
+	// Joint: P(0,0)=P(1,1)=3/8, P(0,1)=P(1,0)=1/8.
+	// I = Σ p log2(p/(px·py)) with px=py=1/2:
+	//   2·(3/8)·log2(3/2) + 2·(1/8)·log2(1/2)
+	joint := []uint64{3, 1, 1, 3}
+	want := 2*(3.0/8)*math.Log2(1.5) + 2*(1.0/8)*math.Log2(0.5)
+	if mi := MutualInfoCounts(joint, 2, 2); !near(mi, want, 1e-10) {
+		t.Errorf("I = %v, want %v", mi, want)
+	}
+}
+
+func TestMISymmetric(t *testing.T) {
+	// I(X;Y) == I(Y;X): transpose the table and compare.
+	if err := quick.Check(func(cells [6]uint8) bool {
+		joint := make([]uint64, 6)     // 2×3
+		transpose := make([]uint64, 6) // 3×2
+		for x := 0; x < 2; x++ {
+			for y := 0; y < 3; y++ {
+				joint[x*3+y] = uint64(cells[x*3+y])
+				transpose[y*2+x] = uint64(cells[x*3+y])
+			}
+		}
+		return near(MutualInfoCounts(joint, 2, 3), MutualInfoCounts(transpose, 3, 2), 1e-9)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMINonNegativeAndBounded(t *testing.T) {
+	// 0 <= I(X;Y) <= min(H(X), H(Y)).
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(func(cells [9]uint8) bool {
+		joint := make([]uint64, 9)
+		rowSums := make([]uint64, 3)
+		colSums := make([]uint64, 3)
+		for x := 0; x < 3; x++ {
+			for y := 0; y < 3; y++ {
+				joint[x*3+y] = uint64(cells[x*3+y])
+				rowSums[x] += joint[x*3+y]
+				colSums[y] += joint[x*3+y]
+			}
+		}
+		mi := MutualInfoCounts(joint, 3, 3)
+		hx, hy := EntropyCounts(rowSums), EntropyCounts(colSums)
+		bound := math.Min(hx, hy)
+		return mi >= 0 && mi <= bound+1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIIdentityWithEntropies(t *testing.T) {
+	// I(X;Y) = H(X) + H(Y) - H(X,Y).
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(func(cells [6]uint8) bool {
+		joint := make([]uint64, 6)
+		rowSums := make([]uint64, 2)
+		colSums := make([]uint64, 3)
+		for x := 0; x < 2; x++ {
+			for y := 0; y < 3; y++ {
+				joint[x*3+y] = uint64(cells[x*3+y])
+				rowSums[x] += joint[x*3+y]
+				colSums[y] += joint[x*3+y]
+			}
+		}
+		lhs := MutualInfoCounts(joint, 2, 3)
+		rhs := EntropyCounts(rowSums) + EntropyCounts(colSums) - JointEntropyCounts(joint, 2, 3)
+		if rhs < 0 {
+			rhs = 0
+		}
+		return near(lhs, rhs, 1e-9)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIEmptyAndShapePanic(t *testing.T) {
+	if mi := MutualInfoCounts(make([]uint64, 4), 2, 2); mi != 0 {
+		t.Errorf("I(empty) = %v", mi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	MutualInfoCounts(make([]uint64, 5), 2, 2)
+}
+
+func TestCMIReducesToMIWhenZTrivial(t *testing.T) {
+	joint := []uint64{3, 1, 1, 3}
+	mi := MutualInfoCounts(joint, 2, 2)
+	cmi := CondMutualInfoCounts(joint, 1, 2, 2)
+	if !near(mi, cmi, 1e-12) {
+		t.Errorf("CMI with rz=1 = %v, MI = %v", cmi, mi)
+	}
+}
+
+func TestCMIChainStructure(t *testing.T) {
+	// X → Z → Y chain with deterministic relations: X uniform binary,
+	// Z = X, Y = Z. Then I(X;Y) = 1 bit but I(X;Y|Z) = 0.
+	// Layout (z,x,y): count 1 at (0,0,0) and (1,1,1), scaled.
+	joint3 := make([]uint64, 2*2*2)
+	joint3[(0*2+0)*2+0] = 50
+	joint3[(1*2+1)*2+1] = 50
+	if cmi := CondMutualInfoCounts(joint3, 2, 2, 2); !near(cmi, 0, 1e-10) {
+		t.Errorf("I(X;Y|Z) on chain = %v, want 0", cmi)
+	}
+	// Marginalizing out Z: joint over (x,y) is diagonal → I = 1 bit.
+	joint2 := []uint64{50, 0, 0, 50}
+	if mi := MutualInfoCounts(joint2, 2, 2); !near(mi, 1, 1e-10) {
+		t.Errorf("I(X;Y) on chain = %v, want 1", mi)
+	}
+}
+
+func TestCMIXorStructure(t *testing.T) {
+	// Z = X XOR Y with X,Y independent uniform: I(X;Y) = 0 but
+	// I(X;Y|Z) = 1 bit (conditioning opens the v-structure).
+	joint3 := make([]uint64, 2*2*2) // (z,x,y)
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			z := x ^ y
+			joint3[(z*2+x)*2+y] = 25
+		}
+	}
+	if cmi := CondMutualInfoCounts(joint3, 2, 2, 2); !near(cmi, 1, 1e-10) {
+		t.Errorf("I(X;Y|Z) on xor = %v, want 1", cmi)
+	}
+}
+
+func TestCMINonNegative(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(func(cells [8]uint8) bool {
+		joint := make([]uint64, 8)
+		for i := range joint {
+			joint[i] = uint64(cells[i])
+		}
+		return CondMutualInfoCounts(joint, 2, 2, 2) >= 0
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCMIPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CMI shape mismatch did not panic")
+		}
+	}()
+	CondMutualInfoCounts(make([]uint64, 7), 2, 2, 2)
+}
+
+func TestGStatisticRelationToMI(t *testing.T) {
+	joint := []uint64{30, 10, 10, 30}
+	var total uint64
+	for _, c := range joint {
+		total += c
+	}
+	g := GStatistic(joint, 2, 2)
+	want := 2 * float64(total) * math.Ln2 * MutualInfoCounts(joint, 2, 2)
+	if !near(g, want, 1e-9) {
+		t.Errorf("G = %v, want %v", g, want)
+	}
+	if g <= 0 {
+		t.Error("G should be positive for dependent data")
+	}
+}
+
+func TestChiSquareIndependence(t *testing.T) {
+	// Exact product structure → χ² = 0.
+	joint := []uint64{6, 14, 9, 21} // rows (3,?) cols... 6/14 = 9/21
+	if chi := ChiSquare(joint, 2, 2); !near(chi, 0, 1e-9) {
+		t.Errorf("χ²(independent) = %v, want 0", chi)
+	}
+}
+
+func TestChiSquareKnownValue(t *testing.T) {
+	// Classic 2×2: [[10, 20], [20, 10]], N=60, all margins 30.
+	// E = 15 everywhere, χ² = 4·(25/15) = 20/3.
+	joint := []uint64{10, 20, 20, 10}
+	if chi := ChiSquare(joint, 2, 2); !near(chi, 20.0/3, 1e-9) {
+		t.Errorf("χ² = %v, want %v", chi, 20.0/3)
+	}
+}
+
+func TestChiSquareEmpty(t *testing.T) {
+	if chi := ChiSquare(make([]uint64, 4), 2, 2); chi != 0 {
+		t.Errorf("χ²(empty) = %v", chi)
+	}
+}
+
+func TestChiSquarePanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("χ² shape mismatch did not panic")
+		}
+	}()
+	ChiSquare(make([]uint64, 3), 2, 2)
+}
+
+func TestChiSquareCritical(t *testing.T) {
+	// Reference values from standard χ² tables.
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64
+	}{
+		{1, 0.05, 3.841},
+		{4, 0.05, 9.488},
+		{10, 0.05, 18.307},
+		{1, 0.01, 6.635},
+		{4, 0.01, 13.277},
+	}
+	for _, tc := range cases {
+		got := ChiSquareCritical(tc.df, tc.alpha)
+		if math.Abs(got-tc.want)/tc.want > 0.02 {
+			t.Errorf("ChiSquareCritical(%d, %v) = %v, want ~%v", tc.df, tc.alpha, got, tc.want)
+		}
+	}
+}
+
+func TestChiSquareCriticalPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"df=0":      func() { ChiSquareCritical(0, 0.05) },
+		"bad alpha": func() { ChiSquareCritical(3, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMutualInfoCounts2x2(b *testing.B) {
+	joint := []uint64{30, 10, 10, 30}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += MutualInfoCounts(joint, 2, 2)
+	}
+	_ = sink
+}
+
+func BenchmarkCondMutualInfoCounts(b *testing.B) {
+	joint := make([]uint64, 4*2*2)
+	for i := range joint {
+		joint[i] = uint64(i + 1)
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += CondMutualInfoCounts(joint, 4, 2, 2)
+	}
+	_ = sink
+}
+
+func TestMutualInfoMMReducesBias(t *testing.T) {
+	// On truly independent data the plug-in MI is positive (bias); the
+	// corrected estimate must be closer to zero on average.
+	src := rand.New(rand.NewSource(77))
+	const trials, n = 200, 200
+	var sumPlug, sumMM float64
+	for trial := 0; trial < trials; trial++ {
+		joint := make([]uint64, 9)
+		for i := 0; i < n; i++ {
+			joint[src.Intn(3)*3+src.Intn(3)]++
+		}
+		sumPlug += MutualInfoCounts(joint, 3, 3)
+		sumMM += MutualInfoCountsMM(joint, 3, 3)
+	}
+	if sumMM >= sumPlug {
+		t.Errorf("corrected MI (%v) not smaller than plug-in (%v) on independent data", sumMM/trials, sumPlug/trials)
+	}
+	// Theoretical bias for a full 3×3 table: (9-3-3+1)/(2·200·ln2) ≈ 0.0144;
+	// the plug-in mean should be in that ballpark and the corrected mean
+	// well below half of it.
+	if sumMM/trials > 0.5*sumPlug/trials {
+		t.Errorf("correction too weak: plug-in %v, corrected %v", sumPlug/trials, sumMM/trials)
+	}
+}
+
+func TestMutualInfoMMPreservesStrongSignal(t *testing.T) {
+	// On strongly dependent data the correction must barely matter.
+	joint := []uint64{500, 10, 10, 500}
+	plug := MutualInfoCounts(joint, 2, 2)
+	mm := MutualInfoCountsMM(joint, 2, 2)
+	if plug-mm > 0.01 {
+		t.Errorf("correction removed %v bits from a strong signal", plug-mm)
+	}
+	if mm <= 0.5 {
+		t.Errorf("corrected MI %v too small for near-diagonal data", mm)
+	}
+}
+
+func TestMutualInfoMMEdgeCases(t *testing.T) {
+	if got := MutualInfoCountsMM(make([]uint64, 4), 2, 2); got != 0 {
+		t.Errorf("empty table: %v", got)
+	}
+	// Single cell occupied: plug-in 0, bias correction must not go negative.
+	joint := []uint64{7, 0, 0, 0}
+	if got := MutualInfoCountsMM(joint, 2, 2); got != 0 {
+		t.Errorf("point mass: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	MutualInfoCountsMM(make([]uint64, 3), 2, 2)
+}

@@ -1,0 +1,118 @@
+package structure
+
+import (
+	"fmt"
+
+	"waitfreebn/internal/graph"
+)
+
+// CPDAGFromDAG returns the completed partially directed graph (CPDAG)
+// representing the DAG's Markov-equivalence class: the skeleton with
+// exactly the compelled edges directed — v-structures read off the DAG,
+// propagated to closure by Meek's rules — and reversible edges left
+// undirected. It is the ground-truth object a learned PDAG should be
+// compared to.
+func CPDAGFromDAG(dag *graph.DAG) *graph.PDAG {
+	skel := dag.Skeleton()
+	p := graph.FromSkeleton(skel)
+	n := dag.N()
+	// Unshielded colliders of the DAG are compelled.
+	for z := 0; z < n; z++ {
+		ps := dag.Parents(z)
+		for a := 0; a < len(ps); a++ {
+			for b := a + 1; b < len(ps); b++ {
+				x, y := ps[a], ps[b]
+				if skel.HasEdge(x, y) {
+					continue
+				}
+				p.Orient(x, z)
+				p.Orient(y, z)
+			}
+		}
+	}
+	meekClosure(p)
+	return p
+}
+
+// meekClosure applies Meek rules R1-R3 until fixpoint.
+func meekClosure(p *graph.PDAG) {
+	for changed := true; changed; {
+		changed = false
+		for _, e := range p.UndirectedEdges() {
+			if meekOrients(p, e[0], e[1]) {
+				p.Orient(e[0], e[1])
+				changed = true
+			} else if meekOrients(p, e[1], e[0]) {
+				p.Orient(e[1], e[0])
+				changed = true
+			}
+		}
+	}
+}
+
+// SHD returns the structural Hamming distance between two partially
+// directed graphs over the same vertex set: one point for each adjacency
+// present in exactly one graph, and one point for each shared adjacency
+// whose edge mark differs (directed vs undirected, or opposite direction).
+// Lower is better; 0 means identical equivalence-class representations.
+func SHD(a, b *graph.PDAG) int {
+	if a.N() != b.N() {
+		panic(fmt.Sprintf("structure: SHD over %d vs %d vertices", a.N(), b.N()))
+	}
+	d := 0
+	for u := 0; u < a.N(); u++ {
+		for v := u + 1; v < a.N(); v++ {
+			inA := a.Adjacent(u, v)
+			inB := b.Adjacent(u, v)
+			switch {
+			case inA != inB:
+				d++
+			case inA && inB:
+				if edgeMark(a, u, v) != edgeMark(b, u, v) {
+					d++
+				}
+			}
+		}
+	}
+	return d
+}
+
+// edgeMark encodes the orientation of the (u, v) adjacency:
+// 0 undirected, 1 u→v, 2 v→u.
+func edgeMark(p *graph.PDAG, u, v int) int {
+	switch {
+	case p.HasDirected(u, v):
+		return 1
+	case p.HasDirected(v, u):
+		return 2
+	default:
+		return 0
+	}
+}
+
+// EvaluatePDAG compares a learned PDAG against the equivalence class of a
+// ground-truth DAG, reporting both adjacency metrics and the SHD.
+type PDAGMetrics struct {
+	Skeleton SkeletonMetrics
+	SHD      int
+}
+
+// ComparePDAG scores a learned PDAG against the CPDAG of truth.
+func ComparePDAG(learned *graph.PDAG, truth *graph.DAG) PDAGMetrics {
+	if learned.N() != truth.N() {
+		panic(fmt.Sprintf("structure: graphs have %d vs %d vertices", learned.N(), truth.N()))
+	}
+	// Adjacency metrics via the skeletons.
+	sk := graph.NewUndirected(learned.N())
+	for u := 0; u < learned.N(); u++ {
+		for v := u + 1; v < learned.N(); v++ {
+			if learned.Adjacent(u, v) {
+				sk.AddEdge(u, v)
+			}
+		}
+	}
+	return PDAGMetrics{
+		Skeleton: CompareSkeleton(sk, truth),
+		SHD:      SHD(learned, CPDAGFromDAG(truth)),
+	}
+}

@@ -1,0 +1,136 @@
+package structure
+
+import (
+	"testing"
+
+	"waitfreebn/internal/bn"
+	"waitfreebn/internal/graph"
+)
+
+func TestCPDAGChainFullyUndirected(t *testing.T) {
+	// A directed chain has no v-structures: its CPDAG is fully undirected.
+	dag := graph.NewDAG(4)
+	dag.MustAddEdge(0, 1)
+	dag.MustAddEdge(1, 2)
+	dag.MustAddEdge(2, 3)
+	p := CPDAGFromDAG(dag)
+	if len(p.DirectedEdges()) != 0 {
+		t.Errorf("chain CPDAG has compelled edges: %v", p.DirectedEdges())
+	}
+	if len(p.UndirectedEdges()) != 3 {
+		t.Errorf("chain CPDAG edges: %v", p.UndirectedEdges())
+	}
+}
+
+func TestCPDAGColliderCompelled(t *testing.T) {
+	// 0→2←1: both edges compelled.
+	dag := graph.NewDAG(3)
+	dag.MustAddEdge(0, 2)
+	dag.MustAddEdge(1, 2)
+	p := CPDAGFromDAG(dag)
+	if !p.HasDirected(0, 2) || !p.HasDirected(1, 2) {
+		t.Errorf("collider not compelled: %v / %v", p.DirectedEdges(), p.UndirectedEdges())
+	}
+}
+
+func TestCPDAGCancerFullyCompelled(t *testing.T) {
+	// Cancer's CPDAG is fully directed: the collider at cancer compels its
+	// two in-edges and Meek R1 compels the two out-edges.
+	p := CPDAGFromDAG(bn.Cancer().DAG())
+	if len(p.UndirectedEdges()) != 0 {
+		t.Errorf("cancer CPDAG has reversible edges: %v", p.UndirectedEdges())
+	}
+	if len(p.DirectedEdges()) != 4 {
+		t.Errorf("cancer CPDAG directed edges: %v", p.DirectedEdges())
+	}
+}
+
+func TestCPDAGMarkovEquivalentDAGsAgree(t *testing.T) {
+	// 0→1→2 and 2→1→0 and 0←1→2 are I-equivalent (Figure 1 of the paper):
+	// identical CPDAGs.
+	chains := []*graph.DAG{graph.NewDAG(3), graph.NewDAG(3), graph.NewDAG(3)}
+	chains[0].MustAddEdge(0, 1)
+	chains[0].MustAddEdge(1, 2)
+	chains[1].MustAddEdge(2, 1)
+	chains[1].MustAddEdge(1, 0)
+	chains[2].MustAddEdge(1, 0)
+	chains[2].MustAddEdge(1, 2)
+	ref := CPDAGFromDAG(chains[0])
+	for i, dag := range chains[1:] {
+		if got := CPDAGFromDAG(dag); SHD(got, ref) != 0 {
+			t.Errorf("equivalent DAG %d has different CPDAG (SHD %d)", i+1, SHD(got, ref))
+		}
+	}
+}
+
+func TestSHDProperties(t *testing.T) {
+	a := CPDAGFromDAG(bn.Cancer().DAG())
+	// Identity.
+	if SHD(a, a) != 0 {
+		t.Error("SHD(a,a) != 0")
+	}
+	// Symmetry.
+	empty := graph.NewPDAG(5)
+	if SHD(a, empty) != SHD(empty, a) {
+		t.Error("SHD not symmetric")
+	}
+	// Missing all 4 edges = 4.
+	if got := SHD(a, empty); got != 4 {
+		t.Errorf("SHD(cancer, empty) = %d, want 4", got)
+	}
+	// Orientation mismatch counts one point.
+	b := a.Clone()
+	// Flip 0→2 to 2→0 by rebuilding.
+	flipped := graph.NewPDAG(5)
+	for _, e := range a.DirectedEdges() {
+		flipped.AddUndirected(e[0], e[1])
+		if e[0] == 0 && e[1] == 2 {
+			flipped.Orient(e[1], e[0])
+		} else {
+			flipped.Orient(e[0], e[1])
+		}
+	}
+	if got := SHD(b, flipped); got != 1 {
+		t.Errorf("single orientation flip SHD = %d, want 1", got)
+	}
+}
+
+func TestSHDPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SHD size mismatch did not panic")
+		}
+	}()
+	SHD(graph.NewPDAG(2), graph.NewPDAG(3))
+}
+
+func TestComparePDAGOnLearnedCancer(t *testing.T) {
+	net := bn.Cancer()
+	d, err := net.Sample(400000, 41, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Learn(d, Config{P: 4, Test: TestG, Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ComparePDAG(res.PDAG, net.DAG())
+	// With the G test at this sample size all 4 edges (even the weak
+	// pollution edge) are typically found; demand strong agreement.
+	if m.Skeleton.Recall < 0.75 {
+		t.Errorf("recall %.2f: %+v", m.Skeleton.Recall, m)
+	}
+	if m.SHD > 3 {
+		t.Errorf("SHD = %d (learned %v / %v, truth CPDAG %v)",
+			m.SHD, res.PDAG.DirectedEdges(), res.PDAG.UndirectedEdges(),
+			CPDAGFromDAG(net.DAG()).DirectedEdges())
+	}
+}
+
+func TestComparePDAGPerfect(t *testing.T) {
+	dag := bn.Asia().DAG()
+	m := ComparePDAG(CPDAGFromDAG(dag), dag)
+	if m.SHD != 0 || m.Skeleton.F1 != 1 {
+		t.Errorf("self comparison: %+v", m)
+	}
+}

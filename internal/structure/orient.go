@@ -1,0 +1,124 @@
+package structure
+
+import (
+	"sort"
+
+	"waitfreebn/internal/graph"
+)
+
+// Sepsets records, for pairs of variables judged conditionally
+// independent, one separating set that witnessed the independence. Keys
+// are canonical pair indexes (i < j encoded as i*n + j); the empty slice
+// is a valid witness (marginal independence).
+type Sepsets struct {
+	n    int
+	sets map[int][]int
+}
+
+// NewSepsets returns an empty store for n variables.
+func NewSepsets(n int) *Sepsets {
+	return &Sepsets{n: n, sets: make(map[int][]int)}
+}
+
+func (s *Sepsets) key(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*s.n + j
+}
+
+// Put records a separating set for the pair (i, j), copying the slice.
+func (s *Sepsets) Put(i, j int, set []int) {
+	cp := make([]int, len(set))
+	copy(cp, set)
+	sort.Ints(cp)
+	s.sets[s.key(i, j)] = cp
+}
+
+// Get returns the recorded separating set and whether one exists.
+func (s *Sepsets) Get(i, j int) ([]int, bool) {
+	set, ok := s.sets[s.key(i, j)]
+	return set, ok
+}
+
+// Contains reports whether z is in the recorded separating set of (i, j);
+// it is false when no set is recorded.
+func (s *Sepsets) Contains(i, j, z int) bool {
+	set, ok := s.Get(i, j)
+	if !ok {
+		return false
+	}
+	k := sort.SearchInts(set, z)
+	return k < len(set) && set[k] == z
+}
+
+// Len returns the number of recorded pairs.
+func (s *Sepsets) Len() int { return len(s.sets) }
+
+// OrientEdges converts a learned skeleton into a partially directed graph:
+// first v-structure detection (for every path x—z—y with x, y nonadjacent,
+// orient x→z←y iff z is outside the separating set of (x, y)), then Meek's
+// rules R1–R3 applied to closure. R4 is omitted: it cannot fire without
+// background-knowledge orientations (Meek, UAI 1995).
+//
+// Conflicting v-structure claims (an edge both x→z and z→x) are resolved
+// first-come in deterministic vertex order, the usual PC-style tie-break.
+func OrientEdges(skel *graph.Undirected, sepsets *Sepsets) *graph.PDAG {
+	p := graph.FromSkeleton(skel)
+	n := skel.N()
+
+	// --- v-structures ---
+	for z := 0; z < n; z++ {
+		ns := skel.Neighbors(z)
+		for a := 0; a < len(ns); a++ {
+			for b := a + 1; b < len(ns); b++ {
+				x, y := ns[a], ns[b]
+				if skel.HasEdge(x, y) {
+					continue // shielded triple
+				}
+				if sepsets.Contains(x, y, z) {
+					continue // z screens x from y: not a collider
+				}
+				// Unshielded collider x→z←y. Orient what is still
+				// undirected; skip silently on conflict.
+				p.Orient(x, z)
+				p.Orient(y, z)
+			}
+		}
+	}
+
+	meekClosure(p)
+	return p
+}
+
+// meekOrients reports whether Meek's rules R1–R3 force a→b for the
+// undirected edge a—b.
+func meekOrients(p *graph.PDAG, a, b int) bool {
+	// R1: ∃ c→a with c, b nonadjacent  ⇒  a→b
+	for _, c := range p.DirectedParents(a) {
+		if !p.Adjacent(c, b) {
+			return true
+		}
+	}
+	// R2: ∃ c with a→c→b  ⇒  a→b
+	for _, c := range p.DirectedChildren(a) {
+		if p.HasDirected(c, b) {
+			return true
+		}
+	}
+	// R3: ∃ c, d nonadjacent with a—c→b and a—d→b  ⇒  a→b
+	var mids []int
+	for _, c := range p.UndirectedNeighbors(a) {
+		if p.HasDirected(c, b) {
+			mids = append(mids, c)
+		}
+	}
+	for i := 0; i < len(mids); i++ {
+		for j := i + 1; j < len(mids); j++ {
+			if !p.Adjacent(mids[i], mids[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+package structure
+
+import (
+	"testing"
+
+	"waitfreebn/internal/bn"
+	"waitfreebn/internal/graph"
+)
+
+func TestSepsetsStore(t *testing.T) {
+	s := NewSepsets(5)
+	s.Put(3, 1, []int{4, 0}) // unordered pair, unsorted set
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	set, ok := s.Get(1, 3)
+	if !ok || len(set) != 2 || set[0] != 0 || set[1] != 4 {
+		t.Fatalf("Get(1,3) = %v, %v", set, ok)
+	}
+	if !s.Contains(1, 3, 4) || !s.Contains(3, 1, 0) {
+		t.Error("Contains misses recorded members")
+	}
+	if s.Contains(1, 3, 2) {
+		t.Error("Contains invents members")
+	}
+	if s.Contains(0, 2, 1) {
+		t.Error("Contains true for unrecorded pair")
+	}
+	// Empty separating set is a valid record.
+	s.Put(0, 2, nil)
+	if _, ok := s.Get(0, 2); !ok {
+		t.Error("empty sepset not recorded")
+	}
+	if s.Contains(0, 2, 1) {
+		t.Error("empty sepset contains nothing")
+	}
+	// Put copies its argument.
+	src := []int{1}
+	s.Put(0, 4, src)
+	src[0] = 99
+	if !s.Contains(0, 4, 1) {
+		t.Error("Put did not copy the slice")
+	}
+}
+
+func TestOrientCollider(t *testing.T) {
+	// Skeleton 0—2—1 with 0,1 nonadjacent and sepset(0,1) = {} (not
+	// containing 2) ⇒ v-structure 0→2←1.
+	skel := graph.NewUndirected(3)
+	skel.AddEdge(0, 2)
+	skel.AddEdge(1, 2)
+	seps := NewSepsets(3)
+	seps.Put(0, 1, nil)
+	p := OrientEdges(skel, seps)
+	if !p.HasDirected(0, 2) || !p.HasDirected(1, 2) {
+		t.Errorf("collider not oriented: directed=%v undirected=%v", p.DirectedEdges(), p.UndirectedEdges())
+	}
+}
+
+func TestOrientChainStaysUndirected(t *testing.T) {
+	// Skeleton 0—2—1 with sepset(0,1) = {2}: NOT a collider; the triple is
+	// Markov-equivalent in both chain directions, so it must remain
+	// undirected.
+	skel := graph.NewUndirected(3)
+	skel.AddEdge(0, 2)
+	skel.AddEdge(1, 2)
+	seps := NewSepsets(3)
+	seps.Put(0, 1, []int{2})
+	p := OrientEdges(skel, seps)
+	if len(p.DirectedEdges()) != 0 {
+		t.Errorf("chain triple oriented: %v", p.DirectedEdges())
+	}
+	if len(p.UndirectedEdges()) != 2 {
+		t.Errorf("undirected edges: %v", p.UndirectedEdges())
+	}
+}
+
+func TestOrientMeekR1(t *testing.T) {
+	// v-structure 0→2←1 plus 2—3 (0,3 and 1,3 nonadjacent): R1 forces 2→3
+	// (otherwise 3→2 would create a new collider).
+	skel := graph.NewUndirected(4)
+	skel.AddEdge(0, 2)
+	skel.AddEdge(1, 2)
+	skel.AddEdge(2, 3)
+	seps := NewSepsets(4)
+	seps.Put(0, 1, nil)      // collider at 2
+	seps.Put(0, 3, []int{2}) // 3 separated through 2
+	seps.Put(1, 3, []int{2})
+	p := OrientEdges(skel, seps)
+	if !p.HasDirected(2, 3) {
+		t.Errorf("R1 did not orient 2→3: directed=%v undirected=%v", p.DirectedEdges(), p.UndirectedEdges())
+	}
+}
+
+func TestOrientMeekR2(t *testing.T) {
+	// Directed chain a→c→b with a—b undirected forces a→b (else cycle).
+	// Build it from two v-structures: x→a←y gives nothing... simpler to
+	// drive OrientEdges with sepsets that create 0→1 and 1→2 directed and
+	// leave 0—2 undirected: use colliders 3→0←4? Getting natural R2 from
+	// sepsets alone is contrived; test meekOrients directly instead.
+	p := graph.NewPDAG(3)
+	p.AddUndirected(0, 1)
+	p.Orient(0, 1) // 0→1
+	p.AddUndirected(1, 2)
+	p.Orient(1, 2) // 1→2
+	p.AddUndirected(0, 2)
+	if !meekOrients(p, 0, 2) {
+		t.Error("R2 should force 0→2")
+	}
+	if meekOrients(p, 2, 0) {
+		t.Error("R2 must not fire for the cyclic direction")
+	}
+}
+
+func TestOrientMeekR3(t *testing.T) {
+	// a—b, a—c, a—d, c→b, d→b, c and d nonadjacent ⇒ a→b.
+	p := graph.NewPDAG(4)
+	const a, b, c, d = 0, 1, 2, 3
+	p.AddUndirected(a, b)
+	p.AddUndirected(a, c)
+	p.AddUndirected(a, d)
+	p.AddUndirected(c, b)
+	p.Orient(c, b)
+	p.AddUndirected(d, b)
+	p.Orient(d, b)
+	if !meekOrients(p, a, b) {
+		t.Error("R3 should force a→b")
+	}
+}
+
+func TestOrientConflictFirstComeWins(t *testing.T) {
+	// Two overlapping unshielded colliders both claim edge 1—2:
+	// 0—1—2 (collider at 1: sepset(0,2) = {}) and 1—2—3 (collider at 2:
+	// sepset(1,3) = {}). Orientation must not crash, and edge 1-2 gets
+	// exactly one direction.
+	skel := graph.NewUndirected(4)
+	skel.AddEdge(0, 1)
+	skel.AddEdge(1, 2)
+	skel.AddEdge(2, 3)
+	seps := NewSepsets(4)
+	seps.Put(0, 2, nil)
+	seps.Put(1, 3, nil)
+	seps.Put(0, 3, nil)
+	p := OrientEdges(skel, seps)
+	d12 := p.HasDirected(1, 2)
+	d21 := p.HasDirected(2, 1)
+	if d12 && d21 {
+		t.Error("edge oriented both ways")
+	}
+	if !d12 && !d21 && !p.HasUndirected(1, 2) {
+		t.Error("edge vanished")
+	}
+}
+
+func TestOrientRecoversCancerVStructure(t *testing.T) {
+	// Cancer: pollution(0)→cancer(2)←smoker(1), cancer→xray(3),
+	// cancer→dyspnea(4). The unshielded collider at cancer orients
+	// 0→2←1, and Meek R1 then forces 2→3 and 2→4. (Edge recovery on weak
+	// 0-2 edge is hard from samples; here we orient the true skeleton.)
+	net := bn.Cancer()
+	skel := net.DAG().Skeleton()
+	seps := NewSepsets(5)
+	// pollution ⊥ smoker (marginally): sepset {}.
+	seps.Put(0, 1, nil)
+	// non-adjacent pairs separated by cancer.
+	for _, pr := range [][2]int{{0, 3}, {0, 4}, {1, 3}, {1, 4}, {3, 4}} {
+		seps.Put(pr[0], pr[1], []int{2})
+	}
+	p := OrientEdges(skel, seps)
+	for _, want := range [][2]int{{0, 2}, {1, 2}, {2, 3}, {2, 4}} {
+		if !p.HasDirected(want[0], want[1]) {
+			t.Errorf("edge %v not oriented; directed=%v undirected=%v",
+				want, p.DirectedEdges(), p.UndirectedEdges())
+		}
+	}
+	// Fully oriented: the CPDAG of Cancer has no undirected edges.
+	if len(p.UndirectedEdges()) != 0 {
+		t.Errorf("leftover undirected edges: %v", p.UndirectedEdges())
+	}
+}
+
+func TestLearnProducesOrientedResult(t *testing.T) {
+	// End-to-end: the v-structure in Cancer must be discovered from data.
+	net := bn.Cancer()
+	d, err := net.Sample(300000, 21, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Learn(d, Config{P: 4, Epsilon: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDAG == nil || res.Sepsets == nil {
+		t.Fatal("orientation results missing")
+	}
+	// If the skeleton contains smoker(1)—cancer(2) and xray(3) edges, the
+	// learner should have oriented 2→3 or found the collider; at minimum
+	// the PDAG must be consistent: same adjacencies as the skeleton.
+	for _, e := range res.Graph.Edges() {
+		if !res.PDAG.Adjacent(e[0], e[1]) {
+			t.Errorf("PDAG lost edge %v", e)
+		}
+	}
+	if res.PDAG.NumEdges() != res.Graph.NumEdges() {
+		t.Errorf("PDAG has %d edges, skeleton %d", res.PDAG.NumEdges(), res.Graph.NumEdges())
+	}
+}
+
+func TestLearnChainPDAGHasNoFalseColliders(t *testing.T) {
+	// A pure chain has no v-structures: every edge should stay undirected
+	// in the CPDAG (the chain's equivalence class is the undirected path).
+	net := bn.Chain(5, 2, 0.85)
+	d, err := net.Sample(80000, 22, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Learn(d, Config{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de := res.PDAG.DirectedEdges(); len(de) != 0 {
+		t.Errorf("chain CPDAG has directed edges: %v", de)
+	}
+}

@@ -1,0 +1,417 @@
+// Package structure implements Cheng et al.'s three-phase constraint-based
+// Bayesian-network structure-learning algorithm (Artificial Intelligence
+// 137(1-2):43-90, 2002) — drafting, thickening, thinning — on top of the
+// parallel primitives in internal/core.
+//
+// The paper parallelizes phase 1 (drafting), whose dominant cost is the
+// potential-table construction and the all-pairs mutual-information sweep;
+// this package composes those primitives into the full learner so the
+// primitives can be exercised end-to-end and edge recovery measured against
+// ground-truth networks.
+//
+// The learner produces the undirected skeleton (the part the primitives
+// accelerate) and then orients it into a partially directed graph via
+// v-structure detection and Meek's rules, as Cheng et al.'s full algorithm
+// does after thinning.
+package structure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/graph"
+	"waitfreebn/internal/stats"
+)
+
+// TestKind selects the conditional-independence decision rule.
+type TestKind int
+
+const (
+	// TestMIThreshold declares dependence when the (conditional) mutual
+	// information is at least Epsilon bits — Cheng et al.'s rule.
+	TestMIThreshold TestKind = iota
+	// TestG declares dependence when the G statistic (2·N·ln2·I) exceeds
+	// the χ² critical value at significance Alpha with the contingency
+	// table's degrees of freedom — the classical statistical test the
+	// paper's related work cites.
+	TestG
+)
+
+// String returns the kind's human-readable name.
+func (k TestKind) String() string {
+	switch k {
+	case TestMIThreshold:
+		return "mi-threshold"
+	case TestG:
+		return "g-test"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes the learner. The zero value is usable: it applies
+// the documented defaults.
+type Config struct {
+	// Epsilon is the mutual-information threshold below which variables
+	// are considered independent (TestMIThreshold). Default 0.01 bits.
+	Epsilon float64
+	// Test selects the CI decision rule. Default TestMIThreshold.
+	Test TestKind
+	// Alpha is the significance level for TestG. Default 0.01.
+	Alpha float64
+	// P is the number of workers for the parallel phases. 0 = GOMAXPROCS.
+	P int
+	// Schedule selects the all-pairs MI strategy. Default MIFused.
+	Schedule core.MISchedule
+	// MaxCondSet caps the size of conditioning sets in try-to-separate.
+	// Default 6; larger sets make CI estimates unreliable and marginal
+	// tables exponentially big.
+	MaxCondSet int
+	// BuildOptions configures the wait-free table construction.
+	BuildOptions core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.01
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	if c.MaxCondSet <= 0 {
+		c.MaxCondSet = 6
+	}
+	return c
+}
+
+// Result reports the learned skeleton and per-phase instrumentation.
+type Result struct {
+	Graph   *graph.Undirected // learned skeleton
+	PDAG    *graph.PDAG       // skeleton + v-structures + Meek-rule orientations
+	MI      *core.MIMatrix    // all-pairs mutual information from drafting
+	Sepsets *Sepsets          // separating sets found by the CI search
+
+	DraftEdges   int // edges added in phase 1
+	ThickenEdges int // edges added in phase 2
+	ThinnedEdges int // edges removed in phase 3
+	CITests      int // conditional-independence tests evaluated
+
+	BuildTime   time.Duration // potential-table construction
+	DraftTime   time.Duration // all-pairs MI + draft assembly
+	ThickenTime time.Duration
+	ThinTime    time.Duration
+
+	BuildStats core.Stats // wait-free construction counters
+}
+
+// Learn runs the full three-phase algorithm on a dataset: the potential
+// table is built with the wait-free primitive, then drafting, thickening
+// and thinning produce the skeleton.
+func Learn(data *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	pt, st, err := core.Build(data, cfg.BuildOptions)
+	if err != nil {
+		return nil, fmt.Errorf("structure: %w", err)
+	}
+	res, err := LearnFromTable(pt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.BuildTime = time.Since(start) - res.DraftTime - res.ThickenTime - res.ThinTime
+	res.BuildStats = st
+	return res, nil
+}
+
+// LearnFromTable runs phases 1-3 against an existing potential table.
+func LearnFromTable(pt *core.PotentialTable, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := pt.Codec().NumVars()
+	if n < 2 {
+		return nil, fmt.Errorf("structure: need at least 2 variables, have %d", n)
+	}
+	res := &Result{Sepsets: NewSepsets(n)}
+	l := &learner{pt: pt, cfg: cfg, res: res}
+
+	t0 := time.Now()
+	mi := pt.AllPairsMI(cfg.P, cfg.Schedule)
+	res.MI = mi
+	g, deferred := l.draft(mi)
+	res.Graph = g
+	res.DraftTime = time.Since(t0)
+
+	t1 := time.Now()
+	l.thicken(g, deferred)
+	res.ThickenTime = time.Since(t1)
+
+	t2 := time.Now()
+	l.thin(g)
+	res.ThinTime = time.Since(t2)
+
+	res.PDAG = OrientEdges(g, res.Sepsets)
+	return res, nil
+}
+
+type pair struct {
+	i, j int
+	mi   float64
+}
+
+type learner struct {
+	pt  *core.PotentialTable
+	cfg Config
+	res *Result
+}
+
+// draft is phase 1: sort dependent pairs by decreasing MI and add each
+// edge whose endpoints are not already connected by an open path; pairs
+// skipped because a path exists are deferred to thickening.
+func (l *learner) draft(mi *core.MIMatrix) (*graph.Undirected, []pair) {
+	n := mi.N
+	var pairs []pair
+	mi.ForEachPair(func(i, j int, v float64) {
+		if l.dependent(v, i, j, 1) {
+			pairs = append(pairs, pair{i, j, v})
+		}
+	})
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].mi != pairs[b].mi {
+			return pairs[a].mi > pairs[b].mi
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+
+	g := graph.NewUndirected(n)
+	var deferred []pair
+	for _, p := range pairs {
+		if g.HasPath(p.i, p.j, nil) {
+			deferred = append(deferred, p)
+		} else {
+			g.AddEdge(p.i, p.j)
+			l.res.DraftEdges++
+		}
+	}
+	return g, deferred
+}
+
+// thicken is phase 2: for every deferred pair, add the edge unless a
+// conditional-independence test separates the endpoints.
+func (l *learner) thicken(g *graph.Undirected, deferred []pair) {
+	for _, p := range deferred {
+		if !l.tryToSeparate(g, p.i, p.j) {
+			g.AddEdge(p.i, p.j)
+			l.res.ThickenEdges++
+		}
+	}
+}
+
+// thin is phase 3: every edge whose endpoints remain connected without it
+// is temporarily removed and permanently dropped if a CI test separates
+// the endpoints.
+func (l *learner) thin(g *graph.Undirected) {
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if !g.HasEdge(u, v) {
+			continue // removed earlier in this phase
+		}
+		if !g.AdjacencyPath(u, v) {
+			continue // the edge is the only connection; keep it
+		}
+		g.RemoveEdge(u, v)
+		if l.tryToSeparate(g, u, v) {
+			l.res.ThinnedEdges++
+		} else {
+			g.AddEdge(u, v)
+		}
+	}
+}
+
+// tryToSeparate implements Cheng et al.'s quantitative CI search: start
+// from the neighbors of each endpoint that lie on paths to the other
+// endpoint, and greedily shrink the conditioning set while the conditional
+// mutual information does not increase. Returns true if some conditioning
+// set C achieves I(x;y|C) < ε.
+func (l *learner) tryToSeparate(g *graph.Undirected, x, y int) bool {
+	n1 := g.NeighborsOnPaths(x, y)
+	n2 := g.NeighborsOnPaths(y, x)
+	// Try the smaller candidate set first (paper's heuristic), then the
+	// other if the first fails.
+	first, second := n1, n2
+	if len(n2) < len(n1) {
+		first, second = n2, n1
+	}
+	if set, ok := l.separates(first, x, y); ok {
+		l.res.Sepsets.Put(x, y, set)
+		return true
+	}
+	if !sameVars(first, second) {
+		if set, ok := l.separates(second, x, y); ok {
+			l.res.Sepsets.Put(x, y, set)
+			return true
+		}
+	}
+	return false
+}
+
+func sameVars(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// separates runs the greedy shrink loop on one candidate conditioning set,
+// returning the separating set it found.
+func (l *learner) separates(cand []int, x, y int) ([]int, bool) {
+	if len(cand) == 0 {
+		return nil, false
+	}
+	c := append([]int(nil), cand...)
+	if len(c) > l.cfg.MaxCondSet {
+		c = c[:l.cfg.MaxCondSet]
+	}
+	v := l.cmi(x, y, c)
+	if !l.dependent(v, x, y, l.condCells(c)) {
+		return c, true
+	}
+	for len(c) > 1 {
+		// The |C| candidate reductions are independent marginalizations;
+		// batch them through the fused multi-marginal primitive so the
+		// table is scanned once per greedy round instead of once per
+		// candidate.
+		reductions := make([][]int, len(c))
+		varsets := make([][]int, len(c))
+		for k := range c {
+			reduced := make([]int, 0, len(c)-1)
+			reduced = append(reduced, c[:k]...)
+			reduced = append(reduced, c[k+1:]...)
+			reductions[k] = reduced
+			vars := make([]int, 0, len(reduced)+2)
+			vars = append(vars, reduced...)
+			vars = append(vars, x, y)
+			varsets[k] = vars
+		}
+		marginals := l.pt.MarginalizeMany(varsets, l.cfg.P)
+		l.res.CITests += len(c)
+		ri := l.pt.Codec().Cardinality(x)
+		rj := l.pt.Codec().Cardinality(y)
+		bestIdx, bestV := -1, v
+		for k := range c {
+			vk := stats.CondMutualInfoCounts(marginals[k].Counts, l.condCells(reductions[k]), ri, rj)
+			if !l.dependent(vk, x, y, l.condCells(reductions[k])) {
+				return reductions[k], true
+			}
+			if vk <= bestV {
+				bestIdx, bestV = k, vk
+			}
+		}
+		if bestIdx < 0 {
+			return nil, false // every reduction increases dependence
+		}
+		c = append(c[:bestIdx], c[bestIdx+1:]...)
+		v = bestV
+	}
+	return nil, false
+}
+
+// condCells returns the joint state count of a conditioning set, the rz
+// axis of the flattened contingency table.
+func (l *learner) condCells(z []int) int {
+	rz := 1
+	for _, zv := range z {
+		rz *= l.pt.Codec().Cardinality(zv)
+	}
+	return rz
+}
+
+// dependent applies the configured CI decision rule to an observed
+// (conditional) mutual information of statBits bits between variables x
+// and y given a conditioning set with rz joint states.
+func (l *learner) dependent(statBits float64, x, y, rz int) bool {
+	switch l.cfg.Test {
+	case TestG:
+		ri := l.pt.Codec().Cardinality(x)
+		rj := l.pt.Codec().Cardinality(y)
+		df := (ri - 1) * (rj - 1) * rz
+		if df < 1 {
+			df = 1
+		}
+		g := 2 * float64(l.pt.NumSamples()) * math.Ln2 * statBits
+		return g > stats.ChiSquareCritical(df, l.cfg.Alpha)
+	default:
+		return statBits >= l.cfg.Epsilon
+	}
+}
+
+// cmi computes I(x;y|Z) from the potential table by marginalizing over
+// Z ∪ {x, y} (ordering Z first so the flattened layout matches
+// stats.CondMutualInfoCounts).
+func (l *learner) cmi(x, y int, z []int) float64 {
+	l.res.CITests++
+	vars := make([]int, 0, len(z)+2)
+	vars = append(vars, z...)
+	vars = append(vars, x, y)
+	mg := l.pt.Marginalize(vars, l.cfg.P)
+	rz := 1
+	for _, zv := range z {
+		rz *= l.pt.Codec().Cardinality(zv)
+	}
+	ri := l.pt.Codec().Cardinality(x)
+	rj := l.pt.Codec().Cardinality(y)
+	return stats.CondMutualInfoCounts(mg.Counts, rz, ri, rj)
+}
+
+// SkeletonMetrics compares a learned skeleton against the skeleton of a
+// ground-truth DAG.
+type SkeletonMetrics struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	Precision      float64
+	Recall         float64
+	F1             float64
+}
+
+// CompareSkeleton evaluates edge recovery of learned against the skeleton
+// of truth.
+func CompareSkeleton(learned *graph.Undirected, truth *graph.DAG) SkeletonMetrics {
+	if learned.N() != truth.N() {
+		panic(fmt.Sprintf("structure: graphs have %d vs %d vertices", learned.N(), truth.N()))
+	}
+	sk := truth.Skeleton()
+	var m SkeletonMetrics
+	for _, e := range learned.Edges() {
+		if sk.HasEdge(e[0], e[1]) {
+			m.TruePositives++
+		} else {
+			m.FalsePositives++
+		}
+	}
+	for _, e := range sk.Edges() {
+		if !learned.HasEdge(e[0], e[1]) {
+			m.FalseNegatives++
+		}
+	}
+	if m.TruePositives+m.FalsePositives > 0 {
+		m.Precision = float64(m.TruePositives) / float64(m.TruePositives+m.FalsePositives)
+	}
+	if m.TruePositives+m.FalseNegatives > 0 {
+		m.Recall = float64(m.TruePositives) / float64(m.TruePositives+m.FalseNegatives)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
