@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench-obs clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency core: the wait-free construction and the SPSC
+# queues it routes foreign keys through.
+race:
+	$(GO) test -race ./internal/core/... ./internal/spsc/...
+
+# check is the gate every change must pass (see README "Development").
+check: vet build test race
+
+# bench-obs measures the observability overhead: BenchmarkBuildObsDisabled
+# (Options.Obs == nil, the default) vs BenchmarkBuildObsEnabled. The
+# disabled numbers must stay within noise of enabled-minus-recording —
+# the acceptance bar is <= 5% construction-throughput overhead when off.
+bench-obs:
+	$(GO) test ./internal/core -run '^$$' -bench 'BuildObs' -benchtime 5x -count 3
+
+clean:
+	$(GO) clean ./...

@@ -4,11 +4,17 @@ package waitfreebn
 // pipeline datagen → bnlearn → bninfer and datagen → bntable end to end.
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTools compiles the command binaries once into a temp dir.
@@ -73,16 +79,33 @@ func TestCLIPipeline(t *testing.T) {
 	}
 
 	// bntable: build a serialized table from the CSV, inspect and query it.
-	run(t, tools["bntable"], "build", "-in", csv, "-card", "2,2,2,2,2", "-out", table)
-	info := run(t, tools["bntable"], "info", "-table", table)
+	// -json emits the build report (table, stats) as machine-readable output.
+	built := run(t, tools["bntable"], "build", "-in", csv, "-card", "2,2,2,2,2", "-out", table, "-json")
+	var report struct {
+		Table struct {
+			Samples      uint64 `json:"samples"`
+			DistinctKeys int    `json:"distinct_keys"`
+		} `json:"table"`
+		Stats map[string]any `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(built), &report); err != nil {
+		t.Fatalf("bntable build -json not parseable: %v\n%s", err, built)
+	}
+	if report.Table.Samples != 120000 || report.Table.DistinctKeys == 0 {
+		t.Fatalf("bntable build -json report unexpected:\n%s", built)
+	}
+	if _, ok := report.Stats["foreign_keys"]; !ok {
+		t.Fatalf("bntable build -json report lacks construction stats:\n%s", built)
+	}
+	info := run(t, tools["bntable"], "info", "-in", table)
 	if !strings.Contains(info, "samples:       120000") {
 		t.Fatalf("bntable info unexpected:\n%s", info)
 	}
-	marg := run(t, tools["bntable"], "marginal", "-table", table, "-vars", "2")
+	marg := run(t, tools["bntable"], "marginal", "-in", table, "-vars", "2")
 	if !strings.Contains(marg, "P(x2=0)") || !strings.Contains(marg, "P(x2=1)") {
 		t.Fatalf("bntable marginal unexpected:\n%s", marg)
 	}
-	mi := run(t, tools["bntable"], "mi", "-table", table, "-topk", "3")
+	mi := run(t, tools["bntable"], "mi", "-in", table, "-topk", "3")
 	if !strings.Contains(mi, "I(x") {
 		t.Fatalf("bntable mi unexpected:\n%s", mi)
 	}
@@ -104,6 +127,125 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(mpe, "x2 = 1  (evidence)") {
 		t.Fatalf("mpe output unexpected:\n%s", mpe)
 	}
+}
+
+// TestCLIMetricsEndpoint drives the observability acceptance path: an
+// instrumented bnbench build serving live Prometheus text and a JSON
+// snapshot over -metrics-addr, with per-worker stage timings, queue traffic
+// counters and partition occupancy, plus pprof behind -pprof.
+func TestCLIMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	tools := buildTools(t, "bnbench")
+
+	cmd := exec.Command(tools["bnbench"],
+		"-exp", "build", "-m", "50000", "-n", "8", "-r", "2", "-p", "4",
+		"-metrics-addr", "127.0.0.1:0", "-metrics-linger", "30s", "-pprof")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The bound address is announced on stderr before the build starts.
+	var addr string
+	var seen strings.Builder
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		seen.WriteString(line + "\n")
+		if rest, ok := strings.CutPrefix(line, "obs: serving metrics on http://"); ok {
+			addr = strings.TrimSuffix(rest, "/metrics")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("metrics address never announced; stderr:\n%s", seen.String())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	// The build finishes asynchronously; poll until its counters appear.
+	base := "http://" + addr
+	body := waitForBody(t, base+"/metrics", "core_builds_total 1")
+	for _, want := range []string{
+		"core_worker_stage_seconds{stage=\"1\",worker=\"0\"}",
+		"core_queue_push_total",
+		"core_queue_pop_total",
+		"core_partition_keys{partition=\"0\"}",
+		"core_stage_seconds_bucket{stage=\"2\",le=\"+Inf\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// The same registry as JSON.
+	jsonBody := waitForBody(t, base+"/metrics.json", "core_builds_total")
+	var snap struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(jsonBody), &snap); err != nil {
+		t.Fatalf("/metrics.json not parseable: %v\n%s", err, jsonBody)
+	}
+	if snap.Counters["core_builds_total"] != 1 {
+		t.Errorf("/metrics.json core_builds_total = %d, want 1", snap.Counters["core_builds_total"])
+	}
+	if _, ok := snap.Gauges[`core_worker_stage_seconds{stage="2",worker="3"}`]; !ok {
+		t.Errorf("/metrics.json lacks per-worker stage gauges:\n%s", jsonBody)
+	}
+
+	// -pprof mounts the standard profile index on the same listener.
+	if pprofBody := waitForBody(t, base+"/debug/pprof/", "goroutine"); pprofBody == "" {
+		t.Error("pprof endpoint not served")
+	}
+
+	// The process itself reports the snapshot on stdout; it is written
+	// before the linger, so cut the linger short and collect it. Wait
+	// also joins exec's stdout copier, making the buffer safe to read.
+	cmd.Process.Kill()
+	cmd.Wait()
+	var out struct {
+		Stats map[string]any `json:"stats"`
+		Obs   map[string]any `json:"obs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("bnbench -exp build stdout not parseable: %v\n%s", err, stdout.String())
+	}
+	if out.Stats["foreign_keys"] == nil || out.Obs["counters"] == nil {
+		t.Fatalf("bnbench -exp build report incomplete:\n%s", stdout.String())
+	}
+}
+
+// waitForBody polls url until the response contains want (the server may
+// still be mid-build on the first requests) and returns the final body.
+func waitForBody(t *testing.T, url, want string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			last = string(b)
+			if strings.Contains(last, want) {
+				return last
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("GET %s never contained %q; last body:\n%s", url, want, last)
+	return ""
 }
 
 func lineContaining(s, substr string) string {

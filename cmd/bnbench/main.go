@@ -9,7 +9,13 @@
 //	bnbench -exp headline -csv out.csv
 //
 // Experiments: fig3, fig4, fig5, headline, ablation-queue,
-// ablation-partition, ablation-mischedule, ablation-table, all.
+// ablation-partition, ablation-mischedule, ablation-table, all — plus
+// `-exp build`, a single fully instrumented construction run that honors
+// the shared construction flags (-p, -partition, -queue, -ring-cap,
+// -table), prints the obs JSON snapshot, and serves Prometheus metrics
+// when -metrics-addr is set:
+//
+//	bnbench -exp build -m 1000000 -p 8 -metrics-addr 127.0.0.1:9090 -metrics-linger 1m
 //
 // Each figure prints two panels — running time and speedup — mirroring the
 // (a)/(b) layout of the paper's figures. -csv additionally writes long-form
@@ -17,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +32,10 @@ import (
 	"strings"
 
 	"waitfreebn/internal/bench"
+	"waitfreebn/internal/cliopt"
 	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/obs"
 )
 
 func main() {
@@ -43,7 +53,14 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write long-form CSV to this file")
 		accNet   = flag.String("net", "asia", "ground-truth network for -exp accuracy: asia|cancer|chain10|naivebayes10")
 	)
+	coreFl := cliopt.AddCore(flag.CommandLine)
+	obsFl := cliopt.AddObs(flag.CommandLine)
 	flag.Parse()
+
+	if *exp == "build" {
+		runInstrumentedBuild(coreFl, obsFl, *m, *n, *r, *seed)
+		return
+	}
 
 	pr := bench.Params{Seed: *seed, Reps: *reps, Ps: bench.DefaultPs(*maxP)}
 	sched, err := parseSchedule(*schedule)
@@ -126,6 +143,47 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
+}
+
+// runInstrumentedBuild performs one wait-free construction over a synthetic
+// uniform dataset with full observability: construction Stats and the obs
+// snapshot (per-worker stage timings, queue traffic, partition occupancy)
+// go to stdout as JSON, and -metrics-addr serves the same data as
+// Prometheus text for as long as -metrics-linger allows.
+func runInstrumentedBuild(coreFl *cliopt.Core, obsFl *cliopt.Obs, m, n, r int, seed uint64) {
+	opts, err := coreFl.Options()
+	if err != nil {
+		fatal(err)
+	}
+	reg, stopObs, err := obsFl.Start()
+	if err != nil {
+		fatal(err)
+	}
+	if reg == nil {
+		// -exp build exists to look inside a run; record metrics even
+		// without a listener so the JSON snapshot is populated.
+		reg = obs.NewRegistry()
+	}
+	opts.Obs = reg
+
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(seed, runtime.GOMAXPROCS(0))
+	pt, st, err := core.Build(data, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "built %d samples, %d distinct keys\n", m, pt.Len())
+
+	out := struct {
+		Stats core.Stats   `json:"stats"`
+		Obs   obs.Snapshot `json:"obs"`
+	}{Stats: st, Obs: reg.Snapshot()}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+	stopObs()
 }
 
 func parseSchedule(s string) (core.MISchedule, error) {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"waitfreebn/internal/bn"
+	"waitfreebn/internal/cliopt"
 	"waitfreebn/internal/infer"
 )
 
@@ -31,7 +32,22 @@ func main() {
 		engine    = flag.String("engine", "ve", "inference engine for marginals: ve | jtree")
 		do        = flag.String("do", "", "interventions var=state,... applied with the do-operator before querying")
 	)
+	// The shared construction flags are part of the uniform CLI surface;
+	// inference itself only profiles through the observability flags
+	// (-metrics-addr/-pprof), but accepting the full set keeps scripts
+	// portable across the four tools.
+	coreFl := cliopt.AddCore(flag.CommandLine)
+	obsFl := cliopt.AddObs(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := coreFl.Options(); err != nil {
+		fatal(err)
+	}
+	_, stopObs, err := obsFl.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopObs()
 
 	if *modelPath == "" {
 		fatal(fmt.Errorf("-model is required"))

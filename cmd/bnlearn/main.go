@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"waitfreebn/internal/bn"
+	"waitfreebn/internal/cliopt"
 	"waitfreebn/internal/core"
 	"waitfreebn/internal/dataset"
 	"waitfreebn/internal/graph"
@@ -32,7 +33,6 @@ func main() {
 	var (
 		in      = flag.String("in", "", "input CSV path (default stdin)")
 		epsilon = flag.Float64("epsilon", 0.01, "mutual-information dependence threshold (bits)")
-		p       = flag.Int("p", 0, "workers (0 = GOMAXPROCS)")
 		topk    = flag.Int("topk", 10, "how many top-MI pairs to print")
 		maxCond = flag.Int("maxcond", 6, "maximum conditioning-set size")
 		gtest   = flag.Bool("gtest", false, "use the G independence test instead of the MI threshold")
@@ -40,7 +40,20 @@ func main() {
 		algo    = flag.String("algo", "cheng", "learning algorithm: cheng (constraint-based) | hillclimb (BIC score-based)")
 		emit    = flag.String("emit", "", "fit CPTs on the learned structure and write the model as JSON to this path")
 	)
+	coreFl := cliopt.AddCore(flag.CommandLine)
+	obsFl := cliopt.AddObs(flag.CommandLine)
 	flag.Parse()
+
+	buildOpts, err := coreFl.Options()
+	if err != nil {
+		fatal(err)
+	}
+	reg, stopObs, err := obsFl.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopObs()
+	buildOpts.Obs = reg
 
 	var src io.Reader = os.Stdin
 	if *in != "" {
@@ -64,7 +77,7 @@ func main() {
 	fmt.Printf("dataset: m=%d samples, n=%d variables\n", data.NumSamples(), data.NumVars())
 
 	if *algo == "hillclimb" {
-		runHillClimb(data, *p, *emit)
+		runHillClimb(data, buildOpts, *emit)
 		return
 	}
 	if *algo != "cheng" {
@@ -72,10 +85,11 @@ func main() {
 	}
 
 	cfg := structure.Config{
-		Epsilon:    *epsilon,
-		P:          *p,
-		MaxCondSet: *maxCond,
-		Alpha:      *alpha,
+		Epsilon:      *epsilon,
+		P:            buildOpts.P,
+		MaxCondSet:   *maxCond,
+		Alpha:        *alpha,
+		BuildOptions: buildOpts,
 	}
 	if *gtest {
 		cfg.Test = structure.TestG
@@ -117,9 +131,8 @@ func main() {
 		res.DraftEdges, res.DraftTime.Round(time.Microsecond),
 		res.ThickenEdges, res.ThickenTime.Round(time.Microsecond),
 		res.ThinnedEdges, res.ThinTime.Round(time.Microsecond))
-	fmt.Printf("build: %v (%d distinct keys, %d foreign-key transfers), CI tests: %d\n",
-		res.BuildTime.Round(time.Microsecond), res.BuildStats.DistinctKeys,
-		res.BuildStats.ForeignKeys, res.CITests)
+	fmt.Printf("build: %v (%s), CI tests: %d\n",
+		res.BuildTime.Round(time.Microsecond), res.BuildStats, res.CITests)
 
 	if *emit != "" {
 		dag, err := res.PDAG.ToDAG()
@@ -130,12 +143,13 @@ func main() {
 	}
 }
 
-func runHillClimb(data *dataset.Dataset, p int, emit string) {
-	pt, _, err := core.Build(data, core.Options{P: p})
+func runHillClimb(data *dataset.Dataset, opts core.Options, emit string) {
+	pt, st, err := core.Build(data, opts)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := search.HillClimb(pt, search.Config{P: p})
+	fmt.Printf("build: %s\n", st)
+	res, err := search.HillClimb(pt, search.Config{P: opts.P})
 	if err != nil {
 		fatal(err)
 	}

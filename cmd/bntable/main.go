@@ -4,26 +4,30 @@
 //
 // Usage:
 //
-//	bntable build -in data.csv -card 2,2,2,2 -out table.wfbn [-p 8]
-//	bntable info  -table table.wfbn
-//	bntable marginal -table table.wfbn -vars 0,3 [-p 8]
-//	bntable mi    -table table.wfbn -topk 10 [-p 8]
+//	bntable build -in data.csv -card 2,2,2,2 -out table.wfbn [-p 8] [-json]
+//	bntable info  -in table.wfbn [-json]
+//	bntable marginal -in table.wfbn -vars 0,3 [-p 8]
+//	bntable mi    -in table.wfbn -topk 10 [-p 8]
 //
 // `build` streams the CSV in blocks through the incremental wait-free
-// builder, so the dataset never needs to fit in memory.
+// builder, so the dataset never needs to fit in memory. The construction
+// flags (-p, -partition, -queue, -ring-cap, -table) and observability
+// flags (-metrics-addr, -pprof) are the shared surface from
+// internal/cliopt, identical across all the CLIs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
+	"waitfreebn/internal/cliopt"
 	"waitfreebn/internal/core"
 	"waitfreebn/internal/dataset"
 	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/obs"
 	"waitfreebn/internal/stats"
 )
 
@@ -56,11 +60,13 @@ func runBuild(args []string) {
 	in := fs.String("in", "", "input CSV (default stdin)")
 	cardStr := fs.String("card", "", "comma-separated per-variable cardinalities (required)")
 	out := fs.String("out", "table.wfbn", "output table path")
-	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
 	block := fs.Int("block", 65536, "streaming block size (rows)")
+	jsonOut := fs.Bool("json", false, "print build stats (and metrics snapshot) as JSON instead of text")
+	coreFl := cliopt.AddCore(fs)
+	obsFl := cliopt.AddObs(fs)
 	parseFlags(fs, args)
 
-	card, err := parseInts(*cardStr)
+	card, err := cliopt.ParseInts(*cardStr)
 	if err != nil || len(card) == 0 {
 		fatal(fmt.Errorf("bad -card %q: %v", *cardStr, err))
 	}
@@ -68,6 +74,16 @@ func runBuild(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	opts, err := coreFl.Options()
+	if err != nil {
+		fatal(err)
+	}
+	reg, stopObs, err := obsFl.Start()
+	if err != nil {
+		fatal(err)
+	}
+	opts.Obs = reg
+
 	src := os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -77,7 +93,7 @@ func runBuild(args []string) {
 		defer f.Close()
 		src = f
 	}
-	builder := core.NewBuilder(codec, *block, core.Options{P: *p})
+	builder := core.NewBuilder(codec, *block, opts)
 	if err := dataset.StreamCSV(src, card, *block, builder.AddBlock); err != nil {
 		fatal(err)
 	}
@@ -92,16 +108,66 @@ func runBuild(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("built %s: %d samples, %d distinct keys, %d bytes (P=%d, %d foreign-key transfers)\n",
-		*out, pt.NumSamples(), pt.Len(), n, st.P, st.ForeignKeys)
+	if *jsonOut {
+		printJSON(buildReport{
+			Table: tableReport{Path: *out, Samples: pt.NumSamples(), DistinctKeys: pt.Len(), Bytes: n},
+			Stats: st,
+			Obs:   snapshotIfEnabled(reg),
+		})
+	} else {
+		fmt.Printf("built %s: %d samples, %d bytes; %s\n", *out, pt.NumSamples(), n, st)
+	}
+	stopObs()
+}
+
+// buildReport is the -json output of `bntable build`.
+type buildReport struct {
+	Table tableReport   `json:"table"`
+	Stats core.Stats    `json:"stats"`
+	Obs   *obs.Snapshot `json:"obs,omitempty"`
+}
+
+type tableReport struct {
+	Path         string `json:"path,omitempty"`
+	Variables    int    `json:"variables,omitempty"`
+	KeySpace     uint64 `json:"key_space,omitempty"`
+	Samples      uint64 `json:"samples"`
+	DistinctKeys int    `json:"distinct_keys"`
+	Bytes        int64  `json:"bytes,omitempty"`
+}
+
+func snapshotIfEnabled(reg *obs.Registry) *obs.Snapshot {
+	if reg == nil {
+		return nil
+	}
+	s := reg.Snapshot()
+	return &s
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
 }
 
 func runInfo(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	table := fs.String("table", "", "serialized table path (required)")
+	in := fs.String("in", "", "serialized table path (required)")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
 	parseFlags(fs, args)
-	pt := loadTable(*table, 1)
+	pt := loadTable(*in, 1)
 	codec := pt.Codec()
+	if *jsonOut {
+		printJSON(tableReport{
+			Variables:    codec.NumVars(),
+			KeySpace:     codec.KeySpace(),
+			Samples:      pt.NumSamples(),
+			DistinctKeys: pt.Len(),
+		})
+		return
+	}
 	fmt.Printf("variables:     %d\n", codec.NumVars())
 	fmt.Printf("cardinalities: %v\n", codec.Cardinalities())
 	fmt.Printf("key space:     %d\n", codec.KeySpace())
@@ -112,15 +178,15 @@ func runInfo(args []string) {
 
 func runMarginal(args []string) {
 	fs := flag.NewFlagSet("marginal", flag.ExitOnError)
-	table := fs.String("table", "", "serialized table path (required)")
+	in := fs.String("in", "", "serialized table path (required)")
 	varsStr := fs.String("vars", "", "comma-separated variable ids (required)")
 	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
 	parseFlags(fs, args)
-	vars, err := parseInts(*varsStr)
+	vars, err := cliopt.ParseInts(*varsStr)
 	if err != nil || len(vars) == 0 {
 		fatal(fmt.Errorf("bad -vars %q: %v", *varsStr, err))
 	}
-	pt := loadTable(*table, workerCount(*p))
+	pt := loadTable(*in, workerCount(*p))
 	mg := pt.Marginalize(vars, *p)
 	states := make([]uint8, 0, len(vars))
 	dec := pt.Codec().SubsetDecoder(vars)
@@ -140,11 +206,11 @@ func runMarginal(args []string) {
 
 func runMI(args []string) {
 	fs := flag.NewFlagSet("mi", flag.ExitOnError)
-	table := fs.String("table", "", "serialized table path (required)")
+	in := fs.String("in", "", "serialized table path (required)")
 	topk := fs.Int("topk", 10, "pairs to print")
 	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
 	parseFlags(fs, args)
-	pt := loadTable(*table, workerCount(*p))
+	pt := loadTable(*in, workerCount(*p))
 	mi := pt.AllPairsMI(*p, core.MIFused)
 	type pr struct {
 		i, j int
@@ -166,7 +232,7 @@ func runMI(args []string) {
 
 func loadTable(path string, partitions int) *core.PotentialTable {
 	if path == "" {
-		fatal(fmt.Errorf("-table is required"))
+		fatal(fmt.Errorf("-in is required"))
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -191,21 +257,6 @@ func parseFlags(fs *flag.FlagSet, args []string) {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-}
-
-func parseInts(s string) ([]int, error) {
-	if strings.TrimSpace(s) == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

@@ -2,24 +2,17 @@ package main
 
 import "testing"
 
-func TestParseInts(t *testing.T) {
-	got, err := parseInts("2,3, 4")
-	if err != nil || len(got) != 3 || got[1] != 3 {
-		t.Fatalf("got %v, %v", got, err)
-	}
-	if got, err := parseInts(" "); err != nil || got != nil {
-		t.Fatalf("blank: %v, %v", got, err)
-	}
-	if _, err := parseInts("2,x"); err == nil {
-		t.Error("non-integer accepted")
-	}
-}
-
 func TestWorkerCount(t *testing.T) {
 	if workerCount(0) < 1 || workerCount(-1) < 1 {
 		t.Error("non-positive worker count not defaulted")
 	}
 	if workerCount(7) != 7 {
 		t.Error("explicit worker count overridden")
+	}
+}
+
+func TestSnapshotIfEnabledNil(t *testing.T) {
+	if snapshotIfEnabled(nil) != nil {
+		t.Error("nil registry produced a snapshot")
 	}
 }

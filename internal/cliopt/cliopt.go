@@ -1,0 +1,144 @@
+// Package cliopt defines the flag surface the CLIs share, so bnlearn,
+// bntable, bnbench, and bninfer register the construction options (-p,
+// -partition, -queue, -ring-cap, -table) and the observability options
+// (-metrics-addr, -pprof, -metrics-linger) exactly once, with identical
+// names, defaults, and help text, each mapping directly onto core.Options
+// and an obs.Registry. Before this package every cmd/*/main.go duplicated
+// (and slightly diverged on) this surface by hand.
+package cliopt
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/obs"
+	"waitfreebn/internal/spsc"
+)
+
+// Core holds the parsed values of the shared construction flags.
+type Core struct {
+	P         int
+	Partition string
+	Queue     string
+	RingCap   int
+	Table     string
+	TableHint int
+}
+
+// AddCore registers the shared construction flags on fs and returns the
+// struct their values parse into.
+func AddCore(fs *flag.FlagSet) *Core {
+	c := &Core{}
+	fs.IntVar(&c.P, "p", 0, "workers (0 = GOMAXPROCS)")
+	fs.StringVar(&c.Partition, "partition", "modulo", "key→partition mapping: modulo|range|hash")
+	fs.StringVar(&c.Queue, "queue", "chunked", "inter-core queue: chunked|ring|mutex")
+	fs.IntVar(&c.RingCap, "ring-cap", 0, "per-queue capacity for -queue ring (0 = size for a full worker block)")
+	fs.StringVar(&c.Table, "table", "open", "per-partition count table: open|chained|gomap")
+	fs.IntVar(&c.TableHint, "table-hint", 0, "pre-size each partition table for this many entries (0 = heuristic)")
+	return c
+}
+
+// Options maps the parsed flags onto core.Options, rejecting unknown kind
+// names with the valid alternatives in the error.
+func (c *Core) Options() (core.Options, error) {
+	opts := core.Options{P: c.P, RingCapacity: c.RingCap, TableHint: c.TableHint}
+	switch c.Partition {
+	case "modulo", "":
+		opts.Partition = core.PartitionModulo
+	case "range":
+		opts.Partition = core.PartitionRange
+	case "hash":
+		opts.Partition = core.PartitionHash
+	default:
+		return opts, fmt.Errorf("unknown -partition %q (want modulo|range|hash)", c.Partition)
+	}
+	switch c.Queue {
+	case "chunked", "":
+		opts.Queue = spsc.KindChunked
+	case "ring":
+		opts.Queue = spsc.KindRing
+	case "mutex":
+		opts.Queue = spsc.KindMutex
+	default:
+		return opts, fmt.Errorf("unknown -queue %q (want chunked|ring|mutex)", c.Queue)
+	}
+	switch c.Table {
+	case "open", "open-addressing", "":
+		opts.Table = core.TableOpenAddressing
+	case "chained":
+		opts.Table = core.TableChained
+	case "gomap":
+		opts.Table = core.TableGoMap
+	default:
+		return opts, fmt.Errorf("unknown -table %q (want open|chained|gomap)", c.Table)
+	}
+	return opts, nil
+}
+
+// Obs holds the parsed values of the shared observability flags.
+type Obs struct {
+	MetricsAddr string
+	Pprof       bool
+	Linger      time.Duration
+}
+
+// AddObs registers the shared observability flags on fs.
+func AddObs(fs *flag.FlagSet) *Obs {
+	o := &Obs{}
+	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "serve Prometheus metrics (/metrics), a JSON snapshot (/metrics.json) and optional pprof on this address (e.g. 127.0.0.1:9090)")
+	fs.BoolVar(&o.Pprof, "pprof", false, "also mount net/http/pprof handlers on -metrics-addr")
+	fs.DurationVar(&o.Linger, "metrics-linger", 0, "keep serving -metrics-addr this long after the run completes (0 = exit immediately)")
+	return o
+}
+
+// Enabled reports whether any instrumentation was requested. Metrics are
+// recorded whenever a listener is up; -pprof alone also brings the
+// listener up (on whatever -metrics-addr says, default disabled).
+func (o *Obs) Enabled() bool { return o.MetricsAddr != "" }
+
+// Start brings up the metrics registry and, when enabled, the HTTP
+// listener. It returns the registry to thread into core.Options.Obs (nil
+// when disabled — the zero-overhead path) and a stop function that
+// honors -metrics-linger before closing the listener. The stop function
+// is non-nil even when disabled.
+func (o *Obs) Start() (*obs.Registry, func(), error) {
+	if !o.Enabled() {
+		return nil, func() {}, nil
+	}
+	reg := obs.NewRegistry()
+	srv, err := obs.Serve(o.MetricsAddr, reg, o.Pprof)
+	if err != nil {
+		return nil, nil, fmt.Errorf("starting metrics server: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", srv.Addr())
+	stop := func() {
+		if o.Linger > 0 {
+			fmt.Fprintf(os.Stderr, "obs: lingering %v for scrapes\n", o.Linger)
+			time.Sleep(o.Linger)
+		}
+		srv.Close()
+	}
+	return reg, stop, nil
+}
+
+// ParseInts parses a comma-separated integer list — the shared syntax of
+// -card, -vars, -mlist and friends. An empty or blank string yields nil.
+func ParseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package cliopt
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/spsc"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestAddCoreDefaults(t *testing.T) {
+	fs := newFlagSet()
+	c := AddCore(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := c.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Options{} // zero value = paper defaults
+	if opts != want {
+		t.Fatalf("default options = %+v, want zero value", opts)
+	}
+}
+
+func TestAddCoreParsesAllKinds(t *testing.T) {
+	fs := newFlagSet()
+	c := AddCore(fs)
+	args := []string{"-p", "8", "-partition", "hash", "-queue", "ring", "-ring-cap", "1024", "-table", "chained", "-table-hint", "4096"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := c.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.P != 8 || opts.Partition != core.PartitionHash || opts.Queue != spsc.KindRing ||
+		opts.RingCapacity != 1024 || opts.Table != core.TableChained || opts.TableHint != 4096 {
+		t.Fatalf("parsed options = %+v", opts)
+	}
+}
+
+func TestCoreRejectsUnknownKinds(t *testing.T) {
+	cases := [][]string{
+		{"-partition", "zigzag"},
+		{"-queue", "carrier-pigeon"},
+		{"-table", "btree"},
+	}
+	for _, args := range cases {
+		fs := newFlagSet()
+		c := AddCore(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Options(); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestObsDisabledByDefault(t *testing.T) {
+	fs := newFlagSet()
+	o := AddObs(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Enabled() {
+		t.Fatal("obs enabled without -metrics-addr")
+	}
+	reg, stop, err := o.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != nil {
+		t.Fatal("disabled obs returned a registry")
+	}
+	stop() // must be callable
+}
+
+func TestObsStartServesMetrics(t *testing.T) {
+	fs := newFlagSet()
+	o := AddObs(fs)
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	reg, stop, err := o.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if reg == nil {
+		t.Fatal("enabled obs returned nil registry")
+	}
+	reg.Counter("test_total").Add(5)
+	// The bound address is only reported on stderr; hit the registry's own
+	// server through a second Serve is overkill — instead verify via the
+	// handler the registry exposes. Start's listener is covered by the obs
+	// package's Serve test and the CLI integration test.
+	req := newLocalRequest(t, reg)
+	if !strings.Contains(req, "test_total 5") {
+		t.Fatalf("metrics body:\n%s", req)
+	}
+}
+
+// newLocalRequest renders the registry through its HTTP handler.
+func newLocalRequest(t *testing.T, reg interface{ WritePrometheus(io.Writer) error }) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("2,3, 4")
+	if err != nil || len(got) != 3 || got[1] != 3 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if got, err := ParseInts(" "); err != nil || got != nil {
+		t.Fatalf("blank: %v, %v", got, err)
+	}
+	if _, err := ParseInts("2,x"); err == nil {
+		t.Error("non-integer accepted")
+	}
+}
+
+// Identical flag registration across two flag sets must not collide and
+// must produce identical help text — the uniformity the CLIs rely on.
+func TestFlagSurfaceIsReusable(t *testing.T) {
+	a, b := newFlagSet(), newFlagSet()
+	AddCore(a)
+	AddObs(a)
+	AddCore(b)
+	AddObs(b)
+	for _, name := range []string{"p", "partition", "queue", "ring-cap", "table", "table-hint", "metrics-addr", "pprof", "metrics-linger"} {
+		fa, fb := a.Lookup(name), b.Lookup(name)
+		if fa == nil || fb == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if fa.Usage != fb.Usage || fa.DefValue != fb.DefValue {
+			t.Errorf("-%s diverges: %q/%q vs %q/%q", name, fa.Usage, fa.DefValue, fb.Usage, fb.DefValue)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"waitfreebn/internal/dataset"
 	"waitfreebn/internal/encoding"
 	"waitfreebn/internal/hashtable"
+	"waitfreebn/internal/obs"
 	"waitfreebn/internal/sched"
 	"waitfreebn/internal/spsc"
 )
@@ -28,11 +29,23 @@ type Options struct {
 	// Table selects the per-partition count table (ablation A4).
 	Table TableKind
 	// TableHint pre-sizes each partition table. 0 applies a heuristic
-	// based on m and the key space.
+	// based on m and the key space. Hints above maxTableHint are capped;
+	// the applied hint and the cap event are reported in Stats.
 	TableHint int
+	// Obs receives construction metrics (per-worker stage timings, queue
+	// traffic, partition occupancy). nil disables instrumentation; the
+	// primitives aggregate per worker in plain locals and publish once per
+	// build, so the disabled cost is a handful of nil checks per build.
+	Obs *obs.Registry
 }
 
-func (o Options) withDefaults(m int, keySpace uint64) Options {
+// maxTableHint caps the per-partition up-front allocation; tables grow on
+// demand past it. A capped hint is recorded in Stats.TableHintCapped.
+const maxTableHint = 1 << 24
+
+// withDefaults resolves zero fields and reports whether the table hint was
+// truncated by maxTableHint.
+func (o Options) withDefaults(m int, keySpace uint64) (Options, bool) {
 	if o.P <= 0 {
 		o.P = sched.DefaultP()
 	}
@@ -42,6 +55,7 @@ func (o Options) withDefaults(m int, keySpace uint64) Options {
 			o.RingCapacity = 1
 		}
 	}
+	capped := false
 	if o.TableHint <= 0 {
 		// Expected distinct keys is at most min(m, keySpace); assume they
 		// spread evenly over partitions and pad by 2× to absorb skew.
@@ -50,12 +64,16 @@ func (o Options) withDefaults(m int, keySpace uint64) Options {
 			distinct = keySpace
 		}
 		hint := distinct / uint64(o.P) * 2
-		if hint > 1<<24 {
-			hint = 1 << 24 // cap the up-front allocation; tables grow on demand
+		if hint > maxTableHint {
+			hint = maxTableHint
+			capped = true
 		}
 		o.TableHint = int(hint)
+	} else if o.TableHint > maxTableHint {
+		o.TableHint = maxTableHint
+		capped = true
 	}
-	return o
+	return o, capped
 }
 
 // Stats reports what the construction primitive did, for instrumentation
@@ -72,6 +90,17 @@ type Stats struct {
 	// stage 1 = O(m·n/P) and stage 2 = O(m/P); these expose the split.
 	Stage1Time time.Duration
 	Stage2Time time.Duration
+	// BarrierWait is the longest any worker spent in the inter-stage
+	// barrier — the load-imbalance bound (a worker waits exactly as long
+	// as the slowest straggler outlasts it).
+	BarrierWait time.Duration
+
+	// TableHint is the per-partition pre-size actually applied after
+	// defaulting, and TableHintCapped reports whether it was truncated at
+	// the allocation cap — previously a silent event bench runs could not
+	// see.
+	TableHint       int
+	TableHintCapped bool
 }
 
 // queueMatrix holds the P×(P-1) queues of Algorithm 1: q[i][j] carries keys
@@ -123,9 +152,19 @@ func KeySourceFromSlice(keys []uint64) KeySource {
 	return func(i int) uint64 { return keys[i] }
 }
 
+// workerStats accumulates one worker's contribution to Stats; workers
+// write only their own slot, so no synchronization beyond the final join
+// is needed.
+type workerStats struct {
+	local, foreign, pops uint64
+	stage1, stage2       time.Duration
+	barrier              time.Duration
+	err                  error
+}
+
 // BuildKeys is Build over an arbitrary key stream of length m.
 func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*PotentialTable, Stats, error) {
-	opts = opts.withDefaults(m, codec.KeySpace())
+	opts, hintCapped := opts.withDefaults(m, codec.KeySpace())
 	p := opts.P
 
 	parts := make([]hashtable.Counter, p)
@@ -137,11 +176,6 @@ func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*P
 	spans := sched.BlockPartition(m, p)
 	barrier := sched.NewBarrier(p)
 
-	type workerStats struct {
-		local, foreign, pops uint64
-		stage1, stage2       time.Duration
-		err                  error
-	}
 	ws := make([]workerStats, p)
 
 	sched.Run(p, func(w int) {
@@ -170,7 +204,7 @@ func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*P
 		ws[w].stage1 = time.Since(t0)
 
 		// ---- The single synchronization step between the stages.
-		barrier.Wait()
+		ws[w].barrier = barrier.WaitTimed()
 
 		// ---- Stage 2 (Algorithm 2): drain queues addressed to w.
 		// Reads: heads of queues[*][w]; writes: parts[w].
@@ -196,6 +230,8 @@ func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*P
 
 	var st Stats
 	st.P = p
+	st.TableHint = opts.TableHint
+	st.TableHintCapped = hintCapped
 	for w := range ws {
 		if ws[w].err != nil {
 			return nil, Stats{}, ws[w].err
@@ -209,9 +245,13 @@ func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*P
 		if ws[w].stage2 > st.Stage2Time {
 			st.Stage2Time = ws[w].stage2
 		}
+		if ws[w].barrier > st.BarrierWait {
+			st.BarrierWait = ws[w].barrier
+		}
 	}
 	pt := NewPotentialTable(codec, parts, st.LocalKeys+st.Stage2Pops)
 	st.DistinctKeys = pt.Len()
+	publishBuildMetrics(opts.Obs, st, ws, queues, parts)
 	return pt, st, nil
 }
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
 	"waitfreebn/internal/spsc"
 )
 
@@ -12,6 +14,16 @@ func uniformData(t testing.TB, m, n, r int, seed uint64) *dataset.Dataset {
 	d := dataset.NewUniformCard(m, n, r)
 	d.UniformIndependent(seed, 4)
 	return d
+}
+
+// assertStatsInvariant checks the accounting identity every successful
+// build must satisfy: each foreign key pushed in stage 1 is popped exactly
+// once in stage 2.
+func assertStatsInvariant(t *testing.T, st Stats) {
+	t.Helper()
+	if st.Stage2Pops != st.ForeignKeys {
+		t.Fatalf("stats invariant violated: Stage2Pops=%d != ForeignKeys=%d", st.Stage2Pops, st.ForeignKeys)
+	}
 }
 
 func TestBuildSequentialCountsEveryRow(t *testing.T) {
@@ -59,9 +71,7 @@ func TestBuildMatchesSequential(t *testing.T) {
 		if st.LocalKeys+st.ForeignKeys != 20000 {
 			t.Fatalf("P=%d: local %d + foreign %d != m", p, st.LocalKeys, st.ForeignKeys)
 		}
-		if st.ForeignKeys != st.Stage2Pops {
-			t.Fatalf("P=%d: foreign %d != pops %d", p, st.ForeignKeys, st.Stage2Pops)
-		}
+		assertStatsInvariant(t, st)
 		if st.DistinctKeys != ref.Len() {
 			t.Fatalf("P=%d: DistinctKeys %d != %d", p, st.DistinctKeys, ref.Len())
 		}
@@ -78,13 +88,14 @@ func TestBuildAllOptionCombinations(t *testing.T) {
 		for _, q := range []spsc.Kind{spsc.KindChunked, spsc.KindRing, spsc.KindMutex} {
 			for _, tk := range []TableKind{TableOpenAddressing, TableChained, TableGoMap} {
 				opts := Options{P: 4, Partition: part, Queue: q, Table: tk}
-				pt, _, err := Build(d, opts)
+				pt, st, err := Build(d, opts)
 				if err != nil {
 					t.Fatalf("%v/%v/%v: %v", part, q, tk, err)
 				}
 				if !pt.Equal(ref) {
 					t.Fatalf("%v/%v/%v: table differs from sequential", part, q, tk)
 				}
+				assertStatsInvariant(t, st)
 			}
 		}
 	}
@@ -115,14 +126,53 @@ func TestBuildRingOverflowReturnsError(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected overflow error from undersized ring")
 	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("overflow error does not name the failure: %v", err)
+	}
+}
+
+func TestBuildKeysRingOverflowReturnsError(t *testing.T) {
+	// Drive BuildKeys directly with a pre-encoded stream whose keys all
+	// land on partition 1, so worker 0's queue to it must overflow a
+	// 2-slot ring (ring capacity rounds up to a power of two, so capacity
+	// 2 holds exactly 2 keys).
+	codec, err := encoding.NewCodec([]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = 1 // owner 1 under modulo partitioning with P=2
+	}
+	_, _, err = BuildKeys(KeySourceFromSlice(keys), codec, len(keys),
+		Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2})
+	if err == nil {
+		t.Fatal("expected overflow error from undersized ring in BuildKeys")
+	}
+	if !strings.Contains(err.Error(), "ring capacity") {
+		t.Fatalf("overflow error does not report the capacity: %v", err)
+	}
+
+	// The same stream with the default (auto-sized) ring must succeed and
+	// satisfy the accounting invariant.
+	pt, st, err := BuildKeys(KeySourceFromSlice(keys), codec, len(keys),
+		Options{P: 2, Queue: spsc.KindRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsInvariant(t, st)
+	if pt.Get(1) != uint64(len(keys)) {
+		t.Fatalf("count for key 1 = %d, want %d", pt.Get(1), len(keys))
+	}
 }
 
 func TestBuildRingDefaultCapacityNeverOverflows(t *testing.T) {
 	d := uniformData(t, 10000, 6, 4, 6)
-	pt, _, err := Build(d, Options{P: 4, Queue: spsc.KindRing})
+	pt, st, err := Build(d, Options{P: 4, Queue: spsc.KindRing})
 	if err != nil {
 		t.Fatal(err)
 	}
+	assertStatsInvariant(t, st)
 	ref, _ := BuildSequential(d)
 	if !pt.Equal(ref) {
 		t.Fatal("ring-built table differs from sequential")
@@ -141,6 +191,7 @@ func TestBuildDefaultsApplied(t *testing.T) {
 	if pt.Partitions() != st.P {
 		t.Fatalf("partitions %d != P %d", pt.Partitions(), st.P)
 	}
+	assertStatsInvariant(t, st)
 }
 
 func TestBuildEmptyDataset(t *testing.T) {
@@ -155,6 +206,7 @@ func TestBuildEmptyDataset(t *testing.T) {
 	if st.LocalKeys != 0 || st.ForeignKeys != 0 {
 		t.Fatalf("empty build stats: %+v", st)
 	}
+	assertStatsInvariant(t, st)
 }
 
 func TestBuildSingleRow(t *testing.T) {
@@ -188,10 +240,11 @@ func TestBuildKeysFromSlice(t *testing.T) {
 	d := uniformData(t, 5000, 8, 2, 9)
 	codec, _ := d.Codec()
 	keys := d.EncodeKeys(codec, 2)
-	pt, _, err := BuildKeys(KeySourceFromSlice(keys), codec, len(keys), Options{P: 4})
+	pt, st, err := BuildKeys(KeySourceFromSlice(keys), codec, len(keys), Options{P: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
+	assertStatsInvariant(t, st)
 	ref, _ := BuildSequential(d)
 	if !pt.Equal(ref) {
 		t.Fatal("BuildKeys over pre-encoded slice differs from sequential")
@@ -224,6 +277,7 @@ func TestBuildSkewedDataStillCorrect(t *testing.T) {
 	if st.LocalKeys+st.ForeignKeys != 20000 {
 		t.Fatalf("key accounting broken: %+v", st)
 	}
+	assertStatsInvariant(t, st)
 }
 
 func TestStage2DrainsAllQueues(t *testing.T) {
@@ -238,6 +292,7 @@ func TestStage2DrainsAllQueues(t *testing.T) {
 	if st.ForeignKeys == 0 {
 		t.Fatal("no foreign keys routed; stage 2 untested")
 	}
+	assertStatsInvariant(t, st)
 	frac := float64(st.ForeignKeys) / 10000
 	if frac < 0.3 || frac > 0.7 {
 		t.Errorf("foreign fraction %.3f, expected ~0.5 for P=2 uniform data", frac)

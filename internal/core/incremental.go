@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"waitfreebn/internal/encoding"
 	"waitfreebn/internal/hashtable"
@@ -36,7 +37,7 @@ func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
 	if blockHint <= 0 {
 		blockHint = 1 << 16
 	}
-	opts = opts.withDefaults(blockHint, codec.KeySpace())
+	opts, hintCapped := opts.withDefaults(blockHint, codec.KeySpace())
 	b := &Builder{
 		codec:   codec,
 		opts:    opts,
@@ -49,6 +50,8 @@ func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
 	}
 	b.queues = newQueueMatrix(opts.P, opts.Queue, opts.RingCapacity)
 	b.stats.P = opts.P
+	b.stats.TableHint = opts.TableHint
+	b.stats.TableHintCapped = hintCapped
 	return b
 }
 
@@ -69,12 +72,9 @@ func (b *Builder) addKeys(m int, source KeySource) error {
 	}
 	p := b.opts.P
 	spans := sched.BlockPartition(m, p)
-	type ws struct {
-		local, foreign, pops uint64
-		err                  error
-	}
-	stats := make([]ws, p)
+	ws := make([]workerStats, p)
 	sched.Run(p, func(w int) {
+		t0 := time.Now()
 		span := spans[w]
 		table := b.parts[w]
 		outs := b.queues[w]
@@ -83,16 +83,18 @@ func (b *Builder) addKeys(m int, source KeySource) error {
 			dst := b.owner(key)
 			if dst == w {
 				table.Inc(key)
-				stats[w].local++
+				ws[w].local++
 			} else {
 				if !outs[dst].Push(key) {
-					stats[w].err = fmt.Errorf("core: queue %d→%d overflow in incremental block", w, dst)
+					ws[w].err = fmt.Errorf("core: queue %d→%d overflow in incremental block", w, dst)
 					break
 				}
-				stats[w].foreign++
+				ws[w].foreign++
 			}
 		}
-		b.barrier.Wait()
+		ws[w].stage1 = time.Since(t0)
+		ws[w].barrier = b.barrier.WaitTimed()
+		t1 := time.Now()
 		for src := 0; src < p; src++ {
 			if src == w {
 				continue
@@ -104,17 +106,41 @@ func (b *Builder) addKeys(m int, source KeySource) error {
 					break
 				}
 				table.Inc(key)
-				stats[w].pops++
+				ws[w].pops++
 			}
 		}
+		ws[w].stage2 = time.Since(t1)
 	})
-	for w := range stats {
-		if stats[w].err != nil {
-			return stats[w].err
+	for w := range ws {
+		if ws[w].err != nil {
+			return ws[w].err
 		}
-		b.stats.LocalKeys += stats[w].local
-		b.stats.ForeignKeys += stats[w].foreign
-		b.stats.Stage2Pops += stats[w].pops
+		b.stats.LocalKeys += ws[w].local
+		b.stats.ForeignKeys += ws[w].foreign
+		b.stats.Stage2Pops += ws[w].pops
+		// Stage times accumulate the per-block critical path: the sum over
+		// blocks of the slowest worker, i.e. the wall clock spent in each
+		// stage across the whole stream.
+	}
+	var s1, s2, bw time.Duration
+	for w := range ws {
+		if ws[w].stage1 > s1 {
+			s1 = ws[w].stage1
+		}
+		if ws[w].stage2 > s2 {
+			s2 = ws[w].stage2
+		}
+		if ws[w].barrier > bw {
+			bw = ws[w].barrier
+		}
+	}
+	b.stats.Stage1Time += s1
+	b.stats.Stage2Time += s2
+	b.stats.BarrierWait += bw
+	if r := b.opts.Obs; r != nil {
+		r.Histogram(metricStageHist, "stage", "1").Observe(s1)
+		r.Histogram(metricStageHist, "stage", "2").Observe(s2)
+		r.Histogram(metricBarrierHist).Observe(bw)
 	}
 	return nil
 }
@@ -125,6 +151,18 @@ func (b *Builder) Finalize() (*PotentialTable, Stats) {
 	b.done = true
 	pt := NewPotentialTable(b.codec, b.parts, b.stats.LocalKeys+b.stats.Stage2Pops)
 	b.stats.DistinctKeys = pt.Len()
+	if r := b.opts.Obs; r != nil {
+		r.Counter(metricBuilds).Inc()
+		r.Counter(metricLocalKeys).Add(b.stats.LocalKeys)
+		r.Counter(metricForeignKeys).Add(b.stats.ForeignKeys)
+		r.Counter(metricStage2Pops).Add(b.stats.Stage2Pops)
+		r.Gauge(metricTableHint).Set(float64(b.stats.TableHint))
+		if b.stats.TableHintCapped {
+			r.Counter(metricTableHintCapped).Inc()
+		}
+		publishQueueMetrics(r, b.stats, b.queues)
+		publishPartitionMetrics(r, b.parts)
+	}
 	return pt, b.stats
 }
 

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strconv"
+
+	"waitfreebn/internal/hashtable"
+	"waitfreebn/internal/obs"
+	"waitfreebn/internal/spsc"
+)
+
+// Metric names published by the construction primitives. Documented in
+// README.md ("Observability"); keep the two in sync.
+const (
+	metricBuilds          = "core_builds_total"
+	metricLocalKeys       = "core_local_keys_total"
+	metricForeignKeys     = "core_foreign_keys_total"
+	metricStage2Pops      = "core_stage2_pops_total"
+	metricQueuePush       = "core_queue_push_total"
+	metricQueuePop        = "core_queue_pop_total"
+	metricWorkerStage     = "core_worker_stage_seconds"
+	metricWorkerBarrier   = "core_worker_barrier_wait_seconds"
+	metricStageHist       = "core_stage_seconds"
+	metricBarrierHist     = "sched_barrier_wait_seconds"
+	metricPartitionKeys   = "core_partition_keys"
+	metricPartitionSkew   = "core_partition_skew"
+	metricTableHint       = "core_table_hint"
+	metricTableHintCapped = "core_table_hint_capped_total"
+	metricChunkSegments   = "spsc_chunk_segments_total"
+	metricRingHighWater   = "spsc_ring_highwater"
+	metricMutexAcquires   = "spsc_mutex_acquires_total"
+	metricTableGrows      = "hashtable_grows_total"
+	metricProbeMax        = "hashtable_probe_max"
+	metricProbeMean       = "hashtable_probe_mean"
+)
+
+// publishBuildMetrics records one completed build into the registry. It
+// runs after the workers have joined, so every source it reads (worker
+// stats, queue internals, partition tables) is quiescent. On a nil
+// registry it returns immediately — the disabled fast path.
+func publishBuildMetrics(r *obs.Registry, st Stats, ws []workerStats, queues queueMatrix, parts []hashtable.Counter) {
+	if r == nil {
+		return
+	}
+	r.Help(metricBuilds, "completed wait-free table constructions")
+	r.Counter(metricBuilds).Inc()
+	r.Counter(metricLocalKeys).Add(st.LocalKeys)
+	r.Counter(metricForeignKeys).Add(st.ForeignKeys)
+	r.Counter(metricStage2Pops).Add(st.Stage2Pops)
+	r.Gauge(metricTableHint).Set(float64(st.TableHint))
+	if st.TableHintCapped {
+		r.Counter(metricTableHintCapped).Inc()
+	} else {
+		r.Counter(metricTableHintCapped).Add(0) // materialize the series
+	}
+
+	r.Help(metricWorkerStage, "per-worker wall clock of the last build, by stage")
+	for w := range ws {
+		label := strconv.Itoa(w)
+		r.Gauge(metricWorkerStage, "stage", "1", "worker", label).Set(ws[w].stage1.Seconds())
+		r.Gauge(metricWorkerStage, "stage", "2", "worker", label).Set(ws[w].stage2.Seconds())
+		r.Gauge(metricWorkerBarrier, "worker", label).Set(ws[w].barrier.Seconds())
+		r.Histogram(metricStageHist, "stage", "1").Observe(ws[w].stage1)
+		r.Histogram(metricStageHist, "stage", "2").Observe(ws[w].stage2)
+		r.Histogram(metricBarrierHist).Observe(ws[w].barrier)
+	}
+
+	publishQueueMetrics(r, st, queues)
+	publishPartitionMetrics(r, parts)
+}
+
+// publishQueueMetrics records queue traffic volume plus the
+// implementation-specific pressure signals: segment allocations for
+// chunked queues, occupancy high-water marks for rings, lock acquisitions
+// for the mutex ablation arm.
+func publishQueueMetrics(r *obs.Registry, st Stats, queues queueMatrix) {
+	r.Help(metricQueuePush, "keys pushed into inter-core queues (== foreign keys)")
+	r.Counter(metricQueuePush).Add(st.ForeignKeys)
+	r.Counter(metricQueuePop).Add(st.Stage2Pops)
+
+	var segments, acquires uint64
+	maxHW := 0
+	for i := range queues {
+		for j := range queues[i] {
+			switch q := queues[i][j].(type) {
+			case *spsc.Chunked:
+				segments += uint64(q.Segments())
+			case *spsc.Ring:
+				if hw := q.HighWater(); hw > maxHW {
+					maxHW = hw
+				}
+			case *spsc.MutexQueue:
+				acquires += q.Acquires()
+			}
+		}
+	}
+	if segments > 0 {
+		r.Help(metricChunkSegments, "segments allocated across all chunked queues")
+		r.Counter(metricChunkSegments).Add(segments)
+	}
+	if maxHW > 0 {
+		r.Help(metricRingHighWater, "largest occupancy any ring queue reached")
+		r.Gauge(metricRingHighWater).SetMax(float64(maxHW))
+	}
+	if acquires > 0 {
+		r.Counter(metricMutexAcquires).Add(acquires)
+	}
+}
+
+// publishPartitionMetrics records per-partition occupancy, the skew ratio
+// (max/mean entries — 1.0 is perfectly balanced), and the open-addressing
+// probe/resize diagnostics where the partition tables support them.
+func publishPartitionMetrics(r *obs.Registry, parts []hashtable.Counter) {
+	r.Help(metricPartitionKeys, "distinct keys per partition after the last build")
+	total, maxLen := 0, 0
+	grows := 0
+	probeMax, probeMeanSum := 0, 0.0
+	probed := 0
+	for i, part := range parts {
+		n := part.Len()
+		total += n
+		if n > maxLen {
+			maxLen = n
+		}
+		r.Gauge(metricPartitionKeys, "partition", strconv.Itoa(i)).Set(float64(n))
+		if t, ok := part.(*hashtable.Table); ok {
+			grows += t.Grows()
+			pm, mean := t.ProbeStats()
+			if pm > probeMax {
+				probeMax = pm
+			}
+			probeMeanSum += mean
+			probed++
+		}
+	}
+	if total > 0 {
+		mean := float64(total) / float64(len(parts))
+		r.Help(metricPartitionSkew, "max/mean distinct keys across partitions (1.0 = balanced)")
+		r.Gauge(metricPartitionSkew).Set(float64(maxLen) / mean)
+	}
+	if probed > 0 {
+		r.Counter(metricTableGrows).Add(uint64(grows))
+		r.Gauge(metricProbeMax).Set(float64(probeMax))
+		r.Gauge(metricProbeMean).Set(probeMeanSum / float64(probed))
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/obs"
+)
+
+// The observability acceptance bar: construction throughput with
+// instrumentation disabled (Options.Obs == nil) must stay within noise of
+// the pre-instrumentation baseline — the primitives aggregate per worker
+// in plain locals and only consult the registry once per build, so the
+// disabled path costs a handful of nil checks. Compare:
+//
+//	go test ./internal/core -bench 'BuildObs' -benchtime 5x
+//
+// BenchmarkBuildObsDisabled vs BenchmarkBuildObsEnabled measures the cost
+// of recording; Disabled vs the historical BenchmarkBuild numbers (or a
+// checkout of the previous commit) measures the cost of having the hooks
+// at all.
+func benchmarkBuild(b *testing.B, reg *obs.Registry) {
+	const m, n, r = 200000, 12, 2
+	d := dataset.NewUniformCard(m, n, r)
+	d.UniformIndependent(77, 4)
+	codec, err := d.Codec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := d.EncodeKeys(codec, 4)
+	b.SetBytes(int64(m * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := BuildKeys(KeySourceFromSlice(keys), codec, len(keys), Options{P: 4, Obs: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildObsDisabled(b *testing.B) { benchmarkBuild(b, nil) }
+
+func BenchmarkBuildObsEnabled(b *testing.B) { benchmarkBuild(b, obs.NewRegistry()) }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"waitfreebn/internal/obs"
+	"waitfreebn/internal/spsc"
+)
+
+// TestBuildPublishesMetrics drives a real construction with every queue
+// kind and checks the registry afterwards holds the documented families:
+// queue traffic counters, per-worker stage timings, partition occupancy.
+func TestBuildPublishesMetrics(t *testing.T) {
+	d := uniformData(t, 20000, 8, 2, 31)
+	for _, kind := range []spsc.Kind{spsc.KindChunked, spsc.KindRing, spsc.KindMutex} {
+		reg := obs.NewRegistry()
+		_, st, err := Build(d, Options{P: 4, Queue: kind, Obs: reg})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		s := reg.Snapshot()
+		if got := s.Counters[metricBuilds]; got != 1 {
+			t.Errorf("%v: %s = %d, want 1", kind, metricBuilds, got)
+		}
+		if got := s.Counters[metricForeignKeys]; got != st.ForeignKeys {
+			t.Errorf("%v: %s = %d, want %d", kind, metricForeignKeys, got, st.ForeignKeys)
+		}
+		if got := s.Counters[metricQueuePush]; got != st.ForeignKeys {
+			t.Errorf("%v: %s = %d, want %d", kind, metricQueuePush, got, st.ForeignKeys)
+		}
+		if got := s.Counters[metricQueuePop]; got != st.Stage2Pops {
+			t.Errorf("%v: %s = %d, want %d", kind, metricQueuePop, got, st.Stage2Pops)
+		}
+		for w := 0; w < 4; w++ {
+			key := metricWorkerStage + `{stage="1",worker="` + string(rune('0'+w)) + `"}`
+			if _, ok := s.Gauges[key]; !ok {
+				t.Errorf("%v: missing per-worker gauge %s", kind, key)
+			}
+		}
+		var occupancy float64
+		for k, v := range s.Gauges {
+			if strings.HasPrefix(k, metricPartitionKeys+"{") {
+				occupancy += v
+			}
+		}
+		if int(occupancy) != st.DistinctKeys {
+			t.Errorf("%v: partition occupancy sums to %g, want %d", kind, occupancy, st.DistinctKeys)
+		}
+		if skew := s.Gauges[metricPartitionSkew]; skew < 1 {
+			t.Errorf("%v: partition skew %g < 1", kind, skew)
+		}
+		if h := s.Histograms[metricStageHist+`{stage="1"}`]; h.Count != 4 {
+			t.Errorf("%v: stage-1 histogram count %d, want 4", kind, h.Count)
+		}
+		// Queue-kind specific pressure signals.
+		switch kind {
+		case spsc.KindChunked:
+			if s.Counters[metricChunkSegments] == 0 {
+				t.Errorf("chunked build published no segment count")
+			}
+		case spsc.KindRing:
+			if s.Gauges[metricRingHighWater] <= 0 {
+				t.Errorf("ring build published no high-water mark")
+			}
+		case spsc.KindMutex:
+			if s.Counters[metricMutexAcquires] == 0 {
+				t.Errorf("mutex build published no acquire count")
+			}
+		}
+	}
+}
+
+func TestBuildNilRegistryPublishesNothing(t *testing.T) {
+	d := uniformData(t, 5000, 8, 2, 32)
+	// Obs left nil: the build must succeed and never touch a registry.
+	_, st, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsInvariant(t, st)
+}
+
+func TestBuilderPublishesMetrics(t *testing.T) {
+	d := uniformData(t, 12000, 8, 2, 33)
+	codec, err := d.Codec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	b := NewBuilder(codec, 4096, Options{P: 4, Obs: reg})
+	keys := d.EncodeKeys(codec, 2)
+	for lo := 0; lo < len(keys); lo += 4096 {
+		hi := min(lo+4096, len(keys))
+		if err := b.AddKeys(keys[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt, st := b.Finalize()
+	assertStatsInvariant(t, st)
+	s := reg.Snapshot()
+	if got := s.Counters[metricBuilds]; got != 1 {
+		t.Errorf("%s = %d, want 1", metricBuilds, got)
+	}
+	if got := s.Counters[metricStage2Pops]; got != st.Stage2Pops {
+		t.Errorf("%s = %d, want %d", metricStage2Pops, got, st.Stage2Pops)
+	}
+	if h := s.Histograms[metricStageHist+`{stage="1"}`]; h.Count != 3 {
+		t.Errorf("stage histogram observed %d blocks, want 3", h.Count)
+	}
+	if st.Stage1Time <= 0 || st.BarrierWait < 0 {
+		t.Errorf("builder stage times not accumulated: %+v", st)
+	}
+	var occupancy float64
+	for k, v := range s.Gauges {
+		if strings.HasPrefix(k, metricPartitionKeys+"{") {
+			occupancy += v
+		}
+	}
+	if int(occupancy) != pt.Len() {
+		t.Errorf("partition occupancy sums to %g, want %d", occupancy, pt.Len())
+	}
+}

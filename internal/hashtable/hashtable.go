@@ -192,6 +192,31 @@ func (t *Table) Equal(other *Table) bool {
 	return equal
 }
 
+// ProbeStats scans the table and returns the maximum and mean probe length
+// over the current entries (1 = key sits in its home slot). It recomputes
+// displacements from the stored keys, so the construction hot path pays
+// nothing for this diagnostic; an empty table reports (0, 0).
+func (t *Table) ProbeStats() (max int, mean float64) {
+	if t.len == 0 {
+		return 0, 0
+	}
+	mask := uint64(len(t.keys) - 1)
+	var total uint64
+	for i, k := range t.keys {
+		if k == emptySlot {
+			continue
+		}
+		home := rng.Mix64(k) & mask
+		dist := int((uint64(i) - home) & mask)
+		probes := dist + 1
+		if probes > max {
+			max = probes
+		}
+		total += uint64(probes)
+	}
+	return max, float64(total) / float64(t.len)
+}
+
 // String summarizes the table for debugging.
 func (t *Table) String() string {
 	return fmt.Sprintf("hashtable.Table{len=%d cap=%d grows=%d}", t.len, len(t.keys), t.grows)

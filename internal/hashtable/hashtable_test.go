@@ -350,3 +350,29 @@ func benchCounterInc(b *testing.B, c Counter) {
 		c.Inc(keys[i&(1<<20-1)])
 	}
 }
+
+func TestProbeStats(t *testing.T) {
+	ht := New(0)
+	if max, mean := ht.ProbeStats(); max != 0 || mean != 0 {
+		t.Fatalf("empty table ProbeStats = (%d, %g), want (0, 0)", max, mean)
+	}
+	src := rng.NewXoshiro256SS(9)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		ht.Inc(src.Uint64n(1 << 40))
+	}
+	max, mean := ht.ProbeStats()
+	if max < 1 || mean < 1 {
+		t.Fatalf("populated table ProbeStats = (%d, %g), want >= 1 probes", max, mean)
+	}
+	if float64(max) < mean {
+		t.Fatalf("max probe %d below mean %g", max, mean)
+	}
+	// Displacement accounting is a pure diagnostic: the table must still
+	// answer lookups correctly afterwards (sanity that the scan is read-only).
+	before := ht.Len()
+	ht.ProbeStats()
+	if ht.Len() != before {
+		t.Fatalf("ProbeStats mutated the table: Len %d -> %d", before, ht.Len())
+	}
+}

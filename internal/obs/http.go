@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format. It works on the nil registry (serving an empty body), so CLIs
+// can mount it unconditionally.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler returns an http.Handler serving the registry's Snapshot as
+// JSON.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.Snapshot())
+	})
+}
+
+// Server is a running metrics listener started by Serve.
+type Server struct {
+	addr string
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP server on addr exposing:
+//
+//	/metrics        Prometheus text format
+//	/metrics.json   JSON snapshot
+//	/debug/pprof/*  net/http/pprof handlers, when enablePprof is set
+//
+// It returns once the listener is bound, serving in a background
+// goroutine; callers Close it when done. Serve works with a nil registry
+// (the endpoints serve empty data), so -pprof can be used alone.
+func Serve(addr string, r *Registry, enablePprof bool) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.JSONHandler())
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(lis) }()
+	return &Server{addr: lis.Addr().String(), srv: srv, lis: lis}, nil
+}

@@ -1,0 +1,357 @@
+// Package obs is the observability subsystem for the wait-free primitives:
+// lightweight counters, gauges, and duration histograms that the hot-path
+// packages (core, spsc, hashtable, sched) publish into and the CLIs expose
+// as a Prometheus text endpoint and a JSON snapshot.
+//
+// The design goal is near-zero overhead when instrumentation is disabled.
+// A nil *Registry is the disabled registry: every lookup on it returns a
+// nil metric handle, and every operation on a nil handle is a single
+// nil-check and return — no allocation, no atomics, no map access. Callers
+// therefore thread a possibly-nil *Registry through Options structs and
+// instrument unconditionally; the price when disabled is one predictable
+// branch per aggregated publish point (never per key — the primitives
+// accumulate per-worker totals in plain locals and publish once per build).
+//
+// Metric handles are safe for concurrent use. Registry lookups take a
+// mutex, so hot paths should hoist handles out of loops; the construction
+// primitives look metrics up once per build, after the workers have joined.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64 metric. The nil Counter
+// discards all updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for the nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. The nil Gauge
+// discards all updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments the gauge by v (v may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark operation.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 for the nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBounds are the histogram bucket upper bounds in seconds: exponential
+// powers of two from 1µs to ~16.8s. Durations above the last bound land in
+// the implicit +Inf bucket.
+var histBounds = func() []float64 {
+	b := make([]float64, 25)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram records a distribution of durations in fixed exponential
+// buckets, plus exact count, sum, and max. The nil Histogram discards all
+// observations.
+type Histogram struct {
+	counts [26]atomic.Uint64 // len(histBounds) buckets + the +Inf bucket
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	sec := d.Seconds()
+	i := 0
+	for i < len(histBounds) && sec > histBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		old := h.maxNS.Load()
+		if old >= int64(d) || h.maxNS.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns how many durations have been observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// metricType discriminates the three metric kinds inside a family.
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups every labeled instance of one metric name, so the
+// Prometheus writer can emit one # TYPE line per name.
+type family struct {
+	typ     metricType
+	help    string
+	metrics map[string]any // label string ("" or `{k="v",...}`) → handle
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. A nil *Registry is the disabled registry (see the package
+// comment).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Enabled reports whether the registry records anything (false for nil).
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Help sets the # HELP text emitted for the metric family name.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.family(name, typeCounter, false).help = text
+}
+
+// family returns the family for name, creating it with typ when absent.
+// When create is true and the existing family has a different type, it
+// panics: one name must map to one metric kind.
+func (r *Registry) family(name string, typ metricType, create bool) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{typ: typ, metrics: map[string]any{}}
+		r.families[name] = f
+		return f
+	}
+	if create && f.typ != typ && len(f.metrics) > 0 {
+		panic("obs: metric " + name + " registered as both " + f.typ.String() + " and " + typ.String())
+	}
+	if len(f.metrics) == 0 {
+		f.typ = typ // Help() pre-created the family; adopt the real type
+	}
+	return f
+}
+
+// Counter returns the counter for name and the given label pairs
+// (alternating key, value), creating it on first use. Returns nil on the
+// nil registry.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, typeCounter, true)
+	ls := labelString(labels)
+	if m, ok := f.metrics[ls]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{}
+	f.metrics[ls] = c
+	return c
+}
+
+// Gauge returns the gauge for name and label pairs, creating it on first
+// use. Returns nil on the nil registry.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, typeGauge, true)
+	ls := labelString(labels)
+	if m, ok := f.metrics[ls]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{}
+	f.metrics[ls] = g
+	return g
+}
+
+// Histogram returns the duration histogram for name and label pairs,
+// creating it on first use. Returns nil on the nil registry.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, typeHistogram, true)
+	ls := labelString(labels)
+	if m, ok := f.metrics[ls]; ok {
+		return m.(*Histogram)
+	}
+	h := &Histogram{}
+	f.metrics[ls] = h
+	return h
+}
+
+// labelString renders alternating key, value pairs as a Prometheus label
+// block: {k="v",k2="v2"}. No labels renders as "". It panics on an odd
+// number of arguments.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd number of label arguments")
+	}
+	var b []byte
+	b = append(b, '{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, labels[i]...)
+		b = append(b, '=', '"')
+		for _, c := range []byte(labels[i+1]) {
+			switch c {
+			case '"', '\\':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			default:
+				b = append(b, c)
+			}
+		}
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// sortedNames returns the registry's family names in lexical order.
+// Callers must hold r.mu.
+func (r *Registry) sortedNames() []string {
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortedLabels returns a family's label strings in lexical order.
+func (f *family) sortedLabels() []string {
+	ls := make([]string, 0, len(f.metrics))
+	for l := range f.metrics {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsFreeAndSafe(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	h := r.Histogram("x_seconds")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(2)
+	g.SetMax(3)
+	h.Observe(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("nil handles recorded values")
+	}
+	if got := r.Snapshot(); len(got.Counters) != 0 || len(got.Gauges) != 0 || len(got.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry prometheus output: %q, %v", sb.String(), err)
+	}
+}
+
+func TestNilHandlesDoNotAllocate(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	h := r.Histogram("x_seconds")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.SetMax(2)
+		h.Observe(time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %.1f times per op", allocs)
+	}
+}
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "kind", "local")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("requests_total", "kind", "local"); again != c {
+		t.Fatal("same name+labels returned a different counter")
+	}
+	if other := r.Counter("requests_total", "kind", "foreign"); other == c {
+		t.Fatal("different labels returned the same counter")
+	}
+
+	g := r.Gauge("occupancy")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %g, want 7", g.Value())
+	}
+	g.SetMax(5) // below current: no change
+	if g.Value() != 7 {
+		t.Fatalf("SetMax lowered gauge to %g", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Fatalf("SetMax = %g, want 11", g.Value())
+	}
+
+	h := r.Histogram("build_seconds")
+	h.Observe(1 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if h.Sum() != 4*time.Millisecond {
+		t.Fatalf("hist sum = %v", h.Sum())
+	}
+	if h.Max() != 3*time.Millisecond {
+		t.Fatalf("hist max = %v", h.Max())
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter/gauge name collision")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("keys_total", "kind", "local").Add(12)
+	r.Gauge("partition_keys", "partition", "0").Set(34)
+	r.Histogram("stage_seconds", "stage", "1").Observe(2 * time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Counters[`keys_total{kind="local"}`] != 12 {
+		t.Fatalf("snapshot counters: %v", s.Counters)
+	}
+	if s.Gauges[`partition_keys{partition="0"}`] != 34 {
+		t.Fatalf("snapshot gauges: %v", s.Gauges)
+	}
+	hs := s.Histograms[`stage_seconds{stage="1"}`]
+	if hs.Count != 1 || hs.SumSeconds != 0.002 || hs.MeanSeconds != 0.002 {
+		t.Fatalf("snapshot histograms: %+v", hs)
+	}
+
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[`keys_total{kind="local"}`] != 12 {
+		t.Fatalf("JSON round trip lost counters: %s", blob)
+	}
+	if !strings.Contains(s.String(), `keys_total{kind="local"} 12`) {
+		t.Fatalf("String() output unexpected:\n%s", s.String())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Help("keys_total", "keys counted by kind")
+	r.Counter("keys_total", "kind", "local").Add(9)
+	r.Gauge("skew").Set(1.25)
+	h := r.Histogram("wait_seconds")
+	h.Observe(500 * time.Nanosecond) // below the first 1µs bound
+	h.Observe(3 * time.Second)       // mid-range
+	h.Observe(time.Hour)             // beyond the last bound → +Inf only
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP keys_total keys counted by kind",
+		"# TYPE keys_total counter",
+		`keys_total{kind="local"} 9`,
+		"# TYPE skew gauge",
+		"skew 1.25",
+		"# TYPE wait_seconds histogram",
+		`wait_seconds_bucket{le="1e-06"} 1`,
+		`wait_seconds_bucket{le="+Inf"} 3`,
+		"wait_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the 4-second bound holds 2 of 3 samples.
+	if !strings.Contains(out, `wait_seconds_bucket{le="4.194304"} 2`) {
+		t.Errorf("cumulative bucket wrong:\n%s", out)
+	}
+}
+
+func TestHandlerServesMetricsAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(3)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 3") {
+		t.Fatalf("metrics body:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.JSONHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("JSON endpoint: %v\n%s", err, rec.Body.String())
+	}
+	if s.Counters["hits_total"] != 3 {
+		t.Fatalf("JSON snapshot: %+v", s)
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("up").Set(1)
+	srv, err := Serve("127.0.0.1:0", r, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "up 1") {
+		t.Fatalf("/metrics:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"up":1`) {
+		t.Fatalf("/metrics.json:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			g := r.Gauge("g")
+			h := r.Histogram("h_seconds")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(float64(i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h_seconds").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers per family, then one
+// sample line per labeled metric, histograms expanded into cumulative
+// _bucket series plus _sum and _count. The nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.sortedNames() {
+		f := r.families[name]
+		if len(f.metrics) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.typ)
+		for _, ls := range f.sortedLabels() {
+			switch v := f.metrics[ls].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", name, ls, v.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %g\n", name, ls, v.Value())
+			case *Histogram:
+				writeHistogram(&b, name, ls, v)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the cumulative bucket series for one histogram.
+// The le label is appended to any existing labels.
+func writeHistogram(b *strings.Builder, name, ls string, h *Histogram) {
+	var cum uint64
+	for i, bound := range histBounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(ls, "le", fmt.Sprintf("%g", bound)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(ls, "le", "+Inf"), h.Count())
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, ls, h.Sum().Seconds())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, ls, h.Count())
+}
+
+// withLabel appends one key="value" pair to a rendered label block.
+func withLabel(ls, key, value string) string {
+	pair := key + `="` + value + `"`
+	if ls == "" {
+		return "{" + pair + "}"
+	}
+	return ls[:len(ls)-1] + "," + pair + "}"
+}

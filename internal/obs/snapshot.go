@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HistogramStats is the summarized form of one histogram in a Snapshot.
+type HistogramStats struct {
+	Count       uint64  `json:"count"`
+	SumSeconds  float64 `json:"sum_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, keyed by
+// the metric's full name including its label block. It marshals to JSON
+// for programmatic use and prints as sorted "name value" lines.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every metric. On the nil registry
+// it returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, f := range r.families {
+		for ls, m := range f.metrics {
+			key := name + ls
+			switch v := m.(type) {
+			case *Counter:
+				s.Counters[key] = v.Value()
+			case *Gauge:
+				s.Gauges[key] = v.Value()
+			case *Histogram:
+				hs := HistogramStats{
+					Count:      v.Count(),
+					SumSeconds: v.Sum().Seconds(),
+					MaxSeconds: v.Max().Seconds(),
+				}
+				if hs.Count > 0 {
+					hs.MeanSeconds = hs.SumSeconds / float64(hs.Count)
+				}
+				s.Histograms[key] = hs
+			}
+		}
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot with sorted keys (encoding/json sorts
+// map keys) and omits empty sections.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // strip the method to avoid recursion
+	a := alias(s)
+	if len(a.Counters) == 0 {
+		a.Counters = nil
+	}
+	if len(a.Gauges) == 0 {
+		a.Gauges = nil
+	}
+	if len(a.Histograms) == 0 {
+		a.Histograms = nil
+	}
+	return json.Marshal(a)
+}
+
+// String renders the snapshot as sorted "name value" lines, one metric per
+// line, for human inspection and log output.
+func (s Snapshot) String() string {
+	var lines []string
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", k, v))
+	}
+	for k, v := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%.6fs mean=%.6fs max=%.6fs",
+			k, v.Count, v.SumSeconds, v.MeanSeconds, v.MaxSeconds))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Span is a half-open index range [Lo, Hi) assigned to one worker.
@@ -138,6 +139,15 @@ func (b *Barrier) Wait() {
 	for b.sense.Load() == sense {
 		runtime.Gosched()
 	}
+}
+
+// WaitTimed is Wait plus a measurement of how long this party spent inside
+// the barrier — the load-imbalance signal the observability subsystem
+// exposes per worker (a worker that waits long finished its stage early).
+func (b *Barrier) WaitTimed() time.Duration {
+	start := time.Now()
+	b.Wait()
+	return time.Since(start)
 }
 
 // Parties returns the number of workers the barrier synchronizes.

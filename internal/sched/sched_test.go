@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestBlockPartitionCoversExactly(t *testing.T) {
@@ -259,5 +261,28 @@ func TestDynamicForBalancesSkew(t *testing.T) {
 		if workerOf[i].Load() != 1 {
 			t.Fatalf("index %d not executed exactly once", i)
 		}
+	}
+}
+
+func TestBarrierWaitTimed(t *testing.T) {
+	b := NewBarrier(2)
+	var early, late time.Duration
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		early = b.WaitTimed() // arrives first, waits for the sleeper
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(20 * time.Millisecond)
+		late = b.WaitTimed()
+	}()
+	wg.Wait()
+	if early < 10*time.Millisecond {
+		t.Errorf("early arriver waited only %v, expected to absorb the sleeper's 20ms", early)
+	}
+	if late > early {
+		t.Errorf("late arriver (%v) waited longer than early arriver (%v)", late, early)
 	}
 }

@@ -53,6 +53,7 @@ type Ring struct {
 	head atomic.Uint64
 	_    [56]byte
 	tail atomic.Uint64
+	hw   uint64 // producer-owned occupancy high-water mark (shares the tail line)
 }
 
 // NewRing returns a ring that can hold at least capacity elements.
@@ -74,8 +75,12 @@ func (r *Ring) Capacity() int { return len(r.buf) }
 // Push appends v, reporting false if the ring is full.
 func (r *Ring) Push(v uint64) bool {
 	tail := r.tail.Load()
-	if tail-r.head.Load() == uint64(len(r.buf)) {
+	used := tail - r.head.Load()
+	if used == uint64(len(r.buf)) {
 		return false
+	}
+	if used+1 > r.hw {
+		r.hw = used + 1
 	}
 	r.buf[tail&r.mask] = v
 	r.tail.Store(tail + 1) // release: publishes the element above
@@ -95,6 +100,11 @@ func (r *Ring) Pop() (uint64, bool) {
 
 // Len returns the number of queued elements.
 func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// HighWater returns the largest occupancy the ring has reached. It is
+// written only by the producer, so it is exact once the producer has
+// quiesced (e.g. after the construction barrier).
+func (r *Ring) HighWater() int { return int(r.hw) }
 
 // chunkSize is the number of elements per segment of a Chunked queue.
 // 1024 × 8 bytes amortizes the per-segment allocation over 8 KiB of

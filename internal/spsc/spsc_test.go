@@ -300,3 +300,33 @@ func benchQueue(b *testing.B, q Queue) {
 		q.Pop()
 	}
 }
+
+func TestRingHighWater(t *testing.T) {
+	r := NewRing(8)
+	if r.HighWater() != 0 {
+		t.Fatalf("fresh ring HighWater = %d", r.HighWater())
+	}
+	for i := uint64(0); i < 5; i++ {
+		r.Push(i)
+	}
+	if r.HighWater() != 5 {
+		t.Fatalf("HighWater = %d after 5 pushes, want 5", r.HighWater())
+	}
+	// Draining must not lower the mark; refilling to a lower peak must not
+	// move it either.
+	for i := 0; i < 5; i++ {
+		r.Pop()
+	}
+	r.Push(0)
+	r.Push(1)
+	if r.HighWater() != 5 {
+		t.Fatalf("HighWater = %d after drain+refill, want 5 (sticky peak)", r.HighWater())
+	}
+	// A new, higher peak moves it.
+	for i := uint64(0); i < 5; i++ {
+		r.Push(i)
+	}
+	if r.HighWater() != 7 {
+		t.Fatalf("HighWater = %d after 7-deep fill, want 7", r.HighWater())
+	}
+}
