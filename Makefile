@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-obs clean
+# Extra seeds for the chaos sweep, e.g. `make chaos CHAOS_SEEDS=11,12,13`.
+CHAOS_SEEDS ?=
+
+.PHONY: all build vet test race check chaos bench-obs clean
 
 all: check
 
@@ -18,8 +21,17 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/spsc/...
 
+# chaos runs the fault-tolerance suite under the race detector: the
+# deterministic fault-injection engine, the chaos tests that inject panics,
+# stalls, queue failures and table-grow pressure into real builds, and the
+# cancellation/abort/leak tests for the scheduler and queues. CHAOS_SEEDS
+# extends the seed sweep (comma-separated uint64s).
+chaos:
+	$(GO) test -race ./internal/faultinject/
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run 'Chaos|Cancel|Abort|RunCtx|Spillover|Leak' ./internal/core/ ./internal/sched/ ./internal/spsc/
+
 # check is the gate every change must pass (see README "Development").
-check: vet build test race
+check: vet build test race chaos
 
 # bench-obs measures the observability overhead: BenchmarkBuildObsDisabled
 # (Options.Obs == nil, the default) vs BenchmarkBuildObsEnabled. The

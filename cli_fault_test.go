@@ -1,0 +1,200 @@
+package waitfreebn
+
+// CLI hardening tests: malformed input must exit non-zero with a one-line
+// diagnostic (never a raw panic dump), -timeout must bound a run with a
+// clean deadline error, and -faults / $WAITFREEBN_FAULTS must inject
+// deterministic faults that surface as contained errors.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runExpectFail runs bin with args (and extra environment entries) and
+// requires a non-zero exit. It returns the combined output.
+func runExpectFail(t *testing.T, env []string, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected non-zero exit\n%s", filepath.Base(bin), args, out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("%s %v: did not run: %v", filepath.Base(bin), args, err)
+	}
+	return string(out)
+}
+
+// assertCleanDiagnostic requires the failure output to be a human
+// diagnostic, not a runtime panic dump with goroutine stacks.
+func assertCleanDiagnostic(t *testing.T, out string) {
+	t.Helper()
+	if strings.Contains(out, "panic:") || strings.Contains(out, "goroutine ") {
+		t.Fatalf("raw panic dump leaked to the user:\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIMalformedInputFailsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	tools := buildTools(t, "bntable", "bnlearn", "bninfer")
+
+	truncated := writeFile(t, "truncated.csv", "a,b,c\n0,1,0\n0,1\n")
+	outOfRange := writeFile(t, "range.csv", "a,b,c\n0,1,0\n0,5,1\n")
+	narrow := writeFile(t, "narrow.csv", "a,b\n0,1\n")
+	nonNumeric := writeFile(t, "alpha.csv", "a,b\n0,1\n0,x\n")
+	badModel := writeFile(t, "model.json", "{not json")
+
+	cases := []struct {
+		name string
+		tool string
+		args []string
+		want string
+	}{
+		{"truncated row", "bntable",
+			[]string{"build", "-in", truncated, "-card", "2,2,2", "-out", os.DevNull},
+			"line 3 has 2 fields, want 3"},
+		{"out-of-range state", "bntable",
+			[]string{"build", "-in", outOfRange, "-card", "2,2,2", "-out", os.DevNull},
+			"state 5 outside [0,2)"},
+		{"wrong column count", "bntable",
+			[]string{"build", "-in", narrow, "-card", "2,2,2", "-out", os.DevNull},
+			"header has 2 columns"},
+		{"bad cardinality list", "bntable",
+			[]string{"build", "-in", narrow, "-card", "2,x", "-out", os.DevNull},
+			"bad -card"},
+		{"missing table", "bntable",
+			[]string{"info", "-in", filepath.Join(t.TempDir(), "nope.wfbn")},
+			"no such file"},
+		{"learn non-numeric cell", "bnlearn",
+			[]string{"-in", nonNumeric},
+			"line 3 column 1"},
+		{"learn empty input", "bnlearn",
+			[]string{"-in", os.DevNull},
+			"empty input"},
+		{"infer bad model json", "bninfer",
+			[]string{"-model", badModel, "-query", "0"},
+			"bninfer:"},
+		{"infer missing model flag", "bninfer",
+			[]string{"-query", "0"},
+			"-model is required"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := runExpectFail(t, nil, tools[tc.tool], tc.args...)
+			assertCleanDiagnostic(t, out)
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+			if !strings.Contains(out, tc.tool+":") {
+				t.Fatalf("diagnostic not prefixed with %q:\n%s", tc.tool+":", out)
+			}
+			if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 1 {
+				t.Fatalf("want one-line diagnostic, got %d lines:\n%s", len(lines), out)
+			}
+		})
+	}
+}
+
+// validCSV is a small well-formed dataset for the timeout and fault tests.
+func validCSV(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("a,b,c\n")
+	for i := 0; i < 4096; i++ {
+		switch i % 3 {
+		case 0:
+			sb.WriteString("0,1,0\n")
+		case 1:
+			sb.WriteString("1,0,1\n")
+		default:
+			sb.WriteString("1,1,0\n")
+		}
+	}
+	return writeFile(t, "valid.csv", sb.String())
+}
+
+func TestCLITimeoutBoundsTheRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	tools := buildTools(t, "bntable")
+	csv := validCSV(t)
+
+	// A 1ns deadline has always expired by the time construction starts,
+	// so this deterministically exercises the cancellation path.
+	out := runExpectFail(t, nil, tools["bntable"],
+		"build", "-in", csv, "-card", "2,2,2", "-out", os.DevNull, "-timeout", "1ns")
+	assertCleanDiagnostic(t, out)
+	if !strings.Contains(out, "deadline exceeded") {
+		t.Fatalf("want deadline diagnostic:\n%s", out)
+	}
+
+	// Without the flag the same invocation succeeds.
+	run(t, tools["bntable"], "build", "-in", csv, "-card", "2,2,2", "-out", os.DevNull)
+}
+
+func TestCLIFaultInjectionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	tools := buildTools(t, "bntable")
+	csv := validCSV(t)
+	build := func(extra ...string) []string {
+		return append([]string{"build", "-in", csv, "-card", "2,2,2", "-out", os.DevNull, "-p", "2"}, extra...)
+	}
+
+	t.Run("injected panic is contained", func(t *testing.T) {
+		out := runExpectFail(t, nil, tools["bntable"], build("-faults", "seed=7,panic-stage1=1")...)
+		assertCleanDiagnostic(t, out)
+		if !strings.Contains(out, "faultinject: plan active") {
+			t.Fatalf("plan activation not announced:\n%s", out)
+		}
+		if !strings.Contains(out, "panicked") || !strings.Contains(out, "panic-stage1 fired") {
+			t.Fatalf("want contained worker-panic diagnostic:\n%s", out)
+		}
+	})
+
+	t.Run("bad spec is a configuration error", func(t *testing.T) {
+		out := runExpectFail(t, nil, tools["bntable"], build("-faults", "seed=x")...)
+		assertCleanDiagnostic(t, out)
+		if !strings.Contains(out, "bad seed") {
+			t.Fatalf("want spec parse diagnostic:\n%s", out)
+		}
+	})
+
+	t.Run("environment variable fallback", func(t *testing.T) {
+		env := []string{"WAITFREEBN_FAULTS=seed=3,panic-stage2=1"}
+		out := runExpectFail(t, env, tools["bntable"], build()...)
+		assertCleanDiagnostic(t, out)
+		if !strings.Contains(out, "panic-stage2 fired") {
+			t.Fatalf("env-injected fault did not fire:\n%s", out)
+		}
+
+		// -faults off must override the environment: the run succeeds.
+		cmd := exec.Command(tools["bntable"], build("-faults", "off")...)
+		cmd.Env = append(os.Environ(), env...)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("-faults off did not disable env plan: %v\n%s", err, msg)
+		}
+	})
+
+	t.Run("no fault fired leaves the build clean", func(t *testing.T) {
+		// Rates of zero: the plan is active but never fires.
+		run(t, tools["bntable"], build("-faults", "seed=9,queue-push=0,stall=0")...)
+	})
+}

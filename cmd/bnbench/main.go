@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,10 +56,17 @@ func main() {
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
+	rtFl := cliopt.AddRuntime(flag.CommandLine)
 	flag.Parse()
 
+	ctx, cleanup, err := rtFl.Context()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
 	if *exp == "build" {
-		runInstrumentedBuild(coreFl, obsFl, *m, *n, *r, *seed)
+		runInstrumentedBuild(ctx, coreFl, obsFl, *m, *n, *r, *seed)
 		return
 	}
 
@@ -83,6 +91,12 @@ func main() {
 	var tables []*bench.Table
 	run := func(name string, f func() *bench.Table) {
 		if *exp == name || *exp == "all" {
+			// The bench harness has no internal cancellation points; honor a
+			// deadline or Ctrl-C between experiments so -exp all stays
+			// interruptible at figure granularity.
+			if err := ctx.Err(); err != nil {
+				fatal(context.Cause(ctx))
+			}
 			fmt.Fprintf(os.Stderr, "running %s...\n", name)
 			tables = append(tables, f())
 		}
@@ -150,7 +164,7 @@ func main() {
 // snapshot (per-worker stage timings, queue traffic, partition occupancy)
 // go to stdout as JSON, and -metrics-addr serves the same data as
 // Prometheus text for as long as -metrics-linger allows.
-func runInstrumentedBuild(coreFl *cliopt.Core, obsFl *cliopt.Obs, m, n, r int, seed uint64) {
+func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliopt.Obs, m, n, r int, seed uint64) {
 	opts, err := coreFl.Options()
 	if err != nil {
 		fatal(err)
@@ -168,7 +182,7 @@ func runInstrumentedBuild(coreFl *cliopt.Core, obsFl *cliopt.Obs, m, n, r int, s
 
 	data := dataset.NewUniformCard(m, n, r)
 	data.UniformIndependent(seed, runtime.GOMAXPROCS(0))
-	pt, st, err := core.Build(data, opts)
+	pt, st, err := core.BuildCtx(ctx, data, opts)
 	if err != nil {
 		fatal(err)
 	}

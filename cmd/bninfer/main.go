@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,14 @@ import (
 )
 
 func main() {
+	// Malformed models must exit with a one-line diagnostic, never a raw
+	// panic dump — panics escaping the inference paths are internal errors.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "bninfer: internal error:", r)
+			os.Exit(1)
+		}
+	}()
 	var (
 		modelPath = flag.String("model", "", "model JSON path (required)")
 		query     = flag.Int("query", -1, "variable id to query")
@@ -38,11 +47,17 @@ func main() {
 	// portable across the four tools.
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
+	rtFl := cliopt.AddRuntime(flag.CommandLine)
 	flag.Parse()
 
 	if _, err := coreFl.Options(); err != nil {
 		fatal(err)
 	}
+	ctx, cleanup, err := rtFl.Context()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
 	_, stopObs, err := obsFl.Start()
 	if err != nil {
 		fatal(err)
@@ -82,6 +97,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	// The inference engines have no internal cancellation points; honor a
+	// deadline or Ctrl-C that fired during model loading before querying.
+	if err := ctx.Err(); err != nil {
+		fatal(context.Cause(ctx))
 	}
 
 	switch {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,14 @@ import (
 )
 
 func main() {
+	// Malformed input must exit with a one-line diagnostic, never a raw
+	// panic dump — panics escaping the learning paths are internal errors.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "bnlearn: internal error:", r)
+			os.Exit(1)
+		}
+	}()
 	var (
 		in      = flag.String("in", "", "input CSV path (default stdin)")
 		epsilon = flag.Float64("epsilon", 0.01, "mutual-information dependence threshold (bits)")
@@ -42,12 +51,18 @@ func main() {
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
+	rtFl := cliopt.AddRuntime(flag.CommandLine)
 	flag.Parse()
 
 	buildOpts, err := coreFl.Options()
 	if err != nil {
 		fatal(err)
 	}
+	ctx, cleanup, err := rtFl.Context()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
 	reg, stopObs, err := obsFl.Start()
 	if err != nil {
 		fatal(err)
@@ -77,7 +92,7 @@ func main() {
 	fmt.Printf("dataset: m=%d samples, n=%d variables\n", data.NumSamples(), data.NumVars())
 
 	if *algo == "hillclimb" {
-		runHillClimb(data, buildOpts, *emit)
+		runHillClimb(ctx, data, buildOpts, *emit)
 		return
 	}
 	if *algo != "cheng" {
@@ -94,7 +109,7 @@ func main() {
 	if *gtest {
 		cfg.Test = structure.TestG
 	}
-	res, err := structure.Learn(data, cfg)
+	res, err := structure.LearnCtx(ctx, data, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -143,12 +158,17 @@ func main() {
 	}
 }
 
-func runHillClimb(data *dataset.Dataset, opts core.Options, emit string) {
-	pt, st, err := core.Build(data, opts)
+func runHillClimb(ctx context.Context, data *dataset.Dataset, opts core.Options, emit string) {
+	pt, st, err := core.BuildCtx(ctx, data, opts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("build: %s\n", st)
+	// HillClimb has no context plumbing yet; honor a deadline or Ctrl-C that
+	// fired during the build before committing to the search.
+	if err := ctx.Err(); err != nil {
+		fatal(context.Cause(ctx))
+	}
 	res, err := search.HillClimb(pt, search.Config{P: opts.P})
 	if err != nil {
 		fatal(err)

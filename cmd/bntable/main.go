@@ -32,6 +32,14 @@ import (
 )
 
 func main() {
+	// Malformed input must exit with a one-line diagnostic, never a raw
+	// panic dump — panics escaping the command paths are internal errors.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "bntable: internal error:", r)
+			os.Exit(1)
+		}
+	}()
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -64,6 +72,7 @@ func runBuild(args []string) {
 	jsonOut := fs.Bool("json", false, "print build stats (and metrics snapshot) as JSON instead of text")
 	coreFl := cliopt.AddCore(fs)
 	obsFl := cliopt.AddObs(fs)
+	rtFl := cliopt.AddRuntime(fs)
 	parseFlags(fs, args)
 
 	card, err := cliopt.ParseInts(*cardStr)
@@ -78,6 +87,11 @@ func runBuild(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	ctx, cleanup, err := rtFl.Context()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
 	reg, stopObs, err := obsFl.Start()
 	if err != nil {
 		fatal(err)
@@ -94,7 +108,8 @@ func runBuild(args []string) {
 		src = f
 	}
 	builder := core.NewBuilder(codec, *block, opts)
-	if err := dataset.StreamCSV(src, card, *block, builder.AddBlock); err != nil {
+	addBlock := func(rows [][]uint8) error { return builder.AddBlockCtx(ctx, rows) }
+	if err := dataset.StreamCSV(src, card, *block, addBlock); err != nil {
 		fatal(err)
 	}
 	pt, st := builder.Finalize()
@@ -181,13 +196,27 @@ func runMarginal(args []string) {
 	in := fs.String("in", "", "serialized table path (required)")
 	varsStr := fs.String("vars", "", "comma-separated variable ids (required)")
 	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
+	rtFl := cliopt.AddRuntime(fs)
 	parseFlags(fs, args)
 	vars, err := cliopt.ParseInts(*varsStr)
 	if err != nil || len(vars) == 0 {
 		fatal(fmt.Errorf("bad -vars %q: %v", *varsStr, err))
 	}
+	ctx, cleanup, err := rtFl.Context()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
 	pt := loadTable(*in, workerCount(*p))
-	mg := pt.Marginalize(vars, *p)
+	for _, v := range vars {
+		if v < 0 || v >= pt.Codec().NumVars() {
+			fatal(fmt.Errorf("-vars id %d outside [0,%d)", v, pt.Codec().NumVars()))
+		}
+	}
+	mg, err := pt.MarginalizeCtx(ctx, vars, *p)
+	if err != nil {
+		fatal(err)
+	}
 	states := make([]uint8, 0, len(vars))
 	dec := pt.Codec().SubsetDecoder(vars)
 	for cell := 0; cell < mg.Cells(); cell++ {
@@ -209,9 +238,18 @@ func runMI(args []string) {
 	in := fs.String("in", "", "serialized table path (required)")
 	topk := fs.Int("topk", 10, "pairs to print")
 	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
+	rtFl := cliopt.AddRuntime(fs)
 	parseFlags(fs, args)
+	ctx, cleanup, err := rtFl.Context()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
 	pt := loadTable(*in, workerCount(*p))
-	mi := pt.AllPairsMI(*p, core.MIFused)
+	mi, err := pt.AllPairsMICtx(ctx, *p, core.MIFused)
+	if err != nil {
+		fatal(err)
+	}
 	type pr struct {
 		i, j int
 		v    float64
@@ -224,7 +262,10 @@ func runMI(args []string) {
 	}
 	for _, q := range pairs[:*topk] {
 		// Also report the G statistic for significance context.
-		joint := pt.MarginalizePair(q.i, q.j, *p)
+		joint, err := pt.MarginalizePairCtx(ctx, q.i, q.j, *p)
+		if err != nil {
+			fatal(err)
+		}
 		g := stats.GStatistic(joint.Counts, joint.Card[0], joint.Card[1])
 		fmt.Printf("I(x%d; x%d) = %.6f bits  (G = %.1f)\n", q.i, q.j, q.v, g)
 	}

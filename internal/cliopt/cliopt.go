@@ -8,14 +8,18 @@
 package cliopt
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"waitfreebn/internal/core"
+	"waitfreebn/internal/faultinject"
 	"waitfreebn/internal/obs"
 	"waitfreebn/internal/spsc"
 )
@@ -124,6 +128,59 @@ func (o *Obs) Start() (*obs.Registry, func(), error) {
 		srv.Close()
 	}
 	return reg, stop, nil
+}
+
+// Runtime holds the parsed values of the shared execution-control flags:
+// the run deadline and the deterministic fault-injection spec.
+type Runtime struct {
+	Timeout time.Duration
+	Faults  string
+}
+
+// AddRuntime registers the shared runtime flags on fs.
+func AddRuntime(fs *flag.FlagSet) *Runtime {
+	r := &Runtime{}
+	fs.DurationVar(&r.Timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
+	fs.StringVar(&r.Faults, "faults", "", "deterministic fault-injection spec, e.g. seed=7,panic-stage1=1 (default $"+faultinject.EnvVar+"; \"off\" disables)")
+	return r
+}
+
+// Context resolves the runtime flags into the run's root context and
+// installs the fault plan:
+//
+//   - SIGINT / SIGTERM cancel the context, so Ctrl-C turns into a clean
+//     context.Canceled error from the primitives instead of a hard kill.
+//   - -timeout, when positive, bounds the run with context.DeadlineExceeded.
+//   - The fault spec (-faults, falling back to $WAITFREEBN_FAULTS) is parsed
+//     and activated globally; a bad spec is a configuration error.
+//
+// The returned cleanup releases the signal handler, the timer, and the
+// fault plan; call it (e.g. via defer) before exiting.
+func (r *Runtime) Context() (context.Context, func(), error) {
+	spec := r.Faults
+	if spec == "" {
+		spec = os.Getenv(faultinject.EnvVar)
+	}
+	plan, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	restoreFaults := func() {}
+	if plan != nil {
+		restoreFaults = faultinject.Activate(plan)
+		fmt.Fprintf(os.Stderr, "faultinject: plan active (%s)\n", spec)
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	cancelTimeout := context.CancelFunc(func() {})
+	if r.Timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, r.Timeout)
+	}
+	cleanup := func() {
+		cancelTimeout()
+		stopSignals()
+		restoreFaults()
+	}
+	return ctx, cleanup, nil
 }
 
 // ParseInts parses a comma-separated integer list — the shared syntax of

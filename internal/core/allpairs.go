@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"waitfreebn/internal/sched"
@@ -104,95 +105,146 @@ func (m *MIMatrix) ForEachPair(fn func(i, j int, v float64)) {
 // from the potential table (Algorithm 4) using p workers and the given
 // schedule. p <= 0 selects GOMAXPROCS.
 func (t *PotentialTable) AllPairsMI(p int, schedule MISchedule) *MIMatrix {
+	mi, err := t.AllPairsMICtx(context.Background(), p, schedule)
+	mustScan(err)
+	return mi
+}
+
+// AllPairsMICtx is AllPairsMI under the fault-tolerant execution contract:
+// workers observe ctx between pairs and at chunk boundaries within a scan,
+// returning context.Canceled (or DeadlineExceeded) in bounded time with all
+// workers joined.
+func (t *PotentialTable) AllPairsMICtx(ctx context.Context, p int, schedule MISchedule) (*MIMatrix, error) {
 	if p <= 0 {
 		p = sched.DefaultP()
 	}
 	n := t.codec.NumVars()
 	mi := NewMIMatrix(n)
+	var err error
 	switch schedule {
 	case MIPartitionParallel:
-		t.allPairsPartitionParallel(mi, p)
+		err = t.allPairsPartitionParallel(ctx, mi, p)
 	case MIPairParallel:
-		t.allPairsPairParallel(mi, p)
+		err = t.allPairsPairParallel(ctx, mi, p)
 	case MIFused:
-		t.allPairsFused(mi, p)
+		err = t.allPairsFused(ctx, mi, p)
 	case MIPairDynamic:
-		t.allPairsPairDynamic(mi, p)
+		err = t.allPairsPairDynamic(ctx, mi, p)
 	default:
 		panic("core: unknown MI schedule")
 	}
-	return mi
+	if err != nil {
+		return nil, err
+	}
+	return mi, nil
+}
+
+// miPair is one unordered variable pair in the flattened work list.
+type miPair struct{ i, j int }
+
+func enumeratePairs(n int) []miPair {
+	pairs := make([]miPair, 0, n*(n-1)/2)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, miPair{i, j})
+		}
+	}
+	return pairs
+}
+
+// pairMI scans the whole table once for one pair and returns its mutual
+// information. checkCtx lets callers thread a shared per-worker cancellation
+// countdown through the inner Range loop; it returns a non-nil cause when
+// the scan should abort.
+func (t *PotentialTable) pairMI(pr miPair, checkCtx func() error) (float64, error) {
+	dec := t.codec.PairDecoder(pr.i, pr.j)
+	ri, rj := t.codec.Cardinality(pr.i), t.codec.Cardinality(pr.j)
+	counts := make([]uint64, ri*rj)
+	var cause error
+	for _, part := range t.parts {
+		part.Range(func(key, count uint64) bool {
+			if cause = checkCtx(); cause != nil {
+				return false
+			}
+			counts[dec.Cell(key)] += count
+			return true
+		})
+		if cause != nil {
+			return 0, cause
+		}
+	}
+	return stats.MutualInfoCounts(counts, ri, rj), nil
+}
+
+// ctxChecker returns the countdown-based cancellation probe shared by the
+// pair-scanning schedules: cheap (a decrement) on the fast path, consulting
+// ctx only every cancelCheckStride calls.
+func ctxChecker(ctx context.Context) func() error {
+	done := ctx.Done()
+	check := cancelCheckStride
+	return func() error {
+		if check--; check == 0 {
+			check = cancelCheckStride
+			select {
+			case <-done:
+				return context.Cause(ctx)
+			default:
+			}
+		}
+		return nil
+	}
 }
 
 // allPairsPartitionParallel is Algorithm 4 as printed: a sequential loop
 // over pairs, each marginalized by all P workers (Algorithm 3), with P(x)
 // and P(y) recovered from the pairwise joint by summation.
-func (t *PotentialTable) allPairsPartitionParallel(mi *MIMatrix, p int) {
+func (t *PotentialTable) allPairsPartitionParallel(ctx context.Context, mi *MIMatrix, p int) error {
 	n := mi.N
 	for i := 0; i < n-1; i++ {
 		for j := i + 1; j < n; j++ {
-			joint := t.MarginalizePair(i, j, p)
+			joint, err := t.MarginalizePairCtx(ctx, i, j, p)
+			if err != nil {
+				return err
+			}
 			mi.Set(i, j, stats.MutualInfoCounts(joint.Counts, joint.Card[0], joint.Card[1]))
 		}
 	}
+	return nil
 }
 
 // allPairsPairParallel distributes pairs cyclically across workers.
-func (t *PotentialTable) allPairsPairParallel(mi *MIMatrix, p int) {
-	n := mi.N
-	type pair struct{ i, j int }
-	pairs := make([]pair, 0, mi.NumPairs())
-	for i := 0; i < n-1; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, pair{i, j})
-		}
-	}
+func (t *PotentialTable) allPairsPairParallel(ctx context.Context, mi *MIMatrix, p int) error {
+	pairs := enumeratePairs(mi.N)
 	assign := sched.CyclicAssign(len(pairs), p)
-	sched.Run(p, func(w int) {
+	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
+		check := ctxChecker(ctx)
 		for _, pi := range assign[w] {
-			pr := pairs[pi]
-			dec := t.codec.PairDecoder(pr.i, pr.j)
-			ri, rj := t.codec.Cardinality(pr.i), t.codec.Cardinality(pr.j)
-			counts := make([]uint64, ri*rj)
-			for _, part := range t.parts {
-				part.Range(func(key, count uint64) bool {
-					counts[dec.Cell(key)] += count
-					return true
-				})
+			v, err := t.pairMI(pairs[pi], check)
+			if err != nil {
+				return err
 			}
-			mi.Set(pr.i, pr.j, stats.MutualInfoCounts(counts, ri, rj))
+			mi.Set(pairs[pi].i, pairs[pi].j, v)
 		}
+		return nil
 	})
 }
 
 // allPairsPairDynamic distributes pairs with dynamic chunk claiming.
-func (t *PotentialTable) allPairsPairDynamic(mi *MIMatrix, p int) {
-	n := mi.N
-	type pair struct{ i, j int }
-	pairs := make([]pair, 0, mi.NumPairs())
-	for i := 0; i < n-1; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, pair{i, j})
+func (t *PotentialTable) allPairsPairDynamic(ctx context.Context, mi *MIMatrix, p int) error {
+	pairs := enumeratePairs(mi.N)
+	return sched.DynamicForCtx(ctx, len(pairs), p, 1, func(ctx context.Context, pi int) error {
+		v, err := t.pairMI(pairs[pi], ctxChecker(ctx))
+		if err != nil {
+			return err
 		}
-	}
-	sched.DynamicFor(len(pairs), p, 1, func(pi int) {
-		pr := pairs[pi]
-		dec := t.codec.PairDecoder(pr.i, pr.j)
-		ri, rj := t.codec.Cardinality(pr.i), t.codec.Cardinality(pr.j)
-		counts := make([]uint64, ri*rj)
-		for _, part := range t.parts {
-			part.Range(func(key, count uint64) bool {
-				counts[dec.Cell(key)] += count
-				return true
-			})
-		}
-		mi.Set(pr.i, pr.j, stats.MutualInfoCounts(counts, ri, rj))
+		mi.Set(pairs[pi].i, pairs[pi].j, v)
+		return nil
 	})
 }
 
 // allPairsFused scans each partition once, decodes every key fully, and
 // updates all pairwise contingency tables in one pass.
-func (t *PotentialTable) allPairsFused(mi *MIMatrix, p int) {
+func (t *PotentialTable) allPairsFused(ctx context.Context, mi *MIMatrix, p int) error {
 	n := mi.N
 	if p > len(t.parts) {
 		p = len(t.parts)
@@ -209,34 +261,28 @@ func (t *PotentialTable) allPairsFused(mi *MIMatrix, p int) {
 	totalCells := offsets[len(offsets)-1]
 
 	partials := make([][]uint64, p)
-	assign := t.partitionAssignment(p)
-	sched.Run(p, func(w int) {
-		counts := make([]uint64, totalCells)
-		states := make([]uint8, 0, n)
-		for _, part := range assign[w] {
-			t.parts[part].Range(func(key, count uint64) bool {
-				states = t.codec.Decode(key, states[:0])
-				pairIdx := 0
-				for i := 0; i < n-1; i++ {
-					si := int(states[i])
-					for j := i + 1; j < n; j++ {
-						rj := t.codec.Cardinality(j)
-						counts[offsets[pairIdx]+si*rj+int(states[j])] += count
-						pairIdx++
-					}
-				}
-				return true
-			})
-		}
-		partials[w] = counts
-	})
-
-	merged := partials[0]
-	for w := 1; w < p; w++ {
-		for c, v := range partials[w] {
-			merged[c] += v
-		}
+	for w := range partials {
+		partials[w] = make([]uint64, totalCells)
 	}
+	scratch := make([][]uint8, p)
+	if err := t.scanPartitionsCtx(ctx, p, func(w int, key, count uint64) {
+		counts := partials[w]
+		states := t.codec.Decode(key, scratch[w][:0])
+		scratch[w] = states
+		pairIdx := 0
+		for i := 0; i < n-1; i++ {
+			si := int(states[i])
+			for j := i + 1; j < n; j++ {
+				rj := t.codec.Cardinality(j)
+				counts[offsets[pairIdx]+si*rj+int(states[j])] += count
+				pairIdx++
+			}
+		}
+	}); err != nil {
+		return err
+	}
+
+	merged := mergePartials(partials)
 	idx = 0
 	for i := 0; i < n-1; i++ {
 		for j := i + 1; j < n; j++ {
@@ -245,4 +291,5 @@ func (t *PotentialTable) allPairsFused(mi *MIMatrix, p int) {
 			idx++
 		}
 	}
+	return nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"waitfreebn/internal/dataset"
 	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/faultinject"
 	"waitfreebn/internal/hashtable"
 	"waitfreebn/internal/obs"
 	"waitfreebn/internal/sched"
@@ -26,6 +28,12 @@ type Options struct {
 	// each ring to hold a worker's entire block (m/P rounded up), which
 	// can never overflow.
 	RingCapacity int
+	// NoSpill disables graceful degradation for bounded ring queues. By
+	// default a full ring spills overflow keys into an unbounded chunked
+	// side queue (counted in Stats.SpilledKeys) and the build completes;
+	// with NoSpill a full ring fails the build with an overflow error —
+	// the strict mode the ablation benches measure.
+	NoSpill bool
 	// Table selects the per-partition count table (ablation A4).
 	Table TableKind
 	// TableHint pre-sizes each partition table. 0 applies a heuristic
@@ -85,6 +93,12 @@ type Stats struct {
 	Stage2Pops   uint64 // keys drained in stage 2 (== ForeignKeys on success)
 	DistinctKeys int    // table entries after construction
 
+	// SpilledKeys counts foreign keys that overflowed a bounded ring and
+	// were routed through the unbounded spill side queue instead — the
+	// graceful-degradation signal that RingCapacity is undersized for the
+	// workload. Always 0 for unbounded queues or with Options.NoSpill.
+	SpilledKeys uint64
+
 	// Stage1Time and Stage2Time are the slowest worker's wall-clock in
 	// each stage (the critical path). The paper's analysis predicts
 	// stage 1 = O(m·n/P) and stage 2 = O(m/P); these expose the split.
@@ -107,7 +121,9 @@ type Stats struct {
 // produced by core i and owned by core j (q[i][i] is unused and nil).
 type queueMatrix [][]spsc.Queue
 
-func newQueueMatrix(p int, kind spsc.Kind, ringCap int) queueMatrix {
+// newQueueMatrix allocates the queues. Bounded rings are wrapped in
+// spillover queues unless noSpill asks for strict overflow-fails semantics.
+func newQueueMatrix(p int, kind spsc.Kind, ringCap int, noSpill bool) queueMatrix {
 	q := make(queueMatrix, p)
 	for i := range q {
 		q[i] = make([]spsc.Queue, p)
@@ -115,10 +131,27 @@ func newQueueMatrix(p int, kind spsc.Kind, ringCap int) queueMatrix {
 			if i == j {
 				continue
 			}
-			q[i][j] = spsc.New(kind, ringCap)
+			if kind == spsc.KindRing && !noSpill {
+				q[i][j] = spsc.NewSpillover(ringCap)
+			} else {
+				q[i][j] = spsc.New(kind, ringCap)
+			}
 		}
 	}
 	return q
+}
+
+// spilledKeys sums the spill counters across a quiesced queue matrix.
+func (q queueMatrix) spilledKeys() uint64 {
+	var total uint64
+	for i := range q {
+		for j := range q[i] {
+			if s, ok := q[i][j].(*spsc.Spillover); ok {
+				total += s.Spilled()
+			}
+		}
+	}
+	return total
 }
 
 // Build runs the wait-free table construction primitive over data:
@@ -128,13 +161,22 @@ func newQueueMatrix(p int, kind spsc.Kind, ringCap int) queueMatrix {
 // waits on another worker.
 //
 // Build fails only on configuration errors (e.g. a bounded ring queue that
-// overflows); the default options cannot fail.
+// overflows under Options.NoSpill); the default options cannot fail.
 func Build(data *dataset.Dataset, opts Options) (*PotentialTable, Stats, error) {
+	return BuildCtx(context.Background(), data, opts)
+}
+
+// BuildCtx is Build under the fault-tolerant execution contract: workers
+// observe ctx cancellation at chunk boundaries and return context.Canceled
+// (or DeadlineExceeded) in bounded time with every worker goroutine joined,
+// and a panicking worker surfaces as a *sched.WorkerError instead of
+// crashing the process while its peers spin in the barrier.
+func BuildCtx(ctx context.Context, data *dataset.Dataset, opts Options) (*PotentialTable, Stats, error) {
 	codec, err := data.Codec()
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("core: %w", err)
 	}
-	return BuildKeys(keySourceFromDataset(data, codec), codec, data.NumSamples(), opts)
+	return BuildKeysCtx(ctx, keySourceFromDataset(data, codec), codec, data.NumSamples(), opts)
 }
 
 // KeySource yields the key of sample i. Build encodes rows on the fly
@@ -159,42 +201,68 @@ type workerStats struct {
 	local, foreign, pops uint64
 	stage1, stage2       time.Duration
 	barrier              time.Duration
-	err                  error
 }
 
-// BuildKeys is Build over an arbitrary key stream of length m.
-func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*PotentialTable, Stats, error) {
-	opts, hintCapped := opts.withDefaults(m, codec.KeySpace())
-	p := opts.P
+// cancelCheckStride is how many keys a worker processes between context
+// checks — the "chunk boundary" of the cancellation contract. Small enough
+// that cancellation lands promptly, large enough that the per-key cost of
+// the countdown is lost in the encode+hash work.
+const cancelCheckStride = 8192
 
-	parts := make([]hashtable.Counter, p)
-	for i := range parts {
-		parts[i] = opts.Table.new(opts.TableHint)
-	}
-	queues := newQueueMatrix(p, opts.Queue, opts.RingCapacity)
-	owner := opts.Partition.partitioner(p, codec.KeySpace())
-	spans := sched.BlockPartition(m, p)
-	barrier := sched.NewBarrier(p)
+// twoStage bundles the shared state of one two-stage construction episode;
+// BuildKeysCtx runs one over a full key stream, Builder.addKeys one per
+// incremental block.
+type twoStage struct {
+	m       int
+	source  KeySource
+	parts   []hashtable.Counter
+	queues  queueMatrix
+	owner   func(uint64) int
+	barrier *sched.Barrier
+	ringCap int
+}
 
-	ws := make([]workerStats, p)
+// runTwoStage executes stage 1 → barrier → stage 2 on p workers under the
+// RunCtx contract. Per-worker stats land in ws (valid even on error, up to
+// the point each worker reached). Any failure — context cancellation,
+// queue overflow, injected fault, worker panic — aborts the barrier and
+// cancels the peers, and runTwoStage returns only after every worker
+// goroutine has exited.
+func runTwoStage(ctx context.Context, p int, ts twoStage, ws []workerStats) error {
+	spans := sched.BlockPartition(ts.m, p)
+	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
+		plan := faultinject.Active() // hoisted: nil = disabled fast path
+		done := ctx.Done()
 
-	sched.Run(p, func(w int) {
 		// ---- Stage 1 (Algorithm 1): classify, update own table, route
 		// foreign keys. Writes: parts[w], tails of queues[w][*].
 		t0 := time.Now()
 		span := spans[w]
-		table := parts[w]
-		outs := queues[w]
+		table := ts.parts[w]
+		outs := ts.queues[w]
 		var local, foreign uint64
+		var failure error
+		plan.MaybePanic(faultinject.PanicStage1, w, 0)
+		check := cancelCheckStride
 		for i := span.Lo; i < span.Hi; i++ {
-			key := source(i)
-			dst := owner(key)
+			if check--; check == 0 {
+				check = cancelCheckStride
+				select {
+				case <-done:
+					ws[w].local, ws[w].foreign = local, foreign
+					ws[w].stage1 = time.Since(t0)
+					return context.Cause(ctx)
+				default:
+				}
+			}
+			key := ts.source(i)
+			dst := ts.owner(key)
 			if dst == w {
 				table.Inc(key)
 				local++
 			} else {
-				if !outs[dst].Push(key) {
-					ws[w].err = fmt.Errorf("core: queue %d→%d overflow (ring capacity %d); use spsc.KindChunked or a larger RingCapacity", w, dst, opts.RingCapacity)
+				if plan.Fire(faultinject.QueuePushFail, w, foreign) || !outs[dst].Push(key) {
+					failure = fmt.Errorf("core: queue %d→%d overflow (ring capacity %d); use spsc.KindChunked, a larger RingCapacity, or drop Options.NoSpill", w, dst, ts.ringCap)
 					break
 				}
 				foreign++
@@ -202,20 +270,45 @@ func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*P
 		}
 		ws[w].local, ws[w].foreign = local, foreign
 		ws[w].stage1 = time.Since(t0)
+		if failure != nil {
+			// Poison the barrier before leaving so peers already spinning
+			// in it return the root cause instead of waiting on a party
+			// that will never arrive (RunCtx's cancellation is the second,
+			// redundant escape hatch).
+			ts.barrier.Abort(failure)
+			return failure
+		}
 
 		// ---- The single synchronization step between the stages.
-		ws[w].barrier = barrier.WaitTimed()
+		plan.MaybeStall(w, 0)
+		bd, berr := ts.barrier.WaitTimedCtx(ctx)
+		ws[w].barrier = bd
+		if berr != nil {
+			return berr
+		}
+		plan.MaybePanic(faultinject.PanicStage2, w, 0)
 
 		// ---- Stage 2 (Algorithm 2): drain queues addressed to w.
 		// Reads: heads of queues[*][w]; writes: parts[w].
 		t1 := time.Now()
 		var pops uint64
+		check = cancelCheckStride
 		for src := 0; src < p; src++ {
 			if src == w {
 				continue
 			}
-			q := queues[src][w]
+			q := ts.queues[src][w]
 			for {
+				if check--; check == 0 {
+					check = cancelCheckStride
+					select {
+					case <-done:
+						ws[w].pops = pops
+						ws[w].stage2 = time.Since(t1)
+						return context.Cause(ctx)
+					default:
+					}
+				}
 				key, ok := q.Pop()
 				if !ok {
 					break
@@ -226,16 +319,54 @@ func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*P
 		}
 		ws[w].pops = pops
 		ws[w].stage2 = time.Since(t1)
+		return nil
 	})
+}
+
+// BuildKeys is Build over an arbitrary key stream of length m.
+func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*PotentialTable, Stats, error) {
+	return BuildKeysCtx(context.Background(), source, codec, m, opts)
+}
+
+// BuildKeysCtx is BuildKeys under the fault-tolerant execution contract
+// (see BuildCtx).
+func BuildKeysCtx(ctx context.Context, source KeySource, codec *encoding.Codec, m int, opts Options) (*PotentialTable, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, context.Cause(ctx)
+	}
+	opts, hintCapped := opts.withDefaults(m, codec.KeySpace())
+	if faultinject.Active().Fire(faultinject.TableGrowPressure, 0, 0) {
+		opts.TableHint = 1 // force repeated on-demand growth
+	}
+	p := opts.P
+
+	parts := make([]hashtable.Counter, p)
+	for i := range parts {
+		parts[i] = opts.Table.new(opts.TableHint)
+	}
+	queues := newQueueMatrix(p, opts.Queue, opts.RingCapacity, opts.NoSpill)
+	owner := opts.Partition.partitioner(p, codec.KeySpace())
+	barrier := sched.NewBarrier(p)
+
+	ws := make([]workerStats, p)
+	if err := runTwoStage(ctx, p, twoStage{
+		m:       m,
+		source:  source,
+		parts:   parts,
+		queues:  queues,
+		owner:   owner,
+		barrier: barrier,
+		ringCap: opts.RingCapacity,
+	}, ws); err != nil {
+		return nil, Stats{}, err
+	}
 
 	var st Stats
 	st.P = p
 	st.TableHint = opts.TableHint
 	st.TableHintCapped = hintCapped
+	st.SpilledKeys = queues.spilledKeys()
 	for w := range ws {
-		if ws[w].err != nil {
-			return nil, Stats{}, ws[w].err
-		}
 		st.LocalKeys += ws[w].local
 		st.ForeignKeys += ws[w].foreign
 		st.Stage2Pops += ws[w].pops

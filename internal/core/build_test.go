@@ -122,12 +122,45 @@ func TestBuildRespectsPartitionOwnership(t *testing.T) {
 
 func TestBuildRingOverflowReturnsError(t *testing.T) {
 	d := uniformData(t, 10000, 6, 4, 5)
-	_, _, err := Build(d, Options{P: 4, Queue: spsc.KindRing, RingCapacity: 2})
+	_, _, err := Build(d, Options{P: 4, Queue: spsc.KindRing, RingCapacity: 2, NoSpill: true})
 	if err == nil {
 		t.Fatal("expected overflow error from undersized ring")
 	}
 	if !strings.Contains(err.Error(), "overflow") {
 		t.Fatalf("overflow error does not name the failure: %v", err)
+	}
+}
+
+func TestBuildRingOverflowSpillsByDefault(t *testing.T) {
+	// Without NoSpill the same undersized ring must degrade gracefully:
+	// the build succeeds, the table matches the sequential oracle, and the
+	// spill shows up in Stats.SpilledKeys.
+	d := uniformData(t, 10000, 6, 4, 5)
+	ref, err := BuildSequential(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, st, err := Build(d, Options{P: 4, Queue: spsc.KindRing, RingCapacity: 2})
+	if err != nil {
+		t.Fatalf("spilling build failed: %v", err)
+	}
+	if !pt.Equal(ref) {
+		t.Fatal("spilling build differs from sequential oracle")
+	}
+	if st.SpilledKeys == 0 {
+		t.Fatal("undersized ring reported no spilled keys")
+	}
+	assertStatsInvariant(t, st)
+}
+
+func TestBuildNoSpillUnboundedQueueReportsZeroSpill(t *testing.T) {
+	d := uniformData(t, 5000, 6, 4, 5)
+	_, st, err := Build(d, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpilledKeys != 0 {
+		t.Fatalf("chunked queues spilled %d keys", st.SpilledKeys)
 	}
 }
 
@@ -145,7 +178,7 @@ func TestBuildKeysRingOverflowReturnsError(t *testing.T) {
 		keys[i] = 1 // owner 1 under modulo partitioning with P=2
 	}
 	_, _, err = BuildKeys(KeySourceFromSlice(keys), codec, len(keys),
-		Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2})
+		Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2, NoSpill: true})
 	if err == nil {
 		t.Fatal("expected overflow error from undersized ring in BuildKeys")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,6 +29,10 @@ type Builder struct {
 	barrier *sched.Barrier
 	stats   Stats
 	done    bool
+	// failed poisons the builder after a block that errored or was
+	// cancelled mid-protocol: the barrier may be aborted and the queues
+	// and tables partially updated, so no consistent continuation exists.
+	failed error
 }
 
 // NewBuilder prepares an incremental builder for data with the codec's
@@ -48,7 +53,7 @@ func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
 	for i := range b.parts {
 		b.parts[i] = opts.Table.new(opts.TableHint)
 	}
-	b.queues = newQueueMatrix(opts.P, opts.Queue, opts.RingCapacity)
+	b.queues = newQueueMatrix(opts.P, opts.Queue, opts.RingCapacity, opts.NoSpill)
 	b.stats.P = opts.P
 	b.stats.TableHint = opts.TableHint
 	b.stats.TableHintCapped = hintCapped
@@ -58,72 +63,58 @@ func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
 // AddBlock counts a block of rows (each a state string of the codec's
 // arity) into the table using the two-stage wait-free protocol.
 func (b *Builder) AddBlock(rows [][]uint8) error {
-	return b.addKeys(len(rows), func(i int) uint64 { return b.codec.Encode(rows[i]) })
+	return b.AddBlockCtx(context.Background(), rows)
+}
+
+// AddBlockCtx is AddBlock under the fault-tolerant execution contract:
+// cancellation and worker panics surface as errors with all workers joined,
+// after which the builder is poisoned (see addKeys).
+func (b *Builder) AddBlockCtx(ctx context.Context, rows [][]uint8) error {
+	return b.addKeys(ctx, len(rows), func(i int) uint64 { return b.codec.Encode(rows[i]) })
 }
 
 // AddKeys counts a block of pre-encoded keys.
 func (b *Builder) AddKeys(keys []uint64) error {
-	return b.addKeys(len(keys), func(i int) uint64 { return keys[i] })
+	return b.AddKeysCtx(context.Background(), keys)
 }
 
-func (b *Builder) addKeys(m int, source KeySource) error {
+// AddKeysCtx is AddKeys under the fault-tolerant execution contract.
+func (b *Builder) AddKeysCtx(ctx context.Context, keys []uint64) error {
+	return b.addKeys(ctx, len(keys), func(i int) uint64 { return keys[i] })
+}
+
+func (b *Builder) addKeys(ctx context.Context, m int, source KeySource) error {
 	if b.done {
 		return fmt.Errorf("core: Builder used after Finalize")
 	}
+	if b.failed != nil {
+		return fmt.Errorf("core: Builder poisoned by earlier failed block: %w", b.failed)
+	}
 	p := b.opts.P
-	spans := sched.BlockPartition(m, p)
 	ws := make([]workerStats, p)
-	sched.Run(p, func(w int) {
-		t0 := time.Now()
-		span := spans[w]
-		table := b.parts[w]
-		outs := b.queues[w]
-		for i := span.Lo; i < span.Hi; i++ {
-			key := source(i)
-			dst := b.owner(key)
-			if dst == w {
-				table.Inc(key)
-				ws[w].local++
-			} else {
-				if !outs[dst].Push(key) {
-					ws[w].err = fmt.Errorf("core: queue %d→%d overflow in incremental block", w, dst)
-					break
-				}
-				ws[w].foreign++
-			}
-		}
-		ws[w].stage1 = time.Since(t0)
-		ws[w].barrier = b.barrier.WaitTimed()
-		t1 := time.Now()
-		for src := 0; src < p; src++ {
-			if src == w {
-				continue
-			}
-			q := b.queues[src][w]
-			for {
-				key, ok := q.Pop()
-				if !ok {
-					break
-				}
-				table.Inc(key)
-				ws[w].pops++
-			}
-		}
-		ws[w].stage2 = time.Since(t1)
-	})
+	if err := runTwoStage(ctx, p, twoStage{
+		m:       m,
+		source:  source,
+		parts:   b.parts,
+		queues:  b.queues,
+		owner:   b.owner,
+		barrier: b.barrier,
+		ringCap: b.opts.RingCapacity,
+	}, ws); err != nil {
+		// The block died mid-protocol: the barrier may be poisoned, some
+		// queues may hold undrained keys, and the tables hold a partial
+		// count. None of that can be rolled back, so poison the builder.
+		b.failed = err
+		return err
+	}
+	var s1, s2, bw time.Duration
 	for w := range ws {
-		if ws[w].err != nil {
-			return ws[w].err
-		}
 		b.stats.LocalKeys += ws[w].local
 		b.stats.ForeignKeys += ws[w].foreign
 		b.stats.Stage2Pops += ws[w].pops
 		// Stage times accumulate the per-block critical path: the sum over
 		// blocks of the slowest worker, i.e. the wall clock spent in each
 		// stage across the whole stream.
-	}
-	var s1, s2, bw time.Duration
-	for w := range ws {
 		if ws[w].stage1 > s1 {
 			s1 = ws[w].stage1
 		}
@@ -145,10 +136,15 @@ func (b *Builder) addKeys(m int, source KeySource) error {
 	return nil
 }
 
+// Err returns the error that poisoned the builder, or nil if every block
+// so far succeeded.
+func (b *Builder) Err() error { return b.failed }
+
 // Finalize returns the accumulated potential table and construction stats.
 // The builder cannot be used afterwards.
 func (b *Builder) Finalize() (*PotentialTable, Stats) {
 	b.done = true
+	b.stats.SpilledKeys = b.queues.spilledKeys()
 	pt := NewPotentialTable(b.codec, b.parts, b.stats.LocalKeys+b.stats.Stage2Pops)
 	b.stats.DistinctKeys = pt.Len()
 	if r := b.opts.Obs; r != nil {
@@ -171,6 +167,6 @@ func (b *Builder) Samples() uint64 { return b.stats.LocalKeys + b.stats.Stage2Po
 
 func pendingForeign(b *Builder) uint64 {
 	// Between blocks all queues are drained, so foreign == pops; this
-	// accounts for the (unreachable in practice) case of a failed block.
+	// accounts for foreign keys stranded in queues by a failed block.
 	return b.stats.ForeignKeys - b.stats.Stage2Pops
 }

@@ -90,13 +90,41 @@ func TestBuilderUseAfterFinalize(t *testing.T) {
 
 func TestBuilderRingOverflowSurfaces(t *testing.T) {
 	codec, _ := encoding.NewUniformCodec(8, 2)
+	b := NewBuilder(codec, 4, Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2, NoSpill: true})
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i % 256)
+	}
+	err := b.AddKeys(keys)
+	if err == nil {
+		t.Fatal("expected ring overflow error")
+	}
+	// A failed block leaves the builder mid-protocol with no consistent
+	// state to continue from; it must be poisoned, not silently reusable.
+	if b.Err() == nil {
+		t.Fatal("builder not poisoned after failed block")
+	}
+	if err2 := b.AddKeys([]uint64{1}); err2 == nil {
+		t.Fatal("poisoned builder accepted another block")
+	}
+}
+
+func TestBuilderRingOverflowSpillsByDefault(t *testing.T) {
+	codec, _ := encoding.NewUniformCodec(8, 2)
 	b := NewBuilder(codec, 4, Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2})
 	keys := make([]uint64, 100)
 	for i := range keys {
 		keys[i] = uint64(i % 256)
 	}
-	if err := b.AddKeys(keys); err == nil {
-		t.Fatal("expected ring overflow error")
+	if err := b.AddKeys(keys); err != nil {
+		t.Fatalf("spilling builder failed: %v", err)
+	}
+	_, st := b.Finalize()
+	if st.SpilledKeys == 0 {
+		t.Fatal("undersized ring reported no spilled keys")
+	}
+	if got := st.LocalKeys + st.Stage2Pops; got != uint64(len(keys)) {
+		t.Fatalf("counted %d keys, want %d", got, len(keys))
 	}
 }
 

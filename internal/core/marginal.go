@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"waitfreebn/internal/sched"
@@ -82,6 +83,72 @@ func (mg *Marginal) SumOver(keep int) *Marginal {
 	return out
 }
 
+// readP resolves and caps the worker count for read-side (scan) primitives:
+// p <= 0 selects GOMAXPROCS, and p never exceeds the partition count, since
+// partitions are the unit of read parallelism.
+func (t *PotentialTable) readP(p int) int {
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	if p > len(t.parts) {
+		p = len(t.parts)
+	}
+	return p
+}
+
+// scanPartitionsCtx is the shared read-side loop of Algorithm 3 and its
+// fused variants: p workers each scan a disjoint subset of the partitions,
+// feeding every (key, count) entry to visit(w, key, count). Workers observe
+// ctx every cancelCheckStride entries (aborting the Range early), and a
+// panicking visit surfaces as a *sched.WorkerError with all workers joined.
+func (t *PotentialTable) scanPartitionsCtx(ctx context.Context, p int, visit func(w int, key, count uint64)) error {
+	assign := t.partitionAssignment(p)
+	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
+		done := ctx.Done()
+		check := cancelCheckStride
+		var cause error
+		for _, part := range assign[w] {
+			t.parts[part].Range(func(key, count uint64) bool {
+				if check--; check == 0 {
+					check = cancelCheckStride
+					select {
+					case <-done:
+						cause = context.Cause(ctx)
+						return false
+					default:
+					}
+				}
+				visit(w, key, count)
+				return true
+			})
+			if cause != nil {
+				return cause
+			}
+		}
+		return nil
+	})
+}
+
+// mustScan converts an error from a Background-context scan into a panic:
+// with no cancellation possible, the only failure mode left is a worker
+// panic, which the legacy (non-ctx) entry points propagate loudly.
+func mustScan(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// mergePartials sums partials[1:] into partials[0] and returns it.
+func mergePartials(partials [][]uint64) []uint64 {
+	counts := partials[0]
+	for w := 1; w < len(partials); w++ {
+		for c, v := range partials[w] {
+			counts[c] += v
+		}
+	}
+	return counts
+}
+
 // Marginalize computes the marginal distribution over vars using p workers
 // (Algorithm 3). Each worker scans a disjoint subset of the partitions,
 // decoding only the variables in vars from each key and accumulating a
@@ -89,33 +156,27 @@ func (mg *Marginal) SumOver(keep int) *Marginal {
 // GOMAXPROCS; p is additionally capped at the partition count, since
 // partitions are the unit of read parallelism.
 func (t *PotentialTable) Marginalize(vars []int, p int) *Marginal {
-	if p <= 0 {
-		p = sched.DefaultP()
-	}
-	if p > len(t.parts) {
-		p = len(t.parts)
-	}
+	mg, err := t.MarginalizeCtx(context.Background(), vars, p)
+	mustScan(err)
+	return mg
+}
+
+// MarginalizeCtx is Marginalize under the fault-tolerant execution
+// contract: workers observe ctx at chunk boundaries and the scan returns
+// context.Canceled (or DeadlineExceeded) in bounded time.
+func (t *PotentialTable) MarginalizeCtx(ctx context.Context, vars []int, p int) (*Marginal, error) {
+	p = t.readP(p)
 	dec := t.codec.SubsetDecoder(vars)
 	cells := dec.Cells()
 
 	partials := make([][]uint64, p)
-	assign := t.partitionAssignment(p)
-	sched.Run(p, func(w int) {
-		partial := make([]uint64, cells)
-		for _, part := range assign[w] {
-			t.parts[part].Range(func(key, count uint64) bool {
-				partial[dec.Cell(key)] += count
-				return true
-			})
-		}
-		partials[w] = partial
-	})
-
-	counts := partials[0]
-	for w := 1; w < p; w++ {
-		for c, v := range partials[w] {
-			counts[c] += v
-		}
+	for w := range partials {
+		partials[w] = make([]uint64, cells)
+	}
+	if err := t.scanPartitionsCtx(ctx, p, func(w int, key, count uint64) {
+		partials[w][dec.Cell(key)] += count
+	}); err != nil {
+		return nil, err
 	}
 
 	card := make([]int, len(vars))
@@ -125,48 +186,41 @@ func (t *PotentialTable) Marginalize(vars []int, p int) *Marginal {
 	return &Marginal{
 		Vars:   append([]int(nil), vars...),
 		Card:   card,
-		Counts: counts,
+		Counts: mergePartials(partials),
 		M:      t.m,
-	}
+	}, nil
 }
 
 // MarginalizePair is Marginalize for the two-variable case used by the
 // drafting phase; it avoids the general subset-decoder indirection with a
 // fixed-arity fast path.
 func (t *PotentialTable) MarginalizePair(i, j int, p int) *Marginal {
-	if p <= 0 {
-		p = sched.DefaultP()
-	}
-	if p > len(t.parts) {
-		p = len(t.parts)
-	}
+	mg, err := t.MarginalizePairCtx(context.Background(), i, j, p)
+	mustScan(err)
+	return mg
+}
+
+// MarginalizePairCtx is MarginalizePair under the fault-tolerant execution
+// contract (see MarginalizeCtx).
+func (t *PotentialTable) MarginalizePairCtx(ctx context.Context, i, j int, p int) (*Marginal, error) {
+	p = t.readP(p)
 	dec := t.codec.PairDecoder(i, j)
 	ri, rj := t.codec.Cardinality(i), t.codec.Cardinality(j)
 	cells := ri * rj
 
 	partials := make([][]uint64, p)
-	assign := t.partitionAssignment(p)
-	sched.Run(p, func(w int) {
-		partial := make([]uint64, cells)
-		for _, part := range assign[w] {
-			t.parts[part].Range(func(key, count uint64) bool {
-				partial[dec.Cell(key)] += count
-				return true
-			})
-		}
-		partials[w] = partial
-	})
-
-	counts := partials[0]
-	for w := 1; w < p; w++ {
-		for c, v := range partials[w] {
-			counts[c] += v
-		}
+	for w := range partials {
+		partials[w] = make([]uint64, cells)
+	}
+	if err := t.scanPartitionsCtx(ctx, p, func(w int, key, count uint64) {
+		partials[w][dec.Cell(key)] += count
+	}); err != nil {
+		return nil, err
 	}
 	return &Marginal{
 		Vars:   []int{i, j},
 		Card:   []int{ri, rj},
-		Counts: counts,
+		Counts: mergePartials(partials),
 		M:      t.m,
-	}
+	}, nil
 }

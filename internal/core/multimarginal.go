@@ -1,8 +1,9 @@
 package core
 
 import (
+	"context"
+
 	"waitfreebn/internal/encoding"
-	"waitfreebn/internal/sched"
 )
 
 // MarginalizeMany computes marginal tables for several variable subsets in
@@ -15,15 +16,18 @@ import (
 //
 // The result is index-aligned with varsets. p <= 0 selects GOMAXPROCS.
 func (t *PotentialTable) MarginalizeMany(varsets [][]int, p int) []*Marginal {
+	out, err := t.MarginalizeManyCtx(context.Background(), varsets, p)
+	mustScan(err)
+	return out
+}
+
+// MarginalizeManyCtx is MarginalizeMany under the fault-tolerant execution
+// contract (see MarginalizeCtx).
+func (t *PotentialTable) MarginalizeManyCtx(ctx context.Context, varsets [][]int, p int) ([]*Marginal, error) {
 	if len(varsets) == 0 {
-		return nil
+		return nil, nil
 	}
-	if p <= 0 {
-		p = sched.DefaultP()
-	}
-	if p > len(t.parts) {
-		p = len(t.parts)
-	}
+	p = t.readP(p)
 	decs := make([]*encoding.SubsetDecoder, len(varsets))
 	offsets := make([]int, len(varsets)+1)
 	for k, vars := range varsets {
@@ -33,25 +37,18 @@ func (t *PotentialTable) MarginalizeMany(varsets [][]int, p int) []*Marginal {
 	totalCells := offsets[len(varsets)]
 
 	partials := make([][]uint64, p)
-	assign := t.partitionAssignment(p)
-	sched.Run(p, func(w int) {
-		counts := make([]uint64, totalCells)
-		for _, part := range assign[w] {
-			t.parts[part].Range(func(key, count uint64) bool {
-				for k, dec := range decs {
-					counts[offsets[k]+dec.Cell(key)] += count
-				}
-				return true
-			})
-		}
-		partials[w] = counts
-	})
-	merged := partials[0]
-	for w := 1; w < p; w++ {
-		for c, v := range partials[w] {
-			merged[c] += v
-		}
+	for w := range partials {
+		partials[w] = make([]uint64, totalCells)
 	}
+	if err := t.scanPartitionsCtx(ctx, p, func(w int, key, count uint64) {
+		counts := partials[w]
+		for k, dec := range decs {
+			counts[offsets[k]+dec.Cell(key)] += count
+		}
+	}); err != nil {
+		return nil, err
+	}
+	merged := mergePartials(partials)
 
 	out := make([]*Marginal, len(varsets))
 	for k, vars := range varsets {
@@ -66,5 +63,5 @@ func (t *PotentialTable) MarginalizeMany(varsets [][]int, p int) []*Marginal {
 			M:      t.m,
 		}
 	}
-	return out
+	return out, nil
 }

@@ -27,6 +27,7 @@ const (
 	metricTableHintCapped = "core_table_hint_capped_total"
 	metricChunkSegments   = "spsc_chunk_segments_total"
 	metricRingHighWater   = "spsc_ring_highwater"
+	metricSpillKeys       = "spsc_spill_keys_total"
 	metricMutexAcquires   = "spsc_mutex_acquires_total"
 	metricTableGrows      = "hashtable_grows_total"
 	metricProbeMax        = "hashtable_probe_max"
@@ -77,7 +78,7 @@ func publishQueueMetrics(r *obs.Registry, st Stats, queues queueMatrix) {
 	r.Counter(metricQueuePush).Add(st.ForeignKeys)
 	r.Counter(metricQueuePop).Add(st.Stage2Pops)
 
-	var segments, acquires uint64
+	var segments, acquires, spilled uint64
 	maxHW := 0
 	for i := range queues {
 		for j := range queues[i] {
@@ -88,10 +89,19 @@ func publishQueueMetrics(r *obs.Registry, st Stats, queues queueMatrix) {
 				if hw := q.HighWater(); hw > maxHW {
 					maxHW = hw
 				}
+			case *spsc.Spillover:
+				spilled += q.Spilled()
+				if hw := q.HighWater(); hw > maxHW {
+					maxHW = hw
+				}
 			case *spsc.MutexQueue:
 				acquires += q.Acquires()
 			}
 		}
+	}
+	if spilled > 0 {
+		r.Help(metricSpillKeys, "keys that overflowed a ring into its spill side queue")
+		r.Counter(metricSpillKeys).Add(spilled)
 	}
 	if segments > 0 {
 		r.Help(metricChunkSegments, "segments allocated across all chunked queues")

@@ -13,11 +13,15 @@ func (s Stats) String() string {
 	if s.TableHintCapped {
 		capped = " (capped)"
 	}
+	spilled := ""
+	if s.SpilledKeys > 0 {
+		spilled = fmt.Sprintf(" spilled=%d", s.SpilledKeys)
+	}
 	return fmt.Sprintf(
-		"P=%d local=%d foreign=%d pops=%d distinct=%d stage1=%v stage2=%v barrier=%v hint=%d%s",
+		"P=%d local=%d foreign=%d pops=%d distinct=%d stage1=%v stage2=%v barrier=%v hint=%d%s%s",
 		s.P, s.LocalKeys, s.ForeignKeys, s.Stage2Pops, s.DistinctKeys,
 		s.Stage1Time.Round(time.Microsecond), s.Stage2Time.Round(time.Microsecond),
-		s.BarrierWait.Round(time.Microsecond), s.TableHint, capped)
+		s.BarrierWait.Round(time.Microsecond), s.TableHint, capped, spilled)
 }
 
 // statsJSON is the wire form of Stats: snake_case keys, durations as
@@ -28,6 +32,7 @@ type statsJSON struct {
 	ForeignKeys        uint64  `json:"foreign_keys"`
 	Stage2Pops         uint64  `json:"stage2_pops"`
 	DistinctKeys       int     `json:"distinct_keys"`
+	SpilledKeys        uint64  `json:"spilled_keys,omitempty"`
 	Stage1Seconds      float64 `json:"stage1_seconds"`
 	Stage2Seconds      float64 `json:"stage2_seconds"`
 	BarrierWaitSeconds float64 `json:"barrier_wait_seconds"`
@@ -43,6 +48,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		ForeignKeys:        s.ForeignKeys,
 		Stage2Pops:         s.Stage2Pops,
 		DistinctKeys:       s.DistinctKeys,
+		SpilledKeys:        s.SpilledKeys,
 		Stage1Seconds:      s.Stage1Time.Seconds(),
 		Stage2Seconds:      s.Stage2Time.Seconds(),
 		BarrierWaitSeconds: s.BarrierWait.Seconds(),
@@ -64,6 +70,7 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		ForeignKeys:     j.ForeignKeys,
 		Stage2Pops:      j.Stage2Pops,
 		DistinctKeys:    j.DistinctKeys,
+		SpilledKeys:     j.SpilledKeys,
 		Stage1Time:      time.Duration(j.Stage1Seconds * float64(time.Second)),
 		Stage2Time:      time.Duration(j.Stage2Seconds * float64(time.Second)),
 		BarrierWait:     time.Duration(j.BarrierWaitSeconds * float64(time.Second)),

@@ -1,0 +1,253 @@
+// Package faultinject provides deterministic, seed-driven fault injection
+// for the wait-free construction runtime. The chaos tests (and the -faults
+// CLI flag / WAITFREEBN_FAULTS environment variable) use it to prove the
+// fault-tolerant execution layer's guarantees: every injected fault must
+// surface as a clean error — no deadlocked barrier, no leaked goroutine —
+// and a plan whose points never fire must leave results bit-identical.
+//
+// The design keeps the disabled path free: injection sites hoist the active
+// plan once per worker with Active() and then call nil-receiver methods
+// (Fire, MaybePanic, MaybeStall), which compile to a nil check and an
+// immediate return when no plan is installed. Whether a given call fires is
+// a pure function of (seed, point, worker, seq), so a plan replays
+// identically across runs and under -race.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Point names an injection site in the runtime.
+type Point uint8
+
+const (
+	// QueuePushFail makes a stage-1 foreign-key push report failure, as if
+	// a bounded queue had overflowed with spilling disabled.
+	QueuePushFail Point = iota
+	// PanicStage1 panics a worker at its stage-1 entry boundary.
+	PanicStage1
+	// PanicStage2 panics a worker at its stage-2 entry boundary (after the
+	// inter-stage barrier — the worst place to die for its peers).
+	PanicStage2
+	// WorkerStall sleeps a worker at the barrier boundary, simulating a
+	// straggler (descheduled core, page fault storm).
+	WorkerStall
+	// TableGrowPressure forces the per-partition table hint to 1 so every
+	// table grows repeatedly under load.
+	TableGrowPressure
+
+	numPoints
+)
+
+// String returns the point's spec name (the key accepted by ParseSpec).
+func (p Point) String() string {
+	switch p {
+	case QueuePushFail:
+		return "queue-push"
+	case PanicStage1:
+		return "panic-stage1"
+	case PanicStage2:
+		return "panic-stage2"
+	case WorkerStall:
+		return "stall"
+	case TableGrowPressure:
+		return "table-grow"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is a deterministic fault schedule: per-point firing rates evaluated
+// by hashing (Seed, point, worker, seq). The zero value fires nothing; so
+// does a nil *Plan, which is the disabled fast path.
+type Plan struct {
+	// Seed drives every firing decision.
+	Seed uint64
+	// Worker restricts injection to one worker index; -1 (the NewPlan
+	// default) injects into any worker.
+	Worker int
+	// StallDuration is how long WorkerStall sleeps when it fires.
+	StallDuration time.Duration
+
+	// thresholds[pt] is the firing threshold in the 64-bit hash space;
+	// 0 = never, ^uint64(0) = always.
+	thresholds [numPoints]uint64
+}
+
+// NewPlan returns a plan with the given seed, no active points, any-worker
+// targeting, and a 1ms stall duration.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{Seed: seed, Worker: -1, StallDuration: time.Millisecond}
+}
+
+// WithRate sets the firing probability of one point (clamped to [0, 1])
+// and returns the plan for chaining.
+func (p *Plan) WithRate(pt Point, rate float64) *Plan {
+	switch {
+	case rate <= 0:
+		p.thresholds[pt] = 0
+	case rate >= 1:
+		p.thresholds[pt] = ^uint64(0)
+	default:
+		p.thresholds[pt] = uint64(rate * math.MaxUint64)
+	}
+	return p
+}
+
+// Rate reports the configured firing probability of a point.
+func (p *Plan) Rate(pt Point) float64 {
+	if p == nil {
+		return 0
+	}
+	t := p.thresholds[pt]
+	if t == ^uint64(0) {
+		return 1
+	}
+	return float64(t) / math.MaxUint64
+}
+
+// Fire reports whether the point fires for this (worker, seq) occurrence.
+// seq is the caller's occurrence counter (loop index, push count, block
+// number); the decision is a pure function of (Seed, pt, worker, seq), so
+// identical call sequences replay identically. A nil plan never fires.
+func (p *Plan) Fire(pt Point, worker int, seq uint64) bool {
+	if p == nil {
+		return false
+	}
+	t := p.thresholds[pt]
+	if t == 0 {
+		return false
+	}
+	if p.Worker >= 0 && worker != p.Worker {
+		return false
+	}
+	if t == ^uint64(0) {
+		return true
+	}
+	return mix(p.Seed, uint64(pt), uint64(worker), seq) < t
+}
+
+// MaybePanic panics with a recognizable message when the point fires —
+// the injected fault the panic-containment layer must recover into a
+// sched.WorkerError.
+func (p *Plan) MaybePanic(pt Point, worker int, seq uint64) {
+	if p.Fire(pt, worker, seq) {
+		panic(fmt.Sprintf("faultinject: %s fired (worker %d, seed %d)", pt, worker, p.Seed))
+	}
+}
+
+// MaybeStall sleeps for StallDuration when WorkerStall fires, simulating a
+// straggling worker.
+func (p *Plan) MaybeStall(worker int, seq uint64) {
+	if p.Fire(WorkerStall, worker, seq) {
+		d := p.StallDuration
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// mix hashes the firing coordinates with a splitmix64 finalizer round per
+// component — cheap, stateless, and well distributed for threshold tests.
+func mix(seed, pt, worker, seq uint64) uint64 {
+	h := seed
+	for _, v := range [...]uint64{pt + 1, worker + 1, seq + 1} {
+		h += v * 0x9e3779b97f4a7c15
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// active is the globally installed plan; nil means injection is disabled
+// and every hook is a nil-check no-op.
+var active atomic.Pointer[Plan]
+
+// Activate installs plan (which may be nil) as the global plan and returns
+// a function restoring the previous one. Tests use the returned restore in
+// a defer; CLIs install once at startup.
+func Activate(plan *Plan) (restore func()) {
+	prev := active.Swap(plan)
+	return func() { active.Store(prev) }
+}
+
+// Active returns the installed plan, or nil when injection is disabled.
+// Hot paths call this once per worker and use the (possibly nil) result
+// with the nil-receiver methods.
+func Active() *Plan { return active.Load() }
+
+// EnvVar is the environment variable the CLIs read a fault spec from when
+// the -faults flag is not set.
+const EnvVar = "WAITFREEBN_FAULTS"
+
+// ParseSpec parses a comma-separated fault specification into a plan:
+//
+//	seed=7,worker=1,panic-stage1=1,queue-push=0.01,stall=0.5,stall-dur=5ms,table-grow=1
+//
+// Keys: seed (uint64, default 1), worker (int, default any), stall-dur
+// (duration), and one rate in [0,1] per injection point (queue-push,
+// panic-stage1, panic-stage2, stall, table-grow). An empty spec or "off"
+// yields a nil plan (injection disabled).
+func ParseSpec(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return nil, nil
+	}
+	plan := NewPlan(1)
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: field %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			seed, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q: %v", val, err)
+			}
+			plan.Seed = seed
+		case "worker":
+			w, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad worker %q: %v", val, err)
+			}
+			plan.Worker = w
+		case "stall-dur":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad stall-dur %q: %v", val, err)
+			}
+			plan.StallDuration = d
+		default:
+			pt, err := pointByName(key)
+			if err != nil {
+				return nil, err
+			}
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("faultinject: rate %s=%q outside [0,1]", key, val)
+			}
+			plan.WithRate(pt, rate)
+		}
+	}
+	return plan, nil
+}
+
+func pointByName(name string) (Point, error) {
+	for pt := Point(0); pt < numPoints; pt++ {
+		if pt.String() == name {
+			return pt, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown key %q (want seed, worker, stall-dur, or a point: queue-push, panic-stage1, panic-stage2, stall, table-grow)", name)
+}

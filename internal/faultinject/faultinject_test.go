@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	for pt := Point(0); pt < numPoints; pt++ {
+		for seq := uint64(0); seq < 100; seq++ {
+			if p.Fire(pt, 0, seq) {
+				t.Fatalf("nil plan fired %v", pt)
+			}
+		}
+	}
+	p.MaybePanic(PanicStage1, 0, 0) // must not panic
+	p.MaybeStall(0, 0)              // must not sleep (nil receiver no-op)
+	if p.Rate(QueuePushFail) != 0 {
+		t.Error("nil plan reports a nonzero rate")
+	}
+}
+
+func TestZeroRateNeverFires(t *testing.T) {
+	p := NewPlan(42)
+	for seq := uint64(0); seq < 10000; seq++ {
+		if p.Fire(QueuePushFail, 3, seq) {
+			t.Fatal("zero-rate point fired")
+		}
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	p := NewPlan(42).WithRate(PanicStage2, 1)
+	for seq := uint64(0); seq < 100; seq++ {
+		if !p.Fire(PanicStage2, 7, seq) {
+			t.Fatal("rate-1 point did not fire")
+		}
+	}
+}
+
+func TestFireIsDeterministic(t *testing.T) {
+	a := NewPlan(99).WithRate(QueuePushFail, 0.3)
+	b := NewPlan(99).WithRate(QueuePushFail, 0.3)
+	for w := 0; w < 4; w++ {
+		for seq := uint64(0); seq < 1000; seq++ {
+			if a.Fire(QueuePushFail, w, seq) != b.Fire(QueuePushFail, w, seq) {
+				t.Fatalf("same seed diverged at worker %d seq %d", w, seq)
+			}
+		}
+	}
+}
+
+func TestFireRateRoughlyHonored(t *testing.T) {
+	p := NewPlan(7).WithRate(QueuePushFail, 0.25)
+	fired := 0
+	const trials = 20000
+	for seq := uint64(0); seq < trials; seq++ {
+		if p.Fire(QueuePushFail, 0, seq) {
+			fired++
+		}
+	}
+	got := float64(fired) / trials
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("empirical rate %.3f far from configured 0.25", got)
+	}
+}
+
+func TestWorkerTargeting(t *testing.T) {
+	p := NewPlan(5).WithRate(PanicStage1, 1)
+	p.Worker = 2
+	if p.Fire(PanicStage1, 1, 0) {
+		t.Error("fired on non-targeted worker")
+	}
+	if !p.Fire(PanicStage1, 2, 0) {
+		t.Error("did not fire on targeted worker")
+	}
+}
+
+func TestMaybePanicMessage(t *testing.T) {
+	p := NewPlan(3).WithRate(PanicStage1, 1)
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "panic-stage1") || !strings.Contains(msg, "worker 4") {
+			t.Fatalf("panic value %v lacks point/worker", r)
+		}
+	}()
+	p.MaybePanic(PanicStage1, 4, 0)
+	t.Fatal("MaybePanic did not panic at rate 1")
+}
+
+func TestActivateRestores(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("plan already active at test start")
+	}
+	p := NewPlan(1)
+	restore := Activate(p)
+	if Active() != p {
+		t.Fatal("Activate did not install the plan")
+	}
+	inner := Activate(NewPlan(2))
+	inner()
+	if Active() != p {
+		t.Fatal("nested restore did not reinstate the outer plan")
+	}
+	restore()
+	if Active() != nil {
+		t.Fatal("restore did not clear the plan")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantNil bool
+		wantErr bool
+		check   func(*Plan) bool
+	}{
+		{spec: "", wantNil: true},
+		{spec: "off", wantNil: true},
+		{spec: "seed=9,panic-stage1=1", check: func(p *Plan) bool {
+			return p.Seed == 9 && p.Rate(PanicStage1) == 1 && p.Worker == -1
+		}},
+		{spec: "worker=2,queue-push=0.5,stall=1,stall-dur=5ms", check: func(p *Plan) bool {
+			return p.Worker == 2 && p.Rate(WorkerStall) == 1 && p.StallDuration == 5*time.Millisecond &&
+				p.Rate(QueuePushFail) > 0.49 && p.Rate(QueuePushFail) < 0.51
+		}},
+		{spec: "table-grow=1,panic-stage2=0", check: func(p *Plan) bool {
+			return p.Rate(TableGrowPressure) == 1 && p.Rate(PanicStage2) == 0
+		}},
+		{spec: "bogus=1", wantErr: true},
+		{spec: "queue-push=2", wantErr: true},
+		{spec: "queue-push", wantErr: true},
+		{spec: "seed=abc", wantErr: true},
+		{spec: "stall-dur=xyz", wantErr: true},
+	}
+	for _, tc := range tests {
+		p, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) succeeded, want error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if tc.wantNil {
+			if p != nil {
+				t.Errorf("ParseSpec(%q) = %+v, want nil plan", tc.spec, p)
+			}
+			continue
+		}
+		if p == nil || !tc.check(p) {
+			t.Errorf("ParseSpec(%q) = %+v fails check", tc.spec, p)
+		}
+	}
+}
+
+func TestPointStringsRoundTrip(t *testing.T) {
+	for pt := Point(0); pt < numPoints; pt++ {
+		got, err := pointByName(pt.String())
+		if err != nil || got != pt {
+			t.Errorf("point %d name %q does not round-trip", pt, pt.String())
+		}
+	}
+}

@@ -9,11 +9,21 @@
 // on OS threads. All partitioning is deterministic so results are
 // reproducible and so per-core data structures (tables, queues) can be
 // allocated before the workers start.
+//
+// Two execution modes are provided. Run is the plain "for p in parallel do"
+// of the pseudocode; RunCtx adds the fault-tolerance contract the runtime
+// needs around the wait-free primitives: cooperative cancellation through a
+// context, and panic containment — a worker that panics is recovered into a
+// WorkerError that cancels its peers instead of being re-raised while they
+// spin in a barrier.
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,9 +84,37 @@ func CyclicAssign(n, p int) [][]int {
 	return out
 }
 
+// WorkerError reports a panic recovered from one worker goroutine, carrying
+// the worker index and the goroutine's stack at the point of the panic —
+// the two things the bare re-raised value used to discard.
+type WorkerError struct {
+	Worker int    // the core index whose body panicked
+	Value  any    // the recovered panic value
+	Stack  []byte // debug.Stack() captured inside the worker
+}
+
+// Error implements error with a one-line diagnostic; the full stack stays
+// available on the struct for logs that want it.
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("sched: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As see through the worker wrapper.
+func (e *WorkerError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run executes body(p) on P goroutines, p = 0..P-1, and returns when all
 // have finished. It is the "for p in parallel do" construct of the
-// pseudocode. Panics in workers are re-raised in the caller.
+// pseudocode. A panic in a worker is re-raised in the caller as a
+// *WorkerError wrapping the worker index, the original value, and the
+// worker's stack; when several workers panic, the lowest worker index wins
+// deterministically. With p == 1 the body runs on the calling goroutine and
+// panics propagate unwrapped with their original stack intact.
 func Run(p int, body func(worker int)) {
 	if p <= 0 {
 		panic(fmt.Sprintf("sched: Run with p = %d", p))
@@ -87,35 +125,125 @@ func Run(p int, body func(worker int)) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(p)
-	panics := make([]any, p)
+	panics := make([]*WorkerError, p)
 	for w := 0; w < p; w++ {
 		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panics[worker] = r
+					panics[worker] = &WorkerError{Worker: worker, Value: r, Stack: debug.Stack()}
 				}
 			}()
 			body(worker)
 		}(w)
 	}
 	wg.Wait()
-	for _, r := range panics {
-		if r != nil {
-			panic(r)
+	for _, we := range panics {
+		if we != nil {
+			panic(we)
 		}
 	}
 }
+
+// RunCtx executes body(ctx, p) on P goroutines with the fault-tolerance
+// contract of the runtime layer:
+//
+//   - The body receives a context derived from ctx that is cancelled as soon
+//     as any worker returns a non-nil error or panics, so peers can observe
+//     the failure at their next cancellation point (chunk boundaries,
+//     Barrier.WaitCtx) instead of running — or spinning — to completion.
+//   - A panicking worker is recovered into a *WorkerError; it is returned as
+//     an error, never re-raised.
+//   - RunCtx always joins all P goroutines before returning: no worker
+//     goroutine outlives the call, whatever failed.
+//
+// The returned error is the root cause: the first (by worker index)
+// non-context error if any worker failed outright, otherwise the first
+// cancellation error the workers observed. It is nil only if every worker
+// returned nil.
+func RunCtx(ctx context.Context, p int, body func(ctx context.Context, worker int) error) error {
+	if p <= 0 {
+		panic(fmt.Sprintf("sched: RunCtx with p = %d", p))
+	}
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	errs := make([]error, p)
+	if p == 1 {
+		errs[0] = runWorker(ctx, cancel, 0, body)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				errs[worker] = runWorker(ctx, cancel, worker, body)
+			}(w)
+		}
+		wg.Wait()
+	}
+	return rootCause(errs)
+}
+
+// runWorker runs one worker body, converting a panic into a *WorkerError
+// and cancelling the shared context (with the failure as cause) on any
+// non-nil outcome so peers stop promptly.
+func runWorker(ctx context.Context, cancel context.CancelCauseFunc, worker int, body func(context.Context, int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &WorkerError{Worker: worker, Value: r, Stack: debug.Stack()}
+		}
+		if err != nil {
+			cancel(err)
+		}
+	}()
+	return body(ctx, worker)
+}
+
+// rootCause picks the error RunCtx reports: the first error that is not
+// itself a cancellation echo — peers that observed the shared context going
+// down return context errors, which should not mask the worker that caused
+// the cancellation.
+func rootCause(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return first
+}
+
+// ErrBarrierAborted is the poison Abort installs when given a nil error.
+var ErrBarrierAborted = errors.New("sched: barrier aborted")
 
 // Barrier is a reusable sense-reversing barrier for a fixed party count.
 // It is the single synchronization step between stage 1 and stage 2 of the
 // construction primitive. Unlike sync.WaitGroup it can be waited on
 // repeatedly by the same fixed set of workers without reinitialization.
+//
+// A Barrier can be aborted: Abort poisons it so that waiters — current
+// spinners and any later arrival — return the poison error instead of
+// spinning forever on a party that died. A poisoned barrier never recovers;
+// reuse after abort keeps returning the same error.
 type Barrier struct {
 	parties int32
 	arrived atomic.Int32
 	sense   atomic.Uint32
+	poison  atomic.Pointer[barrierPoison]
 }
+
+// barrierPoison boxes the abort error so a single atomic pointer both
+// signals the abort and carries its cause.
+type barrierPoison struct{ err error }
 
 // NewBarrier returns a barrier for the given number of parties.
 func NewBarrier(parties int) *Barrier {
@@ -125,29 +253,79 @@ func NewBarrier(parties int) *Barrier {
 	return &Barrier{parties: int32(parties)}
 }
 
+// Abort poisons the barrier with err (ErrBarrierAborted if nil): every
+// current waiter stops spinning and returns the poison, and every future
+// Wait returns it immediately. The first abort wins; later aborts are
+// no-ops, so concurrent failure paths can all call Abort safely.
+func (b *Barrier) Abort(err error) {
+	if err == nil {
+		err = ErrBarrierAborted
+	}
+	b.poison.CompareAndSwap(nil, &barrierPoison{err: err})
+}
+
+// Err returns the poison error if the barrier has been aborted, else nil.
+func (b *Barrier) Err() error {
+	if p := b.poison.Load(); p != nil {
+		return p.err
+	}
+	return nil
+}
+
 // Wait blocks until all parties have called Wait for the current phase,
 // then releases them and flips the phase. The last arriver never blocks;
 // earlier arrivers spin with cooperative yields (barrier episodes in the
-// primitives are short and bounded, so spinning beats parking).
-func (b *Barrier) Wait() {
+// primitives are short and bounded, so spinning beats parking). If the
+// barrier is — or becomes — aborted, Wait returns the poison error instead
+// of spinning on parties that will never arrive.
+func (b *Barrier) Wait() error { return b.WaitCtx(context.Background()) }
+
+// WaitCtx is Wait with a second escape hatch: waiters also stop spinning
+// when ctx is cancelled, returning the context's cause. This is how workers
+// parked at the inter-stage barrier observe a peer that failed before
+// reaching it (RunCtx cancels the shared context with the peer's error).
+func (b *Barrier) WaitCtx(ctx context.Context) error {
+	if p := b.poison.Load(); p != nil {
+		return p.err
+	}
 	sense := b.sense.Load()
 	if b.arrived.Add(1) == b.parties {
 		b.arrived.Store(0)
 		b.sense.Store(sense + 1) // releases the waiters
-		return
+		return nil
 	}
+	done := ctx.Done()
 	for b.sense.Load() == sense {
+		if p := b.poison.Load(); p != nil {
+			return p.err
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return context.Cause(ctx)
+			default:
+			}
+		}
 		runtime.Gosched()
 	}
+	return nil
 }
 
 // WaitTimed is Wait plus a measurement of how long this party spent inside
 // the barrier — the load-imbalance signal the observability subsystem
 // exposes per worker (a worker that waits long finished its stage early).
-func (b *Barrier) WaitTimed() time.Duration {
+// The duration is valid whether or not an error is returned.
+func (b *Barrier) WaitTimed() (time.Duration, error) {
 	start := time.Now()
-	b.Wait()
-	return time.Since(start)
+	err := b.Wait()
+	return time.Since(start), err
+}
+
+// WaitTimedCtx is WaitCtx with the same timing measurement as WaitTimed.
+func (b *Barrier) WaitTimedCtx(ctx context.Context) (time.Duration, error) {
+	start := time.Now()
+	err := b.WaitCtx(ctx)
+	return time.Since(start), err
 }
 
 // Parties returns the number of workers the barrier synchronizes.
@@ -156,6 +334,18 @@ func (b *Barrier) Parties() int { return int(b.parties) }
 // DefaultP returns the number of workers to use when the caller does not
 // specify one: GOMAXPROCS, the Go analogue of "all available cores".
 func DefaultP() int { return runtime.GOMAXPROCS(0) }
+
+// dynamicGrain resolves the chunk size for the dynamic-claiming loops:
+// grain <= 0 selects a heuristic of max(1, n/(p·8)).
+func dynamicGrain(n, p, grain int) int {
+	if grain <= 0 {
+		grain = n / (p * 8)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	return grain
+}
 
 // DynamicFor executes body(i) for every i in [0, n) on p workers with
 // dynamic chunk claiming: workers repeatedly grab the next `grain` indexes
@@ -176,12 +366,7 @@ func DynamicFor(n, p, grain int, body func(i int)) {
 	if n == 0 {
 		return
 	}
-	if grain <= 0 {
-		grain = n / (p * 8)
-		if grain < 1 {
-			grain = 1
-		}
-	}
+	grain = dynamicGrain(n, p, grain)
 	var next atomic.Int64
 	Run(p, func(int) {
 		for {
@@ -195,6 +380,47 @@ func DynamicFor(n, p, grain int, body func(i int)) {
 			}
 			for i := lo; i < hi; i++ {
 				body(i)
+			}
+		}
+	})
+}
+
+// DynamicForCtx is DynamicFor under the RunCtx fault-tolerance contract:
+// chunk claims double as cancellation points, a body error or panic cancels
+// the remaining work, and the first root-cause error is returned. Chunks
+// already claimed finish their current body call before the worker exits.
+func DynamicForCtx(ctx context.Context, n, p, grain int, body func(ctx context.Context, i int) error) error {
+	if n < 0 {
+		panic(fmt.Sprintf("sched: DynamicForCtx with n = %d", n))
+	}
+	if p <= 0 {
+		panic(fmt.Sprintf("sched: DynamicForCtx with p = %d", p))
+	}
+	if n == 0 {
+		return nil
+	}
+	grain = dynamicGrain(n, p, grain)
+	var next atomic.Int64
+	return RunCtx(ctx, p, func(ctx context.Context, _ int) error {
+		done := ctx.Done()
+		for {
+			select {
+			case <-done:
+				return context.Cause(ctx)
+			default:
+			}
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return nil
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				if err := body(ctx, i); err != nil {
+					return err
+				}
 			}
 		}
 	})

@@ -1,6 +1,9 @@
 package sched
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -131,10 +134,23 @@ func TestRunExecutesEachWorkerOnce(t *testing.T) {
 	}
 }
 
-func TestRunPropagatesPanic(t *testing.T) {
+func TestRunPropagatesPanicWithWorkerAndStack(t *testing.T) {
 	defer func() {
-		if r := recover(); r != "boom" {
-			t.Fatalf("recovered %v, want \"boom\"", r)
+		we, ok := recover().(*WorkerError)
+		if !ok {
+			t.Fatalf("recovered %T, want *WorkerError", we)
+		}
+		if we.Worker != 2 {
+			t.Errorf("Worker = %d, want 2", we.Worker)
+		}
+		if we.Value != "boom" {
+			t.Errorf("Value = %v, want \"boom\"", we.Value)
+		}
+		if len(we.Stack) == 0 {
+			t.Error("Stack not captured")
+		}
+		if !strings.Contains(we.Error(), "worker 2") || !strings.Contains(we.Error(), "boom") {
+			t.Errorf("Error() = %q lacks worker id or value", we.Error())
 		}
 	}()
 	Run(4, func(w int) {
@@ -142,6 +158,37 @@ func TestRunPropagatesPanic(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+func TestRunPanicWrapsLowestWorkerFirst(t *testing.T) {
+	// When several workers panic, the re-raised error is deterministic:
+	// the lowest worker index wins.
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				we, ok := recover().(*WorkerError)
+				if !ok || we.Worker != 1 {
+					t.Fatalf("recovered %v, want worker 1", we)
+				}
+			}()
+			Run(4, func(w int) {
+				if w >= 1 {
+					panic(w)
+				}
+			})
+		}()
+	}
+}
+
+func TestWorkerErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	we := &WorkerError{Worker: 3, Value: sentinel}
+	if !errors.Is(we, sentinel) {
+		t.Error("WorkerError does not unwrap to its error value")
+	}
+	if (&WorkerError{Worker: 0, Value: "text"}).Unwrap() != nil {
+		t.Error("non-error panic value should unwrap to nil")
+	}
 }
 
 func TestRunPanicsOnBadP(t *testing.T) {
@@ -271,12 +318,12 @@ func TestBarrierWaitTimed(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		early = b.WaitTimed() // arrives first, waits for the sleeper
+		early, _ = b.WaitTimed() // arrives first, waits for the sleeper
 	}()
 	go func() {
 		defer wg.Done()
 		time.Sleep(20 * time.Millisecond)
-		late = b.WaitTimed()
+		late, _ = b.WaitTimed()
 	}()
 	wg.Wait()
 	if early < 10*time.Millisecond {
@@ -284,5 +331,252 @@ func TestBarrierWaitTimed(t *testing.T) {
 	}
 	if late > early {
 		t.Errorf("late arriver (%v) waited longer than early arriver (%v)", late, early)
+	}
+}
+
+// --- Abort semantics -------------------------------------------------------
+
+func TestBarrierAbortReleasesConcurrentWaiters(t *testing.T) {
+	// Three of four parties arrive and spin; the fourth dies. Abort must
+	// release all three exactly once, each observing the poison error.
+	poison := errors.New("worker 3 died")
+	b := NewBarrier(4)
+	results := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		go func() { results <- b.Wait() }()
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters start spinning
+	b.Abort(poison)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-results:
+			if !errors.Is(err, poison) {
+				t.Errorf("waiter %d returned %v, want poison", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter still spinning after Abort")
+		}
+	}
+	if !errors.Is(b.Err(), poison) {
+		t.Errorf("Err() = %v, want poison", b.Err())
+	}
+}
+
+func TestBarrierReuseAfterAbortRejected(t *testing.T) {
+	poison := errors.New("dead")
+	b := NewBarrier(2)
+	b.Abort(poison)
+	for i := 0; i < 3; i++ {
+		if err := b.Wait(); !errors.Is(err, poison) {
+			t.Fatalf("Wait after abort (call %d) = %v, want poison", i, err)
+		}
+	}
+	// First abort wins; a later abort cannot overwrite the poison.
+	b.Abort(errors.New("second"))
+	if !errors.Is(b.Err(), poison) {
+		t.Errorf("second Abort overwrote the poison: %v", b.Err())
+	}
+}
+
+func TestBarrierAbortNilInstallsDefault(t *testing.T) {
+	b := NewBarrier(2)
+	b.Abort(nil)
+	if err := b.Wait(); !errors.Is(err, ErrBarrierAborted) {
+		t.Fatalf("Wait = %v, want ErrBarrierAborted", err)
+	}
+}
+
+func TestBarrierWaitTimedUnderAbort(t *testing.T) {
+	// WaitTimed must stay correct under abort: it reports a plausible wait
+	// duration alongside the poison error.
+	poison := errors.New("late failure")
+	b := NewBarrier(2)
+	done := make(chan struct{})
+	var d time.Duration
+	var err error
+	go func() {
+		defer close(done)
+		d, err = b.WaitTimed()
+	}()
+	time.Sleep(15 * time.Millisecond)
+	b.Abort(poison)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitTimed never returned after Abort")
+	}
+	if !errors.Is(err, poison) {
+		t.Errorf("WaitTimed error = %v, want poison", err)
+	}
+	if d < 10*time.Millisecond {
+		t.Errorf("WaitTimed duration %v does not cover the spin before Abort", d)
+	}
+}
+
+func TestBarrierWaitCtxObservesCancellation(t *testing.T) {
+	cause := errors.New("peer failed before the barrier")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	b := NewBarrier(2)
+	done := make(chan error, 1)
+	go func() { done <- b.WaitCtx(ctx) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel(cause)
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Errorf("WaitCtx = %v, want the cancellation cause", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitCtx never observed the cancellation")
+	}
+}
+
+func TestBarrierCompletesNormallyWithoutAbort(t *testing.T) {
+	// The abort machinery must not disturb normal completion.
+	b := NewBarrier(4)
+	for round := 0; round < 20; round++ {
+		var failed atomic.Int32
+		Run(4, func(w int) {
+			if err := b.Wait(); err != nil {
+				failed.Add(1)
+			}
+		})
+		if failed.Load() != 0 {
+			t.Fatalf("round %d: Wait returned errors on a healthy barrier", round)
+		}
+	}
+}
+
+// --- RunCtx ----------------------------------------------------------------
+
+func TestRunCtxAllWorkersSucceed(t *testing.T) {
+	for _, p := range []int{1, 2, 7} {
+		var calls [8]atomic.Int32
+		err := RunCtx(context.Background(), p, func(ctx context.Context, w int) error {
+			calls[w].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: RunCtx = %v", p, err)
+		}
+		for w := 0; w < p; w++ {
+			if calls[w].Load() != 1 {
+				t.Errorf("p=%d: worker %d ran %d times", p, w, calls[w].Load())
+			}
+		}
+	}
+}
+
+func TestRunCtxPanicContained(t *testing.T) {
+	err := RunCtx(context.Background(), 4, func(ctx context.Context, w int) error {
+		if w == 1 {
+			panic("contained")
+		}
+		return nil
+	})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("RunCtx = %v, want *WorkerError", err)
+	}
+	if we.Worker != 1 || we.Value != "contained" || len(we.Stack) == 0 {
+		t.Errorf("WorkerError incomplete: %+v", we)
+	}
+}
+
+func TestRunCtxPanicCancelsPeers(t *testing.T) {
+	// A peer blocked on the shared context must be released by worker 0's
+	// panic; without cancellation this test would hang.
+	err := RunCtx(context.Background(), 2, func(ctx context.Context, w int) error {
+		if w == 0 {
+			panic("die")
+		}
+		select {
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		case <-time.After(10 * time.Second):
+			return errors.New("peer never cancelled")
+		}
+	})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("RunCtx = %v, want the panicking worker's *WorkerError", err)
+	}
+}
+
+func TestRunCtxWorkerErrorBeatsCancellationEchoes(t *testing.T) {
+	// The root cause must win over the context.Canceled the peers observed.
+	rootErr := errors.New("root cause")
+	err := RunCtx(context.Background(), 4, func(ctx context.Context, w int) error {
+		if w == 3 {
+			return rootErr
+		}
+		<-ctx.Done()
+		return context.Cause(ctx)
+	})
+	if !errors.Is(err, rootErr) {
+		t.Fatalf("RunCtx = %v, want root cause", err)
+	}
+}
+
+func TestRunCtxOuterCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- RunCtx(ctx, 2, func(ctx context.Context, w int) error {
+			once.Do(func() { close(started) })
+			<-ctx.Done()
+			return context.Cause(ctx)
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunCtx did not return after outer cancellation")
+	}
+}
+
+func TestDynamicForCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- DynamicForCtx(ctx, 1<<30, 2, 1, func(ctx context.Context, i int) error {
+			executed.Add(1)
+			time.Sleep(time.Microsecond)
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("DynamicForCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DynamicForCtx did not stop after cancellation")
+	}
+	if executed.Load() == 0 {
+		t.Error("no work executed before cancellation")
+	}
+}
+
+func TestDynamicForCtxBodyError(t *testing.T) {
+	bodyErr := errors.New("body failed")
+	err := DynamicForCtx(context.Background(), 1000, 4, 8, func(ctx context.Context, i int) error {
+		if i == 137 {
+			return bodyErr
+		}
+		return nil
+	})
+	if !errors.Is(err, bodyErr) {
+		t.Fatalf("DynamicForCtx = %v, want body error", err)
 	}
 }

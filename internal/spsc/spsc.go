@@ -178,6 +178,64 @@ func (q *Chunked) Len() int { return int(q.pushed.Load() - q.popped.Load()) }
 // Segments returns how many segments the queue has allocated in total.
 func (q *Chunked) Segments() int { return int(q.segments.Load()) }
 
+// Spillover wraps a bounded Ring with an unbounded Chunked side queue:
+// when the ring is full, Push spills the key to the side queue instead of
+// failing, so a mis-sized ring degrades gracefully (slower, heap-allocating)
+// rather than aborting the build. Pop drains the ring first and falls back
+// to the side queue; FIFO order across the two is not preserved, which is
+// fine for the construction primitive (counting is commutative). The same
+// single-producer single-consumer discipline as the wrapped queues applies,
+// and both Push and Pop remain wait-free (Chunked never blocks).
+type Spillover struct {
+	ring    *Ring
+	side    *Chunked
+	spilled uint64 // producer-owned spill count
+}
+
+// NewSpillover returns a spillover queue over a ring of at least capacity
+// elements.
+func NewSpillover(capacity int) *Spillover {
+	return &Spillover{ring: NewRing(capacity), side: NewChunked()}
+}
+
+// Push appends v, spilling to the side queue when the ring is full. It
+// always succeeds.
+func (s *Spillover) Push(v uint64) bool {
+	if s.ring.Push(v) {
+		return true
+	}
+	s.side.Push(v)
+	s.spilled++
+	return true
+}
+
+// Pop removes and returns an element, preferring the ring; order across
+// ring and side queue is not FIFO (see type comment).
+func (s *Spillover) Pop() (uint64, bool) {
+	if v, ok := s.ring.Pop(); ok {
+		return v, true
+	}
+	return s.side.Pop()
+}
+
+// Len returns the number of queued elements across ring and side queue.
+func (s *Spillover) Len() int { return s.ring.Len() + s.side.Len() }
+
+// Spilled returns how many pushes overflowed into the side queue. It is
+// producer-owned and exact once the producer has quiesced (e.g. after the
+// construction barrier).
+func (s *Spillover) Spilled() uint64 { return s.spilled }
+
+// HighWater returns the wrapped ring's occupancy high-water mark.
+func (s *Spillover) HighWater() int { return s.ring.HighWater() }
+
+// Capacity returns the wrapped ring's capacity.
+func (s *Spillover) Capacity() int { return s.ring.Capacity() }
+
+// SideSegments returns how many segments the side queue has allocated — 1
+// means the spill path was never exercised beyond the pre-allocated segment.
+func (s *Spillover) SideSegments() int { return s.side.Segments() }
+
 // MutexQueue is a lock-based unbounded FIFO. It exists to quantify, in
 // ablation A1, what the wait-free queues buy over the obvious
 // mutex-protected alternative; Acquires counts lock acquisitions.
@@ -230,6 +288,7 @@ func (q *MutexQueue) Acquires() uint64 { return q.acquires.Load() }
 var (
 	_ Queue = (*Ring)(nil)
 	_ Queue = (*Chunked)(nil)
+	_ Queue = (*Spillover)(nil)
 	_ Queue = (*MutexQueue)(nil)
 )
 

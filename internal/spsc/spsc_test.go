@@ -330,3 +330,86 @@ func TestRingHighWater(t *testing.T) {
 		t.Fatalf("HighWater = %d after 7-deep fill, want 7", r.HighWater())
 	}
 }
+
+func TestSpilloverOverflowsIntoSideQueue(t *testing.T) {
+	s := NewSpillover(4) // rounds to capacity 4
+	for i := uint64(0); i < 20; i++ {
+		if !s.Push(i) {
+			t.Fatalf("Push(%d) failed; spillover must never fail", i)
+		}
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+	if got := s.Spilled(); got != 20-uint64(s.Capacity()) {
+		t.Fatalf("Spilled = %d, want %d", got, 20-s.Capacity())
+	}
+	// Every element comes back exactly once (order across ring and side
+	// queue is not FIFO, so check the multiset).
+	seen := make(map[uint64]int)
+	for i := 0; i < 20; i++ {
+		v, ok := s.Pop()
+		if !ok {
+			t.Fatalf("Pop %d reported empty", i)
+		}
+		seen[v]++
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on drained spillover succeeded")
+	}
+	for i := uint64(0); i < 20; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("element %d popped %d times", i, seen[i])
+		}
+	}
+}
+
+func TestSpilloverNoSpillWithinCapacity(t *testing.T) {
+	s := NewSpillover(8)
+	for i := uint64(0); i < 8; i++ {
+		s.Push(i)
+	}
+	if s.Spilled() != 0 {
+		t.Fatalf("Spilled = %d within capacity", s.Spilled())
+	}
+	if s.SideSegments() != 1 {
+		t.Fatalf("SideSegments = %d, want the single pre-allocated segment", s.SideSegments())
+	}
+	if s.HighWater() != 8 {
+		t.Fatalf("HighWater = %d, want 8", s.HighWater())
+	}
+}
+
+func TestSpilloverConcurrent(t *testing.T) {
+	const n = 100000
+	s := NewSpillover(8) // tiny ring: most pushes spill under contention
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			s.Push(i)
+		}
+	}()
+	var sum uint64
+	var count int
+	go func() {
+		defer wg.Done()
+		for count < n {
+			v, ok := s.Pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			sum += v
+			count++
+		}
+	}()
+	wg.Wait()
+	if want := uint64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d (elements lost or duplicated)", sum, want)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after drain", s.Len())
+	}
+}

@@ -16,6 +16,7 @@
 package structure
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -112,13 +113,21 @@ type Result struct {
 // table is built with the wait-free primitive, then drafting, thickening
 // and thinning produce the skeleton.
 func Learn(data *dataset.Dataset, cfg Config) (*Result, error) {
+	return LearnCtx(context.Background(), data, cfg)
+}
+
+// LearnCtx is Learn under the fault-tolerant execution contract: the build
+// and every parallel phase observe ctx, and cancellation between CI tests
+// aborts the search with context.Canceled (or DeadlineExceeded) rather
+// than running the remaining phases.
+func LearnCtx(ctx context.Context, data *dataset.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
-	pt, st, err := core.Build(data, cfg.BuildOptions)
+	pt, st, err := core.BuildCtx(ctx, data, cfg.BuildOptions)
 	if err != nil {
 		return nil, fmt.Errorf("structure: %w", err)
 	}
-	res, err := LearnFromTable(pt, cfg)
+	res, err := LearnFromTableCtx(ctx, pt, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -129,27 +138,40 @@ func Learn(data *dataset.Dataset, cfg Config) (*Result, error) {
 
 // LearnFromTable runs phases 1-3 against an existing potential table.
 func LearnFromTable(pt *core.PotentialTable, cfg Config) (*Result, error) {
+	return LearnFromTableCtx(context.Background(), pt, cfg)
+}
+
+// LearnFromTableCtx is LearnFromTable under the fault-tolerant execution
+// contract (see LearnCtx).
+func LearnFromTableCtx(ctx context.Context, pt *core.PotentialTable, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	n := pt.Codec().NumVars()
 	if n < 2 {
 		return nil, fmt.Errorf("structure: need at least 2 variables, have %d", n)
 	}
 	res := &Result{Sepsets: NewSepsets(n)}
-	l := &learner{pt: pt, cfg: cfg, res: res}
+	l := &learner{ctx: ctx, pt: pt, cfg: cfg, res: res}
 
 	t0 := time.Now()
-	mi := pt.AllPairsMI(cfg.P, cfg.Schedule)
+	mi, err := pt.AllPairsMICtx(ctx, cfg.P, cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
 	res.MI = mi
 	g, deferred := l.draft(mi)
 	res.Graph = g
 	res.DraftTime = time.Since(t0)
 
 	t1 := time.Now()
-	l.thicken(g, deferred)
+	if err := l.thicken(g, deferred); err != nil {
+		return nil, err
+	}
 	res.ThickenTime = time.Since(t1)
 
 	t2 := time.Now()
-	l.thin(g)
+	if err := l.thin(g); err != nil {
+		return nil, err
+	}
 	res.ThinTime = time.Since(t2)
 
 	res.PDAG = OrientEdges(g, res.Sepsets)
@@ -162,9 +184,19 @@ type pair struct {
 }
 
 type learner struct {
+	ctx context.Context
 	pt  *core.PotentialTable
 	cfg Config
 	res *Result
+}
+
+// checkCtx is the learner's cancellation point, consulted between CI tests
+// and at phase-loop boundaries.
+func (l *learner) checkCtx() error {
+	if l.ctx.Err() != nil {
+		return context.Cause(l.ctx)
+	}
+	return nil
 }
 
 // draft is phase 1: sort dependent pairs by decreasing MI and add each
@@ -203,20 +235,31 @@ func (l *learner) draft(mi *core.MIMatrix) (*graph.Undirected, []pair) {
 
 // thicken is phase 2: for every deferred pair, add the edge unless a
 // conditional-independence test separates the endpoints.
-func (l *learner) thicken(g *graph.Undirected, deferred []pair) {
+func (l *learner) thicken(g *graph.Undirected, deferred []pair) error {
 	for _, p := range deferred {
-		if !l.tryToSeparate(g, p.i, p.j) {
+		if err := l.checkCtx(); err != nil {
+			return err
+		}
+		sep, err := l.tryToSeparate(g, p.i, p.j)
+		if err != nil {
+			return err
+		}
+		if !sep {
 			g.AddEdge(p.i, p.j)
 			l.res.ThickenEdges++
 		}
 	}
+	return nil
 }
 
 // thin is phase 3: every edge whose endpoints remain connected without it
 // is temporarily removed and permanently dropped if a CI test separates
 // the endpoints.
-func (l *learner) thin(g *graph.Undirected) {
+func (l *learner) thin(g *graph.Undirected) error {
 	for _, e := range g.Edges() {
+		if err := l.checkCtx(); err != nil {
+			return err
+		}
 		u, v := e[0], e[1]
 		if !g.HasEdge(u, v) {
 			continue // removed earlier in this phase
@@ -225,12 +268,18 @@ func (l *learner) thin(g *graph.Undirected) {
 			continue // the edge is the only connection; keep it
 		}
 		g.RemoveEdge(u, v)
-		if l.tryToSeparate(g, u, v) {
+		sep, err := l.tryToSeparate(g, u, v)
+		if err != nil {
+			g.AddEdge(u, v) // leave the graph structurally consistent
+			return err
+		}
+		if sep {
 			l.res.ThinnedEdges++
 		} else {
 			g.AddEdge(u, v)
 		}
 	}
+	return nil
 }
 
 // tryToSeparate implements Cheng et al.'s quantitative CI search: start
@@ -238,7 +287,7 @@ func (l *learner) thin(g *graph.Undirected) {
 // endpoint, and greedily shrink the conditioning set while the conditional
 // mutual information does not increase. Returns true if some conditioning
 // set C achieves I(x;y|C) < ε.
-func (l *learner) tryToSeparate(g *graph.Undirected, x, y int) bool {
+func (l *learner) tryToSeparate(g *graph.Undirected, x, y int) (bool, error) {
 	n1 := g.NeighborsOnPaths(x, y)
 	n2 := g.NeighborsOnPaths(y, x)
 	// Try the smaller candidate set first (paper's heuristic), then the
@@ -247,17 +296,25 @@ func (l *learner) tryToSeparate(g *graph.Undirected, x, y int) bool {
 	if len(n2) < len(n1) {
 		first, second = n2, n1
 	}
-	if set, ok := l.separates(first, x, y); ok {
+	set, ok, err := l.separates(first, x, y)
+	if err != nil {
+		return false, err
+	}
+	if ok {
 		l.res.Sepsets.Put(x, y, set)
-		return true
+		return true, nil
 	}
 	if !sameVars(first, second) {
-		if set, ok := l.separates(second, x, y); ok {
+		set, ok, err := l.separates(second, x, y)
+		if err != nil {
+			return false, err
+		}
+		if ok {
 			l.res.Sepsets.Put(x, y, set)
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 func sameVars(a, b []int) bool {
@@ -274,19 +331,25 @@ func sameVars(a, b []int) bool {
 
 // separates runs the greedy shrink loop on one candidate conditioning set,
 // returning the separating set it found.
-func (l *learner) separates(cand []int, x, y int) ([]int, bool) {
+func (l *learner) separates(cand []int, x, y int) ([]int, bool, error) {
 	if len(cand) == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	c := append([]int(nil), cand...)
 	if len(c) > l.cfg.MaxCondSet {
 		c = c[:l.cfg.MaxCondSet]
 	}
-	v := l.cmi(x, y, c)
+	v, err := l.cmi(x, y, c)
+	if err != nil {
+		return nil, false, err
+	}
 	if !l.dependent(v, x, y, l.condCells(c)) {
-		return c, true
+		return c, true, nil
 	}
 	for len(c) > 1 {
+		if err := l.checkCtx(); err != nil {
+			return nil, false, err
+		}
 		// The |C| candidate reductions are independent marginalizations;
 		// batch them through the fused multi-marginal primitive so the
 		// table is scanned once per greedy round instead of once per
@@ -303,7 +366,10 @@ func (l *learner) separates(cand []int, x, y int) ([]int, bool) {
 			vars = append(vars, x, y)
 			varsets[k] = vars
 		}
-		marginals := l.pt.MarginalizeMany(varsets, l.cfg.P)
+		marginals, err := l.pt.MarginalizeManyCtx(l.ctx, varsets, l.cfg.P)
+		if err != nil {
+			return nil, false, err
+		}
 		l.res.CITests += len(c)
 		ri := l.pt.Codec().Cardinality(x)
 		rj := l.pt.Codec().Cardinality(y)
@@ -311,19 +377,19 @@ func (l *learner) separates(cand []int, x, y int) ([]int, bool) {
 		for k := range c {
 			vk := stats.CondMutualInfoCounts(marginals[k].Counts, l.condCells(reductions[k]), ri, rj)
 			if !l.dependent(vk, x, y, l.condCells(reductions[k])) {
-				return reductions[k], true
+				return reductions[k], true, nil
 			}
 			if vk <= bestV {
 				bestIdx, bestV = k, vk
 			}
 		}
 		if bestIdx < 0 {
-			return nil, false // every reduction increases dependence
+			return nil, false, nil // every reduction increases dependence
 		}
 		c = append(c[:bestIdx], c[bestIdx+1:]...)
 		v = bestV
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // condCells returns the joint state count of a conditioning set, the rz
@@ -358,19 +424,22 @@ func (l *learner) dependent(statBits float64, x, y, rz int) bool {
 // cmi computes I(x;y|Z) from the potential table by marginalizing over
 // Z ∪ {x, y} (ordering Z first so the flattened layout matches
 // stats.CondMutualInfoCounts).
-func (l *learner) cmi(x, y int, z []int) float64 {
+func (l *learner) cmi(x, y int, z []int) (float64, error) {
 	l.res.CITests++
 	vars := make([]int, 0, len(z)+2)
 	vars = append(vars, z...)
 	vars = append(vars, x, y)
-	mg := l.pt.Marginalize(vars, l.cfg.P)
+	mg, err := l.pt.MarginalizeCtx(l.ctx, vars, l.cfg.P)
+	if err != nil {
+		return 0, err
+	}
 	rz := 1
 	for _, zv := range z {
 		rz *= l.pt.Codec().Cardinality(zv)
 	}
 	ri := l.pt.Codec().Cardinality(x)
 	rj := l.pt.Codec().Cardinality(y)
-	return stats.CondMutualInfoCounts(mg.Counts, rz, ri, rj)
+	return stats.CondMutualInfoCounts(mg.Counts, rz, ri, rj), nil
 }
 
 // SkeletonMetrics compares a learned skeleton against the skeleton of a
