@@ -3,7 +3,7 @@ GO ?= go
 # Extra seeds for the chaos sweep, e.g. `make chaos CHAOS_SEEDS=11,12,13`.
 CHAOS_SEEDS ?=
 
-.PHONY: all build vet test race check chaos bench-obs clean
+.PHONY: all build vet test race check chaos bench-obs bench-phases clean
 
 all: check
 
@@ -16,10 +16,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency core: the wait-free construction and the SPSC
-# queues it routes foreign keys through.
+# Race-check the concurrency core: the wait-free construction, the SPSC
+# queues it routes foreign keys through, and the phase-2/3 wavefront
+# scheduler (including the serial-vs-parallel bit-identity tests).
 race:
 	$(GO) test -race ./internal/core/... ./internal/spsc/...
+	$(GO) test -race -run 'Wavefront|FlattenedLayout' ./internal/structure/
 
 # chaos runs the fault-tolerance suite under the race detector: the
 # deterministic fault-injection engine, the chaos tests that inject panics,
@@ -39,6 +41,15 @@ check: vet build test race chaos
 # the acceptance bar is <= 5% construction-throughput overhead when off.
 bench-obs:
 	$(GO) test ./internal/core -run '^$$' -bench 'BuildObs' -benchtime 5x -count 3
+
+# bench-phases times the three learner phases, serial vs the speculative
+# wavefront, across the worker sweep 1,2,4,…,maxP, and emits one JSON
+# document of per-phase timings. The run itself asserts that every
+# configuration learns the identical skeleton with the identical CI-test
+# count, so it doubles as an end-to-end equivalence check. The acceptance
+# bar: thicken+thin improves with P and does not regress at P=1.
+bench-phases:
+	$(GO) run ./cmd/bnbench -exp phases -m 400000 -n 48 -r 2 -reps 3
 
 clean:
 	$(GO) clean ./...

@@ -129,6 +129,63 @@ func TestCLIPipeline(t *testing.T) {
 	}
 }
 
+// TestCLIGTestAlpha is the regression test for the -gtest -alpha panic:
+// any significance level in (0, 0.5] must learn cleanly (the critical
+// values used to be a two-entry lookup table that panicked on everything
+// else), an out-of-range alpha must be a one-line configuration error
+// rather than a stack dump, and -phase-par must reproduce the serial
+// skeleton bit for bit.
+func TestCLIGTestAlpha(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	tools := buildTools(t, "datagen", "bnlearn")
+	work := t.TempDir()
+	csv := filepath.Join(work, "data.csv")
+	run(t, tools["datagen"], "-net", "cancer", "-m", "60000", "-seed", "7", "-out", csv)
+
+	serial := run(t, tools["bnlearn"], "-in", csv, "-gtest", "-alpha", "0.001")
+	if !strings.Contains(serial, "learned skeleton") {
+		t.Fatalf("bnlearn -gtest -alpha 0.001 output unexpected:\n%s", serial)
+	}
+
+	// Same data, same test, wavefront scheduler: identical skeleton, and
+	// the wavefront/cache summary lines appear.
+	par := run(t, tools["bnlearn"], "-in", csv, "-gtest", "-alpha", "0.001", "-phase-par")
+	if got, want := edgeLines(par), edgeLines(serial); got != want {
+		t.Errorf("-phase-par skeleton differs from serial:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+	if !strings.Contains(par, "wavefront:") || !strings.Contains(par, "marg-cache:") {
+		t.Errorf("-phase-par output lacks wavefront/cache summary:\n%s", par)
+	}
+
+	// alpha outside (0, 0.5] is rejected up front with a clean diagnostic.
+	cmd := exec.Command(tools["bnlearn"], "-in", csv, "-gtest", "-alpha", "0.7")
+	msg, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bnlearn -gtest -alpha 0.7 succeeded, want configuration error:\n%s", msg)
+	}
+	out := string(msg)
+	if !strings.Contains(out, "alpha") {
+		t.Errorf("error does not mention alpha:\n%s", out)
+	}
+	if strings.Contains(out, "internal error") || strings.Contains(out, "goroutine") {
+		t.Errorf("bad alpha produced a panic path, want a plain error:\n%s", out)
+	}
+}
+
+// edgeLines extracts the learned-skeleton edge lines ("x1 -- x2   (I = …)"),
+// which carry the full edge set, orientations and MI values.
+func edgeLines(out string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "(I = ") {
+			b.WriteString(strings.TrimSpace(line) + "\n")
+		}
+	}
+	return b.String()
+}
+
 // TestCLIMetricsEndpoint drives the observability acceptance path: an
 // instrumented bnbench build serving live Prometheus text and a JSON
 // snapshot over -metrics-addr, with per-worker stage timings, queue traffic

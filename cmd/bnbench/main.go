@@ -33,15 +33,17 @@ import (
 	"strings"
 
 	"waitfreebn/internal/bench"
+	"waitfreebn/internal/bn"
 	"waitfreebn/internal/cliopt"
 	"waitfreebn/internal/core"
 	"waitfreebn/internal/dataset"
 	"waitfreebn/internal/obs"
+	"waitfreebn/internal/structure"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
+		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
 		m        = flag.Int("m", 1000000, "samples for single-m experiments (paper: 10000000)")
 		mList    = flag.String("mlist", "", "comma-separated m values for fig3 (default m/10, m, m*10 capped)")
 		n        = flag.Int("n", 30, "variables for single-n experiments (paper: 30)")
@@ -53,6 +55,7 @@ func main() {
 		schedule = flag.String("schedule", "fused", "fig5 MI schedule: partition|pair|fused")
 		csvPath  = flag.String("csv", "", "also write long-form CSV to this file")
 		accNet   = flag.String("net", "asia", "ground-truth network for -exp accuracy: asia|cancer|chain10|naivebayes10")
+		waveSize = flag.Int("wavesize", 0, "speculation wave size for -exp phases (0 = learner default)")
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
@@ -67,6 +70,10 @@ func main() {
 
 	if *exp == "build" {
 		runInstrumentedBuild(ctx, coreFl, obsFl, *m, *n, *r, *seed)
+		return
+	}
+	if *exp == "phases" {
+		runPhases(ctx, *m, *n, *r, *maxP, *reps, *waveSize, *seed)
 		return
 	}
 
@@ -198,6 +205,89 @@ func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliop
 		fatal(err)
 	}
 	stopObs()
+}
+
+// runPhases benchmarks the three learner phases separately on a wide
+// random network — the workload where the CI search of phases 2-3, not the
+// table build, dominates — comparing the serial learner against the
+// speculative wavefront across the worker sweep. Output is one JSON
+// document (long-form rows) for external plotting; the run aborts if any
+// configuration disagrees on the learned skeleton, so the bench doubles as
+// an end-to-end equivalence check.
+func runPhases(ctx context.Context, m, n, r, maxP, reps, waveSize int, seed uint64) {
+	net := bn.RandomDAG(n, r, 0.15, 3, 0.6, seed)
+	d, err := net.Sample(m, seed+1, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fatal(err)
+	}
+	pt, _, err := core.BuildCtx(ctx, d, core.Options{P: maxP})
+	if err != nil {
+		fatal(err)
+	}
+	type row struct {
+		Mode          string  `json:"mode"`
+		P             int     `json:"p"`
+		DraftS        float64 `json:"draft_s"`
+		ThickenS      float64 `json:"thicken_s"`
+		ThinS         float64 `json:"thin_s"`
+		Edges         int     `json:"edges"`
+		CITests       int     `json:"ci_tests"`
+		Waves         int     `json:"waves,omitempty"`
+		Requeued      int     `json:"requeued,omitempty"`
+		WastedCITests int     `json:"wasted_ci_tests,omitempty"`
+		CacheHitRate  float64 `json:"cache_hit_rate,omitempty"`
+	}
+	out := struct {
+		Experiment string `json:"experiment"`
+		N          int    `json:"n"`
+		R          int    `json:"r"`
+		M          int    `json:"m"`
+		TruthEdges int    `json:"truth_edges"`
+		Rows       []row  `json:"rows"`
+	}{Experiment: "phases", N: n, R: r, M: m, TruthEdges: net.DAG().NumEdges()}
+
+	refEdges, refCI := -1, -1
+	for _, mode := range []string{"serial", "wavefront"} {
+		for _, p := range bench.DefaultPs(maxP) {
+			cfg := structure.Config{P: p, Epsilon: 0.003, PhasePar: mode == "wavefront", WaveSize: waveSize}
+			var best *structure.Result
+			for rep := 0; rep < reps; rep++ {
+				res, err := structure.LearnFromTableCtx(ctx, pt, cfg)
+				if err != nil {
+					fatal(err)
+				}
+				if best == nil || res.ThickenTime+res.ThinTime < best.ThickenTime+best.ThinTime {
+					best = res
+				}
+			}
+			if refEdges < 0 {
+				refEdges, refCI = best.Graph.NumEdges(), best.CITests
+			} else if best.Graph.NumEdges() != refEdges || best.CITests != refCI {
+				fatal(fmt.Errorf("phases: %s P=%d learned %d edges / %d CI tests, want %d / %d",
+					mode, p, best.Graph.NumEdges(), best.CITests, refEdges, refCI))
+			}
+			out.Rows = append(out.Rows, row{
+				Mode:          mode,
+				P:             p,
+				DraftS:        best.DraftTime.Seconds(),
+				ThickenS:      best.ThickenTime.Seconds(),
+				ThinS:         best.ThinTime.Seconds(),
+				Edges:         best.Graph.NumEdges(),
+				CITests:       best.CITests,
+				Waves:         best.Waves,
+				Requeued:      best.Requeued,
+				WastedCITests: best.WastedCITests,
+				CacheHitRate:  best.Cache.HitRate(),
+			})
+			fmt.Fprintf(os.Stderr, "phases: %s P=%d thicken %.3fs thin %.3fs\n",
+				mode, p, best.ThickenTime.Seconds(), best.ThinTime.Seconds())
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
 }
 
 func parseSchedule(s string) (core.MISchedule, error) {

@@ -50,6 +50,7 @@ func main() {
 		emit    = flag.String("emit", "", "fit CPTs on the learned structure and write the model as JSON to this path")
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
+	learnFl := cliopt.AddLearn(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
 	rtFl := cliopt.AddRuntime(flag.CommandLine)
 	flag.Parse()
@@ -109,6 +110,7 @@ func main() {
 	if *gtest {
 		cfg.Test = structure.TestG
 	}
+	learnFl.Apply(&cfg)
 	res, err := structure.LearnCtx(ctx, data, cfg)
 	if err != nil {
 		fatal(err)
@@ -146,8 +148,15 @@ func main() {
 		res.DraftEdges, res.DraftTime.Round(time.Microsecond),
 		res.ThickenEdges, res.ThickenTime.Round(time.Microsecond),
 		res.ThinnedEdges, res.ThinTime.Round(time.Microsecond))
-	fmt.Printf("build: %v (%s), CI tests: %d\n",
-		res.BuildTime.Round(time.Microsecond), res.BuildStats, res.CITests)
+	fmt.Printf("build: %v (%s), CI tests: %d (%d cond-set truncations)\n",
+		res.BuildTime.Round(time.Microsecond), res.BuildStats, res.CITests, res.CondSetTruncations)
+	if cfg.PhasePar {
+		fmt.Printf("wavefront: %d waves, %d requeued, %d wasted CI tests\n",
+			res.Waves, res.Requeued, res.WastedCITests)
+	}
+	if res.Cache.Hits+res.Cache.Misses > 0 {
+		fmt.Printf("marg-cache: %s\n", res.Cache)
+	}
 
 	if *emit != "" {
 		dag, err := res.PDAG.ToDAG()

@@ -22,6 +22,7 @@ import (
 	"waitfreebn/internal/faultinject"
 	"waitfreebn/internal/obs"
 	"waitfreebn/internal/spsc"
+	"waitfreebn/internal/structure"
 )
 
 // Core holds the parsed values of the shared construction flags.
@@ -82,6 +83,26 @@ func (c *Core) Options() (core.Options, error) {
 		return opts, fmt.Errorf("unknown -table %q (want open|chained|gomap)", c.Table)
 	}
 	return opts, nil
+}
+
+// Learn holds the parsed values of the shared structure-learner flags.
+type Learn struct {
+	PhasePar  bool
+	MargCache int
+}
+
+// AddLearn registers the shared learner flags on fs.
+func AddLearn(fs *flag.FlagSet) *Learn {
+	l := &Learn{}
+	fs.BoolVar(&l.PhasePar, "phase-par", false, "parallelize the thicken/thin phases with the speculative wavefront scheduler (output stays bit-identical to the serial learner)")
+	fs.IntVar(&l.MargCache, "marg-cache", 0, "marginal-cache budget in table cells, ≈8 bytes each (0 = auto: enabled with -phase-par; negative = disabled)")
+	return l
+}
+
+// Apply maps the parsed flags onto a learner configuration.
+func (l *Learn) Apply(cfg *structure.Config) {
+	cfg.PhasePar = l.PhasePar
+	cfg.MargCacheCells = l.MargCache
 }
 
 // Obs holds the parsed values of the shared observability flags.

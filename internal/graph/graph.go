@@ -15,10 +15,16 @@ import (
 )
 
 // Undirected is a simple undirected graph on n vertices.
+//
+// All query methods (HasEdge, Neighbors, HasPath, AdjacencyPath,
+// NeighborsOnPaths, Epoch, ...) are read-only and safe for concurrent use
+// as long as no goroutine mutates the graph; AddEdge and RemoveEdge require
+// exclusive access.
 type Undirected struct {
-	n   int
-	adj [][]bool
-	nbr [][]int // lazily maintained sorted adjacency lists
+	n     int
+	adj   [][]bool
+	nbr   [][]int // lazily maintained sorted adjacency lists
+	epoch uint64  // bumped on every structural change
 }
 
 // NewUndirected returns an empty undirected graph on n vertices.
@@ -56,7 +62,16 @@ func (g *Undirected) AddEdge(u, v int) {
 	g.adj[v][u] = true
 	g.nbr[u] = insertSorted(g.nbr[u], v)
 	g.nbr[v] = insertSorted(g.nbr[v], u)
+	g.epoch++
 }
+
+// Epoch returns a counter that advances on every structural change
+// (successful AddEdge or RemoveEdge). Two Epoch reads that agree bracket a
+// mutation-free window, which lets speculative consumers (the wavefront
+// scheduler in internal/structure) skip re-validating work computed against
+// an earlier state of the graph. No-op calls (adding an existing edge,
+// removing a missing one) do not advance the epoch.
+func (g *Undirected) Epoch() uint64 { return g.epoch }
 
 // RemoveEdge deletes the undirected edge {u, v} if present.
 func (g *Undirected) RemoveEdge(u, v int) {
@@ -69,6 +84,7 @@ func (g *Undirected) RemoveEdge(u, v int) {
 	g.adj[v][u] = false
 	g.nbr[u] = removeSorted(g.nbr[u], v)
 	g.nbr[v] = removeSorted(g.nbr[v], u)
+	g.epoch++
 }
 
 // HasEdge reports whether {u, v} is an edge.
@@ -155,15 +171,33 @@ func (g *Undirected) HasPath(u, v int, blocked map[int]bool) bool {
 
 // AdjacencyPath reports whether u and v are connected when the direct edge
 // {u, v} is ignored — the "is there another route" test used while
-// drafting.
+// drafting and thinning. The search never mutates the graph (it skips the
+// u—v step instead of temporarily removing it), so it is safe for
+// concurrent readers and leaves Epoch untouched.
 func (g *Undirected) AdjacencyPath(u, v int) bool {
-	if !g.adj[u][v] {
-		return g.HasPath(u, v, nil)
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return true
 	}
-	g.RemoveEdge(u, v)
-	ok := g.HasPath(u, v, nil)
-	g.AddEdge(u, v)
-	return ok
+	visited := make([]bool, g.n)
+	visited[u] = true
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range g.nbr[x] {
+			if visited[y] || (x == u && y == v) {
+				continue
+			}
+			if y == v {
+				return true
+			}
+			visited[y] = true
+			stack = append(stack, y)
+		}
+	}
+	return false
 }
 
 // NeighborsOnPaths returns the neighbors of u that lie on at least one

@@ -180,3 +180,49 @@ func TestCloneIndependence(t *testing.T) {
 		t.Error("Clone shares state with original")
 	}
 }
+
+func TestEpochAdvancesOnMutation(t *testing.T) {
+	g := NewUndirected(4)
+	e0 := g.Epoch()
+	g.AddEdge(0, 1)
+	if g.Epoch() == e0 {
+		t.Error("AddEdge did not advance the epoch")
+	}
+	e1 := g.Epoch()
+	g.AddEdge(0, 1) // duplicate: no structural change
+	if g.Epoch() != e1 {
+		t.Error("duplicate AddEdge advanced the epoch")
+	}
+	g.RemoveEdge(2, 3) // missing: no structural change
+	if g.Epoch() != e1 {
+		t.Error("no-op RemoveEdge advanced the epoch")
+	}
+	g.RemoveEdge(0, 1)
+	if g.Epoch() == e1 {
+		t.Error("RemoveEdge did not advance the epoch")
+	}
+}
+
+func TestAdjacencyPathIsReadOnly(t *testing.T) {
+	// AdjacencyPath used to remove and re-add the direct edge; the
+	// wavefront scheduler runs it concurrently from speculation workers,
+	// so it must neither mutate the graph nor advance the epoch.
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	e := g.Epoch()
+	if !g.AdjacencyPath(0, 2) {
+		t.Error("0-1-2 detour not found")
+	}
+	if g.AdjacencyPath(2, 3) {
+		t.Error("2-3 has no detour")
+	}
+	if g.Epoch() != e {
+		t.Error("AdjacencyPath mutated the graph")
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 3) {
+		t.Error("AdjacencyPath lost an edge")
+	}
+}

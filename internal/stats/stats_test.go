@@ -297,6 +297,15 @@ func TestChiSquareCritical(t *testing.T) {
 		{10, 0.05, 18.307},
 		{1, 0.01, 6.635},
 		{4, 0.01, 13.277},
+		// General alphas (the user-reachable -alpha path): reference
+		// values from standard χ² tables.
+		{1, 0.001, 10.828},
+		{2, 0.001, 13.816},
+		{10, 0.001, 29.588},
+		{1, 0.1, 2.706},
+		{5, 0.1, 9.236},
+		{1, 0.5, 0.455},
+		{8, 0.025, 17.535},
 	}
 	for _, tc := range cases {
 		got := ChiSquareCritical(tc.df, tc.alpha)
@@ -306,10 +315,45 @@ func TestChiSquareCritical(t *testing.T) {
 	}
 }
 
+func TestChiSquareCriticalMonotoneInAlpha(t *testing.T) {
+	// Smaller alpha must mean a stricter (larger) threshold at every df.
+	for _, df := range []int{1, 2, 3, 7, 20} {
+		prev := math.Inf(1)
+		for _, alpha := range []float64{1e-6, 1e-4, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5} {
+			got := ChiSquareCritical(df, alpha)
+			if got >= prev {
+				t.Errorf("ChiSquareCritical(%d, %v) = %v not below %v", df, alpha, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.9995, 3.290527},
+		{0.001, -3.090232},
+		{1e-6, -4.753424},
+	}
+	for _, tc := range cases {
+		got := NormalQuantile(tc.p)
+		if math.Abs(got-tc.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want ~%v", tc.p, got, tc.want)
+		}
+	}
+}
+
 func TestChiSquareCriticalPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
-		"df=0":      func() { ChiSquareCritical(0, 0.05) },
-		"bad alpha": func() { ChiSquareCritical(3, 0.1) },
+		"df=0":       func() { ChiSquareCritical(0, 0.05) },
+		"alpha=0":    func() { ChiSquareCritical(3, 0) },
+		"alpha>0.5":  func() { ChiSquareCritical(3, 0.7) },
+		"alpha<0":    func() { ChiSquareCritical(3, -0.01) },
+		"quantile 0": func() { NormalQuantile(0) },
+		"quantile 1": func() { NormalQuantile(1) },
 	} {
 		func() {
 			defer func() {

@@ -70,11 +70,37 @@ type Config struct {
 	Schedule core.MISchedule
 	// MaxCondSet caps the size of conditioning sets in try-to-separate.
 	// Default 6; larger sets make CI estimates unreliable and marginal
-	// tables exponentially big.
+	// tables exponentially big. When a candidate set exceeds the cap, the
+	// MaxCondSet candidates with the highest pairwise relevance to the
+	// tested pair (MI to either endpoint) are kept; every truncation is
+	// counted in Result.CondSetTruncations.
 	MaxCondSet int
+	// PhasePar enables the speculative wavefront scheduler for phases 2-3
+	// (thickening and thinning): CI tests for a wave of pending pairs are
+	// evaluated concurrently against a snapshot of the graph and committed
+	// in the serial order, so the result is bit-identical to the serial
+	// learner. Off by default.
+	PhasePar bool
+	// WaveSize caps how many pending pairs/edges one wavefront round
+	// speculates on. Default 32. Larger waves expose more parallelism and
+	// fuse more marginalizations per table scan but waste more work when a
+	// committed decision invalidates the rest of the wave — thickening in
+	// particular invalidates aggressively (every kept edge reshapes the
+	// candidate sets behind it), and measured waste grows superlinearly in
+	// the wave size while thinning is already near its fusion ceiling at 32.
+	WaveSize int
+	// MargCacheCells bounds the varset→marginal cache, in table cells
+	// (≈ 8·cells bytes). 0 enables a default-sized cache (2^21 cells) when
+	// PhasePar is set and disables it otherwise; negative disables the
+	// cache unconditionally.
+	MargCacheCells int
 	// BuildOptions configures the wait-free table construction.
 	BuildOptions core.Options
 }
+
+// defaultMargCacheCells sizes the marginal cache when MargCacheCells is 0
+// and the wavefront is on: 2^21 cells ≈ 16 MiB of counts.
+const defaultMargCacheCells = 1 << 21
 
 func (c Config) withDefaults() Config {
 	if c.Epsilon <= 0 {
@@ -86,7 +112,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxCondSet <= 0 {
 		c.MaxCondSet = 6
 	}
+	if c.WaveSize <= 0 {
+		c.WaveSize = 32
+	}
 	return c
+}
+
+// validate rejects configurations the statistical machinery cannot honor.
+// It runs after withDefaults, so only explicitly bad values are caught; in
+// particular it turns the former stats.ChiSquareCritical panic on exotic
+// significance levels into an error at the API boundary.
+func (c Config) validate() error {
+	if c.Test == TestG && !(c.Alpha > 0 && c.Alpha <= 0.5) {
+		return fmt.Errorf("structure: g-test significance alpha = %v outside (0, 0.5]", c.Alpha)
+	}
+	return nil
 }
 
 // Result reports the learned skeleton and per-phase instrumentation.
@@ -100,13 +140,24 @@ type Result struct {
 	ThickenEdges int // edges added in phase 2
 	ThinnedEdges int // edges removed in phase 3
 	CITests      int // conditional-independence tests evaluated
+	// CondSetTruncations counts candidate conditioning sets clipped to
+	// MaxCondSet by the MI-relevance selection.
+	CondSetTruncations int
+
+	// Wavefront counters (zero when PhasePar is off). All are deterministic
+	// functions of the input — wave composition does not depend on P — so
+	// they are reproducible across worker counts.
+	Waves         int // speculation rounds run by phases 2-3
+	Requeued      int // wave items invalidated by an earlier commit and retried
+	WastedCITests int // CI tests computed speculatively and then discarded
 
 	BuildTime   time.Duration // potential-table construction
 	DraftTime   time.Duration // all-pairs MI + draft assembly
 	ThickenTime time.Duration
 	ThinTime    time.Duration
 
-	BuildStats core.Stats // wait-free construction counters
+	BuildStats core.Stats      // wait-free construction counters
+	Cache      core.CacheStats // marginal-cache counters (zero when disabled)
 }
 
 // Learn runs the full three-phase algorithm on a dataset: the potential
@@ -122,6 +173,9 @@ func Learn(data *dataset.Dataset, cfg Config) (*Result, error) {
 // than running the remaining phases.
 func LearnCtx(ctx context.Context, data *dataset.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	pt, st, err := core.BuildCtx(ctx, data, cfg.BuildOptions)
 	if err != nil {
@@ -145,12 +199,21 @@ func LearnFromTable(pt *core.PotentialTable, cfg Config) (*Result, error) {
 // contract (see LearnCtx).
 func LearnFromTableCtx(ctx context.Context, pt *core.PotentialTable, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	n := pt.Codec().NumVars()
 	if n < 2 {
 		return nil, fmt.Errorf("structure: need at least 2 variables, have %d", n)
 	}
 	res := &Result{Sepsets: NewSepsets(n)}
 	l := &learner{ctx: ctx, pt: pt, cfg: cfg, res: res}
+	if cells := cfg.MargCacheCells; cells > 0 || (cells == 0 && cfg.PhasePar) {
+		if cells <= 0 {
+			cells = defaultMargCacheCells
+		}
+		l.cache = core.NewMarginalCache(cells, cfg.BuildOptions.Obs)
+	}
 
 	t0 := time.Now()
 	mi, err := pt.AllPairsMICtx(ctx, cfg.P, cfg.Schedule)
@@ -163,18 +226,30 @@ func LearnFromTableCtx(ctx context.Context, pt *core.PotentialTable, cfg Config)
 	res.DraftTime = time.Since(t0)
 
 	t1 := time.Now()
-	if err := l.thicken(g, deferred); err != nil {
+	if cfg.PhasePar {
+		err = l.thickenWave(g, deferred)
+	} else {
+		err = l.thicken(g, deferred)
+	}
+	if err != nil {
 		return nil, err
 	}
 	res.ThickenTime = time.Since(t1)
 
 	t2 := time.Now()
-	if err := l.thin(g); err != nil {
+	if cfg.PhasePar {
+		err = l.thinWave(g)
+	} else {
+		err = l.thin(g)
+	}
+	if err != nil {
 		return nil, err
 	}
 	res.ThinTime = time.Since(t2)
 
 	res.PDAG = OrientEdges(g, res.Sepsets)
+	res.Cache = l.cache.Stats()
+	publishLearnMetrics(cfg.BuildOptions.Obs, res)
 	return res, nil
 }
 
@@ -184,10 +259,11 @@ type pair struct {
 }
 
 type learner struct {
-	ctx context.Context
-	pt  *core.PotentialTable
-	cfg Config
-	res *Result
+	ctx   context.Context
+	pt    *core.PotentialTable
+	cfg   Config
+	res   *Result
+	cache *core.MarginalCache // nil when disabled
 }
 
 // checkCtx is the learner's cancellation point, consulted between CI tests
@@ -206,7 +282,7 @@ func (l *learner) draft(mi *core.MIMatrix) (*graph.Undirected, []pair) {
 	n := mi.N
 	var pairs []pair
 	mi.ForEachPair(func(i, j int, v float64) {
-		if l.dependent(v, i, j, 1) {
+		if dependentStat(l.pt, l.cfg, v, i, j, 1) {
 			pairs = append(pairs, pair{i, j, v})
 		}
 	})
@@ -282,39 +358,89 @@ func (l *learner) thin(g *graph.Undirected) error {
 	return nil
 }
 
-// tryToSeparate implements Cheng et al.'s quantitative CI search: start
-// from the neighbors of each endpoint that lie on paths to the other
-// endpoint, and greedily shrink the conditioning set while the conditional
-// mutual information does not increase. Returns true if some conditioning
-// set C achieves I(x;y|C) < ε.
+// tryToSeparate is the serial entry into the CI search: it computes the
+// candidate conditioning sets from the live graph, runs the shared ciEval
+// machinery on them, and commits the outcome (counters, sepset) directly.
 func (l *learner) tryToSeparate(g *graph.Undirected, x, y int) (bool, error) {
-	n1 := g.NeighborsOnPaths(x, y)
-	n2 := g.NeighborsOnPaths(y, x)
+	e := l.newEval(l.ctx, &directMargSource{l: l})
+	set, sep, err := e.tryToSeparate(g.NeighborsOnPaths(x, y), g.NeighborsOnPaths(y, x), x, y)
+	l.res.CITests += e.tests
+	l.res.CondSetTruncations += e.truncated
+	if err != nil {
+		return false, err
+	}
+	if sep {
+		l.res.Sepsets.Put(x, y, set)
+	}
+	return sep, nil
+}
+
+// newEval builds a ciEval bound to a marginal source. The serial learner
+// and the wavefront scheduler share this machinery, so a speculative CI
+// decision is the same pure function of (candidate sets, pair, table,
+// config) as the serial one — the heart of the bit-identical guarantee.
+func (l *learner) newEval(ctx context.Context, src margSource) *ciEval {
+	return &ciEval{ctx: ctx, pt: l.pt, cfg: l.cfg, mi: l.res.MI, src: src}
+}
+
+// margSource supplies marginal tables for batches of varsets. The serial
+// path computes them in place; the wavefront path posts the request to a
+// coordinator that fuses requests from the whole wave into shared scans.
+type margSource interface {
+	marginals(varsets [][]int) ([]*core.Marginal, error)
+}
+
+// directMargSource computes marginals immediately through the (optionally
+// cached) fused entry point.
+type directMargSource struct{ l *learner }
+
+func (s *directMargSource) marginals(varsets [][]int) ([]*core.Marginal, error) {
+	return s.l.pt.MarginalizeManyCachedCtx(s.l.ctx, varsets, s.l.cfg.P, s.l.cache)
+}
+
+// ciEval runs Cheng et al.'s quantitative CI search for one pair. Test and
+// truncation counts accumulate locally so a speculative evaluation that is
+// later discarded never pollutes Result's deterministic counters.
+type ciEval struct {
+	ctx context.Context
+	pt  *core.PotentialTable
+	cfg Config
+	mi  *core.MIMatrix
+	src margSource
+
+	tests     int // CI tests evaluated
+	truncated int // candidate sets clipped to MaxCondSet
+}
+
+// checkCtx is the evaluation's cancellation point, consulted between
+// greedy-shrink rounds.
+func (e *ciEval) checkCtx() error {
+	if e.ctx.Err() != nil {
+		return context.Cause(e.ctx)
+	}
+	return nil
+}
+
+// tryToSeparate implements the quantitative CI search given the two
+// candidate conditioning sets (the neighbors of each endpoint that lie on
+// paths to the other): greedily shrink each while the conditional mutual
+// information does not increase. Returns the separating set C achieving
+// independence of x and y given C, if one is found.
+func (e *ciEval) tryToSeparate(n1, n2 []int, x, y int) ([]int, bool, error) {
 	// Try the smaller candidate set first (paper's heuristic), then the
 	// other if the first fails.
 	first, second := n1, n2
 	if len(n2) < len(n1) {
 		first, second = n2, n1
 	}
-	set, ok, err := l.separates(first, x, y)
-	if err != nil {
-		return false, err
-	}
-	if ok {
-		l.res.Sepsets.Put(x, y, set)
-		return true, nil
+	set, ok, err := e.separates(first, x, y)
+	if err != nil || ok {
+		return set, ok, err
 	}
 	if !sameVars(first, second) {
-		set, ok, err := l.separates(second, x, y)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			l.res.Sepsets.Put(x, y, set)
-			return true, nil
-		}
+		return e.separates(second, x, y)
 	}
-	return false, nil
+	return nil, false, nil
 }
 
 func sameVars(a, b []int) bool {
@@ -329,25 +455,52 @@ func sameVars(a, b []int) bool {
 	return true
 }
 
+// truncate clips a too-large candidate conditioning set to MaxCondSet. The
+// kept candidates are those most relevant to the tested pair — highest
+// MI(c,x) + MI(c,y) from the drafting phase's all-pairs matrix, ties broken
+// by ascending variable id — rather than whichever ones happened to sort
+// first, so the selection is principled and independent of neighbor-list
+// ordering. The kept set is returned sorted ascending, preserving the
+// (conditioning..., x, y) layout contract. Without an MI matrix (not
+// reachable through the public entry points) it falls back to the sorted
+// prefix, which is still deterministic.
+func (e *ciEval) truncate(c []int, x, y int) []int {
+	e.truncated++
+	if e.mi == nil {
+		return c[:e.cfg.MaxCondSet]
+	}
+	sort.SliceStable(c, func(a, b int) bool {
+		sa := e.mi.At(c[a], x) + e.mi.At(c[a], y)
+		sb := e.mi.At(c[b], x) + e.mi.At(c[b], y)
+		if sa != sb {
+			return sa > sb
+		}
+		return c[a] < c[b]
+	})
+	c = c[:e.cfg.MaxCondSet]
+	sort.Ints(c)
+	return c
+}
+
 // separates runs the greedy shrink loop on one candidate conditioning set,
 // returning the separating set it found.
-func (l *learner) separates(cand []int, x, y int) ([]int, bool, error) {
+func (e *ciEval) separates(cand []int, x, y int) ([]int, bool, error) {
 	if len(cand) == 0 {
 		return nil, false, nil
 	}
 	c := append([]int(nil), cand...)
-	if len(c) > l.cfg.MaxCondSet {
-		c = c[:l.cfg.MaxCondSet]
+	if len(c) > e.cfg.MaxCondSet {
+		c = e.truncate(c, x, y)
 	}
-	v, err := l.cmi(x, y, c)
+	v, err := e.cmi(x, y, c)
 	if err != nil {
 		return nil, false, err
 	}
-	if !l.dependent(v, x, y, l.condCells(c)) {
+	if !e.dependent(v, x, y, e.condCells(c)) {
 		return c, true, nil
 	}
 	for len(c) > 1 {
-		if err := l.checkCtx(); err != nil {
+		if err := e.checkCtx(); err != nil {
 			return nil, false, err
 		}
 		// The |C| candidate reductions are independent marginalizations;
@@ -366,17 +519,17 @@ func (l *learner) separates(cand []int, x, y int) ([]int, bool, error) {
 			vars = append(vars, x, y)
 			varsets[k] = vars
 		}
-		marginals, err := l.pt.MarginalizeManyCtx(l.ctx, varsets, l.cfg.P)
+		marginals, err := e.src.marginals(varsets)
 		if err != nil {
 			return nil, false, err
 		}
-		l.res.CITests += len(c)
-		ri := l.pt.Codec().Cardinality(x)
-		rj := l.pt.Codec().Cardinality(y)
+		e.tests += len(c)
+		ri := e.pt.Codec().Cardinality(x)
+		rj := e.pt.Codec().Cardinality(y)
 		bestIdx, bestV := -1, v
 		for k := range c {
-			vk := stats.CondMutualInfoCounts(marginals[k].Counts, l.condCells(reductions[k]), ri, rj)
-			if !l.dependent(vk, x, y, l.condCells(reductions[k])) {
+			vk := stats.CondMutualInfoCounts(marginals[k].Counts, e.condCells(reductions[k]), ri, rj)
+			if !e.dependent(vk, x, y, e.condCells(reductions[k])) {
 				return reductions[k], true, nil
 			}
 			if vk <= bestV {
@@ -394,10 +547,10 @@ func (l *learner) separates(cand []int, x, y int) ([]int, bool, error) {
 
 // condCells returns the joint state count of a conditioning set, the rz
 // axis of the flattened contingency table.
-func (l *learner) condCells(z []int) int {
+func (e *ciEval) condCells(z []int) int {
 	rz := 1
 	for _, zv := range z {
-		rz *= l.pt.Codec().Cardinality(zv)
+		rz *= e.pt.Codec().Cardinality(zv)
 	}
 	return rz
 }
@@ -405,41 +558,44 @@ func (l *learner) condCells(z []int) int {
 // dependent applies the configured CI decision rule to an observed
 // (conditional) mutual information of statBits bits between variables x
 // and y given a conditioning set with rz joint states.
-func (l *learner) dependent(statBits float64, x, y, rz int) bool {
-	switch l.cfg.Test {
+func (e *ciEval) dependent(statBits float64, x, y, rz int) bool {
+	return dependentStat(e.pt, e.cfg, statBits, x, y, rz)
+}
+
+// dependentStat is the CI decision rule shared by the drafting phase
+// (which has no ciEval) and the CI search.
+func dependentStat(pt *core.PotentialTable, cfg Config, statBits float64, x, y, rz int) bool {
+	switch cfg.Test {
 	case TestG:
-		ri := l.pt.Codec().Cardinality(x)
-		rj := l.pt.Codec().Cardinality(y)
+		ri := pt.Codec().Cardinality(x)
+		rj := pt.Codec().Cardinality(y)
 		df := (ri - 1) * (rj - 1) * rz
 		if df < 1 {
 			df = 1
 		}
-		g := 2 * float64(l.pt.NumSamples()) * math.Ln2 * statBits
-		return g > stats.ChiSquareCritical(df, l.cfg.Alpha)
+		g := 2 * float64(pt.NumSamples()) * math.Ln2 * statBits
+		return g > stats.ChiSquareCritical(df, cfg.Alpha)
 	default:
-		return statBits >= l.cfg.Epsilon
+		return statBits >= cfg.Epsilon
 	}
 }
 
 // cmi computes I(x;y|Z) from the potential table by marginalizing over
 // Z ∪ {x, y} (ordering Z first so the flattened layout matches
 // stats.CondMutualInfoCounts).
-func (l *learner) cmi(x, y int, z []int) (float64, error) {
-	l.res.CITests++
+func (e *ciEval) cmi(x, y int, z []int) (float64, error) {
+	e.tests++
 	vars := make([]int, 0, len(z)+2)
 	vars = append(vars, z...)
 	vars = append(vars, x, y)
-	mg, err := l.pt.MarginalizeCtx(l.ctx, vars, l.cfg.P)
+	ms, err := e.src.marginals([][]int{vars})
 	if err != nil {
 		return 0, err
 	}
-	rz := 1
-	for _, zv := range z {
-		rz *= l.pt.Codec().Cardinality(zv)
-	}
-	ri := l.pt.Codec().Cardinality(x)
-	rj := l.pt.Codec().Cardinality(y)
-	return stats.CondMutualInfoCounts(mg.Counts, rz, ri, rj), nil
+	rz := e.condCells(z)
+	ri := e.pt.Codec().Cardinality(x)
+	rj := e.pt.Codec().Cardinality(y)
+	return stats.CondMutualInfoCounts(ms[0].Counts, rz, ri, rj), nil
 }
 
 // SkeletonMetrics compares a learned skeleton against the skeleton of a
