@@ -3,7 +3,7 @@ GO ?= go
 # Extra seeds for the chaos sweep, e.g. `make chaos CHAOS_SEEDS=11,12,13`.
 CHAOS_SEEDS ?=
 
-.PHONY: all build vet test race check chaos bench-obs bench-phases clean
+.PHONY: all build vet test race check chaos bench-obs bench-phases bench-scan clean
 
 all: check
 
@@ -50,6 +50,14 @@ bench-obs:
 # bar: thicken+thin improves with P and does not regress at P=1.
 bench-phases:
 	$(GO) run ./cmd/bnbench -exp phases -m 400000 -n 48 -r 2 -reps 3
+
+# bench-scan times the read path live-vs-frozen: fused all-pairs MI and a
+# fused multi-marginal batch over the same table before and after Freeze,
+# across the worker sweep, with a built-in bit-identity check between the
+# two paths. The acceptance bar: frozen fused MI >= 1.5x live at P=1 and
+# >2x frozen self-speedup at 8 cores.
+bench-scan:
+	$(GO) run ./cmd/bnbench -exp scan -m 1000000 -n 30 -r 2 -reps 3
 
 clean:
 	$(GO) clean ./...

@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
+		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
 		m        = flag.Int("m", 1000000, "samples for single-m experiments (paper: 10000000)")
 		mList    = flag.String("mlist", "", "comma-separated m values for fig3 (default m/10, m, m*10 capped)")
 		n        = flag.Int("n", 30, "variables for single-n experiments (paper: 30)")
@@ -74,6 +74,10 @@ func main() {
 	}
 	if *exp == "phases" {
 		runPhases(ctx, *m, *n, *r, *maxP, *reps, *waveSize, *seed)
+		return
+	}
+	if *exp == "scan" {
+		runScan(ctx, *m, *n, *r, *maxP, *reps, *seed)
 		return
 	}
 
@@ -281,6 +285,104 @@ func runPhases(ctx context.Context, m, n, r, maxP, reps, waveSize int, seed uint
 			})
 			fmt.Fprintf(os.Stderr, "phases: %s P=%d thicken %.3fs thin %.3fs\n",
 				mode, p, best.ThickenTime.Seconds(), best.ThinTime.Seconds())
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// runScan benchmarks the read path live-vs-frozen: fused all-pairs MI and a
+// fused multi-marginal batch are timed against the same table before and
+// after Freeze, across the worker sweep. The run asserts that the MI matrix
+// and every marginal are bit-identical between the two paths, so the bench
+// doubles as the frozen-layout equivalence check.
+func runScan(ctx context.Context, m, n, r, maxP, reps int, seed uint64) {
+	data := dataset.NewUniformCard(m, n, r)
+	data.UniformIndependent(seed, runtime.GOMAXPROCS(0))
+	pt, st, err := core.BuildCtx(ctx, data, core.Options{P: maxP})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "scan: built %d samples, %d distinct keys\n", m, st.DistinctKeys)
+
+	// A batch of disjoint variable triples for the fused multi-marginal
+	// kernel, the shape the wavefront's rendezvous scans produce.
+	var varsets [][]int
+	for i := 0; i+2 < n; i += 3 {
+		varsets = append(varsets, []int{i, i + 1, i + 2})
+	}
+
+	type row struct {
+		Path     string  `json:"path"`
+		P        int     `json:"p"`
+		FusedMIS float64 `json:"fused_mi_s"`
+		MargS    float64 `json:"marg_many_s"`
+	}
+	out := struct {
+		Experiment    string  `json:"experiment"`
+		M             int     `json:"m"`
+		N             int     `json:"n"`
+		R             int     `json:"r"`
+		DistinctKeys  int     `json:"distinct_keys"`
+		FreezeSeconds float64 `json:"freeze_s"`
+		FrozenEntries int     `json:"frozen_entries"`
+		Rows          []row   `json:"rows"`
+	}{Experiment: "scan", M: m, N: n, R: r, DistinctKeys: st.DistinctKeys}
+
+	var refMI *core.MIMatrix
+	var refMarg []*core.Marginal
+	for _, path := range []string{"live", "frozen"} {
+		if path == "frozen" {
+			fst, err := pt.FreezeCtx(ctx, maxP)
+			if err != nil {
+				fatal(err)
+			}
+			out.FreezeSeconds = fst.Duration.Seconds()
+			out.FrozenEntries = fst.Entries
+			fmt.Fprintf(os.Stderr, "scan: froze %d entries in %.3fs\n", fst.Entries, fst.Duration.Seconds())
+		}
+		for _, p := range bench.DefaultPs(maxP) {
+			if err := ctx.Err(); err != nil {
+				fatal(context.Cause(ctx))
+			}
+			var mi *core.MIMatrix
+			miSec := bench.TimeBest(reps, func() {
+				var err error
+				mi, err = pt.AllPairsMICtx(ctx, p, core.MIFused)
+				if err != nil {
+					fatal(err)
+				}
+			})
+			var marg []*core.Marginal
+			margSec := bench.TimeBest(reps, func() {
+				var err error
+				marg, err = pt.MarginalizeManyCtx(ctx, varsets, p)
+				if err != nil {
+					fatal(err)
+				}
+			})
+			if refMI == nil {
+				refMI, refMarg = mi, marg
+			} else {
+				refMI.ForEachPair(func(i, j int, v float64) {
+					if got := mi.At(i, j); got != v {
+						fatal(fmt.Errorf("scan: %s P=%d MI(%d,%d) = %v, want %v — live/frozen mismatch", path, p, i, j, got, v))
+					}
+				})
+				for k := range refMarg {
+					for c := range refMarg[k].Counts {
+						if marg[k].Counts[c] != refMarg[k].Counts[c] {
+							fatal(fmt.Errorf("scan: %s P=%d marginal %v cell %d = %d, want %d — live/frozen mismatch",
+								path, p, varsets[k], c, marg[k].Counts[c], refMarg[k].Counts[c]))
+						}
+					}
+				}
+			}
+			out.Rows = append(out.Rows, row{Path: path, P: p, FusedMIS: miSec, MargS: margSec})
+			fmt.Fprintf(os.Stderr, "scan: %s P=%d fused-mi %.3fs marg-many %.3fs\n", path, p, miSec, margSec)
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -150,6 +150,10 @@ func main() {
 		res.ThinnedEdges, res.ThinTime.Round(time.Microsecond))
 	fmt.Printf("build: %v (%s), CI tests: %d (%d cond-set truncations)\n",
 		res.BuildTime.Round(time.Microsecond), res.BuildStats, res.CITests, res.CondSetTruncations)
+	if cfg.Freeze {
+		fmt.Printf("freeze: %d entries over %d partitions in %v\n",
+			res.Freeze.Entries, res.Freeze.Partitions, res.Freeze.Duration.Round(time.Microsecond))
+	}
 	if cfg.PhasePar {
 		fmt.Printf("wavefront: %d waves, %d requeued, %d wasted CI tests\n",
 			res.Waves, res.Requeued, res.WastedCITests)

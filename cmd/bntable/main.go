@@ -6,8 +6,8 @@
 //
 //	bntable build -in data.csv -card 2,2,2,2 -out table.wfbn [-p 8] [-json]
 //	bntable info  -in table.wfbn [-json]
-//	bntable marginal -in table.wfbn -vars 0,3 [-p 8]
-//	bntable mi    -in table.wfbn -topk 10 [-p 8]
+//	bntable marginal -in table.wfbn -vars 0,3 [-p 8] [-freeze]
+//	bntable mi    -in table.wfbn -topk 10 [-p 8] [-freeze=false]
 //
 // `build` streams the CSV in blocks through the incremental wait-free
 // builder, so the dataset never needs to fit in memory. The construction
@@ -196,6 +196,7 @@ func runMarginal(args []string) {
 	in := fs.String("in", "", "serialized table path (required)")
 	varsStr := fs.String("vars", "", "comma-separated variable ids (required)")
 	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
+	freeze := fs.Bool("freeze", false, "freeze the table into a columnar snapshot before scanning (worth it when querying many marginals per load)")
 	rtFl := cliopt.AddRuntime(fs)
 	parseFlags(fs, args)
 	vars, err := cliopt.ParseInts(*varsStr)
@@ -208,6 +209,11 @@ func runMarginal(args []string) {
 	}
 	defer cleanup()
 	pt := loadTable(*in, workerCount(*p))
+	if *freeze {
+		if _, err := pt.FreezeCtx(ctx, *p); err != nil {
+			fatal(err)
+		}
+	}
 	for _, v := range vars {
 		if v < 0 || v >= pt.Codec().NumVars() {
 			fatal(fmt.Errorf("-vars id %d outside [0,%d)", v, pt.Codec().NumVars()))
@@ -238,6 +244,7 @@ func runMI(args []string) {
 	in := fs.String("in", "", "serialized table path (required)")
 	topk := fs.Int("topk", 10, "pairs to print")
 	p := fs.Int("p", 0, "workers (0 = GOMAXPROCS)")
+	freeze := fs.Bool("freeze", true, "freeze the table into a columnar snapshot before the all-pairs scan (-freeze=false scans the live hashtables)")
 	rtFl := cliopt.AddRuntime(fs)
 	parseFlags(fs, args)
 	ctx, cleanup, err := rtFl.Context()
@@ -246,6 +253,11 @@ func runMI(args []string) {
 	}
 	defer cleanup()
 	pt := loadTable(*in, workerCount(*p))
+	if *freeze {
+		if _, err := pt.FreezeCtx(ctx, *p); err != nil {
+			fatal(err)
+		}
+	}
 	mi, err := pt.AllPairsMICtx(ctx, *p, core.MIFused)
 	if err != nil {
 		fatal(err)

@@ -89,6 +89,7 @@ func (c *Core) Options() (core.Options, error) {
 type Learn struct {
 	PhasePar  bool
 	MargCache int
+	Freeze    bool
 }
 
 // AddLearn registers the shared learner flags on fs.
@@ -96,6 +97,7 @@ func AddLearn(fs *flag.FlagSet) *Learn {
 	l := &Learn{}
 	fs.BoolVar(&l.PhasePar, "phase-par", false, "parallelize the thicken/thin phases with the speculative wavefront scheduler (output stays bit-identical to the serial learner)")
 	fs.IntVar(&l.MargCache, "marg-cache", 0, "marginal-cache budget in table cells, ≈8 bytes each (0 = auto: enabled with -phase-par; negative = disabled)")
+	fs.BoolVar(&l.Freeze, "freeze", true, "freeze the potential table into a columnar snapshot after construction so learner scans stream dense sorted memory (-freeze=false scans the live hashtables)")
 	return l
 }
 
@@ -103,6 +105,7 @@ func AddLearn(fs *flag.FlagSet) *Learn {
 func (l *Learn) Apply(cfg *structure.Config) {
 	cfg.PhasePar = l.PhasePar
 	cfg.MargCacheCells = l.MargCache
+	cfg.Freeze = l.Freeze
 }
 
 // Obs holds the parsed values of the shared observability flags.

@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
+	"waitfreebn/internal/encoding"
 	"waitfreebn/internal/sched"
 	"waitfreebn/internal/stats"
 )
@@ -153,14 +156,35 @@ func enumeratePairs(n int) []miPair {
 }
 
 // pairMI scans the whole table once for one pair and returns its mutual
-// information. checkCtx lets callers thread a shared per-worker cancellation
-// countdown through the inner Range loop; it returns a non-nil cause when
-// the scan should abort.
-func (t *PotentialTable) pairMI(pr miPair, checkCtx func() error) (float64, error) {
+// information. On a frozen table the scan streams the columnar snapshot in
+// blocks, observing ctx once per block; on a live table checkCtx threads the
+// caller's shared per-worker cancellation countdown through the inner Range
+// loop. Either returns a non-nil cause when the scan should abort.
+func (t *PotentialTable) pairMI(ctx context.Context, pr miPair, checkCtx func() error) (float64, error) {
 	dec := t.codec.PairDecoder(pr.i, pr.j)
 	ri, rj := t.codec.Cardinality(pr.i), t.codec.Cardinality(pr.j)
 	counts := make([]uint64, ri*rj)
 	var cause error
+	if ft := t.frozen.Load(); ft != nil {
+		done := ctx.Done()
+		(sched.Span{Lo: 0, Hi: len(ft.keys)}).Chunks(scanBlockSize, func(c sched.Span) bool {
+			select {
+			case <-done:
+				cause = context.Cause(ctx)
+				return false
+			default:
+			}
+			blockCounts := ft.counts[c.Lo:c.Hi]
+			for e, key := range ft.keys[c.Lo:c.Hi] {
+				counts[dec.Cell(key)] += blockCounts[e]
+			}
+			return true
+		})
+		if cause != nil {
+			return 0, cause
+		}
+		return stats.MutualInfoCounts(counts, ri, rj), nil
+	}
 	for _, part := range t.parts {
 		part.Range(func(key, count uint64) bool {
 			if cause = checkCtx(); cause != nil {
@@ -219,7 +243,7 @@ func (t *PotentialTable) allPairsPairParallel(ctx context.Context, mi *MIMatrix,
 	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
 		check := ctxChecker(ctx)
 		for _, pi := range assign[w] {
-			v, err := t.pairMI(pairs[pi], check)
+			v, err := t.pairMI(ctx, pairs[pi], check)
 			if err != nil {
 				return err
 			}
@@ -229,32 +253,157 @@ func (t *PotentialTable) allPairsPairParallel(ctx context.Context, mi *MIMatrix,
 	})
 }
 
-// allPairsPairDynamic distributes pairs with dynamic chunk claiming.
+// allPairsPairDynamic distributes pairs with dynamic claiming: workers pull
+// the next pair index from a shared atomic counter. Each worker hoists one
+// cancellation checker for its whole run — allocating a fresh checker per
+// pair would reset the countdown every pair and never consult ctx on small
+// tables.
 func (t *PotentialTable) allPairsPairDynamic(ctx context.Context, mi *MIMatrix, p int) error {
 	pairs := enumeratePairs(mi.N)
-	return sched.DynamicForCtx(ctx, len(pairs), p, 1, func(ctx context.Context, pi int) error {
-		v, err := t.pairMI(pairs[pi], ctxChecker(ctx))
-		if err != nil {
-			return err
+	var next atomic.Int64
+	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
+		check := ctxChecker(ctx)
+		for {
+			pi := int(next.Add(1)) - 1
+			if pi >= len(pairs) {
+				return nil
+			}
+			v, err := t.pairMI(ctx, pairs[pi], check)
+			if err != nil {
+				return err
+			}
+			mi.Set(pairs[pi].i, pairs[pi].j, v)
 		}
-		mi.Set(pairs[pi].i, pairs[pi].j, v)
-		return nil
 	})
 }
 
-// allPairsFused scans each partition once, decodes every key fully, and
-// updates all pairwise contingency tables in one pass.
+// planeWords is the length of one bit-sliced column: one bit per entry of a
+// sorted block, packed into uint64 words.
+const planeWords = frozenScanBlockSize / 64
+
+// fusedScratch is one worker's per-block working set for allPairsFused.
+type fusedScratch struct {
+	// col holds the block's decoded states column-major: variable j's
+	// states occupy col[j*scanBlockSize : j*scanBlockSize+b].
+	col []uint8
+	// constV[j] is variable j's state if it is constant across the current
+	// (sorted) block, else -1.
+	constV []int
+	// runsHint[j] bounds how many value runs variable j can have in the
+	// current sorted block (its stride-quotient span, clamped to the block
+	// length).
+	runsHint []int
+	// hist is n per-variable block histograms, maxCard cells apiece,
+	// built lazily per block (histOK tracks which are current).
+	hist   []uint64
+	histOK []bool
+	// plane is n bit-sliced columns of planeWords words: bit e of plane j
+	// is variable j's state for entry e, built for varying binary variables
+	// of a sorted block.
+	plane []uint64
+	// h1 caches Σ state·count per binary variable (h1OK tracks currency).
+	h1   []uint64
+	h1OK []bool
+	// rare lists the block entries whose count is not 1, so bit-parallel
+	// paths can treat the block as unit-weight plus a short correction list.
+	rare []int32
+}
+
+func newFusedScratch(n, maxCard int) *fusedScratch {
+	return &fusedScratch{
+		col:      make([]uint8, n*scanBlockSize),
+		constV:   make([]int, n),
+		runsHint: make([]int, n),
+		hist:     make([]uint64, n*maxCard),
+		histOK:   make([]bool, n),
+		plane:    make([]uint64, n*planeWords),
+		h1:       make([]uint64, n),
+		h1OK:     make([]bool, n),
+		rare:     make([]int32, 0, frozenScanBlockSize),
+	}
+}
+
+// histFor returns variable j's histogram of the block's counts, building it
+// on first use within the block. When the column's value runs are long the
+// run accumulates in a register before touching the histogram cell; short
+// runs take the direct build, whose store-to-load chains are bounded by the
+// histogram's size anyway.
+func (sc *fusedScratch) histFor(j, maxCard, b int, card []int, counts []uint64) []uint64 {
+	h := sc.hist[j*maxCard : j*maxCard+card[j]]
+	if sc.histOK[j] {
+		return h
+	}
+	sc.histOK[j] = true
+	for s := range h {
+		h[s] = 0
+	}
+	colJ := sc.col[j*scanBlockSize : j*scanBlockSize+b]
+	if 4*sc.runsHint[j] > b {
+		for e := 0; e < b; e++ {
+			h[colJ[e]] += counts[e]
+		}
+		return h
+	}
+	run, acc := colJ[0], counts[0]
+	for e := 1; e < b; e++ {
+		if colJ[e] != run {
+			h[run] += acc
+			run, acc = colJ[e], 0
+		}
+		acc += counts[e]
+	}
+	h[run] += acc
+	return h
+}
+
+// h1For returns Σ state·count for a varying binary variable of a sorted
+// block: the popcount of its bit plane plus corrections for non-unit
+// counts. This is the variable's marginal one-count over the block.
+func (sc *fusedScratch) h1For(j int, counts []uint64) uint64 {
+	if sc.h1OK[j] {
+		return sc.h1[j]
+	}
+	sc.h1OK[j] = true
+	plane := sc.plane[j*planeWords : (j+1)*planeWords]
+	var h uint64
+	for _, w := range plane {
+		h += uint64(bits.OnesCount64(w))
+	}
+	for _, e := range sc.rare {
+		h += ((plane[e>>6] >> (uint(e) & 63)) & 1) * (counts[e] - 1)
+	}
+	sc.h1[j] = h
+	return h
+}
+
+// allPairsFused scans the table once, decodes every key fully, and updates
+// all pairwise contingency tables in one pass. The scan runs in blocks: each
+// block's keys are first decoded column-by-column into a per-worker
+// column-major state scratch (one reciprocal decoder per variable, no
+// per-key dispatch), then the pair loop walks the block once per pair so
+// each pair's contingency tile stays cache-resident across the whole block
+// (pair-block tiling). Sorted blocks (the frozen snapshot) additionally take
+// fusedSortedBlock, which collapses constant-digit work instead of walking
+// every entry for every pair.
 func (t *PotentialTable) allPairsFused(ctx context.Context, mi *MIMatrix, p int) error {
 	n := mi.N
-	if p > len(t.parts) {
-		p = len(t.parts)
+	p = t.readP(p)
+	card := make([]int, n)
+	decs := make([]encoding.VarDecoder, n)
+	maxCard := 1
+	for j := 0; j < n; j++ {
+		card[j] = t.codec.Cardinality(j)
+		decs[j] = t.codec.VarDecoder(j)
+		if card[j] > maxCard {
+			maxCard = card[j]
+		}
 	}
 	// Per-pair contingency table offsets within one flat slice.
 	offsets := make([]int, mi.NumPairs()+1)
 	idx := 0
 	for i := 0; i < n-1; i++ {
 		for j := i + 1; j < n; j++ {
-			offsets[idx+1] = offsets[idx] + t.codec.Cardinality(i)*t.codec.Cardinality(j)
+			offsets[idx+1] = offsets[idx] + card[i]*card[j]
 			idx++
 		}
 	}
@@ -264,17 +413,33 @@ func (t *PotentialTable) allPairsFused(ctx context.Context, mi *MIMatrix, p int)
 	for w := range partials {
 		partials[w] = make([]uint64, totalCells)
 	}
-	scratch := make([][]uint8, p)
-	if err := t.scanPartitionsCtx(ctx, p, func(w int, key, count uint64) {
-		counts := partials[w]
-		states := t.codec.Decode(key, scratch[w][:0])
-		scratch[w] = states
+	scratch := make([]*fusedScratch, p)
+	if err := t.scanBlocksCtx(ctx, p, func(w int, keys, counts []uint64, sorted bool) {
+		sc := scratch[w]
+		if sc == nil {
+			sc = newFusedScratch(n, maxCard)
+			scratch[w] = sc
+		}
+		pc := partials[w]
+		if sorted {
+			fusedSortedBlock(sc, pc, offsets, card, decs, maxCard, keys, counts)
+			return
+		}
+		b := len(keys)
+		col := sc.col
+		for j := 0; j < n; j++ {
+			decs[j].DecodeBlock(keys, col[j*scanBlockSize:j*scanBlockSize+b])
+		}
 		pairIdx := 0
 		for i := 0; i < n-1; i++ {
-			si := int(states[i])
+			colI := col[i*scanBlockSize : i*scanBlockSize+b]
 			for j := i + 1; j < n; j++ {
-				rj := t.codec.Cardinality(j)
-				counts[offsets[pairIdx]+si*rj+int(states[j])] += count
+				rj := card[j]
+				colJ := col[j*scanBlockSize : j*scanBlockSize+b]
+				tile := pc[offsets[pairIdx]:offsets[pairIdx+1]]
+				for e := 0; e < b; e++ {
+					tile[int(colI[e])*rj+int(colJ[e])] += counts[e]
+				}
 				pairIdx++
 			}
 		}
@@ -286,10 +451,176 @@ func (t *PotentialTable) allPairsFused(ctx context.Context, mi *MIMatrix, p int)
 	idx = 0
 	for i := 0; i < n-1; i++ {
 		for j := i + 1; j < n; j++ {
-			ri, rj := t.codec.Cardinality(i), t.codec.Cardinality(j)
-			mi.Set(i, j, stats.MutualInfoCounts(merged[offsets[idx]:offsets[idx+1]], ri, rj))
+			mi.Set(i, j, stats.MutualInfoCounts(merged[offsets[idx]:offsets[idx+1]], card[i], card[j]))
 			idx++
 		}
 	}
 	return nil
+}
+
+// fusedSortedBlock is the sorted-block arm of the fused kernel. In a sorted
+// block each digit column is piecewise constant, changing only where the key
+// crosses a multiple of the variable's stride (stride_j = Π_{k<j} r_k, so
+// high-index variables move slowest), and the stride quotients of the
+// block's first and last key tell how much a column can move: an equal
+// quotient pins the digit for the whole block, and the quotient difference
+// bounds its value runs. That collapses the pair loop's work by stride
+// class:
+//
+//   - both digits constant: one add of the block's total count;
+//   - the slow digit j constant: card_i adds of variable i's block
+//     histogram into one tile column (the histogram is built once per
+//     block per variable, shared by every such pair);
+//   - both binary and varying: the states are bit-sliced into planes (one
+//     bit per entry), and the 2×2 tile has one degree of freedom beyond the
+//     marginals — N[1,1] = popcount(plane_i AND plane_j) over four words,
+//     corrected for the block's rare non-unit counts; the other three cells
+//     follow from the plane popcounts and the block total in exact modular
+//     uint64 arithmetic;
+//   - both varying with long cell runs: each run accumulates in a register
+//     before one tile store — without this, sorted input serializes the
+//     direct kernel on back-to-back read-modify-writes of a single cell;
+//   - short runs: the direct kernel, which sorted input can no longer hurt
+//     because short runs interleave cells just like hash order.
+//
+// The bit-plane path is what makes the frozen scan cheap: building the
+// planes costs one decode per varying binary variable per entry, after
+// which every binary pair is ~3 word operations per 64 entries instead of a
+// load-multiply-add per entry. Non-unit counts are collected once per block
+// into a rare list (in a freshly built sparse table almost every count is
+// 1) and patched in exactly.
+//
+// Mixed-radix strides nest (stride_j is a multiple of stride_i for i < j),
+// so a pair's cell can only change where the fast digit i's quotient steps —
+// runsHint[i] bounds the pair's cell runs — and "fast digit constant but
+// slow digit varying" cannot happen. Every path adds the same totals the
+// per-entry kernel would, so the merged tiles are bit-identical.
+func fusedSortedBlock(sc *fusedScratch, pc []uint64, offsets, card []int, decs []encoding.VarDecoder, maxCard int, keys, counts []uint64) {
+	n := len(card)
+	b := len(keys)
+	first, last := keys[0], keys[b-1]
+	sc.rare = sc.rare[:0]
+	blockTotal := uint64(b)
+	for e, c := range counts {
+		if c != 1 {
+			sc.rare = append(sc.rare, int32(e))
+			blockTotal += c - 1
+		}
+	}
+	// Classify each variable by its stride-quotient span, then materialize
+	// the varying ones: binary variables as bit planes (plus a state column
+	// only when some varying variable is non-binary, so the mixed run-length
+	// and direct kernels have both columns), others as state columns.
+	mixed := false
+	for j := 0; j < n; j++ {
+		sc.histOK[j], sc.h1OK[j] = false, false
+		if d := decs[j].Quot(last) - decs[j].Quot(first); d == 0 {
+			sc.constV[j] = int(decs[j].Decode(first))
+			continue
+		} else if d < uint64(b) {
+			sc.runsHint[j] = int(d) + 1
+		} else {
+			sc.runsHint[j] = b
+		}
+		sc.constV[j] = -1
+		if card[j] != 2 {
+			mixed = true
+		}
+	}
+	col := sc.col
+	for j := 0; j < n; j++ {
+		if sc.constV[j] >= 0 {
+			continue
+		}
+		if card[j] == 2 {
+			plane := sc.plane[j*planeWords : (j+1)*planeWords]
+			for w := range plane {
+				plane[w] = 0
+			}
+			for e := 0; e < b; e++ {
+				plane[e>>6] |= uint64(decs[j].Decode(keys[e])) << (e & 63)
+			}
+			if !mixed {
+				continue
+			}
+		}
+		decs[j].DecodeBlock(keys, col[j*scanBlockSize:j*scanBlockSize+b])
+	}
+	pairIdx := 0
+	for i := 0; i < n-1; i++ {
+		ci := sc.constV[i]
+		ri := card[i]
+		colI := col[i*scanBlockSize : i*scanBlockSize+b]
+		planeI := sc.plane[i*planeWords : (i+1)*planeWords]
+		for j := i + 1; j < n; j++ {
+			rj := card[j]
+			tile := pc[offsets[pairIdx]:offsets[pairIdx+1]]
+			pairIdx++
+			cj := sc.constV[j]
+			switch {
+			case ci >= 0 && cj >= 0:
+				tile[ci*rj+cj] += blockTotal
+			case cj >= 0:
+				if ri == 2 {
+					h1 := sc.h1For(i, counts)
+					tile[cj] += blockTotal - h1
+					tile[rj+cj] += h1
+					continue
+				}
+				h := sc.histFor(i, maxCard, b, card, counts)
+				for s := 0; s < ri; s++ {
+					tile[s*rj+cj] += h[s]
+				}
+			case ci >= 0:
+				// Unreachable while strides nest (see above); kept so the
+				// kernel stays correct for any future encoding.
+				row := tile[ci*rj : ci*rj+rj]
+				if rj == 2 {
+					h1 := sc.h1For(j, counts)
+					row[0] += blockTotal - h1
+					row[1] += h1
+					continue
+				}
+				h := sc.histFor(j, maxCard, b, card, counts)
+				for s := 0; s < rj; s++ {
+					row[s] += h[s]
+				}
+			case ri == 2 && rj == 2:
+				planeJ := sc.plane[j*planeWords : (j+1)*planeWords]
+				var n11 uint64
+				for w := range planeI {
+					n11 += uint64(bits.OnesCount64(planeI[w] & planeJ[w]))
+				}
+				for _, e := range sc.rare {
+					both := (planeI[e>>6] >> (uint(e) & 63)) & (planeJ[e>>6] >> (uint(e) & 63)) & 1
+					n11 += both * (counts[e] - 1)
+				}
+				hi1 := sc.h1For(i, counts)
+				hj1 := sc.h1For(j, counts)
+				tile[0] += blockTotal - hi1 - hj1 + n11
+				tile[1] += hj1 - n11
+				tile[2] += hi1 - n11
+				tile[3] += n11
+			default:
+				colJ := col[j*scanBlockSize : j*scanBlockSize+b]
+				if b >= 4*sc.runsHint[i] {
+					run := int(colI[0])*rj + int(colJ[0])
+					acc := counts[0]
+					for e := 1; e < b; e++ {
+						cell := int(colI[e])*rj + int(colJ[e])
+						if cell != run {
+							tile[run] += acc
+							run, acc = cell, 0
+						}
+						acc += counts[e]
+					}
+					tile[run] += acc
+				} else {
+					for e := 0; e < b; e++ {
+						tile[int(colI[e])*rj+int(colJ[e])] += counts[e]
+					}
+				}
+			}
+		}
+	}
 }

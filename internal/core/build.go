@@ -381,6 +381,7 @@ func BuildKeysCtx(ctx context.Context, source KeySource, codec *encoding.Codec, 
 		}
 	}
 	pt := NewPotentialTable(codec, parts, st.LocalKeys+st.Stage2Pops)
+	pt.SetObs(opts.Obs)
 	st.DistinctKeys = pt.Len()
 	publishBuildMetrics(opts.Obs, st, ws, queues, parts)
 	return pt, st, nil

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"waitfreebn/internal/sched"
+)
+
+// scanBlockSize is the batch size of the block-based scan kernels: entries
+// are delivered to consumers in dense runs of up to this many (key, count)
+// pairs. 1024 entries = two 8 KiB streams, small enough that a worker's
+// batch plus its accumulation tile stay cache-resident, large enough to
+// amortize kernel dispatch and cancellation checks to noise.
+const scanBlockSize = 1024
+
+// frozenScanBlockSize is the delivery granularity of the sorted snapshot
+// scan. Sorted kernels classify each variable per block by its stride
+// quotients (see allPairsFused), and a finer block spans a narrower key
+// range, pinning more high-stride variables constant; 256 entries keeps the
+// classification overhead near one operation per entry while roughly one
+// more variable per halving collapses out of the pair loop.
+const frozenScanBlockSize = 256
+
+// frozenTable is an immutable columnar snapshot of the partition hashtables:
+// all entries in dense structure-of-arrays form, partition-major, sorted by
+// key within each partition. Scans become sequential streaming reads that
+// can be split by index range into even chunks, eliminating both per-entry
+// closure dispatch through hashtable Range and partition-count limits on
+// read parallelism. Published via an atomic pointer, it is safe for any
+// number of concurrent readers.
+type frozenTable struct {
+	keys    []uint64 // all keys, partition-major, sorted within a partition
+	counts  []uint64 // counts[i] is the count recorded for keys[i]
+	partOff []int    // partition p occupies keys[partOff[p]:partOff[p+1]]
+}
+
+// get returns the count for key, binary-searching each partition's sorted
+// segment: O(P log n/P) instead of the live path's O(P) probe sequences.
+func (ft *frozenTable) get(key uint64) uint64 {
+	for p := 0; p+1 < len(ft.partOff); p++ {
+		seg := ft.keys[ft.partOff[p]:ft.partOff[p+1]]
+		i := sort.Search(len(seg), func(i int) bool { return seg[i] >= key })
+		if i < len(seg) && seg[i] == key {
+			return ft.counts[ft.partOff[p]+i]
+		}
+	}
+	return 0
+}
+
+// scan streams the snapshot to block(w, keys, counts, true) with p workers,
+// each owning an even index range regardless of how skewed the original
+// partitions were. Blocks never cross a partition boundary: keys are sorted
+// within a partition, and delivering only sorted blocks is what lets sorted
+// kernels (allPairsFused) collapse constant-digit work. Workers observe ctx
+// once per block.
+func (ft *frozenTable) scan(ctx context.Context, p int, block func(w int, keys, counts []uint64, sorted bool)) error {
+	spans := sched.BlockPartition(len(ft.keys), p)
+	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
+		done := ctx.Done()
+		var cause error
+		emit := func(c sched.Span) bool {
+			select {
+			case <-done:
+				cause = context.Cause(ctx)
+				return false
+			default:
+			}
+			block(w, ft.keys[c.Lo:c.Hi], ft.counts[c.Lo:c.Hi], true)
+			return true
+		}
+		s := spans[w]
+		for pi := 0; pi+1 < len(ft.partOff) && cause == nil; pi++ {
+			seg := sched.Span{Lo: max(s.Lo, ft.partOff[pi]), Hi: min(s.Hi, ft.partOff[pi+1])}
+			if seg.Lo < seg.Hi {
+				seg.Chunks(frozenScanBlockSize, emit)
+			}
+		}
+		return cause
+	})
+}
+
+// kvSlice co-sorts a partition's key and count columns by key.
+type kvSlice struct{ keys, counts []uint64 }
+
+func (s kvSlice) Len() int           { return len(s.keys) }
+func (s kvSlice) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s kvSlice) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.counts[i], s.counts[j] = s.counts[j], s.counts[i]
+}
+
+// FreezeStats summarizes one Freeze operation.
+type FreezeStats struct {
+	Entries    int           // distinct keys captured in the snapshot
+	Partitions int           // partitions drained
+	Duration   time.Duration // wall clock of the freeze (0 if already frozen)
+}
+
+// Frozen reports whether the table currently carries a frozen snapshot.
+func (t *PotentialTable) Frozen() bool { return t.frozen.Load() != nil }
+
+// Freeze captures a frozen columnar snapshot of the table using p workers
+// (p <= 0 selects GOMAXPROCS) and routes all subsequent scans through it.
+// See FreezeCtx.
+func (t *PotentialTable) Freeze(p int) FreezeStats {
+	st, err := t.FreezeCtx(context.Background(), p)
+	mustScan(err)
+	return st
+}
+
+// FreezeCtx drains every partition's hashtable into the dense sorted
+// columnar layout and publishes it atomically. Freezing is a read-side
+// operation: it must only run once construction has completed (after the
+// build barrier, when each partition has a quiescent single writer), which
+// is exactly the wait-free contract's hand-off point. The snapshot is
+// invalidated by Rebalance. Freezing an already-frozen table is a no-op
+// that returns the existing snapshot's stats.
+func (t *PotentialTable) FreezeCtx(ctx context.Context, p int) (FreezeStats, error) {
+	if ft := t.frozen.Load(); ft != nil {
+		return FreezeStats{Entries: len(ft.keys), Partitions: len(ft.partOff) - 1}, nil
+	}
+	start := time.Now()
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	if p > len(t.parts) {
+		p = len(t.parts)
+	}
+
+	partOff := make([]int, len(t.parts)+1)
+	for i, part := range t.parts {
+		partOff[i+1] = partOff[i] + part.Len()
+	}
+	total := partOff[len(t.parts)]
+	ft := &frozenTable{
+		keys:    make([]uint64, total),
+		counts:  make([]uint64, total),
+		partOff: partOff,
+	}
+
+	assign := sched.CyclicAssign(len(t.parts), p)
+	err := sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
+		done := ctx.Done()
+		for _, pi := range assign[w] {
+			select {
+			case <-done:
+				return context.Cause(ctx)
+			default:
+			}
+			lo, hi := partOff[pi], partOff[pi+1]
+			keys, counts := ft.keys[lo:hi], ft.counts[lo:hi]
+			n := 0
+			t.parts[pi].Range(func(key, count uint64) bool {
+				keys[n], counts[n] = key, count
+				n++
+				return true
+			})
+			if n != len(keys) {
+				return fmt.Errorf("core: partition %d yielded %d entries, expected %d (table mutated during Freeze?)", pi, n, len(keys))
+			}
+			sort.Sort(kvSlice{keys: keys, counts: counts})
+		}
+		return nil
+	})
+	if err != nil {
+		return FreezeStats{}, err
+	}
+
+	// First snapshot wins if two goroutines race to freeze; both are
+	// equivalent captures of the same quiescent partitions.
+	t.frozen.CompareAndSwap(nil, ft)
+	st := FreezeStats{Entries: total, Partitions: len(t.parts), Duration: time.Since(start)}
+	if r := t.obs; r != nil {
+		r.Help(metricFreezeSeconds, "wall clock of PotentialTable.Freeze")
+		r.Histogram(metricFreezeSeconds).Observe(st.Duration)
+		r.Help(metricFrozenEntries, "entries captured in the current frozen snapshot")
+		r.Gauge(metricFrozenEntries).Set(float64(st.Entries))
+	}
+	return st, nil
+}
+
+// scanBlocksCtx is the shared read-side loop of Algorithm 3 and its fused
+// variants, in block form: p workers stream disjoint slices of the table,
+// delivering entries to block(w, keys, counts, sorted) in dense batches of
+// at most scanBlockSize. On a frozen table the batches are direct sub-slices
+// of the columnar snapshot split by index range, each sorted ascending
+// (sorted = true); on a live table each worker buffers its partitions' Range
+// output — hash order — into a scratch block first (sorted = false), which
+// amortizes the per-entry closure dispatch either way. Workers observe ctx
+// once per block, and a panicking consumer surfaces as a *sched.WorkerError
+// with all workers joined.
+func (t *PotentialTable) scanBlocksCtx(ctx context.Context, p int, block func(w int, keys, counts []uint64, sorted bool)) error {
+	ft := t.frozen.Load()
+	r := t.obs
+	var start time.Time
+	if r != nil {
+		start = time.Now()
+	}
+	var err error
+	var entries int
+	if ft != nil {
+		err = ft.scan(ctx, p, block)
+		entries = len(ft.keys)
+	} else {
+		err = t.scanLiveBlocks(ctx, p, block)
+		entries = t.Len()
+	}
+	if r != nil && err == nil {
+		path := "live"
+		if ft != nil {
+			path = "frozen"
+		}
+		r.Help(metricScanEntries, "table entries streamed by read-side scans, by path")
+		r.Counter(metricScanEntries, "path", path).Add(uint64(entries))
+		r.Help(metricScanSeconds, "wall clock of read-side scans, by path")
+		r.Histogram(metricScanSeconds, "path", path).Observe(time.Since(start))
+	}
+	return err
+}
+
+// scanLiveBlocks is the live-table arm of scanBlocksCtx: partitions are
+// assigned to workers cyclically and each worker's Range output is gathered
+// into per-worker scratch blocks before dispatch.
+func (t *PotentialTable) scanLiveBlocks(ctx context.Context, p int, block func(w int, keys, counts []uint64, sorted bool)) error {
+	assign := t.partitionAssignment(p)
+	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
+		done := ctx.Done()
+		var cause error
+		keys := make([]uint64, 0, scanBlockSize)
+		counts := make([]uint64, 0, scanBlockSize)
+		for _, part := range assign[w] {
+			t.parts[part].Range(func(key, count uint64) bool {
+				keys = append(keys, key)
+				counts = append(counts, count)
+				if len(keys) == scanBlockSize {
+					block(w, keys, counts, false)
+					keys, counts = keys[:0], counts[:0]
+					select {
+					case <-done:
+						cause = context.Cause(ctx)
+						return false
+					default:
+					}
+				}
+				return true
+			})
+			if cause != nil {
+				return cause
+			}
+		}
+		if len(keys) > 0 {
+			block(w, keys, counts, false)
+		}
+		return nil
+	})
+}

@@ -146,6 +146,7 @@ func (b *Builder) Finalize() (*PotentialTable, Stats) {
 	b.done = true
 	b.stats.SpilledKeys = b.queues.spilledKeys()
 	pt := NewPotentialTable(b.codec, b.parts, b.stats.LocalKeys+b.stats.Stage2Pops)
+	pt.SetObs(b.opts.Obs)
 	b.stats.DistinctKeys = pt.Len()
 	if r := b.opts.Obs; r != nil {
 		r.Counter(metricBuilds).Inc()

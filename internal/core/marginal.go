@@ -83,50 +83,24 @@ func (mg *Marginal) SumOver(keep int) *Marginal {
 	return out
 }
 
-// readP resolves and caps the worker count for read-side (scan) primitives:
-// p <= 0 selects GOMAXPROCS, and p never exceeds the partition count, since
-// partitions are the unit of read parallelism.
+// readP resolves the worker count for read-side (scan) primitives: p <= 0
+// selects GOMAXPROCS. On a live table p is additionally capped at the
+// partition count — partitions are the live path's unit of read parallelism
+// — and the degradation is surfaced through the core_scan_clamped_total
+// counter rather than silently. A frozen snapshot splits by index range, so
+// no cap applies.
 func (t *PotentialTable) readP(p int) int {
 	if p <= 0 {
 		p = sched.DefaultP()
 	}
-	if p > len(t.parts) {
+	if t.frozen.Load() == nil && p > len(t.parts) {
 		p = len(t.parts)
+		if r := t.obs; r != nil {
+			r.Help(metricScanClamped, "live scans whose worker count was capped at the partition count")
+			r.Counter(metricScanClamped).Inc()
+		}
 	}
 	return p
-}
-
-// scanPartitionsCtx is the shared read-side loop of Algorithm 3 and its
-// fused variants: p workers each scan a disjoint subset of the partitions,
-// feeding every (key, count) entry to visit(w, key, count). Workers observe
-// ctx every cancelCheckStride entries (aborting the Range early), and a
-// panicking visit surfaces as a *sched.WorkerError with all workers joined.
-func (t *PotentialTable) scanPartitionsCtx(ctx context.Context, p int, visit func(w int, key, count uint64)) error {
-	assign := t.partitionAssignment(p)
-	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
-		done := ctx.Done()
-		check := cancelCheckStride
-		var cause error
-		for _, part := range assign[w] {
-			t.parts[part].Range(func(key, count uint64) bool {
-				if check--; check == 0 {
-					check = cancelCheckStride
-					select {
-					case <-done:
-						cause = context.Cause(ctx)
-						return false
-					default:
-					}
-				}
-				visit(w, key, count)
-				return true
-			})
-			if cause != nil {
-				return cause
-			}
-		}
-		return nil
-	})
 }
 
 // mustScan converts an error from a Background-context scan into a panic:
@@ -153,8 +127,9 @@ func mergePartials(partials [][]uint64) []uint64 {
 // (Algorithm 3). Each worker scans a disjoint subset of the partitions,
 // decoding only the variables in vars from each key and accumulating a
 // partial marginal; partials are then merged (line 16). p <= 0 selects
-// GOMAXPROCS; p is additionally capped at the partition count, since
-// partitions are the unit of read parallelism.
+// GOMAXPROCS; on a live table p is additionally capped at the partition
+// count, while a frozen table splits work by index range at any p (see
+// readP).
 func (t *PotentialTable) Marginalize(vars []int, p int) *Marginal {
 	mg, err := t.MarginalizeCtx(context.Background(), vars, p)
 	mustScan(err)
@@ -173,8 +148,11 @@ func (t *PotentialTable) MarginalizeCtx(ctx context.Context, vars []int, p int) 
 	for w := range partials {
 		partials[w] = make([]uint64, cells)
 	}
-	if err := t.scanPartitionsCtx(ctx, p, func(w int, key, count uint64) {
-		partials[w][dec.Cell(key)] += count
+	if err := t.scanBlocksCtx(ctx, p, func(w int, keys, counts []uint64, _ bool) {
+		pc := partials[w]
+		for e, key := range keys {
+			pc[dec.Cell(key)] += counts[e]
+		}
 	}); err != nil {
 		return nil, err
 	}
@@ -212,8 +190,11 @@ func (t *PotentialTable) MarginalizePairCtx(ctx context.Context, i, j int, p int
 	for w := range partials {
 		partials[w] = make([]uint64, cells)
 	}
-	if err := t.scanPartitionsCtx(ctx, p, func(w int, key, count uint64) {
-		partials[w][dec.Cell(key)] += count
+	if err := t.scanBlocksCtx(ctx, p, func(w int, keys, counts []uint64, _ bool) {
+		pc := partials[w]
+		for e, key := range keys {
+			pc[dec.Cell(key)] += counts[e]
+		}
 	}); err != nil {
 		return nil, err
 	}

@@ -40,10 +40,12 @@ func (t *PotentialTable) MarginalizeManyCtx(ctx context.Context, varsets [][]int
 	for w := range partials {
 		partials[w] = make([]uint64, totalCells)
 	}
-	if err := t.scanPartitionsCtx(ctx, p, func(w int, key, count uint64) {
-		counts := partials[w]
-		for k, dec := range decs {
-			counts[offsets[k]+dec.Cell(key)] += count
+	if err := t.scanBlocksCtx(ctx, p, func(w int, keys, counts []uint64, _ bool) {
+		pc := partials[w]
+		for e, key := range keys {
+			for k, dec := range decs {
+				pc[offsets[k]+dec.Cell(key)] += counts[e]
+			}
 		}
 	}); err != nil {
 		return nil, err

@@ -32,6 +32,11 @@ const (
 	metricTableGrows      = "hashtable_grows_total"
 	metricProbeMax        = "hashtable_probe_max"
 	metricProbeMean       = "hashtable_probe_mean"
+	metricFreezeSeconds   = "core_freeze_seconds"
+	metricFrozenEntries   = "core_frozen_entries"
+	metricScanEntries     = "core_scan_entries_total"
+	metricScanSeconds     = "core_scan_seconds"
+	metricScanClamped     = "core_scan_clamped_total"
 )
 
 // publishBuildMetrics records one completed build into the registry. It

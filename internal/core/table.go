@@ -15,9 +15,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"waitfreebn/internal/encoding"
 	"waitfreebn/internal/hashtable"
+	"waitfreebn/internal/obs"
 	"waitfreebn/internal/rng"
 	"waitfreebn/internal/sched"
 )
@@ -111,11 +113,14 @@ func (k TableKind) new(hint int) hashtable.Counter {
 // PotentialTable is the distributed potential-table representation: the
 // empirical joint counts of the training data split across P single-owner
 // partitions. It is immutable after construction and safe for concurrent
-// readers.
+// readers. Freeze attaches a columnar snapshot (see frozen.go) that the
+// read-side scans stream from instead of the partition hashtables.
 type PotentialTable struct {
-	codec *encoding.Codec
-	parts []hashtable.Counter
-	m     uint64 // total number of samples counted
+	codec  *encoding.Codec
+	parts  []hashtable.Counter
+	m      uint64                      // total number of samples counted
+	obs    *obs.Registry               // read-path metrics sink; nil = disabled
+	frozen atomic.Pointer[frozenTable] // columnar snapshot; nil = live scans
 }
 
 // NewPotentialTable assembles a table directly from parts; it is exported
@@ -127,6 +132,11 @@ func NewPotentialTable(codec *encoding.Codec, parts []hashtable.Counter, m uint6
 
 // Codec returns the key codec the table was built with.
 func (t *PotentialTable) Codec() *encoding.Codec { return t.codec }
+
+// SetObs attaches a metrics registry to the table's read path (scan
+// throughput, freeze stats, clamp events). nil disables recording; builds
+// that carry Options.Obs attach it automatically.
+func (t *PotentialTable) SetObs(r *obs.Registry) { t.obs = r }
 
 // Partitions returns the number of partitions P.
 func (t *PotentialTable) Partitions() int { return len(t.parts) }
@@ -144,9 +154,12 @@ func (t *PotentialTable) Len() int {
 }
 
 // Get returns the count recorded for key, searching every partition.
-// Lookup is O(P) in the worst case; bulk consumers should use Range or
-// Marginalize instead.
+// Lookup is O(P) in the worst case (binary search per partition on a frozen
+// table); bulk consumers should use Range or Marginalize instead.
 func (t *PotentialTable) Get(key uint64) uint64 {
+	if ft := t.frozen.Load(); ft != nil {
+		return ft.get(key)
+	}
 	for _, p := range t.parts {
 		if c := p.Get(key); c != 0 {
 			return c
@@ -240,6 +253,9 @@ func (t *PotentialTable) Rebalance(parts int) {
 		return true
 	})
 	t.parts = newParts
+	// The snapshot mirrors the replaced partitions; drop it so scans fall
+	// back to the live tables until the caller freezes again.
+	t.frozen.Store(nil)
 }
 
 // maxImbalance returns the ratio of the largest to the smallest partition

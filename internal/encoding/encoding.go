@@ -36,6 +36,7 @@ const MaxKeyBits = 63
 type Codec struct {
 	card   []uint64 // cardinality r_j of each variable
 	stride []uint64 // stride[j] = Π_{k<j} card[k]; stride[0] = 1
+	dig    []digit  // reciprocal decoder for each position (see recip.go)
 	space  uint64   // Π_j card[j] = total number of distinct keys
 }
 
@@ -64,6 +65,10 @@ func NewCodec(cardinalities []int) (*Codec, error) {
 		space = lo
 	}
 	c.space = space
+	c.dig = make([]digit, len(c.card))
+	for j := range c.dig {
+		c.dig[j] = newDigit(c.stride[j], c.card[j])
+	}
 	return c, nil
 }
 
@@ -126,8 +131,8 @@ func (c *Codec) Decode(key uint64, dst []uint8) []uint8 {
 	if key >= c.space {
 		panic(fmt.Sprintf("encoding: key %d outside key space %d", key, c.space))
 	}
-	for j := range c.card {
-		dst = append(dst, uint8(key/c.stride[j]%c.card[j]))
+	for j := range c.dig {
+		dst = append(dst, uint8(c.dig[j].decode(key)))
 	}
 	return dst
 }
@@ -136,36 +141,31 @@ func (c *Codec) Decode(key uint64, dst []uint8) []uint8 {
 // This is the operation marginalization performs per key: O(1), and it never
 // reconstructs the rest of the state string.
 func (c *Codec) DecodeVar(key uint64, j int) uint8 {
-	return uint8(key / c.stride[j] % c.card[j])
+	return uint8(c.dig[j].decode(key))
 }
 
 // PairDecoder decodes the states of a fixed pair of variables from keys.
 // All-pairs mutual information (Algorithm 4) calls this once per table
 // entry per pair, so the strides and cardinalities are captured up front.
 type PairDecoder struct {
-	strideI, strideJ uint64
-	cardI, cardJ     uint64
+	digI, digJ digit
+	cardJ      uint64
 }
 
 // PairDecoder returns a decoder for the (i, j) variable pair.
 func (c *Codec) PairDecoder(i, j int) PairDecoder {
-	return PairDecoder{
-		strideI: c.stride[i], strideJ: c.stride[j],
-		cardI: c.card[i], cardJ: c.card[j],
-	}
+	return PairDecoder{digI: c.dig[i], digJ: c.dig[j], cardJ: c.card[j]}
 }
 
 // Decode returns the states (s_i, s_j) encoded in key.
 func (d PairDecoder) Decode(key uint64) (uint8, uint8) {
-	return uint8(key / d.strideI % d.cardI), uint8(key / d.strideJ % d.cardJ)
+	return uint8(d.digI.decode(key)), uint8(d.digJ.decode(key))
 }
 
 // Cell returns the row-major index s_i·r_j + s_j of the key's states in an
 // r_i×r_j contingency table, the layout used by marginal tables.
 func (d PairDecoder) Cell(key uint64) int {
-	si := key / d.strideI % d.cardI
-	sj := key / d.strideJ % d.cardJ
-	return int(si*d.cardJ + sj)
+	return int(d.digI.decode(key)*d.cardJ + d.digJ.decode(key))
 }
 
 // SubsetDecoder decodes the states of an arbitrary fixed subset V of
@@ -173,7 +173,7 @@ func (d PairDecoder) Cell(key uint64) int {
 // V's joint state space. Marginalization onto V (Algorithm 3) uses one of
 // these per worker.
 type SubsetDecoder struct {
-	stride    []uint64 // source strides of the subset variables
+	dig       []digit  // reciprocal decoders for the subset variables
 	card      []uint64 // cardinalities of the subset variables
 	outStride []uint64 // row-major strides within the marginal table
 	cells     uint64   // Π card over the subset
@@ -187,7 +187,7 @@ func (c *Codec) SubsetDecoder(vars []int) *SubsetDecoder {
 		panic("encoding: SubsetDecoder with empty variable set")
 	}
 	d := &SubsetDecoder{
-		stride:    make([]uint64, len(vars)),
+		dig:       make([]digit, len(vars)),
 		card:      make([]uint64, len(vars)),
 		outStride: make([]uint64, len(vars)),
 	}
@@ -200,7 +200,7 @@ func (c *Codec) SubsetDecoder(vars []int) *SubsetDecoder {
 			panic(fmt.Sprintf("encoding: duplicate variable %d in subset", v))
 		}
 		seen[v] = true
-		d.stride[k] = c.stride[v]
+		d.dig[k] = c.dig[v]
 		d.card[k] = c.card[v]
 	}
 	// Row-major: the last listed variable varies fastest.
@@ -220,8 +220,8 @@ func (d *SubsetDecoder) Cells() int { return int(d.cells) }
 // the subset's states.
 func (d *SubsetDecoder) Cell(key uint64) int {
 	var idx uint64
-	for k := range d.stride {
-		idx += key / d.stride[k] % d.card[k] * d.outStride[k]
+	for k := range d.dig {
+		idx += d.dig[k].decode(key) * d.outStride[k]
 	}
 	return int(idx)
 }

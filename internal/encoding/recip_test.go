@@ -1,0 +1,241 @@
+package encoding
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReciprocalExhaustiveSmall checks every (divisor, dividend) pair in a
+// dense small range, which covers the l=1..several shift cases and the d=1
+// sentinel.
+func TestReciprocalExhaustiveSmall(t *testing.T) {
+	for d := uint64(1); d <= 512; d++ {
+		r := NewReciprocal(d)
+		for n := uint64(0); n <= 4096; n++ {
+			if got, want := r.Div(n), n/d; got != want {
+				t.Fatalf("Div(%d) with d=%d = %d, want %d", n, d, got, want)
+			}
+		}
+	}
+}
+
+// TestReciprocalEdges hits the boundaries of the construction: divisors and
+// dividends at and around powers of two, the largest legal divisor, and the
+// largest legal dividend 2^63-1.
+func TestReciprocalEdges(t *testing.T) {
+	maxN := uint64(1)<<MaxKeyBits - 1
+	divisors := []uint64{1, 2, 3, maxN - 1, maxN}
+	for shift := uint(1); shift < MaxKeyBits; shift++ {
+		p := uint64(1) << shift
+		divisors = append(divisors, p-1, p, p+1)
+	}
+	for _, d := range divisors {
+		if d == 0 || d > maxN {
+			continue
+		}
+		r := NewReciprocal(d)
+		dividends := []uint64{0, 1, d - 1, d, d + 1, 2*d - 1, 2 * d, maxN - 1, maxN}
+		for _, n := range dividends {
+			if n > maxN {
+				continue
+			}
+			if got, want := r.Div(n), n/d; got != want {
+				t.Fatalf("Div(%d) with d=%d = %d, want %d", n, d, got, want)
+			}
+		}
+	}
+}
+
+// TestReciprocalQuick property-tests random (divisor, dividend) pairs over
+// the full 63-bit range.
+func TestReciprocalQuick(t *testing.T) {
+	f := func(d, n uint64) bool {
+		d = d%(uint64(1)<<MaxKeyBits-1) + 1 // d in [1, 2^63-1]
+		n %= uint64(1) << MaxKeyBits        // n in [0, 2^63)
+		return NewReciprocal(d).Div(n) == n/d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReciprocalPanics(t *testing.T) {
+	for _, d := range []uint64{0, 1 << MaxKeyBits, ^uint64(0)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewReciprocal(%d) did not panic", d)
+				}
+			}()
+			NewReciprocal(d)
+		}()
+	}
+}
+
+// FuzzReciprocalDiv cross-checks the multiply-shift quotient against the
+// hardware division for arbitrary fuzz-chosen divisors and dividends.
+func FuzzReciprocalDiv(f *testing.F) {
+	f.Add(uint64(1), uint64(0))
+	f.Add(uint64(2), uint64(1)<<MaxKeyBits-1)
+	f.Add(uint64(3), uint64(10))
+	f.Add(uint64(1)<<62, uint64(1)<<62+12345)
+	f.Fuzz(func(t *testing.T, d, n uint64) {
+		d = d%(uint64(1)<<MaxKeyBits-1) + 1
+		n %= uint64(1) << MaxKeyBits
+		if got, want := NewReciprocal(d).Div(n), n/d; got != want {
+			t.Fatalf("Div(%d) with d=%d = %d, want %d", n, d, got, want)
+		}
+	})
+}
+
+// randomCodec builds a codec with mixed cardinalities (including runs of
+// cardinality-1 variables) whose key space stays within MaxKeyBits.
+func randomCodec(rng *rand.Rand) *Codec {
+	n := 1 + rng.Intn(24)
+	card := make([]int, n)
+	spaceBits := 0
+	for j := range card {
+		r := 1 + rng.Intn(16)
+		for r > 1 && spaceBits+bits.Len64(uint64(r-1)) > MaxKeyBits-1 {
+			r /= 2
+		}
+		if r < 1 {
+			r = 1
+		}
+		card[j] = r
+		spaceBits += bits.Len64(uint64(r - 1))
+	}
+	c, err := NewCodec(card)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// slowDecodeVar is the plain two-division reference implementation of Eq. 4.
+func slowDecodeVar(c *Codec, key uint64, j int) uint8 {
+	return uint8(key / c.Stride(j) % uint64(c.Cardinality(j)))
+}
+
+// TestDecodeMatchesPlainDivision drives every reciprocal decode path —
+// Decode, DecodeVar, VarDecoder, PairDecoder, SubsetDecoder — across random
+// codecs and checks each against the plain `/`/`%` formulas, including the
+// key-space edges 0, 1, space-1.
+func TestDecodeMatchesPlainDivision(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		c := randomCodec(rng)
+		n := c.NumVars()
+
+		keys := []uint64{0}
+		if c.KeySpace() > 1 {
+			keys = append(keys, 1, c.KeySpace()-1)
+		}
+		for k := 0; k < 64; k++ {
+			keys = append(keys, rng.Uint64()%c.KeySpace())
+		}
+
+		// A random pair and a random subset, fixed per trial.
+		i, j := rng.Intn(n), rng.Intn(n)
+		pd := c.PairDecoder(i, j)
+		var subset []int
+		for _, v := range rng.Perm(n)[:1+rng.Intn(n)] {
+			subset = append(subset, v)
+		}
+		sd := c.SubsetDecoder(subset)
+
+		var dst []uint8
+		for _, key := range keys {
+			dst = c.Decode(key, dst[:0])
+			for v := 0; v < n; v++ {
+				want := slowDecodeVar(c, key, v)
+				if dst[v] != want {
+					t.Fatalf("Decode key=%d var=%d: got %d, want %d (cards=%v)", key, v, dst[v], want, c.Cardinalities())
+				}
+				if got := c.DecodeVar(key, v); got != want {
+					t.Fatalf("DecodeVar key=%d var=%d: got %d, want %d", key, v, got, want)
+				}
+				if got := c.VarDecoder(v).Decode(key); got != want {
+					t.Fatalf("VarDecoder key=%d var=%d: got %d, want %d", key, v, got, want)
+				}
+			}
+
+			si, sj := slowDecodeVar(c, key, i), slowDecodeVar(c, key, j)
+			if gi, gj := pd.Decode(key); gi != si || gj != sj {
+				t.Fatalf("PairDecoder.Decode key=%d: got (%d,%d), want (%d,%d)", key, gi, gj, si, sj)
+			}
+			wantCell := int(uint64(si)*uint64(c.Cardinality(j)) + uint64(sj))
+			if got := pd.Cell(key); got != wantCell {
+				t.Fatalf("PairDecoder.Cell key=%d: got %d, want %d", key, got, wantCell)
+			}
+
+			var wantIdx uint64
+			for k, v := range subset {
+				wantIdx += key / c.Stride(v) % uint64(c.Cardinality(v)) * outStrideFor(c, subset, k)
+			}
+			if got := sd.Cell(key); got != int(wantIdx) {
+				t.Fatalf("SubsetDecoder.Cell key=%d subset=%v: got %d, want %d", key, subset, got, wantIdx)
+			}
+		}
+
+		// Block decode agrees with scalar decode for every variable.
+		scratch := make([]uint8, len(keys))
+		for v := 0; v < n; v++ {
+			c.VarDecoder(v).DecodeBlock(keys, scratch)
+			for e, key := range keys {
+				if want := slowDecodeVar(c, key, v); scratch[e] != want {
+					t.Fatalf("DecodeBlock var=%d key=%d: got %d, want %d", v, key, scratch[e], want)
+				}
+			}
+		}
+	}
+}
+
+// outStrideFor recomputes the row-major marginal stride of subset position k
+// the way SubsetDecoder defines it (last variable varies fastest).
+func outStrideFor(c *Codec, subset []int, k int) uint64 {
+	s := uint64(1)
+	for t := len(subset) - 1; t > k; t-- {
+		s *= uint64(c.Cardinality(subset[t]))
+	}
+	return s
+}
+
+// FuzzDecodeVar fuzzes codec shapes and keys jointly: the fuzzer picks a
+// cardinality seed and a key, the harness derives a valid codec and checks
+// every variable's reciprocal decode against plain division.
+func FuzzDecodeVar(f *testing.F) {
+	f.Add(int64(1), uint64(0))
+	f.Add(int64(42), uint64(1<<40))
+	f.Fuzz(func(t *testing.T, seed int64, key uint64) {
+		c := randomCodec(rand.New(rand.NewSource(seed)))
+		key %= c.KeySpace()
+		for v := 0; v < c.NumVars(); v++ {
+			if got, want := c.DecodeVar(key, v), slowDecodeVar(c, key, v); got != want {
+				t.Fatalf("DecodeVar key=%d var=%d: got %d, want %d (cards=%v)", key, v, got, want, c.Cardinalities())
+			}
+		}
+	})
+}
+
+func BenchmarkDecodeVarRecip(b *testing.B) {
+	c, _ := NewUniformCodec(30, 2)
+	var sink uint8
+	for i := 0; i < b.N; i++ {
+		sink ^= c.DecodeVar(uint64(i)%c.KeySpace(), i%30)
+	}
+	benchSink = sink
+}
+
+func BenchmarkDecodeVarPlainDiv(b *testing.B) {
+	c, _ := NewUniformCodec(30, 2)
+	var sink uint8
+	for i := 0; i < b.N; i++ {
+		sink ^= slowDecodeVar(c, uint64(i)%c.KeySpace(), i%30)
+	}
+	benchSink = sink
+}
+
+var benchSink uint8

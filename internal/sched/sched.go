@@ -37,6 +37,27 @@ type Span struct {
 // Len returns the number of indices in the span.
 func (s Span) Len() int { return s.Hi - s.Lo }
 
+// Chunks invokes fn on successive sub-spans of s of at most grain indices
+// each, in order. Block scan kernels use it to walk a frozen partition in
+// cache-sized batches with one cancellation check per batch. fn returning
+// false stops the walk; Chunks reports whether it ran to completion. It
+// panics if grain <= 0.
+func (s Span) Chunks(grain int, fn func(Span) bool) bool {
+	if grain <= 0 {
+		panic(fmt.Sprintf("sched: Chunks with grain = %d", grain))
+	}
+	for lo := s.Lo; lo < s.Hi; lo += grain {
+		hi := lo + grain
+		if hi > s.Hi {
+			hi = s.Hi
+		}
+		if !fn(Span{Lo: lo, Hi: hi}) {
+			return false
+		}
+	}
+	return true
+}
+
 // BlockPartition splits [0, n) into p contiguous spans whose lengths differ
 // by at most one, matching the paper's static division of the training data
 // (line 6 of Algorithm 1). Workers with index < n%p get the longer spans.

@@ -580,3 +580,42 @@ func TestDynamicForCtxBodyError(t *testing.T) {
 		t.Fatalf("DynamicForCtx = %v, want body error", err)
 	}
 }
+
+func TestSpanChunksCoversExactly(t *testing.T) {
+	if err := quick.Check(func(lo16, len16 uint16, g8 uint8) bool {
+		lo := int(lo16 % 500)
+		s := Span{Lo: lo, Hi: lo + int(len16%2000)}
+		grain := int(g8%64) + 1
+		next := s.Lo
+		done := s.Chunks(grain, func(c Span) bool {
+			if c.Lo != next || c.Len() <= 0 || c.Len() > grain || c.Hi > s.Hi {
+				t.Fatalf("bad chunk %+v of %+v grain %d", c, s, grain)
+			}
+			next = c.Hi
+			return true
+		})
+		return done && next == s.Hi
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanChunksEarlyStop(t *testing.T) {
+	s := Span{Lo: 0, Hi: 100}
+	calls := 0
+	if s.Chunks(10, func(Span) bool { calls++; return calls < 3 }) {
+		t.Fatal("Chunks reported completion after early stop")
+	}
+	if calls != 3 {
+		t.Fatalf("got %d calls, want 3", calls)
+	}
+}
+
+func TestSpanChunksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chunks with grain 0 did not panic")
+		}
+	}()
+	Span{Lo: 0, Hi: 1}.Chunks(0, func(Span) bool { return true })
+}

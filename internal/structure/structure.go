@@ -94,6 +94,13 @@ type Config struct {
 	// PhasePar is set and disables it otherwise; negative disables the
 	// cache unconditionally.
 	MargCacheCells int
+	// Freeze captures a frozen columnar snapshot of the potential table
+	// before the read phases run, so every scan (drafting MI, CI-test
+	// marginals, wavefront batches) streams dense sorted memory instead of
+	// the partition hashtables. The snapshot changes no results — scans are
+	// bit-identical either way. Off by default at the API level; the CLIs
+	// enable it for learning (-freeze).
+	Freeze bool
 	// BuildOptions configures the wait-free table construction.
 	BuildOptions core.Options
 }
@@ -156,8 +163,9 @@ type Result struct {
 	ThickenTime time.Duration
 	ThinTime    time.Duration
 
-	BuildStats core.Stats      // wait-free construction counters
-	Cache      core.CacheStats // marginal-cache counters (zero when disabled)
+	BuildStats core.Stats       // wait-free construction counters
+	Cache      core.CacheStats  // marginal-cache counters (zero when disabled)
+	Freeze     core.FreezeStats // columnar-snapshot stats (zero when Config.Freeze is off)
 }
 
 // Learn runs the full three-phase algorithm on a dataset: the potential
@@ -207,6 +215,16 @@ func LearnFromTableCtx(ctx context.Context, pt *core.PotentialTable, cfg Config)
 		return nil, fmt.Errorf("structure: need at least 2 variables, have %d", n)
 	}
 	res := &Result{Sepsets: NewSepsets(n)}
+	if cfg.Freeze {
+		// Construction has completed by the time a table reaches the
+		// learner, so the partitions are quiescent — the freeze point the
+		// snapshot contract requires.
+		st, err := pt.FreezeCtx(ctx, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		res.Freeze = st
+	}
 	l := &learner{ctx: ctx, pt: pt, cfg: cfg, res: res}
 	if cells := cfg.MargCacheCells; cells > 0 || (cells == 0 && cfg.PhasePar) {
 		if cells <= 0 {
