@@ -3,7 +3,7 @@ GO ?= go
 # Extra seeds for the chaos sweep, e.g. `make chaos CHAOS_SEEDS=11,12,13`.
 CHAOS_SEEDS ?=
 
-.PHONY: all build vet test race check chaos bench-obs bench-phases bench-scan clean
+.PHONY: all build vet test race check chaos bench-obs bench-phases bench-scan bench-build clean
 
 all: check
 
@@ -58,6 +58,13 @@ bench-phases:
 # >2x frozen self-speedup at 8 cores.
 bench-scan:
 	$(GO) run ./cmd/bnbench -exp scan -m 1000000 -n 30 -r 2 -reps 3
+
+# bench-build times construction across the P × write-batch sweep (legacy
+# per-key path vs the batched write path), with a built-in bit-identity
+# assertion between every configuration and the write-batch-1 reference.
+# The acceptance bar: batched >= 1.25x legacy at P=1.
+bench-build:
+	$(GO) run ./cmd/bnbench -exp build -m 1000000 -n 30 -r 2 -reps 3
 
 clean:
 	$(GO) clean ./...

@@ -56,6 +56,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write long-form CSV to this file")
 		accNet   = flag.String("net", "asia", "ground-truth network for -exp accuracy: asia|cancer|chain10|naivebayes10")
 		waveSize = flag.Int("wavesize", 0, "speculation wave size for -exp phases (0 = learner default)")
+		wbList   = flag.String("wblist", "1,64", "comma-separated write-batch sizes for the -exp build sweep (1 = legacy per-key path)")
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
@@ -69,7 +70,11 @@ func main() {
 	defer cleanup()
 
 	if *exp == "build" {
-		runInstrumentedBuild(ctx, coreFl, obsFl, *m, *n, *r, *seed)
+		wbs, err := parseList(*wbList)
+		if err != nil {
+			fatal(fmt.Errorf("bad -wblist: %w", err))
+		}
+		runInstrumentedBuild(ctx, coreFl, obsFl, *m, *n, *r, *maxP, *reps, wbs, *seed)
 		return
 	}
 	if *exp == "phases" {
@@ -170,13 +175,15 @@ func main() {
 	}
 }
 
-// runInstrumentedBuild performs one wait-free construction over a synthetic
-// uniform dataset with full observability: construction Stats and the obs
-// snapshot (per-worker stage timings, queue traffic, partition occupancy)
-// go to stdout as JSON, and -metrics-addr serves the same data as
-// Prometheus text for as long as -metrics-linger allows.
-func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliopt.Obs, m, n, r int, seed uint64) {
-	opts, err := coreFl.Options()
+// runInstrumentedBuild sweeps the wait-free construction over P ×
+// write-batch on a synthetic uniform dataset, with full observability and a
+// built-in bit-identity assertion: every configuration's table must equal
+// the first (P from the sweep, write-batch 1) reference, so the bench
+// doubles as the batched-vs-legacy equivalence check. Timed rows plus the
+// obs snapshot of the final run go to stdout as JSON; -metrics-addr serves
+// the same data as Prometheus text for as long as -metrics-linger allows.
+func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliopt.Obs, m, n, r, maxP, reps int, wbs []int, seed uint64) {
+	baseOpts, err := coreFl.Options()
 	if err != nil {
 		fatal(err)
 	}
@@ -189,20 +196,61 @@ func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliop
 		// without a listener so the JSON snapshot is populated.
 		reg = obs.NewRegistry()
 	}
-	opts.Obs = reg
 
 	data := dataset.NewUniformCard(m, n, r)
 	data.UniformIndependent(seed, runtime.GOMAXPROCS(0))
-	pt, st, err := core.BuildCtx(ctx, data, opts)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "built %d samples, %d distinct keys\n", m, pt.Len())
 
+	ps := bench.DefaultPs(maxP)
+	if coreFl.P > 0 {
+		ps = []int{coreFl.P}
+	}
+	type row struct {
+		P          int        `json:"p"`
+		WriteBatch int        `json:"write_batch"`
+		Seconds    float64    `json:"seconds"`
+		Speedup    float64    `json:"speedup"`
+		Stats      core.Stats `json:"stats"`
+	}
 	out := struct {
-		Stats core.Stats   `json:"stats"`
-		Obs   obs.Snapshot `json:"obs"`
-	}{Stats: st, Obs: reg.Snapshot()}
+		Experiment string       `json:"experiment"`
+		M          int          `json:"m"`
+		N          int          `json:"n"`
+		R          int          `json:"r"`
+		Rows       []row        `json:"rows"`
+		Obs        obs.Snapshot `json:"obs"`
+	}{Experiment: "build", M: m, N: n, R: r}
+
+	var ref *core.PotentialTable // write-batch-1 table at the first P
+	var baseSec float64          // legacy P=ps[0] time, the speedup denominator
+	for _, p := range ps {
+		for _, wb := range wbs {
+			if err := ctx.Err(); err != nil {
+				fatal(context.Cause(ctx))
+			}
+			opts := baseOpts
+			opts.P = p
+			opts.WriteBatch = wb
+			opts.Obs = reg
+			var pt *core.PotentialTable
+			var st core.Stats
+			sec := bench.TimeBest(reps, func() {
+				var err error
+				pt, st, err = core.BuildCtx(ctx, data, opts)
+				if err != nil {
+					fatal(err)
+				}
+			})
+			if ref == nil {
+				ref = pt
+				baseSec = sec
+			} else if !pt.Equal(ref) {
+				fatal(fmt.Errorf("build: P=%d write-batch=%d table differs from the write-batch=%d reference", p, wb, wbs[0]))
+			}
+			out.Rows = append(out.Rows, row{P: p, WriteBatch: wb, Seconds: sec, Speedup: baseSec / sec, Stats: st})
+			fmt.Fprintf(os.Stderr, "build: P=%d wb=%d %.3fs (%.2fx) distinct=%d\n", p, wb, sec, baseSec/sec, st.DistinctKeys)
+		}
+	}
+	out.Obs = reg.Snapshot()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -193,8 +193,8 @@ func TestAblationsSmallRun(t *testing.T) {
 		"table":      AblationTable(3000, 8, 2, pr),
 	} {
 		want := 3
-		if name == "mischedule" {
-			want = 4
+		if name == "mischedule" || name == "table" {
+			want = 4 // four MI schedules; four table kinds (A4 gained dense)
 		}
 		if len(tab.Series) != want {
 			t.Errorf("%s: series count %d, want %d", name, len(tab.Series), want)

@@ -212,7 +212,7 @@ func AblationTable(m, n, r int, pr Params) *Table {
 	}
 	data := dataset.NewUniformCard(m, n, r)
 	data.UniformIndependent(pr.Seed, maxPs(pr.Ps))
-	for _, k := range []core.TableKind{core.TableOpenAddressing, core.TableChained, core.TableGoMap} {
+	for _, k := range []core.TableKind{core.TableOpenAddressing, core.TableChained, core.TableGoMap, core.TableDense} {
 		t.Series = append(t.Series, optionsSeries("table="+k.String(), data, pr,
 			func(p int) core.Options { return core.Options{P: p, Table: k} }))
 	}

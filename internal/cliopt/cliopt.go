@@ -27,12 +27,13 @@ import (
 
 // Core holds the parsed values of the shared construction flags.
 type Core struct {
-	P         int
-	Partition string
-	Queue     string
-	RingCap   int
-	Table     string
-	TableHint int
+	P          int
+	Partition  string
+	Queue      string
+	RingCap    int
+	Table      string
+	TableHint  int
+	WriteBatch int
 }
 
 // AddCore registers the shared construction flags on fs and returns the
@@ -43,15 +44,16 @@ func AddCore(fs *flag.FlagSet) *Core {
 	fs.StringVar(&c.Partition, "partition", "modulo", "key→partition mapping: modulo|range|hash")
 	fs.StringVar(&c.Queue, "queue", "chunked", "inter-core queue: chunked|ring|mutex")
 	fs.IntVar(&c.RingCap, "ring-cap", 0, "per-queue capacity for -queue ring (0 = size for a full worker block)")
-	fs.StringVar(&c.Table, "table", "open", "per-partition count table: open|chained|gomap")
+	fs.StringVar(&c.Table, "table", "open", "per-partition count table: open|chained|gomap|dense")
 	fs.IntVar(&c.TableHint, "table-hint", 0, "pre-size each partition table for this many entries (0 = heuristic)")
+	fs.IntVar(&c.WriteBatch, "write-batch", 0, "write-combining buffer size for the batched write path (0 = default 64; 1 = legacy per-key path)")
 	return c
 }
 
 // Options maps the parsed flags onto core.Options, rejecting unknown kind
 // names with the valid alternatives in the error.
 func (c *Core) Options() (core.Options, error) {
-	opts := core.Options{P: c.P, RingCapacity: c.RingCap, TableHint: c.TableHint}
+	opts := core.Options{P: c.P, RingCapacity: c.RingCap, TableHint: c.TableHint, WriteBatch: c.WriteBatch}
 	switch c.Partition {
 	case "modulo", "":
 		opts.Partition = core.PartitionModulo
@@ -79,8 +81,10 @@ func (c *Core) Options() (core.Options, error) {
 		opts.Table = core.TableChained
 	case "gomap":
 		opts.Table = core.TableGoMap
+	case "dense":
+		opts.Table = core.TableDense
 	default:
-		return opts, fmt.Errorf("unknown -table %q (want open|chained|gomap)", c.Table)
+		return opts, fmt.Errorf("unknown -table %q (want open|chained|gomap|dense)", c.Table)
 	}
 	return opts, nil
 }

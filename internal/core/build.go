@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"slices"
 	"time"
 
 	"waitfreebn/internal/dataset"
@@ -40,6 +42,15 @@ type Options struct {
 	// based on m and the key space. Hints above maxTableHint are capped;
 	// the applied hint and the cap event are reported in Stats.
 	TableHint int
+	// WriteBatch sizes the per-worker per-destination write-combining
+	// buffers of the batched write path: foreign keys accumulate in a
+	// core-private buffer, duplicates are combined into (key, delta)
+	// words, and full buffers flush with one PushBatch — one atomic
+	// publish per batch instead of one per key. 0 selects the default
+	// (defaultWriteBatch); 1 selects the legacy per-key path, kept as the
+	// ablation baseline; values above maxWriteBatch are clamped. Both
+	// paths produce bit-identical tables.
+	WriteBatch int
 	// Obs receives construction metrics (per-worker stage timings, queue
 	// traffic, partition occupancy). nil disables instrumentation; the
 	// primitives aggregate per worker in plain locals and publish once per
@@ -51,11 +62,30 @@ type Options struct {
 // demand past it. A capped hint is recorded in Stats.TableHintCapped.
 const maxTableHint = 1 << 24
 
+// Batched-write-path sizing. defaultWriteBatch is the per-destination
+// write-combining buffer: 64 keys = 512 bytes, one streamed cache-line
+// growth at a time, small enough that P buffers stay resident per worker.
+// encodeBlockRows is how many rows stage 1 encodes per EncodeRows/EncodeFlat
+// call; drainBatch is the stage-2 PopBatch chunk. maxDeltaBits bounds the
+// delta field packed into a queued word's high bits (see combineDeltas).
+const (
+	defaultWriteBatch = 64
+	maxWriteBatch     = 4096
+	encodeBlockRows   = 1024
+	drainBatch        = 512
+	maxDeltaBits      = 16
+)
+
 // withDefaults resolves zero fields and reports whether the table hint was
 // truncated by maxTableHint.
 func (o Options) withDefaults(m int, keySpace uint64) (Options, bool) {
 	if o.P <= 0 {
 		o.P = sched.DefaultP()
+	}
+	if o.WriteBatch <= 0 {
+		o.WriteBatch = defaultWriteBatch
+	} else if o.WriteBatch > maxWriteBatch {
+		o.WriteBatch = maxWriteBatch
 	}
 	if o.RingCapacity <= 0 {
 		o.RingCapacity = (m + o.P - 1) / o.P
@@ -87,16 +117,33 @@ func (o Options) withDefaults(m int, keySpace uint64) (Options, bool) {
 // Stats reports what the construction primitive did, for instrumentation
 // and for the contention-shape comparisons in EXPERIMENTS.md.
 type Stats struct {
-	P            int    // workers used
-	LocalKeys    uint64 // stage-1 keys updated directly in the owner's table
-	ForeignKeys  uint64 // stage-1 keys routed through queues
-	Stage2Pops   uint64 // keys drained in stage 2 (== ForeignKeys on success)
+	P         int // workers used
+	LocalKeys uint64 // stage-1 keys updated directly in the owner's table
+	// ForeignKeys counts the logical keys routed through queues. With the
+	// batched write path duplicates are combined into (key, delta) words
+	// before queueing, so fewer words travel; ForeignKeys still counts
+	// keys (the pre-aggregation count), and Stage2Pops counts the key
+	// mass drained (sum of deltas) — the two remain exactly equal on
+	// success, batched or not.
+	ForeignKeys  uint64
+	Stage2Pops   uint64 // key mass drained in stage 2 (== ForeignKeys on success)
 	DistinctKeys int    // table entries after construction
 
-	// SpilledKeys counts foreign keys that overflowed a bounded ring and
-	// were routed through the unbounded spill side queue instead — the
-	// graceful-degradation signal that RingCapacity is undersized for the
-	// workload. Always 0 for unbounded queues or with Options.NoSpill.
+	// WriteBatch is the per-destination buffer size actually applied
+	// (1 = legacy per-key path). BatchFlushes counts write-combining
+	// buffer flushes (PushBatch calls); ForeignDupes counts duplicate
+	// foreign keys combined into deltas before queueing. Both are 0 on
+	// the legacy path.
+	WriteBatch   int
+	BatchFlushes uint64
+	ForeignDupes uint64
+
+	// SpilledKeys counts queued elements that overflowed a bounded ring
+	// and were routed through the unbounded spill side queue instead —
+	// the graceful-degradation signal that RingCapacity is undersized for
+	// the workload. On the batched path the unit is post-aggregation
+	// (key, delta) words, since those are what occupy ring slots. Always
+	// 0 for unbounded queues or with Options.NoSpill.
 	SpilledKeys uint64
 
 	// Stage1Time and Stage2Time are the slowest worker's wall-clock in
@@ -176,7 +223,8 @@ func BuildCtx(ctx context.Context, data *dataset.Dataset, opts Options) (*Potent
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("core: %w", err)
 	}
-	return BuildKeysCtx(ctx, keySourceFromDataset(data, codec), codec, data.NumSamples(), opts)
+	return buildCtx(ctx, keySourceFromDataset(data, codec), blockFromDataset(data, codec),
+		codec, data.NumSamples(), opts)
 }
 
 // KeySource yields the key of sample i. Build encodes rows on the fly
@@ -185,8 +233,29 @@ func BuildCtx(ctx context.Context, data *dataset.Dataset, opts Options) (*Potent
 // table-update cost from encode cost.
 type KeySource func(i int) uint64
 
+// blockSource fills dst[:hi-lo] with the keys of samples [lo, hi). The
+// batched write path pulls keys in encodeBlockRows-sized blocks so the
+// encode runs column-major over a slab (encoding.EncodeRows/EncodeFlat)
+// instead of row by row; the legacy WriteBatch=1 path keeps pulling
+// per-key from a KeySource.
+type blockSource func(lo, hi int, dst []uint64)
+
 func keySourceFromDataset(data *dataset.Dataset, codec *encoding.Codec) KeySource {
 	return func(i int) uint64 { return codec.Encode(data.Row(i)) }
+}
+
+func blockFromDataset(data *dataset.Dataset, codec *encoding.Codec) blockSource {
+	return func(lo, hi int, dst []uint64) {
+		codec.EncodeFlat(data.RowsFlat(lo, hi), dst)
+	}
+}
+
+func blockFromKeySource(source KeySource) blockSource {
+	return func(lo, hi int, dst []uint64) {
+		for i := lo; i < hi; i++ {
+			dst[i-lo] = source(i)
+		}
+	}
 }
 
 // KeySourceFromSlice adapts a pre-encoded key slice.
@@ -199,6 +268,7 @@ func KeySourceFromSlice(keys []uint64) KeySource {
 // is needed.
 type workerStats struct {
 	local, foreign, pops uint64
+	flushes, dupes       uint64
 	stage1, stage2       time.Duration
 	barrier              time.Duration
 }
@@ -211,15 +281,63 @@ const cancelCheckStride = 8192
 
 // twoStage bundles the shared state of one two-stage construction episode;
 // BuildKeysCtx runs one over a full key stream, Builder.addKeys one per
-// incremental block.
+// incremental block. source feeds the legacy per-key path (WriteBatch=1);
+// block feeds the batched path; keyBits is bits.Len64(keySpace-1), the
+// width of the key field in a queued delta word.
 type twoStage struct {
-	m       int
-	source  KeySource
-	parts   []hashtable.Counter
-	queues  queueMatrix
-	owner   func(uint64) int
-	barrier *sched.Barrier
-	ringCap int
+	m          int
+	source     KeySource
+	block      blockSource
+	parts      []hashtable.Counter
+	queues     queueMatrix
+	owner      func(uint64) int
+	barrier    *sched.Barrier
+	ringCap    int
+	writeBatch int
+	keyBits    uint
+}
+
+// keyFieldBits returns the number of bits a key of the given space can
+// occupy — the low field of a batched queue word; the remaining high bits
+// (capped at maxDeltaBits) carry the pre-aggregated delta.
+func keyFieldBits(keySpace uint64) uint {
+	return uint(bits.Len64(keySpace - 1))
+}
+
+// overflowErr is the bounded-queue failure both write paths surface.
+func (ts twoStage) overflowErr(w, dst int) error {
+	return fmt.Errorf("core: queue %d→%d overflow (ring capacity %d); use spsc.KindChunked, a larger RingCapacity, or drop Options.NoSpill", w, dst, ts.ringCap)
+}
+
+// combineDeltas turns a sorted-in-place buffer of foreign keys into
+// self-contained queue words key | (delta-1)<<keyBits, combining duplicate
+// keys into one word (runs longer than maxDelta emit several words). The
+// words overwrite a prefix of buf; the second return is how many keys were
+// combined away (len(buf) - len(words)). A word always decodes to
+// (key, delta) on its own, so the spillover queue's non-FIFO reordering
+// across ring and side queue cannot corrupt the count — addition commutes.
+func combineDeltas(buf []uint64, keyBits uint, maxDelta uint64) ([]uint64, uint64) {
+	slices.Sort(buf)
+	out := 0
+	for i := 0; i < len(buf); {
+		key := buf[i]
+		j := i + 1
+		for j < len(buf) && buf[j] == key {
+			j++
+		}
+		run := uint64(j - i)
+		i = j
+		for run > 0 {
+			d := run
+			if d > maxDelta {
+				d = maxDelta
+			}
+			buf[out] = key | (d-1)<<keyBits
+			out++
+			run -= d
+		}
+	}
+	return buf[:out], uint64(len(buf) - out)
 }
 
 // runTwoStage executes stage 1 → barrier → stage 2 on p workers under the
@@ -228,99 +346,286 @@ type twoStage struct {
 // queue overflow, injected fault, worker panic — aborts the barrier and
 // cancels the peers, and runTwoStage returns only after every worker
 // goroutine has exited.
+//
+// WriteBatch selects the worker body: >1 runs the batched write path
+// (block encode, write-combining buffers, pre-aggregated deltas, batch
+// drains); 1 runs the legacy per-key path. Both produce bit-identical
+// tables; wait-freedom is untouched either way, since every buffer is
+// core-private and the only cross-core structures remain the SPSC queues.
 func runTwoStage(ctx context.Context, p int, ts twoStage, ws []workerStats) error {
 	spans := sched.BlockPartition(ts.m, p)
+	batched := ts.writeBatch > 1
 	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
-		plan := faultinject.Active() // hoisted: nil = disabled fast path
-		done := ctx.Done()
+		if batched {
+			return ts.runWorkerBatched(ctx, p, w, spans[w], ws)
+		}
+		return ts.runWorkerLegacy(ctx, p, w, spans[w], ws)
+	})
+}
 
-		// ---- Stage 1 (Algorithm 1): classify, update own table, route
-		// foreign keys. Writes: parts[w], tails of queues[w][*].
-		t0 := time.Now()
-		span := spans[w]
-		table := ts.parts[w]
-		outs := ts.queues[w]
-		var local, foreign uint64
-		var failure error
-		plan.MaybePanic(faultinject.PanicStage1, w, 0)
-		check := cancelCheckStride
-		for i := span.Lo; i < span.Hi; i++ {
+// runWorkerLegacy is the original per-key worker body, kept verbatim as
+// the WriteBatch=1 ablation baseline.
+func (ts twoStage) runWorkerLegacy(ctx context.Context, p, w int, span sched.Span, ws []workerStats) error {
+	plan := faultinject.Active() // hoisted: nil = disabled fast path
+	done := ctx.Done()
+
+	// ---- Stage 1 (Algorithm 1): classify, update own table, route
+	// foreign keys. Writes: parts[w], tails of queues[w][*].
+	t0 := time.Now()
+	table := ts.parts[w]
+	outs := ts.queues[w]
+	var local, foreign uint64
+	var failure error
+	plan.MaybePanic(faultinject.PanicStage1, w, 0)
+	check := cancelCheckStride
+	for i := span.Lo; i < span.Hi; i++ {
+		if check--; check == 0 {
+			check = cancelCheckStride
+			select {
+			case <-done:
+				ws[w].local, ws[w].foreign = local, foreign
+				ws[w].stage1 = time.Since(t0)
+				return context.Cause(ctx)
+			default:
+			}
+		}
+		key := ts.source(i)
+		dst := ts.owner(key)
+		if dst == w {
+			table.Inc(key)
+			local++
+		} else {
+			if plan.Fire(faultinject.QueuePushFail, w, foreign) || !outs[dst].Push(key) {
+				failure = ts.overflowErr(w, dst)
+				break
+			}
+			foreign++
+		}
+	}
+	ws[w].local, ws[w].foreign = local, foreign
+	ws[w].stage1 = time.Since(t0)
+	if failure != nil {
+		// Poison the barrier before leaving so peers already spinning
+		// in it return the root cause instead of waiting on a party
+		// that will never arrive (RunCtx's cancellation is the second,
+		// redundant escape hatch).
+		ts.barrier.Abort(failure)
+		return failure
+	}
+
+	// ---- The single synchronization step between the stages.
+	plan.MaybeStall(w, 0)
+	bd, berr := ts.barrier.WaitTimedCtx(ctx)
+	ws[w].barrier = bd
+	if berr != nil {
+		return berr
+	}
+	plan.MaybePanic(faultinject.PanicStage2, w, 0)
+
+	// ---- Stage 2 (Algorithm 2): drain queues addressed to w.
+	// Reads: heads of queues[*][w]; writes: parts[w].
+	t1 := time.Now()
+	var pops uint64
+	check = cancelCheckStride
+	for src := 0; src < p; src++ {
+		if src == w {
+			continue
+		}
+		q := ts.queues[src][w]
+		for {
 			if check--; check == 0 {
 				check = cancelCheckStride
 				select {
 				case <-done:
-					ws[w].local, ws[w].foreign = local, foreign
-					ws[w].stage1 = time.Since(t0)
+					ws[w].pops = pops
+					ws[w].stage2 = time.Since(t1)
 					return context.Cause(ctx)
 				default:
 				}
 			}
-			key := ts.source(i)
-			dst := ts.owner(key)
-			if dst == w {
-				table.Inc(key)
-				local++
-			} else {
-				if plan.Fire(faultinject.QueuePushFail, w, foreign) || !outs[dst].Push(key) {
-					failure = fmt.Errorf("core: queue %d→%d overflow (ring capacity %d); use spsc.KindChunked, a larger RingCapacity, or drop Options.NoSpill", w, dst, ts.ringCap)
-					break
-				}
-				foreign++
+			key, ok := q.Pop()
+			if !ok {
+				break
+			}
+			table.Inc(key)
+			pops++
+		}
+	}
+	ws[w].pops = pops
+	ws[w].stage2 = time.Since(t1)
+	return nil
+}
+
+// runWorkerBatched is the block-oriented worker body. Stage 1 pulls keys
+// in encodeBlockRows blocks (column-major encode), classifies them into
+// core-private per-destination buffers of writeBatch keys, combines
+// duplicates into delta words at flush, and publishes each flush with one
+// PushBatch; owned keys batch into the partition table via AddBatch. At
+// P=1 the classification disappears entirely: whole encode blocks feed
+// AddBatch. Stage 2 drains with PopBatch and applies Add(key, delta).
+//
+// Queue-push faults fire per logical key at buffer-append time, with the
+// same (worker, running-foreign-count) sequence the legacy path uses, so
+// existing chaos seeds keep their meaning.
+func (ts twoStage) runWorkerBatched(ctx context.Context, p, w int, span sched.Span, ws []workerStats) error {
+	plan := faultinject.Active() // hoisted: nil = disabled fast path
+	done := ctx.Done()
+	deltaBits := 64 - ts.keyBits
+	if deltaBits > maxDeltaBits {
+		deltaBits = maxDeltaBits
+	}
+	maxDelta := uint64(1) << deltaBits
+	keyMask := uint64(1)<<ts.keyBits - 1
+
+	// ---- Stage 1 (Algorithm 1), batched. Writes: parts[w], tails of
+	// queues[w][*]; every buffer below is private to this worker.
+	t0 := time.Now()
+	table := ts.parts[w]
+	outs := ts.queues[w]
+	var local, foreign, flushes, dupes uint64
+	var failure error
+	plan.MaybePanic(faultinject.PanicStage1, w, 0)
+
+	keys := make([]uint64, encodeBlockRows)
+	var bufs [][]uint64
+	var own []uint64
+	if p > 1 {
+		bufs = make([][]uint64, p)
+		for d := range bufs {
+			if d != w {
+				bufs[d] = make([]uint64, 0, ts.writeBatch)
 			}
 		}
-		ws[w].local, ws[w].foreign = local, foreign
-		ws[w].stage1 = time.Since(t0)
-		if failure != nil {
-			// Poison the barrier before leaving so peers already spinning
-			// in it return the root cause instead of waiting on a party
-			// that will never arrive (RunCtx's cancellation is the second,
-			// redundant escape hatch).
-			ts.barrier.Abort(failure)
-			return failure
+		own = make([]uint64, 0, encodeBlockRows)
+	}
+	flush := func(dst int) bool {
+		b := bufs[dst]
+		if len(b) == 0 {
+			return true
 		}
-
-		// ---- The single synchronization step between the stages.
-		plan.MaybeStall(w, 0)
-		bd, berr := ts.barrier.WaitTimedCtx(ctx)
-		ws[w].barrier = bd
-		if berr != nil {
-			return berr
+		words, combined := combineDeltas(b, ts.keyBits, maxDelta)
+		flushes++
+		dupes += combined
+		if acc := outs[dst].PushBatch(words); acc != len(words) {
+			return false
 		}
-		plan.MaybePanic(faultinject.PanicStage2, w, 0)
-
-		// ---- Stage 2 (Algorithm 2): drain queues addressed to w.
-		// Reads: heads of queues[*][w]; writes: parts[w].
-		t1 := time.Now()
-		var pops uint64
-		check = cancelCheckStride
-		for src := 0; src < p; src++ {
-			if src == w {
-				continue
-			}
-			q := ts.queues[src][w]
-			for {
-				if check--; check == 0 {
-					check = cancelCheckStride
-					select {
-					case <-done:
-						ws[w].pops = pops
-						ws[w].stage2 = time.Since(t1)
-						return context.Cause(ctx)
-					default:
+		bufs[dst] = b[:0]
+		return true
+	}
+	check := cancelCheckStride
+outer:
+	for lo := span.Lo; lo < span.Hi; lo += encodeBlockRows {
+		hi := lo + encodeBlockRows
+		if hi > span.Hi {
+			hi = span.Hi
+		}
+		block := keys[:hi-lo]
+		ts.block(lo, hi, block)
+		if p == 1 {
+			// Everything is owned: feed whole encode blocks to the table.
+			table.AddBatch(block)
+			local += uint64(len(block))
+		} else {
+			for _, key := range block {
+				dst := ts.owner(key)
+				if dst == w {
+					own = append(own, key)
+					if len(own) == cap(own) {
+						table.AddBatch(own)
+						own = own[:0]
 					}
+					local++
+					continue
 				}
-				key, ok := q.Pop()
-				if !ok {
-					break
+				if plan.Fire(faultinject.QueuePushFail, w, foreign) {
+					failure = ts.overflowErr(w, dst)
+					break outer
 				}
-				table.Inc(key)
-				pops++
+				bufs[dst] = append(bufs[dst], key)
+				foreign++
+				if len(bufs[dst]) == ts.writeBatch && !flush(dst) {
+					failure = ts.overflowErr(w, dst)
+					break outer
+				}
 			}
 		}
-		ws[w].pops = pops
-		ws[w].stage2 = time.Since(t1)
-		return nil
-	})
+		if check -= hi - lo; check <= 0 {
+			check = cancelCheckStride
+			select {
+			case <-done:
+				ws[w].local, ws[w].foreign = local, foreign
+				ws[w].flushes, ws[w].dupes = flushes, dupes
+				ws[w].stage1 = time.Since(t0)
+				return context.Cause(ctx)
+			default:
+			}
+		}
+	}
+	if failure == nil && p > 1 {
+		if len(own) > 0 {
+			table.AddBatch(own)
+		}
+		for d := 0; d < p; d++ {
+			if d != w && !flush(d) {
+				failure = ts.overflowErr(w, d)
+				break
+			}
+		}
+	}
+	ws[w].local, ws[w].foreign = local, foreign
+	ws[w].flushes, ws[w].dupes = flushes, dupes
+	ws[w].stage1 = time.Since(t0)
+	if failure != nil {
+		ts.barrier.Abort(failure)
+		return failure
+	}
+
+	// ---- The single synchronization step between the stages.
+	plan.MaybeStall(w, 0)
+	bd, berr := ts.barrier.WaitTimedCtx(ctx)
+	ws[w].barrier = bd
+	if berr != nil {
+		return berr
+	}
+	plan.MaybePanic(faultinject.PanicStage2, w, 0)
+
+	// ---- Stage 2 (Algorithm 2), batched: drain delta words addressed to
+	// w and apply their key mass. Reads: heads of queues[*][w]; writes:
+	// parts[w].
+	t1 := time.Now()
+	var pops uint64
+	drain := make([]uint64, drainBatch)
+	check = cancelCheckStride
+	for src := 0; src < p; src++ {
+		if src == w {
+			continue
+		}
+		q := ts.queues[src][w]
+		for {
+			n := q.PopBatch(drain)
+			if n == 0 {
+				break
+			}
+			for _, word := range drain[:n] {
+				delta := word>>ts.keyBits + 1
+				table.Add(word&keyMask, delta)
+				pops += delta
+			}
+			if check -= n; check <= 0 {
+				check = cancelCheckStride
+				select {
+				case <-done:
+					ws[w].pops = pops
+					ws[w].stage2 = time.Since(t1)
+					return context.Cause(ctx)
+				default:
+				}
+			}
+		}
+	}
+	ws[w].pops = pops
+	ws[w].stage2 = time.Since(t1)
+	return nil
 }
 
 // BuildKeys is Build over an arbitrary key stream of length m.
@@ -331,6 +636,13 @@ func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*P
 // BuildKeysCtx is BuildKeys under the fault-tolerant execution contract
 // (see BuildCtx).
 func BuildKeysCtx(ctx context.Context, source KeySource, codec *encoding.Codec, m int, opts Options) (*PotentialTable, Stats, error) {
+	return buildCtx(ctx, source, blockFromKeySource(source), codec, m, opts)
+}
+
+// buildCtx is the shared construction entry point: BuildCtx feeds it
+// dataset-backed sources (block = column-major slab encode), BuildKeysCtx
+// arbitrary key streams (block = per-key gather).
+func buildCtx(ctx context.Context, source KeySource, block blockSource, codec *encoding.Codec, m int, opts Options) (*PotentialTable, Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, context.Cause(ctx)
 	}
@@ -342,7 +654,7 @@ func BuildKeysCtx(ctx context.Context, source KeySource, codec *encoding.Codec, 
 
 	parts := make([]hashtable.Counter, p)
 	for i := range parts {
-		parts[i] = opts.Table.new(opts.TableHint)
+		parts[i] = newPartTable(opts.Table, opts.Partition, opts.TableHint, p, codec.KeySpace(), i)
 	}
 	queues := newQueueMatrix(p, opts.Queue, opts.RingCapacity, opts.NoSpill)
 	owner := opts.Partition.partitioner(p, codec.KeySpace())
@@ -350,19 +662,23 @@ func BuildKeysCtx(ctx context.Context, source KeySource, codec *encoding.Codec, 
 
 	ws := make([]workerStats, p)
 	if err := runTwoStage(ctx, p, twoStage{
-		m:       m,
-		source:  source,
-		parts:   parts,
-		queues:  queues,
-		owner:   owner,
-		barrier: barrier,
-		ringCap: opts.RingCapacity,
+		m:          m,
+		source:     source,
+		block:      block,
+		parts:      parts,
+		queues:     queues,
+		owner:      owner,
+		barrier:    barrier,
+		ringCap:    opts.RingCapacity,
+		writeBatch: opts.WriteBatch,
+		keyBits:    keyFieldBits(codec.KeySpace()),
 	}, ws); err != nil {
 		return nil, Stats{}, err
 	}
 
 	var st Stats
 	st.P = p
+	st.WriteBatch = opts.WriteBatch
 	st.TableHint = opts.TableHint
 	st.TableHintCapped = hintCapped
 	st.SpilledKeys = queues.spilledKeys()
@@ -370,6 +686,8 @@ func BuildKeysCtx(ctx context.Context, source KeySource, codec *encoding.Codec, 
 		st.LocalKeys += ws[w].local
 		st.ForeignKeys += ws[w].foreign
 		st.Stage2Pops += ws[w].pops
+		st.BatchFlushes += ws[w].flushes
+		st.ForeignDupes += ws[w].dupes
 		if ws[w].stage1 > st.Stage1Time {
 			st.Stage1Time = ws[w].stage1
 		}

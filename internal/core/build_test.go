@@ -17,8 +17,11 @@ func uniformData(t testing.TB, m, n, r int, seed uint64) *dataset.Dataset {
 }
 
 // assertStatsInvariant checks the accounting identity every successful
-// build must satisfy: each foreign key pushed in stage 1 is popped exactly
-// once in stage 2.
+// build must satisfy: the foreign key mass routed in stage 1 equals the key
+// mass drained in stage 2. On the legacy path both sides count individual
+// pushes/pops; on the batched path ForeignKeys counts logical keys before
+// delta aggregation and Stage2Pops sums the drained deltas — the identity
+// is numerically unchanged.
 func assertStatsInvariant(t *testing.T, st Stats) {
 	t.Helper()
 	if st.Stage2Pops != st.ForeignKeys {
@@ -86,16 +89,65 @@ func TestBuildAllOptionCombinations(t *testing.T) {
 	}
 	for _, part := range []PartitionKind{PartitionModulo, PartitionRange, PartitionHash} {
 		for _, q := range []spsc.Kind{spsc.KindChunked, spsc.KindRing, spsc.KindMutex} {
-			for _, tk := range []TableKind{TableOpenAddressing, TableChained, TableGoMap} {
-				opts := Options{P: 4, Partition: part, Queue: q, Table: tk}
-				pt, st, err := Build(d, opts)
+			for _, tk := range []TableKind{TableOpenAddressing, TableChained, TableGoMap, TableDense} {
+				for _, wb := range []int{1, 0} {
+					opts := Options{P: 4, Partition: part, Queue: q, Table: tk, WriteBatch: wb}
+					pt, st, err := Build(d, opts)
+					if err != nil {
+						t.Fatalf("%v/%v/%v/wb=%d: %v", part, q, tk, wb, err)
+					}
+					if !pt.Equal(ref) {
+						t.Fatalf("%v/%v/%v/wb=%d: table differs from sequential", part, q, tk, wb)
+					}
+					assertStatsInvariant(t, st)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildBatchedMatchesLegacy is the bit-identity matrix of the batched
+// write path: for every queue kind × table kind × P ∈ {1, 4, 8}, the
+// batched build (several batch sizes, including ones that force mid-block
+// and partial flushes) must equal both the legacy WriteBatch=1 build and
+// the sequential oracle, with the key-mass accounting identity intact.
+func TestBuildBatchedMatchesLegacy(t *testing.T) {
+	d := uniformData(t, 12000, 8, 3, 9)
+	ref, err := BuildSequential(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4, 8} {
+		for _, q := range []spsc.Kind{spsc.KindChunked, spsc.KindRing, spsc.KindMutex} {
+			for _, tk := range []TableKind{TableOpenAddressing, TableChained, TableGoMap, TableDense} {
+				legacy, lst, err := Build(d, Options{P: p, Queue: q, Table: tk, WriteBatch: 1})
 				if err != nil {
-					t.Fatalf("%v/%v/%v: %v", part, q, tk, err)
+					t.Fatalf("P=%d/%v/%v legacy: %v", p, q, tk, err)
 				}
-				if !pt.Equal(ref) {
-					t.Fatalf("%v/%v/%v: table differs from sequential", part, q, tk)
+				if !legacy.Equal(ref) {
+					t.Fatalf("P=%d/%v/%v: legacy table differs from sequential", p, q, tk)
 				}
-				assertStatsInvariant(t, st)
+				assertStatsInvariant(t, lst)
+				for _, wb := range []int{2, 64, 4096} {
+					pt, st, err := Build(d, Options{P: p, Queue: q, Table: tk, WriteBatch: wb})
+					if err != nil {
+						t.Fatalf("P=%d/%v/%v/wb=%d: %v", p, q, tk, wb, err)
+					}
+					if !pt.Equal(legacy) {
+						t.Fatalf("P=%d/%v/%v/wb=%d: batched table differs from legacy", p, q, tk, wb)
+					}
+					assertStatsInvariant(t, st)
+					if st.ForeignKeys != lst.ForeignKeys || st.LocalKeys != lst.LocalKeys {
+						t.Fatalf("P=%d/%v/%v/wb=%d: key accounting differs from legacy: local %d/%d foreign %d/%d",
+							p, q, tk, wb, st.LocalKeys, lst.LocalKeys, st.ForeignKeys, lst.ForeignKeys)
+					}
+					if p > 1 && st.ForeignKeys > 0 && st.BatchFlushes == 0 {
+						t.Fatalf("P=%d/%v/%v/wb=%d: foreign keys routed but no batch flushes recorded", p, q, tk, wb)
+					}
+					if st.WriteBatch != wb {
+						t.Fatalf("P=%d/%v/%v/wb=%d: Stats.WriteBatch = %d", p, q, tk, wb, st.WriteBatch)
+					}
+				}
 			}
 		}
 	}
@@ -177,13 +229,47 @@ func TestBuildKeysRingOverflowReturnsError(t *testing.T) {
 	for i := range keys {
 		keys[i] = 1 // owner 1 under modulo partitioning with P=2
 	}
+	// Legacy path: every duplicate occupies its own ring slot, so 32
+	// pushes into a 2-slot ring must overflow.
 	_, _, err = BuildKeys(KeySourceFromSlice(keys), codec, len(keys),
-		Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2, NoSpill: true})
+		Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2, NoSpill: true, WriteBatch: 1})
 	if err == nil {
 		t.Fatal("expected overflow error from undersized ring in BuildKeys")
 	}
 	if !strings.Contains(err.Error(), "ring capacity") {
 		t.Fatalf("overflow error does not report the capacity: %v", err)
+	}
+
+	// Batched path: delta aggregation collapses the 32 duplicates into a
+	// single (key, delta) word, so the same undersized ring now succeeds —
+	// the write-combining buffer is itself a spill-avoidance mechanism.
+	pt0, st0, err := BuildKeys(KeySourceFromSlice(keys), codec, len(keys),
+		Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2, NoSpill: true})
+	if err != nil {
+		t.Fatalf("batched build on undersized ring: %v", err)
+	}
+	assertStatsInvariant(t, st0)
+	if pt0.Get(1) != uint64(len(keys)) {
+		t.Fatalf("batched count for key 1 = %d, want %d", pt0.Get(1), len(keys))
+	}
+
+	// Distinct foreign keys cannot be combined, so the batched path still
+	// overflows a NoSpill ring when the words themselves don't fit.
+	wide, err := encoding.NewCodec([]int{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make([]uint64, 64)
+	for i := range distinct {
+		distinct[i] = uint64(2*i + 1) // 64 distinct odd keys: all owner 1
+	}
+	_, _, err = BuildKeys(KeySourceFromSlice(distinct), wide, len(distinct),
+		Options{P: 2, Queue: spsc.KindRing, RingCapacity: 2, NoSpill: true})
+	if err == nil {
+		t.Fatal("expected overflow error from batched build with distinct keys")
+	}
+	if !strings.Contains(err.Error(), "ring capacity") {
+		t.Fatalf("batched overflow error does not report the capacity: %v", err)
 	}
 
 	// The same stream with the default (auto-sized) ring must succeed and

@@ -199,10 +199,11 @@ func TestChaosMultiSeedSweep(t *testing.T) {
 		restore := faultinject.Activate(plan)
 		done := make(chan struct{})
 		var pt *PotentialTable
+		var st Stats
 		var buildErr error
 		go func() {
 			defer close(done)
-			pt, _, buildErr = BuildCtx(context.Background(), d, Options{P: 4})
+			pt, st, buildErr = BuildCtx(context.Background(), d, Options{P: 4})
 		}()
 		select {
 		case <-done:
@@ -215,10 +216,56 @@ func TestChaosMultiSeedSweep(t *testing.T) {
 			if !pt.Equal(ref) {
 				t.Fatalf("seed %d: fault-free outcome differs from oracle", seed)
 			}
+			assertStatsInvariant(t, st)
 		} else {
 			var we *sched.WorkerError
 			if !errors.As(buildErr, &we) && !strings.Contains(buildErr.Error(), "overflow") {
 				t.Fatalf("seed %d: unclassified failure %v", seed, buildErr)
+			}
+		}
+		requireNoGoroutineLeak(t, base)
+	}
+}
+
+// TestChaosBatchedLegacyFaultEquivalence pins the fault-determinism
+// contract of the batched write path: queue-push faults fire per logical
+// key at buffer-append time with the same (worker, running-foreign-count)
+// sequence the legacy path uses, so under any deterministic plan the two
+// paths must agree — both fail, or both succeed with identical tables and
+// identical key accounting. Without this, every recorded chaos seed would
+// renumber when the default write path changed.
+func TestChaosBatchedLegacyFaultEquivalence(t *testing.T) {
+	d := uniformData(t, 20000, 8, 3, 11)
+	base := runtime.NumGoroutine()
+	for _, seed := range chaosSeeds(t) {
+		type outcome struct {
+			pt  *PotentialTable
+			st  Stats
+			err error
+		}
+		var outs [2]outcome
+		for i, wb := range []int{1, defaultWriteBatch} {
+			plan := faultinject.NewPlan(seed).
+				WithRate(faultinject.QueuePushFail, 0.0005).
+				WithRate(faultinject.PanicStage1, 0.1).
+				WithRate(faultinject.PanicStage2, 0.1)
+			restore := faultinject.Activate(plan)
+			outs[i].pt, outs[i].st, outs[i].err = BuildCtx(context.Background(), d, Options{P: 4, WriteBatch: wb})
+			restore()
+		}
+		legacy, batched := outs[0], outs[1]
+		if (legacy.err == nil) != (batched.err == nil) {
+			t.Fatalf("seed %d: legacy err %v, batched err %v — fault plans diverged", seed, legacy.err, batched.err)
+		}
+		if legacy.err == nil {
+			if !batched.pt.Equal(legacy.pt) {
+				t.Fatalf("seed %d: batched table differs from legacy under the same plan", seed)
+			}
+			assertStatsInvariant(t, legacy.st)
+			assertStatsInvariant(t, batched.st)
+			if legacy.st.ForeignKeys != batched.st.ForeignKeys {
+				t.Fatalf("seed %d: foreign key mass %d (legacy) != %d (batched)",
+					seed, legacy.st.ForeignKeys, batched.st.ForeignKeys)
 			}
 		}
 		requireNoGoroutineLeak(t, base)

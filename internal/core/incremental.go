@@ -51,10 +51,11 @@ func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
 		barrier: sched.NewBarrier(opts.P),
 	}
 	for i := range b.parts {
-		b.parts[i] = opts.Table.new(opts.TableHint)
+		b.parts[i] = newPartTable(opts.Table, opts.Partition, opts.TableHint, opts.P, codec.KeySpace(), i)
 	}
 	b.queues = newQueueMatrix(opts.P, opts.Queue, opts.RingCapacity, opts.NoSpill)
 	b.stats.P = opts.P
+	b.stats.WriteBatch = opts.WriteBatch
 	b.stats.TableHint = opts.TableHint
 	b.stats.TableHintCapped = hintCapped
 	return b
@@ -70,7 +71,9 @@ func (b *Builder) AddBlock(rows [][]uint8) error {
 // cancellation and worker panics surface as errors with all workers joined,
 // after which the builder is poisoned (see addKeys).
 func (b *Builder) AddBlockCtx(ctx context.Context, rows [][]uint8) error {
-	return b.addKeys(ctx, len(rows), func(i int) uint64 { return b.codec.Encode(rows[i]) })
+	return b.addKeys(ctx, len(rows),
+		func(i int) uint64 { return b.codec.Encode(rows[i]) },
+		func(lo, hi int, dst []uint64) { b.codec.EncodeRows(rows[lo:hi], dst) })
 }
 
 // AddKeys counts a block of pre-encoded keys.
@@ -80,10 +83,12 @@ func (b *Builder) AddKeys(keys []uint64) error {
 
 // AddKeysCtx is AddKeys under the fault-tolerant execution contract.
 func (b *Builder) AddKeysCtx(ctx context.Context, keys []uint64) error {
-	return b.addKeys(ctx, len(keys), func(i int) uint64 { return keys[i] })
+	return b.addKeys(ctx, len(keys),
+		func(i int) uint64 { return keys[i] },
+		func(lo, hi int, dst []uint64) { copy(dst, keys[lo:hi]) })
 }
 
-func (b *Builder) addKeys(ctx context.Context, m int, source KeySource) error {
+func (b *Builder) addKeys(ctx context.Context, m int, source KeySource, block blockSource) error {
 	if b.done {
 		return fmt.Errorf("core: Builder used after Finalize")
 	}
@@ -93,13 +98,16 @@ func (b *Builder) addKeys(ctx context.Context, m int, source KeySource) error {
 	p := b.opts.P
 	ws := make([]workerStats, p)
 	if err := runTwoStage(ctx, p, twoStage{
-		m:       m,
-		source:  source,
-		parts:   b.parts,
-		queues:  b.queues,
-		owner:   b.owner,
-		barrier: b.barrier,
-		ringCap: b.opts.RingCapacity,
+		m:          m,
+		source:     source,
+		block:      block,
+		parts:      b.parts,
+		queues:     b.queues,
+		owner:      b.owner,
+		barrier:    b.barrier,
+		ringCap:    b.opts.RingCapacity,
+		writeBatch: b.opts.WriteBatch,
+		keyBits:    keyFieldBits(b.codec.KeySpace()),
 	}, ws); err != nil {
 		// The block died mid-protocol: the barrier may be poisoned, some
 		// queues may hold undrained keys, and the tables hold a partial
@@ -112,6 +120,8 @@ func (b *Builder) addKeys(ctx context.Context, m int, source KeySource) error {
 		b.stats.LocalKeys += ws[w].local
 		b.stats.ForeignKeys += ws[w].foreign
 		b.stats.Stage2Pops += ws[w].pops
+		b.stats.BatchFlushes += ws[w].flushes
+		b.stats.ForeignDupes += ws[w].dupes
 		// Stage times accumulate the per-block critical path: the sum over
 		// blocks of the slowest worker, i.e. the wall clock spent in each
 		// stage across the whole stream.

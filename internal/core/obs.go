@@ -25,6 +25,8 @@ const (
 	metricPartitionSkew   = "core_partition_skew"
 	metricTableHint       = "core_table_hint"
 	metricTableHintCapped = "core_table_hint_capped_total"
+	metricBatchFlushes    = "spsc_batch_flushes_total"
+	metricForeignDupes    = "core_foreign_dupes_combined_total"
 	metricChunkSegments   = "spsc_chunk_segments_total"
 	metricRingHighWater   = "spsc_ring_highwater"
 	metricSpillKeys       = "spsc_spill_keys_total"
@@ -82,6 +84,12 @@ func publishQueueMetrics(r *obs.Registry, st Stats, queues queueMatrix) {
 	r.Help(metricQueuePush, "keys pushed into inter-core queues (== foreign keys)")
 	r.Counter(metricQueuePush).Add(st.ForeignKeys)
 	r.Counter(metricQueuePop).Add(st.Stage2Pops)
+	if st.BatchFlushes > 0 {
+		r.Help(metricBatchFlushes, "write-combining buffer flushes (PushBatch publishes)")
+		r.Counter(metricBatchFlushes).Add(st.BatchFlushes)
+		r.Help(metricForeignDupes, "duplicate foreign keys combined into deltas before queueing")
+		r.Counter(metricForeignDupes).Add(st.ForeignDupes)
+	}
 
 	var segments, acquires, spilled uint64
 	maxHW := 0

@@ -27,10 +27,11 @@ func TestQuickBuildMatchesOracle(t *testing.T) {
 		d.UniformIndependent(uint64(seed), 2)
 
 		opts := Options{
-			P:         1 + r.Intn(6),
-			Partition: PartitionKind(r.Intn(3)),
-			Queue:     spsc.Kind(r.Intn(3)),
-			Table:     TableKind(r.Intn(3)),
+			P:          1 + r.Intn(6),
+			Partition:  PartitionKind(r.Intn(3)),
+			Queue:      spsc.Kind(r.Intn(3)),
+			Table:      TableKind(r.Intn(4)),
+			WriteBatch: []int{0, 1, 2, 64}[r.Intn(4)],
 		}
 		pt, st, err := Build(d, opts)
 		if err != nil {

@@ -17,11 +17,15 @@ func (s Stats) String() string {
 	if s.SpilledKeys > 0 {
 		spilled = fmt.Sprintf(" spilled=%d", s.SpilledKeys)
 	}
+	batched := ""
+	if s.WriteBatch > 1 {
+		batched = fmt.Sprintf(" wb=%d flushes=%d dupes=%d", s.WriteBatch, s.BatchFlushes, s.ForeignDupes)
+	}
 	return fmt.Sprintf(
-		"P=%d local=%d foreign=%d pops=%d distinct=%d stage1=%v stage2=%v barrier=%v hint=%d%s%s",
+		"P=%d local=%d foreign=%d pops=%d distinct=%d stage1=%v stage2=%v barrier=%v hint=%d%s%s%s",
 		s.P, s.LocalKeys, s.ForeignKeys, s.Stage2Pops, s.DistinctKeys,
 		s.Stage1Time.Round(time.Microsecond), s.Stage2Time.Round(time.Microsecond),
-		s.BarrierWait.Round(time.Microsecond), s.TableHint, capped, spilled)
+		s.BarrierWait.Round(time.Microsecond), s.TableHint, capped, spilled, batched)
 }
 
 // statsJSON is the wire form of Stats: snake_case keys, durations as
@@ -32,6 +36,9 @@ type statsJSON struct {
 	ForeignKeys        uint64  `json:"foreign_keys"`
 	Stage2Pops         uint64  `json:"stage2_pops"`
 	DistinctKeys       int     `json:"distinct_keys"`
+	WriteBatch         int     `json:"write_batch"`
+	BatchFlushes       uint64  `json:"batch_flushes,omitempty"`
+	ForeignDupes       uint64  `json:"foreign_dupes_combined,omitempty"`
 	SpilledKeys        uint64  `json:"spilled_keys,omitempty"`
 	Stage1Seconds      float64 `json:"stage1_seconds"`
 	Stage2Seconds      float64 `json:"stage2_seconds"`
@@ -48,6 +55,9 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		ForeignKeys:        s.ForeignKeys,
 		Stage2Pops:         s.Stage2Pops,
 		DistinctKeys:       s.DistinctKeys,
+		WriteBatch:         s.WriteBatch,
+		BatchFlushes:       s.BatchFlushes,
+		ForeignDupes:       s.ForeignDupes,
 		SpilledKeys:        s.SpilledKeys,
 		Stage1Seconds:      s.Stage1Time.Seconds(),
 		Stage2Seconds:      s.Stage2Time.Seconds(),
@@ -70,6 +80,9 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		ForeignKeys:     j.ForeignKeys,
 		Stage2Pops:      j.Stage2Pops,
 		DistinctKeys:    j.DistinctKeys,
+		WriteBatch:      j.WriteBatch,
+		BatchFlushes:    j.BatchFlushes,
+		ForeignDupes:    j.ForeignDupes,
 		SpilledKeys:     j.SpilledKeys,
 		Stage1Time:      time.Duration(j.Stage1Seconds * float64(time.Second)),
 		Stage2Time:      time.Duration(j.Stage2Seconds * float64(time.Second)),

@@ -81,6 +81,12 @@ const (
 	TableChained
 	// TableGoMap selects Go's built-in map.
 	TableGoMap
+	// TableDense selects a flat direct-addressing array when the
+	// partition's key lattice fits denseBudget cells (modulo partitioning
+	// gives each partition an arithmetic progression of keys, range
+	// partitioning a contiguous interval), falling back to open
+	// addressing per partition otherwise.
+	TableDense
 )
 
 // String returns the kind's human-readable name.
@@ -92,6 +98,8 @@ func (k TableKind) String() string {
 		return "chained"
 	case TableGoMap:
 		return "gomap"
+	case TableDense:
+		return "dense"
 	default:
 		return "unknown"
 	}
@@ -105,9 +113,62 @@ func (k TableKind) new(hint int) hashtable.Counter {
 		return hashtable.NewChained(hint)
 	case TableGoMap:
 		return hashtable.NewMapTable(hint)
+	case TableDense:
+		// Without partition geometry (see newPartTable) dense degrades to
+		// its fallback.
+		return hashtable.New(hint)
 	default:
 		panic("core: unknown table kind")
 	}
+}
+
+// denseBudget caps the per-partition cell count of a TableDense partition:
+// 2^22 cells = 32 MiB of counts per partition. Partitions whose key lattice
+// exceeds it fall back to open addressing.
+const denseBudget = 1 << 22
+
+// densePartLattice returns the affine lattice {idx*div + off} of the keys
+// partition i owns under the given partitioning of keySpace across p
+// workers, and whether a dense table over it fits denseBudget. Hash
+// partitioning scatters keys over the whole space, so every partition
+// needs keySpace cells — dense only fits for tiny key spaces there.
+func densePartLattice(part PartitionKind, p int, keySpace uint64, i int) (size int, div, off uint64, ok bool) {
+	switch part {
+	case PartitionModulo:
+		div, off = uint64(p), uint64(i)
+		if keySpace <= off {
+			return 0, div, off, true
+		}
+		n := (keySpace-1-off)/div + 1
+		return int(n), div, off, n <= denseBudget
+	case PartitionRange:
+		width := (keySpace + uint64(p) - 1) / uint64(p)
+		off = uint64(i) * width
+		if off >= keySpace {
+			return 0, 1, off, true
+		}
+		n := keySpace - off
+		if n > width {
+			n = width
+		}
+		return int(n), 1, off, n <= denseBudget
+	case PartitionHash:
+		return int(keySpace), 1, 0, keySpace <= denseBudget
+	default:
+		panic("core: unknown partition kind")
+	}
+}
+
+// newPartTable builds partition i's count table, giving TableDense the
+// partition geometry it needs and applying its fallback.
+func newPartTable(kind TableKind, part PartitionKind, hint, p int, keySpace uint64, i int) hashtable.Counter {
+	if kind == TableDense {
+		if size, div, off, ok := densePartLattice(part, p, keySpace, i); ok {
+			return hashtable.NewDense(size, div, off)
+		}
+		return hashtable.New(hint)
+	}
+	return kind.new(hint)
 }
 
 // PotentialTable is the distributed potential-table representation: the

@@ -81,6 +81,13 @@ func (d *Dataset) Row(i int) []uint8 {
 	return d.cells[i*d.n : (i+1)*d.n : (i+1)*d.n]
 }
 
+// RowsFlat returns samples [lo, hi) as one contiguous row-major slab
+// aliasing the dataset's storage — the input shape of the column-major
+// block encode (encoding.Codec.EncodeFlat). Callers must not modify it.
+func (d *Dataset) RowsFlat(lo, hi int) []uint8 {
+	return d.cells[lo*d.n : hi*d.n : hi*d.n]
+}
+
 // Get returns the state of variable j in sample i.
 func (d *Dataset) Get(i, j int) uint8 { return d.cells[i*d.n+j] }
 
@@ -204,8 +211,9 @@ func (d *Dataset) EncodeKeys(codec *encoding.Codec, p int) []uint64 {
 	keys := make([]uint64, d.m)
 	spans := sched.BlockPartition(d.m, p)
 	sched.Run(p, func(w int) {
-		for i := spans[w].Lo; i < spans[w].Hi; i++ {
-			keys[i] = codec.Encode(d.Row(i))
+		span := spans[w]
+		if span.Lo < span.Hi {
+			codec.EncodeFlat(d.RowsFlat(span.Lo, span.Hi), keys[span.Lo:span.Hi])
 		}
 	})
 	return keys

@@ -1,0 +1,125 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomRows draws m valid state strings for the codec's cardinalities.
+func randomRows(r *rand.Rand, c *Codec, m int) [][]uint8 {
+	rows := make([][]uint8, m)
+	for i := range rows {
+		row := make([]uint8, c.NumVars())
+		for j := range row {
+			row[j] = uint8(r.Intn(c.Cardinality(j)))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func flatten(rows [][]uint8) []uint8 {
+	var cells []uint8
+	for _, row := range rows {
+		cells = append(cells, row...)
+	}
+	return cells
+}
+
+func TestEncodeRowsMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, card := range [][]int{{2}, {2, 3, 2}, {5, 1, 4, 2}, {2, 2, 2, 2, 2, 2, 2, 2}} {
+		c := mustCodec(t, card)
+		for _, m := range []int{0, 1, 2, 63, 64, 257} {
+			rows := randomRows(r, c, m)
+			dst := make([]uint64, m+3) // extra capacity must be ignored
+			got := c.EncodeRows(rows, dst)
+			if len(got) != m {
+				t.Fatalf("card=%v m=%d: EncodeRows returned %d keys", card, m, len(got))
+			}
+			for i, row := range rows {
+				if want := c.Encode(row); got[i] != want {
+					t.Fatalf("card=%v m=%d row %d: EncodeRows = %d, Encode = %d", card, m, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeFlatMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, card := range [][]int{{3}, {2, 3, 2}, {1, 1, 2}, {4, 4, 4, 4, 4}} {
+		c := mustCodec(t, card)
+		for _, m := range []int{0, 1, 2, 100, 1025} {
+			rows := randomRows(r, c, m)
+			got := c.EncodeFlat(flatten(rows), make([]uint64, m))
+			if len(got) != m {
+				t.Fatalf("card=%v m=%d: EncodeFlat returned %d keys", card, m, len(got))
+			}
+			for i, row := range rows {
+				if want := c.Encode(row); got[i] != want {
+					t.Fatalf("card=%v m=%d row %d: EncodeFlat = %d, Encode = %d", card, m, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeRowsPanics(t *testing.T) {
+	c := mustCodec(t, []int{2, 3})
+	cases := map[string][][]uint8{
+		"short row":          {{1}},
+		"long row":           {{1, 2, 0}},
+		"state out of range": {{1, 3}},
+		"late bad row":       {{1, 2}, {0, 0}, {2, 0}},
+	}
+	for name, rows := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: EncodeRows did not panic", name)
+				}
+			}()
+			c.EncodeRows(rows, make([]uint64, len(rows)))
+		}()
+	}
+}
+
+func TestEncodeFlatPanics(t *testing.T) {
+	c := mustCodec(t, []int{2, 3})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ragged cells: EncodeFlat did not panic")
+			}
+		}()
+		c.EncodeFlat([]uint8{0, 1, 0}, make([]uint64, 2))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad state: EncodeFlat did not panic")
+			}
+		}()
+		c.EncodeFlat([]uint8{0, 1, 1, 3}, make([]uint64, 2))
+	}()
+}
+
+func BenchmarkEncodeFlat30Vars(b *testing.B) {
+	c, err := NewUniformCodec(30, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const m = 1024
+	r := rand.New(rand.NewSource(3))
+	cells := make([]uint8, m*30)
+	for i := range cells {
+		cells[i] = uint8(r.Intn(2))
+	}
+	dst := make([]uint64, m)
+	b.SetBytes(int64(len(cells)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeFlat(cells, dst)
+	}
+}

@@ -110,6 +110,10 @@ func (c *Codec) Stride(j int) uint64 { return c.stride[j] }
 // Encode maps a state string to its key (Eq. 3). The states slice must have
 // exactly NumVars entries, each within the variable's cardinality; violations
 // panic, since they indicate corrupt training data that must not be counted.
+//
+// Encode is the single-row convenience wrapper; the construction hot path
+// encodes whole blocks with EncodeRows / EncodeFlat, which hoist the length
+// check and the stride loads out of the per-row loop.
 func (c *Codec) Encode(states []uint8) uint64 {
 	if len(states) != len(c.card) {
 		panic(fmt.Sprintf("encoding: Encode got %d states, codec has %d variables", len(states), len(c.card)))
@@ -122,6 +126,94 @@ func (c *Codec) Encode(states []uint8) uint64 {
 		key += uint64(s) * c.stride[j]
 	}
 	return key
+}
+
+// badState reports an out-of-range observation. Kept out of line so the
+// block-encode inner loops compile to a compare and a predictable branch.
+func (c *Codec) badState(j int, s uint8) {
+	panic(fmt.Sprintf("encoding: state %d of variable %d out of range [0,%d)", s, j, c.card[j]))
+}
+
+// EncodeRows encodes a block of state strings into dst[:len(rows)] and
+// returns that prefix (Eq. 3 applied per row). dst must have length at least
+// len(rows). The block is processed column-major: each pass holds one
+// variable's stride and cardinality in registers and runs its multiply over
+// the contiguous dst slab, and the per-row arity check happens once up
+// front instead of once per Encode call.
+func (c *Codec) EncodeRows(rows [][]uint8, dst []uint64) []uint64 {
+	n := len(c.card)
+	for i, row := range rows {
+		if len(row) != n {
+			panic(fmt.Sprintf("encoding: EncodeRows row %d has %d states, codec has %d variables", i, len(row), n))
+		}
+	}
+	dst = dst[:len(rows)]
+	if len(rows) == 0 {
+		return dst
+	}
+	// Column 0 has stride 1 and initializes dst, so no zero-fill pass.
+	card := c.card[0]
+	for i, row := range rows {
+		s := row[0]
+		if uint64(s) >= card {
+			c.badState(0, s)
+		}
+		dst[i] = uint64(s)
+	}
+	for j := 1; j < n; j++ {
+		stride := c.stride[j]
+		card = c.card[j]
+		for i, row := range rows {
+			s := row[j]
+			if uint64(s) >= card {
+				c.badState(j, s)
+			}
+			dst[i] += uint64(s) * stride
+		}
+	}
+	return dst
+}
+
+// EncodeFlat encodes a block of rows stored contiguously row-major (the
+// dataset's native cell layout: len(cells) must be a multiple of NumVars)
+// into dst, one key per row, returning dst[:rows]. dst must have length at
+// least len(cells)/NumVars. Like EncodeRows it runs column-major so each
+// stride multiply streams over the contiguous dst slab with the stride and
+// cardinality hoisted into registers; the cells column walks a fixed step n.
+func (c *Codec) EncodeFlat(cells []uint8, dst []uint64) []uint64 {
+	n := len(c.card)
+	if len(cells)%n != 0 {
+		panic(fmt.Sprintf("encoding: EncodeFlat got %d cells, not a multiple of %d variables", len(cells), n))
+	}
+	m := len(cells) / n
+	dst = dst[:m]
+	if m == 0 {
+		return dst
+	}
+	card := c.card[0]
+	idx := 0
+	for i := range dst {
+		s := cells[idx]
+		if uint64(s) >= card {
+			c.badState(0, s)
+		}
+		dst[i] = uint64(s)
+		idx += n
+	}
+	for j := 1; j < n; j++ {
+		stride := c.stride[j]
+		card = c.card[j]
+		idx = j
+		for i := range dst {
+			s := cells[idx]
+			if uint64(s) >= card {
+				c.badState(j, s)
+			}
+			dst[i] += uint64(s) * stride
+			idx += n
+		}
+	}
+	return dst
 }
 
 // Decode recovers the full state string from a key (Eq. 4 applied to every

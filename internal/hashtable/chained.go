@@ -56,6 +56,42 @@ func (t *ChainedTable) Add(key, delta uint64) {
 // Inc increments the count of key by one.
 func (t *ChainedTable) Inc(key uint64) { t.Add(key, 1) }
 
+// AddBatch increments the count of every key in keys by one, with the same
+// chunked hash-all-then-probe-all layout as Table.AddBatch. Growth is
+// ensured per chunk so the precomputed bucket indexes stay valid.
+func (t *ChainedTable) AddBatch(keys []uint64) {
+	var hashes [addBatchChunk]uint64
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > addBatchChunk {
+			chunk = chunk[:addBatchChunk]
+		}
+		keys = keys[len(chunk):]
+		for len(t.nodes)+len(chunk) > len(t.buckets) {
+			t.grow()
+		}
+		mask := uint64(len(t.buckets) - 1)
+		for i, k := range chunk {
+			hashes[i] = rng.Mix64(k) & mask
+		}
+		for i, k := range chunk {
+			b := hashes[i]
+			found := false
+			for n := t.buckets[b]; n >= 0; n = t.nodes[n].next {
+				if t.nodes[n].key == k {
+					t.nodes[n].count++
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.nodes = append(t.nodes, chainNode{key: k, count: 1, next: t.buckets[b]})
+				t.buckets[b] = int32(len(t.nodes) - 1)
+			}
+		}
+	}
+}
+
 // Get returns the count stored for key, or 0 if absent.
 func (t *ChainedTable) Get(key uint64) uint64 {
 	mask := uint64(len(t.buckets) - 1)
@@ -114,6 +150,9 @@ func (t *ChainedTable) grow() {
 type Counter interface {
 	Add(key, delta uint64)
 	Inc(key uint64)
+	// AddBatch increments every key in keys by one; the batched write path
+	// of the construction primitive feeds it whole blocks of owned keys.
+	AddBatch(keys []uint64)
 	Get(key uint64) uint64
 	Len() int
 	Total() uint64
@@ -124,6 +163,7 @@ var (
 	_ Counter = (*Table)(nil)
 	_ Counter = (*ChainedTable)(nil)
 	_ Counter = (MapTable)(nil)
+	_ Counter = (*Dense)(nil)
 )
 
 // MapTable adapts Go's built-in map to the Counter interface, as the
@@ -138,6 +178,13 @@ func (m MapTable) Add(key, delta uint64) { m[key] += delta }
 
 // Inc increments the count of key by one.
 func (m MapTable) Inc(key uint64) { m[key]++ }
+
+// AddBatch increments every key in keys by one.
+func (m MapTable) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		m[k]++
+	}
+}
 
 // Get returns the count stored for key, or 0 if absent.
 func (m MapTable) Get(key uint64) uint64 { return m[key] }

@@ -1,0 +1,132 @@
+package hashtable
+
+import (
+	"fmt"
+
+	"waitfreebn/internal/encoding"
+)
+
+// Dense is a direct-addressing count table over an affine key lattice: it
+// owns exactly the keys {idx*div + off : 0 <= idx < size} and stores their
+// counts in a flat []uint64 indexed by idx = (key-off)/div. The division is
+// a multiply-shift reciprocal (encoding.Reciprocal), so Add is one
+// subtraction, one widening multiply, and one indexed increment — no
+// hashing, no probing, no growth.
+//
+// The lattice matches what the construction partitioners hand a single
+// owner: modulo partitioning gives partition i the keys ≡ i (mod P)
+// (div=P, off=i), range partitioning a contiguous interval (div=1,
+// off=i·width). Dense is only usable when the partition's key range fits a
+// memory budget; the core package decides that and falls back to open
+// addressing otherwise.
+//
+// Like the other tables in this package Dense is single-owner and
+// unsynchronized. Keys outside the lattice must never be Added (the
+// partitioner guarantees that during construction); Get tolerates them and
+// returns 0.
+type Dense struct {
+	counts []uint64
+	recip  encoding.Reciprocal // divides by div
+	div    uint64
+	off    uint64
+	len    int
+	total  uint64
+}
+
+// NewDense returns a dense table owning the size keys {idx*div + off}.
+// div must be positive.
+func NewDense(size int, div, off uint64) *Dense {
+	if size < 0 {
+		panic(fmt.Sprintf("hashtable: NewDense size %d", size))
+	}
+	if div == 0 {
+		panic("hashtable: NewDense div must be positive")
+	}
+	return &Dense{
+		counts: make([]uint64, size),
+		recip:  encoding.NewReciprocal(div),
+		div:    div,
+		off:    off,
+	}
+}
+
+// index maps an owned key to its cell. Callers on the write path trust the
+// partitioner; see Get for the tolerant read-side mapping.
+func (t *Dense) index(key uint64) uint64 {
+	return t.recip.Div(key - t.off)
+}
+
+// Add increments the count of key by delta. key must be a lattice key the
+// table owns.
+func (t *Dense) Add(key, delta uint64) {
+	idx := t.index(key)
+	if t.counts[idx] == 0 {
+		t.len++
+	}
+	t.counts[idx] += delta
+	t.total += delta
+}
+
+// Inc increments the count of key by one.
+func (t *Dense) Inc(key uint64) { t.Add(key, 1) }
+
+// AddBatch increments every key in keys by one.
+func (t *Dense) AddBatch(keys []uint64) {
+	for _, key := range keys {
+		idx := t.index(key)
+		if t.counts[idx] == 0 {
+			t.len++
+		}
+		t.counts[idx]++
+	}
+	t.total += uint64(len(keys))
+}
+
+// Get returns the count stored for key, or 0 when key is absent — including
+// any key outside the table's lattice (the potential table probes every
+// partition on point lookups).
+func (t *Dense) Get(key uint64) uint64 {
+	if key < t.off {
+		return 0
+	}
+	idx := t.recip.Div(key - t.off)
+	if idx >= uint64(len(t.counts)) || idx*t.div+t.off != key {
+		return 0
+	}
+	return t.counts[idx]
+}
+
+// Len returns the number of distinct keys with nonzero counts.
+func (t *Dense) Len() int { return t.len }
+
+// Total returns the sum of all counts.
+func (t *Dense) Total() uint64 { return t.total }
+
+// Capacity returns the number of lattice cells the table addresses.
+func (t *Dense) Capacity() int { return len(t.counts) }
+
+// Range calls fn for every nonzero (key, count) pair in ascending key
+// order. Returning false stops the iteration early.
+func (t *Dense) Range(fn func(key, count uint64) bool) {
+	key := t.off
+	for _, c := range t.counts {
+		if c != 0 && !fn(key, c) {
+			return
+		}
+		key += t.div
+	}
+}
+
+// Reset zeroes all counts but keeps the allocation.
+func (t *Dense) Reset() {
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+	t.len = 0
+	t.total = 0
+}
+
+// String summarizes the table for debugging.
+func (t *Dense) String() string {
+	return fmt.Sprintf("hashtable.Dense{len=%d cells=%d div=%d off=%d}", t.len, len(t.counts), t.div, t.off)
+}

@@ -1,0 +1,147 @@
+package hashtable
+
+import (
+	"testing"
+
+	"waitfreebn/internal/rng"
+)
+
+// counterEqual compares two Counters as key→count mappings.
+func counterEqual(t *testing.T, name string, got, want Counter) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: Len = %d, want %d", name, got.Len(), want.Len())
+	}
+	if got.Total() != want.Total() {
+		t.Fatalf("%s: Total = %d, want %d", name, got.Total(), want.Total())
+	}
+	want.Range(func(key, count uint64) bool {
+		if g := got.Get(key); g != count {
+			t.Fatalf("%s: Get(%d) = %d, want %d", name, key, g, count)
+		}
+		return true
+	})
+}
+
+// TestAddBatchMatchesInc drives AddBatch on every Counter implementation
+// against an element-wise Inc oracle, with enough duplicate keys and a
+// small enough initial size that growth happens mid-stream.
+func TestAddBatchMatchesInc(t *testing.T) {
+	impls := map[string]func() Counter{
+		"open":    func() Counter { return New(0) },
+		"chained": func() Counter { return NewChained(0) },
+		"gomap":   func() Counter { return NewMapTable(0) },
+		"dense":   func() Counter { return NewDense(4096, 3, 1) },
+	}
+	src := rng.NewXoshiro256SS(5)
+	keys := make([]uint64, 20000)
+	for i := range keys {
+		keys[i] = src.Uint64n(4096)*3 + 1 // on the dense lattice, many dupes
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			batched, oracle := mk(), mk()
+			for _, k := range keys {
+				oracle.Inc(k)
+			}
+			// Uneven batch sizes, including empty and single-element ones.
+			rest := keys
+			for _, sz := range []int{0, 1, 7, 255, 256, 257, 1000} {
+				if sz > len(rest) {
+					sz = len(rest)
+				}
+				batched.AddBatch(rest[:sz])
+				rest = rest[sz:]
+			}
+			batched.AddBatch(rest)
+			counterEqual(t, name, batched, oracle)
+		})
+	}
+}
+
+func TestDenseLattice(t *testing.T) {
+	// div=4, off=2: owns keys 2, 6, 10, ..., 2+4*(size-1).
+	d := NewDense(100, 4, 2)
+	d.Inc(2)
+	d.Add(6, 5)
+	d.Inc(2 + 4*99)
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	if d.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", d.Total())
+	}
+	if g := d.Get(6); g != 5 {
+		t.Fatalf("Get(6) = %d, want 5", g)
+	}
+	// Off-lattice and out-of-range keys read as absent.
+	for _, k := range []uint64{0, 1, 3, 4, 5, 7, 2 + 4*100, 1 << 40} {
+		if g := d.Get(k); g != 0 {
+			t.Fatalf("Get(%d) = %d, want 0", k, g)
+		}
+	}
+	// Range yields ascending lattice keys.
+	var gotKeys []uint64
+	d.Range(func(key, count uint64) bool {
+		gotKeys = append(gotKeys, key)
+		return true
+	})
+	want := []uint64{2, 6, 2 + 4*99}
+	if len(gotKeys) != len(want) {
+		t.Fatalf("Range yielded %v, want %v", gotKeys, want)
+	}
+	for i := range want {
+		if gotKeys[i] != want[i] {
+			t.Fatalf("Range yielded %v, want %v", gotKeys, want)
+		}
+	}
+	stopped := 0
+	d.Range(func(key, count uint64) bool {
+		stopped++
+		return false
+	})
+	if stopped != 1 {
+		t.Fatalf("early-stop Range called fn %d times", stopped)
+	}
+	d.Reset()
+	if d.Len() != 0 || d.Total() != 0 || d.Get(2) != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestDenseMatchesOpenOracle(t *testing.T) {
+	// Simulate a modulo partition: P=7, partition 3, key space 10000.
+	const p, part, space = 7, 3, 10000
+	size := (space-1-part)/p + 1
+	d := NewDense(size, p, part)
+	oracle := New(0)
+	src := rng.NewXoshiro256SS(21)
+	for i := 0; i < 50000; i++ {
+		k := src.Uint64n(uint64(size))*p + part
+		d.Inc(k)
+		oracle.Inc(k)
+	}
+	counterEqual(t, "dense-vs-open", d, oracle)
+	// Cross-check: every oracle key decodes back through Range.
+	d.Range(func(key, count uint64) bool {
+		if key%p != part {
+			t.Fatalf("Range produced off-lattice key %d", key)
+		}
+		if oracle.Get(key) != count {
+			t.Fatalf("Range key %d count %d, oracle %d", key, count, oracle.Get(key))
+		}
+		return true
+	})
+}
+
+func TestDenseZeroSize(t *testing.T) {
+	d := NewDense(0, 5, 2)
+	if d.Len() != 0 || d.Get(2) != 0 || d.Get(0) != 0 {
+		t.Fatal("empty dense table not empty")
+	}
+	d.Range(func(key, count uint64) bool {
+		t.Fatal("Range on empty table called fn")
+		return false
+	})
+	d.AddBatch(nil)
+}

@@ -104,6 +104,56 @@ func (t *Table) Add(key, delta uint64) {
 // Inc increments the count of key by one. It is the construction hot path.
 func (t *Table) Inc(key uint64) { t.Add(key, 1) }
 
+// addBatchChunk is how many keys AddBatch hashes per pass; the hash array
+// lives on the stack and two passes over 256 keys stay within L1.
+const addBatchChunk = 256
+
+// AddBatch increments the count of every key in keys by one. It processes
+// keys in chunks with a two-pass layout: hash the whole chunk first, then
+// probe — so the hash computations pipeline without interleaved
+// data-dependent probe loads, and any growth happens at chunk boundaries
+// (capacity is ensured up front, which may grow the table slightly earlier
+// than element-wise Add would; the resulting mapping is identical).
+func (t *Table) AddBatch(keys []uint64) {
+	var hashes [addBatchChunk]uint64
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > addBatchChunk {
+			chunk = chunk[:addBatchChunk]
+		}
+		keys = keys[len(chunk):]
+		// Ensure the whole chunk can insert without a mid-chunk rehash,
+		// which would invalidate the precomputed slots.
+		for (t.len+len(chunk))*maxLoadDen > len(t.keys)*maxLoadNum {
+			t.grow()
+		}
+		mask := uint64(len(t.keys) - 1)
+		for i, k := range chunk {
+			if k == emptySlot {
+				panic("hashtable: reserved key ^uint64(0)")
+			}
+			hashes[i] = rng.Mix64(k) & mask
+		}
+		for i, k := range chunk {
+			j := hashes[i]
+			for {
+				switch t.keys[j] {
+				case k:
+					t.counts[j]++
+				case emptySlot:
+					t.keys[j] = k
+					t.counts[j] = 1
+					t.len++
+				default:
+					j = (j + 1) & mask
+					continue
+				}
+				break
+			}
+		}
+	}
+}
+
 // Get returns the count stored for key, or 0 if the key is absent.
 func (t *Table) Get(key uint64) uint64 {
 	if key == emptySlot {

@@ -1,0 +1,406 @@
+package spsc
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"waitfreebn/internal/rng"
+)
+
+func TestBatchFIFOSequential(t *testing.T) {
+	for name, mk := range kinds() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if n := q.PopBatch(make([]uint64, 8)); n != 0 {
+				t.Fatalf("PopBatch on empty queue = %d", n)
+			}
+			if n := q.PushBatch(nil); n != 0 {
+				t.Fatalf("PushBatch(nil) = %d", n)
+			}
+			next := uint64(0)
+			for _, sz := range []int{1, 7, 64, 1000, 3} {
+				batch := make([]uint64, sz)
+				for i := range batch {
+					batch[i] = next
+					next++
+				}
+				if n := q.PushBatch(batch); n != sz {
+					t.Fatalf("PushBatch(%d) accepted %d", sz, n)
+				}
+			}
+			if q.Len() != int(next) {
+				t.Fatalf("Len = %d, want %d", q.Len(), next)
+			}
+			expect := uint64(0)
+			dst := make([]uint64, 129)
+			for {
+				n := q.PopBatch(dst)
+				if n == 0 {
+					break
+				}
+				for _, v := range dst[:n] {
+					if v != expect {
+						t.Fatalf("popped %d, want %d", v, expect)
+					}
+					expect++
+				}
+			}
+			if expect != next {
+				t.Fatalf("popped %d values, pushed %d", expect, next)
+			}
+		})
+	}
+}
+
+// TestBatchInterleavedWithSingleOps mixes Push/Pop with PushBatch/PopBatch
+// in random order and checks strict FIFO against a running counter.
+func TestBatchInterleavedWithSingleOps(t *testing.T) {
+	for name, mk := range kinds() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			src := rng.NewXoshiro256SS(17)
+			next, expect := uint64(0), uint64(0)
+			buf := make([]uint64, 200)
+			for op := 0; op < 30000; op++ {
+				switch src.Uint64n(4) {
+				case 0:
+					if q.Push(next) {
+						next++
+					}
+				case 1:
+					sz := int(src.Uint64n(uint64(len(buf)))) + 1
+					for i := 0; i < sz; i++ {
+						buf[i] = next + uint64(i)
+					}
+					next += uint64(q.PushBatch(buf[:sz]))
+				case 2:
+					if v, ok := q.Pop(); ok {
+						if v != expect {
+							t.Fatalf("op %d: Pop = %d, want %d", op, v, expect)
+						}
+						expect++
+					}
+				case 3:
+					sz := int(src.Uint64n(uint64(len(buf)))) + 1
+					n := q.PopBatch(buf[:sz])
+					for _, v := range buf[:n] {
+						if v != expect {
+							t.Fatalf("op %d: PopBatch got %d, want %d", op, v, expect)
+						}
+						expect++
+					}
+				}
+			}
+			for {
+				n := q.PopBatch(buf)
+				if n == 0 {
+					break
+				}
+				for _, v := range buf[:n] {
+					if v != expect {
+						t.Fatalf("drain: got %d, want %d", v, expect)
+					}
+					expect++
+				}
+			}
+			if expect != next {
+				t.Fatalf("popped %d values, accepted %d", expect, next)
+			}
+		})
+	}
+}
+
+func TestRingPushBatchPartialAccept(t *testing.T) {
+	r := NewRing(8)
+	batch := []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	if n := r.PushBatch(batch); n != 8 {
+		t.Fatalf("PushBatch into empty ring of 8 accepted %d", n)
+	}
+	if n := r.PushBatch(batch); n != 0 {
+		t.Fatalf("PushBatch into full ring accepted %d", n)
+	}
+	if v, ok := r.Pop(); !ok || v != 0 {
+		t.Fatalf("Pop = (%d,%v)", v, ok)
+	}
+	if n := r.PushBatch([]uint64{100, 101}); n != 1 {
+		t.Fatalf("PushBatch with one free slot accepted %d", n)
+	}
+	want := []uint64{1, 2, 3, 4, 5, 6, 7, 100}
+	dst := make([]uint64, 16)
+	if n := r.PopBatch(dst); n != len(want) {
+		t.Fatalf("PopBatch drained %d, want %d", n, len(want))
+	}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Fatalf("drained[%d] = %d, want %d", i, dst[i], w)
+		}
+	}
+	if r.HighWater() != 8 {
+		t.Fatalf("HighWater = %d, want 8", r.HighWater())
+	}
+}
+
+// TestRingBatchWraparound forces every batch copy to straddle the buffer
+// end by keeping the ring offset at an odd phase.
+func TestRingBatchWraparound(t *testing.T) {
+	r := NewRing(8)
+	next, expect := uint64(0), uint64(0)
+	// Offset the indexes so batches of 5 repeatedly wrap the 8-slot buffer.
+	for i := 0; i < 3; i++ {
+		r.Push(next)
+		next++
+		if v, _ := r.Pop(); v != expect {
+			t.Fatalf("warmup pop = %d, want %d", v, expect)
+		}
+		expect++
+	}
+	batch := make([]uint64, 5)
+	dst := make([]uint64, 5)
+	for round := 0; round < 50; round++ {
+		for i := range batch {
+			batch[i] = next + uint64(i)
+		}
+		if n := r.PushBatch(batch); n != 5 {
+			t.Fatalf("round %d: PushBatch accepted %d", round, n)
+		}
+		next += 5
+		if n := r.PopBatch(dst); n != 5 {
+			t.Fatalf("round %d: PopBatch drained %d", round, n)
+		}
+		for _, v := range dst {
+			if v != expect {
+				t.Fatalf("round %d: got %d, want %d", round, v, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestChunkedBatchCrossesSegments(t *testing.T) {
+	q := NewChunked()
+	// One batch spanning four segments, pushed at an offset so the copy
+	// starts mid-segment.
+	q.Push(0)
+	big := make([]uint64, 3*chunkSize+17)
+	for i := range big {
+		big[i] = uint64(i) + 1
+	}
+	if n := q.PushBatch(big); n != len(big) {
+		t.Fatalf("PushBatch accepted %d, want %d", n, len(big))
+	}
+	if q.Segments() != 4 {
+		t.Fatalf("Segments = %d, want 4", q.Segments())
+	}
+	expect := uint64(0)
+	dst := make([]uint64, 777)
+	for {
+		n := q.PopBatch(dst)
+		if n == 0 {
+			break
+		}
+		for _, v := range dst[:n] {
+			if v != expect {
+				t.Fatalf("got %d, want %d", v, expect)
+			}
+			expect++
+		}
+	}
+	if expect != uint64(len(big))+1 {
+		t.Fatalf("drained %d values, want %d", expect, len(big)+1)
+	}
+}
+
+func TestSpilloverPushBatchPartialFlushThenSpill(t *testing.T) {
+	s := NewSpillover(8)
+	batch := make([]uint64, 20)
+	for i := range batch {
+		batch[i] = uint64(i)
+	}
+	if n := s.PushBatch(batch); n != 20 {
+		t.Fatalf("Spillover.PushBatch accepted %d, want 20", n)
+	}
+	if s.Spilled() != 12 {
+		t.Fatalf("Spilled = %d, want 12 (ring holds 8)", s.Spilled())
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+	// Mid-batch spill again with the ring partially drained: 3 slots free.
+	dst := make([]uint64, 3)
+	if n := s.PopBatch(dst); n != 3 {
+		t.Fatalf("PopBatch = %d, want 3", n)
+	}
+	if n := s.PushBatch([]uint64{100, 101, 102, 103, 104}); n != 5 {
+		t.Fatal("second PushBatch rejected elements")
+	}
+	if s.Spilled() != 14 {
+		t.Fatalf("Spilled = %d, want 14", s.Spilled())
+	}
+	// Everything must come back out exactly once (order across ring and
+	// side queue is not FIFO).
+	var got []uint64
+	buf := make([]uint64, 7)
+	for {
+		n := s.PopBatch(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	want := append(append([]uint64{}, batch[3:]...), 100, 101, 102, 103, 104)
+	if len(got) != len(want) {
+		t.Fatalf("drained %d values, want %d", len(got), len(want))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("multiset mismatch at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMutexQueueBatchAcquiresOnce(t *testing.T) {
+	q := NewMutexQueue()
+	q.PushBatch(make([]uint64, 100))
+	if q.Acquires() != 1 {
+		t.Fatalf("Acquires after one PushBatch = %d, want 1", q.Acquires())
+	}
+	q.PopBatch(make([]uint64, 100))
+	if q.Acquires() != 2 {
+		t.Fatalf("Acquires after one PopBatch = %d, want 2", q.Acquires())
+	}
+}
+
+// TestConcurrentBatchSPSC runs a producer flushing variable-size batches
+// against a consumer draining with PopBatch, under -race, for each queue
+// kind plus an undersized spillover.
+func TestConcurrentBatchSPSC(t *testing.T) {
+	impls := kinds()
+	impls["spillover-small"] = func() Queue { return NewSpillover(64) }
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			const total = 200000
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				src := rng.NewXoshiro256SS(99)
+				batch := make([]uint64, 128)
+				next := uint64(0)
+				for next < total {
+					sz := src.Uint64n(uint64(len(batch))) + 1
+					if next+sz > total {
+						sz = total - next
+					}
+					for i := uint64(0); i < sz; i++ {
+						batch[i] = next + i
+					}
+					sent := uint64(0)
+					for sent < sz {
+						sent += uint64(q.PushBatch(batch[sent:sz]))
+					}
+					next += sz
+				}
+			}()
+			sum := uint64(0)
+			count := 0
+			dst := make([]uint64, 96)
+			for count < total {
+				n := q.PopBatch(dst)
+				for _, v := range dst[:n] {
+					sum += v
+				}
+				count += n
+			}
+			wg.Wait()
+			if want := uint64(total) * (total - 1) / 2; sum != want {
+				t.Fatalf("element sum = %d, want %d", sum, want)
+			}
+			if q.Len() != 0 {
+				t.Fatalf("Len after drain = %d", q.Len())
+			}
+		})
+	}
+}
+
+// FuzzBatchInterleaved drives a random interleaving of single and batch
+// operations on every queue kind against a slice oracle. For FIFO kinds the
+// drained order must match the oracle exactly; for spillover only the
+// multiset must match.
+func FuzzBatchInterleaved(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 200, 9}, uint8(0))
+	f.Add([]byte{255, 254, 4, 4, 4, 0, 0, 17}, uint8(1))
+	f.Add([]byte{9, 9, 9, 9, 1, 2, 3}, uint8(3))
+	f.Fuzz(func(t *testing.T, ops []byte, kind uint8) {
+		var q Queue
+		fifo := true
+		switch kind % 4 {
+		case 0:
+			q = NewRing(16)
+		case 1:
+			q = NewChunked()
+		case 2:
+			q = NewMutexQueue()
+		case 3:
+			q = NewSpillover(8)
+			fifo = false
+		}
+		var oracle []uint64
+		var got []uint64
+		next := uint64(0)
+		buf := make([]uint64, 64)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				if q.Push(next) {
+					oracle = append(oracle, next)
+				}
+				next++
+			case 1:
+				sz := int(op)/4%len(buf) + 1
+				for i := 0; i < sz; i++ {
+					buf[i] = next + uint64(i)
+				}
+				n := q.PushBatch(buf[:sz])
+				if n < 0 || n > sz {
+					t.Fatalf("PushBatch(%d) = %d", sz, n)
+				}
+				oracle = append(oracle, buf[:n]...)
+				next += uint64(sz)
+			case 2:
+				if v, ok := q.Pop(); ok {
+					got = append(got, v)
+				}
+			case 3:
+				sz := int(op)/4%len(buf) + 1
+				n := q.PopBatch(buf[:sz])
+				got = append(got, buf[:n]...)
+			}
+			if q.Len() != len(oracle)-len(got) {
+				t.Fatalf("Len = %d, oracle says %d", q.Len(), len(oracle)-len(got))
+			}
+		}
+		for {
+			n := q.PopBatch(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if len(got) != len(oracle) {
+			t.Fatalf("drained %d values, oracle has %d", len(got), len(oracle))
+		}
+		if !fifo {
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(oracle, func(i, j int) bool { return oracle[i] < oracle[j] })
+		}
+		for i := range oracle {
+			if got[i] != oracle[i] {
+				t.Fatalf("element %d: got %d, oracle %d", i, got[i], oracle[i])
+			}
+		}
+	})
+}

@@ -38,6 +38,16 @@ type Queue interface {
 	// Pop removes and returns the oldest element, reporting false if the
 	// queue is observed empty.
 	Pop() (uint64, bool)
+	// PushBatch appends as many elements of vs as the queue can accept,
+	// in order, and returns how many it took (always len(vs) for
+	// unbounded implementations). The point of the batch form is
+	// amortization: one release store (or one lock acquisition) publishes
+	// the whole batch instead of one per element.
+	PushBatch(vs []uint64) int
+	// PopBatch removes up to len(dst) of the oldest elements into dst and
+	// returns how many it wrote; 0 means the queue was observed empty.
+	// Like PushBatch it performs one release store per call.
+	PopBatch(dst []uint64) int
 	// Len returns the number of elements currently queued. It is exact
 	// when producer and consumer are quiescent (e.g. between the two
 	// stages of the construction primitive).
@@ -96,6 +106,53 @@ func (r *Ring) Pop() (uint64, bool) {
 	v := r.buf[head&r.mask]
 	r.head.Store(head + 1) // release: frees the slot for the producer
 	return v, true
+}
+
+// PushBatch appends up to len(vs) elements, returning how many fit. The
+// copy may wrap the buffer (two memmoves); the tail is published once for
+// the whole batch.
+func (r *Ring) PushBatch(vs []uint64) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	idx := tail & r.mask
+	c := copy(r.buf[idx:], vs[:n])
+	if uint64(c) < n {
+		copy(r.buf, vs[c:n])
+	}
+	used := tail - r.head.Load() + n
+	if used > r.hw {
+		r.hw = used
+	}
+	r.tail.Store(tail + n) // release: publishes the whole batch
+	return int(n)
+}
+
+// PopBatch removes up to len(dst) elements into dst, returning how many it
+// wrote. The head is published once for the whole batch.
+func (r *Ring) PopBatch(dst []uint64) int {
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	idx := head & r.mask
+	c := copy(dst[:n], r.buf[idx:])
+	if uint64(c) < n {
+		copy(dst[c:n], r.buf)
+	}
+	r.head.Store(head + n) // release: frees the slots for the producer
+	return int(n)
 }
 
 // Len returns the number of queued elements.
@@ -172,6 +229,57 @@ func (q *Chunked) Pop() (uint64, bool) {
 	return v, true
 }
 
+// PushBatch appends all of vs, filling (and linking) as many segments as
+// needed, then publishes the whole batch with a single pushed update.
+// Segment links are stored before that update, so a consumer that observes
+// the new count also observes every link it needs to walk.
+func (q *Chunked) PushBatch(vs []uint64) int {
+	total := len(vs)
+	for len(vs) > 0 {
+		if q.tailIdx == chunkSize {
+			next := &chunk{}
+			q.tail.next.Store(next)
+			q.tail = next
+			q.tailIdx = 0
+			q.segments.Add(1)
+		}
+		c := copy(q.tail.vals[q.tailIdx:], vs)
+		q.tailIdx += c
+		vs = vs[c:]
+	}
+	if total > 0 {
+		q.pushed.Add(uint64(total)) // release: publishes the whole batch
+	}
+	return total
+}
+
+// PopBatch removes up to len(dst) elements into dst, walking segment links
+// as needed, and publishes the consumption with a single popped update.
+func (q *Chunked) PopBatch(dst []uint64) int {
+	avail := q.pushed.Load() - q.popped.Load()
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	rem := dst[:n]
+	for len(rem) > 0 {
+		if q.headIdx == chunkSize {
+			// Every element we are entitled to (n <= pushed-popped) had its
+			// segment link stored before the pushed update we loaded.
+			q.head = q.head.next.Load()
+			q.headIdx = 0
+		}
+		c := copy(rem, q.head.vals[q.headIdx:])
+		q.headIdx += c
+		rem = rem[c:]
+	}
+	q.popped.Add(n)
+	return int(n)
+}
+
 // Len returns the number of queued elements.
 func (q *Chunked) Len() int { return int(q.pushed.Load() - q.popped.Load()) }
 
@@ -216,6 +324,29 @@ func (s *Spillover) Pop() (uint64, bool) {
 		return v, true
 	}
 	return s.side.Pop()
+}
+
+// PushBatch appends all of vs: whatever fits in the ring goes there
+// (partial flush), the remainder spills to the side queue. It always
+// accepts the whole batch.
+func (s *Spillover) PushBatch(vs []uint64) int {
+	n := s.ring.PushBatch(vs)
+	if n < len(vs) {
+		rest := len(vs) - n
+		s.side.PushBatch(vs[n:])
+		s.spilled += uint64(rest)
+	}
+	return len(vs)
+}
+
+// PopBatch removes up to len(dst) elements, draining the ring before the
+// side queue; order across the two is not FIFO (see type comment).
+func (s *Spillover) PopBatch(dst []uint64) int {
+	n := s.ring.PopBatch(dst)
+	if n < len(dst) {
+		n += s.side.PopBatch(dst[n:])
+	}
+	return n
 }
 
 // Len returns the number of queued elements across ring and side queue.
@@ -273,6 +404,35 @@ func (q *MutexQueue) Pop() (uint64, bool) {
 	v := q.vals[q.headIdx]
 	q.headIdx++
 	return v, true
+}
+
+// PushBatch appends all of vs under a single lock acquisition.
+func (q *MutexQueue) PushBatch(vs []uint64) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	q.acquires.Add(1)
+	q.mu.Lock()
+	q.vals = append(q.vals, vs...)
+	q.mu.Unlock()
+	return len(vs)
+}
+
+// PopBatch removes up to len(dst) elements under a single lock acquisition.
+func (q *MutexQueue) PopBatch(dst []uint64) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	q.acquires.Add(1)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := copy(dst, q.vals[q.headIdx:])
+	q.headIdx += n
+	if q.headIdx == len(q.vals) && q.headIdx > 0 {
+		q.vals = q.vals[:0]
+		q.headIdx = 0
+	}
+	return n
 }
 
 // Len returns the number of queued elements.
