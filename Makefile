@@ -3,7 +3,7 @@ GO ?= go
 # Extra seeds for the chaos sweep, e.g. `make chaos CHAOS_SEEDS=11,12,13`.
 CHAOS_SEEDS ?=
 
-.PHONY: all build vet test race check chaos bench-obs bench-phases bench-scan bench-build clean
+.PHONY: all build vet test race check chaos serve-smoke bench-obs bench-phases bench-scan bench-build bench-serve clean
 
 all: check
 
@@ -20,7 +20,7 @@ test:
 # queues it routes foreign keys through, and the phase-2/3 wavefront
 # scheduler (including the serial-vs-parallel bit-identity tests).
 race:
-	$(GO) test -race ./internal/core/... ./internal/spsc/...
+	$(GO) test -race ./internal/core/... ./internal/spsc/... ./internal/serve/...
 	$(GO) test -race -run 'Wavefront|FlattenedLayout' ./internal/structure/
 
 # chaos runs the fault-tolerance suite under the race detector: the
@@ -32,8 +32,15 @@ chaos:
 	$(GO) test -race ./internal/faultinject/
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run 'Chaos|Cancel|Abort|RunCtx|Spillover|Leak' ./internal/core/ ./internal/sched/ ./internal/spsc/
 
+# serve-smoke runs the closed-loop serving benchmark at smoke scale:
+# queries hammer the daemon while the epoch manager republishes, and the
+# run fails unless the final epoch is bit-identical to a batch build over
+# every acknowledged row.
+serve-smoke:
+	$(GO) run ./cmd/bnbench -exp serve -m 20000 -n 8 -r 3 -serve-dur 300ms -clients 1,4 -wflist 0.1 -skewlist 0 > /dev/null
+
 # check is the gate every change must pass (see README "Development").
-check: vet build test race chaos
+check: vet build test race chaos serve-smoke
 
 # bench-obs measures the observability overhead: BenchmarkBuildObsDisabled
 # (Options.Obs == nil, the default) vs BenchmarkBuildObsEnabled. The
@@ -65,6 +72,12 @@ bench-scan:
 # The acceptance bar: batched >= 1.25x legacy at P=1.
 bench-build:
 	$(GO) run ./cmd/bnbench -exp build -m 1000000 -n 30 -r 2 -reps 3
+
+# bench-serve regenerates BENCH_serve.json: the full concurrency ×
+# read/write mix × key-skew sweep against an in-process bnserve, with the
+# bit-identity audit and server-side histogram scrape.
+bench-serve:
+	$(GO) run ./cmd/bnbench -exp serve -m 200000 -n 12 -r 3 > BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
+		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|serve|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
 		m        = flag.Int("m", 1000000, "samples for single-m experiments (paper: 10000000)")
 		mList    = flag.String("mlist", "", "comma-separated m values for fig3 (default m/10, m, m*10 capped)")
 		n        = flag.Int("n", 30, "variables for single-n experiments (paper: 30)")
@@ -57,6 +57,10 @@ func main() {
 		accNet   = flag.String("net", "asia", "ground-truth network for -exp accuracy: asia|cancer|chain10|naivebayes10")
 		waveSize = flag.Int("wavesize", 0, "speculation wave size for -exp phases (0 = learner default)")
 		wbList   = flag.String("wblist", "1,64", "comma-separated write-batch sizes for the -exp build sweep (1 = legacy per-key path)")
+		srvDur   = flag.Duration("serve-dur", 0, "-exp serve: wall time per sweep cell (0 = 2s)")
+		srvCl    = flag.String("clients", "1,4,16", "-exp serve: comma-separated closed-loop client counts")
+		srvWf    = flag.String("wflist", "0,0.1", "-exp serve: comma-separated ingest-write fractions")
+		srvSkew  = flag.String("skewlist", "0,1.2", "-exp serve: comma-separated Zipf skews for query-variable choice (0 = uniform)")
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
@@ -83,6 +87,36 @@ func main() {
 	}
 	if *exp == "scan" {
 		runScan(ctx, *m, *n, *r, *maxP, *reps, *seed)
+		return
+	}
+	if *exp == "serve" {
+		clients, err := parseList(*srvCl)
+		if err != nil {
+			fatal(fmt.Errorf("bad -clients: %w", err))
+		}
+		wfs, err := parseFloats(*srvWf)
+		if err != nil {
+			fatal(fmt.Errorf("bad -wflist: %w", err))
+		}
+		skews, err := parseFloats(*srvSkew)
+		if err != nil {
+			fatal(fmt.Errorf("bad -skewlist: %w", err))
+		}
+		out, err := bench.RunServe(ctx, bench.ServeParams{
+			M: *m, N: *n, R: *r, Seed: *seed,
+			Duration: *srvDur, Clients: clients, WriteFracs: wfs, Skews: skews,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if !out.BitIdentical {
+			fatal(fmt.Errorf("serve: final epoch is NOT bit-identical to the batch build"))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -467,6 +501,24 @@ func parseList(s string) ([]int, error) {
 		}
 		if v <= 0 {
 			return nil, fmt.Errorf("non-positive value %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative value %g", v)
 		}
 		out = append(out, v)
 	}

@@ -1,0 +1,170 @@
+// Command bnserve is the online query daemon: it keeps the current frozen
+// snapshot published for concurrent readers while a background loop ingests
+// new rows and swaps epochs, serving marginal, conditional-marginal,
+// pairwise-MI, and (with -model) inference queries over a versioned JSON
+// API.
+//
+// Usage:
+//
+//	bnserve -card 2,3,2                                  # empty epoch 0, POST rows in
+//	bnserve -card 2,3,2 -data rows.csv                   # preload a CSV before listening
+//	bnserve -card 2,2 -model model.json                  # also answer /v1/infer
+//	curl 'localhost:8080/v1/marginal?vars=0,1&given=2=1'
+//	curl 'localhost:8080/v1/mi?i=0&j=3'
+//	curl -X POST -d '{"rows":[[0,1,0],[1,2,1]]}' localhost:8080/v1/ingest
+//	curl 'localhost:8080/v1/epoch'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"waitfreebn/internal/bn"
+	"waitfreebn/internal/cliopt"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/serve"
+)
+
+func main() {
+	var (
+		card      = flag.String("card", "", "comma-separated per-variable cardinalities (required)")
+		dataPath  = flag.String("data", "", "CSV of rows to preload into epoch 1 before listening")
+		modelPath = flag.String("model", "", "model JSON (or .bif) enabling /v1/infer")
+	)
+	serveFl := cliopt.AddServe(flag.CommandLine)
+	coreFl := cliopt.AddCore(flag.CommandLine)
+	obsFl := cliopt.AddObs(flag.CommandLine)
+	rtFl := cliopt.AddRuntime(flag.CommandLine)
+	flag.Parse()
+
+	opts, err := coreFl.Options()
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cleanup, err := rtFl.Context()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+	reg, stopObs, err := obsFl.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopObs()
+	opts.Obs = reg
+
+	cards, err := cliopt.ParseInts(*card)
+	if err != nil || len(cards) == 0 {
+		fatal(fmt.Errorf("-card is required, e.g. -card 2,3,2 (%v)", err))
+	}
+	codec, err := encoding.NewCodec(cards)
+	if err != nil {
+		fatal(err)
+	}
+	var net_ *bn.Network
+	if *modelPath != "" {
+		if net_, err = loadModel(*modelPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv, err := serve.NewServer(ctx, serve.Config{
+		Codec:          codec,
+		Build:          opts,
+		Model:          net_,
+		ReadP:          serveFl.ReadP,
+		MaxInflight:    serveFl.MaxInflight,
+		QueueTimeout:   serveFl.QueueTimeout,
+		RequestTimeout: serveFl.RequestTimeout,
+		RefreshEvery:   serveFl.RefreshEvery,
+		IngestBatch:    serveFl.IngestBatch,
+		MaxPending:     serveFl.MaxPending,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dataPath != "" {
+		if err := preload(ctx, srv, codec, *dataPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", serveFl.Addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx) }()
+	fmt.Fprintf(os.Stderr, "bnserve: serving /v1/ on http://%s (epoch %d, %d vars)\n",
+		ln.Addr(), srv.Manager().Epoch(), codec.NumVars())
+
+	select {
+	case <-ctx.Done():
+	case err := <-runErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bnserve: refresh loop:", err)
+		}
+	case err := <-httpErr:
+		fatal(err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "bnserve: shutdown:", err)
+	}
+}
+
+// preload ingests a CSV and publishes it as epoch 1 synchronously, so the
+// daemon never answers from the empty epoch when -data is given.
+func preload(ctx context.Context, srv *serve.Server, codec *encoding.Codec, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f, codec.Cardinalities())
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	rows := make([][]uint8, d.NumSamples())
+	for i := range rows {
+		rows[i] = d.Row(i)
+	}
+	if err := srv.Manager().Ingest(rows); err != nil {
+		return err
+	}
+	if _, err := srv.Manager().Refresh(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bnserve: preloaded %d rows from %s\n", d.NumSamples(), path)
+	return nil
+}
+
+func loadModel(path string) (*bn.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bif") {
+		net, _, _, err := bn.ReadBIF(f)
+		return net, err
+	}
+	return bn.ReadJSON(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bnserve:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		m = 500_000 // observations
 		n = 16      // variables
@@ -50,14 +52,17 @@ func main() {
 	}
 
 	start := time.Now()
-	table, _, err := core.Build(data, core.Options{P: p})
+	table, _, err := core.BuildCtx(ctx, data, core.Options{P: p})
 	if err != nil {
 		log.Fatal(err)
 	}
 	buildTime := time.Since(start)
 
 	start = time.Now()
-	mi := table.AllPairsMI(p, core.MIFused)
+	mi, err := table.AllPairsMICtx(ctx, p, core.MIFused)
+	if err != nil {
+		log.Fatal(err)
+	}
 	miTime := time.Since(start)
 
 	type pair struct {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		m     = 300_000
 		n     = 12
@@ -63,7 +65,7 @@ func main() {
 	blocks := 0
 	err = dataset.StreamCSV(in, data.Cardinalities(), block, func(rows [][]uint8) error {
 		blocks++
-		return builder.AddBlock(rows)
+		return builder.AddBlockCtx(ctx, rows)
 	})
 	in.Close()
 	if err != nil {
@@ -96,7 +98,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	direct, _, err := core.Build(data, core.Options{P: p})
+	direct, _, err := core.BuildCtx(ctx, data, core.Options{P: p})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,7 +108,10 @@ func main() {
 	fmt.Println("reloaded table is bit-identical to the in-memory build")
 
 	// 4. Use the reloaded table: one marginal and the strongest MI pair.
-	mg := reloaded.MarginalizePair(2, 7, p)
+	mg, err := reloaded.MarginalizePairCtx(ctx, 2, 7, p)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nP(x2, x7) from the reloaded table (should be ~%.4f everywhere):\n", 1.0/float64(r*r))
 	worst := 0.0
 	for a := uint8(0); a < r; a++ {
@@ -118,7 +123,10 @@ func main() {
 		}
 	}
 	fmt.Printf("largest deviation from uniform: %.5f\n", worst)
-	mi := reloaded.AllPairsMI(p, core.MIFused)
+	mi, err := reloaded.AllPairsMICtx(ctx, p, core.MIFused)
+	if err != nil {
+		log.Fatal(err)
+	}
 	max := 0.0
 	mi.ForEachPair(func(i, j int, v float64) {
 		if v > max {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	truth := bn.Asia()
 	const m = 400_000
 	train, err := truth.Sample(m, 31337, 4)
@@ -33,7 +35,7 @@ func main() {
 	}
 
 	start := time.Now()
-	pt, st, err := core.Build(train, core.Options{P: 4})
+	pt, st, err := core.BuildCtx(ctx, train, core.Options{P: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Training data: 100k observations of 10 binary variables, drawn
 	//    independently and uniformly (the paper's synthetic workload).
 	const m, n, r = 100_000, 10, 2
@@ -23,7 +25,7 @@ func main() {
 	//    split across 4 partitions, each owned by one worker; foreign keys
 	//    travel through wait-free SPSC queues, with a single barrier
 	//    between the two stages.
-	table, st, err := core.Build(data, core.Options{P: 4})
+	table, st, err := core.BuildCtx(ctx, data, core.Options{P: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,10 @@ func main() {
 
 	// 3. Parallel marginalization (Algorithm 3): the joint distribution of
 	//    variables (3, 7), each worker scanning only its own partitions.
-	joint := table.MarginalizePair(3, 7, 4)
+	joint, err := table.MarginalizePairCtx(ctx, 3, 7, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nP(x3, x7):")
 	for a := uint8(0); a < r; a++ {
 		for b := uint8(0); b < r; b++ {

@@ -26,6 +26,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -130,7 +131,7 @@ func Build(s Strategy, data *dataset.Dataset, p int) (*core.PotentialTable, Coun
 	case ShardedMerge:
 		return buildShardedMerge(data, codec, m, p)
 	case WaitFree:
-		pt, st, err := core.Build(data, core.Options{P: p})
+		pt, st, err := core.BuildCtx(context.Background(), data, core.Options{P: p})
 		return pt, Counters{QueueTransfers: st.ForeignKeys}, err
 	default:
 		return nil, Counters{}, fmt.Errorf("baseline: unknown strategy %d", s)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,7 +47,7 @@ func Accuracy(network string, ms []int, seed uint64, p int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		pt, _, err := core.Build(train, core.Options{P: p})
+		pt, _, err := core.BuildCtx(context.Background(), train, core.Options{P: p})
 		if err != nil {
 			return "", err
 		}

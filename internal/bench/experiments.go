@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -104,11 +105,15 @@ func Fig5(m int, ns []int, r int, schedule core.MISchedule, pr Params) *Table {
 		var series Series
 		series.Label = fmt.Sprintf("n=%d", n)
 		for _, p := range pr.Ps {
-			pt, _, err := core.Build(data, core.Options{P: p})
+			pt, _, err := core.BuildCtx(context.Background(), data, core.Options{P: p})
 			if err != nil {
 				panic(err)
 			}
-			sec := TimeBest(pr.Reps, func() { pt.AllPairsMI(p, schedule) })
+			sec := TimeBest(pr.Reps, func() {
+				if _, err := pt.AllPairsMICtx(context.Background(), p, schedule); err != nil {
+					panic(err)
+				}
+			})
 			series.Points = append(series.Points, Measurement{P: p, Seconds: sec})
 		}
 		t.Series = append(t.Series, series)
@@ -189,11 +194,15 @@ func AblationMISchedule(m, n, r int, pr Params) *Table {
 		var series Series
 		series.Label = sch.String()
 		for _, p := range pr.Ps {
-			pt, _, err := core.Build(data, core.Options{P: p})
+			pt, _, err := core.BuildCtx(context.Background(), data, core.Options{P: p})
 			if err != nil {
 				panic(err)
 			}
-			sec := TimeBest(pr.Reps, func() { pt.AllPairsMI(p, sch) })
+			sec := TimeBest(pr.Reps, func() {
+				if _, err := pt.AllPairsMICtx(context.Background(), p, sch); err != nil {
+					panic(err)
+				}
+			})
 			series.Points = append(series.Points, Measurement{P: p, Seconds: sec})
 		}
 		t.Series = append(t.Series, series)
@@ -240,7 +249,7 @@ func optionsSeries(label string, data *dataset.Dataset, pr Params, opts func(p i
 	s := Series{Label: label}
 	for _, p := range pr.Ps {
 		sec := TimeBest(pr.Reps, func() {
-			if _, _, err := core.Build(data, opts(p)); err != nil {
+			if _, _, err := core.BuildCtx(context.Background(), data, opts(p)); err != nil {
 				panic(err)
 			}
 		})
@@ -334,7 +343,7 @@ func StagesTable(m, n, r int, pr Params) *Table {
 	for _, p := range pr.Ps {
 		var best1, best2 float64
 		for rep := 0; rep < pr.Reps; rep++ {
-			_, st, err := core.Build(data, core.Options{P: p})
+			_, st, err := core.BuildCtx(context.Background(), data, core.Options{P: p})
 			if err != nil {
 				panic(err)
 			}

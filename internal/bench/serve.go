@@ -1,0 +1,438 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/obs"
+	"waitfreebn/internal/serve"
+	"waitfreebn/internal/stats"
+)
+
+// ServeParams configures the closed-loop serving benchmark: an in-process
+// bnserve instance on a loopback listener, hammered by closed-loop clients
+// sweeping concurrency × read/write mix × key skew.
+type ServeParams struct {
+	M, N, R    int           // preloaded synthetic dataset shape
+	Seed       uint64        // workload seed
+	Duration   time.Duration // wall time per sweep cell
+	Clients    []int         // concurrent closed-loop clients
+	WriteFracs []float64     // fraction of requests that are ingest writes
+	Skews      []float64     // Zipf s for query-variable choice (0 = uniform)
+	Batch      int           // rows per ingest write
+}
+
+func (p ServeParams) withDefaults() ServeParams {
+	if p.M <= 0 {
+		p.M = 200000
+	}
+	if p.N <= 0 {
+		p.N = 12
+	}
+	if p.R <= 0 {
+		p.R = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Duration <= 0 {
+		p.Duration = 2 * time.Second
+	}
+	if len(p.Clients) == 0 {
+		p.Clients = []int{1, 4, 16}
+	}
+	if len(p.WriteFracs) == 0 {
+		p.WriteFracs = []float64{0, 0.1}
+	}
+	if len(p.Skews) == 0 {
+		p.Skews = []float64{0, 1.2}
+	}
+	if p.Batch <= 0 {
+		p.Batch = 64
+	}
+	return p
+}
+
+// ServeCell is one sweep point of the serving benchmark.
+type ServeCell struct {
+	Clients   int     `json:"clients"`
+	WriteFrac float64 `json:"write_frac"`
+	Skew      float64 `json:"skew"`
+
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Rejected   int     `json:"rejected"` // 429s (admission or ingest overflow)
+	Throughput float64 `json:"req_per_s"`
+
+	ReadP50Micros  float64 `json:"read_p50_us"`
+	ReadP99Micros  float64 `json:"read_p99_us"`
+	WriteP50Micros float64 `json:"write_p50_us"`
+	WriteP99Micros float64 `json:"write_p99_us"`
+
+	EpochsPublished uint64 `json:"epochs_published"`
+	RowsIngested    uint64 `json:"rows_ingested"`
+}
+
+// ServeResult is the full benchmark output, written as BENCH_serve.json.
+type ServeResult struct {
+	Experiment string      `json:"experiment"`
+	M          int         `json:"m"`
+	N          int         `json:"n"`
+	R          int         `json:"r"`
+	DurationS  float64     `json:"cell_duration_s"`
+	Cells      []ServeCell `json:"cells"`
+	// FinalEpoch and FinalSamples describe the table after the sweep's
+	// final refresh; BitIdentical records the post-hoc check that every
+	// marginal and MI of the served table matches a batch build over the
+	// preload plus every row the server acknowledged.
+	FinalEpoch   uint64 `json:"final_epoch"`
+	FinalSamples uint64 `json:"final_samples"`
+	BitIdentical bool   `json:"bit_identical_to_batch"`
+	// Server-side histograms scraped from /metrics.json after the sweep.
+	ServerP50Micros map[string]float64 `json:"server_p50_us"`
+	ServerP99Micros map[string]float64 `json:"server_p99_us"`
+}
+
+// RunServe runs the closed-loop serving sweep. Every row the server
+// acknowledges is recorded, so the final epoch can be checked bit-identical
+// against a batch build — the serving path must not cost a single count.
+func RunServe(ctx context.Context, pr ServeParams) (*ServeResult, error) {
+	pr = pr.withDefaults()
+	codec, err := encoding.NewCodec(uniformCard(pr.N, pr.R))
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	srv, err := serve.NewServer(ctx, serve.Config{
+		Codec: codec,
+		Build: core.Options{Obs: reg},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr := srv.Manager()
+
+	// Preload the synthetic dataset as epoch 1 and remember every row for
+	// the final bit-identity audit.
+	data := dataset.NewUniformCard(pr.M, pr.N, pr.R)
+	data.UniformIndependent(pr.Seed, 0)
+	allRows := make([][]uint8, pr.M)
+	for i := range allRows {
+		allRows[i] = data.Row(i)
+	}
+	if err := mgr.Ingest(allRows); err != nil {
+		return nil, err
+	}
+	if _, err := mgr.Refresh(ctx); err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Background refresher: epochs swap continuously under load.
+	refreshCtx, stopRefresh := context.WithCancel(ctx)
+	defer stopRefresh()
+	refreshDone := make(chan struct{})
+	go func() {
+		defer close(refreshDone)
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-refreshCtx.Done():
+				return
+			case <-ticker.C:
+				if _, err := mgr.Refresh(context.Background()); err != nil {
+					fmt.Fprintln(os.Stderr, "serve bench: refresh:", err)
+					return
+				}
+			}
+		}
+	}()
+
+	out := &ServeResult{
+		Experiment: "serve", M: pr.M, N: pr.N, R: pr.R,
+		DurationS: pr.Duration.Seconds(),
+	}
+	var acceptMu sync.Mutex // guards allRows appends from client goroutines
+	for _, clients := range pr.Clients {
+		for _, wf := range pr.WriteFracs {
+			for _, skew := range pr.Skews {
+				if err := ctx.Err(); err != nil {
+					return nil, context.Cause(ctx)
+				}
+				cell := runServeCell(pr, base, clients, wf, skew, &acceptMu, &allRows)
+				cell.EpochsPublished = reg.Counter("serve_epochs_published_total").Value()
+				cell.RowsIngested = reg.Counter("serve_ingest_rows_total").Value()
+				out.Cells = append(out.Cells, cell)
+				fmt.Fprintf(os.Stderr,
+					"serve: clients=%d write=%.0f%% skew=%.1f  %.0f req/s  read p50/p99 %.0f/%.0fµs  rejected=%d\n",
+					clients, wf*100, skew, cell.Throughput,
+					cell.ReadP50Micros, cell.ReadP99Micros, cell.Rejected)
+			}
+		}
+	}
+
+	// Quiesce, publish the final epoch, and audit it bit-identically
+	// against a batch build over everything the server acknowledged.
+	stopRefresh()
+	<-refreshDone
+	if _, err := mgr.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	snap := mgr.Acquire()
+	defer snap.Release()
+	out.FinalEpoch = snap.Epoch()
+	out.FinalSamples = snap.Table().NumSamples()
+	ok, err := auditBitIdentity(ctx, codec, snap.Table(), allRows)
+	if err != nil {
+		return nil, err
+	}
+	out.BitIdentical = ok
+
+	out.ServerP50Micros, out.ServerP99Micros = scrapeLatencies(base)
+	return out, nil
+}
+
+// runServeCell drives one sweep point: `clients` closed-loop goroutines
+// issuing reads (70% marginal, 30% MI, variables Zipf-skewed) and writes
+// (ingest batches) against the live server for the cell duration.
+func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew float64, acceptMu *sync.Mutex, allRows *[][]uint8) ServeCell {
+	type clientStats struct {
+		reads, writes []time.Duration
+		errors        int
+		rejected      int
+	}
+	stop := make(chan struct{})
+	results := make([]clientStats, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pr.Seed) + int64(id)*7919))
+			var zipf *rand.Zipf
+			if skew > 1 {
+				zipf = rand.NewZipf(rng, skew, 1, uint64(pr.N-1))
+			}
+			pickVar := func() int {
+				if zipf != nil {
+					return int(zipf.Uint64())
+				}
+				return rng.Intn(pr.N)
+			}
+			cl := &http.Client{Timeout: 5 * time.Second}
+			st := &results[id]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				if rng.Float64() < writeFrac {
+					rows := make([][]uint8, pr.Batch)
+					for i := range rows {
+						row := make([]uint8, pr.N)
+						for v := range row {
+							row[v] = uint8(rng.Intn(pr.R))
+						}
+						rows[i] = row
+					}
+					// Record before sending: any acknowledged batch must be
+					// part of the final audit set; a rejected one is removed.
+					acceptMu.Lock()
+					*allRows = append(*allRows, rows...)
+					acceptMu.Unlock()
+					body, _ := json.Marshal(map[string]any{"rows": rows})
+					code, err := doPost(cl, base+"/v1/ingest", body)
+					if err != nil || code != http.StatusOK {
+						acceptMu.Lock()
+						*allRows = (*allRows)[:len(*allRows)-len(rows)]
+						acceptMu.Unlock()
+						if code == http.StatusTooManyRequests {
+							st.rejected++
+						} else {
+							st.errors++
+						}
+					} else {
+						st.writes = append(st.writes, time.Since(start))
+					}
+					continue
+				}
+				var url string
+				if rng.Float64() < 0.7 {
+					url = fmt.Sprintf("%s/v1/marginal?vars=%d", base, pickVar())
+				} else {
+					i := pickVar()
+					j := pickVar()
+					if j == i {
+						j = (i + 1) % pr.N
+					}
+					url = fmt.Sprintf("%s/v1/mi?i=%d&j=%d", base, i, j)
+				}
+				code, err := doGet(cl, url)
+				switch {
+				case err != nil:
+					st.errors++
+				case code == http.StatusOK:
+					st.reads = append(st.reads, time.Since(start))
+				case code == http.StatusTooManyRequests:
+					st.rejected++
+				default:
+					st.errors++
+				}
+			}
+		}(c)
+	}
+	cellStart := time.Now()
+	time.Sleep(pr.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(cellStart)
+
+	cell := ServeCell{Clients: clients, WriteFrac: writeFrac, Skew: skew}
+	var reads, writes []time.Duration
+	for i := range results {
+		reads = append(reads, results[i].reads...)
+		writes = append(writes, results[i].writes...)
+		cell.Errors += results[i].errors
+		cell.Rejected += results[i].rejected
+	}
+	cell.Requests = len(reads) + len(writes) + cell.Errors + cell.Rejected
+	cell.Throughput = float64(len(reads)+len(writes)) / elapsed.Seconds()
+	cell.ReadP50Micros = quantileMicros(reads, 0.5)
+	cell.ReadP99Micros = quantileMicros(reads, 0.99)
+	cell.WriteP50Micros = quantileMicros(writes, 0.5)
+	cell.WriteP99Micros = quantileMicros(writes, 0.99)
+	return cell
+}
+
+// auditBitIdentity rebuilds the acknowledged rows through the batch path
+// and compares every single-variable marginal, a handful of pair
+// marginals, and their MI values bitwise against the served table.
+func auditBitIdentity(ctx context.Context, codec *encoding.Codec, served *core.PotentialTable, rows [][]uint8) (bool, error) {
+	b := core.NewBuilder(codec, 0, core.Options{})
+	if err := b.AddBlockCtx(ctx, rows); err != nil {
+		return false, err
+	}
+	batch, _ := b.Finalize()
+	if served.NumSamples() != batch.NumSamples() {
+		return false, fmt.Errorf("served m=%d, batch m=%d", served.NumSamples(), batch.NumSamples())
+	}
+	n := codec.NumVars()
+	for v := 0; v < n; v++ {
+		want, err := batch.MarginalizeCtx(ctx, []int{v}, 0)
+		if err != nil {
+			return false, err
+		}
+		got, err := served.MarginalizeCtx(ctx, []int{v}, 0)
+		if err != nil {
+			return false, err
+		}
+		for c := range want.Counts {
+			if got.Counts[c] != want.Counts[c] {
+				return false, nil
+			}
+		}
+	}
+	for i := 0; i+1 < n; i += 2 {
+		wj, err := batch.MarginalizePairCtx(ctx, i, i+1, 0)
+		if err != nil {
+			return false, err
+		}
+		gj, err := served.MarginalizePairCtx(ctx, i, i+1, 0)
+		if err != nil {
+			return false, err
+		}
+		for c := range wj.Counts {
+			if gj.Counts[c] != wj.Counts[c] {
+				return false, nil
+			}
+		}
+		if stats.MutualInfoCounts(gj.Counts, gj.Card[0], gj.Card[1]) !=
+			stats.MutualInfoCounts(wj.Counts, wj.Card[0], wj.Card[1]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// scrapeLatencies pulls the per-endpoint p50/p99 out of /metrics.json.
+func scrapeLatencies(base string) (p50, p99 map[string]float64) {
+	p50, p99 = map[string]float64{}, map[string]float64{}
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return
+	}
+	for name, h := range snap.Histograms {
+		if !bytes.HasPrefix([]byte(name), []byte("serve_request_seconds")) {
+			continue
+		}
+		p50[name] = h.P50Seconds * 1e6
+		p99[name] = h.P99Seconds * 1e6
+	}
+	return
+}
+
+func quantileMicros(samples []time.Duration, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(q * float64(len(samples)-1))
+	return float64(samples[idx]) / float64(time.Microsecond)
+}
+
+func uniformCard(n, r int) []int {
+	card := make([]int, n)
+	for i := range card {
+		card[i] = r
+	}
+	return card
+}
+
+func doGet(cl *http.Client, url string) (int, error) {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func doPost(cl *http.Client, url string, body []byte) (int, error) {
+	resp, err := cl.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -158,6 +158,34 @@ func (o *Obs) Start() (*obs.Registry, func(), error) {
 	return reg, stop, nil
 }
 
+// Serve holds the parsed values of the bnserve daemon flags.
+type Serve struct {
+	Addr           string
+	MaxInflight    int
+	QueueTimeout   time.Duration
+	RequestTimeout time.Duration
+	RefreshEvery   time.Duration
+	IngestBatch    int
+	MaxPending     int
+	ReadP          int
+}
+
+// AddServe registers the serving flags on fs. They compose with AddCore
+// (builder configuration) and AddObs (metrics listener) for the full
+// bnserve surface.
+func AddServe(fs *flag.FlagSet) *Serve {
+	s := &Serve{}
+	fs.StringVar(&s.Addr, "listen", "127.0.0.1:8080", "serve the /v1/ query API on this address")
+	fs.IntVar(&s.MaxInflight, "max-inflight", 64, "admission control: maximum requests executing at once")
+	fs.DurationVar(&s.QueueTimeout, "queue-timeout", 100*time.Millisecond, "admission control: reject a queued request after waiting this long for a slot")
+	fs.DurationVar(&s.RequestTimeout, "request-timeout", 2*time.Second, "per-request deadline; an expired query answers 504 deadline_exceeded")
+	fs.DurationVar(&s.RefreshEvery, "refresh-every", 500*time.Millisecond, "background epoch cadence: build pending rows and publish a fresh snapshot at least this often")
+	fs.IntVar(&s.IngestBatch, "ingest-batch", 8192, "block size ingested rows are fed to the builder in")
+	fs.IntVar(&s.MaxPending, "max-pending", 1<<20, "reject ingest (429 ingest_overflow) once this many rows await the next epoch")
+	fs.IntVar(&s.ReadP, "read-p", 1, "per-query scan parallelism (1 = favor cross-request parallelism)")
+	return s
+}
+
 // Runtime holds the parsed values of the shared execution-control flags:
 // the run deadline and the deterministic fault-injection spec.
 type Runtime struct {

@@ -107,6 +107,8 @@ func (m *MIMatrix) ForEachPair(fn func(i, j int, v float64)) {
 // AllPairsMI computes the mutual information of every pair of variables
 // from the potential table (Algorithm 4) using p workers and the given
 // schedule. p <= 0 selects GOMAXPROCS.
+//
+// Deprecated: use AllPairsMICtx.
 func (t *PotentialTable) AllPairsMI(p int, schedule MISchedule) *MIMatrix {
 	mi, err := t.AllPairsMICtx(context.Background(), p, schedule)
 	mustScan(err)

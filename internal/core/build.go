@@ -117,7 +117,7 @@ func (o Options) withDefaults(m int, keySpace uint64) (Options, bool) {
 // Stats reports what the construction primitive did, for instrumentation
 // and for the contention-shape comparisons in EXPERIMENTS.md.
 type Stats struct {
-	P         int // workers used
+	P         int    // workers used
 	LocalKeys uint64 // stage-1 keys updated directly in the owner's table
 	// ForeignKeys counts the logical keys routed through queues. With the
 	// batched write path duplicates are combined into (key, delta) words
@@ -209,6 +209,10 @@ func (q queueMatrix) spilledKeys() uint64 {
 //
 // Build fails only on configuration errors (e.g. a bounded ring queue that
 // overflows under Options.NoSpill); the default options cannot fail.
+//
+// Deprecated: use BuildCtx. The context-first surface is the canonical API;
+// this shim exists for callers that predate it and simply passes
+// context.Background().
 func Build(data *dataset.Dataset, opts Options) (*PotentialTable, Stats, error) {
 	return BuildCtx(context.Background(), data, opts)
 }
@@ -629,6 +633,8 @@ outer:
 }
 
 // BuildKeys is Build over an arbitrary key stream of length m.
+//
+// Deprecated: use BuildKeysCtx.
 func BuildKeys(source KeySource, codec *encoding.Codec, m int, opts Options) (*PotentialTable, Stats, error) {
 	return BuildKeysCtx(context.Background(), source, codec, m, opts)
 }

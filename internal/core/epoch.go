@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Snapshot is a refcounted lease on one published epoch of an immutable
+// PotentialTable. It is the hand-off primitive between a background builder
+// that keeps producing fresh epochs (build → freeze → publish) and an
+// unbounded population of concurrent readers: the publisher holds one
+// reference from NewSnapshot until Retire, each reader brackets its use
+// with Acquire/Release, and the moment the count drains to zero the table
+// pointer is severed — so a retired epoch can be reclaimed the instant its
+// last in-flight reader finishes, and any use after that point fails loudly
+// instead of silently reading freed state.
+//
+// The counter is a single atomic; Acquire and Release are wait-free (one
+// CAS loop against other reference movements, never against a lock), which
+// keeps the serving read path as coordination-free as the primitives it
+// fronts.
+type Snapshot struct {
+	epoch     uint64
+	table     atomic.Pointer[PotentialTable]
+	refs      atomic.Int64
+	onRelease func()
+}
+
+// NewSnapshot publishes pt as epoch e with one outstanding (publisher)
+// reference. onRelease, if non-nil, runs exactly once, on whichever
+// goroutine drops the final reference — the point at which the epoch is
+// fully drained and its memory is reclaimable.
+func NewSnapshot(e uint64, pt *PotentialTable, onRelease func()) *Snapshot {
+	if pt == nil {
+		panic("core: NewSnapshot with nil table")
+	}
+	s := &Snapshot{epoch: e, onRelease: onRelease}
+	s.table.Store(pt)
+	s.refs.Store(1)
+	return s
+}
+
+// Epoch returns the epoch number the snapshot was published as.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Acquire takes a reader reference. It fails (returns false) only once the
+// snapshot has fully drained — i.e. the publisher retired it and every
+// earlier reader released — at which point the caller must re-resolve the
+// current epoch and try again.
+func (s *Snapshot) Acquire() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference taken by Acquire (or the publisher reference,
+// via Retire). Dropping the final reference severs the table pointer and
+// runs the onRelease hook. Releasing more times than acquired panics.
+func (s *Snapshot) Release() {
+	r := s.refs.Add(-1)
+	if r < 0 {
+		panic("core: Snapshot.Release without matching Acquire")
+	}
+	if r == 0 {
+		s.table.Store(nil)
+		if s.onRelease != nil {
+			s.onRelease()
+		}
+	}
+}
+
+// Retire drops the publisher reference installed by NewSnapshot. The
+// snapshot stays readable for every reader that acquired before (or during)
+// retirement; the release hook fires once the last of them finishes. Call
+// exactly once, after the epoch has been unpublished.
+func (s *Snapshot) Retire() { s.Release() }
+
+// Table returns the snapshot's table. The caller must hold a reference
+// (publisher or Acquire); calling after the snapshot drained panics — this
+// is the read-after-release tripwire the serving tests assert never fires.
+func (s *Snapshot) Table() *PotentialTable {
+	pt := s.table.Load()
+	if pt == nil {
+		panic(fmt.Sprintf("core: Snapshot epoch %d used after release", s.epoch))
+	}
+	return pt
+}
+
+// Refs returns the current reference count (0 = fully drained). It is a
+// monitoring signal — the count can move concurrently — not a
+// synchronization primitive.
+func (s *Snapshot) Refs() int64 { return s.refs.Load() }
+
+// Released reports whether the snapshot has fully drained.
+func (s *Snapshot) Released() bool { return s.refs.Load() <= 0 }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"waitfreebn/internal/encoding"
+)
+
+func TestSnapshotRefcountLifecycle(t *testing.T) {
+	pt := NewPotentialTable(mustCodec(t, []int{2, 2}), nil, 0)
+	released := 0
+	s := NewSnapshot(7, pt, func() { released++ })
+	if s.Epoch() != 7 {
+		t.Fatalf("Epoch() = %d, want 7", s.Epoch())
+	}
+	if s.Refs() != 1 || s.Released() {
+		t.Fatalf("fresh snapshot refs = %d released = %v", s.Refs(), s.Released())
+	}
+	if !s.Acquire() {
+		t.Fatal("Acquire on live snapshot failed")
+	}
+	if s.Table() != pt {
+		t.Fatal("Table() did not return the published table")
+	}
+	s.Retire() // publisher drops; reader still holds
+	if s.Released() {
+		t.Fatal("snapshot drained while a reader holds a reference")
+	}
+	if s.Table() != pt {
+		t.Fatal("Table() unavailable to a reader after Retire")
+	}
+	s.Release()
+	if released != 1 {
+		t.Fatalf("onRelease ran %d times, want 1", released)
+	}
+	if !s.Released() {
+		t.Fatal("snapshot not drained after final release")
+	}
+	if s.Acquire() {
+		t.Fatal("Acquire succeeded on a drained snapshot")
+	}
+}
+
+func TestSnapshotTablePanicsAfterRelease(t *testing.T) {
+	pt := NewPotentialTable(mustCodec(t, []int{2, 2}), nil, 0)
+	s := NewSnapshot(1, pt, nil)
+	s.Retire()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Table() after full release did not panic")
+		}
+	}()
+	s.Table()
+}
+
+func TestSnapshotReleaseUnderflowPanics(t *testing.T) {
+	s := NewSnapshot(1, NewPotentialTable(mustCodec(t, []int{2}), nil, 0), nil)
+	s.Retire()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extra Release did not panic")
+		}
+	}()
+	s.Release()
+}
+
+// TestSnapshotConcurrentAcquireRelease hammers the refcount from many
+// goroutines while the publisher retires mid-stream: the release hook must
+// run exactly once, and no goroutine that won Acquire may ever observe a
+// severed table.
+func TestSnapshotConcurrentAcquireRelease(t *testing.T) {
+	pt := NewPotentialTable(mustCodec(t, []int{2, 2}), nil, 0)
+	var releases atomic.Int64
+	s := NewSnapshot(3, pt, func() { releases.Add(1) })
+
+	const readers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if !s.Acquire() {
+					return // drained: valid terminal state
+				}
+				if s.Table() == nil {
+					t.Error("Table() nil while holding a reference")
+				}
+				s.Release()
+			}
+		}()
+	}
+	s.Retire()
+	wg.Wait()
+	if !s.Released() {
+		t.Fatalf("refs = %d after all readers finished, want 0", s.Refs())
+	}
+	if got := releases.Load(); got != 1 {
+		t.Fatalf("onRelease ran %d times, want 1", got)
+	}
+}
+
+func mustCodec(t *testing.T, card []int) *encoding.Codec {
+	t.Helper()
+	codec, err := encoding.NewCodec(card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return codec
+}
+
+// TestBuilderSnapshotDetached checks the epoch primitive end to end: a
+// snapshot equals a batch build over the prefix it captured, keeps its
+// contents while the builder ingests more blocks, and the next snapshot
+// reflects the longer prefix — with every table operation working on the
+// detached (partition-free) snapshot tables.
+func TestBuilderSnapshotDetached(t *testing.T) {
+	ctx := context.Background()
+	codec := mustCodec(t, []int{2, 3, 2})
+	rowsA := [][]uint8{{0, 0, 0}, {1, 2, 1}, {0, 1, 0}, {1, 2, 1}}
+	rowsB := [][]uint8{{0, 0, 1}, {1, 1, 1}, {0, 0, 1}}
+
+	b := NewBuilder(codec, 0, Options{P: 2})
+	if err := b.AddBlockCtx(ctx, rowsA); err != nil {
+		t.Fatal(err)
+	}
+	snapA, stA, err := b.SnapshotCtx(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapA.Frozen() {
+		t.Fatal("snapshot table is not frozen")
+	}
+	if stA.Entries != snapA.Len() {
+		t.Fatalf("FreezeStats.Entries = %d, Len() = %d", stA.Entries, snapA.Len())
+	}
+
+	refA := buildFromRows(t, codec, rowsA)
+	if !snapA.Equal(refA) {
+		t.Fatal("snapshot A differs from batch build over the same rows")
+	}
+	if snapA.NumSamples() != uint64(len(rowsA)) || snapA.Total() != uint64(len(rowsA)) {
+		t.Fatalf("snapshot A m = %d total = %d, want %d", snapA.NumSamples(), snapA.Total(), len(rowsA))
+	}
+
+	// Ingest more; snapshot A must not move.
+	if err := b.AddBlockCtx(ctx, rowsB); err != nil {
+		t.Fatal(err)
+	}
+	if !snapA.Equal(refA) {
+		t.Fatal("snapshot A changed after the builder ingested another block")
+	}
+
+	snapB, _, err := b.SnapshotCtx(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB := buildFromRows(t, codec, append(append([][]uint8{}, rowsA...), rowsB...))
+	if !snapB.Equal(refB) {
+		t.Fatal("snapshot B differs from batch build over all rows")
+	}
+
+	// Detached-table surface: sizes, partitions, marginals.
+	if got, want := snapB.Partitions(), 2; got != want {
+		t.Fatalf("Partitions() = %d, want %d", got, want)
+	}
+	sizes := snapB.PartitionSizes()
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != snapB.Len() {
+		t.Fatalf("partition sizes sum to %d, Len() = %d", sum, snapB.Len())
+	}
+	mg, err := snapB.MarginalizeCtx(ctx, []int{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refB.MarginalizeCtx(ctx, []int{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range ref.Counts {
+		if mg.Counts[c] != ref.Counts[c] {
+			t.Fatalf("marginal cell %d = %d, want %d", c, mg.Counts[c], ref.Counts[c])
+		}
+	}
+
+	// The builder still finalizes to the full table afterwards.
+	final, _ := b.Finalize()
+	if !final.Equal(refB) {
+		t.Fatal("finalized table differs from batch build after snapshots")
+	}
+	if _, _, err := b.SnapshotCtx(ctx, 1); err == nil {
+		t.Fatal("SnapshotCtx after Finalize did not fail")
+	}
+}
+
+func TestBuilderSnapshotEmpty(t *testing.T) {
+	codec := mustCodec(t, []int{2, 2})
+	b := NewBuilder(codec, 0, Options{P: 2})
+	snap, _, err := b.SnapshotCtx(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 0 || snap.NumSamples() != 0 || snap.Total() != 0 {
+		t.Fatalf("empty snapshot: len=%d m=%d total=%d", snap.Len(), snap.NumSamples(), snap.Total())
+	}
+	mg, err := snap.MarginalizeCtx(context.Background(), []int{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Counts[0] != 0 || mg.Counts[1] != 0 {
+		t.Fatalf("empty snapshot marginal = %v", mg.Counts)
+	}
+}
+
+func buildFromRows(t *testing.T, codec *encoding.Codec, rows [][]uint8) *PotentialTable {
+	t.Helper()
+	b := NewBuilder(codec, 0, Options{P: 2})
+	if err := b.AddBlockCtx(context.Background(), rows); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := b.Finalize()
+	return pt
+}

@@ -105,6 +105,8 @@ func (t *PotentialTable) Frozen() bool { return t.frozen.Load() != nil }
 // Freeze captures a frozen columnar snapshot of the table using p workers
 // (p <= 0 selects GOMAXPROCS) and routes all subsequent scans through it.
 // See FreezeCtx.
+//
+// Deprecated: use FreezeCtx.
 func (t *PotentialTable) Freeze(p int) FreezeStats {
 	st, err := t.FreezeCtx(context.Background(), p)
 	mustScan(err)

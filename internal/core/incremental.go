@@ -63,6 +63,8 @@ func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
 
 // AddBlock counts a block of rows (each a state string of the codec's
 // arity) into the table using the two-stage wait-free protocol.
+//
+// Deprecated: use AddBlockCtx.
 func (b *Builder) AddBlock(rows [][]uint8) error {
 	return b.AddBlockCtx(context.Background(), rows)
 }
@@ -77,6 +79,8 @@ func (b *Builder) AddBlockCtx(ctx context.Context, rows [][]uint8) error {
 }
 
 // AddKeys counts a block of pre-encoded keys.
+//
+// Deprecated: use AddKeysCtx.
 func (b *Builder) AddKeys(keys []uint64) error {
 	return b.AddKeysCtx(context.Background(), keys)
 }
@@ -149,6 +153,42 @@ func (b *Builder) addKeys(ctx context.Context, m int, source KeySource, block bl
 // Err returns the error that poisoned the builder, or nil if every block
 // so far succeeded.
 func (b *Builder) Err() error { return b.failed }
+
+// SnapshotCtx captures an immutable frozen-columnar PotentialTable of
+// everything counted so far WITHOUT finalizing the builder: the quiescent
+// partition hashtables are drained into a detached columnar snapshot
+// (carrying no reference to the live partitions), so the builder can keep
+// accumulating blocks for the next epoch while readers scan this one. This
+// is the epoch-producing primitive the serving layer's
+// build → freeze → publish → retire cycle runs on.
+//
+// Between AddBlock calls every queue is drained and every partition has a
+// quiescent single writer — the wait-free contract's hand-off point — which
+// is exactly when SnapshotCtx must run: the builder and the snapshot must
+// not be used concurrently from different goroutines without external
+// serialization (the same single-goroutine rule as every Builder method).
+// The snapshot is equal to Finalize's table at this point in the stream.
+func (b *Builder) SnapshotCtx(ctx context.Context, p int) (*PotentialTable, FreezeStats, error) {
+	if b.done {
+		return nil, FreezeStats{}, fmt.Errorf("core: Builder used after Finalize")
+	}
+	if b.failed != nil {
+		return nil, FreezeStats{}, fmt.Errorf("core: Builder poisoned by earlier failed block: %w", b.failed)
+	}
+	// Freeze through a scratch table over the live partitions, then detach:
+	// the returned table holds only the columnar copy, so later AddBlock
+	// mutations of b.parts cannot be observed through it.
+	scratch := &PotentialTable{codec: b.codec, parts: b.parts, m: b.Samples()}
+	scratch.SetObs(b.opts.Obs)
+	st, err := scratch.FreezeCtx(ctx, p)
+	if err != nil {
+		return nil, FreezeStats{}, err
+	}
+	out := &PotentialTable{codec: b.codec, m: scratch.m}
+	out.SetObs(b.opts.Obs)
+	out.frozen.Store(scratch.frozen.Load())
+	return out, st, nil
+}
 
 // Finalize returns the accumulated potential table and construction stats.
 // The builder cannot be used afterwards.

@@ -261,6 +261,8 @@ func sortedVarset(vars []int) []int {
 // MarginalizeManyCached computes marginals for several variable subsets —
 // in the exact axis order each subset requests — deduplicating the scans
 // through the cache. See MarginalizeManyCachedCtx.
+//
+// Deprecated: use MarginalizeManyCachedCtx.
 func (t *PotentialTable) MarginalizeManyCached(varsets [][]int, p int, cache *MarginalCache) []*Marginal {
 	out, err := t.MarginalizeManyCachedCtx(context.Background(), varsets, p, cache)
 	mustScan(err)

@@ -130,6 +130,8 @@ func mergePartials(partials [][]uint64) []uint64 {
 // GOMAXPROCS; on a live table p is additionally capped at the partition
 // count, while a frozen table splits work by index range at any p (see
 // readP).
+//
+// Deprecated: use MarginalizeCtx.
 func (t *PotentialTable) Marginalize(vars []int, p int) *Marginal {
 	mg, err := t.MarginalizeCtx(context.Background(), vars, p)
 	mustScan(err)
@@ -172,6 +174,8 @@ func (t *PotentialTable) MarginalizeCtx(ctx context.Context, vars []int, p int) 
 // MarginalizePair is Marginalize for the two-variable case used by the
 // drafting phase; it avoids the general subset-decoder indirection with a
 // fixed-arity fast path.
+//
+// Deprecated: use MarginalizePairCtx.
 func (t *PotentialTable) MarginalizePair(i, j int, p int) *Marginal {
 	mg, err := t.MarginalizePairCtx(context.Background(), i, j, p)
 	mustScan(err)

@@ -15,6 +15,8 @@ import (
 // every requested marginal.
 //
 // The result is index-aligned with varsets. p <= 0 selects GOMAXPROCS.
+//
+// Deprecated: use MarginalizeManyCtx.
 func (t *PotentialTable) MarginalizeMany(varsets [][]int, p int) []*Marginal {
 	out, err := t.MarginalizeManyCtx(context.Background(), varsets, p)
 	mustScan(err)

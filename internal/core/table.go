@@ -200,13 +200,23 @@ func (t *PotentialTable) Codec() *encoding.Codec { return t.codec }
 func (t *PotentialTable) SetObs(r *obs.Registry) { t.obs = r }
 
 // Partitions returns the number of partitions P.
-func (t *PotentialTable) Partitions() int { return len(t.parts) }
+func (t *PotentialTable) Partitions() int {
+	if len(t.parts) == 0 {
+		if ft := t.frozen.Load(); ft != nil {
+			return len(ft.partOff) - 1
+		}
+	}
+	return len(t.parts)
+}
 
 // NumSamples returns m, the number of observations counted into the table.
 func (t *PotentialTable) NumSamples() uint64 { return t.m }
 
 // Len returns the number of distinct keys across all partitions.
 func (t *PotentialTable) Len() int {
+	if ft := t.frozen.Load(); ft != nil {
+		return len(ft.keys)
+	}
 	total := 0
 	for _, p := range t.parts {
 		total += p.Len()
@@ -232,6 +242,13 @@ func (t *PotentialTable) Get(key uint64) uint64 {
 // Total returns the sum of all counts; it equals NumSamples for a table
 // built from a dataset.
 func (t *PotentialTable) Total() uint64 {
+	if ft := t.frozen.Load(); ft != nil {
+		var total uint64
+		for _, c := range ft.counts {
+			total += c
+		}
+		return total
+	}
 	var total uint64
 	for _, p := range t.parts {
 		total += p.Total()
@@ -242,6 +259,13 @@ func (t *PotentialTable) Total() uint64 {
 // PartitionSizes returns the number of distinct keys in each partition —
 // the balance metric discussed in Section IV-C.
 func (t *PotentialTable) PartitionSizes() []int {
+	if ft := t.frozen.Load(); ft != nil {
+		sizes := make([]int, len(ft.partOff)-1)
+		for i := range sizes {
+			sizes[i] = ft.partOff[i+1] - ft.partOff[i]
+		}
+		return sizes
+	}
 	sizes := make([]int, len(t.parts))
 	for i, p := range t.parts {
 		sizes[i] = p.Len()
@@ -250,8 +274,19 @@ func (t *PotentialTable) PartitionSizes() []int {
 }
 
 // Range calls fn for every (key, count) pair across all partitions in
-// unspecified order. Returning false stops the iteration.
+// unspecified order. Returning false stops the iteration. On a frozen table
+// the iteration streams the columnar snapshot, so Range works even on a
+// detached snapshot table (Builder.SnapshotCtx) that carries no live
+// partitions at all.
 func (t *PotentialTable) Range(fn func(key, count uint64) bool) {
+	if ft := t.frozen.Load(); ft != nil {
+		for i, key := range ft.keys {
+			if !fn(key, ft.counts[i]) {
+				return
+			}
+		}
+		return
+	}
 	for _, p := range t.parts {
 		stopped := false
 		p.Range(func(key, count uint64) bool {

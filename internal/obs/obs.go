@@ -173,6 +173,126 @@ func (h *Histogram) Max() time.Duration {
 	return time.Duration(h.maxNS.Load())
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the bucket counts: it returns the upper bound of the
+// bucket the rank-⌈q·count⌉ observation landed in, i.e. an upper estimate
+// no more than one power of two above the true value. Observations in the
+// +Inf bucket resolve to Max. Returns 0 when nothing has been observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, bound := range histBounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return time.Duration(bound * float64(time.Second))
+		}
+	}
+	return h.Max()
+}
+
+// sizeBounds are the size-histogram bucket upper bounds in bytes:
+// exponential powers of two from 64 B to 2 GiB. Sizes above the last bound
+// land in the implicit +Inf bucket.
+var sizeBounds = func() []float64 {
+	b := make([]float64, 26)
+	v := 64.0
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// SizeHistogram records a distribution of byte sizes (payload sizes,
+// allocation sizes) in fixed exponential buckets, plus exact count, sum,
+// and max. It is the byte-valued sibling of Histogram; the nil
+// SizeHistogram discards all observations.
+type SizeHistogram struct {
+	counts [27]atomic.Uint64 // len(sizeBounds) buckets + the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// Observe records one size in bytes. Negative sizes are ignored.
+func (h *SizeHistogram) Observe(n int) {
+	if h == nil || n < 0 {
+		return
+	}
+	v := float64(n)
+	i := 0
+	for i < len(sizeBounds) && v > sizeBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(n))
+	for {
+		old := h.max.Load()
+		if old >= uint64(n) || h.max.CompareAndSwap(old, uint64(n)) {
+			break
+		}
+	}
+}
+
+// Count returns how many sizes have been observed.
+func (h *SizeHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed bytes.
+func (h *SizeHistogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observed size in bytes.
+func (h *SizeHistogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-quantile in bytes with the same bucket-upper-
+// bound semantics as Histogram.Quantile.
+func (h *SizeHistogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, bound := range sizeBounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return uint64(bound)
+		}
+	}
+	return h.Max()
+}
+
 // metricType discriminates the three metric kinds inside a family.
 type metricType int
 
@@ -180,6 +300,7 @@ const (
 	typeCounter metricType = iota
 	typeGauge
 	typeHistogram
+	typeSizeHistogram
 )
 
 func (t metricType) String() string {
@@ -189,6 +310,8 @@ func (t metricType) String() string {
 	case typeGauge:
 		return "gauge"
 	default:
+		// Size histograms are histograms to Prometheus; only the bucket
+		// units differ.
 		return "histogram"
 	}
 }
@@ -297,6 +420,24 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 		return m.(*Histogram)
 	}
 	h := &Histogram{}
+	f.metrics[ls] = h
+	return h
+}
+
+// SizeHistogram returns the byte-size histogram for name and label pairs,
+// creating it on first use. Returns nil on the nil registry.
+func (r *Registry) SizeHistogram(name string, labels ...string) *SizeHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, typeSizeHistogram, true)
+	ls := labelString(labels)
+	if m, ok := f.metrics[ls]; ok {
+		return m.(*SizeHistogram)
+	}
+	h := &SizeHistogram{}
 	f.metrics[ls] = h
 	return h
 }

@@ -265,3 +265,118 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+	h = &Histogram{}
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 99 observations just above 1ms, one at ~1s: p50 resolves to the
+	// 1ms..2ms bucket bound, p99 stays below the outlier, max catches it.
+	for i := 0; i < 99; i++ {
+		h.Observe(1500 * time.Microsecond)
+	}
+	h.Observe(900 * time.Millisecond)
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < time.Millisecond || p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~2ms bucket bound", p50)
+	}
+	if p99 < time.Millisecond || p99 > 4*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~2ms bucket bound (99/100 obs)", p99)
+	}
+	if q := h.Quantile(1.0); q < 900*time.Millisecond {
+		t.Fatalf("p100 = %v, want >= max bucket bound", q)
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	var nilH *SizeHistogram
+	nilH.Observe(100) // must not panic
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil size histogram not inert")
+	}
+
+	r := NewRegistry()
+	h := r.SizeHistogram("serve_response_bytes", "endpoint", "marginal")
+	h.Observe(-1) // ignored
+	for i := 0; i < 9; i++ {
+		h.Observe(200)
+	}
+	h.Observe(1 << 20)
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	if h.Sum() != 9*200+1<<20 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if h.Max() != 1<<20 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if p50 := h.Quantile(0.50); p50 != 256 {
+		t.Fatalf("p50 = %d, want 256 (bucket bound above 200)", p50)
+	}
+	if p100 := h.Quantile(1.0); p100 != 1<<20 {
+		t.Fatalf("p100 = %d, want exactly the 2^20 bucket bound", p100)
+	}
+
+	// Same handle on re-lookup.
+	if r.SizeHistogram("serve_response_bytes", "endpoint", "marginal") != h {
+		t.Fatal("re-lookup returned a different handle")
+	}
+
+	// Prometheus exposition: cumulative byte buckets, integral sum.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE serve_response_bytes histogram",
+		`serve_response_bytes_bucket{endpoint="marginal",le="256"} 9`,
+		`serve_response_bytes_bucket{endpoint="marginal",le="+Inf"} 10`,
+		`serve_response_bytes_count{endpoint="marginal"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Snapshot carries the size stats and survives JSON round-tripping.
+	snap := r.Snapshot()
+	ss, ok := snap.Sizes[`serve_response_bytes{endpoint="marginal"}`]
+	if !ok {
+		t.Fatalf("snapshot missing size histogram: %+v", snap.Sizes)
+	}
+	if ss.Count != 10 || ss.P50Bytes != 256 || ss.MaxBytes != 1<<20 {
+		t.Fatalf("size stats = %+v", ss)
+	}
+	js, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"p50_bytes":256`) {
+		t.Fatalf("snapshot JSON missing size quantiles: %s", js)
+	}
+	if !strings.Contains(snap.String(), "p50=256B") {
+		t.Fatalf("snapshot String missing size line:\n%s", snap.String())
+	}
+}
+
+func TestSnapshotHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds")
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	hs := r.Snapshot().Histograms["lat_seconds"]
+	if hs.P50Seconds <= 0 || hs.P99Seconds <= 0 {
+		t.Fatalf("snapshot quantiles not populated: %+v", hs)
+	}
+	if hs.P99Seconds < hs.P50Seconds {
+		t.Fatalf("p99 < p50: %+v", hs)
+	}
+}

@@ -34,6 +34,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s%s %g\n", name, ls, v.Value())
 			case *Histogram:
 				writeHistogram(&b, name, ls, v)
+			case *SizeHistogram:
+				writeSizeHistogram(&b, name, ls, v)
 			}
 		}
 	}
@@ -51,6 +53,19 @@ func writeHistogram(b *strings.Builder, name, ls string, h *Histogram) {
 	}
 	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(ls, "le", "+Inf"), h.Count())
 	fmt.Fprintf(b, "%s_sum%s %g\n", name, ls, h.Sum().Seconds())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, ls, h.Count())
+}
+
+// writeSizeHistogram emits the cumulative bucket series for one size
+// histogram; le bounds and _sum are in bytes.
+func writeSizeHistogram(b *strings.Builder, name, ls string, h *SizeHistogram) {
+	var cum uint64
+	for i, bound := range sizeBounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(ls, "le", fmt.Sprintf("%g", bound)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(ls, "le", "+Inf"), h.Count())
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, ls, h.Sum())
 	fmt.Fprintf(b, "%s_count%s %d\n", name, ls, h.Count())
 }
 

@@ -8,11 +8,25 @@ import (
 )
 
 // HistogramStats is the summarized form of one histogram in a Snapshot.
+// P50/P99 are bucket-upper-bound estimates (see Histogram.Quantile).
 type HistogramStats struct {
 	Count       uint64  `json:"count"`
 	SumSeconds  float64 `json:"sum_seconds"`
 	MeanSeconds float64 `json:"mean_seconds"`
 	MaxSeconds  float64 `json:"max_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+// SizeStats is the summarized form of one size histogram in a Snapshot,
+// all values in bytes.
+type SizeStats struct {
+	Count     uint64  `json:"count"`
+	SumBytes  uint64  `json:"sum_bytes"`
+	MeanBytes float64 `json:"mean_bytes"`
+	MaxBytes  uint64  `json:"max_bytes"`
+	P50Bytes  uint64  `json:"p50_bytes"`
+	P99Bytes  uint64  `json:"p99_bytes"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry, keyed by
@@ -22,6 +36,7 @@ type Snapshot struct {
 	Counters   map[string]uint64         `json:"counters,omitempty"`
 	Gauges     map[string]float64        `json:"gauges,omitempty"`
 	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	Sizes      map[string]SizeStats      `json:"sizes,omitempty"`
 }
 
 // Snapshot copies the current value of every metric. On the nil registry
@@ -31,6 +46,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]uint64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramStats{},
+		Sizes:      map[string]SizeStats{},
 	}
 	if r == nil {
 		return s
@@ -50,11 +66,25 @@ func (r *Registry) Snapshot() Snapshot {
 					Count:      v.Count(),
 					SumSeconds: v.Sum().Seconds(),
 					MaxSeconds: v.Max().Seconds(),
+					P50Seconds: v.Quantile(0.50).Seconds(),
+					P99Seconds: v.Quantile(0.99).Seconds(),
 				}
 				if hs.Count > 0 {
 					hs.MeanSeconds = hs.SumSeconds / float64(hs.Count)
 				}
 				s.Histograms[key] = hs
+			case *SizeHistogram:
+				ss := SizeStats{
+					Count:    v.Count(),
+					SumBytes: v.Sum(),
+					MaxBytes: v.Max(),
+					P50Bytes: v.Quantile(0.50),
+					P99Bytes: v.Quantile(0.99),
+				}
+				if ss.Count > 0 {
+					ss.MeanBytes = float64(ss.SumBytes) / float64(ss.Count)
+				}
+				s.Sizes[key] = ss
 			}
 		}
 	}
@@ -75,6 +105,9 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 	if len(a.Histograms) == 0 {
 		a.Histograms = nil
 	}
+	if len(a.Sizes) == 0 {
+		a.Sizes = nil
+	}
 	return json.Marshal(a)
 }
 
@@ -89,8 +122,12 @@ func (s Snapshot) String() string {
 		lines = append(lines, fmt.Sprintf("%s %g", k, v))
 	}
 	for k, v := range s.Histograms {
-		lines = append(lines, fmt.Sprintf("%s count=%d sum=%.6fs mean=%.6fs max=%.6fs",
-			k, v.Count, v.SumSeconds, v.MeanSeconds, v.MaxSeconds))
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%.6fs mean=%.6fs max=%.6fs p50=%.6fs p99=%.6fs",
+			k, v.Count, v.SumSeconds, v.MeanSeconds, v.MaxSeconds, v.P50Seconds, v.P99Seconds))
+	}
+	for k, v := range s.Sizes {
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%dB mean=%.1fB max=%dB p50=%dB p99=%dB",
+			k, v.Count, v.SumBytes, v.MeanBytes, v.MaxBytes, v.P50Bytes, v.P99Bytes))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

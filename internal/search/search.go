@@ -13,6 +13,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -85,7 +86,31 @@ const (
 // it evaluates every legal add/delete/reverse move, applies the one with
 // the largest positive BIC improvement, and stops when no move improves
 // the score (or MaxIters is reached).
+//
+// Deprecated: use HillClimbCtx.
 func HillClimb(pt *core.PotentialTable, cfg Config) (*Result, error) {
+	return HillClimbCtx(context.Background(), pt, cfg)
+}
+
+// scanAbort carries a marginalization error out of the score evaluation
+// loops (which return bare float64s) up to the HillClimbCtx entry point,
+// where it is recovered and returned as an ordinary error.
+type scanAbort struct{ err error }
+
+// HillClimbCtx is HillClimb under the fault-tolerant execution contract:
+// every sufficient-statistic marginalization observes ctx, so cancellation
+// surfaces as context.Canceled (or DeadlineExceeded) in bounded time
+// instead of the climb running to completion.
+func HillClimbCtx(ctx context.Context, pt *core.PotentialTable, cfg Config) (out *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := r.(scanAbort); ok {
+				out, err = nil, a.err
+				return
+			}
+			panic(r)
+		}
+	}()
 	n := pt.Codec().NumVars()
 	if n < 2 {
 		return nil, fmt.Errorf("search: need at least 2 variables, have %d", n)
@@ -96,9 +121,13 @@ func HillClimb(pt *core.PotentialTable, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(n)
 	start := time.Now()
 
-	s := &searcher{pt: pt, cfg: cfg, cache: map[string]float64{}}
+	s := &searcher{ctx: ctx, pt: pt, cfg: cfg, cache: map[string]float64{}}
 	if cfg.CandidateParents > 0 {
-		s.candidates = candidateParents(pt, cfg.CandidateParents, cfg.P)
+		cand, err := candidateParents(ctx, pt, cfg.CandidateParents, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		s.candidates = cand
 	}
 	dag := graph.NewDAG(n)
 	// Per-variable family scores of the current structure.
@@ -243,6 +272,7 @@ func (s *searcher) climb(dag *graph.DAG, family []float64, total float64, res *R
 }
 
 type searcher struct {
+	ctx        context.Context
 	pt         *core.PotentialTable
 	cfg        Config
 	cache      map[string]float64
@@ -258,9 +288,12 @@ func (s *searcher) allowedParent(u, v int) bool {
 }
 
 // candidateParents computes each node's top-k partners by pairwise MI.
-func candidateParents(pt *core.PotentialTable, k, p int) [][]bool {
+func candidateParents(ctx context.Context, pt *core.PotentialTable, k, p int) ([][]bool, error) {
 	n := pt.Codec().NumVars()
-	mi := pt.AllPairsMI(p, core.MIFused)
+	mi, err := pt.AllPairsMICtx(ctx, p, core.MIFused)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]bool, n)
 	type partner struct {
 		u  int
@@ -288,7 +321,7 @@ func candidateParents(pt *core.PotentialTable, k, p int) [][]bool {
 			out[v][pr.u] = true
 		}
 	}
-	return out
+	return out, nil
 }
 
 // familyScore returns the BIC contribution of variable v with the given
@@ -311,7 +344,10 @@ func (s *searcher) familyScore(v int, parents []int) float64 {
 	vars = append(vars, parents...)
 	sort.Ints(vars)
 	vars = append(vars, v)
-	mg := s.pt.Marginalize(vars, s.cfg.P)
+	mg, err := s.pt.MarginalizeCtx(s.ctx, vars, s.cfg.P)
+	if err != nil {
+		panic(scanAbort{err})
+	}
 
 	rows := len(mg.Counts) / rv
 	var ll float64

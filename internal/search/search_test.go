@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"waitfreebn/internal/bn"
@@ -81,7 +82,7 @@ func TestHillClimbScoreBeatsEmptyGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Score of the empty structure for comparison.
-	s := &searcher{pt: pt, cfg: Config{P: 4}.withDefaults(8), cache: map[string]float64{}}
+	s := &searcher{ctx: context.Background(), pt: pt, cfg: Config{P: 4}.withDefaults(8), cache: map[string]float64{}}
 	empty := 0.0
 	for v := 0; v < 8; v++ {
 		empty += s.familyScore(v, nil)
@@ -300,7 +301,10 @@ func TestSparseCandidatesRespectRestriction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands := candidateParents(pt, 1, 4)
+	cands, err := candidateParents(context.Background(), pt, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, e := range res.DAG.Edges() {
 		if !cands[e[1]][e[0]] {
 			t.Errorf("edge %v violates the candidate restriction", e)

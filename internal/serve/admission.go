@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"waitfreebn/internal/obs"
+)
+
+// admission bounds the number of requests inside handlers at once: a
+// buffered-channel semaphore with a bounded queue wait. A request that
+// cannot take a slot within queueTimeout (or before its own deadline) is
+// rejected up front with 429, so overload degrades into fast, explicit
+// rejections instead of unbounded latency — the closed-loop load generator
+// measures exactly this knee.
+type admission struct {
+	slots        chan struct{}
+	queueTimeout time.Duration
+	inflight     *obs.Gauge
+	rejected     *obs.Counter
+}
+
+func newAdmission(maxInflight int, queueTimeout time.Duration, reg *obs.Registry) *admission {
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	if queueTimeout <= 0 {
+		queueTimeout = 100 * time.Millisecond
+	}
+	if reg != nil {
+		reg.Help(metricInflight, "requests currently inside handlers")
+		reg.Help(metricAdmissionDrops, "requests rejected by admission control")
+	}
+	return &admission{
+		slots:        make(chan struct{}, maxInflight),
+		queueTimeout: queueTimeout,
+		inflight:     reg.Gauge(metricInflight),
+		rejected:     reg.Counter(metricAdmissionDrops),
+	}
+}
+
+// enter takes an admission slot, waiting at most queueTimeout. It returns
+// false when the request should be rejected (queue full past the timeout,
+// or the caller's context expired while queued).
+func (a *admission) enter(ctx context.Context) bool {
+	select {
+	case a.slots <- struct{}{}: // fast path: free slot
+		a.inflight.Add(1)
+		return true
+	default:
+	}
+	timer := time.NewTimer(a.queueTimeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return true
+	case <-timer.C:
+		a.rejected.Inc()
+		return false
+	case <-ctx.Done():
+		a.rejected.Inc()
+		return false
+	}
+}
+
+// leave releases the slot taken by enter.
+func (a *admission) leave() {
+	<-a.slots
+	a.inflight.Add(-1)
+}

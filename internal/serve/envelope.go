@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The /v1/ endpoints answer every request with one JSON envelope:
+//
+//	200: {"data": <endpoint-specific object>}
+//	4xx/5xx: {"error": {"code": "<typed code>", "message": "<human text>"}}
+//
+// The typed codes below are the machine-readable contract; messages are
+// free-form and may change.
+const (
+	// CodeBadQuery: malformed or out-of-range query parameters or body.
+	CodeBadQuery = "bad_query"
+	// CodeNotFound: unknown endpoint or wrong method.
+	CodeNotFound = "not_found"
+	// CodeNoModel: /v1/infer without a -model loaded.
+	CodeNoModel = "no_model"
+	// CodeAdmissionRejected: admission control shed the request (too many
+	// in flight; the queue wait exceeded the configured timeout).
+	CodeAdmissionRejected = "admission_rejected"
+	// CodeIngestOverflow: the ingest backlog is full; retry after the next
+	// refresh.
+	CodeIngestOverflow = "ingest_overflow"
+	// CodeDeadlineExceeded: the request deadline elapsed mid-query.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeEpochRetiring: the epoch resolved for this request drained before
+	// the query could pin it (transient; retry hits the new epoch).
+	CodeEpochRetiring = "epoch_retiring"
+	// CodeInternal: handler panic or other server-side failure.
+	CodeInternal = "internal"
+)
+
+// apiError is an error with a typed envelope code and an HTTP status.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.code + ": " + e.msg }
+
+func badQuery(format string, args ...any) *apiError {
+	return &apiError{http.StatusBadRequest, CodeBadQuery, fmt.Sprintf(format, args...)}
+}
+
+// toAPIError normalizes any handler error into an apiError, mapping
+// context expiry onto the deadline_exceeded code.
+func toAPIError(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return &apiError{http.StatusGatewayTimeout, CodeDeadlineExceeded, err.Error()}
+	}
+	if errors.Is(err, ErrOverloaded) {
+		return &apiError{http.StatusTooManyRequests, CodeIngestOverflow, err.Error()}
+	}
+	return &apiError{http.StatusInternalServerError, CodeInternal, err.Error()}
+}
+
+type envelope struct {
+	Data  any            `json:"data,omitempty"`
+	Error *envelopeError `json:"error,omitempty"`
+}
+
+type envelopeError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeEnvelope marshals the envelope and writes it with the given status,
+// returning the body size in bytes for the response-size histogram.
+func writeEnvelope(w http.ResponseWriter, status int, env envelope) int {
+	body, err := json.Marshal(env)
+	if err != nil {
+		// Data contained something unmarshalable — a server bug.
+		status = http.StatusInternalServerError
+		body, _ = json.Marshal(envelope{Error: &envelopeError{CodeInternal, err.Error()}})
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+	return len(body)
+}

@@ -1,0 +1,298 @@
+// Package serve is the online serving layer over the wait-free primitives:
+// an epoch manager that keeps an immutable frozen snapshot published for an
+// unbounded population of concurrent readers while a background builder
+// ingests new rows, plus the HTTP surface (versioned JSON envelope,
+// admission control, per-endpoint metrics) that bnserve mounts.
+//
+// The layering mirrors the paper's contract. Writes are serialized into the
+// incremental Builder (whose internal two-stage protocol is the wait-free
+// part); reads never take a lock: they resolve the current epoch through an
+// atomic pointer, pin it with a wait-free refcount (core.Snapshot), and
+// scan the frozen columnar table, which is immutable by construction. An
+// epoch swap is one atomic pointer store; retired epochs are reclaimed the
+// moment their last in-flight reader finishes.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/obs"
+)
+
+// Metric names published by the serving layer.
+const (
+	metricEpoch          = "serve_epoch"
+	metricEpochKeys      = "serve_epoch_keys"
+	metricEpochSamples   = "serve_epoch_samples"
+	metricEpochRefs      = "serve_epoch_refs"
+	metricPublished      = "serve_epochs_published_total"
+	metricRetired        = "serve_epochs_retired_total"
+	metricIngested       = "serve_ingest_rows_total"
+	metricPending        = "serve_pending_rows"
+	metricRefreshHist    = "serve_refresh_seconds"
+	metricRequests       = "serve_requests_total"
+	metricRequestHist    = "serve_request_seconds"
+	metricResponseSizes  = "serve_response_bytes"
+	metricInflight       = "serve_inflight"
+	metricAdmissionDrops = "serve_admission_rejected_total"
+)
+
+// ErrOverloaded is returned by Ingest when accepting the rows would exceed
+// the configured pending-row budget; the caller should back off and retry
+// after the next refresh drains the backlog.
+var ErrOverloaded = fmt.Errorf("serve: ingest backlog full")
+
+// ManagerConfig parameterizes the epoch manager. The zero value of every
+// field selects a sensible default.
+type ManagerConfig struct {
+	// Build configures the background incremental builder (workers,
+	// partitioning, queues). Build.Obs also instruments the manager.
+	Build core.Options
+	// FreezeP is the worker count for the freeze step of each refresh.
+	// 0 = the builder's P.
+	FreezeP int
+	// IngestBatch is the block size rows are fed to the builder in, and the
+	// builder's ring-capacity hint. 0 = 8192.
+	IngestBatch int
+	// MaxPending bounds the rows buffered between refreshes; Ingest fails
+	// with ErrOverloaded past it. 0 = 1<<20.
+	MaxPending int
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 8192
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1 << 20
+	}
+	return c
+}
+
+// Manager owns the build → freeze → publish → retire epoch cycle. Readers
+// call Acquire/Release around each query; a single background goroutine
+// (Run) or explicit Refresh calls advance epochs. Ingest may be called from
+// any goroutine.
+type Manager struct {
+	codec *encoding.Codec
+	cfg   ManagerConfig
+	reg   *obs.Registry
+
+	// mu serializes all builder access (the Builder is single-goroutine by
+	// contract) and guards the pending backlog. Readers never take it.
+	mu      sync.Mutex
+	builder *core.Builder
+	pending [][][]uint8 // accepted ingest batches, in arrival order
+	backlog int         // total rows across pending
+
+	cur  atomic.Pointer[core.Snapshot]
+	wake chan struct{}
+
+	published *obs.Counter
+	retired   *obs.Counter
+	ingested  *obs.Counter
+	pendingG  *obs.Gauge
+	epochG    *obs.Gauge
+	keysG     *obs.Gauge
+	samplesG  *obs.Gauge
+	refreshH  *obs.Histogram
+}
+
+// NewManager builds the empty epoch-0 snapshot and publishes it, so readers
+// never observe a nil epoch. The registry in cfg.Build.Obs (may be nil)
+// receives the epoch gauges and refresh histogram.
+func NewManager(ctx context.Context, codec *encoding.Codec, cfg ManagerConfig) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	reg := cfg.Build.Obs
+	m := &Manager{
+		codec:     codec,
+		cfg:       cfg,
+		reg:       reg,
+		builder:   core.NewBuilder(codec, cfg.IngestBatch, cfg.Build),
+		wake:      make(chan struct{}, 1),
+		published: reg.Counter(metricPublished),
+		retired:   reg.Counter(metricRetired),
+		ingested:  reg.Counter(metricIngested),
+		pendingG:  reg.Gauge(metricPending),
+		epochG:    reg.Gauge(metricEpoch),
+		keysG:     reg.Gauge(metricEpochKeys),
+		samplesG:  reg.Gauge(metricEpochSamples),
+		refreshH:  reg.Histogram(metricRefreshHist),
+	}
+	if reg != nil {
+		reg.Help(metricEpoch, "currently published snapshot epoch")
+		reg.Help(metricPublished, "snapshot epochs published")
+		reg.Help(metricRetired, "retired snapshot epochs fully drained and reclaimed")
+		reg.Help(metricIngested, "rows accepted into the ingest backlog")
+		reg.Help(metricPending, "rows accepted but not yet built into an epoch")
+		reg.Help(metricRefreshHist, "duration of build+freeze+publish refresh cycles")
+	}
+	pt, _, err := m.builder.SnapshotCtx(ctx, cfg.FreezeP)
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
+	}
+	m.publish(pt)
+	return m, nil
+}
+
+// publish swaps in pt as the next epoch and retires the previous snapshot.
+// Caller must hold m.mu (or be the constructor).
+func (m *Manager) publish(pt *core.PotentialTable) {
+	var epoch uint64
+	if old := m.cur.Load(); old != nil {
+		epoch = old.Epoch() + 1
+	}
+	next := core.NewSnapshot(epoch, pt, func() { m.retired.Inc() })
+	old := m.cur.Swap(next)
+	m.published.Inc()
+	m.epochG.Set(float64(epoch))
+	m.keysG.Set(float64(pt.Len()))
+	m.samplesG.Set(float64(pt.NumSamples()))
+	if old != nil {
+		old.Retire()
+	}
+}
+
+// Acquire pins and returns the current snapshot; the caller must Release it
+// when done. The loop handles the benign race where the loaded snapshot
+// drains between the pointer load and the refcount increment (possible only
+// across an epoch swap), by re-resolving the new current epoch.
+func (m *Manager) Acquire() *core.Snapshot {
+	for {
+		if s := m.cur.Load(); s.Acquire() {
+			return s
+		}
+	}
+}
+
+// Epoch returns the currently published epoch number without pinning it.
+func (m *Manager) Epoch() uint64 { return m.cur.Load().Epoch() }
+
+// Refs returns the current snapshot's reference count (monitoring only).
+func (m *Manager) Refs() int64 { return m.cur.Load().Refs() }
+
+// Pending returns the rows accepted but not yet built into an epoch.
+func (m *Manager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.backlog
+}
+
+// validateRows checks arity and state ranges up front, so a malformed row
+// surfaces as a client error instead of corrupting the builder's encode.
+func (m *Manager) validateRows(rows [][]uint8) error {
+	n := m.codec.NumVars()
+	for i, row := range rows {
+		if len(row) != n {
+			return fmt.Errorf("row %d has %d values, want %d", i, len(row), n)
+		}
+		for v, s := range row {
+			if int(s) >= m.codec.Cardinality(v) {
+				return fmt.Errorf("row %d: variable %d state %d out of range [0,%d)",
+					i, v, s, m.codec.Cardinality(v))
+			}
+		}
+	}
+	return nil
+}
+
+// Ingest accepts rows into the backlog for the next epoch, all-or-nothing:
+// on a validation error or a full backlog (ErrOverloaded) no row is kept.
+// The next Run cycle (or an explicit Refresh) builds them. Safe for
+// concurrent use.
+func (m *Manager) Ingest(rows [][]uint8) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := m.validateRows(rows); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	m.mu.Lock()
+	if m.backlog+len(rows) > m.cfg.MaxPending {
+		m.mu.Unlock()
+		return ErrOverloaded
+	}
+	m.pending = append(m.pending, rows)
+	m.backlog += len(rows)
+	m.pendingG.Set(float64(m.backlog))
+	m.mu.Unlock()
+	m.ingested.Add(uint64(len(rows)))
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Refresh drains the backlog into the builder and publishes a fresh epoch:
+// build → freeze (into a detached columnar snapshot) → atomic publish →
+// retire the old epoch (reclaimed once its in-flight readers drain).
+// Returns whether a new epoch was published — with an empty backlog the
+// current epoch already reflects all ingested rows, so the swap is skipped.
+// Safe for concurrent use; in-flight queries are never blocked by it.
+func (m *Manager) Refresh(ctx context.Context) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.backlog == 0 {
+		return false, nil
+	}
+	start := time.Now()
+	for _, block := range m.pending {
+		if err := m.builder.AddBlockCtx(ctx, block); err != nil {
+			// The builder is poisoned; keep the last good epoch published
+			// and surface the error to the refresh loop.
+			return false, fmt.Errorf("serve: refresh build: %w", err)
+		}
+	}
+	m.pending = m.pending[:0]
+	m.backlog = 0
+	m.pendingG.Set(0)
+	pt, _, err := m.builder.SnapshotCtx(ctx, m.cfg.FreezeP)
+	if err != nil {
+		return false, fmt.Errorf("serve: refresh freeze: %w", err)
+	}
+	m.publish(pt)
+	m.refreshH.Observe(time.Since(start))
+	return true, nil
+}
+
+// Run is the background refresh loop: it wakes on every ingest and at every
+// interval tick, and publishes a new epoch whenever rows are pending. It
+// returns when ctx is cancelled (with nil) or when a refresh fails
+// permanently (builder poisoned).
+func (m *Manager) Run(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-m.wake:
+		case <-ticker.C:
+		}
+		if _, err := m.Refresh(ctx); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// Close retires the currently published epoch. Call only after Run has
+// returned and no new queries can start; in-flight readers still finish
+// (the snapshot drains when the last of them releases).
+func (m *Manager) Close() {
+	if s := m.cur.Load(); s != nil {
+		s.Retire()
+	}
+}

@@ -1,0 +1,518 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"waitfreebn/internal/bn"
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/obs"
+	"waitfreebn/internal/stats"
+)
+
+func mustCodec(t *testing.T, card []int) *encoding.Codec {
+	t.Helper()
+	codec, err := encoding.NewCodec(card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return codec
+}
+
+// newTestServer builds a server (no background Run loop; tests drive
+// Refresh explicitly) preloaded with rows.
+func newTestServer(t *testing.T, card []int, rows [][]uint8, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{Codec: mustCodec(t, card), Build: core.Options{P: 2}}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewServer(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Manager().Close)
+	if len(rows) > 0 {
+		if err := s.Manager().Ingest(rows); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Manager().Refresh(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// batchTable builds the batch reference table for the same rows via the
+// incremental builder's Finalize path (the batch CLI's code path).
+func batchTable(t *testing.T, card []int, rows [][]uint8) *core.PotentialTable {
+	t.Helper()
+	b := core.NewBuilder(mustCodec(t, card), 0, core.Options{P: 2})
+	if err := b.AddBlockCtx(context.Background(), rows); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := b.Finalize()
+	return pt
+}
+
+// doReq runs one request through the full handler stack and returns the
+// recorder plus the decoded envelope.
+func doReq(t *testing.T, s *Server, method, target, body string) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") &&
+		!strings.HasPrefix(target, "/metrics") {
+		t.Fatalf("%s %s: Content-Type = %q", method, target, ct)
+	}
+	env := map[string]json.RawMessage{}
+	if strings.HasPrefix(target, "/v1/") || w.Code == http.StatusNotFound {
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%s %s: undecodable envelope %q: %v", method, target, w.Body.String(), err)
+		}
+	}
+	return w, env
+}
+
+func errorCode(t *testing.T, env map[string]json.RawMessage) string {
+	t.Helper()
+	var e envelopeError
+	if err := json.Unmarshal(env["error"], &e); err != nil {
+		t.Fatalf("no error object in envelope: %v", err)
+	}
+	return e.Code
+}
+
+var testRows = [][]uint8{
+	{0, 0, 0}, {1, 2, 1}, {0, 1, 0}, {1, 2, 1}, {0, 0, 1}, {1, 1, 1},
+}
+
+func TestMarginalGoldenJSON(t *testing.T) {
+	s := newTestServer(t, []int{2, 3, 2}, testRows, nil)
+	w, _ := doReq(t, s, "GET", "/v1/marginal?vars=0", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	const golden = `{"data":{"epoch":1,"m":6,"vars":[0],"card":[2],"counts":[3,3],"probs":[0.5,0.5]}}` + "\n"
+	if got := w.Body.String(); got != golden {
+		t.Fatalf("golden mismatch:\n got  %s want %s", got, golden)
+	}
+}
+
+func TestMarginalMatchesBatchBitIdentical(t *testing.T) {
+	s := newTestServer(t, []int{2, 3, 2}, testRows, nil)
+	batch := batchTable(t, []int{2, 3, 2}, testRows)
+	want, err := batch.MarginalizeCtx(context.Background(), []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, env := doReq(t, s, "GET", "/v1/marginal?vars=1,2", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	var resp marginalResponse
+	if err := json.Unmarshal(env["data"], &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.M != want.M || len(resp.Counts) != len(want.Counts) {
+		t.Fatalf("m/cells = %d/%d, want %d/%d", resp.M, len(resp.Counts), want.M, len(want.Counts))
+	}
+	for i := range want.Counts {
+		if resp.Counts[i] != want.Counts[i] {
+			t.Fatalf("counts[%d] = %d, want %d (batch)", i, resp.Counts[i], want.Counts[i])
+		}
+		if want := float64(want.Counts[i]) / float64(want.M); resp.Probs[i] != want {
+			t.Fatalf("probs[%d] = %v, want %v bitwise", i, resp.Probs[i], want)
+		}
+	}
+}
+
+func TestConditionalMarginal(t *testing.T) {
+	s := newTestServer(t, []int{2, 3, 2}, testRows, nil)
+	w, env := doReq(t, s, "GET", "/v1/marginal?vars=1&given=0=1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	var resp marginalResponse
+	if err := json.Unmarshal(env["data"], &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Rows with var0==1: {1,2,1},{1,2,1},{1,1,1} → var1 counts 0,1,2.
+	wantCounts := []uint64{0, 1, 2}
+	for i, c := range wantCounts {
+		if resp.Counts[i] != c {
+			t.Fatalf("counts = %v, want %v", resp.Counts, wantCounts)
+		}
+	}
+	var sum float64
+	for _, p := range resp.Probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("conditional probs sum to %v, want 1", sum)
+	}
+	if resp.Given["0"] != 1 {
+		t.Fatalf("given echo = %v", resp.Given)
+	}
+}
+
+func TestMIMatchesBatchBitIdentical(t *testing.T) {
+	s := newTestServer(t, []int{2, 3, 2}, testRows, nil)
+	batch := batchTable(t, []int{2, 3, 2}, testRows)
+	joint, err := batch.MarginalizePairCtx(context.Background(), 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMI := stats.MutualInfoCounts(joint.Counts, joint.Card[0], joint.Card[1])
+	wantG := stats.GStatistic(joint.Counts, joint.Card[0], joint.Card[1])
+
+	w, env := doReq(t, s, "GET", "/v1/mi?i=0&j=1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	var resp miResponse
+	if err := json.Unmarshal(env["data"], &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.MIBits != wantMI || resp.G != wantG {
+		t.Fatalf("mi/g = %v/%v, want bitwise %v/%v", resp.MIBits, resp.G, wantMI, wantG)
+	}
+	for i := range joint.Counts {
+		if resp.Counts[i] != joint.Counts[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, resp.Counts[i], joint.Counts[i])
+		}
+	}
+}
+
+func TestErrorEnvelopes(t *testing.T) {
+	s := newTestServer(t, []int{2, 3, 2}, testRows, nil)
+	cases := []struct {
+		name, method, target, body string
+		status                     int
+		code                       string
+	}{
+		{"missing vars", "GET", "/v1/marginal", "", 400, CodeBadQuery},
+		{"non-integer var", "GET", "/v1/marginal?vars=x", "", 400, CodeBadQuery},
+		{"var out of range", "GET", "/v1/marginal?vars=9", "", 400, CodeBadQuery},
+		{"duplicate var", "GET", "/v1/marginal?vars=1,1", "", 400, CodeBadQuery},
+		{"bad given syntax", "GET", "/v1/marginal?vars=0&given=1", "", 400, CodeBadQuery},
+		{"given state range", "GET", "/v1/marginal?vars=0&given=1=9", "", 400, CodeBadQuery},
+		{"vars given clash", "GET", "/v1/marginal?vars=0&given=0=1", "", 400, CodeBadQuery},
+		{"mi same var", "GET", "/v1/mi?i=1&j=1", "", 400, CodeBadQuery},
+		{"mi out of range", "GET", "/v1/mi?i=0&j=7", "", 400, CodeBadQuery},
+		{"infer without model", "GET", "/v1/infer?query=0", "", 404, CodeNoModel},
+		{"ingest bad body", "POST", "/v1/ingest", "{", 400, CodeBadQuery},
+		{"ingest empty", "POST", "/v1/ingest", `{"rows":[]}`, 400, CodeBadQuery},
+		{"ingest bad arity", "POST", "/v1/ingest", `{"rows":[[0,0]]}`, 400, CodeBadQuery},
+		{"ingest bad state", "POST", "/v1/ingest", `{"rows":[[0,9,0]]}`, 400, CodeBadQuery},
+		{"unknown endpoint", "GET", "/v1/nope", "", 404, CodeNotFound},
+		{"wrong method", "GET", "/v1/ingest", "", 404, CodeNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, env := doReq(t, s, tc.method, tc.target, tc.body)
+			if w.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", w.Code, tc.status, w.Body.String())
+			}
+			if got := errorCode(t, env); got != tc.code {
+				t.Fatalf("code = %q, want %q", got, tc.code)
+			}
+			if _, hasData := env["data"]; hasData {
+				t.Fatal("error envelope also carries data")
+			}
+		})
+	}
+}
+
+func TestInferEndpoint(t *testing.T) {
+	// rain -> sprinkler-ish 2-node chain with known posterior.
+	net := bn.NewNetwork("tiny", []int{2, 2})
+	net.MustAddEdge(0, 1)
+	net.MustSetCPT(0, [][]float64{{0.6, 0.4}})
+	net.MustSetCPT(1, [][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	s := newTestServer(t, []int{2, 2}, nil, func(c *Config) { c.Model = net })
+
+	w, env := doReq(t, s, "GET", "/v1/infer?query=0&evidence=1=1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	var resp inferResponse
+	if err := json.Unmarshal(env["data"], &resp); err != nil {
+		t.Fatal(err)
+	}
+	// P(r=1|s=1) = .4*.8 / (.4*.8 + .6*.1) = 32/38.
+	want := 0.32 / 0.38
+	if math.Abs(resp.Probs[1]-want) > 1e-12 {
+		t.Fatalf("posterior = %v, want %v", resp.Probs[1], want)
+	}
+	if resp.Engine != "ve" {
+		t.Fatalf("engine = %q", resp.Engine)
+	}
+
+	_, env = doReq(t, s, "GET", "/v1/infer?query=0&evidence=1=1&engine=jtree", "")
+	var jresp inferResponse
+	if err := json.Unmarshal(env["data"], &jresp); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(jresp.Probs[1]-resp.Probs[1]) > 1e-9 {
+		t.Fatalf("jtree %v vs ve %v disagree", jresp.Probs, resp.Probs)
+	}
+}
+
+func TestIngestAndEpochAdvance(t *testing.T) {
+	s := newTestServer(t, []int{2, 3, 2}, testRows, nil)
+	w, env := doReq(t, s, "POST", "/v1/ingest", `{"rows":[[0,2,0],[1,0,1]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	var ack ingestResponse
+	if err := json.Unmarshal(env["data"], &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 2 || ack.Pending != 2 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if _, err := s.Manager().Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, env = doReq(t, s, "GET", "/v1/epoch", "")
+	var ep epochResponse
+	if err := json.Unmarshal(env["data"], &ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Epoch != 2 || ep.M != 8 || ep.Pending != 0 {
+		t.Fatalf("epoch = %+v, want epoch 2 with 8 samples", ep)
+	}
+}
+
+func TestIngestOverflow(t *testing.T) {
+	s := newTestServer(t, []int{2, 3, 2}, nil, func(c *Config) { c.MaxPending = 3 })
+	w, env := doReq(t, s, "POST", "/v1/ingest", `{"rows":[[0,0,0],[0,0,0],[0,0,0],[0,0,0]]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	if got := errorCode(t, env); got != CodeIngestOverflow {
+		t.Fatalf("code = %q, want %q", got, CodeIngestOverflow)
+	}
+	if s.Manager().Pending() != 0 {
+		t.Fatal("overflowing ingest left partial rows behind")
+	}
+}
+
+func TestAdmissionRejection(t *testing.T) {
+	s := newTestServer(t, []int{2, 3, 2}, testRows, func(c *Config) {
+		c.MaxInflight = 1
+		c.QueueTimeout = 5 * time.Millisecond
+	})
+	// Occupy the single slot from outside the handler stack.
+	s.adm.slots <- struct{}{}
+	defer func() { <-s.adm.slots }()
+	w, env := doReq(t, s, "GET", "/v1/marginal?vars=0", "")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	if got := errorCode(t, env); got != CodeAdmissionRejected {
+		t.Fatalf("code = %q, want %q", got, CodeAdmissionRejected)
+	}
+}
+
+func TestMetricsEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, []int{2, 3, 2}, testRows, func(c *Config) { c.Build.Obs = reg })
+	doReq(t, s, "GET", "/v1/marginal?vars=0", "")
+	doReq(t, s, "GET", "/v1/mi?i=0&j=1", "")
+	doReq(t, s, "GET", "/v1/marginal?vars=9", "")
+
+	w, _ := doReq(t, s, "GET", "/metrics", "")
+	body := w.Body.String()
+	for _, want := range []string{
+		`serve_requests_total{endpoint="marginal",code="ok"} 1`,
+		`serve_requests_total{endpoint="mi",code="ok"} 1`,
+		`serve_requests_total{endpoint="marginal",code="bad_query"} 1`,
+		`serve_epoch 1`,
+		"serve_request_seconds_bucket",
+		"serve_response_bytes_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	w, _ = doReq(t, s, "GET", "/metrics.json", "")
+	var snap obs.Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+}
+
+// TestEpochSwapRaceBitIdentity hammers the query surface while the epoch
+// manager continuously ingests and republishes. Run under -race. It asserts
+// that every observed marginal is internally consistent with an ingest
+// prefix, that retired snapshots are never read after their last release
+// (core.Snapshot's Table() tripwire panics on any violation), and that the
+// final epoch is bit-identical to a batch build over all accepted rows.
+func TestEpochSwapRaceBitIdentity(t *testing.T) {
+	card := []int{2, 3, 2}
+	reg := obs.NewRegistry()
+	s := newTestServer(t, card, nil, func(c *Config) { c.Build.Obs = reg })
+	mgr := s.Manager()
+
+	const (
+		readers   = 4
+		batches   = 60
+		batchRows = 25
+	)
+	var (
+		mu      sync.Mutex
+		allRows [][]uint8
+		okM     = map[uint64]bool{0: true} // cumulative sample counts an epoch may expose
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+
+	// Refresher: republish as fast as rows arrive.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			if _, err := mgr.Refresh(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Readers: full-marginal and MI queries against whatever epoch is live.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for ctx.Err() == nil {
+				var target string
+				if rng.Intn(2) == 0 {
+					target = fmt.Sprintf("/v1/marginal?vars=%d", rng.Intn(3))
+				} else {
+					target = "/v1/mi?i=0&j=2"
+				}
+				req := httptest.NewRequest("GET", target, nil)
+				w := httptest.NewRecorder()
+				s.Handler().ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					t.Errorf("%s: status %d body %s", target, w.Code, w.Body.String())
+					return
+				}
+				var env struct {
+					Data marginalResponse `json:"data"`
+				}
+				if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+					t.Error(err)
+					return
+				}
+				if strings.HasPrefix(target, "/v1/marginal") {
+					var sum uint64
+					for _, c := range env.Data.Counts {
+						sum += c
+					}
+					if sum != env.Data.M {
+						t.Errorf("%s: counts sum %d != m %d", target, sum, env.Data.M)
+						return
+					}
+				}
+				mu.Lock()
+				valid := okM[env.Data.M]
+				mu.Unlock()
+				if !valid {
+					t.Errorf("%s: m = %d is not an ingested prefix", target, env.Data.M)
+					return
+				}
+			}
+		}(int64(r))
+	}
+
+	// Writer: batches of random rows; every accepted batch is recorded
+	// before Ingest returns, so any published m is a known prefix.
+	rng := rand.New(rand.NewSource(99))
+	for b := 0; b < batches; b++ {
+		rows := make([][]uint8, batchRows)
+		for i := range rows {
+			rows[i] = []uint8{uint8(rng.Intn(2)), uint8(rng.Intn(3)), uint8(rng.Intn(2))}
+		}
+		mu.Lock()
+		allRows = append(allRows, rows...)
+		okM[uint64(len(allRows))] = true
+		mu.Unlock()
+		if err := mgr.Ingest(rows); err != nil {
+			t.Fatal(err)
+		}
+		if b%8 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Drain, then verify the final epoch bit-identically against a batch
+	// build over everything (still under reader fire).
+	for mgr.Pending() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	batch := batchTable(t, card, allRows)
+	snap := mgr.Acquire()
+	for snap.Table().NumSamples() != uint64(len(allRows)) {
+		snap.Release()
+		time.Sleep(time.Millisecond)
+		snap = mgr.Acquire()
+	}
+	for _, vars := range [][]int{{0}, {1}, {2}, {0, 1}, {1, 2}, {0, 1, 2}} {
+		want, err := batch.MarginalizeCtx(context.Background(), vars, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := snap.Table().MarginalizeCtx(context.Background(), vars, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("vars %v counts[%d]: served %d, batch %d", vars, i, got.Counts[i], want.Counts[i])
+			}
+		}
+	}
+	wantJ, _ := batch.MarginalizePairCtx(context.Background(), 0, 2, 2)
+	gotJ, _ := snap.Table().MarginalizePairCtx(context.Background(), 0, 2, 2)
+	if w, g := stats.MutualInfoCounts(wantJ.Counts, 2, 2), stats.MutualInfoCounts(gotJ.Counts, 2, 2); w != g {
+		t.Fatalf("served MI %v != batch MI %v bitwise", g, w)
+	}
+	snap.Release()
+
+	cancel()
+	wg.Wait()
+
+	// Every superseded epoch must have drained: published == retired + 1
+	// (only the live epoch still holds its publisher reference).
+	published := reg.Counter(metricPublished).Value()
+	retired := reg.Counter(metricRetired).Value()
+	if published != retired+1 {
+		t.Fatalf("published %d epochs but %d retired; a superseded snapshot leaked", published, retired)
+	}
+	if mgr.Refs() != 1 {
+		t.Fatalf("live epoch refs = %d, want 1 (no reader leaked a reference)", mgr.Refs())
+	}
+}

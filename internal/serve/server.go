@@ -1,0 +1,528 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"waitfreebn/internal/bn"
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/infer"
+	"waitfreebn/internal/obs"
+	"waitfreebn/internal/stats"
+)
+
+// maxIngestBody bounds a single POST /v1/ingest body.
+const maxIngestBody = 16 << 20
+
+// Config parameterizes a Server. Codec is required; everything else has a
+// working default.
+type Config struct {
+	// Codec fixes the variable layout (arity and cardinalities) served.
+	Codec *encoding.Codec
+	// Build configures the background builder; Build.Obs instruments both
+	// the primitives and the serving layer.
+	Build core.Options
+	// Model, when non-nil, enables /v1/infer over the network's CPTs.
+	Model *bn.Network
+	// ReadP is the per-query scan parallelism. Default 1: under concurrent
+	// load, parallelism across requests beats parallelism within one, and
+	// every marginal is bit-identical at any ReadP anyway.
+	ReadP int
+	// MaxInflight bounds concurrently executing requests (default 64);
+	// QueueTimeout bounds how long an excess request queues for a slot
+	// before a 429 (default 100ms).
+	MaxInflight  int
+	QueueTimeout time.Duration
+	// RequestTimeout is the per-request deadline applied to every handler
+	// context (default 2s).
+	RequestTimeout time.Duration
+	// RefreshEvery paces the background epoch loop (default 500ms).
+	RefreshEvery time.Duration
+	// IngestBatch and MaxPending configure the epoch manager's backlog.
+	IngestBatch int
+	MaxPending  int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReadP <= 0 {
+		c.ReadP = 1
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.RefreshEvery <= 0 {
+		c.RefreshEvery = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the bnserve HTTP surface: /v1/ query endpoints over the epoch
+// manager's current snapshot, plus /metrics and /metrics.json.
+type Server struct {
+	cfg Config
+	mgr *Manager
+	adm *admission
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	requests func(endpoint, code string) *obs.Counter
+	latency  func(endpoint string) *obs.Histogram
+	sizes    func(endpoint string) *obs.SizeHistogram
+}
+
+// NewServer builds the epoch manager (publishing the empty epoch 0) and
+// mounts all endpoints. Callers run the refresh loop via Run and serve the
+// handler via Handler.
+func NewServer(ctx context.Context, cfg Config) (*Server, error) {
+	if cfg.Codec == nil {
+		return nil, fmt.Errorf("serve: Config.Codec is required")
+	}
+	cfg = cfg.withDefaults()
+	mgr, err := NewManager(ctx, cfg.Codec, ManagerConfig{
+		Build:       cfg.Build,
+		FreezeP:     cfg.Build.P,
+		IngestBatch: cfg.IngestBatch,
+		MaxPending:  cfg.MaxPending,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Build.Obs
+	if reg != nil {
+		reg.Help(metricRequests, "requests served, by endpoint and envelope code")
+		reg.Help(metricRequestHist, "request latency, by endpoint")
+		reg.Help(metricResponseSizes, "response body size, by endpoint")
+	}
+	s := &Server{
+		cfg: cfg,
+		mgr: mgr,
+		adm: newAdmission(cfg.MaxInflight, cfg.QueueTimeout, reg),
+		reg: reg,
+		mux: http.NewServeMux(),
+		requests: func(endpoint, code string) *obs.Counter {
+			return reg.Counter(metricRequests, "endpoint", endpoint, "code", code)
+		},
+		latency: func(endpoint string) *obs.Histogram {
+			return reg.Histogram(metricRequestHist, "endpoint", endpoint)
+		},
+		sizes: func(endpoint string) *obs.SizeHistogram {
+			return reg.SizeHistogram(metricResponseSizes, "endpoint", endpoint)
+		},
+	}
+	s.mux.Handle("GET /v1/marginal", s.handle("marginal", s.handleMarginal))
+	s.mux.Handle("GET /v1/mi", s.handle("mi", s.handleMI))
+	s.mux.Handle("GET /v1/infer", s.handle("infer", s.handleInfer))
+	s.mux.Handle("POST /v1/ingest", s.handle("ingest", s.handleIngest))
+	s.mux.Handle("GET /v1/epoch", s.handle("epoch", s.handleEpoch))
+	s.mux.Handle("/metrics", reg.Handler())
+	s.mux.Handle("/metrics.json", reg.JSONHandler())
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, http.StatusNotFound, envelope{Error: &envelopeError{
+			CodeNotFound, fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path)}})
+	})
+	return s, nil
+}
+
+// Handler returns the root handler (versioned API + metrics).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Manager exposes the epoch manager (for preloading and tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Run drives the background refresh loop until ctx is cancelled, then
+// retires the published epoch.
+func (s *Server) Run(ctx context.Context) error {
+	err := s.mgr.Run(ctx, s.cfg.RefreshEvery)
+	s.mgr.Close()
+	return err
+}
+
+// handle wraps an endpoint body with the serving pipeline: admission
+// control, the per-request deadline, panic containment, the JSON envelope,
+// and the per-endpoint request/latency/size metrics.
+func (s *Server) handle(endpoint string, fn func(ctx context.Context, r *http.Request) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if !s.adm.enter(r.Context()) {
+			n := writeEnvelope(w, http.StatusTooManyRequests, envelope{Error: &envelopeError{
+				CodeAdmissionRejected, "too many requests in flight; retry"}})
+			s.requests(endpoint, CodeAdmissionRejected).Inc()
+			s.sizes(endpoint).Observe(n)
+			s.latency(endpoint).Observe(time.Since(start))
+			return
+		}
+		defer s.adm.leave()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		var data any
+		var err error
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					err = &apiError{http.StatusInternalServerError, CodeInternal,
+						fmt.Sprintf("panic: %v", rec)}
+				}
+			}()
+			data, err = fn(ctx, r)
+		}()
+
+		var n int
+		code := "ok"
+		if err != nil {
+			ae := toAPIError(err)
+			code = ae.code
+			n = writeEnvelope(w, ae.status, envelope{Error: &envelopeError{ae.code, ae.msg}})
+		} else {
+			n = writeEnvelope(w, http.StatusOK, envelope{Data: data})
+		}
+		s.requests(endpoint, code).Inc()
+		s.sizes(endpoint).Observe(n)
+		s.latency(endpoint).Observe(time.Since(start))
+	})
+}
+
+// parseVars parses a comma-separated variable list, checking range and
+// duplicates against the codec.
+func (s *Server) parseVars(raw, param string) ([]int, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, badQuery("missing required parameter %q", param)
+	}
+	n := s.cfg.Codec.NumVars()
+	seen := make(map[int]bool)
+	var out []int
+	for _, part := range strings.Split(raw, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, badQuery("%s: %q is not an integer", param, part)
+		}
+		if v < 0 || v >= n {
+			return nil, badQuery("%s: variable %d out of range [0,%d)", param, v, n)
+		}
+		if seen[v] {
+			return nil, badQuery("%s: variable %d repeated", param, v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseAssignments parses "v=s,v=s" evidence/conditioning lists.
+func (s *Server) parseAssignments(raw, param string) (map[int]uint8, error) {
+	asg := map[int]uint8{}
+	if strings.TrimSpace(raw) == "" {
+		return asg, nil
+	}
+	n := s.cfg.Codec.NumVars()
+	for _, part := range strings.Split(raw, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, badQuery("%s: %q is not var=state", param, part)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, badQuery("%s: variable %q is not an integer", param, kv[0])
+		}
+		st, err := strconv.Atoi(strings.TrimSpace(kv[1]))
+		if err != nil {
+			return nil, badQuery("%s: state %q is not an integer", param, kv[1])
+		}
+		if v < 0 || v >= n {
+			return nil, badQuery("%s: variable %d out of range [0,%d)", param, v, n)
+		}
+		if _, dup := asg[v]; dup {
+			return nil, badQuery("%s: variable %d repeated", param, v)
+		}
+		if st < 0 || st >= s.cfg.Codec.Cardinality(v) {
+			return nil, badQuery("%s: variable %d state %d out of range [0,%d)",
+				param, v, st, s.cfg.Codec.Cardinality(v))
+		}
+		asg[v] = uint8(st)
+	}
+	return asg, nil
+}
+
+// marginalResponse is the /v1/marginal payload. Counts are the exact joint
+// occurrence counts over Vars (conditioned on Given if present), row-major
+// with the last variable fastest; Probs normalizes by M (unconditional) or
+// by the conditioning slice total (conditional).
+type marginalResponse struct {
+	Epoch  uint64         `json:"epoch"`
+	M      uint64         `json:"m"`
+	Vars   []int          `json:"vars"`
+	Card   []int          `json:"card"`
+	Given  map[string]int `json:"given,omitempty"`
+	Counts []uint64       `json:"counts"`
+	Probs  []float64      `json:"probs"`
+}
+
+// handleMarginal serves GET /v1/marginal?vars=0,1[&given=2=1,3=0]: the
+// (conditional) marginal distribution over vars from the current epoch.
+func (s *Server) handleMarginal(ctx context.Context, r *http.Request) (any, error) {
+	vars, err := s.parseVars(r.URL.Query().Get("vars"), "vars")
+	if err != nil {
+		return nil, err
+	}
+	given, err := s.parseAssignments(r.URL.Query().Get("given"), "given")
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vars {
+		if _, clash := given[v]; clash {
+			return nil, badQuery("variable %d appears in both vars and given", v)
+		}
+	}
+
+	// One scan computes the joint over given ∪ vars, given-variables first
+	// (slowest axes): the conditional slice for one given-assignment is then
+	// a single contiguous block of the row-major count vector.
+	givenVars := make([]int, 0, len(given))
+	for v := range given {
+		givenVars = append(givenVars, v)
+	}
+	sort.Ints(givenVars)
+	order := append(append([]int{}, givenVars...), vars...)
+
+	snap := s.mgr.Acquire()
+	defer snap.Release()
+	mg, err := snap.Table().MarginalizeCtx(ctx, order, s.cfg.ReadP)
+	if err != nil {
+		return nil, err
+	}
+
+	block := 1
+	for _, v := range vars {
+		block *= s.cfg.Codec.Cardinality(v)
+	}
+	offset := 0
+	for _, gv := range givenVars {
+		offset = offset*s.cfg.Codec.Cardinality(gv) + int(given[gv])
+	}
+	counts := mg.Counts[offset*block : (offset+1)*block]
+
+	var total uint64
+	if len(given) == 0 {
+		total = mg.M
+	} else {
+		for _, c := range counts {
+			total += c
+		}
+	}
+	probs := make([]float64, len(counts))
+	if total > 0 {
+		for i, c := range counts {
+			probs[i] = float64(c) / float64(total)
+		}
+	}
+	card := make([]int, len(vars))
+	for i, v := range vars {
+		card[i] = s.cfg.Codec.Cardinality(v)
+	}
+	resp := marginalResponse{
+		Epoch:  snap.Epoch(),
+		M:      mg.M,
+		Vars:   vars,
+		Card:   card,
+		Counts: append([]uint64{}, counts...),
+		Probs:  probs,
+	}
+	if len(given) > 0 {
+		resp.Given = make(map[string]int, len(given))
+		for v, st := range given {
+			resp.Given[strconv.Itoa(v)] = int(st)
+		}
+	}
+	return resp, nil
+}
+
+// miResponse is the /v1/mi payload: the pairwise joint counts plus the
+// mutual information (bits) and G statistic derived from them.
+type miResponse struct {
+	Epoch  uint64   `json:"epoch"`
+	M      uint64   `json:"m"`
+	I      int      `json:"i"`
+	J      int      `json:"j"`
+	Ri     int      `json:"ri"`
+	Rj     int      `json:"rj"`
+	Counts []uint64 `json:"counts"`
+	MIBits float64  `json:"mi_bits"`
+	G      float64  `json:"g"`
+}
+
+// handleMI serves GET /v1/mi?i=0&j=3: pairwise mutual information from the
+// current epoch, bit-identical to the batch all-pairs sweep (both reduce
+// the same exact integer joint counts).
+func (s *Server) handleMI(ctx context.Context, r *http.Request) (any, error) {
+	q := r.URL.Query()
+	i, err := strconv.Atoi(q.Get("i"))
+	if err != nil {
+		return nil, badQuery("i: %q is not an integer", q.Get("i"))
+	}
+	j, err := strconv.Atoi(q.Get("j"))
+	if err != nil {
+		return nil, badQuery("j: %q is not an integer", q.Get("j"))
+	}
+	n := s.cfg.Codec.NumVars()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return nil, badQuery("variable pair (%d,%d) out of range [0,%d)", i, j, n)
+	}
+	if i == j {
+		return nil, badQuery("i and j must differ")
+	}
+
+	snap := s.mgr.Acquire()
+	defer snap.Release()
+	joint, err := snap.Table().MarginalizePairCtx(ctx, i, j, s.cfg.ReadP)
+	if err != nil {
+		return nil, err
+	}
+	ri, rj := joint.Card[0], joint.Card[1]
+	return miResponse{
+		Epoch:  snap.Epoch(),
+		M:      joint.M,
+		I:      i,
+		J:      j,
+		Ri:     ri,
+		Rj:     rj,
+		Counts: joint.Counts,
+		MIBits: stats.MutualInfoCounts(joint.Counts, ri, rj),
+		G:      stats.GStatistic(joint.Counts, ri, rj),
+	}, nil
+}
+
+// inferResponse is the /v1/infer payload: the posterior over the query
+// variable given the evidence, from the loaded model's CPTs.
+type inferResponse struct {
+	Query    int            `json:"query"`
+	Evidence map[string]int `json:"evidence,omitempty"`
+	Engine   string         `json:"engine"`
+	Probs    []float64      `json:"probs"`
+}
+
+// handleInfer serves GET /v1/infer?query=3[&evidence=1=0,2=1][&engine=ve].
+// It requires a model (bnserve -model); engines: ve (variable elimination,
+// default) or jtree (junction tree).
+func (s *Server) handleInfer(ctx context.Context, r *http.Request) (any, error) {
+	net := s.cfg.Model
+	if net == nil {
+		return nil, &apiError{http.StatusNotFound, CodeNoModel,
+			"no model loaded; start bnserve with -model"}
+	}
+	q := r.URL.Query()
+	v, err := strconv.Atoi(q.Get("query"))
+	if err != nil {
+		return nil, badQuery("query: %q is not an integer", q.Get("query"))
+	}
+	if v < 0 || v >= net.NumVars() {
+		return nil, badQuery("query: variable %d out of range [0,%d)", v, net.NumVars())
+	}
+	evidence, err := s.parseAssignments(q.Get("evidence"), "evidence")
+	if err != nil {
+		return nil, err
+	}
+	if _, clash := evidence[v]; clash {
+		return nil, badQuery("query variable %d is also evidence", v)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	engine := q.Get("engine")
+	var probs []float64
+	switch engine {
+	case "", "ve":
+		engine = "ve"
+		probs, err = infer.QueryMarginal(net, v, evidence)
+	case "jtree":
+		var jt *infer.JunctionTree
+		jt, err = infer.NewJunctionTree(net)
+		if err == nil {
+			err = jt.Calibrate(evidence)
+		}
+		if err == nil {
+			probs, err = jt.Marginal(v)
+		}
+	default:
+		return nil, badQuery("engine: %q (want ve|jtree)", engine)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: inference: %w", err)
+	}
+	resp := inferResponse{Query: v, Engine: engine, Probs: probs}
+	if len(evidence) > 0 {
+		resp.Evidence = make(map[string]int, len(evidence))
+		for ev, st := range evidence {
+			resp.Evidence[strconv.Itoa(ev)] = int(st)
+		}
+	}
+	return resp, nil
+}
+
+// ingestRequest is the POST /v1/ingest body.
+type ingestRequest struct {
+	Rows [][]uint8 `json:"rows"`
+}
+
+// ingestResponse acknowledges accepted rows and reports the backlog.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Pending  int    `json:"pending"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+// handleIngest serves POST /v1/ingest with {"rows": [[s0, s1, ...], ...]}:
+// rows are accepted all-or-nothing into the backlog and appear in a
+// subsequent epoch.
+func (s *Server) handleIngest(_ context.Context, r *http.Request) (any, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxIngestBody))
+	var req ingestRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badQuery("body: %v", err)
+	}
+	if len(req.Rows) == 0 {
+		return nil, badQuery("body: no rows")
+	}
+	if err := s.mgr.Ingest(req.Rows); err != nil {
+		if err == ErrOverloaded {
+			return nil, err
+		}
+		return nil, badQuery("%v", err)
+	}
+	return ingestResponse{
+		Accepted: len(req.Rows),
+		Pending:  s.mgr.Pending(),
+		Epoch:    s.mgr.Epoch(),
+	}, nil
+}
+
+// epochResponse is the /v1/epoch payload: the published epoch and its
+// vital signs.
+type epochResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	M       uint64 `json:"m"`
+	Keys    int    `json:"keys"`
+	Refs    int64  `json:"refs"`
+	Pending int    `json:"pending"`
+}
+
+// handleEpoch serves GET /v1/epoch.
+func (s *Server) handleEpoch(_ context.Context, _ *http.Request) (any, error) {
+	snap := s.mgr.Acquire()
+	defer snap.Release()
+	pt := snap.Table()
+	return epochResponse{
+		Epoch:   snap.Epoch(),
+		M:       pt.NumSamples(),
+		Keys:    pt.Len(),
+		Refs:    snap.Refs(),
+		Pending: s.mgr.Pending(),
+	}, nil
+}

@@ -1,6 +1,7 @@
 package structure
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,12 +19,24 @@ import (
 // Edges with MI below minMI are not considered, so disconnected data
 // yields a forest rather than a tree of noise edges. p <= 0 selects
 // GOMAXPROCS.
+//
+// Deprecated: use ChowLiuCtx.
 func ChowLiu(pt *core.PotentialTable, minMI float64, p int) (*graph.Undirected, *core.MIMatrix, error) {
+	return ChowLiuCtx(context.Background(), pt, minMI, p)
+}
+
+// ChowLiuCtx is ChowLiu under the fault-tolerant execution contract: the
+// all-pairs MI sweep observes ctx and cancellation surfaces as
+// context.Canceled (or DeadlineExceeded) in bounded time.
+func ChowLiuCtx(ctx context.Context, pt *core.PotentialTable, minMI float64, p int) (*graph.Undirected, *core.MIMatrix, error) {
 	n := pt.Codec().NumVars()
 	if n < 1 {
 		return nil, nil, fmt.Errorf("structure: empty table")
 	}
-	mi := pt.AllPairsMI(p, core.MIFused)
+	mi, err := pt.AllPairsMICtx(ctx, p, core.MIFused)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	type edge struct {
 		i, j int
