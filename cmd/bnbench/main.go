@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|serve|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
+		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|serve|recover|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
 		m        = flag.Int("m", 1000000, "samples for single-m experiments (paper: 10000000)")
 		mList    = flag.String("mlist", "", "comma-separated m values for fig3 (default m/10, m, m*10 capped)")
 		n        = flag.Int("n", 30, "variables for single-n experiments (paper: 30)")
@@ -61,6 +61,8 @@ func main() {
 		srvCl    = flag.String("clients", "1,4,16", "-exp serve: comma-separated closed-loop client counts")
 		srvWf    = flag.String("wflist", "0,0.1", "-exp serve: comma-separated ingest-write fractions")
 		srvSkew  = flag.String("skewlist", "0,1.2", "-exp serve: comma-separated Zipf skews for query-variable choice (0 = uniform)")
+		ckptList = flag.String("ckptlist", "1,4,16,0", "-exp recover: comma-separated checkpoint-every cadences to sweep (0 = no checkpoints, pure WAL replay)")
+		walFsync = flag.String("wal-fsync", "batch", "-exp recover: WAL fsync policy during the ingest phase (always|batch|never)")
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
@@ -111,6 +113,25 @@ func main() {
 		}
 		if !out.BitIdentical {
 			fatal(fmt.Errorf("serve: final epoch is NOT bit-identical to the batch build"))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *exp == "recover" {
+		everies, err := parseCadences(*ckptList)
+		if err != nil {
+			fatal(fmt.Errorf("bad -ckptlist: %w", err))
+		}
+		out, err := bench.RunRecover(ctx, bench.RecoverParams{
+			M: *m, N: *n, R: *r, Seed: *seed, Fsync: *walFsync, Everies: everies,
+		})
+		if err != nil {
+			fatal(err)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -487,6 +508,23 @@ func parseSchedule(s string) (core.MISchedule, error) {
 	default:
 		return 0, fmt.Errorf("unknown schedule %q", s)
 	}
+}
+
+// parseCadences is parseList but admits 0, which -exp recover uses to mean
+// "checkpoints disabled".
+func parseCadences(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative cadence %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseList(s string) ([]int, error) {

@@ -4,15 +4,25 @@
 // pairwise-MI, and (with -model) inference queries over a versioned JSON
 // API.
 //
+// With -wal-dir the ingest path is durable: every acked batch is in the
+// write-ahead log first (fsync per -fsync policy), each published epoch
+// writes a checkpoint, and a restart replays checkpoint + WAL tail back to
+// the exact pre-crash table before /readyz reports ready. SIGTERM drains:
+// /readyz flips to 503, in-flight requests finish (bounded by
+// -drain-timeout), and the backlog is flushed into a final epoch +
+// checkpoint before exit.
+//
 // Usage:
 //
 //	bnserve -card 2,3,2                                  # empty epoch 0, POST rows in
 //	bnserve -card 2,3,2 -data rows.csv                   # preload a CSV before listening
 //	bnserve -card 2,2 -model model.json                  # also answer /v1/infer
+//	bnserve -card 2,3,2 -wal-dir /var/lib/bnserve -fsync always
 //	curl 'localhost:8080/v1/marginal?vars=0,1&given=2=1'
 //	curl 'localhost:8080/v1/mi?i=0&j=3'
 //	curl -X POST -d '{"rows":[[0,1,0],[1,2,1]]}' localhost:8080/v1/ingest
 //	curl 'localhost:8080/v1/epoch'
+//	curl 'localhost:8080/readyz'
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"waitfreebn/internal/dataset"
 	"waitfreebn/internal/encoding"
 	"waitfreebn/internal/serve"
+	"waitfreebn/internal/wal"
 )
 
 func main() {
@@ -76,7 +87,7 @@ func main() {
 		}
 	}
 
-	srv, err := serve.NewServer(ctx, serve.Config{
+	cfg := serve.Config{
 		Codec:          codec,
 		Build:          opts,
 		Model:          net_,
@@ -87,11 +98,43 @@ func main() {
 		RefreshEvery:   serveFl.RefreshEvery,
 		IngestBatch:    serveFl.IngestBatch,
 		MaxPending:     serveFl.MaxPending,
-	})
+	}
+	if serveFl.WALDir != "" {
+		pol, err := wal.ParseSyncPolicy(serveFl.Fsync)
+		if err != nil {
+			fatal(err)
+		}
+		if !serveFl.Recover {
+			if err := requireEmptyWALDir(serveFl.WALDir); err != nil {
+				fatal(err)
+			}
+		}
+		log, err := wal.Open(wal.Options{Dir: serveFl.WALDir, Sync: pol, Obs: reg})
+		if err != nil {
+			fatal(err)
+		}
+		ck, err := wal.OpenCheckpoints(serveFl.WALDir, reg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.WAL = log
+		cfg.Checkpoints = ck
+		cfg.CheckpointEvery = serveFl.CheckpointEvery
+		fmt.Fprintf(os.Stderr, "bnserve: durable ingest via %s (fsync=%s, checkpoint every %d epochs)\n",
+			serveFl.WALDir, pol, serveFl.CheckpointEvery)
+	}
+	srv, err := serve.NewServer(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	if *dataPath != "" {
+		// Preload needs a ready manager; with a WAL attached that means
+		// recovering first (srv.Run sees it already done and skips it).
+		if srv.Manager().NeedsRecovery() {
+			if err := srv.Manager().Recover(ctx); err != nil {
+				fatal(err)
+			}
+		}
 		if err := preload(ctx, srv, codec, *dataPath); err != nil {
 			fatal(err)
 		}
@@ -111,6 +154,14 @@ func main() {
 
 	select {
 	case <-ctx.Done():
+		// SIGTERM/SIGINT (or -timeout): graceful drain. Flip /readyz to 503
+		// and refuse new data-plane work first, so load balancers stop
+		// routing here while in-flight requests finish.
+		fmt.Fprintln(os.Stderr, "bnserve: shutdown signal; draining")
+		srv.BeginDrain()
+		if err := <-runErr; err != nil {
+			fmt.Fprintln(os.Stderr, "bnserve: refresh loop:", err)
+		}
 	case err := <-runErr:
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bnserve: refresh loop:", err)
@@ -118,11 +169,42 @@ func main() {
 	case err := <-httpErr:
 		fatal(err)
 	}
-	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	drainTO := serveFl.DrainTimeout
+	if drainTO <= 0 {
+		drainTO = 5 * time.Second
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), drainTO)
 	defer shutCancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "bnserve: shutdown:", err)
 	}
+	if cfg.WAL != nil {
+		// Flush the remaining backlog into a final epoch and checkpoint so
+		// the next start recovers without replay. (Without a WAL, Run already
+		// retired the last epoch on exit.)
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "bnserve: final flush:", err)
+		}
+	}
+}
+
+// requireEmptyWALDir enforces -recover=false: starting fresh over an
+// existing log would silently ignore durable rows, so it is refused.
+func requireEmptyWALDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "ckpt-") {
+			return fmt.Errorf("-recover=false but %s contains %s; pass -recover or point -wal-dir at an empty directory", dir, name)
+		}
+	}
+	return nil
 }
 
 // preload ingests a CSV and publishes it as epoch 1 synchronously, so the

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/obs"
+	"waitfreebn/internal/serve"
+	"waitfreebn/internal/wal"
+)
+
+// RecoverParams configures the crash-recovery benchmark: rows are ingested
+// durably (WAL + checkpoints in a temp dir), the manager is abandoned
+// without any shutdown flush, and a fresh manager recovers — timed — for
+// each checkpoint cadence in the sweep. The cadence trades publish cost
+// (a checkpoint per N epochs) against restart cost (the WAL tail that must
+// replay), which is exactly what this experiment charts.
+type RecoverParams struct {
+	M, N, R int    // synthetic dataset shape
+	Seed    uint64 // workload seed
+	Batch   int    // rows per ingest batch (= rows per WAL record)
+	Fsync   string // WAL fsync policy during the ingest phase
+	Everies []int  // checkpoint-every sweep; 0 = checkpoints disabled
+}
+
+func (p RecoverParams) withDefaults() RecoverParams {
+	if p.M <= 0 {
+		p.M = 200000
+	}
+	if p.N <= 0 {
+		p.N = 12
+	}
+	if p.R <= 0 {
+		p.R = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Batch <= 0 {
+		p.Batch = 1024
+	}
+	if p.Fsync == "" {
+		p.Fsync = "batch"
+	}
+	if len(p.Everies) == 0 {
+		p.Everies = []int{1, 4, 16, 0}
+	}
+	return p
+}
+
+// RecoverCell is one sweep point: the restart cost for a given checkpoint
+// cadence over an identical ingest history.
+type RecoverCell struct {
+	CheckpointEvery int     `json:"checkpoint_every"` // 0 = no checkpoints (pure replay)
+	IngestSecs      float64 `json:"ingest_s"`         // durable ingest + publish of the whole history
+	RecoverySecs    float64 `json:"recovery_s"`       // Open → checkpoint import → replay → publish
+	ReplayedRecords uint64  `json:"replayed_records"`
+	ReplayedRows    uint64  `json:"replayed_rows"`
+	CheckpointRows  uint64  `json:"checkpoint_rows"` // rows restored from the checkpoint table
+	WALBytes        int64   `json:"wal_bytes"`
+	RowsPerSec      float64 `json:"recovered_rows_per_s"`
+	BitIdentical    bool    `json:"bit_identical_to_batch"`
+}
+
+// RecoverResult is the full benchmark output (BENCH_recover.json).
+type RecoverResult struct {
+	M, N, R int           `json:"-"`
+	Params  RecoverParams `json:"params"`
+	Cells   []RecoverCell `json:"cells"`
+}
+
+// RunRecover measures crash-recovery time as a function of checkpoint
+// cadence. Every cell must recover a table bit-identical to the batch build
+// over the same rows; a mismatch is an error, not a data point.
+func RunRecover(ctx context.Context, p RecoverParams) (*RecoverResult, error) {
+	p = p.withDefaults()
+	pol, err := wal.ParseSyncPolicy(p.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := encoding.NewCodec(uniformCard(p.N, p.R))
+	if err != nil {
+		return nil, err
+	}
+	data := dataset.NewUniformCard(p.M, p.N, p.R)
+	data.UniformIndependent(p.Seed, 0)
+	rows := make([][]uint8, p.M)
+	for i := range rows {
+		rows[i] = data.Row(i)
+	}
+	ref, err := core.BuildSequential(data)
+	if err != nil {
+		return nil, err
+	}
+	refCRC, err := wal.TableCRC(ref)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RecoverResult{M: p.M, N: p.N, R: p.R, Params: p}
+	for _, every := range p.Everies {
+		cell, err := runRecoverCell(ctx, codec, rows, pol, every, p.Batch, refCRC, ref)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint-every=%d: %w", every, err)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+func runRecoverCell(ctx context.Context, codec *encoding.Codec, rows [][]uint8,
+	pol wal.SyncPolicy, every, batch int, refCRC uint32, ref *core.PotentialTable) (RecoverCell, error) {
+	cell := RecoverCell{CheckpointEvery: every}
+	dir, err := os.MkdirTemp("", "bnrecover-*")
+	if err != nil {
+		return cell, err
+	}
+	defer os.RemoveAll(dir)
+
+	openMgr := func(reg *obs.Registry) (*serve.Manager, error) {
+		log, err := wal.Open(wal.Options{Dir: dir, Sync: pol, Obs: reg})
+		if err != nil {
+			return nil, err
+		}
+		cfg := serve.ManagerConfig{Build: core.Options{Obs: reg}, WAL: log}
+		if every > 0 {
+			ck, err := wal.OpenCheckpoints(dir, reg)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Checkpoints = ck
+			cfg.CheckpointEvery = every
+		}
+		return serve.NewManager(ctx, codec, cfg)
+	}
+
+	// Ingest phase: the durable history a crash will interrupt. Refresh
+	// every few batches so the checkpoint cadence actually bites, then leave
+	// a tail of unbuilt batches pending — the worst case for replay.
+	mgr, err := openMgr(obs.NewRegistry())
+	if err != nil {
+		return cell, err
+	}
+	if err := mgr.Recover(ctx); err != nil {
+		return cell, err
+	}
+	start := time.Now()
+	for lo, i := 0, 0; lo < len(rows); lo, i = lo+batch, i+1 {
+		hi := lo + batch
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if err := mgr.Ingest(rows[lo:hi]); err != nil {
+			return cell, err
+		}
+		if i%8 == 7 {
+			if _, err := mgr.Refresh(ctx); err != nil {
+				return cell, err
+			}
+		}
+	}
+	cell.IngestSecs = time.Since(start).Seconds()
+	// CRASH: abandon mgr with the tail acked but unbuilt. No Close, no
+	// flush; only WAL + whatever checkpoints the cadence produced survive.
+
+	if every > 0 {
+		ck, err := wal.OpenCheckpoints(dir, nil)
+		if err != nil {
+			return cell, err
+		}
+		if man, _, ok, err := ck.LoadLatest(); err == nil && ok {
+			cell.CheckpointRows = man.Rows
+		}
+	}
+
+	reg2 := obs.NewRegistry()
+	start = time.Now()
+	mgr2, err := openMgr(reg2)
+	if err != nil {
+		return cell, err
+	}
+	if err := mgr2.Recover(ctx); err != nil {
+		return cell, err
+	}
+	cell.RecoverySecs = time.Since(start).Seconds()
+	defer mgr2.Close()
+
+	cell.ReplayedRecords = reg2.Counter("wal_replayed_records_total").Value()
+	cell.ReplayedRows = uint64(len(rows)) - cell.CheckpointRows
+	if cell.RecoverySecs > 0 {
+		cell.RowsPerSec = float64(len(rows)) / cell.RecoverySecs
+	}
+	cell.WALBytes = dirBytes(dir)
+
+	snap := mgr2.Acquire()
+	defer snap.Release()
+	got := snap.Table()
+	gotCRC, err := wal.TableCRC(got)
+	if err != nil {
+		return cell, err
+	}
+	cell.BitIdentical = got.Equal(ref) && gotCRC == refCRC
+	if !cell.BitIdentical {
+		return cell, fmt.Errorf("recovered table differs from batch build (m=%d want %d)",
+			got.NumSamples(), ref.NumSamples())
+	}
+	return cell, nil
+}
+
+// dirBytes sums the on-disk footprint of the WAL segments and checkpoints
+// (best effort — a racing prune is not an error).
+func dirBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}

@@ -168,6 +168,13 @@ type Serve struct {
 	IngestBatch    int
 	MaxPending     int
 	ReadP          int
+
+	// Durability flags (all inert unless WALDir is set).
+	WALDir          string
+	Fsync           string
+	Recover         bool
+	CheckpointEvery int
+	DrainTimeout    time.Duration
 }
 
 // AddServe registers the serving flags on fs. They compose with AddCore
@@ -183,6 +190,11 @@ func AddServe(fs *flag.FlagSet) *Serve {
 	fs.IntVar(&s.IngestBatch, "ingest-batch", 8192, "block size ingested rows are fed to the builder in")
 	fs.IntVar(&s.MaxPending, "max-pending", 1<<20, "reject ingest (429 ingest_overflow) once this many rows await the next epoch")
 	fs.IntVar(&s.ReadP, "read-p", 1, "per-query scan parallelism (1 = favor cross-request parallelism)")
+	fs.StringVar(&s.WALDir, "wal-dir", "", "directory for the write-ahead log and epoch checkpoints; ingest is acked only after the WAL append (durability off when empty)")
+	fs.StringVar(&s.Fsync, "fsync", "batch", "WAL fsync policy: always (fsync before every ack), batch (fsync at publish/checkpoint barriers), never")
+	fs.BoolVar(&s.Recover, "recover", true, "replay the checkpoint + WAL tail in -wal-dir at startup; with -recover=false a non-empty -wal-dir is a startup error")
+	fs.IntVar(&s.CheckpointEvery, "checkpoint-every", 1, "write an epoch checkpoint every N publishes (higher = faster publishes, longer recovery replay)")
+	fs.DurationVar(&s.DrainTimeout, "drain-timeout", 10*time.Second, "on SIGTERM/SIGINT: bound for draining in-flight requests and flushing the final epoch + checkpoint")
 	return s
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"sync"
 	"time"
 
 	"waitfreebn/internal/encoding"
@@ -153,6 +155,85 @@ func (b *Builder) addKeys(ctx context.Context, m int, source KeySource, block bl
 // Err returns the error that poisoned the builder, or nil if every block
 // so far succeeded.
 func (b *Builder) Err() error { return b.failed }
+
+// ImportTable seeds the builder with the counts of an existing table — the
+// recovery primitive: a restart loads the last checkpointed epoch table,
+// imports it, and replays only the WAL tail, as if every original row had
+// been streamed through AddBlock. Each key is routed to its owning partition
+// (serialized tables carry no partition assignment), so subsequent blocks
+// merge into the same entries and a later Snapshot/Finalize is bit-identical
+// to an uninterrupted build over the full row stream.
+//
+// The table's rows count as local keys: no inter-worker hand-off happened,
+// and Samples() grows by t.NumSamples(). The table's codec must have the
+// same variable cardinalities as the builder's.
+func (b *Builder) ImportTable(t *PotentialTable) error {
+	if b.done {
+		return fmt.Errorf("core: Builder used after Finalize")
+	}
+	if b.failed != nil {
+		return fmt.Errorf("core: Builder poisoned by earlier failed block: %w", b.failed)
+	}
+	want, got := b.codec.Cardinalities(), t.codec.Cardinalities()
+	if len(want) != len(got) {
+		return fmt.Errorf("core: ImportTable codec mismatch: %d variables, builder has %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("core: ImportTable codec mismatch: variable %d cardinality %d, builder has %d", i, got[i], want[i])
+		}
+	}
+	// Gather each partition's (key, count) pairs first, then insert them in
+	// bit-reversed buffer order rather than streaming t.Range straight into
+	// Add. Iterating one open-addressing table into another correlates
+	// insertion order with destination home slots (both address by the same
+	// mixer, and the smaller table's mask is a suffix of the larger's), so
+	// keys arrive in ascending-home sweeps that pile linear-probe runs up
+	// into quadratic territory near the load threshold — a 40x slowdown at
+	// checkpoint-recovery scale. Visiting the buffer in van-der-Corput
+	// (bit-reversed index) order scatters consecutive homes across the whole
+	// table for O(n) extra work; the resulting key→count mapping is
+	// order-independent either way. Partitions are single-owner, so they
+	// load in parallel, each pre-sized to its final occupancy.
+	p := b.opts.P
+	imp := make([]importBuf, p)
+	t.Range(func(key, count uint64) bool {
+		w := b.owner(key)
+		imp[w].keys = append(imp[w].keys, key)
+		imp[w].counts = append(imp[w].counts, count)
+		return true
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		if len(imp[w].keys) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(dst hashtable.Counter, buf importBuf) {
+			defer wg.Done()
+			if r, ok := dst.(interface{ Reserve(n int) }); ok {
+				r.Reserve(dst.Len() + len(buf.keys))
+			}
+			n := uint64(len(buf.keys))
+			logn := uint(bits.Len64(n - 1))
+			for j := uint64(0); j < uint64(1)<<logn; j++ {
+				if i := bits.Reverse64(j) >> (64 - logn); i < n {
+					dst.Add(buf.keys[i], buf.counts[i])
+				}
+			}
+		}(b.parts[w], imp[w])
+	}
+	wg.Wait()
+	b.stats.LocalKeys += t.NumSamples()
+	return nil
+}
+
+// importBuf is one partition's ImportTable staging area: parallel key/count
+// slices in source-iteration order, visited bit-reversed at insert time.
+type importBuf struct {
+	keys   []uint64
+	counts []uint64
+}
 
 // SnapshotCtx captures an immutable frozen-columnar PotentialTable of
 // everything counted so far WITHOUT finalizing the builder: the quiescent

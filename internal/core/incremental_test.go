@@ -258,3 +258,96 @@ func TestReadTableRejectsAbsurdHeader(t *testing.T) {
 		t.Error("zero variables accepted")
 	}
 }
+
+func TestBuilderImportTable(t *testing.T) {
+	d := uniformData(t, 20000, 7, 3, 52)
+	codec, _ := d.Codec()
+	keys := d.EncodeKeys(codec, 2)
+	ref, _ := BuildSequential(d)
+
+	// Build the first half, serialize it (the checkpoint path), read it
+	// back, and import into a fresh builder that then counts the rest.
+	half := NewBuilder(codec, 0, Options{P: 4})
+	if err := half.AddKeys(keys[:12000]); err != nil {
+		t.Fatal(err)
+	}
+	halfTable, _ := half.Finalize()
+	var buf bytes.Buffer
+	if _, err := halfTable.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTable(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBuilder(codec, 0, Options{P: 4})
+	if err := b.ImportTable(loaded); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Samples(); got != 12000 {
+		t.Fatalf("Samples after import = %d, want 12000", got)
+	}
+	if err := b.AddKeys(keys[12000:]); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := b.Finalize()
+	if !pt.Equal(ref) {
+		t.Fatal("import + tail build differs from one-shot build")
+	}
+	if pt.NumSamples() != 20000 {
+		t.Fatalf("NumSamples = %d, want 20000", pt.NumSamples())
+	}
+}
+
+// TestBuilderImportTableTinySizes sweeps imports whose per-partition key
+// counts exercise the edges of the bit-reversed insert order (empty, one
+// key, odd counts that don't fill the power-of-two visit sequence).
+func TestBuilderImportTableTinySizes(t *testing.T) {
+	codec, _ := encoding.NewUniformCodec(4, 3)
+	for _, n := range []int{0, 1, 2, 3, 5, 17, 31} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(i * 7 % 81)
+		}
+		src := NewBuilder(codec, 0, Options{P: 1})
+		if err := src.AddKeys(keys); err != nil {
+			t.Fatal(err)
+		}
+		tbl, _ := src.Finalize()
+		for _, p := range []int{1, 3, 4} {
+			b := NewBuilder(codec, 0, Options{P: p})
+			if err := b.ImportTable(tbl); err != nil {
+				t.Fatalf("n=%d p=%d: %v", n, p, err)
+			}
+			pt, _ := b.Finalize()
+			if !pt.Equal(tbl) {
+				t.Fatalf("n=%d p=%d: imported table differs from source", n, p)
+			}
+		}
+	}
+}
+
+func TestBuilderImportTableCodecMismatch(t *testing.T) {
+	codecA, _ := encoding.NewUniformCodec(4, 2)
+	codecB, _ := encoding.NewUniformCodec(4, 3)
+	codecC, _ := encoding.NewUniformCodec(5, 2)
+	src := NewBuilder(codecB, 0, Options{P: 1})
+	tbl, _ := src.Finalize()
+	b := NewBuilder(codecA, 0, Options{P: 2})
+	if err := b.ImportTable(tbl); err == nil {
+		t.Fatal("import accepted a table with mismatched cardinalities")
+	}
+	srcC := NewBuilder(codecC, 0, Options{P: 1})
+	tblC, _ := srcC.Finalize()
+	if err := b.ImportTable(tblC); err == nil {
+		t.Fatal("import accepted a table with a different variable count")
+	}
+	if err := b.AddKeys([]uint64{1, 2, 3}); err != nil {
+		t.Fatalf("failed import must not poison the builder: %v", err)
+	}
+	b.Finalize()
+	if err := b.ImportTable(tblC); err == nil {
+		t.Fatal("import after Finalize succeeded")
+	}
+}

@@ -40,6 +40,27 @@ const (
 	// TableGrowPressure forces the per-partition table hint to 1 so every
 	// table grows repeatedly under load.
 	TableGrowPressure
+	// WALWriteFail makes a write-ahead-log record append fail with a
+	// transient InjectedError before any bytes reach the segment, as if the
+	// write had hit a full disk or a torn device. The durable ingest path
+	// must retry with backoff and, past its attempt budget, refuse the ack.
+	WALWriteFail
+	// WALFsyncFail makes a WAL fsync report failure after the bytes were
+	// written, the classic "fsyncgate" shape: data may or may not be
+	// durable, so the appender must treat the record as unacknowledged.
+	WALFsyncFail
+	// CheckpointWriteFail makes an epoch checkpoint (table file or manifest)
+	// fail mid-write. Checkpointing is an optimization over pure WAL replay,
+	// so the failure must be non-fatal: the epoch stays published and
+	// recovery falls back to the previous checkpoint plus a longer tail.
+	CheckpointWriteFail
+	// RecoverReplayFail makes a WAL record replay fail transiently during
+	// startup recovery, before the record's rows reach the builder.
+	RecoverReplayFail
+	// FreezeFail makes an epoch freeze (Builder.SnapshotCtx) fail before it
+	// starts. The refresh loop must retry and, past its budget, roll back to
+	// the previously published epoch instead of dying.
+	FreezeFail
 
 	numPoints
 )
@@ -57,6 +78,16 @@ func (p Point) String() string {
 		return "stall"
 	case TableGrowPressure:
 		return "table-grow"
+	case WALWriteFail:
+		return "wal-write"
+	case WALFsyncFail:
+		return "wal-fsync"
+	case CheckpointWriteFail:
+		return "checkpoint-write"
+	case RecoverReplayFail:
+		return "recover-replay"
+	case FreezeFail:
+		return "freeze-fail"
 	default:
 		return "unknown"
 	}
@@ -139,6 +170,31 @@ func (p *Plan) MaybePanic(pt Point, worker int, seq uint64) {
 	if p.Fire(pt, worker, seq) {
 		panic(fmt.Sprintf("faultinject: %s fired (worker %d, seed %d)", pt, worker, p.Seed))
 	}
+}
+
+// InjectedError is the transient failure MaybeErr produces. Call sites that
+// retry transient I/O errors treat it like any other error; tests unwrap it
+// with errors.As to prove a failure came from the plan and not a real fault.
+type InjectedError struct {
+	Point  Point
+	Worker int
+	Seq    uint64
+	Seed   uint64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: %s fired (worker %d, seq %d, seed %d)", e.Point, e.Worker, e.Seq, e.Seed)
+}
+
+// MaybeErr returns an *InjectedError when the point fires for this
+// (worker, seq) occurrence, and nil otherwise — the error-returning analogue
+// of MaybePanic for injection sites on I/O paths (WAL writes, fsyncs,
+// checkpoint writes, replay) where failures surface as errors, not panics.
+func (p *Plan) MaybeErr(pt Point, worker int, seq uint64) error {
+	if p.Fire(pt, worker, seq) {
+		return &InjectedError{Point: pt, Worker: worker, Seq: seq, Seed: p.Seed}
+	}
+	return nil
 }
 
 // MaybeStall sleeps for StallDuration when WorkerStall fires, simulating a
@@ -249,5 +305,5 @@ func pointByName(name string) (Point, error) {
 			return pt, nil
 		}
 	}
-	return 0, fmt.Errorf("faultinject: unknown key %q (want seed, worker, stall-dur, or a point: queue-push, panic-stage1, panic-stage2, stall, table-grow)", name)
+	return 0, fmt.Errorf("faultinject: unknown key %q (want seed, worker, stall-dur, or a point: queue-push, panic-stage1, panic-stage2, stall, table-grow, wal-write, wal-fsync, checkpoint-write, recover-replay, freeze-fail)", name)
 }

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -89,6 +90,31 @@ func TestMaybePanicMessage(t *testing.T) {
 	}()
 	p.MaybePanic(PanicStage1, 4, 0)
 	t.Fatal("MaybePanic did not panic at rate 1")
+}
+
+func TestMaybeErr(t *testing.T) {
+	var nilPlan *Plan
+	if err := nilPlan.MaybeErr(WALWriteFail, 0, 0); err != nil {
+		t.Fatalf("nil plan MaybeErr = %v, want nil", err)
+	}
+	p := NewPlan(11).WithRate(WALFsyncFail, 1)
+	err := p.MaybeErr(WALFsyncFail, 3, 42)
+	if err == nil {
+		t.Fatal("rate-1 MaybeErr returned nil")
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("MaybeErr error %T is not *InjectedError", err)
+	}
+	if inj.Point != WALFsyncFail || inj.Worker != 3 || inj.Seq != 42 || inj.Seed != 11 {
+		t.Fatalf("InjectedError fields = %+v", inj)
+	}
+	if !strings.Contains(err.Error(), "wal-fsync") {
+		t.Fatalf("error %q lacks point name", err)
+	}
+	if err := p.MaybeErr(WALWriteFail, 3, 42); err != nil {
+		t.Fatalf("unconfigured point errored: %v", err)
+	}
 }
 
 func TestActivateRestores(t *testing.T) {

@@ -154,6 +154,15 @@ func (t *Table) AddBatch(keys []uint64) {
 	}
 }
 
+// Reserve grows the table until it can hold n entries in total without
+// rehashing. Bulk loaders (table import, merge) call it up front so the
+// insert loop never pays a mid-stream rehash.
+func (t *Table) Reserve(n int) {
+	for n*maxLoadDen > len(t.keys)*maxLoadNum {
+		t.grow()
+	}
+}
+
 // Get returns the count stored for key, or 0 if the key is absent.
 func (t *Table) Get(key uint64) uint64 {
 	if key == emptySlot {

@@ -81,6 +81,36 @@ func TestTableSizeHintAvoidsGrowth(t *testing.T) {
 	}
 }
 
+func TestTableReserve(t *testing.T) {
+	const n = 10000
+	ht := New(0)
+	for i := uint64(0); i < 100; i++ {
+		ht.Add(i, i+1)
+	}
+	ht.Reserve(n)
+	grows := ht.Grows()
+	if cap := ht.Capacity(); cap*maxLoadNum/maxLoadDen < n {
+		t.Fatalf("Reserve(%d) left capacity %d (holds %d)", n, cap, cap*maxLoadNum/maxLoadDen)
+	}
+	for i := uint64(100); i < n; i++ {
+		ht.Add(i, 1)
+	}
+	if ht.Grows() != grows {
+		t.Errorf("reserved table rehashed %d more times filling to %d", ht.Grows()-grows, n)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got := ht.Get(i); got != i+1 {
+			t.Fatalf("Get(%d) = %d after Reserve, want %d", i, got, i+1)
+		}
+	}
+	// Reserving below the current capacity is a no-op.
+	before := ht.Capacity()
+	ht.Reserve(1)
+	if ht.Capacity() != before {
+		t.Errorf("Reserve(1) changed capacity %d -> %d", before, ht.Capacity())
+	}
+}
+
 func TestTableRange(t *testing.T) {
 	ht := New(8)
 	want := map[uint64]uint64{1: 2, 9: 1, 100: 7}

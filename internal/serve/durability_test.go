@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/faultinject"
+	"waitfreebn/internal/obs"
+	"waitfreebn/internal/wal"
+)
+
+// openDurable builds a manager whose ingest path is durable: a WAL with
+// fsync-per-append (the zero-acked-loss policy the chaos suite asserts) and
+// a checkpoint store in the same dir. The manager is NOT recovered yet —
+// callers drive Recover explicitly to model the restart boundary.
+func openDurable(t *testing.T, dir string, card []int, every int) (*Manager, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	log, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := wal.OpenCheckpoints(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(context.Background(), mustCodec(t, card), ManagerConfig{
+		Build:           core.Options{P: 2, Obs: reg},
+		WAL:             log,
+		Checkpoints:     ck,
+		CheckpointEvery: every,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, reg
+}
+
+// tableBytesEqual asserts bit-identical serialized tables (WriteTo output is
+// deterministic and partition-independent, so this is the strongest
+// equivalence the system defines).
+func tableBytesEqual(t *testing.T, got, want *core.PotentialTable) {
+	t.Helper()
+	if !got.Equal(want) {
+		t.Fatalf("tables differ: got %d keys / %d samples, want %d keys / %d samples",
+			got.Len(), got.NumSamples(), want.Len(), want.NumSamples())
+	}
+	gc, err := wal.TableCRC(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := wal.TableCRC(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc != wc {
+		t.Fatalf("serialized tables differ bitwise: crc %08x vs %08x", gc, wc)
+	}
+}
+
+func randBatch(rng *rand.Rand, card []int, n int) [][]uint8 {
+	rows := make([][]uint8, n)
+	for i := range rows {
+		row := make([]uint8, len(card))
+		for v, c := range card {
+			row[v] = uint8(rng.Intn(c))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestChaosCrashRecoverBitIdentical is the crash-restart equivalence sweep:
+// for every kill point and seed, a manager ingests (durably acked) batches,
+// is killed at the designated point WITHOUT any shutdown flush, and a fresh
+// manager recovers from the same dir. The recovered table must be
+// bit-identical to a batch build over every acked row — acked-but-lost rows
+// are exactly zero with fsync-per-append, at every kill point. Run under
+// -race.
+func TestChaosCrashRecoverBitIdentical(t *testing.T) {
+	card := []int{2, 3, 2}
+	ctx := context.Background()
+	killPoints := []string{
+		"after-ingest",     // acked rows pending, never built
+		"mid-build",        // worker panic poisons the refresh, then crash
+		"freeze-fail",      // freeze aborts the swap, then crash
+		"after-publish",    // epoch published, no checkpoint for it
+		"after-checkpoint", // checkpoint current, WAL tail empty-ish
+		"checkpoint-fail",  // publish acked, checkpoint write injected to fail
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, kp := range killPoints {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, kp), func(t *testing.T) {
+				dir := t.TempDir()
+				rng := rand.New(rand.NewSource(int64(seed)))
+				every := 1
+				if kp == "after-publish" {
+					every = 1 << 20 // no periodic checkpoints: recovery is pure replay
+				}
+				var acked [][]uint8
+
+				mgr, _ := openDurable(t, dir, card, every)
+				if err := mgr.Recover(ctx); err != nil {
+					t.Fatal(err)
+				}
+				// Normal life before the kill: a few acked batches and
+				// publish cycles.
+				for i := 0; i < 3; i++ {
+					batch := randBatch(rng, card, 10+rng.Intn(40))
+					if err := mgr.Ingest(batch); err != nil {
+						t.Fatal(err)
+					}
+					acked = append(acked, batch...)
+					if rng.Intn(2) == 0 {
+						if _, err := mgr.Refresh(ctx); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				// The kill scenario itself.
+				final := randBatch(rng, card, 10+rng.Intn(40))
+				if err := mgr.Ingest(final); err != nil {
+					t.Fatal(err)
+				}
+				acked = append(acked, final...)
+				switch kp {
+				case "after-ingest":
+					// Crash with the batch acked but unbuilt.
+				case "mid-build":
+					restore := faultinject.Activate(
+						faultinject.NewPlan(seed).WithRate(faultinject.PanicStage1, 1))
+					if _, err := mgr.Refresh(ctx); !errors.Is(err, ErrRolledBack) {
+						t.Fatalf("poisoned refresh error = %v, want ErrRolledBack", err)
+					}
+					restore()
+				case "freeze-fail":
+					restore := faultinject.Activate(
+						faultinject.NewPlan(seed).WithRate(faultinject.FreezeFail, 1))
+					if _, err := mgr.Refresh(ctx); !errors.Is(err, ErrRolledBack) {
+						t.Fatalf("freeze-fail refresh error = %v, want ErrRolledBack", err)
+					}
+					restore()
+				case "after-publish", "after-checkpoint":
+					if _, err := mgr.Refresh(ctx); err != nil {
+						t.Fatal(err)
+					}
+				case "checkpoint-fail":
+					restore := faultinject.Activate(
+						faultinject.NewPlan(seed).WithRate(faultinject.CheckpointWriteFail, 1))
+					if _, err := mgr.Refresh(ctx); err != nil {
+						t.Fatalf("checkpoint failure must not fail the refresh: %v", err)
+					}
+					restore()
+				}
+				// CRASH: the manager is abandoned — no Shutdown, no Close, no
+				// final checkpoint. Only what Ingest made durable survives.
+
+				mgr2, reg2 := openDurable(t, dir, card, 1)
+				if mgr2.Ready() {
+					t.Fatal("durable manager reports ready before recovery")
+				}
+				if err := mgr2.Recover(ctx); err != nil {
+					t.Fatalf("recover after %s: %v", kp, err)
+				}
+				if !mgr2.Ready() {
+					t.Fatal("manager not ready after successful recovery")
+				}
+				snap := mgr2.Acquire()
+				tableBytesEqual(t, snap.Table(), batchTable(t, card, acked))
+				snap.Release()
+				if got := reg2.Gauge(metricRecoveredRows).Value(); got != float64(len(acked)) {
+					t.Fatalf("recovered-rows gauge = %v, want %d", got, len(acked))
+				}
+				mgr2.Close()
+			})
+		}
+	}
+}
+
+// TestRecoverAfterCleanShutdownReplaysNothing proves the checkpoint bounds
+// recovery: a clean Shutdown writes a final checkpoint, so the next start
+// replays zero WAL records yet reproduces the identical table.
+func TestRecoverAfterCleanShutdownReplaysNothing(t *testing.T) {
+	card := []int{2, 3, 2}
+	ctx := context.Background()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	rows := randBatch(rng, card, 200)
+
+	mgr, _ := openDurable(t, dir, card, 1)
+	if err := mgr.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Ingest(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, reg2 := openDurable(t, dir, card, 1)
+	if err := mgr2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter("wal_replayed_records_total").Value(); got != 0 {
+		t.Fatalf("clean restart replayed %d records, want 0 (checkpoint covers all)", got)
+	}
+	snap := mgr2.Acquire()
+	tableBytesEqual(t, snap.Table(), batchTable(t, card, rows))
+	snap.Release()
+	mgr2.Close()
+
+	// A third generation guards against checkpoint-offset regressions: the
+	// checkpoint mgr2 wrote after its replay-free recovery must still carry
+	// the correct WAL offset, or this recovery double-counts the log.
+	mgr3, _ := openDurable(t, dir, card, 1)
+	if err := mgr3.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap = mgr3.Acquire()
+	tableBytesEqual(t, snap.Table(), batchTable(t, card, rows))
+	snap.Release()
+	mgr3.Close()
+}
+
+// TestRollbackKeepsServingEpoch proves the containment contract: a refresh
+// whose build dies keeps the previous epoch published and readable, counts
+// one rollback, retains the backlog, and a later healthy refresh publishes
+// every acked row.
+func TestRollbackKeepsServingEpoch(t *testing.T) {
+	card := []int{2, 3, 2}
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	mgr, err := NewManager(ctx, mustCodec(t, card), ManagerConfig{
+		Build: core.Options{P: 2, Obs: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	if err := mgr.Ingest(testRows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	epochBefore := mgr.Epoch()
+
+	more := [][]uint8{{1, 1, 1}, {0, 2, 0}, {1, 0, 1}}
+	if err := mgr.Ingest(more); err != nil {
+		t.Fatal(err)
+	}
+	restore := faultinject.Activate(faultinject.NewPlan(3).WithRate(faultinject.PanicStage1, 1))
+	published, err := mgr.Refresh(ctx)
+	restore()
+	if published || !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("poisoned refresh = (%v, %v), want (false, ErrRolledBack)", published, err)
+	}
+	if got := mgr.Epoch(); got != epochBefore {
+		t.Fatalf("epoch moved to %d during rollback, want %d still serving", got, epochBefore)
+	}
+	if got := reg.Counter(metricRollbacks).Value(); got != 1 {
+		t.Fatalf("rollback counter = %d, want 1", got)
+	}
+	if got := mgr.Pending(); got != len(more) {
+		t.Fatalf("pending = %d after rollback, want %d retained", got, len(more))
+	}
+	// The still-serving snapshot must be the pre-failure table, readable.
+	snap := mgr.Acquire()
+	tableBytesEqual(t, snap.Table(), batchTable(t, card, testRows))
+	snap.Release()
+
+	// Recovery without restart: the next refresh retries the retained
+	// backlog against the reseeded builder, exactly once.
+	if _, err := mgr.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Epoch(); got != epochBefore+1 {
+		t.Fatalf("epoch after retry = %d, want %d", got, epochBefore+1)
+	}
+	snap = mgr.Acquire()
+	tableBytesEqual(t, snap.Table(), batchTable(t, card, append(append([][]uint8{}, testRows...), more...)))
+	snap.Release()
+}
+
+// TestFreezeFailRollbackThenRefreeze: a freeze abort keeps the builder's
+// rows (nothing is lost, nothing double-counted) and the next refresh
+// publishes them even with no new ingest — the dirty-builder re-freeze path.
+func TestFreezeFailRollbackThenRefreeze(t *testing.T) {
+	card := []int{2, 3, 2}
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	mgr, err := NewManager(ctx, mustCodec(t, card), ManagerConfig{
+		Build: core.Options{P: 2, Obs: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	if err := mgr.Ingest(testRows); err != nil {
+		t.Fatal(err)
+	}
+	restore := faultinject.Activate(faultinject.NewPlan(5).WithRate(faultinject.FreezeFail, 1))
+	if _, err := mgr.Refresh(ctx); !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("freeze-fail refresh error = %v, want ErrRolledBack", err)
+	}
+	restore()
+	if got := mgr.Epoch(); got != 0 {
+		t.Fatalf("epoch advanced to %d across a failed freeze", got)
+	}
+	// No new ingest: the refresh must still re-freeze the dirty builder.
+	published, err := mgr.Refresh(ctx)
+	if err != nil || !published {
+		t.Fatalf("re-freeze refresh = (%v, %v), want (true, nil)", published, err)
+	}
+	snap := mgr.Acquire()
+	tableBytesEqual(t, snap.Table(), batchTable(t, card, testRows))
+	snap.Release()
+	if got := reg.Counter(metricRollbacks).Value(); got != 1 {
+		t.Fatalf("rollback counter = %d, want 1", got)
+	}
+}
+
+// TestDurableIngestAckSemantics: a WAL append that fails past its retry
+// budget must refuse the ack (ErrDurability) and keep nothing; transient
+// failures are retried to a successful, durable ack.
+func TestDurableIngestAckSemantics(t *testing.T) {
+	card := []int{2, 3, 2}
+	ctx := context.Background()
+	dir := t.TempDir()
+	mgr, reg := openDurable(t, dir, card, 1)
+	if err := mgr.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+
+	restore := faultinject.Activate(faultinject.NewPlan(2).WithRate(faultinject.WALWriteFail, 1))
+	err := mgr.Ingest(testRows)
+	restore()
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("ingest under permanent WAL failure = %v, want ErrDurability", err)
+	}
+	if got := mgr.Pending(); got != 0 {
+		t.Fatalf("refused ack left %d rows pending", got)
+	}
+	if got := reg.Counter(metricWALRetries).Value(); got != walAttempts-1 {
+		t.Fatalf("wal retries = %d, want %d (full backoff budget)", got, walAttempts-1)
+	}
+
+	// ~40% transient failure rate: the retry budget absorbs it and the ack
+	// still means durable.
+	restore = faultinject.Activate(faultinject.NewPlan(9).WithRate(faultinject.WALWriteFail, 0.4))
+	for i := 0; i < 10; i++ {
+		if err := mgr.Ingest(testRows); err != nil {
+			t.Fatalf("ingest %d under 0.4 transient faults: %v", i, err)
+		}
+	}
+	restore()
+	if got := mgr.Pending(); got != 10*len(testRows) {
+		t.Fatalf("pending = %d, want %d", got, 10*len(testRows))
+	}
+	// Everything acked under faults must survive a crash right now.
+	var all [][]uint8
+	for i := 0; i < 10; i++ {
+		all = append(all, testRows...)
+	}
+	mgr2, _ := openDurable(t, dir, card, 1)
+	if err := mgr2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := mgr2.Acquire()
+	tableBytesEqual(t, snap.Table(), batchTable(t, card, all))
+	snap.Release()
+	mgr2.Close()
+}
+
+// TestReadyzLifecycleHTTP walks the full readiness lifecycle over the HTTP
+// surface: 503 before recovery (data plane included, /healthz excluded),
+// 200 after the recovered epoch publishes, 503 again once a drain begins.
+func TestReadyzLifecycleHTTP(t *testing.T) {
+	card := []int{2, 3, 2}
+	ctx := context.Background()
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	log, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := wal.OpenCheckpoints(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, card, nil, func(c *Config) {
+		c.Build.Obs = reg
+		c.WAL = log
+		c.Checkpoints = ck
+	})
+
+	w, _ := doReq(t, s, "GET", "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/healthz during recovery = %d, want 200", w.Code)
+	}
+	w, _ = doReq(t, s, "GET", "/readyz", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), CodeNotReady) {
+		t.Fatalf("/readyz before recovery = %d %s", w.Code, w.Body.String())
+	}
+	w, env := doReq(t, s, "GET", "/v1/epoch", "")
+	if w.Code != http.StatusServiceUnavailable || errorCode(t, env) != CodeNotReady {
+		t.Fatalf("data plane before recovery = %d %s, want 503 not_ready", w.Code, w.Body.String())
+	}
+	w, env = doReq(t, s, "POST", "/v1/ingest", `{"rows":[[0,0,0]]}`)
+	if w.Code != http.StatusServiceUnavailable || errorCode(t, env) != CodeNotReady {
+		t.Fatalf("ingest before recovery = %d, want 503 not_ready", w.Code)
+	}
+
+	if err := s.Manager().Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	w, _ = doReq(t, s, "GET", "/readyz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/readyz after recovery = %d, want 200", w.Code)
+	}
+	w, _ = doReq(t, s, "POST", "/v1/ingest", `{"rows":[[0,0,0],[1,2,1]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ingest after recovery = %d body %s", w.Code, w.Body.String())
+	}
+	if got := log.LastSeq(); got != 1 {
+		t.Fatalf("WAL LastSeq after one acked ingest = %d, want 1", got)
+	}
+
+	s.BeginDrain()
+	w, _ = doReq(t, s, "GET", "/readyz", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("/readyz during drain = %d %s, want 503 draining", w.Code, w.Body.String())
+	}
+	w, env = doReq(t, s, "POST", "/v1/ingest", `{"rows":[[0,0,0]]}`)
+	if w.Code != http.StatusServiceUnavailable || errorCode(t, env) != CodeNotReady {
+		t.Fatalf("ingest during drain = %d, want 503 not_ready", w.Code)
+	}
+	w, _ = doReq(t, s, "GET", "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", w.Code)
+	}
+
+	// Shutdown flushes the acked-but-unbuilt rows into a final epoch and
+	// checkpoint; the next start must recover them without replay.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mgr2, reg2 := openDurable(t, dir, card, 1)
+	if err := mgr2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter("wal_replayed_records_total").Value(); got != 0 {
+		t.Fatalf("post-drain restart replayed %d records, want 0", got)
+	}
+	snap := mgr2.Acquire()
+	tableBytesEqual(t, snap.Table(), batchTable(t, card, [][]uint8{{0, 0, 0}, {1, 2, 1}}))
+	snap.Release()
+	mgr2.Close()
+}
+
+// TestDurabilityErrorEnvelopeHTTP: the typed durability_error code reaches
+// the wire with a 503 when the WAL refuses an ingest batch.
+func TestDurabilityErrorEnvelopeHTTP(t *testing.T) {
+	card := []int{2, 3, 2}
+	dir := t.TempDir()
+	log, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, card, nil, func(c *Config) { c.WAL = log })
+	if err := s.Manager().Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	restore := faultinject.Activate(faultinject.NewPlan(4).WithRate(faultinject.WALWriteFail, 1))
+	defer restore()
+	w, env := doReq(t, s, "POST", "/v1/ingest", `{"rows":[[0,0,0]]}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", w.Code, w.Body.String())
+	}
+	if got := errorCode(t, env); got != CodeDurability {
+		t.Fatalf("code = %q, want %q", got, CodeDurability)
+	}
+}
+
+// TestRecoverReplayFaultRetries: transient replay faults during recovery are
+// absorbed by the retry budget; recovery still converges bit-identically.
+func TestRecoverReplayFaultRetries(t *testing.T) {
+	card := []int{2, 3, 2}
+	ctx := context.Background()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	rows := randBatch(rng, card, 120)
+
+	mgr, _ := openDurable(t, dir, card, 1<<20) // no checkpoints: all rows replay
+	if err := mgr.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(rows); lo += 10 {
+		if err := mgr.Ingest(rows[lo : lo+10]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash unflushed; recover under a 50% transient replay fault rate.
+	mgr2, reg2 := openDurable(t, dir, card, 1<<20)
+	restore := faultinject.Activate(faultinject.NewPlan(13).WithRate(faultinject.RecoverReplayFail, 0.5))
+	err := mgr2.Recover(ctx)
+	restore()
+	if err != nil {
+		t.Fatalf("recovery under transient replay faults: %v", err)
+	}
+	if reg2.Counter(metricWALRetries).Value() == 0 {
+		t.Fatal("no replay retries recorded at a 0.5 fault rate over 12 records")
+	}
+	snap := mgr2.Acquire()
+	tableBytesEqual(t, snap.Table(), batchTable(t, card, rows))
+	snap.Release()
+	mgr2.Close()
+}

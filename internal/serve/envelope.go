@@ -33,6 +33,14 @@ const (
 	// CodeEpochRetiring: the epoch resolved for this request drained before
 	// the query could pin it (transient; retry hits the new epoch).
 	CodeEpochRetiring = "epoch_retiring"
+	// CodeNotReady: the server is recovering at startup or draining for
+	// shutdown; /readyz reports the same state. Retry against another
+	// replica or after recovery.
+	CodeNotReady = "not_ready"
+	// CodeDurability: the write-ahead-log append for an ingest batch failed
+	// past its retry budget — the rows were NOT accepted and are not
+	// durable. Retry the whole batch.
+	CodeDurability = "durability_error"
 	// CodeInternal: handler panic or other server-side failure.
 	CodeInternal = "internal"
 )
@@ -62,6 +70,12 @@ func toAPIError(err error) *apiError {
 	}
 	if errors.Is(err, ErrOverloaded) {
 		return &apiError{http.StatusTooManyRequests, CodeIngestOverflow, err.Error()}
+	}
+	if errors.Is(err, ErrNotReady) {
+		return &apiError{http.StatusServiceUnavailable, CodeNotReady, err.Error()}
+	}
+	if errors.Is(err, ErrDurability) {
+		return &apiError{http.StatusServiceUnavailable, CodeDurability, err.Error()}
 	}
 	return &apiError{http.StatusInternalServerError, CodeInternal, err.Error()}
 }

@@ -11,10 +11,21 @@
 // scan the frozen columnar table, which is immutable by construction. An
 // epoch swap is one atomic pointer store; retired epochs are reclaimed the
 // moment their last in-flight reader finishes.
+//
+// With a write-ahead log attached (ManagerConfig.WAL), the layer is also
+// durable: every ingest batch is appended to the log before it is
+// acknowledged, each publish writes an epoch checkpoint, and a restart
+// recovers by importing the latest checkpoint table and replaying the WAL
+// tail through the builder — reproducing a table bit-identical to an
+// uninterrupted build over the same acked rows. A build or freeze that
+// aborts rolls the manager back to the previously published epoch (counted
+// in serve_epoch_rollbacks_total) instead of taking the server down.
 package serve
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,7 +33,9 @@ import (
 
 	"waitfreebn/internal/core"
 	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/faultinject"
 	"waitfreebn/internal/obs"
+	"waitfreebn/internal/wal"
 )
 
 // Metric names published by the serving layer.
@@ -33,8 +46,12 @@ const (
 	metricEpochRefs      = "serve_epoch_refs"
 	metricPublished      = "serve_epochs_published_total"
 	metricRetired        = "serve_epochs_retired_total"
+	metricRollbacks      = "serve_epoch_rollbacks_total"
 	metricIngested       = "serve_ingest_rows_total"
 	metricPending        = "serve_pending_rows"
+	metricWALRetries     = "serve_wal_retries_total"
+	metricRecoverySecs   = "serve_recovery_seconds"
+	metricRecoveredRows  = "serve_recovered_rows"
 	metricRefreshHist    = "serve_refresh_seconds"
 	metricRequests       = "serve_requests_total"
 	metricRequestHist    = "serve_request_seconds"
@@ -48,8 +65,29 @@ const (
 // after the next refresh drains the backlog.
 var ErrOverloaded = fmt.Errorf("serve: ingest backlog full")
 
+// ErrNotReady is returned by Ingest while the manager is draining for
+// shutdown (and is the error the HTTP layer maps to the not_ready envelope
+// code during recovery and drain).
+var ErrNotReady = errors.New("serve: not ready")
+
+// ErrDurability is returned by Ingest when the write-ahead-log append failed
+// past its retry budget: the rows were NOT accepted and the client must not
+// assume them durable. The HTTP layer maps it to the durability_error code.
+var ErrDurability = errors.New("serve: ingest not durable")
+
+// ErrRolledBack wraps refresh failures that were contained by rolling back
+// to the previously published epoch: the old snapshot keeps serving, the
+// pending backlog is retained for retry, and the refresh loop continues.
+var ErrRolledBack = errors.New("serve: epoch rolled back")
+
+// walAttempts is the append/replay retry budget for transient WAL errors,
+// with exponential backoff between attempts.
+const walAttempts = 6
+
+const walBackoffBase = 200 * time.Microsecond
+
 // ManagerConfig parameterizes the epoch manager. The zero value of every
-// field selects a sensible default.
+// field selects a sensible default (and no durability).
 type ManagerConfig struct {
 	// Build configures the background incremental builder (workers,
 	// partitioning, queues). Build.Obs also instruments the manager.
@@ -63,6 +101,17 @@ type ManagerConfig struct {
 	// MaxPending bounds the rows buffered between refreshes; Ingest fails
 	// with ErrOverloaded past it. 0 = 1<<20.
 	MaxPending int
+	// WAL, when non-nil, makes ingest durable: batches are appended (and
+	// fsynced per the log's policy) before they are acknowledged, and the
+	// manager starts not-ready until Recover has replayed the log.
+	WAL *wal.Log
+	// Checkpoints, when non-nil (requires WAL), bounds recovery: every
+	// CheckpointEvery-th publish writes the epoch table + manifest, and the
+	// WAL is truncated to the records after it.
+	Checkpoints *wal.CheckpointStore
+	// CheckpointEvery is how many publishes elapse between checkpoints.
+	// 0 = 1 (every publish).
+	CheckpointEvery int
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -72,7 +121,19 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.MaxPending <= 0 {
 		c.MaxPending = 1 << 20
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 	return c
+}
+
+// pendingBlock is one acked ingest batch awaiting the next epoch: the
+// encoded keys (the builder's input and the WAL payload) plus the WAL
+// sequence that made it durable (0 when no WAL is attached).
+type pendingBlock struct {
+	keys []uint64
+	seq  uint64
+	rows int
 }
 
 // Manager owns the build → freeze → publish → retire epoch cycle. Readers
@@ -85,52 +146,87 @@ type Manager struct {
 	reg   *obs.Registry
 
 	// mu serializes all builder access (the Builder is single-goroutine by
-	// contract) and guards the pending backlog. Readers never take it.
+	// contract), the pending backlog, and all WAL/checkpoint writes (so the
+	// backlog order is the WAL order). Readers never take it.
 	mu      sync.Mutex
 	builder *core.Builder
-	pending [][][]uint8 // accepted ingest batches, in arrival order
-	backlog int         // total rows across pending
+	pending []pendingBlock
+	backlog int // total rows across pending
 
-	cur  atomic.Pointer[core.Snapshot]
-	wake chan struct{}
+	// Durability bookkeeping, all under mu. builtSeq is the last WAL record
+	// folded into the builder; pubSeq the last folded into the published
+	// table; ckptEpoch the epoch of the newest committed checkpoint.
+	lastTable *core.PotentialTable // the published frozen table (rollback seed)
+	builtSeq  uint64
+	pubSeq    uint64
+	ckptEpoch uint64
+	hasCkpt   bool
+	sinceCkpt int
+	dirty     bool   // builder holds rows not yet in the published table
+	nextEpoch uint64 // epoch number the next publish uses
+	freezeSeq uint64 // freeze-fail fault-point occurrence counter
+	replaySeq uint64 // recover-replay fault-point occurrence counter
 
-	published *obs.Counter
-	retired   *obs.Counter
-	ingested  *obs.Counter
-	pendingG  *obs.Gauge
-	epochG    *obs.Gauge
-	keysG     *obs.Gauge
-	samplesG  *obs.Gauge
-	refreshH  *obs.Histogram
+	cur    atomic.Pointer[core.Snapshot]
+	wake   chan struct{}
+	ready  atomic.Bool // false until recovery publishes; false again on drain
+	drain  atomic.Bool
+	closed atomic.Bool
+
+	published  *obs.Counter
+	retired    *obs.Counter
+	rollbacks  *obs.Counter
+	ingested   *obs.Counter
+	walRetries *obs.Counter
+	pendingG   *obs.Gauge
+	epochG     *obs.Gauge
+	keysG      *obs.Gauge
+	samplesG   *obs.Gauge
+	recoveryG  *obs.Gauge
+	recRowsG   *obs.Gauge
+	refreshH   *obs.Histogram
 }
 
 // NewManager builds the empty epoch-0 snapshot and publishes it, so readers
 // never observe a nil epoch. The registry in cfg.Build.Obs (may be nil)
-// receives the epoch gauges and refresh histogram.
+// receives the epoch gauges and refresh histogram. Without a WAL the manager
+// is immediately ready; with one, Recover must run (and publish the
+// recovered epoch) before the HTTP layer reports ready.
 func NewManager(ctx context.Context, codec *encoding.Codec, cfg ManagerConfig) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Checkpoints != nil && cfg.WAL == nil {
+		return nil, fmt.Errorf("serve: Checkpoints requires WAL")
+	}
 	reg := cfg.Build.Obs
 	m := &Manager{
-		codec:     codec,
-		cfg:       cfg,
-		reg:       reg,
-		builder:   core.NewBuilder(codec, cfg.IngestBatch, cfg.Build),
-		wake:      make(chan struct{}, 1),
-		published: reg.Counter(metricPublished),
-		retired:   reg.Counter(metricRetired),
-		ingested:  reg.Counter(metricIngested),
-		pendingG:  reg.Gauge(metricPending),
-		epochG:    reg.Gauge(metricEpoch),
-		keysG:     reg.Gauge(metricEpochKeys),
-		samplesG:  reg.Gauge(metricEpochSamples),
-		refreshH:  reg.Histogram(metricRefreshHist),
+		codec:      codec,
+		cfg:        cfg,
+		reg:        reg,
+		builder:    core.NewBuilder(codec, cfg.IngestBatch, cfg.Build),
+		wake:       make(chan struct{}, 1),
+		published:  reg.Counter(metricPublished),
+		retired:    reg.Counter(metricRetired),
+		rollbacks:  reg.Counter(metricRollbacks),
+		ingested:   reg.Counter(metricIngested),
+		walRetries: reg.Counter(metricWALRetries),
+		pendingG:   reg.Gauge(metricPending),
+		epochG:     reg.Gauge(metricEpoch),
+		keysG:      reg.Gauge(metricEpochKeys),
+		samplesG:   reg.Gauge(metricEpochSamples),
+		recoveryG:  reg.Gauge(metricRecoverySecs),
+		recRowsG:   reg.Gauge(metricRecoveredRows),
+		refreshH:   reg.Histogram(metricRefreshHist),
 	}
 	if reg != nil {
 		reg.Help(metricEpoch, "currently published snapshot epoch")
 		reg.Help(metricPublished, "snapshot epochs published")
 		reg.Help(metricRetired, "retired snapshot epochs fully drained and reclaimed")
+		reg.Help(metricRollbacks, "failed refreshes contained by rolling back to the prior epoch")
 		reg.Help(metricIngested, "rows accepted into the ingest backlog")
 		reg.Help(metricPending, "rows accepted but not yet built into an epoch")
+		reg.Help(metricWALRetries, "transient WAL/replay failures that were retried")
+		reg.Help(metricRecoverySecs, "duration of the last startup recovery")
+		reg.Help(metricRecoveredRows, "rows restored by the last startup recovery (checkpoint + replay)")
 		reg.Help(metricRefreshHist, "duration of build+freeze+publish refresh cycles")
 	}
 	pt, _, err := m.builder.SnapshotCtx(ctx, cfg.FreezeP)
@@ -138,16 +234,18 @@ func NewManager(ctx context.Context, codec *encoding.Codec, cfg ManagerConfig) (
 		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
 	}
 	m.publish(pt)
+	m.lastTable = pt
+	if cfg.WAL == nil {
+		m.ready.Store(true)
+	}
 	return m, nil
 }
 
 // publish swaps in pt as the next epoch and retires the previous snapshot.
 // Caller must hold m.mu (or be the constructor).
 func (m *Manager) publish(pt *core.PotentialTable) {
-	var epoch uint64
-	if old := m.cur.Load(); old != nil {
-		epoch = old.Epoch() + 1
-	}
+	epoch := m.nextEpoch
+	m.nextEpoch++
 	next := core.NewSnapshot(epoch, pt, func() { m.retired.Inc() })
 	old := m.cur.Swap(next)
 	m.published.Inc()
@@ -184,6 +282,26 @@ func (m *Manager) Pending() int {
 	return m.backlog
 }
 
+// Ready reports whether the manager serves authoritative data: true once
+// recovery (if any) has published its epoch, false again once a drain
+// begins. The HTTP layer's /readyz and data-plane gating read this.
+func (m *Manager) Ready() bool { return m.ready.Load() }
+
+// NeedsRecovery reports whether Recover must run before the manager is
+// ready (a WAL is attached and recovery has not completed).
+func (m *Manager) NeedsRecovery() bool { return m.cfg.WAL != nil && !m.ready.Load() }
+
+// BeginDrain flips the manager out of ready: Ingest refuses new rows with
+// ErrNotReady while in-flight work and the pending backlog can still be
+// flushed via Refresh/Shutdown.
+func (m *Manager) BeginDrain() {
+	m.drain.Store(true)
+	m.ready.Store(false)
+}
+
+// Draining reports whether BeginDrain has been called.
+func (m *Manager) Draining() bool { return m.drain.Load() }
+
 // validateRows checks arity and state ranges up front, so a malformed row
 // surfaces as a client error instead of corrupting the builder's encode.
 func (m *Manager) validateRows(rows [][]uint8) error {
@@ -202,9 +320,33 @@ func (m *Manager) validateRows(rows [][]uint8) error {
 	return nil
 }
 
+// walAppendLocked appends one batch's keys to the WAL, retrying transient
+// errors with exponential backoff up to the walAttempts budget. Caller holds
+// m.mu, which is what makes backlog order equal WAL order.
+func (m *Manager) walAppendLocked(keys []uint64) (uint64, error) {
+	backoff := walBackoffBase
+	var lastErr error
+	for attempt := 0; attempt < walAttempts; attempt++ {
+		if attempt > 0 {
+			m.walRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		seq, err := m.cfg.WAL.Append(keys)
+		if err == nil {
+			return seq, nil
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
 // Ingest accepts rows into the backlog for the next epoch, all-or-nothing:
-// on a validation error or a full backlog (ErrOverloaded) no row is kept.
-// The next Run cycle (or an explicit Refresh) builds them. Safe for
+// on a validation error, a full backlog (ErrOverloaded), a drain
+// (ErrNotReady), or a WAL append that failed past its retry budget
+// (ErrDurability) no row is kept. With a WAL attached, a nil return means
+// the batch is durable per the log's fsync policy BEFORE the caller sees the
+// ack. The next Run cycle (or an explicit Refresh) builds them. Safe for
 // concurrent use.
 func (m *Manager) Ingest(rows [][]uint8) error {
 	if len(rows) == 0 {
@@ -213,12 +355,27 @@ func (m *Manager) Ingest(rows [][]uint8) error {
 	if err := m.validateRows(rows); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	keys := make([]uint64, len(rows))
+	m.codec.EncodeRows(rows, keys)
+
 	m.mu.Lock()
+	if m.drain.Load() {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: draining for shutdown", ErrNotReady)
+	}
 	if m.backlog+len(rows) > m.cfg.MaxPending {
 		m.mu.Unlock()
 		return ErrOverloaded
 	}
-	m.pending = append(m.pending, rows)
+	var seq uint64
+	if m.cfg.WAL != nil {
+		var err error
+		if seq, err = m.walAppendLocked(keys); err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+	}
+	m.pending = append(m.pending, pendingBlock{keys: keys, seq: seq, rows: len(rows)})
 	m.backlog += len(rows)
 	m.pendingG.Set(float64(m.backlog))
 	m.mu.Unlock()
@@ -230,42 +387,220 @@ func (m *Manager) Ingest(rows [][]uint8) error {
 	return nil
 }
 
+// rollbackLocked contains a refresh failure that poisoned the builder:
+// a fresh builder is reseeded from the last published table, the pending
+// backlog (still intact — Refresh clears it only after every block builds)
+// stays queued for retry, and the old epoch keeps serving.
+func (m *Manager) rollbackLocked(cause error) error {
+	b := core.NewBuilder(m.codec, m.cfg.IngestBatch, m.cfg.Build)
+	if err := b.ImportTable(m.lastTable); err != nil {
+		// Reseeding cannot fail on a table this manager published (same
+		// codec); if it does, no consistent state remains.
+		return fmt.Errorf("serve: rollback reseed: %w", err)
+	}
+	m.builder = b
+	m.builtSeq = m.pubSeq
+	m.dirty = false
+	m.rollbacks.Inc()
+	return fmt.Errorf("%w: %v", ErrRolledBack, cause)
+}
+
 // Refresh drains the backlog into the builder and publishes a fresh epoch:
 // build → freeze (into a detached columnar snapshot) → atomic publish →
-// retire the old epoch (reclaimed once its in-flight readers drain).
-// Returns whether a new epoch was published — with an empty backlog the
-// current epoch already reflects all ingested rows, so the swap is skipped.
-// Safe for concurrent use; in-flight queries are never blocked by it.
+// checkpoint (when due) → retire the old epoch (reclaimed once its
+// in-flight readers drain). Returns whether a new epoch was published —
+// with an empty backlog and no un-frozen builder rows the current epoch
+// already reflects all ingested rows, so the swap is skipped.
+//
+// A failure is contained, not fatal: a poisoned build rolls back to the
+// previously published epoch (backlog retained), a failed freeze leaves the
+// builder intact for a later re-freeze; both return an error wrapping
+// ErrRolledBack and keep the old epoch serving. Safe for concurrent use;
+// in-flight queries are never blocked by it.
 func (m *Manager) Refresh(ctx context.Context) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.backlog == 0 {
+	if m.backlog == 0 && !m.dirty {
 		return false, nil
 	}
 	start := time.Now()
-	for _, block := range m.pending {
-		if err := m.builder.AddBlockCtx(ctx, block); err != nil {
-			// The builder is poisoned; keep the last good epoch published
-			// and surface the error to the refresh loop.
-			return false, fmt.Errorf("serve: refresh build: %w", err)
+	// Feed every pending block; the backlog is cleared only after ALL of
+	// them are in, so a mid-loop failure retries the whole set after
+	// rollback (the builder rebuild makes that exactly-once, not double).
+	builtThrough := m.builtSeq
+	for _, blk := range m.pending {
+		if err := m.builder.AddKeysCtx(ctx, blk.keys); err != nil {
+			return false, m.rollbackLocked(fmt.Errorf("refresh build: %v", err))
+		}
+		if blk.seq > builtThrough {
+			builtThrough = blk.seq
 		}
 	}
+	m.builtSeq = builtThrough
 	m.pending = m.pending[:0]
 	m.backlog = 0
 	m.pendingG.Set(0)
+	m.dirty = true
+
+	m.freezeSeq++
+	if err := faultinject.Active().MaybeErr(faultinject.FreezeFail, 0, m.freezeSeq); err != nil {
+		// The freeze never started: the builder still holds every row
+		// (dirty stays true), so the next cycle re-freezes without data
+		// loss. Count it as a rollback — the epoch swap was aborted.
+		m.rollbacks.Inc()
+		return false, fmt.Errorf("%w: refresh freeze: %v", ErrRolledBack, err)
+	}
 	pt, _, err := m.builder.SnapshotCtx(ctx, m.cfg.FreezeP)
 	if err != nil {
-		return false, fmt.Errorf("serve: refresh freeze: %w", err)
+		m.rollbacks.Inc()
+		return false, fmt.Errorf("%w: refresh freeze: %v", ErrRolledBack, err)
 	}
 	m.publish(pt)
+	m.lastTable = pt
+	m.pubSeq = m.builtSeq
+	m.dirty = false
 	m.refreshH.Observe(time.Since(start))
+	m.checkpointLocked(false)
 	return true, nil
 }
 
+// checkpointLocked runs the post-publish durability barrier: fsync the WAL
+// (the SyncBatch barrier), and when a checkpoint is due (every
+// CheckpointEvery publishes, or force) commit the published table + manifest
+// and truncate fully covered WAL segments. Checkpoint failures are
+// non-fatal — the epoch stays published and recovery falls back to the
+// previous checkpoint plus a longer replay. Caller holds m.mu.
+func (m *Manager) checkpointLocked(force bool) {
+	if m.cfg.WAL == nil {
+		return
+	}
+	// Best-effort barrier: with SyncBatch this is where acked records reach
+	// stable storage. A failure here does not un-ack anything (that window
+	// is exactly what -fsync=always removes).
+	_ = m.cfg.WAL.Sync()
+	if m.cfg.Checkpoints == nil {
+		return
+	}
+	epoch := m.nextEpoch - 1
+	if m.hasCkpt && m.ckptEpoch == epoch {
+		return // this epoch is already checkpointed
+	}
+	m.sinceCkpt++
+	if !force && m.sinceCkpt < m.cfg.CheckpointEvery {
+		return
+	}
+	man, err := m.cfg.Checkpoints.Save(wal.Manifest{
+		Epoch:  epoch,
+		Rows:   m.lastTable.NumSamples(),
+		Keys:   m.lastTable.Len(),
+		WALSeq: m.pubSeq,
+	}, m.lastTable)
+	if err != nil {
+		return
+	}
+	m.hasCkpt = true
+	m.ckptEpoch = epoch
+	m.sinceCkpt = 0
+	_ = m.cfg.WAL.TruncateThrough(man.WALSeq)
+}
+
+// Recover restores the manager's state from the checkpoint store and the
+// WAL: the newest valid checkpoint table is imported into the builder, the
+// log tail after it is replayed (each record through the same AddKeys path
+// live ingest uses, with transient replay faults retried), and the recovered
+// epoch is published — after which the manager reports Ready. Epoch
+// numbering continues from the checkpoint's epoch. Must run before Run, on
+// a manager whose WAL is attached; without a WAL it is a no-op.
+func (m *Manager) Recover(ctx context.Context) error {
+	if m.cfg.WAL == nil {
+		m.ready.Store(true)
+		return nil
+	}
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var after uint64
+	var recovered, ckptRows uint64
+	if m.cfg.Checkpoints != nil {
+		man, tblBytes, ok, err := m.cfg.Checkpoints.LoadLatest()
+		if err != nil {
+			return fmt.Errorf("serve: recover: %w", err)
+		}
+		if ok {
+			tbl, err := core.ReadTable(bytes.NewReader(tblBytes), 1)
+			if err != nil {
+				return fmt.Errorf("serve: recover: checkpoint table: %w", err)
+			}
+			if err := m.builder.ImportTable(tbl); err != nil {
+				return fmt.Errorf("serve: recover: %w", err)
+			}
+			after = man.WALSeq
+			// The checkpoint already counts everything through WALSeq; start
+			// builtSeq there so a checkpoint written after a replay-free
+			// recovery doesn't claim seq 0 and double-count on the NEXT
+			// recovery.
+			m.builtSeq = man.WALSeq
+			m.nextEpoch = man.Epoch + 1
+			m.hasCkpt = true
+			m.ckptEpoch = man.Epoch
+			recovered, ckptRows = man.Rows, man.Rows
+		}
+	}
+	plan := faultinject.Active()
+	err := m.cfg.WAL.Replay(after, func(seq uint64, keys []uint64) error {
+		backoff := walBackoffBase
+		for attempt := 0; ; attempt++ {
+			m.replaySeq++
+			if err := plan.MaybeErr(faultinject.RecoverReplayFail, 0, m.replaySeq); err != nil {
+				if attempt >= walAttempts-1 {
+					return err
+				}
+				m.walRetries.Inc()
+				time.Sleep(backoff)
+				backoff *= 2
+				continue
+			}
+			break
+		}
+		if err := m.builder.AddKeysCtx(ctx, keys); err != nil {
+			return err
+		}
+		m.builtSeq = seq
+		recovered += uint64(len(keys))
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("serve: recover: replay: %w", err)
+	}
+	pt, _, err := m.builder.SnapshotCtx(ctx, m.cfg.FreezeP)
+	if err != nil {
+		return fmt.Errorf("serve: recover: freeze: %w", err)
+	}
+	m.publish(pt)
+	m.lastTable = pt
+	m.pubSeq = m.builtSeq
+	m.dirty = false
+	// Post-recovery checkpoint, amortized: writing one costs a full table
+	// serialization + fsync, so pay it only when no checkpoint exists yet or
+	// the replayed tail stopped being small relative to the table. A short
+	// tail is bounded by the publish cadence and costs less to replay again
+	// on the next restart than a table write costs now; a long tail (a crash
+	// after heavy unpublished ingest) is worth retiring immediately so a
+	// crash loop cannot replay it over and over.
+	if tail := recovered - ckptRows; !m.hasCkpt || tail*8 >= recovered {
+		m.checkpointLocked(false)
+	}
+	m.recoveryG.Set(time.Since(start).Seconds())
+	m.recRowsG.Set(float64(recovered))
+	m.ready.Store(true)
+	return nil
+}
+
 // Run is the background refresh loop: it wakes on every ingest and at every
-// interval tick, and publishes a new epoch whenever rows are pending. It
-// returns when ctx is cancelled (with nil) or when a refresh fails
-// permanently (builder poisoned).
+// interval tick, and publishes a new epoch whenever rows are pending. A
+// refresh contained by rollback (ErrRolledBack) keeps the loop — and the
+// previous epoch — serving; Run returns when ctx is cancelled (with nil) or
+// on an uncontainable failure.
 func (m *Manager) Run(ctx context.Context, interval time.Duration) error {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
@@ -283,15 +618,44 @@ func (m *Manager) Run(ctx context.Context, interval time.Duration) error {
 			if ctx.Err() != nil {
 				return nil
 			}
+			if errors.Is(err, ErrRolledBack) {
+				continue
+			}
 			return err
 		}
 	}
 }
 
-// Close retires the currently published epoch. Call only after Run has
-// returned and no new queries can start; in-flight readers still finish
-// (the snapshot drains when the last of them releases).
+// Shutdown flushes the manager for a clean exit: drain (refusing new
+// ingest), build and publish any pending backlog, force a final checkpoint,
+// and sync+close the WAL. Call after Run has returned. The returned error
+// reports the first flush failure; shutdown proceeds through the remaining
+// steps regardless.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.BeginDrain()
+	var firstErr error
+	if _, err := m.Refresh(ctx); err != nil {
+		firstErr = err
+	}
+	m.mu.Lock()
+	if m.cfg.WAL != nil {
+		m.checkpointLocked(true)
+		if err := m.cfg.WAL.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: closing wal: %w", err)
+		}
+	}
+	m.mu.Unlock()
+	m.Close()
+	return firstErr
+}
+
+// Close retires the currently published epoch (idempotent). Call only after
+// Run has returned and no new queries can start; in-flight readers still
+// finish (the snapshot drains when the last of them releases).
 func (m *Manager) Close() {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
 	if s := m.cur.Load(); s != nil {
 		s.Retire()
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"waitfreebn/internal/infer"
 	"waitfreebn/internal/obs"
 	"waitfreebn/internal/stats"
+	"waitfreebn/internal/wal"
 )
 
 // maxIngestBody bounds a single POST /v1/ingest body.
@@ -48,6 +50,14 @@ type Config struct {
 	// IngestBatch and MaxPending configure the epoch manager's backlog.
 	IngestBatch int
 	MaxPending  int
+	// WAL, when non-nil, makes ingest durable (appended and fsynced per the
+	// log's policy before the ack) and requires recovery before the server
+	// reports ready; Run performs it. Checkpoints (requires WAL) bounds how
+	// much log a restart replays, writing the epoch table + manifest every
+	// CheckpointEvery publishes (0 = every publish).
+	WAL             *wal.Log
+	Checkpoints     *wal.CheckpointStore
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,10 +96,13 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	mgr, err := NewManager(ctx, cfg.Codec, ManagerConfig{
-		Build:       cfg.Build,
-		FreezeP:     cfg.Build.P,
-		IngestBatch: cfg.IngestBatch,
-		MaxPending:  cfg.MaxPending,
+		Build:           cfg.Build,
+		FreezeP:         cfg.Build.P,
+		IngestBatch:     cfg.IngestBatch,
+		MaxPending:      cfg.MaxPending,
+		WAL:             cfg.WAL,
+		Checkpoints:     cfg.Checkpoints,
+		CheckpointEvery: cfg.CheckpointEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -121,6 +134,10 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	s.mux.Handle("GET /v1/infer", s.handle("infer", s.handleInfer))
 	s.mux.Handle("POST /v1/ingest", s.handle("ingest", s.handleIngest))
 	s.mux.Handle("GET /v1/epoch", s.handle("epoch", s.handleEpoch))
+	// Health endpoints bypass admission control and the ready gate: a
+	// saturated or recovering server must still answer its orchestrator.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", reg.Handler())
 	s.mux.Handle("/metrics.json", reg.JSONHandler())
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -136,12 +153,54 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Manager exposes the epoch manager (for preloading and tests).
 func (s *Server) Manager() *Manager { return s.mgr }
 
-// Run drives the background refresh loop until ctx is cancelled, then
-// retires the published epoch.
+// Run recovers from the WAL when one is attached (the server answers
+// /healthz and a 503 /readyz throughout), then drives the background
+// refresh loop until ctx is cancelled. Callers that need the final
+// WAL flush call Shutdown afterwards; otherwise the published epoch is
+// retired here.
 func (s *Server) Run(ctx context.Context) error {
+	if s.mgr.NeedsRecovery() {
+		if err := s.mgr.Recover(ctx); err != nil {
+			return err
+		}
+	}
 	err := s.mgr.Run(ctx, s.cfg.RefreshEvery)
-	s.mgr.Close()
+	if s.cfg.WAL == nil {
+		s.mgr.Close()
+	}
 	return err
+}
+
+// BeginDrain flips /readyz to 503 and refuses new data-plane work while
+// in-flight requests finish; the final flush happens in Shutdown.
+func (s *Server) BeginDrain() { s.mgr.BeginDrain() }
+
+// Shutdown flushes the pending backlog into a final epoch, forces a last
+// checkpoint, and closes the WAL. Call after Run has returned and the HTTP
+// listener has drained.
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+
+// handleHealthz is the liveness probe: 200 whenever the process can serve
+// HTTP at all, independent of recovery or drain state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeEnvelope(w, http.StatusOK, envelope{Data: map[string]any{"alive": true}})
+}
+
+// handleReadyz is the readiness probe: 200 only once recovery has completed
+// and the first authoritative epoch is published, 503 before that and again
+// once a shutdown drain begins.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.mgr.Ready() {
+		reason := "recovering"
+		if s.mgr.Draining() {
+			reason = "draining"
+		}
+		writeEnvelope(w, http.StatusServiceUnavailable, envelope{Error: &envelopeError{
+			CodeNotReady, reason}})
+		return
+	}
+	writeEnvelope(w, http.StatusOK, envelope{Data: map[string]any{
+		"ready": true, "epoch": s.mgr.Epoch()}})
 }
 
 // handle wraps an endpoint body with the serving pipeline: admission
@@ -150,6 +209,21 @@ func (s *Server) Run(ctx context.Context) error {
 func (s *Server) handle(endpoint string, fn func(ctx context.Context, r *http.Request) (any, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Data-plane requests are refused until recovery publishes the first
+		// authoritative epoch, and again once a shutdown drain begins —
+		// serving the placeholder epoch would silently return wrong counts.
+		if !s.mgr.Ready() {
+			reason := "recovering; retry after /readyz reports ready"
+			if s.mgr.Draining() {
+				reason = "draining for shutdown"
+			}
+			n := writeEnvelope(w, http.StatusServiceUnavailable, envelope{Error: &envelopeError{
+				CodeNotReady, reason}})
+			s.requests(endpoint, CodeNotReady).Inc()
+			s.sizes(endpoint).Observe(n)
+			s.latency(endpoint).Observe(time.Since(start))
+			return
+		}
 		if !s.adm.enter(r.Context()) {
 			n := writeEnvelope(w, http.StatusTooManyRequests, envelope{Error: &envelopeError{
 				CodeAdmissionRejected, "too many requests in flight; retry"}})
@@ -491,7 +565,9 @@ func (s *Server) handleIngest(_ context.Context, r *http.Request) (any, error) {
 		return nil, badQuery("body: no rows")
 	}
 	if err := s.mgr.Ingest(req.Rows); err != nil {
-		if err == ErrOverloaded {
+		// Backpressure, durability refusal, and drain all carry their own
+		// typed envelope codes; only validation failures are the client's.
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDurability) || errors.Is(err, ErrNotReady) {
 			return nil, err
 		}
 		return nil, badQuery("%v", err)

@@ -1,0 +1,274 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"waitfreebn/internal/faultinject"
+	"waitfreebn/internal/obs"
+)
+
+// A checkpoint bounds recovery work: instead of replaying the whole log, a
+// restart loads the newest valid checkpoint's table and replays only the
+// records after its WALSeq. Each checkpoint is two files, written in commit
+// order so a crash at any byte leaves the previous checkpoint intact:
+//
+//	ckpt-<epoch>.tbl   the frozen table, core.PotentialTable.WriteTo bytes
+//	ckpt-<epoch>.json  the manifest, committed last via atomic rename
+//
+// Both are staged as .tmp files, fsynced, then renamed; the manifest names
+// the table file and carries its CRC32C, so a manifest only ever points at
+// a table that was fully durable first. LoadLatest walks manifests newest-
+// first and skips any whose table is missing or fails the checksum — a
+// half-written checkpoint degrades recovery (longer replay), never corrupts
+// it.
+
+// Manifest metric names.
+const (
+	metricCkptSaves    = "wal_checkpoints_total"
+	metricCkptFailures = "wal_checkpoint_failures_total"
+	metricCkptEpoch    = "wal_checkpoint_epoch"
+)
+
+const (
+	ckptPrefix     = "ckpt-"
+	ckptTblSuffix  = ".tbl"
+	ckptManSuffix  = ".json"
+	keepCheckpoint = 2 // retained manifests: the newest plus one fallback
+)
+
+// Manifest describes one epoch checkpoint. It is the recovery contract:
+// load TableFile (verifying TableCRC), seed the builder with it, then
+// replay the WAL strictly after WALSeq.
+type Manifest struct {
+	// Epoch is the published epoch the table corresponds to.
+	Epoch uint64 `json:"epoch"`
+	// Rows is the table's sample count m.
+	Rows uint64 `json:"rows"`
+	// Keys is the table's distinct-key count (a cheap recovery sanity bound).
+	Keys int `json:"keys"`
+	// WALSeq is the last WAL record folded into the table; replay resumes
+	// strictly after it.
+	WALSeq uint64 `json:"wal_seq"`
+	// TableFile is the table's file name within the checkpoint dir.
+	TableFile string `json:"table_file"`
+	// TableCRC is the CRC32C of the table file's bytes. WriteTo output is
+	// deterministic, so this doubles as a content checksum of the epoch.
+	TableCRC uint32 `json:"table_crc32c"`
+}
+
+// CheckpointStore reads and writes epoch checkpoints in one directory
+// (conventionally the WAL dir).
+type CheckpointStore struct {
+	dir      string
+	saves    *obs.Counter
+	failures *obs.Counter
+	epochG   *obs.Gauge
+}
+
+// OpenCheckpoints prepares a store in dir, creating it if absent.
+func OpenCheckpoints(dir string, reg *obs.Registry) (*CheckpointStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wal: checkpoint dir is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if reg != nil {
+		reg.Help(metricCkptSaves, "epoch checkpoints committed")
+		reg.Help(metricCkptFailures, "epoch checkpoint attempts that failed")
+		reg.Help(metricCkptEpoch, "epoch of the newest committed checkpoint")
+	}
+	return &CheckpointStore{
+		dir:      dir,
+		saves:    reg.Counter(metricCkptSaves),
+		failures: reg.Counter(metricCkptFailures),
+		epochG:   reg.Gauge(metricCkptEpoch),
+	}, nil
+}
+
+// Dir returns the store's directory.
+func (s *CheckpointStore) Dir() string { return s.dir }
+
+// Save commits a checkpoint of table for man.Epoch (the caller fills Epoch,
+// Rows, Keys and WALSeq; TableFile and TableCRC are computed here) and
+// prunes checkpoints older than the retention window. The checkpoint-write
+// fault point fires at entry. On any error nothing newer than the previous
+// checkpoint is visible to LoadLatest.
+func (s *CheckpointStore) Save(man Manifest, table io.WriterTo) (Manifest, error) {
+	m, err := s.save(man, table)
+	if err != nil {
+		s.failures.Inc()
+		return m, err
+	}
+	s.saves.Inc()
+	s.epochG.Set(float64(m.Epoch))
+	return m, nil
+}
+
+func (s *CheckpointStore) save(man Manifest, table io.WriterTo) (Manifest, error) {
+	if err := faultinject.Active().MaybeErr(faultinject.CheckpointWriteFail, 0, man.Epoch); err != nil {
+		return man, err
+	}
+	man.TableFile = fmt.Sprintf("%s%020d%s", ckptPrefix, man.Epoch, ckptTblSuffix)
+	tblPath := filepath.Join(s.dir, man.TableFile)
+
+	// Stage the table, computing the content CRC as the bytes stream out.
+	tmp, err := os.CreateTemp(s.dir, man.TableFile+".tmp")
+	if err != nil {
+		return man, fmt.Errorf("wal: checkpoint table: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	crc := crc32.New(crcTable)
+	if _, err := table.WriteTo(io.MultiWriter(tmp, crc)); err != nil {
+		tmp.Close()
+		return man, fmt.Errorf("wal: checkpoint table: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return man, fmt.Errorf("wal: checkpoint table: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return man, fmt.Errorf("wal: checkpoint table: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), tblPath); err != nil {
+		return man, fmt.Errorf("wal: checkpoint table: %w", err)
+	}
+	man.TableCRC = crc.Sum32()
+
+	// Commit point: the manifest rename. Until it lands, recovery sees only
+	// the previous checkpoint.
+	body, err := json.Marshal(man)
+	if err != nil {
+		return man, fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	manPath := filepath.Join(s.dir, fmt.Sprintf("%s%020d%s", ckptPrefix, man.Epoch, ckptManSuffix))
+	mtmp, err := os.CreateTemp(s.dir, "manifest.tmp")
+	if err != nil {
+		return man, fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	defer os.Remove(mtmp.Name())
+	if _, err := mtmp.Write(body); err != nil {
+		mtmp.Close()
+		return man, fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	if err := mtmp.Sync(); err != nil {
+		mtmp.Close()
+		return man, fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	if err := mtmp.Close(); err != nil {
+		return man, fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	if err := os.Rename(mtmp.Name(), manPath); err != nil {
+		return man, fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync() // persist the renames themselves
+		d.Close()
+	}
+	s.prune(man.Epoch)
+	return man, nil
+}
+
+// prune removes checkpoints outside the retention window — everything but
+// the keepCheckpoint newest epochs up to and including latest.
+func (s *CheckpointStore) prune(latest uint64) {
+	epochs, _ := s.manifestEpochs()
+	kept := 0
+	for i := len(epochs) - 1; i >= 0; i-- {
+		if epochs[i] > latest {
+			continue
+		}
+		kept++
+		if kept <= keepCheckpoint {
+			continue
+		}
+		e := epochs[i]
+		os.Remove(filepath.Join(s.dir, fmt.Sprintf("%s%020d%s", ckptPrefix, e, ckptManSuffix)))
+		os.Remove(filepath.Join(s.dir, fmt.Sprintf("%s%020d%s", ckptPrefix, e, ckptTblSuffix)))
+	}
+}
+
+// LoadLatest returns the newest valid checkpoint: its manifest and the
+// verified table bytes, ready for core.ReadTable. Manifests whose table
+// file is missing, short, or checksum-mismatched are skipped (with the
+// failure counted), falling back to older checkpoints; ok is false when no
+// valid checkpoint exists.
+func (s *CheckpointStore) LoadLatest() (man Manifest, table []byte, ok bool, err error) {
+	epochs, err := s.manifestEpochs()
+	if err != nil {
+		return Manifest{}, nil, false, err
+	}
+	for i := len(epochs) - 1; i >= 0; i-- {
+		manPath := filepath.Join(s.dir, fmt.Sprintf("%s%020d%s", ckptPrefix, epochs[i], ckptManSuffix))
+		body, rerr := os.ReadFile(manPath)
+		if rerr != nil {
+			continue
+		}
+		var m Manifest
+		if json.Unmarshal(body, &m) != nil || m.TableFile == "" ||
+			strings.Contains(m.TableFile, string(os.PathSeparator)) || strings.Contains(m.TableFile, "..") {
+			s.failures.Inc()
+			continue
+		}
+		tbl, rerr := os.ReadFile(filepath.Join(s.dir, m.TableFile))
+		if rerr != nil || crc32.Checksum(tbl, crcTable) != m.TableCRC {
+			// The manifest committed but its table is gone or damaged —
+			// possible only under external interference, but recovery must
+			// degrade, not die.
+			s.failures.Inc()
+			continue
+		}
+		return m, tbl, true, nil
+	}
+	return Manifest{}, nil, false, nil
+}
+
+// TableCRC computes the store's content checksum of a table's serialized
+// bytes — the value Save records and the chaos tests compare across a
+// crash/recover boundary.
+func TableCRC(table io.WriterTo) (uint32, error) {
+	crc := crc32.New(crcTable)
+	if _, err := table.WriteTo(crc); err != nil {
+		return 0, err
+	}
+	return crc.Sum32(), nil
+}
+
+// ReadManifest parses manifest bytes (exported for tests and tooling).
+func ReadManifest(body []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(bytes.TrimSpace(body), &m); err != nil {
+		return Manifest{}, fmt.Errorf("wal: manifest: %w", err)
+	}
+	return m, nil
+}
+
+// manifestEpochs lists committed manifest epochs, ascending.
+func (s *CheckpointStore) manifestEpochs() ([]uint64, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var epochs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptManSuffix) {
+			continue
+		}
+		var epoch uint64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptManSuffix), "%d", &epoch); err != nil {
+			continue
+		}
+		epochs = append(epochs, epoch)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}

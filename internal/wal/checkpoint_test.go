@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waitfreebn/internal/faultinject"
+	"waitfreebn/internal/obs"
+)
+
+// memTable is an io.WriterTo with deterministic bytes, standing in for
+// core.PotentialTable.WriteTo.
+type memTable []byte
+
+func (m memTable) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(m)
+	return int64(n), err
+}
+
+type failingTable struct{}
+
+func (failingTable) WriteTo(w io.Writer) (int64, error) {
+	n, _ := w.Write([]byte("part"))
+	return int64(n), errors.New("freeze interrupted")
+}
+
+func openStore(t *testing.T, dir string) *CheckpointStore {
+	t.Helper()
+	s, err := OpenCheckpoints(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	tbl := memTable("WFBN1\ndeterministic table bytes")
+	in := Manifest{Epoch: 3, Rows: 128, Keys: 17, WALSeq: 42}
+	out, err := s.Save(in, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TableFile == "" || out.TableCRC == 0 {
+		t.Fatalf("Save did not fill TableFile/TableCRC: %+v", out)
+	}
+	man, data, ok, err := s.LoadLatest()
+	if err != nil || !ok {
+		t.Fatalf("LoadLatest = (ok=%v, err=%v)", ok, err)
+	}
+	if man != out {
+		t.Fatalf("manifest round-trip: got %+v, want %+v", man, out)
+	}
+	if !bytes.Equal(data, []byte(tbl)) {
+		t.Fatal("table bytes did not round-trip")
+	}
+	wantCRC, err := TableCRC(tbl)
+	if err != nil || man.TableCRC != wantCRC {
+		t.Fatalf("TableCRC mismatch: manifest %d, computed %d (%v)", man.TableCRC, wantCRC, err)
+	}
+}
+
+func TestLoadLatestPicksNewestAndPrunes(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	for e := uint64(1); e <= 5; e++ {
+		if _, err := s.Save(Manifest{Epoch: e, WALSeq: e * 10}, memTable(fmt.Sprintf("table-%d", e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man, data, ok, err := s.LoadLatest()
+	if err != nil || !ok || man.Epoch != 5 || string(data) != "table-5" {
+		t.Fatalf("LoadLatest after 5 saves = (%+v, %q, %v, %v)", man, data, ok, err)
+	}
+	epochs, err := s.manifestEpochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != keepCheckpoint {
+		t.Fatalf("retention kept %d manifests (%v), want %d", len(epochs), epochs, keepCheckpoint)
+	}
+}
+
+func TestLoadLatestSkipsCorruptTable(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	if _, err := s.Save(Manifest{Epoch: 1, WALSeq: 10}, memTable("old-table")); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Save(Manifest{Epoch: 2, WALSeq: 20}, memTable("new-table"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest table file; recovery must fall back to epoch 1.
+	if err := os.WriteFile(filepath.Join(s.Dir(), m2.TableFile), []byte("damaged"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, data, ok, err := s.LoadLatest()
+	if err != nil || !ok {
+		t.Fatalf("LoadLatest = (ok=%v, err=%v)", ok, err)
+	}
+	if man.Epoch != 1 || string(data) != "old-table" {
+		t.Fatalf("fallback loaded epoch %d (%q), want epoch 1", man.Epoch, data)
+	}
+}
+
+func TestLoadLatestEmptyAndGarbage(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	if _, _, ok, err := s.LoadLatest(); ok || err != nil {
+		t.Fatalf("empty store LoadLatest = (ok=%v, err=%v)", ok, err)
+	}
+	// Garbage manifests must be skipped, not fatal.
+	for i, body := range []string{"", "{", `{"table_file":"../../etc/passwd"}`} {
+		p := filepath.Join(s.Dir(), fmt.Sprintf("%s%020d%s", ckptPrefix, uint64(100+i), ckptManSuffix))
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok, err := s.LoadLatest(); ok || err != nil {
+		t.Fatalf("garbage-only store LoadLatest = (ok=%v, err=%v)", ok, err)
+	}
+}
+
+func TestSaveFailureLeavesPreviousCheckpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := OpenCheckpoints(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(Manifest{Epoch: 1, WALSeq: 5}, memTable("good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(Manifest{Epoch: 2, WALSeq: 9}, failingTable{}); err == nil {
+		t.Fatal("Save with failing WriterTo succeeded")
+	}
+	man, data, ok, err := s.LoadLatest()
+	if err != nil || !ok || man.Epoch != 1 || string(data) != "good" {
+		t.Fatalf("after failed save, LoadLatest = (%+v, %q, %v, %v), want epoch 1", man, data, ok, err)
+	}
+	if got := reg.Counter(metricCkptFailures).Value(); got != 1 {
+		t.Fatalf("checkpoint failure counter = %d, want 1", got)
+	}
+}
+
+func TestSaveFaultInjection(t *testing.T) {
+	restore := faultinject.Activate(faultinject.NewPlan(1).WithRate(faultinject.CheckpointWriteFail, 1))
+	defer restore()
+	s := openStore(t, t.TempDir())
+	_, err := s.Save(Manifest{Epoch: 7}, memTable("x"))
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) || inj.Point != faultinject.CheckpointWriteFail {
+		t.Fatalf("Save error %v is not the injected checkpoint-write fault", err)
+	}
+	if _, _, ok, _ := s.LoadLatest(); ok {
+		t.Fatal("injected checkpoint failure still committed a manifest")
+	}
+	restore()
+	if _, err := s.Save(Manifest{Epoch: 7}, memTable("x")); err != nil {
+		t.Fatalf("Save after plan cleared: %v", err)
+	}
+}
+
+func TestReadManifest(t *testing.T) {
+	body := []byte(` {"epoch":9,"rows":4,"keys":2,"wal_seq":77,"table_file":"ckpt-9.tbl","table_crc32c":123} ` + "\n")
+	m, err := ReadManifest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 9 || m.Rows != 4 || m.Keys != 2 || m.WALSeq != 77 || m.TableFile != "ckpt-9.tbl" || m.TableCRC != 123 {
+		t.Fatalf("ReadManifest = %+v", m)
+	}
+	if _, err := ReadManifest([]byte("not json")); err == nil {
+		t.Fatal("ReadManifest accepted garbage")
+	}
+}
