@@ -3,7 +3,7 @@ GO ?= go
 # Extra seeds for the chaos sweep, e.g. `make chaos CHAOS_SEEDS=11,12,13`.
 CHAOS_SEEDS ?=
 
-.PHONY: all build vet test race check chaos chaos-serve serve-smoke bench-obs bench-phases bench-scan bench-build bench-serve bench-recover clean
+.PHONY: all build vet test race check chaos chaos-serve serve-smoke bench-obs bench-phases bench-scan bench-build bench-serve bench-recover bench-skew bench-artifacts clean
 
 all: check
 
@@ -59,6 +59,13 @@ check: vet build test race chaos chaos-serve serve-smoke
 bench-obs:
 	$(GO) test ./internal/core -run '^$$' -bench 'BuildObs' -benchtime 5x -count 3
 
+# Every bench-* target below regenerates its committed BENCH_<exp>.json
+# artifact via -artifact-dir. The flag strings must match
+# internal/bench.CanonicalFlags exactly (the root artifact guard test
+# compares the committed artifacts' embedded "flags" against that registry,
+# so a stale artifact — or a Makefile edit without a regeneration — fails
+# `go test ./...`).
+
 # bench-phases times the three learner phases, serial vs the speculative
 # wavefront, across the worker sweep 1,2,4,…,maxP, and emits one JSON
 # document of per-phase timings. The run itself asserts that every
@@ -66,7 +73,7 @@ bench-obs:
 # count, so it doubles as an end-to-end equivalence check. The acceptance
 # bar: thicken+thin improves with P and does not regress at P=1.
 bench-phases:
-	$(GO) run ./cmd/bnbench -exp phases -m 400000 -n 48 -r 2 -reps 3
+	$(GO) run ./cmd/bnbench -exp phases -m 200000 -n 40 -r 2 -reps 3 -maxP 8 -artifact-dir .
 
 # bench-scan times the read path live-vs-frozen: fused all-pairs MI and a
 # fused multi-marginal batch over the same table before and after Freeze,
@@ -74,20 +81,22 @@ bench-phases:
 # two paths. The acceptance bar: frozen fused MI >= 1.5x live at P=1 and
 # >2x frozen self-speedup at 8 cores.
 bench-scan:
-	$(GO) run ./cmd/bnbench -exp scan -m 1000000 -n 30 -r 2 -reps 3
+	$(GO) run ./cmd/bnbench -exp scan -m 1000000 -n 30 -r 2 -reps 3 -maxP 8 -artifact-dir .
 
 # bench-build times construction across the P × write-batch sweep (legacy
 # per-key path vs the batched write path), with a built-in bit-identity
 # assertion between every configuration and the write-batch-1 reference.
 # The acceptance bar: batched >= 1.25x legacy at P=1.
 bench-build:
-	$(GO) run ./cmd/bnbench -exp build -m 1000000 -n 30 -r 2 -reps 3
+	$(GO) run ./cmd/bnbench -exp build -m 1000000 -n 30 -r 2 -reps 3 -maxP 8 -artifact-dir .
 
 # bench-serve regenerates BENCH_serve.json: the full concurrency ×
-# read/write mix × key-skew sweep against an in-process bnserve, with the
-# bit-identity audit and server-side histogram scrape.
+# read/write mix × key-skew sweep against an in-process bnserve (skew now
+# applied to the ingest generator as well as query-variable choice), with
+# the bit-identity audit, per-partition occupancy imbalance, and
+# server-side histogram scrape.
 bench-serve:
-	$(GO) run ./cmd/bnbench -exp serve -m 200000 -n 12 -r 3 > BENCH_serve.json
+	$(GO) run ./cmd/bnbench -exp serve -m 200000 -n 12 -r 3 -artifact-dir .
 
 # bench-recover regenerates BENCH_recover.json: crash-recovery time across
 # the checkpoint-cadence sweep (1 = checkpoint every epoch … 0 = pure WAL
@@ -99,7 +108,19 @@ bench-serve:
 # appears once the row history is many multiples of the distinct-key count
 # (see EXPERIMENTS.md).
 bench-recover:
-	$(GO) run ./cmd/bnbench -exp recover -m 200000 -n 12 -r 3 > BENCH_recover.json
+	$(GO) run ./cmd/bnbench -exp recover -m 200000 -n 12 -r 3 -artifact-dir .
+
+# bench-skew regenerates BENCH_skew.json: wait-free construction over
+# key-rank-Zipf data across skew {0, 0.8, 1.2, 2.0} × P × hot-split on/off,
+# every cell bit-identity-asserted against the sequential oracle. The run
+# fails unless hot-split beats non-split by >= 1.3x at skew >= 1.2 in wall
+# clock or — the 1-CPU proxy — collapses hot-partition queue words by
+# >= 1.3x (see EXPERIMENTS.md for why the proxy is the observable here).
+bench-skew:
+	$(GO) run ./cmd/bnbench -exp skew -m 400000 -n 12 -r 3 -maxP 8 -reps 3 -artifact-dir .
+
+# bench-artifacts regenerates every committed BENCH_*.json in one pass.
+bench-artifacts: bench-build bench-phases bench-scan bench-serve bench-recover bench-skew
 
 clean:
 	$(GO) clean ./...

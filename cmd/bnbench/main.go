@@ -24,7 +24,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|serve|recover|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
+		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|serve|recover|skew|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
 		m        = flag.Int("m", 1000000, "samples for single-m experiments (paper: 10000000)")
 		mList    = flag.String("mlist", "", "comma-separated m values for fig3 (default m/10, m, m*10 capped)")
 		n        = flag.Int("n", 30, "variables for single-n experiments (paper: 30)")
@@ -63,6 +62,8 @@ func main() {
 		srvSkew  = flag.String("skewlist", "0,1.2", "-exp serve: comma-separated Zipf skews for query-variable choice (0 = uniform)")
 		ckptList = flag.String("ckptlist", "1,4,16,0", "-exp recover: comma-separated checkpoint-every cadences to sweep (0 = no checkpoints, pure WAL replay)")
 		walFsync = flag.String("wal-fsync", "batch", "-exp recover: WAL fsync policy during the ingest phase (always|batch|never)")
+		skews    = flag.String("skews", "0,0.8,1.2,2.0", "-exp skew: comma-separated key-rank Zipf exponents (0 = uniform)")
+		artDir   = flag.String("artifact-dir", "", "also write each JSON experiment's output to <dir>/BENCH_<exp>.json (empty = stdout only; the make bench-* targets pass '.')")
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
@@ -80,15 +81,37 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("bad -wblist: %w", err))
 		}
-		runInstrumentedBuild(ctx, coreFl, obsFl, *m, *n, *r, *maxP, *reps, wbs, *seed)
+		runInstrumentedBuild(ctx, coreFl, obsFl, *m, *n, *r, *maxP, *reps, wbs, *seed, *artDir)
 		return
 	}
 	if *exp == "phases" {
-		runPhases(ctx, *m, *n, *r, *maxP, *reps, *waveSize, *seed)
+		runPhases(ctx, *m, *n, *r, *maxP, *reps, *waveSize, *seed, *artDir)
 		return
 	}
 	if *exp == "scan" {
-		runScan(ctx, *m, *n, *r, *maxP, *reps, *seed)
+		runScan(ctx, *m, *n, *r, *maxP, *reps, *seed, *artDir)
+		return
+	}
+	if *exp == "skew" {
+		sk, err := parseFloats(*skews)
+		if err != nil {
+			fatal(fmt.Errorf("bad -skews: %w", err))
+		}
+		out, err := bench.RunSkew(ctx, bench.SkewParams{
+			M: *m, N: *n, R: *r, Seed: *seed, Reps: *reps,
+			Ps: bench.DefaultPs(*maxP), Skews: sk, HotThreshold: coreFl.HotThreshold,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out.Flags = setFlags()
+		if err := bench.EmitJSON("skew", *artDir, out); err != nil {
+			fatal(err)
+		}
+		if !out.Gate.Pass {
+			fatal(fmt.Errorf("skew: acceptance gate failed: best speedup %.2fx, best queue-word collapse %.2fx (need >= 1.3x on either at skew >= 1.2, P >= 2)",
+				out.Gate.BestSpeedup, out.Gate.BestCollapse))
+		}
 		return
 	}
 	if *exp == "serve" {
@@ -114,9 +137,8 @@ func main() {
 		if !out.BitIdentical {
 			fatal(fmt.Errorf("serve: final epoch is NOT bit-identical to the batch build"))
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		out.Flags = setFlags()
+		if err := bench.EmitJSON("serve", *artDir, out); err != nil {
 			fatal(err)
 		}
 		return
@@ -133,9 +155,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		out.Flags = setFlags()
+		if err := bench.EmitJSON("recover", *artDir, out); err != nil {
 			fatal(err)
 		}
 		return
@@ -237,7 +258,7 @@ func main() {
 // doubles as the batched-vs-legacy equivalence check. Timed rows plus the
 // obs snapshot of the final run go to stdout as JSON; -metrics-addr serves
 // the same data as Prometheus text for as long as -metrics-linger allows.
-func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliopt.Obs, m, n, r, maxP, reps int, wbs []int, seed uint64) {
+func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliopt.Obs, m, n, r, maxP, reps int, wbs []int, seed uint64, artDir string) {
 	baseOpts, err := coreFl.Options()
 	if err != nil {
 		fatal(err)
@@ -268,12 +289,13 @@ func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliop
 	}
 	out := struct {
 		Experiment string       `json:"experiment"`
+		Flags      string       `json:"flags"`
 		M          int          `json:"m"`
 		N          int          `json:"n"`
 		R          int          `json:"r"`
 		Rows       []row        `json:"rows"`
 		Obs        obs.Snapshot `json:"obs"`
-	}{Experiment: "build", M: m, N: n, R: r}
+	}{Experiment: "build", Flags: setFlags(), M: m, N: n, R: r}
 
 	var ref *core.PotentialTable // write-batch-1 table at the first P
 	var baseSec float64          // legacy P=ps[0] time, the speedup denominator
@@ -306,9 +328,7 @@ func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliop
 		}
 	}
 	out.Obs = reg.Snapshot()
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := bench.EmitJSON("build", artDir, out); err != nil {
 		fatal(err)
 	}
 	stopObs()
@@ -321,7 +341,7 @@ func runInstrumentedBuild(ctx context.Context, coreFl *cliopt.Core, obsFl *cliop
 // document (long-form rows) for external plotting; the run aborts if any
 // configuration disagrees on the learned skeleton, so the bench doubles as
 // an end-to-end equivalence check.
-func runPhases(ctx context.Context, m, n, r, maxP, reps, waveSize int, seed uint64) {
+func runPhases(ctx context.Context, m, n, r, maxP, reps, waveSize int, seed uint64, artDir string) {
 	net := bn.RandomDAG(n, r, 0.15, 3, 0.6, seed)
 	d, err := net.Sample(m, seed+1, runtime.GOMAXPROCS(0))
 	if err != nil {
@@ -346,12 +366,13 @@ func runPhases(ctx context.Context, m, n, r, maxP, reps, waveSize int, seed uint
 	}
 	out := struct {
 		Experiment string `json:"experiment"`
+		Flags      string `json:"flags"`
 		N          int    `json:"n"`
 		R          int    `json:"r"`
 		M          int    `json:"m"`
 		TruthEdges int    `json:"truth_edges"`
 		Rows       []row  `json:"rows"`
-	}{Experiment: "phases", N: n, R: r, M: m, TruthEdges: net.DAG().NumEdges()}
+	}{Experiment: "phases", Flags: setFlags(), N: n, R: r, M: m, TruthEdges: net.DAG().NumEdges()}
 
 	refEdges, refCI := -1, -1
 	for _, mode := range []string{"serial", "wavefront"} {
@@ -390,9 +411,7 @@ func runPhases(ctx context.Context, m, n, r, maxP, reps, waveSize int, seed uint
 				mode, p, best.ThickenTime.Seconds(), best.ThinTime.Seconds())
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := bench.EmitJSON("phases", artDir, out); err != nil {
 		fatal(err)
 	}
 }
@@ -402,7 +421,7 @@ func runPhases(ctx context.Context, m, n, r, maxP, reps, waveSize int, seed uint
 // after Freeze, across the worker sweep. The run asserts that the MI matrix
 // and every marginal are bit-identical between the two paths, so the bench
 // doubles as the frozen-layout equivalence check.
-func runScan(ctx context.Context, m, n, r, maxP, reps int, seed uint64) {
+func runScan(ctx context.Context, m, n, r, maxP, reps int, seed uint64, artDir string) {
 	data := dataset.NewUniformCard(m, n, r)
 	data.UniformIndependent(seed, runtime.GOMAXPROCS(0))
 	pt, st, err := core.BuildCtx(ctx, data, core.Options{P: maxP})
@@ -426,6 +445,7 @@ func runScan(ctx context.Context, m, n, r, maxP, reps int, seed uint64) {
 	}
 	out := struct {
 		Experiment    string  `json:"experiment"`
+		Flags         string  `json:"flags"`
 		M             int     `json:"m"`
 		N             int     `json:"n"`
 		R             int     `json:"r"`
@@ -433,7 +453,7 @@ func runScan(ctx context.Context, m, n, r, maxP, reps int, seed uint64) {
 		FreezeSeconds float64 `json:"freeze_s"`
 		FrozenEntries int     `json:"frozen_entries"`
 		Rows          []row   `json:"rows"`
-	}{Experiment: "scan", M: m, N: n, R: r, DistinctKeys: st.DistinctKeys}
+	}{Experiment: "scan", Flags: setFlags(), M: m, N: n, R: r, DistinctKeys: st.DistinctKeys}
 
 	var refMI *core.MIMatrix
 	var refMarg []*core.Marginal
@@ -488,11 +508,25 @@ func runScan(ctx context.Context, m, n, r, maxP, reps int, seed uint64) {
 			fmt.Fprintf(os.Stderr, "scan: %s P=%d fused-mi %.3fs marg-many %.3fs\n", path, p, miSec, margSec)
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := bench.EmitJSON("scan", artDir, out); err != nil {
 		fatal(err)
 	}
+}
+
+// setFlags renders the flags explicitly set on this invocation, in
+// flag.Visit's lexicographic order, minus output plumbing (-artifact-dir,
+// -csv). Experiments embed it in their artifact so the root guard test can
+// detect a committed BENCH_*.json that has gone stale relative to its make
+// target's canonical invocation (bench.CanonicalFlags).
+func setFlags() string {
+	var parts []string
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "artifact-dir" || f.Name == "csv" {
+			return
+		}
+		parts = append(parts, "-"+f.Name+" "+f.Value.String())
+	})
+	return strings.Join(parts, " ")
 }
 
 func parseSchedule(s string) (core.MISchedule, error) {

@@ -98,6 +98,7 @@ func main() {
 		RefreshEvery:   serveFl.RefreshEvery,
 		IngestBatch:    serveFl.IngestBatch,
 		MaxPending:     serveFl.MaxPending,
+		RebalanceEvery: serveFl.RebalanceEvery,
 	}
 	if serveFl.WALDir != "" {
 		pol, err := wal.ParseSyncPolicy(serveFl.Fsync)

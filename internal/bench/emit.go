@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CanonicalFlags records, per experiment, the exact bnbench flag string its
+// committed BENCH_<name>.json artifact is regenerated with — the `make
+// bench-<name>` invocation, minus the -artifact-dir plumbing, with flags in
+// the lexicographic order flag.Visit reports them. Every emitted artifact
+// embeds the flag string it was ACTUALLY generated with in its "flags"
+// field; the repo-root artifact guard test (bench_artifacts_test.go)
+// compares the two, so a committed artifact that has gone stale relative to
+// its experiment's canonical flags fails CI instead of silently
+// misrepresenting the sweep.
+var CanonicalFlags = map[string]string{
+	"build":   "-exp build -m 1000000 -maxP 8 -n 30 -r 2 -reps 3",
+	"phases":  "-exp phases -m 200000 -maxP 8 -n 40 -r 2 -reps 3",
+	"scan":    "-exp scan -m 1000000 -maxP 8 -n 30 -r 2 -reps 3",
+	"serve":   "-exp serve -m 200000 -n 12 -r 3",
+	"recover": "-exp recover -m 200000 -n 12 -r 3",
+	"skew":    "-exp skew -m 400000 -maxP 8 -n 12 -r 3 -reps 3",
+}
+
+// EmitJSON renders doc as indented JSON on stdout and, when dir is
+// non-empty, also writes it to dir/BENCH_<name>.json — the committed,
+// diffable artifact form every experiment shares. Smoke invocations pass
+// dir == "" and leave no file behind.
+func EmitJSON(name, dir string, doc any) error {
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if _, err := os.Stdout.Write(blob); err != nil {
+		return err
+	}
+	if dir == "" {
+		return nil
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+	return nil
+}

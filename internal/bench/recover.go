@@ -70,6 +70,7 @@ type RecoverCell struct {
 // RecoverResult is the full benchmark output (BENCH_recover.json).
 type RecoverResult struct {
 	M, N, R int           `json:"-"`
+	Flags   string        `json:"flags"`
 	Params  RecoverParams `json:"params"`
 	Cells   []RecoverCell `json:"cells"`
 }

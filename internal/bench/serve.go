@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -31,7 +32,7 @@ type ServeParams struct {
 	Duration   time.Duration // wall time per sweep cell
 	Clients    []int         // concurrent closed-loop clients
 	WriteFracs []float64     // fraction of requests that are ingest writes
-	Skews      []float64     // Zipf s for query-variable choice (0 = uniform)
+	Skews      []float64     // Zipf s for query-variable choice AND ingest-row states (0 = uniform)
 	Batch      int           // rows per ingest write
 }
 
@@ -84,11 +85,17 @@ type ServeCell struct {
 
 	EpochsPublished uint64 `json:"epochs_published"`
 	RowsIngested    uint64 `json:"rows_ingested"`
+
+	// MassImbalance is max/mean per-partition occupancy of the published
+	// table after the cell (1 = flat) — the histogram skewed ingest piles
+	// up and the rebalancer consumes.
+	MassImbalance float64 `json:"partition_mass_imbalance"`
 }
 
 // ServeResult is the full benchmark output, written as BENCH_serve.json.
 type ServeResult struct {
 	Experiment string      `json:"experiment"`
+	Flags      string      `json:"flags"`
 	M          int         `json:"m"`
 	N          int         `json:"n"`
 	R          int         `json:"r"`
@@ -116,9 +123,13 @@ func RunServe(ctx context.Context, pr ServeParams) (*ServeResult, error) {
 		return nil, err
 	}
 	reg := obs.NewRegistry()
+	// Pin the home-partition count so the occupancy histogram (and the
+	// MassImbalance column) stays meaningful even when the container gives
+	// the builder a single core — P=1 would otherwise mean one partition
+	// and an identically-flat histogram.
 	srv, err := serve.NewServer(ctx, serve.Config{
 		Codec: codec,
-		Build: core.Options{Obs: reg},
+		Build: core.Options{Obs: reg, NumPartitions: 8},
 	})
 	if err != nil {
 		return nil, err
@@ -184,6 +195,9 @@ func RunServe(ctx context.Context, pr ServeParams) (*ServeResult, error) {
 				cell := runServeCell(pr, base, clients, wf, skew, &acceptMu, &allRows)
 				cell.EpochsPublished = reg.Counter("serve_epochs_published_total").Value()
 				cell.RowsIngested = reg.Counter("serve_ingest_rows_total").Value()
+				snap := mgr.Acquire()
+				cell.MassImbalance = massImbalance(snap.Table().PartitionMass())
+				snap.Release()
 				out.Cells = append(out.Cells, cell)
 				fmt.Fprintf(os.Stderr,
 					"serve: clients=%d write=%.0f%% skew=%.1f  %.0f req/s  read p50/p99 %.0f/%.0fµs  rejected=%d\n",
@@ -214,9 +228,32 @@ func RunServe(ctx context.Context, pr ServeParams) (*ServeResult, error) {
 	return out, nil
 }
 
+// zipfCDF returns the cumulative distribution of P(i) ∝ 1/(i+1)^s over k
+// outcomes — the same power law dataset.Zipf uses, valid at any s > 0
+// (math/rand's Zipf sampler requires s > 1, which is why the old picker
+// silently fell back to uniform for the sweep's 0 < s <= 1 cells).
+func zipfCDF(k int, s float64) []float64 {
+	cdf := make([]float64, k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+func pickCDF(rng *rand.Rand, cdf []float64) int {
+	return sort.SearchFloat64s(cdf, rng.Float64())
+}
+
 // runServeCell drives one sweep point: `clients` closed-loop goroutines
 // issuing reads (70% marginal, 30% MI, variables Zipf-skewed) and writes
-// (ingest batches) against the live server for the cell duration.
+// (ingest batches whose row states follow the same Zipf law, so a skewed
+// cell skews the table the server is building, not just which variables
+// get queried) against the live server for the cell duration.
 func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew float64, acceptMu *sync.Mutex, allRows *[][]uint8) ServeCell {
 	type clientStats struct {
 		reads, writes []time.Duration
@@ -231,15 +268,22 @@ func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew floa
 		go func(id int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(pr.Seed) + int64(id)*7919))
-			var zipf *rand.Zipf
-			if skew > 1 {
-				zipf = rand.NewZipf(rng, skew, 1, uint64(pr.N-1))
+			var varCDF, stateCDF []float64
+			if skew > 0 {
+				varCDF = zipfCDF(pr.N, skew)
+				stateCDF = zipfCDF(pr.R, skew)
 			}
 			pickVar := func() int {
-				if zipf != nil {
-					return int(zipf.Uint64())
+				if varCDF != nil {
+					return pickCDF(rng, varCDF)
 				}
 				return rng.Intn(pr.N)
+			}
+			pickState := func() uint8 {
+				if stateCDF != nil {
+					return uint8(pickCDF(rng, stateCDF))
+				}
+				return uint8(rng.Intn(pr.R))
 			}
 			cl := &http.Client{Timeout: 5 * time.Second}
 			st := &results[id]
@@ -255,7 +299,7 @@ func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew floa
 					for i := range rows {
 						row := make([]uint8, pr.N)
 						for v := range row {
-							row[v] = uint8(rng.Intn(pr.R))
+							row[v] = pickState()
 						}
 						rows[i] = row
 					}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/dataset"
+)
+
+// SkewParams configures the skew sweep: wait-free construction over
+// key-rank-Zipf data at skew × P × hot-split on/off, with a built-in
+// bit-identity assertion against the sequential oracle for every cell.
+type SkewParams struct {
+	M, N, R      int       // synthetic dataset shape
+	Seed         uint64    // workload seed
+	Reps         int       // timing repetitions (best-of)
+	Ps           []int     // worker counts to sweep
+	Skews        []float64 // key-rank Zipf exponents (0 = uniform)
+	HotThreshold int       // promotion threshold (0 = core default)
+}
+
+func (p SkewParams) withDefaults() SkewParams {
+	if p.M <= 0 {
+		p.M = 400000
+	}
+	if p.N <= 0 {
+		p.N = 12
+	}
+	if p.R <= 0 {
+		p.R = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Reps < 1 {
+		p.Reps = 3
+	}
+	if len(p.Ps) == 0 {
+		p.Ps = DefaultPs(8)
+	}
+	if len(p.Skews) == 0 {
+		p.Skews = []float64{0, 0.8, 1.2, 2.0}
+	}
+	return p
+}
+
+// SkewCell is one sweep point: a full build at (skew, P, hot-split).
+type SkewCell struct {
+	Skew     float64 `json:"skew"`
+	P        int     `json:"p"`
+	HotSplit bool    `json:"hot_split"`
+
+	Seconds      float64 `json:"seconds"`
+	LocalKeys    uint64  `json:"local_keys"`
+	ForeignKeys  uint64  `json:"foreign_keys"`
+	SplitKeys    uint64  `json:"split_keys"`
+	SplitMerges  uint64  `json:"split_merges"`
+	DistinctKeys int     `json:"distinct_keys"`
+
+	// Queue-pressure accounting from the per-destination push counters:
+	// HotQueueWords is the heaviest destination's accepted pushes (the hot
+	// partition's owner), TotalQueueWords the sum over all destinations.
+	// On a 1-CPU container these — not wall clock — are the observable the
+	// hot-split path moves (see EXPERIMENTS.md).
+	HotQueueWords   uint64 `json:"hot_queue_words"`
+	TotalQueueWords uint64 `json:"total_queue_words"`
+
+	// MassImbalance is max/mean partition occupancy of the finished table
+	// (1 = flat), the histogram the rebalancer consumes.
+	MassImbalance float64 `json:"partition_mass_imbalance"`
+
+	// Cross-cell derived ratios, filled on the hot-split cell of each
+	// (skew, P) pair: wall-clock speedup over the matching non-split cell
+	// and the factor by which hot-partition queue traffic collapsed.
+	SpeedupVsNoSplit  float64 `json:"speedup_vs_nosplit,omitempty"`
+	QueueWordCollapse float64 `json:"queue_word_collapse,omitempty"`
+
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// SkewGate is the acceptance summary over the high-skew region
+// (skew >= 1.2, P >= 2): the sweep passes when the hot-split build beats
+// the non-split build by >= 1.3x in wall clock, or — the 1-CPU proxy —
+// collapses hot-partition queue words by >= 1.3x.
+type SkewGate struct {
+	BestSpeedup  float64 `json:"best_speedup"`
+	BestCollapse float64 `json:"best_queue_word_collapse"`
+	Pass         bool    `json:"pass"`
+}
+
+// SkewResult is the full sweep output (BENCH_skew.json).
+type SkewResult struct {
+	Experiment   string     `json:"experiment"`
+	Flags        string     `json:"flags"`
+	M            int        `json:"m"`
+	N            int        `json:"n"`
+	R            int        `json:"r"`
+	HotThreshold int        `json:"hot_threshold"`
+	GoMaxProcs   int        `json:"gomaxprocs"`
+	Cells        []SkewCell `json:"cells"`
+	Gate         SkewGate   `json:"gate"`
+}
+
+// RunSkew runs the skew sweep. Every cell's table must be bit-identical to
+// the sequential oracle over the same rows — a mismatch is an error, not a
+// data point — and the split-path accounting invariants
+// (Stage2Pops == ForeignKeys, SplitMerges == SplitKeys) are asserted on
+// every build.
+func RunSkew(ctx context.Context, pr SkewParams) (*SkewResult, error) {
+	pr = pr.withDefaults()
+	out := &SkewResult{
+		Experiment: "skew", M: pr.M, N: pr.N, R: pr.R,
+		HotThreshold: pr.HotThreshold, GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, skew := range pr.Skews {
+		data := dataset.NewUniformCard(pr.M, pr.N, pr.R)
+		data.ZipfRows(pr.Seed, skew, runtime.GOMAXPROCS(0))
+		ref, err := core.BuildSequential(data)
+		if err != nil {
+			return nil, err
+		}
+		// Per (skew, P): the non-split cell first, then hot-split, so the
+		// split cell can carry the derived ratios.
+		for _, p := range pr.Ps {
+			var base SkewCell
+			for _, hs := range []bool{false, true} {
+				if err := ctx.Err(); err != nil {
+					return nil, context.Cause(ctx)
+				}
+				cell, err := runSkewCell(ctx, data, ref, skew, p, hs, pr)
+				if err != nil {
+					return nil, err
+				}
+				if hs {
+					if base.Seconds > 0 && cell.Seconds > 0 {
+						cell.SpeedupVsNoSplit = base.Seconds / cell.Seconds
+					}
+					cell.QueueWordCollapse = collapseRatio(base.HotQueueWords, cell.HotQueueWords)
+					if skew >= 1.2 && p >= 2 {
+						if cell.SpeedupVsNoSplit > out.Gate.BestSpeedup {
+							out.Gate.BestSpeedup = cell.SpeedupVsNoSplit
+						}
+						if cell.QueueWordCollapse > out.Gate.BestCollapse {
+							out.Gate.BestCollapse = cell.QueueWordCollapse
+						}
+					}
+				} else {
+					base = cell
+				}
+				out.Cells = append(out.Cells, cell)
+				fmt.Fprintf(os.Stderr,
+					"skew: s=%.1f P=%d hot-split=%-5v %.3fs split=%d hot-queue-words=%d imbalance=%.2f\n",
+					skew, p, hs, cell.Seconds, cell.SplitKeys, cell.HotQueueWords, cell.MassImbalance)
+			}
+		}
+	}
+	out.Gate.Pass = out.Gate.BestSpeedup >= 1.3 || out.Gate.BestCollapse >= 1.3
+	return out, nil
+}
+
+func runSkewCell(ctx context.Context, data *dataset.Dataset, ref *core.PotentialTable,
+	skew float64, p int, hotSplit bool, pr SkewParams) (SkewCell, error) {
+	cell := SkewCell{Skew: skew, P: p, HotSplit: hotSplit}
+	opts := core.Options{P: p, HotSplit: hotSplit, HotThreshold: pr.HotThreshold}
+	var pt *core.PotentialTable
+	var st core.Stats
+	var buildErr error
+	cell.Seconds = TimeBest(pr.Reps, func() {
+		pt, st, buildErr = core.BuildCtx(ctx, data, opts)
+	})
+	if buildErr != nil {
+		return cell, buildErr
+	}
+	label := fmt.Sprintf("skew=%.1f P=%d hot-split=%v", skew, p, hotSplit)
+	if st.Stage2Pops != st.ForeignKeys {
+		return cell, fmt.Errorf("skew: %s: Stage2Pops=%d != ForeignKeys=%d", label, st.Stage2Pops, st.ForeignKeys)
+	}
+	if st.SplitMerges != st.SplitKeys {
+		return cell, fmt.Errorf("skew: %s: SplitMerges=%d != SplitKeys=%d", label, st.SplitMerges, st.SplitKeys)
+	}
+	if !hotSplit && st.SplitKeys != 0 {
+		return cell, fmt.Errorf("skew: %s: SplitKeys=%d without -hot-split", label, st.SplitKeys)
+	}
+	if !pt.Equal(ref) {
+		return cell, fmt.Errorf("skew: %s: table is NOT bit-identical to the sequential oracle", label)
+	}
+	cell.BitIdentical = true
+	cell.LocalKeys, cell.ForeignKeys = st.LocalKeys, st.ForeignKeys
+	cell.SplitKeys, cell.SplitMerges = st.SplitKeys, st.SplitMerges
+	cell.DistinctKeys = st.DistinctKeys
+	for _, w := range st.DestQueueWords {
+		cell.TotalQueueWords += w
+		if w > cell.HotQueueWords {
+			cell.HotQueueWords = w
+		}
+	}
+	cell.MassImbalance = massImbalance(pt.PartitionMass())
+	return cell, nil
+}
+
+// collapseRatio is the factor by which hot-partition queue traffic shrank:
+// base/split, with the degenerate cases (P=1 has no queues; a fully
+// collapsed split path) mapped to 1 and base respectively.
+func collapseRatio(base, split uint64) float64 {
+	switch {
+	case base == 0:
+		return 1
+	case split == 0:
+		return float64(base)
+	default:
+		return float64(base) / float64(split)
+	}
+}
+
+// massImbalance is max/mean over per-partition occupancy: 1 = perfectly
+// flat, len(mass) = all keys in one partition.
+func massImbalance(mass []uint64) float64 {
+	var total, max uint64
+	for _, m := range mass {
+		total += m
+		if m > max {
+			max = m
+		}
+	}
+	if total == 0 || len(mass) == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(mass)) / float64(total)
+}

@@ -27,13 +27,16 @@ import (
 
 // Core holds the parsed values of the shared construction flags.
 type Core struct {
-	P          int
-	Partition  string
-	Queue      string
-	RingCap    int
-	Table      string
-	TableHint  int
-	WriteBatch int
+	P            int
+	NumParts     int
+	Partition    string
+	Queue        string
+	RingCap      int
+	Table        string
+	TableHint    int
+	WriteBatch   int
+	HotSplit     bool
+	HotThreshold int
 }
 
 // AddCore registers the shared construction flags on fs and returns the
@@ -41,19 +44,26 @@ type Core struct {
 func AddCore(fs *flag.FlagSet) *Core {
 	c := &Core{}
 	fs.IntVar(&c.P, "p", 0, "workers (0 = GOMAXPROCS)")
+	fs.IntVar(&c.NumParts, "num-partitions", 0, "home partitions the key space splits into (0 = one per worker; set a multiple of -p to give the rebalancer granularity)")
 	fs.StringVar(&c.Partition, "partition", "modulo", "key→partition mapping: modulo|range|hash")
 	fs.StringVar(&c.Queue, "queue", "chunked", "inter-core queue: chunked|ring|mutex")
 	fs.IntVar(&c.RingCap, "ring-cap", 0, "per-queue capacity for -queue ring (0 = size for a full worker block)")
 	fs.StringVar(&c.Table, "table", "open", "per-partition count table: open|chained|gomap|dense")
 	fs.IntVar(&c.TableHint, "table-hint", 0, "pre-size each partition table for this many entries (0 = heuristic)")
 	fs.IntVar(&c.WriteBatch, "write-batch", 0, "write-combining buffer size for the batched write path (0 = default 64; 1 = legacy per-key path)")
+	fs.BoolVar(&c.HotSplit, "hot-split", false, "promote hot keys (detected from write-combining flush statistics) to core-private delta counters merged at the build barrier, bypassing the SPSC queues")
+	fs.IntVar(&c.HotThreshold, "hot-threshold", 0, "combined per-flush delta at which a key is promoted to the hot-split path (0 = default 8; needs -hot-split)")
 	return c
 }
 
 // Options maps the parsed flags onto core.Options, rejecting unknown kind
 // names with the valid alternatives in the error.
 func (c *Core) Options() (core.Options, error) {
-	opts := core.Options{P: c.P, RingCapacity: c.RingCap, TableHint: c.TableHint, WriteBatch: c.WriteBatch}
+	opts := core.Options{
+		P: c.P, NumPartitions: c.NumParts,
+		RingCapacity: c.RingCap, TableHint: c.TableHint, WriteBatch: c.WriteBatch,
+		HotSplit: c.HotSplit, HotThreshold: c.HotThreshold,
+	}
 	switch c.Partition {
 	case "modulo", "":
 		opts.Partition = core.PartitionModulo
@@ -168,6 +178,7 @@ type Serve struct {
 	IngestBatch    int
 	MaxPending     int
 	ReadP          int
+	RebalanceEvery int
 
 	// Durability flags (all inert unless WALDir is set).
 	WALDir          string
@@ -190,6 +201,7 @@ func AddServe(fs *flag.FlagSet) *Serve {
 	fs.IntVar(&s.IngestBatch, "ingest-batch", 8192, "block size ingested rows are fed to the builder in")
 	fs.IntVar(&s.MaxPending, "max-pending", 1<<20, "reject ingest (429 ingest_overflow) once this many rows await the next epoch")
 	fs.IntVar(&s.ReadP, "read-p", 1, "per-query scan parallelism (1 = favor cross-request parallelism)")
+	fs.IntVar(&s.RebalanceEvery, "rebalance-every", 0, "re-map the heaviest builder partitions across owner workers every N epoch publishes, using the occupancy histogram (0 = off)")
 	fs.StringVar(&s.WALDir, "wal-dir", "", "directory for the write-ahead log and epoch checkpoints; ingest is acked only after the WAL append (durability off when empty)")
 	fs.StringVar(&s.Fsync, "fsync", "batch", "WAL fsync policy: always (fsync before every ack), batch (fsync at publish/checkpoint barriers), never")
 	fs.BoolVar(&s.Recover, "recover", true, "replay the checkpoint + WAL tail in -wal-dir at startup; with -recover=false a non-empty -wal-dir is a startup error")

@@ -187,7 +187,7 @@ func (t *PotentialTable) pairMI(ctx context.Context, pr miPair, checkCtx func() 
 		}
 		return stats.MutualInfoCounts(counts, ri, rj), nil
 	}
-	for _, part := range t.parts {
+	for _, part := range t.liveParts() {
 		part.Range(func(key, count uint64) bool {
 			if cause = checkCtx(); cause != nil {
 				return false

@@ -12,6 +12,7 @@ import (
 	"waitfreebn/internal/faultinject"
 	"waitfreebn/internal/hashtable"
 	"waitfreebn/internal/obs"
+	"waitfreebn/internal/rng"
 	"waitfreebn/internal/sched"
 	"waitfreebn/internal/spsc"
 )
@@ -20,8 +21,18 @@ import (
 // value selects the paper's configuration at P = GOMAXPROCS: modulo
 // partitioning, unbounded chunked queues, open-addressing tables.
 type Options struct {
-	// P is the number of cores (workers, partitions). 0 means GOMAXPROCS.
+	// P is the number of cores (workers). 0 means GOMAXPROCS.
 	P int
+	// NumPartitions is the number of home partitions the key space is
+	// split into. 0 (and anything below P) means P — one partition per
+	// worker, the paper's configuration. Values above P give the
+	// rebalancer real granularity: with only P partitions an LPT
+	// re-assignment is a pure permutation of owners (each worker gets
+	// exactly one partition back), so imbalance cannot improve; with
+	// NumPartitions = k×P the heaviest homes can spread across owners.
+	// Initially homes are dealt cyclically (home h → worker h mod P),
+	// which reproduces the identity mapping when NumPartitions == P.
+	NumPartitions int
 	// Partition selects the key→owner mapping (ablation A2).
 	Partition PartitionKind
 	// Queue selects the inter-core queue implementation (ablation A1).
@@ -51,6 +62,21 @@ type Options struct {
 	// ablation baseline; values above maxWriteBatch are clamped. Both
 	// paths produce bit-identical tables.
 	WriteBatch int
+	// HotSplit enables skew-adaptive hot-key splitting on the batched
+	// write path: keys whose write-combined delta crosses HotThreshold in
+	// a single flush are promoted to core-private delta counters that
+	// bypass the SPSC queues entirely and are merged into the owner's
+	// table after the existing build barrier (the natural phase boundary,
+	// Doppel-style). Every split structure stays single-writer-per-phase,
+	// so wait-freedom is untouched, and the merged table is bit-identical
+	// to a non-split build. Effective only when P > 1 and WriteBatch > 1.
+	HotSplit bool
+	// HotThreshold is the per-flush combined delta at which a key is
+	// promoted to split counting (0 = defaultHotThreshold; minimum 2). A
+	// flush of WriteBatch foreign keys where one key contributes >=
+	// HotThreshold occurrences is the online skew signal — no extra
+	// bookkeeping beyond the delta words the batched path already builds.
+	HotThreshold int
 	// Obs receives construction metrics (per-worker stage timings, queue
 	// traffic, partition occupancy). nil disables instrumentation; the
 	// primitives aggregate per worker in plain locals and publish once per
@@ -76,16 +102,38 @@ const (
 	maxDeltaBits      = 16
 )
 
+// Hot-key splitting sizing. defaultHotThreshold is the combined per-flush
+// delta that marks a key hot: 8 of a 64-key buffer means one key carries
+// 12.5% of a worker's foreign traffic to that destination. hotCacheSlots is
+// the per-worker direct-mapped promoted-key filter probed once per foreign
+// key (4 KiB, cache-resident); splitTableCap bounds each core-private delta
+// table so a pathological key stream cannot grow P² tables without bound —
+// keys beyond the cap simply keep flowing through the queues, which is
+// always correct.
+const (
+	defaultHotThreshold = 8
+	hotCacheSlots       = 512
+	splitTableCap       = 4096
+)
+
 // withDefaults resolves zero fields and reports whether the table hint was
 // truncated by maxTableHint.
 func (o Options) withDefaults(m int, keySpace uint64) (Options, bool) {
 	if o.P <= 0 {
 		o.P = sched.DefaultP()
 	}
+	if o.NumPartitions < o.P {
+		o.NumPartitions = o.P
+	}
 	if o.WriteBatch <= 0 {
 		o.WriteBatch = defaultWriteBatch
 	} else if o.WriteBatch > maxWriteBatch {
 		o.WriteBatch = maxWriteBatch
+	}
+	if o.HotThreshold <= 0 {
+		o.HotThreshold = defaultHotThreshold
+	} else if o.HotThreshold < 2 {
+		o.HotThreshold = 2
 	}
 	if o.RingCapacity <= 0 {
 		o.RingCapacity = (m + o.P - 1) / o.P
@@ -101,7 +149,7 @@ func (o Options) withDefaults(m int, keySpace uint64) (Options, bool) {
 		if keySpace < distinct {
 			distinct = keySpace
 		}
-		hint := distinct / uint64(o.P) * 2
+		hint := distinct / uint64(o.NumPartitions) * 2
 		if hint > maxTableHint {
 			hint = maxTableHint
 			capped = true
@@ -138,6 +186,16 @@ type Stats struct {
 	BatchFlushes uint64
 	ForeignDupes uint64
 
+	// SplitKeys counts the key mass hot-key splitting diverted from the
+	// queues into core-private delta tables in stage 1; SplitMerges counts
+	// the mass merged back into the owner tables after the barrier. The
+	// two are exactly equal on success — the split analogue of the
+	// Stage2Pops == ForeignKeys invariant, which itself is untouched
+	// because split keys are never counted as foreign. Both are 0 unless
+	// Options.HotSplit is effective.
+	SplitKeys   uint64
+	SplitMerges uint64
+
 	// SpilledKeys counts queued elements that overflowed a bounded ring
 	// and were routed through the unbounded spill side queue instead —
 	// the graceful-degradation signal that RingCapacity is undersized for
@@ -162,6 +220,13 @@ type Stats struct {
 	// see.
 	TableHint       int
 	TableHintCapped bool
+
+	// DestQueueWords[j] is the total number of words pushed into worker
+	// j's column of the queue matrix — the per-owner queue-traffic
+	// histogram. Under key skew one owner's column dominates; hot-key
+	// splitting collapses exactly that column, which is the 1-CPU-visible
+	// proxy for the contention the split removes (see EXPERIMENTS.md).
+	DestQueueWords []uint64
 }
 
 // queueMatrix holds the P×(P-1) queues of Algorithm 1: q[i][j] carries keys
@@ -199,6 +264,23 @@ func (q queueMatrix) spilledKeys() uint64 {
 		}
 	}
 	return total
+}
+
+// destWords sums the push counters of each destination's queue column
+// across a quiesced matrix — Stats.DestQueueWords. Counters are cumulative
+// over a queue's lifetime, so for an incremental Builder this is the total
+// across all blocks.
+func (q queueMatrix) destWords() []uint64 {
+	out := make([]uint64, len(q))
+	for i := range q {
+		for j := range q[i] {
+			if q[i][j] == nil {
+				continue
+			}
+			out[j] += q[i][j].Pushed()
+		}
+	}
+	return out
 }
 
 // Build runs the wait-free table construction primitive over data:
@@ -269,12 +351,21 @@ func KeySourceFromSlice(keys []uint64) KeySource {
 
 // workerStats accumulates one worker's contribution to Stats; workers
 // write only their own slot, so no synchronization beyond the final join
-// is needed.
+// is needed. The trailing pad keeps adjacent slots of the ws slice on
+// separate cache-line pairs: the counters are hot stores in the stage-1
+// exit paths and the per-block accumulation loops, and without the pad
+// slots for workers w and w+1 share a line, turning those private writes
+// into cross-core invalidation traffic (classic false sharing — same cure
+// as the pads between spsc.Ring's head and tail). 10×8 counter/duration
+// bytes + 48 pad = 128, two lines, which also keeps the adjacent-line
+// prefetcher from coupling neighbours.
 type workerStats struct {
 	local, foreign, pops uint64
 	flushes, dupes       uint64
+	split, merges        uint64
 	stage1, stage2       time.Duration
 	barrier              time.Duration
+	_                    [48]byte
 }
 
 // cancelCheckStride is how many keys a worker processes between context
@@ -289,16 +380,75 @@ const cancelCheckStride = 8192
 // block feeds the batched path; keyBits is bits.Len64(keySpace-1), the
 // width of the key field in a queued delta word.
 type twoStage struct {
-	m          int
-	source     KeySource
-	block      blockSource
-	parts      []hashtable.Counter
-	queues     queueMatrix
-	owner      func(uint64) int
+	m      int
+	source KeySource
+	block  blockSource
+	parts  []hashtable.Counter
+	queues queueMatrix
+	// home is the static key→partition mapping; homes[h] is the worker
+	// that currently owns home partition h, and remapped caches whether
+	// homes deviates from the one-partition-per-worker identity (always
+	// true when len(homes) > P, else only after a Rebalance) so the
+	// unremapped fast paths stay branch-per-block cheap. Partition tables
+	// are always indexed by home, so rebalancing moves ownership without
+	// moving a single table entry.
+	home       func(uint64) int
+	homes      []int
+	remapped   bool
+	split      *splitState
 	barrier    *sched.Barrier
 	ringCap    int
 	writeBatch int
 	keyBits    uint
+}
+
+// splitState is the hot-key splitting machinery shared by the workers of
+// one build (or persisted across an incremental Builder's blocks, so keys
+// stay promoted between blocks). Each worker touches only its own row of
+// tabs and its own cache during stage 1, and only column w of tabs after
+// the barrier — single writer per phase, with the barrier providing the
+// hand-off, exactly like the queue matrix.
+type splitState struct {
+	threshold uint64
+	// tabs[src][dst] is the core-private delta table where producer src
+	// accumulates promoted keys owned by dst, lazily allocated on first
+	// promotion; dst merges and Resets it in stage 2.
+	tabs [][]*hashtable.Table
+	// caches[w] is worker w's direct-mapped promoted-key filter: slot
+	// rng.Mix64(key)&(hotCacheSlots-1) holds a promoted key or the ^0
+	// sentinel. A stale or colliding entry is harmless — any key routed
+	// through a split table is merged with its full delta after the
+	// barrier, so the filter only steers traffic, never correctness.
+	caches [][]uint64
+}
+
+func newSplitState(p, threshold int) *splitState {
+	s := &splitState{
+		threshold: uint64(threshold),
+		tabs:      make([][]*hashtable.Table, p),
+		caches:    make([][]uint64, p),
+	}
+	for w := 0; w < p; w++ {
+		s.tabs[w] = make([]*hashtable.Table, p)
+		cache := make([]uint64, hotCacheSlots)
+		for i := range cache {
+			cache[i] = ^uint64(0)
+		}
+		s.caches[w] = cache
+	}
+	return s
+}
+
+// cyclicHomes is the initial home→owner mapping: home partition h is owned
+// by worker h mod p until a Rebalance remaps it. With nparts == p this is
+// the identity; with more partitions than workers the deal stays cyclic so
+// uniform data still spreads flat.
+func cyclicHomes(nparts, p int) []int {
+	homes := make([]int, nparts)
+	for i := range homes {
+		homes[i] = i % p
+	}
+	return homes
 }
 
 // keyFieldBits returns the number of bits a key of the given space can
@@ -394,9 +544,12 @@ func (ts twoStage) runWorkerLegacy(ctx context.Context, p, w int, span sched.Spa
 			}
 		}
 		key := ts.source(i)
-		dst := ts.owner(key)
+		h := ts.home(key)
+		dst := ts.homes[h]
 		if dst == w {
-			table.Inc(key)
+			// parts[h] == table unless a Rebalance remapped ownership;
+			// indexing by home keeps both cases one store.
+			ts.parts[h].Inc(key)
 			local++
 		} else {
 			if plan.Fire(faultinject.QueuePushFail, w, foreign) || !outs[dst].Push(key) {
@@ -451,7 +604,11 @@ func (ts twoStage) runWorkerLegacy(ctx context.Context, p, w int, span sched.Spa
 			if !ok {
 				break
 			}
-			table.Inc(key)
+			if ts.remapped {
+				ts.parts[ts.home(key)].Inc(key)
+			} else {
+				table.Inc(key)
+			}
 			pops++
 		}
 	}
@@ -468,6 +625,14 @@ func (ts twoStage) runWorkerLegacy(ctx context.Context, p, w int, span sched.Spa
 // P=1 the classification disappears entirely: whole encode blocks feed
 // AddBatch. Stage 2 drains with PopBatch and applies Add(key, delta).
 //
+// With hot-key splitting active, each flush additionally promotes keys
+// whose combined delta reaches the threshold, and subsequent occurrences
+// of a promoted key increment a core-private delta table instead of
+// entering the buffers at all; the owner folds those tables in after the
+// barrier. Split keys are not foreign keys — they skip both the foreign
+// counter and the queue-push fault point, so the fault sequence under
+// splitting simply has fewer events, never reordered ones.
+//
 // Queue-push faults fire per logical key at buffer-append time, with the
 // same (worker, running-foreign-count) sequence the legacy path uses, so
 // existing chaos seeds keep their meaning.
@@ -482,17 +647,26 @@ func (ts twoStage) runWorkerBatched(ctx context.Context, p, w int, span sched.Sp
 	keyMask := uint64(1)<<ts.keyBits - 1
 
 	// ---- Stage 1 (Algorithm 1), batched. Writes: parts[w], tails of
-	// queues[w][*]; every buffer below is private to this worker.
+	// queues[w][*], and (when splitting) row w of the split tables; every
+	// buffer below is private to this worker.
 	t0 := time.Now()
 	table := ts.parts[w]
 	outs := ts.queues[w]
-	var local, foreign, flushes, dupes uint64
+	var local, foreign, flushes, dupes, split uint64
 	var failure error
 	plan.MaybePanic(faultinject.PanicStage1, w, 0)
 
+	var splitTabs []*hashtable.Table
+	var cache []uint64
+	if ts.split != nil && p > 1 {
+		splitTabs = ts.split.tabs[w]
+		cache = ts.split.caches[w]
+	}
+
 	keys := make([]uint64, encodeBlockRows)
 	var bufs [][]uint64
-	var own []uint64
+	var own []uint64    // owned-key batch when ownership is unremapped
+	var ownh [][]uint64 // per-home owned-key batches when remapped
 	if p > 1 {
 		bufs = make([][]uint64, p)
 		for d := range bufs {
@@ -500,6 +674,19 @@ func (ts twoStage) runWorkerBatched(ctx context.Context, p, w int, span sched.Sp
 				bufs[d] = make([]uint64, 0, ts.writeBatch)
 			}
 		}
+	}
+	// Owned keys must land in their home partition even at P=1 once more
+	// homes than workers exist (dense lattice tables and the occupancy
+	// histogram are per-home), so the per-home buffers key off remapped,
+	// not the worker count.
+	if ts.remapped {
+		ownh = make([][]uint64, len(ts.homes))
+		for h, o := range ts.homes {
+			if o == w {
+				ownh[h] = make([]uint64, 0, encodeBlockRows)
+			}
+		}
+	} else if p > 1 {
 		own = make([]uint64, 0, encodeBlockRows)
 	}
 	flush := func(dst int) bool {
@@ -510,6 +697,27 @@ func (ts twoStage) runWorkerBatched(ctx context.Context, p, w int, span sched.Sp
 		words, combined := combineDeltas(b, ts.keyBits, maxDelta)
 		flushes++
 		dupes += combined
+		if cache != nil {
+			// Promotion: a key that combined to >= threshold occurrences
+			// within one flush is hot — install it in the filter so its
+			// future occurrences bypass the queues. This flush's words
+			// still travel the queue; only the filter changes.
+			for _, word := range words {
+				if word>>ts.keyBits+1 < ts.split.threshold {
+					continue
+				}
+				key := word & keyMask
+				tab := splitTabs[dst]
+				if tab == nil {
+					tab = hashtable.New(ts.writeBatch)
+					splitTabs[dst] = tab
+				}
+				if tab.Len() >= splitTableCap && tab.Get(key) == 0 {
+					continue
+				}
+				cache[rng.Mix64(key)&(hotCacheSlots-1)] = key
+			}
+		}
 		if acc := outs[dst].PushBatch(words); acc != len(words) {
 			return false
 		}
@@ -525,20 +733,43 @@ outer:
 		}
 		block := keys[:hi-lo]
 		ts.block(lo, hi, block)
-		if p == 1 {
-			// Everything is owned: feed whole encode blocks to the table.
+		if p == 1 && !ts.remapped {
+			// Everything is owned by the one partition: feed whole encode
+			// blocks to the table.
 			table.AddBatch(block)
 			local += uint64(len(block))
 		} else {
 			for _, key := range block {
-				dst := ts.owner(key)
+				h := ts.home(key)
+				dst := ts.homes[h]
 				if dst == w {
-					own = append(own, key)
-					if len(own) == cap(own) {
-						table.AddBatch(own)
-						own = own[:0]
+					if ownh != nil {
+						b := append(ownh[h], key)
+						if len(b) == cap(b) {
+							ts.parts[h].AddBatch(b)
+							b = b[:0]
+						}
+						ownh[h] = b
+					} else {
+						own = append(own, key)
+						if len(own) == cap(own) {
+							table.AddBatch(own)
+							own = own[:0]
+						}
 					}
 					local++
+					continue
+				}
+				if cache != nil && cache[rng.Mix64(key)&(hotCacheSlots-1)] == key {
+					tab := splitTabs[dst]
+					if tab == nil {
+						// Possible after a rebalance moved a promoted
+						// key's owner; allocate on first use.
+						tab = hashtable.New(ts.writeBatch)
+						splitTabs[dst] = tab
+					}
+					tab.Inc(key)
+					split++
 					continue
 				}
 				if plan.Fire(faultinject.QueuePushFail, w, foreign) {
@@ -559,15 +790,21 @@ outer:
 			case <-done:
 				ws[w].local, ws[w].foreign = local, foreign
 				ws[w].flushes, ws[w].dupes = flushes, dupes
+				ws[w].split = split
 				ws[w].stage1 = time.Since(t0)
 				return context.Cause(ctx)
 			default:
 			}
 		}
 	}
-	if failure == nil && p > 1 {
+	if failure == nil && (p > 1 || ts.remapped) {
 		if len(own) > 0 {
 			table.AddBatch(own)
+		}
+		for h, b := range ownh {
+			if len(b) > 0 {
+				ts.parts[h].AddBatch(b)
+			}
 		}
 		for d := 0; d < p; d++ {
 			if d != w && !flush(d) {
@@ -578,6 +815,7 @@ outer:
 	}
 	ws[w].local, ws[w].foreign = local, foreign
 	ws[w].flushes, ws[w].dupes = flushes, dupes
+	ws[w].split = split
 	ws[w].stage1 = time.Since(t0)
 	if failure != nil {
 		ts.barrier.Abort(failure)
@@ -594,8 +832,10 @@ outer:
 	plan.MaybePanic(faultinject.PanicStage2, w, 0)
 
 	// ---- Stage 2 (Algorithm 2), batched: drain delta words addressed to
-	// w and apply their key mass. Reads: heads of queues[*][w]; writes:
-	// parts[w].
+	// w and apply their key mass, then fold in the split tables the other
+	// workers accumulated for w. Reads: heads of queues[*][w], column w of
+	// the split tables (quiescent — their writers are past the barrier);
+	// writes: the partitions w owns.
 	t1 := time.Now()
 	var pops uint64
 	drain := make([]uint64, drainBatch)
@@ -612,7 +852,12 @@ outer:
 			}
 			for _, word := range drain[:n] {
 				delta := word>>ts.keyBits + 1
-				table.Add(word&keyMask, delta)
+				key := word & keyMask
+				if ts.remapped {
+					ts.parts[ts.home(key)].Add(key, delta)
+				} else {
+					table.Add(key, delta)
+				}
 				pops += delta
 			}
 			if check -= n; check <= 0 {
@@ -626,6 +871,32 @@ outer:
 				}
 			}
 		}
+	}
+	if ts.split != nil {
+		var merged uint64
+		for src := 0; src < p; src++ {
+			if src == w {
+				continue
+			}
+			tab := ts.split.tabs[src][w]
+			if tab == nil || tab.Len() == 0 {
+				continue
+			}
+			tab.Range(func(key, count uint64) bool {
+				if ts.remapped {
+					ts.parts[ts.home(key)].Add(key, count)
+				} else {
+					table.Add(key, count)
+				}
+				merged += count
+				return true
+			})
+			// Reset, not discard: the table's capacity (and the producer's
+			// filter entries) persist to the next block, so a key promoted
+			// once stays split for the life of the builder.
+			tab.Reset()
+		}
+		ws[w].merges = merged
 	}
 	ws[w].pops = pops
 	ws[w].stage2 = time.Since(t1)
@@ -656,15 +927,20 @@ func buildCtx(ctx context.Context, source KeySource, block blockSource, codec *e
 	if faultinject.Active().Fire(faultinject.TableGrowPressure, 0, 0) {
 		opts.TableHint = 1 // force repeated on-demand growth
 	}
-	p := opts.P
+	p, nparts := opts.P, opts.NumPartitions
 
-	parts := make([]hashtable.Counter, p)
+	parts := make([]hashtable.Counter, nparts)
 	for i := range parts {
-		parts[i] = newPartTable(opts.Table, opts.Partition, opts.TableHint, p, codec.KeySpace(), i)
+		parts[i] = newPartTable(opts.Table, opts.Partition, opts.TableHint, nparts, codec.KeySpace(), i)
 	}
 	queues := newQueueMatrix(p, opts.Queue, opts.RingCapacity, opts.NoSpill)
-	owner := opts.Partition.partitioner(p, codec.KeySpace())
+	home := opts.Partition.partitioner(nparts, codec.KeySpace())
+	homes := cyclicHomes(nparts, p)
 	barrier := sched.NewBarrier(p)
+	var split *splitState
+	if opts.HotSplit && p > 1 && opts.WriteBatch > 1 {
+		split = newSplitState(p, opts.HotThreshold)
+	}
 
 	ws := make([]workerStats, p)
 	if err := runTwoStage(ctx, p, twoStage{
@@ -673,7 +949,10 @@ func buildCtx(ctx context.Context, source KeySource, block blockSource, codec *e
 		block:      block,
 		parts:      parts,
 		queues:     queues,
-		owner:      owner,
+		home:       home,
+		homes:      homes,
+		remapped:   nparts != p,
+		split:      split,
 		barrier:    barrier,
 		ringCap:    opts.RingCapacity,
 		writeBatch: opts.WriteBatch,
@@ -694,6 +973,8 @@ func buildCtx(ctx context.Context, source KeySource, block blockSource, codec *e
 		st.Stage2Pops += ws[w].pops
 		st.BatchFlushes += ws[w].flushes
 		st.ForeignDupes += ws[w].dupes
+		st.SplitKeys += ws[w].split
+		st.SplitMerges += ws[w].merges
 		if ws[w].stage1 > st.Stage1Time {
 			st.Stage1Time = ws[w].stage1
 		}
@@ -704,7 +985,8 @@ func buildCtx(ctx context.Context, source KeySource, block blockSource, codec *e
 			st.BarrierWait = ws[w].barrier
 		}
 	}
-	pt := NewPotentialTable(codec, parts, st.LocalKeys+st.Stage2Pops)
+	st.DestQueueWords = queues.destWords()
+	pt := NewPotentialTable(codec, parts, st.LocalKeys+st.Stage2Pops+st.SplitMerges)
 	pt.SetObs(opts.Obs)
 	st.DistinctKeys = pt.Len()
 	publishBuildMetrics(opts.Obs, st, ws, queues, parts)

@@ -161,7 +161,7 @@ func TestBuildRespectsPartitionOwnership(t *testing.T) {
 			t.Fatal(err)
 		}
 		owner := kind.partitioner(4, pt.Codec().KeySpace())
-		for w, part := range pt.parts {
+		for w, part := range pt.liveParts() {
 			part.Range(func(key, count uint64) bool {
 				if owner(key) != w {
 					t.Fatalf("%v: key %d stored in partition %d, owner %d", kind, key, w, owner(key))

@@ -121,29 +121,35 @@ func (t *PotentialTable) Freeze(p int) FreezeStats {
 // invalidated by Rebalance. Freezing an already-frozen table is a no-op
 // that returns the existing snapshot's stats.
 func (t *PotentialTable) FreezeCtx(ctx context.Context, p int) (FreezeStats, error) {
+	// structMu serializes the freeze against Rebalance: the partitions
+	// captured below and the snapshot installed at the end must belong to
+	// the same structural generation (see PotentialTable.structMu).
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
 	if ft := t.frozen.Load(); ft != nil {
 		return FreezeStats{Entries: len(ft.keys), Partitions: len(ft.partOff) - 1}, nil
 	}
 	start := time.Now()
+	parts := t.liveParts()
 	if p <= 0 {
 		p = sched.DefaultP()
 	}
-	if p > len(t.parts) {
-		p = len(t.parts)
+	if p > len(parts) {
+		p = len(parts)
 	}
 
-	partOff := make([]int, len(t.parts)+1)
-	for i, part := range t.parts {
+	partOff := make([]int, len(parts)+1)
+	for i, part := range parts {
 		partOff[i+1] = partOff[i] + part.Len()
 	}
-	total := partOff[len(t.parts)]
+	total := partOff[len(parts)]
 	ft := &frozenTable{
 		keys:    make([]uint64, total),
 		counts:  make([]uint64, total),
 		partOff: partOff,
 	}
 
-	assign := sched.CyclicAssign(len(t.parts), p)
+	assign := sched.CyclicAssign(len(parts), p)
 	err := sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
 		done := ctx.Done()
 		for _, pi := range assign[w] {
@@ -155,7 +161,7 @@ func (t *PotentialTable) FreezeCtx(ctx context.Context, p int) (FreezeStats, err
 			lo, hi := partOff[pi], partOff[pi+1]
 			keys, counts := ft.keys[lo:hi], ft.counts[lo:hi]
 			n := 0
-			t.parts[pi].Range(func(key, count uint64) bool {
+			parts[pi].Range(func(key, count uint64) bool {
 				keys[n], counts[n] = key, count
 				n++
 				return true
@@ -174,7 +180,7 @@ func (t *PotentialTable) FreezeCtx(ctx context.Context, p int) (FreezeStats, err
 	// First snapshot wins if two goroutines race to freeze; both are
 	// equivalent captures of the same quiescent partitions.
 	t.frozen.CompareAndSwap(nil, ft)
-	st := FreezeStats{Entries: total, Partitions: len(t.parts), Duration: time.Since(start)}
+	st := FreezeStats{Entries: total, Partitions: len(parts), Duration: time.Since(start)}
 	if r := t.obs; r != nil {
 		r.Help(metricFreezeSeconds, "wall clock of PotentialTable.Freeze")
 		r.Histogram(metricFreezeSeconds).Observe(st.Duration)
@@ -227,14 +233,17 @@ func (t *PotentialTable) scanBlocksCtx(ctx context.Context, p int, block func(w 
 // assigned to workers cyclically and each worker's Range output is gathered
 // into per-worker scratch blocks before dispatch.
 func (t *PotentialTable) scanLiveBlocks(ctx context.Context, p int, block func(w int, keys, counts []uint64, sorted bool)) error {
-	assign := t.partitionAssignment(p)
+	// Capture one partition generation: the assignment and the walk below
+	// must agree on the partition count even if a Rebalance lands mid-scan.
+	parts := t.liveParts()
+	assign := sched.CyclicAssign(len(parts), p)
 	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
 		done := ctx.Done()
 		var cause error
 		keys := make([]uint64, 0, scanBlockSize)
 		counts := make([]uint64, 0, scanBlockSize)
 		for _, part := range assign[w] {
-			t.parts[part].Range(func(key, count uint64) bool {
+			parts[part].Range(func(key, count uint64) bool {
 				keys = append(keys, key)
 				counts = append(counts, count)
 				if len(keys) == scanBlockSize {

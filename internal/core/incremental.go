@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,14 +24,23 @@ import (
 // Builder methods must be called from a single goroutine; the parallelism
 // is internal.
 type Builder struct {
-	codec   *encoding.Codec
-	opts    Options
-	parts   []hashtable.Counter
-	queues  queueMatrix
-	owner   func(uint64) int
-	barrier *sched.Barrier
-	stats   Stats
-	done    bool
+	codec  *encoding.Codec
+	opts   Options
+	parts  []hashtable.Counter
+	queues queueMatrix
+	// home is the static key→partition mapping over NumPartitions homes;
+	// homes[h] is the worker currently owning home partition h (cyclic
+	// h mod P until Rebalance), and remapped caches whether homes
+	// deviates from the one-partition-per-worker identity. parts stays
+	// indexed by home across rebalances, so remapping moves ownership
+	// without moving entries.
+	home     func(uint64) int
+	homes    []int
+	remapped bool
+	split    *splitState // hot-key splitting state; nil when disabled
+	barrier  *sched.Barrier
+	stats    Stats
+	done     bool
 	// failed poisons the builder after a block that errored or was
 	// cancelled mid-protocol: the barrier may be aborted and the queues
 	// and tables partially updated, so no consistent continuation exists.
@@ -46,14 +56,19 @@ func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
 	}
 	opts, hintCapped := opts.withDefaults(blockHint, codec.KeySpace())
 	b := &Builder{
-		codec:   codec,
-		opts:    opts,
-		parts:   make([]hashtable.Counter, opts.P),
-		owner:   opts.Partition.partitioner(opts.P, codec.KeySpace()),
-		barrier: sched.NewBarrier(opts.P),
+		codec:    codec,
+		opts:     opts,
+		parts:    make([]hashtable.Counter, opts.NumPartitions),
+		home:     opts.Partition.partitioner(opts.NumPartitions, codec.KeySpace()),
+		homes:    cyclicHomes(opts.NumPartitions, opts.P),
+		remapped: opts.NumPartitions != opts.P,
+		barrier:  sched.NewBarrier(opts.P),
+	}
+	if opts.HotSplit && opts.P > 1 && opts.WriteBatch > 1 {
+		b.split = newSplitState(opts.P, opts.HotThreshold)
 	}
 	for i := range b.parts {
-		b.parts[i] = newPartTable(opts.Table, opts.Partition, opts.TableHint, opts.P, codec.KeySpace(), i)
+		b.parts[i] = newPartTable(opts.Table, opts.Partition, opts.TableHint, opts.NumPartitions, codec.KeySpace(), i)
 	}
 	b.queues = newQueueMatrix(opts.P, opts.Queue, opts.RingCapacity, opts.NoSpill)
 	b.stats.P = opts.P
@@ -109,7 +124,10 @@ func (b *Builder) addKeys(ctx context.Context, m int, source KeySource, block bl
 		block:      block,
 		parts:      b.parts,
 		queues:     b.queues,
-		owner:      b.owner,
+		home:       b.home,
+		homes:      b.homes,
+		remapped:   b.remapped,
+		split:      b.split,
 		barrier:    b.barrier,
 		ringCap:    b.opts.RingCapacity,
 		writeBatch: b.opts.WriteBatch,
@@ -128,6 +146,8 @@ func (b *Builder) addKeys(ctx context.Context, m int, source KeySource, block bl
 		b.stats.Stage2Pops += ws[w].pops
 		b.stats.BatchFlushes += ws[w].flushes
 		b.stats.ForeignDupes += ws[w].dupes
+		b.stats.SplitKeys += ws[w].split
+		b.stats.SplitMerges += ws[w].merges
 		// Stage times accumulate the per-block critical path: the sum over
 		// blocks of the slowest worker, i.e. the wall clock spent in each
 		// stage across the whole stream.
@@ -195,17 +215,19 @@ func (b *Builder) ImportTable(t *PotentialTable) error {
 	// table for O(n) extra work; the resulting key→count mapping is
 	// order-independent either way. Partitions are single-owner, so they
 	// load in parallel, each pre-sized to its final occupancy.
-	p := b.opts.P
-	imp := make([]importBuf, p)
+	// Keys bucket by home partition, not by current owner: parts is indexed
+	// by home, and a Rebalance between import and the next block must find
+	// every key in parts[home(key)].
+	imp := make([]importBuf, len(b.parts))
 	t.Range(func(key, count uint64) bool {
-		w := b.owner(key)
-		imp[w].keys = append(imp[w].keys, key)
-		imp[w].counts = append(imp[w].counts, count)
+		h := b.home(key)
+		imp[h].keys = append(imp[h].keys, key)
+		imp[h].counts = append(imp[h].counts, count)
 		return true
 	})
 	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		if len(imp[w].keys) == 0 {
+	for h := range b.parts {
+		if len(imp[h].keys) == 0 {
 			continue
 		}
 		wg.Add(1)
@@ -221,7 +243,7 @@ func (b *Builder) ImportTable(t *PotentialTable) error {
 					dst.Add(buf.keys[i], buf.counts[i])
 				}
 			}
-		}(b.parts[w], imp[w])
+		}(b.parts[h], imp[h])
 	}
 	wg.Wait()
 	b.stats.LocalKeys += t.NumSamples()
@@ -259,7 +281,7 @@ func (b *Builder) SnapshotCtx(ctx context.Context, p int) (*PotentialTable, Free
 	// Freeze through a scratch table over the live partitions, then detach:
 	// the returned table holds only the columnar copy, so later AddBlock
 	// mutations of b.parts cannot be observed through it.
-	scratch := &PotentialTable{codec: b.codec, parts: b.parts, m: b.Samples()}
+	scratch := NewPotentialTable(b.codec, b.parts, b.Samples())
 	scratch.SetObs(b.opts.Obs)
 	st, err := scratch.FreezeCtx(ctx, p)
 	if err != nil {
@@ -276,7 +298,8 @@ func (b *Builder) SnapshotCtx(ctx context.Context, p int) (*PotentialTable, Free
 func (b *Builder) Finalize() (*PotentialTable, Stats) {
 	b.done = true
 	b.stats.SpilledKeys = b.queues.spilledKeys()
-	pt := NewPotentialTable(b.codec, b.parts, b.stats.LocalKeys+b.stats.Stage2Pops)
+	b.stats.DestQueueWords = b.queues.destWords()
+	pt := NewPotentialTable(b.codec, b.parts, b.stats.LocalKeys+b.stats.Stage2Pops+b.stats.SplitMerges)
 	pt.SetObs(b.opts.Obs)
 	b.stats.DistinctKeys = pt.Len()
 	if r := b.opts.Obs; r != nil {
@@ -295,10 +318,137 @@ func (b *Builder) Finalize() (*PotentialTable, Stats) {
 }
 
 // Samples returns how many rows have been counted so far.
-func (b *Builder) Samples() uint64 { return b.stats.LocalKeys + b.stats.Stage2Pops + pendingForeign(b) }
+func (b *Builder) Samples() uint64 {
+	return b.stats.LocalKeys + b.stats.Stage2Pops + pendingForeign(b) + b.stats.SplitKeys
+}
 
 func pendingForeign(b *Builder) uint64 {
 	// Between blocks all queues are drained, so foreign == pops; this
 	// accounts for foreign keys stranded in queues by a failed block.
+	// (Split keys are accounted separately: SplitKeys, all of which are
+	// merged between blocks, with the unmerged remainder of a failed block
+	// likewise counted as accepted-but-stranded.)
 	return b.stats.ForeignKeys - b.stats.Stage2Pops
+}
+
+// RebalanceStats reports one Builder.Rebalance decision.
+type RebalanceStats struct {
+	// Moved is how many home partitions were re-assigned to a different
+	// owner (0 = the mapping was already optimal under LPT).
+	Moved int `json:"moved"`
+	// Before and After are the max/mean per-owner key mass (1.0 = flat)
+	// under the old and new mapping, computed from the occupancy
+	// histogram the partition tables already maintain.
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+}
+
+// Rebalance re-maps the heaviest home partitions across owners using the
+// per-partition occupancy histogram (total key mass per table), so that
+// subsequent blocks spread the stage-1/stage-2 write work of a skewed key
+// distribution more evenly. It uses deterministic LPT bin packing: homes
+// in descending mass order each go to the least-loaded worker, with index
+// ties broken low-first — under uniform mass this reproduces the cyclic
+// initial deal, so Rebalance on balanced data is a no-op.
+//
+// Real balancing needs Options.NumPartitions > P: with exactly one home
+// per worker LPT can only permute owners, so every worker ends up with one
+// home and the imbalance is unchanged. With k×P homes the heaviest homes
+// spread across owners and After can genuinely drop below Before.
+//
+// No table entry moves: partitions stay indexed by home, only homes[h]
+// changes. Like every Builder method it must run between blocks (the
+// quiescent hand-off point); the serve Manager calls it between epochs.
+func (b *Builder) Rebalance() RebalanceStats {
+	st := RebalanceStats{Before: 1, After: 1}
+	p, nparts := b.opts.P, len(b.parts)
+	if b.done || b.failed != nil || p <= 1 {
+		return st
+	}
+	mass := make([]uint64, nparts)
+	var total uint64
+	for h, part := range b.parts {
+		mass[h] = part.Total()
+		total += mass[h]
+	}
+	if total == 0 {
+		return st
+	}
+	st.Before = ownerImbalance(mass, b.homes, p)
+
+	order := make([]int, nparts)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if mass[a] != mass[c] {
+			return mass[a] > mass[c]
+		}
+		return a < c
+	})
+	load := make([]uint64, p)
+	homes := make([]int, nparts)
+	for _, h := range order {
+		w := 0
+		for cand := 1; cand < p; cand++ {
+			if load[cand] < load[w] {
+				w = cand
+			}
+		}
+		homes[h] = w
+		load[w] += mass[h]
+	}
+	for h := range homes {
+		if homes[h] != b.homes[h] {
+			st.Moved++
+		}
+	}
+	if st.Moved > 0 {
+		b.homes = homes
+		b.remapped = nparts != p
+		for h, o := range homes {
+			if o != h {
+				b.remapped = true
+				break
+			}
+		}
+	}
+	st.After = ownerImbalance(mass, b.homes, p)
+	return st
+}
+
+// OwnerImbalance returns the max/mean key mass across owners under the
+// current home→owner mapping (1.0 = flat), the load-balance diagnostic the
+// serve layer publishes after each rebalance.
+func (b *Builder) OwnerImbalance() float64 {
+	p := b.opts.P
+	if p <= 1 {
+		return 1
+	}
+	mass := make([]uint64, len(b.parts))
+	for h, part := range b.parts {
+		mass[h] = part.Total()
+	}
+	return ownerImbalance(mass, b.homes, p)
+}
+
+// ownerImbalance folds per-home mass through a home→owner mapping onto p
+// owners and returns max/mean per-owner load (1.0 when empty or flat).
+func ownerImbalance(mass []uint64, homes []int, p int) float64 {
+	load := make([]uint64, p)
+	var total, max uint64
+	for h, m := range mass {
+		load[homes[h]] += m
+	}
+	for _, l := range load {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(load)) / float64(total)
 }

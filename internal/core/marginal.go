@@ -93,8 +93,8 @@ func (t *PotentialTable) readP(p int) int {
 	if p <= 0 {
 		p = sched.DefaultP()
 	}
-	if t.frozen.Load() == nil && p > len(t.parts) {
-		p = len(t.parts)
+	if parts := t.liveParts(); t.frozen.Load() == nil && p > len(parts) {
+		p = len(parts)
 		if r := t.obs; r != nil {
 			r.Help(metricScanClamped, "live scans whose worker count was capped at the partition count")
 			r.Counter(metricScanClamped).Inc()

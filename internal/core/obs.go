@@ -27,6 +27,9 @@ const (
 	metricTableHintCapped = "core_table_hint_capped_total"
 	metricBatchFlushes    = "spsc_batch_flushes_total"
 	metricForeignDupes    = "core_foreign_dupes_combined_total"
+	metricSplitKeys       = "core_split_keys_total"
+	metricSplitMerges     = "core_split_merges_total"
+	metricDestQueueWords  = "core_dest_queue_words"
 	metricChunkSegments   = "spsc_chunk_segments_total"
 	metricRingHighWater   = "spsc_ring_highwater"
 	metricSpillKeys       = "spsc_spill_keys_total"
@@ -89,6 +92,18 @@ func publishQueueMetrics(r *obs.Registry, st Stats, queues queueMatrix) {
 		r.Counter(metricBatchFlushes).Add(st.BatchFlushes)
 		r.Help(metricForeignDupes, "duplicate foreign keys combined into deltas before queueing")
 		r.Counter(metricForeignDupes).Add(st.ForeignDupes)
+	}
+	if st.SplitKeys > 0 {
+		r.Help(metricSplitKeys, "hot-key mass diverted from the queues into split delta tables")
+		r.Counter(metricSplitKeys).Add(st.SplitKeys)
+		r.Help(metricSplitMerges, "split delta mass merged into owner tables after the barrier")
+		r.Counter(metricSplitMerges).Add(st.SplitMerges)
+	}
+	if len(st.DestQueueWords) > 0 {
+		r.Help(metricDestQueueWords, "cumulative words pushed into each destination's queue column")
+		for j, words := range st.DestQueueWords {
+			r.Gauge(metricDestQueueWords, "dest", strconv.Itoa(j)).Set(float64(words))
+		}
 	}
 
 	var segments, acquires, spilled uint64

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -11,12 +12,14 @@ func TestStatsStringAndJSON(t *testing.T) {
 	st := Stats{
 		P: 4, LocalKeys: 100, ForeignKeys: 300, Stage2Pops: 300,
 		DistinctKeys: 57, WriteBatch: 64, BatchFlushes: 12, ForeignDupes: 40,
+		SplitKeys: 25, SplitMerges: 25,
 		Stage1Time: 1500 * time.Microsecond,
 		Stage2Time: 200 * time.Microsecond, BarrierWait: 50 * time.Microsecond,
 		TableHint: 1 << 24, TableHintCapped: true,
+		DestQueueWords: []uint64{10, 20, 30, 40},
 	}
 	s := st.String()
-	for _, want := range []string{"P=4", "local=100", "foreign=300", "pops=300", "distinct=57", "(capped)", "wb=64", "flushes=12", "dupes=40"} {
+	for _, want := range []string{"P=4", "local=100", "foreign=300", "pops=300", "distinct=57", "(capped)", "wb=64", "flushes=12", "dupes=40", "split=25", "merged=25"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q: %s", want, s)
 		}
@@ -26,7 +29,7 @@ func TestStatsStringAndJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"p":4`, `"foreign_keys":300`, `"stage1_seconds":0.0015`, `"table_hint_capped":true`, `"write_batch":64`, `"batch_flushes":12`, `"foreign_dupes_combined":40`} {
+	for _, want := range []string{`"p":4`, `"foreign_keys":300`, `"stage1_seconds":0.0015`, `"table_hint_capped":true`, `"write_batch":64`, `"batch_flushes":12`, `"foreign_dupes_combined":40`, `"split_keys":25`, `"split_merges":25`, `"dest_queue_words":[10,20,30,40]`} {
 		if !strings.Contains(string(blob), want) {
 			t.Errorf("JSON missing %q: %s", want, blob)
 		}
@@ -36,7 +39,7 @@ func TestStatsStringAndJSON(t *testing.T) {
 	if err := json.Unmarshal(blob, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != st {
+	if !reflect.DeepEqual(back, st) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", back, st)
 	}
 }

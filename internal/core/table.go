@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"waitfreebn/internal/encoding"
@@ -177,18 +178,41 @@ func newPartTable(kind TableKind, part PartitionKind, hint, p int, keySpace uint
 // readers. Freeze attaches a columnar snapshot (see frozen.go) that the
 // read-side scans stream from instead of the partition hashtables.
 type PotentialTable struct {
-	codec  *encoding.Codec
-	parts  []hashtable.Counter
+	codec *encoding.Codec
+	// parts is published atomically so lock-free readers racing a
+	// Rebalance see either the old or the new partition generation whole
+	// — both hold the identical key→count mapping — never a torn slice
+	// header. Each reader loads the pointer once per operation and walks
+	// only the generation it captured.
+	parts  atomic.Pointer[[]hashtable.Counter]
 	m      uint64                      // total number of samples counted
 	obs    *obs.Registry               // read-path metrics sink; nil = disabled
 	frozen atomic.Pointer[frozenTable] // columnar snapshot; nil = live scans
+	// structMu serializes the two operations that replace structural state
+	// (Rebalance swapping parts and invalidating the snapshot, FreezeCtx
+	// capturing parts and installing one). Without it a freeze racing a
+	// rebalance could capture half-swapped partitions or re-install a
+	// snapshot of the pre-rebalance layout over the invalidation. Readers
+	// stay lock-free: they only follow the frozen pointer or the parts
+	// generation they loaded.
+	structMu sync.Mutex
+}
+
+// liveParts loads the current partition generation.
+func (t *PotentialTable) liveParts() []hashtable.Counter {
+	if ps := t.parts.Load(); ps != nil {
+		return *ps
+	}
+	return nil
 }
 
 // NewPotentialTable assembles a table directly from parts; it is exported
 // for tests and for builders in other packages (baseline strategies produce
 // the same representation). m must equal the sum of all counts.
 func NewPotentialTable(codec *encoding.Codec, parts []hashtable.Counter, m uint64) *PotentialTable {
-	return &PotentialTable{codec: codec, parts: parts, m: m}
+	t := &PotentialTable{codec: codec, m: m}
+	t.parts.Store(&parts)
+	return t
 }
 
 // Codec returns the key codec the table was built with.
@@ -201,12 +225,13 @@ func (t *PotentialTable) SetObs(r *obs.Registry) { t.obs = r }
 
 // Partitions returns the number of partitions P.
 func (t *PotentialTable) Partitions() int {
-	if len(t.parts) == 0 {
+	parts := t.liveParts()
+	if len(parts) == 0 {
 		if ft := t.frozen.Load(); ft != nil {
 			return len(ft.partOff) - 1
 		}
 	}
-	return len(t.parts)
+	return len(parts)
 }
 
 // NumSamples returns m, the number of observations counted into the table.
@@ -218,7 +243,7 @@ func (t *PotentialTable) Len() int {
 		return len(ft.keys)
 	}
 	total := 0
-	for _, p := range t.parts {
+	for _, p := range t.liveParts() {
 		total += p.Len()
 	}
 	return total
@@ -231,7 +256,7 @@ func (t *PotentialTable) Get(key uint64) uint64 {
 	if ft := t.frozen.Load(); ft != nil {
 		return ft.get(key)
 	}
-	for _, p := range t.parts {
+	for _, p := range t.liveParts() {
 		if c := p.Get(key); c != 0 {
 			return c
 		}
@@ -250,7 +275,7 @@ func (t *PotentialTable) Total() uint64 {
 		return total
 	}
 	var total uint64
-	for _, p := range t.parts {
+	for _, p := range t.liveParts() {
 		total += p.Total()
 	}
 	return total
@@ -266,8 +291,9 @@ func (t *PotentialTable) PartitionSizes() []int {
 		}
 		return sizes
 	}
-	sizes := make([]int, len(t.parts))
-	for i, p := range t.parts {
+	parts := t.liveParts()
+	sizes := make([]int, len(parts))
+	for i, p := range parts {
 		sizes[i] = p.Len()
 	}
 	return sizes
@@ -287,7 +313,7 @@ func (t *PotentialTable) Range(fn func(key, count uint64) bool) {
 		}
 		return
 	}
-	for _, p := range t.parts {
+	for _, p := range t.liveParts() {
 		stopped := false
 		p.Range(func(key, count uint64) bool {
 			if !fn(key, count) {
@@ -329,6 +355,8 @@ func (t *PotentialTable) Rebalance(parts int) {
 	if parts <= 0 {
 		panic(fmt.Sprintf("core: Rebalance with parts = %d", parts))
 	}
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
 	total := t.Len()
 	target := (total + parts - 1) / parts
 	if target == 0 {
@@ -348,10 +376,32 @@ func (t *PotentialTable) Rebalance(parts int) {
 		inCurrent++
 		return true
 	})
-	t.parts = newParts
+	t.parts.Store(&newParts)
 	// The snapshot mirrors the replaced partitions; drop it so scans fall
 	// back to the live tables until the caller freezes again.
 	t.frozen.Store(nil)
+}
+
+// PartitionMass returns each partition's total key mass (sum of counts) —
+// the occupancy histogram rebalancing decisions and the skew diagnostics
+// read. On a frozen table it sums the columnar segments; on a live table it
+// asks each partition, which is exact while writers are quiescent.
+func (t *PotentialTable) PartitionMass() []uint64 {
+	if ft := t.frozen.Load(); ft != nil {
+		mass := make([]uint64, len(ft.partOff)-1)
+		for p := range mass {
+			for _, c := range ft.counts[ft.partOff[p]:ft.partOff[p+1]] {
+				mass[p] += c
+			}
+		}
+		return mass
+	}
+	parts := t.liveParts()
+	mass := make([]uint64, len(parts))
+	for i, p := range parts {
+		mass[i] = p.Total()
+	}
+	return mass
 }
 
 // maxImbalance returns the ratio of the largest to the smallest partition
@@ -379,5 +429,5 @@ func (t *PotentialTable) maxImbalance() float64 {
 // partitionAssignment distributes the table's partitions across p workers
 // cyclically, for read-side parallel scans.
 func (t *PotentialTable) partitionAssignment(p int) [][]int {
-	return sched.CyclicAssign(len(t.parts), p)
+	return sched.CyclicAssign(len(t.liveParts()), p)
 }

@@ -35,6 +35,7 @@ import (
 	"waitfreebn/internal/encoding"
 	"waitfreebn/internal/faultinject"
 	"waitfreebn/internal/obs"
+	"waitfreebn/internal/sched"
 	"waitfreebn/internal/wal"
 )
 
@@ -58,6 +59,9 @@ const (
 	metricResponseSizes  = "serve_response_bytes"
 	metricInflight       = "serve_inflight"
 	metricAdmissionDrops = "serve_admission_rejected_total"
+	metricRebalances     = "serve_rebalances_total"
+	metricRebalanceMoves = "serve_rebalance_moves_total"
+	metricOwnerImbalance = "serve_owner_imbalance"
 )
 
 // ErrOverloaded is returned by Ingest when accepting the rows would exceed
@@ -112,6 +116,13 @@ type ManagerConfig struct {
 	// CheckpointEvery is how many publishes elapse between checkpoints.
 	// 0 = 1 (every publish).
 	CheckpointEvery int
+	// RebalanceEvery, when positive, re-maps the heaviest builder
+	// partitions across owner workers every RebalanceEvery publishes,
+	// using the occupancy histogram accumulated so far. The rebalance runs
+	// at the epoch swap, under the manager lock, while the builder is
+	// quiescent — exactly the hand-off point the wait-free contract
+	// already establishes. 0 = off.
+	RebalanceEvery int
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -123,6 +134,16 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1
+	}
+	if c.RebalanceEvery > 0 && c.Build.NumPartitions == 0 {
+		// Rebalancing needs more home partitions than workers to have any
+		// effect (LPT over one-home-per-worker is a pure permutation), so
+		// an enabled rebalancer defaults the builder to 8 homes per worker.
+		p := c.Build.P
+		if p <= 0 {
+			p = sched.DefaultP()
+		}
+		c.Build.NumPartitions = 8 * p
 	}
 	return c
 }
@@ -164,6 +185,7 @@ type Manager struct {
 	sinceCkpt int
 	dirty     bool   // builder holds rows not yet in the published table
 	nextEpoch uint64 // epoch number the next publish uses
+	sinceReb  int    // publishes since the last rebalance check
 	freezeSeq uint64 // freeze-fail fault-point occurrence counter
 	replaySeq uint64 // recover-replay fault-point occurrence counter
 
@@ -178,6 +200,9 @@ type Manager struct {
 	rollbacks  *obs.Counter
 	ingested   *obs.Counter
 	walRetries *obs.Counter
+	rebalances *obs.Counter
+	rebMoves   *obs.Counter
+	imbalanceG *obs.Gauge
 	pendingG   *obs.Gauge
 	epochG     *obs.Gauge
 	keysG      *obs.Gauge
@@ -209,6 +234,9 @@ func NewManager(ctx context.Context, codec *encoding.Codec, cfg ManagerConfig) (
 		rollbacks:  reg.Counter(metricRollbacks),
 		ingested:   reg.Counter(metricIngested),
 		walRetries: reg.Counter(metricWALRetries),
+		rebalances: reg.Counter(metricRebalances),
+		rebMoves:   reg.Counter(metricRebalanceMoves),
+		imbalanceG: reg.Gauge(metricOwnerImbalance),
 		pendingG:   reg.Gauge(metricPending),
 		epochG:     reg.Gauge(metricEpoch),
 		keysG:      reg.Gauge(metricEpochKeys),
@@ -228,6 +256,9 @@ func NewManager(ctx context.Context, codec *encoding.Codec, cfg ManagerConfig) (
 		reg.Help(metricRecoverySecs, "duration of the last startup recovery")
 		reg.Help(metricRecoveredRows, "rows restored by the last startup recovery (checkpoint + replay)")
 		reg.Help(metricRefreshHist, "duration of build+freeze+publish refresh cycles")
+		reg.Help(metricRebalances, "partition-to-owner rebalances applied between epochs")
+		reg.Help(metricRebalanceMoves, "partitions re-homed to a different owner by rebalances")
+		reg.Help(metricOwnerImbalance, "max/mean owner load after the last rebalance check (1 = flat)")
 	}
 	pt, _, err := m.builder.SnapshotCtx(ctx, cfg.FreezeP)
 	if err != nil {
@@ -461,7 +492,31 @@ func (m *Manager) Refresh(ctx context.Context) (bool, error) {
 	m.dirty = false
 	m.refreshH.Observe(time.Since(start))
 	m.checkpointLocked(false)
+	m.maybeRebalanceLocked()
 	return true, nil
+}
+
+// maybeRebalanceLocked applies the between-epoch partition rebalance when one
+// is due. Caller holds m.mu, and the refresh that just published has drained
+// every pending block through the builder — the quiescent point the
+// rebalance contract requires (no stage-1/stage-2 workers are running).
+// Readers are unaffected: they scan the frozen snapshot just published, and
+// the remap only redirects which worker OWNS each partition in future builds.
+func (m *Manager) maybeRebalanceLocked() {
+	if m.cfg.RebalanceEvery <= 0 {
+		return
+	}
+	m.sinceReb++
+	if m.sinceReb < m.cfg.RebalanceEvery {
+		return
+	}
+	m.sinceReb = 0
+	st := m.builder.Rebalance()
+	m.imbalanceG.Set(st.After)
+	if st.Moved > 0 {
+		m.rebalances.Inc()
+		m.rebMoves.Add(uint64(st.Moved))
+	}
 }
 
 // checkpointLocked runs the post-publish durability barrier: fsync the WAL

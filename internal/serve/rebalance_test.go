@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/obs"
+)
+
+// TestManagerRebalancesBetweenEpochs wires the builder's owner rebalancing
+// through the manager's epoch swap: with RebalanceEvery=1 and a skewed
+// ingest stream, each publish must run a rebalance check, the move/apply
+// counters must fire, and the served snapshots must stay bit-identical to
+// the batch build over the same rows.
+func TestManagerRebalancesBetweenEpochs(t *testing.T) {
+	card := []int{3, 3, 3, 3}
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]uint8, 4000)
+	for i := range rows {
+		row := make([]uint8, len(card))
+		// 70% of rows repeat one hot state vector — the skew the
+		// rebalancer is supposed to spread across owners.
+		if rng.Intn(10) >= 3 {
+			for j := range row {
+				row[j] = 1
+			}
+		} else {
+			for j := range row {
+				row[j] = uint8(rng.Intn(card[j]))
+			}
+		}
+		rows[i] = row
+	}
+
+	reg := obs.NewRegistry()
+	cfg := ManagerConfig{
+		Build:          core.Options{P: 2, Obs: reg},
+		RebalanceEvery: 1,
+	}
+	ctx := context.Background()
+	mgr, err := NewManager(ctx, mustCodec(t, card), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	for lo := 0; lo < len(rows); lo += 1000 {
+		if err := mgr.Ingest(rows[lo : lo+1000]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.Refresh(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := reg.Counter("serve_rebalances_total").Value(); n == 0 {
+		t.Fatal("no rebalance was applied across four skewed epoch publishes")
+	}
+	if n := reg.Counter("serve_rebalance_moves_total").Value(); n == 0 {
+		t.Fatal("rebalances applied but no partition was re-homed")
+	}
+	if g := reg.Gauge("serve_owner_imbalance").Value(); g <= 0 {
+		t.Fatalf("owner-imbalance gauge = %v, want > 0", g)
+	}
+
+	ref := batchTable(t, card, rows)
+	snap := mgr.Acquire()
+	defer snap.Release()
+	if !snap.Table().Equal(ref) {
+		t.Fatal("rebalanced manager's snapshot differs from the batch build")
+	}
+}

@@ -58,6 +58,9 @@ type Config struct {
 	WAL             *wal.Log
 	Checkpoints     *wal.CheckpointStore
 	CheckpointEvery int
+	// RebalanceEvery, when positive, re-maps the heaviest builder
+	// partitions across owner workers every N epoch publishes (0 = off).
+	RebalanceEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +106,7 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 		WAL:             cfg.WAL,
 		Checkpoints:     cfg.Checkpoints,
 		CheckpointEvery: cfg.CheckpointEvery,
+		RebalanceEvery:  cfg.RebalanceEvery,
 	})
 	if err != nil {
 		return nil, err

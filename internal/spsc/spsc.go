@@ -52,6 +52,11 @@ type Queue interface {
 	// when producer and consumer are quiescent (e.g. between the two
 	// stages of the construction primitive).
 	Len() int
+	// Pushed returns the cumulative number of elements ever accepted by
+	// Push/PushBatch — the queue-traffic counter the skew diagnostics
+	// aggregate per destination. Like Len it is exact once the producer
+	// has quiesced.
+	Pushed() uint64
 }
 
 // Ring is a bounded wait-free SPSC queue over a power-of-two circular
@@ -64,6 +69,7 @@ type Ring struct {
 	_    [56]byte
 	tail atomic.Uint64
 	hw   uint64 // producer-owned occupancy high-water mark (shares the tail line)
+	ps   uint64 // producer-owned cumulative accepted-push count (ditto)
 }
 
 // NewRing returns a ring that can hold at least capacity elements.
@@ -93,6 +99,7 @@ func (r *Ring) Push(v uint64) bool {
 		r.hw = used + 1
 	}
 	r.buf[tail&r.mask] = v
+	r.ps++
 	r.tail.Store(tail + 1) // release: publishes the element above
 	return true
 }
@@ -130,6 +137,7 @@ func (r *Ring) PushBatch(vs []uint64) int {
 	if used > r.hw {
 		r.hw = used
 	}
+	r.ps += n
 	r.tail.Store(tail + n) // release: publishes the whole batch
 	return int(n)
 }
@@ -162,6 +170,10 @@ func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
 // written only by the producer, so it is exact once the producer has
 // quiesced (e.g. after the construction barrier).
 func (r *Ring) HighWater() int { return int(r.hw) }
+
+// Pushed returns the cumulative accepted-push count (producer-owned, exact
+// once the producer has quiesced).
+func (r *Ring) Pushed() uint64 { return r.ps }
 
 // chunkSize is the number of elements per segment of a Chunked queue.
 // 1024 × 8 bytes amortizes the per-segment allocation over 8 KiB of
@@ -286,6 +298,10 @@ func (q *Chunked) Len() int { return int(q.pushed.Load() - q.popped.Load()) }
 // Segments returns how many segments the queue has allocated in total.
 func (q *Chunked) Segments() int { return int(q.segments.Load()) }
 
+// Pushed returns the cumulative push count (the producer's published
+// element counter, which the queue already maintains for Pop visibility).
+func (q *Chunked) Pushed() uint64 { return q.pushed.Load() }
+
 // Spillover wraps a bounded Ring with an unbounded Chunked side queue:
 // when the ring is full, Push spills the key to the side queue instead of
 // failing, so a mis-sized ring degrades gracefully (slower, heap-allocating)
@@ -367,6 +383,9 @@ func (s *Spillover) Capacity() int { return s.ring.Capacity() }
 // means the spill path was never exercised beyond the pre-allocated segment.
 func (s *Spillover) SideSegments() int { return s.side.Segments() }
 
+// Pushed returns the cumulative push count across ring and side queue.
+func (s *Spillover) Pushed() uint64 { return s.ring.Pushed() + s.side.Pushed() }
+
 // MutexQueue is a lock-based unbounded FIFO. It exists to quantify, in
 // ablation A1, what the wait-free queues buy over the obvious
 // mutex-protected alternative; Acquires counts lock acquisitions.
@@ -374,6 +393,7 @@ type MutexQueue struct {
 	mu       sync.Mutex
 	vals     []uint64
 	headIdx  int
+	pushed   uint64
 	acquires atomic.Uint64
 }
 
@@ -385,6 +405,7 @@ func (q *MutexQueue) Push(v uint64) bool {
 	q.acquires.Add(1)
 	q.mu.Lock()
 	q.vals = append(q.vals, v)
+	q.pushed++
 	q.mu.Unlock()
 	return true
 }
@@ -414,6 +435,7 @@ func (q *MutexQueue) PushBatch(vs []uint64) int {
 	q.acquires.Add(1)
 	q.mu.Lock()
 	q.vals = append(q.vals, vs...)
+	q.pushed += uint64(len(vs))
 	q.mu.Unlock()
 	return len(vs)
 }
@@ -444,6 +466,13 @@ func (q *MutexQueue) Len() int {
 
 // Acquires returns the number of lock acquisitions so far.
 func (q *MutexQueue) Acquires() uint64 { return q.acquires.Load() }
+
+// Pushed returns the cumulative push count under the queue lock.
+func (q *MutexQueue) Pushed() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushed
+}
 
 var (
 	_ Queue = (*Ring)(nil)
