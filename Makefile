@@ -3,7 +3,7 @@ GO ?= go
 # Extra seeds for the chaos sweep, e.g. `make chaos CHAOS_SEEDS=11,12,13`.
 CHAOS_SEEDS ?=
 
-.PHONY: all build vet test race check chaos chaos-serve serve-smoke bench-obs bench-phases bench-scan bench-build bench-serve bench-recover bench-skew bench-artifacts clean
+.PHONY: all build vet test race check chaos chaos-serve serve-smoke bench-obs bench-phases bench-scan bench-build bench-serve bench-recover bench-skew bench-refreeze bench-artifacts clean
 
 all: check
 
@@ -35,9 +35,10 @@ chaos:
 # chaos-serve runs the durability chaos suite under the race detector: the
 # WAL unit + fuzz corpus (torn tails, bit flips), the checkpoint store, and
 # the crash-restart sweep that kills the serving manager at every point
-# (acked-unbuilt, mid-build, mid-freeze, post-publish, checkpoint failure)
-# across seeds and proves the recovered table bit-identical to a batch
-# build over every acked row.
+# (acked-unbuilt, mid-build, mid-freeze, mid-incremental-refreeze,
+# post-publish, checkpoint failure) across both re-freeze modes and seeds,
+# proving the recovered table bit-identical to a batch build over every
+# acked row.
 chaos-serve:
 	$(GO) test -race ./internal/wal/
 	$(GO) test -race -run 'Chaos|Recover|Rollback|Durab|Ready|Freeze|WAL|Checkpoint|Drain' ./internal/serve/
@@ -119,8 +120,18 @@ bench-recover:
 bench-skew:
 	$(GO) run ./cmd/bnbench -exp skew -m 400000 -n 12 -r 3 -maxP 8 -reps 3 -artifact-dir .
 
+# bench-refreeze regenerates BENCH_refreeze.json: per-refresh freeze cost,
+# incremental vs full, across P × ingest-delta fraction, each cycle
+# bit-identity-audited (Equal + serialized CRC) against the full-mode
+# builder over the identical rows. Timings are variance-aware (-count
+# samples per cell, all recorded). The run fails unless some cell at delta
+# fraction <= 10% cuts drained+sorted keys per refresh by >= 2x — the
+# machine-independent form of the freeze-time win (see EXPERIMENTS.md).
+bench-refreeze:
+	$(GO) run ./cmd/bnbench -exp refreeze -m 300000 -n 12 -r 3 -maxP 4 -count 3 -artifact-dir .
+
 # bench-artifacts regenerates every committed BENCH_*.json in one pass.
-bench-artifacts: bench-build bench-phases bench-scan bench-serve bench-recover bench-skew
+bench-artifacts: bench-build bench-phases bench-scan bench-serve bench-recover bench-skew bench-refreeze
 
 clean:
 	$(GO) clean ./...

@@ -42,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|serve|recover|skew|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
+		exp      = flag.String("exp", "all", "experiment: fig3|fig4|fig5|headline|counters|stages|accuracy|phases|scan|serve|recover|refreeze|skew|ablation-skew|ablation-queue|ablation-partition|ablation-mischedule|ablation-table|all")
 		m        = flag.Int("m", 1000000, "samples for single-m experiments (paper: 10000000)")
 		mList    = flag.String("mlist", "", "comma-separated m values for fig3 (default m/10, m, m*10 capped)")
 		n        = flag.Int("n", 30, "variables for single-n experiments (paper: 30)")
@@ -63,6 +63,8 @@ func main() {
 		ckptList = flag.String("ckptlist", "1,4,16,0", "-exp recover: comma-separated checkpoint-every cadences to sweep (0 = no checkpoints, pure WAL replay)")
 		walFsync = flag.String("wal-fsync", "batch", "-exp recover: WAL fsync policy during the ingest phase (always|batch|never)")
 		skews    = flag.String("skews", "0,0.8,1.2,2.0", "-exp skew: comma-separated key-rank Zipf exponents (0 = uniform)")
+		count    = flag.Int("count", 3, "variance-aware experiments (-exp refreeze): timing samples per sweep cell, all recorded in the artifact")
+		fracList = flag.String("fraclist", "0.01,0.05,0.1,0.5", "-exp refreeze: comma-separated ingest-delta fractions of m per refresh")
 		artDir   = flag.String("artifact-dir", "", "also write each JSON experiment's output to <dir>/BENCH_<exp>.json (empty = stdout only; the make bench-* targets pass '.')")
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
@@ -140,6 +142,29 @@ func main() {
 		out.Flags = setFlags()
 		if err := bench.EmitJSON("serve", *artDir, out); err != nil {
 			fatal(err)
+		}
+		return
+	}
+
+	if *exp == "refreeze" {
+		fracs, err := parseFloats(*fracList)
+		if err != nil {
+			fatal(fmt.Errorf("bad -fraclist: %w", err))
+		}
+		out, err := bench.RunRefreeze(ctx, bench.RefreezeParams{
+			M: *m, N: *n, R: *r, Seed: *seed, Count: *count,
+			Ps: bench.DefaultPs(*maxP), Fracs: fracs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out.Flags = setFlags()
+		if err := bench.EmitJSON("refreeze", *artDir, out); err != nil {
+			fatal(err)
+		}
+		if !out.Gate.Pass {
+			fatal(fmt.Errorf("refreeze: acceptance gate failed: best drained+sorted-key reduction %.2fx at delta fraction <= 10%% (need >= 2x)",
+				out.Gate.BestKeyReduction))
 		}
 		return
 	}

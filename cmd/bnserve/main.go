@@ -38,6 +38,7 @@ import (
 
 	"waitfreebn/internal/bn"
 	"waitfreebn/internal/cliopt"
+	"waitfreebn/internal/core"
 	"waitfreebn/internal/dataset"
 	"waitfreebn/internal/encoding"
 	"waitfreebn/internal/serve"
@@ -58,6 +59,9 @@ func main() {
 
 	opts, err := coreFl.Options()
 	if err != nil {
+		fatal(err)
+	}
+	if opts.Refreeze, err = core.ParseFreezeMode(serveFl.Refreeze); err != nil {
 		fatal(err)
 	}
 	ctx, cleanup, err := rtFl.Context()
@@ -91,7 +95,9 @@ func main() {
 		Codec:          codec,
 		Build:          opts,
 		Model:          net_,
+		FreezeP:        serveFl.FreezeP,
 		ReadP:          serveFl.ReadP,
+		MargCacheCells: serveFl.MargCacheCells,
 		MaxInflight:    serveFl.MaxInflight,
 		QueueTimeout:   serveFl.QueueTimeout,
 		RequestTimeout: serveFl.RequestTimeout,

@@ -175,3 +175,49 @@ func TimeBest(reps int, fn func()) float64 {
 	}
 	return best.Seconds()
 }
+
+// Timing is a variance-aware measurement: the raw per-iteration samples plus
+// the mean and min derived from them. Experiments that emit JSON artifacts
+// record Timings instead of a single best-of scalar, so a reader can judge
+// noise (spread of Samples) rather than trusting one number.
+type Timing struct {
+	Samples []float64 `json:"samples_s"`
+	Mean    float64   `json:"mean_s"`
+	Min     float64   `json:"min_s"`
+}
+
+// NewTiming summarizes a set of per-iteration samples (seconds).
+func NewTiming(samples []float64) Timing {
+	t := Timing{Samples: samples}
+	if len(samples) == 0 {
+		return t
+	}
+	t.Min = samples[0]
+	for _, s := range samples {
+		t.Mean += s
+		if s < t.Min {
+			t.Min = s
+		}
+	}
+	t.Mean /= float64(len(samples))
+	return t
+}
+
+// TimeSamples runs fn count times and returns every wall-clock sample in run
+// order. Unlike TimeBest it keeps all observations — fn may mutate shared
+// state between iterations (e.g. each run ingests a fresh delta), in which
+// case the samples measure count successive real operations, not count
+// repeats of one.
+func TimeSamples(count int, fn func()) Timing {
+	if count < 1 {
+		count = 1
+	}
+	samples := make([]float64, 0, count)
+	for r := 0; r < count; r++ {
+		runtime.GC()
+		start := time.Now()
+		fn()
+		samples = append(samples, time.Since(start).Seconds())
+	}
+	return NewTiming(samples)
+}

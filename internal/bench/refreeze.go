@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/encoding"
+	"waitfreebn/internal/wal"
+)
+
+// RefreezeParams configures the incremental re-freeze benchmark: a builder
+// in each freeze mode ingests an identical base table and then an identical
+// sequence of localized deltas, freezing after every delta. The sweep charts
+// freeze cost against the ingest-delta fraction — the regime the incremental
+// path exists for is small deltas against a large frozen base.
+type RefreezeParams struct {
+	M, N, R int       // base dataset shape (keys are uniform over the joint space)
+	Seed    uint64    // workload seed
+	Count   int       // refresh cycles (= timing samples) per sweep cell
+	Ps      []int     // freeze parallelism sweep
+	Fracs   []float64 // ingest-delta fractions of M per refresh
+	// WindowFrac is the slice of the key space each delta is localized to;
+	// with range partitioning it bounds how many partitions a delta dirties.
+	WindowFrac float64
+	// Partitions is the home-partition count (0 = 16× the largest P).
+	Partitions int
+}
+
+func (p RefreezeParams) withDefaults() RefreezeParams {
+	if p.M <= 0 {
+		p.M = 300000
+	}
+	if p.N <= 0 {
+		p.N = 12
+	}
+	if p.R <= 0 {
+		p.R = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Count <= 0 {
+		p.Count = 3
+	}
+	if len(p.Ps) == 0 {
+		p.Ps = []int{1, 2, 4}
+	}
+	if len(p.Fracs) == 0 {
+		p.Fracs = []float64{0.01, 0.05, 0.10, 0.50}
+	}
+	if p.WindowFrac <= 0 {
+		p.WindowFrac = 0.05
+	}
+	if p.Partitions <= 0 {
+		maxP := 1
+		for _, v := range p.Ps {
+			if v > maxP {
+				maxP = v
+			}
+		}
+		p.Partitions = 16 * maxP
+	}
+	return p
+}
+
+// RefreezeCell is one sweep point: Count refresh cycles at one (P, delta
+// fraction), timed in both freeze modes over identical ingest histories.
+type RefreezeCell struct {
+	P    int     `json:"p"`
+	Frac float64 `json:"delta_frac"`
+	// Incremental/Full are the per-cycle SnapshotCtx timings (variance-aware:
+	// every sample is one real refresh, not a repeat).
+	Incremental Timing `json:"incremental"`
+	Full        Timing `json:"full"`
+	// IncStats is the incremental path's last-cycle freeze shape.
+	IncStats core.FreezeStats `json:"incremental_stats"`
+	// FullDrainedKeys is what the full path drained+sorted per cycle.
+	FullDrainedKeys int `json:"full_drained_keys"`
+	// TimeReduction = full mean / incremental mean; KeyReduction = full
+	// drained keys / incremental (drained + merged) keys. KeyReduction is
+	// the machine-independent form of the same win: on a 1-CPU container the
+	// wall-clock ratio is noise-bound but the key ratio is exact.
+	TimeReduction float64 `json:"time_reduction"`
+	KeyReduction  float64 `json:"key_reduction"`
+	BitIdentical  bool    `json:"bit_identical"`
+}
+
+// RefreezeGate is the acceptance check: at some delta fraction ≤ 10% the
+// incremental path must cut drained+sorted keys per refresh by ≥ 2×.
+type RefreezeGate struct {
+	Pass              bool    `json:"pass"`
+	BestKeyReduction  float64 `json:"best_key_reduction"`  // over fracs ≤ 0.10
+	BestTimeReduction float64 `json:"best_time_reduction"` // over fracs ≤ 0.10
+}
+
+// RefreezeResult is the full benchmark output (BENCH_refreeze.json).
+type RefreezeResult struct {
+	Flags  string         `json:"flags"`
+	Params RefreezeParams `json:"params"`
+	Cells  []RefreezeCell `json:"cells"`
+	Gate   RefreezeGate   `json:"gate"`
+}
+
+// RunRefreeze measures epoch re-freeze cost as a function of the ingest-delta
+// fraction, incremental versus full, with a built-in bit-identity audit:
+// after every refresh cycle the incremental table must equal the full-mode
+// table over the same rows (Equal plus serialized CRC) — a mismatch is an
+// error, not a data point.
+func RunRefreeze(ctx context.Context, p RefreezeParams) (*RefreezeResult, error) {
+	p = p.withDefaults()
+	codec, err := encoding.NewCodec(uniformCard(p.N, p.R))
+	if err != nil {
+		return nil, err
+	}
+	space := uint64(1)
+	for i := 0; i < p.N; i++ {
+		space *= uint64(p.R)
+	}
+
+	res := &RefreezeResult{Params: p}
+	for _, par := range p.Ps {
+		for _, frac := range p.Fracs {
+			if err := ctx.Err(); err != nil {
+				return nil, context.Cause(ctx)
+			}
+			cell, err := runRefreezeCell(ctx, codec, space, p, par, frac)
+			if err != nil {
+				return nil, fmt.Errorf("P=%d frac=%g: %w", par, frac, err)
+			}
+			res.Cells = append(res.Cells, cell)
+			fmt.Fprintf(os.Stderr, "refreeze: P=%d frac=%.2f inc %.1fms full %.1fms (%.1fx time, %.1fx keys)\n",
+				par, frac, cell.Incremental.Mean*1e3, cell.Full.Mean*1e3, cell.TimeReduction, cell.KeyReduction)
+		}
+	}
+	for _, c := range res.Cells {
+		if c.Frac > 0.10 {
+			continue
+		}
+		if c.KeyReduction > res.Gate.BestKeyReduction {
+			res.Gate.BestKeyReduction = c.KeyReduction
+		}
+		if c.TimeReduction > res.Gate.BestTimeReduction {
+			res.Gate.BestTimeReduction = c.TimeReduction
+		}
+	}
+	res.Gate.Pass = res.Gate.BestKeyReduction >= 2
+	return res, nil
+}
+
+func runRefreezeCell(ctx context.Context, codec *encoding.Codec, space uint64,
+	p RefreezeParams, par int, frac float64) (RefreezeCell, error) {
+	cell := RefreezeCell{P: par, Frac: frac}
+	mkBuilder := func(mode core.FreezeMode) *core.Builder {
+		return core.NewBuilder(codec, 0, core.Options{
+			P: par, NumPartitions: p.Partitions, Partition: core.PartitionRange,
+			Refreeze: mode,
+		})
+	}
+	inc := mkBuilder(core.FreezeIncremental)
+	full := mkBuilder(core.FreezeFull)
+
+	base := uniformKeys(p.M, space, p.Seed)
+	if err := inc.AddKeysCtx(ctx, base); err != nil {
+		return cell, err
+	}
+	if err := full.AddKeysCtx(ctx, base); err != nil {
+		return cell, err
+	}
+	// Cold freeze both (untimed): the sweep measures steady-state refreshes,
+	// not the first drain everybody pays once.
+	if _, _, err := inc.SnapshotCtx(ctx, par); err != nil {
+		return cell, err
+	}
+	if _, _, err := full.SnapshotCtx(ctx, par); err != nil {
+		return cell, err
+	}
+
+	deltaM := int(float64(p.M) * frac)
+	if deltaM < 1 {
+		deltaM = 1
+	}
+	window := uint64(float64(space) * p.WindowFrac)
+	if window < 1 {
+		window = 1
+	}
+
+	incSamples := make([]float64, 0, p.Count)
+	fullSamples := make([]float64, 0, p.Count)
+	var incErr, fullErr error
+	var incPT, fullPT *core.PotentialTable
+	var incStats core.FreezeStats
+	var fullStats core.FreezeStats
+	for cycle := 0; cycle < p.Count; cycle++ {
+		// Each cycle's delta is localized to a sliding window, the shape of
+		// real ingest locality; both builders see the identical keys.
+		shift := (uint64(cycle) * window / 2) % (space - window + 1)
+		delta := windowKeys(deltaM, window, shift, p.Seed+uint64(cycle)+1)
+		if err := inc.AddKeysCtx(ctx, delta); err != nil {
+			return cell, err
+		}
+		if err := full.AddKeysCtx(ctx, delta); err != nil {
+			return cell, err
+		}
+		incSamples = append(incSamples, TimeBest(1, func() {
+			incPT, incStats, incErr = inc.SnapshotCtx(ctx, par)
+		}))
+		fullSamples = append(fullSamples, TimeBest(1, func() {
+			fullPT, fullStats, fullErr = full.SnapshotCtx(ctx, par)
+		}))
+		if incErr != nil {
+			return cell, incErr
+		}
+		if fullErr != nil {
+			return cell, fullErr
+		}
+		if !incPT.Equal(fullPT) {
+			return cell, fmt.Errorf("cycle %d: incremental table differs from full freeze", cycle)
+		}
+		incCRC, err := wal.TableCRC(incPT)
+		if err != nil {
+			return cell, err
+		}
+		fullCRC, err := wal.TableCRC(fullPT)
+		if err != nil {
+			return cell, err
+		}
+		if incCRC != fullCRC {
+			return cell, fmt.Errorf("cycle %d: serialized CRC mismatch (%08x vs %08x)", cycle, incCRC, fullCRC)
+		}
+	}
+	cell.Incremental = NewTiming(incSamples)
+	cell.Full = NewTiming(fullSamples)
+	cell.IncStats = incStats
+	cell.FullDrainedKeys = fullStats.DrainedKeys
+	if cell.Incremental.Mean > 0 {
+		cell.TimeReduction = cell.Full.Mean / cell.Incremental.Mean
+	}
+	if moved := incStats.DrainedKeys + incStats.MergedKeys; moved > 0 {
+		cell.KeyReduction = float64(fullStats.DrainedKeys) / float64(moved)
+	}
+	cell.BitIdentical = true
+	return cell, nil
+}
+
+// uniformKeys draws m keys uniformly from [0, space) with a xorshift64* PRNG.
+func uniformKeys(m int, space, seed uint64) []uint64 {
+	keys := make([]uint64, m)
+	x := seed | 1
+	for i := range keys {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		keys[i] = (x * 0x2545F4914F6CDD1D) % space
+	}
+	return keys
+}
+
+// windowKeys draws m keys uniformly from [shift, shift+window).
+func windowKeys(m int, window, shift, seed uint64) []uint64 {
+	keys := uniformKeys(m, window, seed)
+	for i := range keys {
+		keys[i] += shift
+	}
+	return keys
+}

@@ -177,7 +177,10 @@ type Serve struct {
 	RefreshEvery   time.Duration
 	IngestBatch    int
 	MaxPending     int
+	FreezeP        int
 	ReadP          int
+	Refreeze       string
+	MargCacheCells int
 	RebalanceEvery int
 
 	// Durability flags (all inert unless WALDir is set).
@@ -200,7 +203,10 @@ func AddServe(fs *flag.FlagSet) *Serve {
 	fs.DurationVar(&s.RefreshEvery, "refresh-every", 500*time.Millisecond, "background epoch cadence: build pending rows and publish a fresh snapshot at least this often")
 	fs.IntVar(&s.IngestBatch, "ingest-batch", 8192, "block size ingested rows are fed to the builder in")
 	fs.IntVar(&s.MaxPending, "max-pending", 1<<20, "reject ingest (429 ingest_overflow) once this many rows await the next epoch")
+	fs.IntVar(&s.FreezeP, "freeze-p", 0, "epoch freeze/merge parallelism (0 = builder's worker count)")
 	fs.IntVar(&s.ReadP, "read-p", 1, "per-query scan parallelism (1 = favor cross-request parallelism)")
+	fs.StringVar(&s.Refreeze, "refreeze", "full", "epoch re-freeze strategy: full (drain+sort every partition) or incremental (alias clean partitions, merge sorted delta runs into dirty ones; bit-identical)")
+	fs.IntVar(&s.MargCacheCells, "marg-cache", 1<<16, "epoch-versioned marginal cache budget in count cells for /v1/marginal (negative = disable)")
 	fs.IntVar(&s.RebalanceEvery, "rebalance-every", 0, "re-map the heaviest builder partitions across owner workers every N epoch publishes, using the occupancy histogram (0 = off)")
 	fs.StringVar(&s.WALDir, "wal-dir", "", "directory for the write-ahead log and epoch checkpoints; ingest is acked only after the WAL append (durability off when empty)")
 	fs.StringVar(&s.Fsync, "fsync", "batch", "WAL fsync policy: always (fsync before every ack), batch (fsync at publish/checkpoint barriers), never")

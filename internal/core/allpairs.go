@@ -169,21 +169,24 @@ func (t *PotentialTable) pairMI(ctx context.Context, pr miPair, checkCtx func() 
 	var cause error
 	if ft := t.frozen.Load(); ft != nil {
 		done := ctx.Done()
-		(sched.Span{Lo: 0, Hi: len(ft.keys)}).Chunks(scanBlockSize, func(c sched.Span) bool {
-			select {
-			case <-done:
-				cause = context.Cause(ctx)
-				return false
-			default:
+		for pi := range ft.parts {
+			fp := &ft.parts[pi]
+			(sched.Span{Lo: 0, Hi: len(fp.keys)}).Chunks(scanBlockSize, func(c sched.Span) bool {
+				select {
+				case <-done:
+					cause = context.Cause(ctx)
+					return false
+				default:
+				}
+				blockCounts := fp.counts[c.Lo:c.Hi]
+				for e, key := range fp.keys[c.Lo:c.Hi] {
+					counts[dec.Cell(key)] += blockCounts[e]
+				}
+				return true
+			})
+			if cause != nil {
+				return 0, cause
 			}
-			blockCounts := ft.counts[c.Lo:c.Hi]
-			for e, key := range ft.keys[c.Lo:c.Hi] {
-				counts[dec.Cell(key)] += blockCounts[e]
-			}
-			return true
-		})
-		if cause != nil {
-			return 0, cause
 		}
 		return stats.MutualInfoCounts(counts, ri, rj), nil
 	}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+
+	"waitfreebn/internal/sched"
+)
+
+// MIDeltaStats reports what one AllPairsMIDeltaCtx call recomputed versus
+// reused, for the structure layer and the refreeze bench to surface.
+type MIDeltaStats struct {
+	// Full marks a fallback to a complete AllPairsMICtx: no aligned change
+	// summary was available (first epoch, overflowed delta log, epoch
+	// mismatch, or shape mismatch with the prior matrix).
+	Full bool `json:"full"`
+	// DirtyVars is how many variables' marginal distributions moved beyond
+	// the threshold since the prior epoch.
+	DirtyVars int `json:"dirty_vars"`
+	// DirtyPairs is how many pairs were recomputed; ReusedPairs how many
+	// were copied from the prior epoch's matrix.
+	DirtyPairs  int `json:"dirty_pairs"`
+	ReusedPairs int `json:"reused_pairs"`
+	// FromEpoch/ToEpoch anchor the reuse: prior results were valid at
+	// FromEpoch, the returned matrix describes ToEpoch.
+	FromEpoch uint64 `json:"from_epoch"`
+	ToEpoch   uint64 `json:"to_epoch"`
+}
+
+// AllPairsMIDeltaCtx is the delta-aware form of AllPairsMICtx: given the
+// previous epoch's MI matrix (computed when this table's predecessor had
+// freeze epoch prevEpoch), it recomputes only the pairs touching a variable
+// whose marginal distribution moved beyond threshold since that epoch and
+// copies every other pair from prev. Movement is total-variation distance
+// between the old and new single-variable marginals; threshold 0 recomputes
+// every pair whose variables' distributions changed at all (exact integer
+// comparison, no float tolerance).
+//
+// The reuse is the sufficient-statistic shortcut of the bnlearn
+// optimisation literature, and like any marginal-gated shortcut it is an
+// approximation: a pair whose two marginals are unchanged can still have
+// shifted its joint. The threshold bounds how much marginal movement may
+// hide; callers needing exactness pass a prev of nil (or a mismatched
+// epoch) and get the full fallback.
+//
+// Fallback to a complete AllPairsMICtx happens whenever the table carries
+// no change summary anchored at prevEpoch (first epoch, full-mode snapshot,
+// overflowed delta log, rebalanced partitions) or prev has the wrong shape.
+func (t *PotentialTable) AllPairsMIDeltaCtx(ctx context.Context, p int, schedule MISchedule, prev *MIMatrix, prevEpoch uint64, threshold float64) (*MIMatrix, MIDeltaStats, error) {
+	if p <= 0 {
+		p = sched.DefaultP()
+	}
+	n := t.codec.NumVars()
+	ft := t.frozen.Load()
+	usable := ft != nil && ft.summary != nil && ft.summary.VarDelta != nil &&
+		ft.varMarg != nil && ft.summary.FromEpoch == prevEpoch &&
+		prev != nil && prev.N == n
+	if !usable {
+		mi, err := t.AllPairsMICtx(ctx, p, schedule)
+		if err != nil {
+			return nil, MIDeltaStats{}, err
+		}
+		st := MIDeltaStats{Full: true, DirtyVars: n, DirtyPairs: n * (n - 1) / 2, FromEpoch: prevEpoch}
+		if ft != nil {
+			st.ToEpoch = ft.epoch
+		}
+		return mi, st, nil
+	}
+
+	sum := ft.summary
+	st := MIDeltaStats{FromEpoch: sum.FromEpoch, ToEpoch: sum.ToEpoch}
+	moved := make([]bool, n)
+	for v := range moved {
+		if marginalMoved(ft.varMarg[v], sum.VarDelta[v], threshold) {
+			moved[v] = true
+			st.DirtyVars++
+		}
+	}
+
+	mi := NewMIMatrix(n)
+	var dirty []miPair
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			if moved[i] || moved[j] {
+				dirty = append(dirty, miPair{i, j})
+			} else {
+				mi.Set(i, j, prev.At(i, j))
+				st.ReusedPairs++
+			}
+		}
+	}
+	st.DirtyPairs = len(dirty)
+	if len(dirty) == 0 {
+		return mi, st, nil
+	}
+
+	// Recompute the dirty list with dynamic claiming (the MIPairDynamic
+	// shape): the dirty set is irregular by construction, so static
+	// assignment would strand workers. schedule only steers the full
+	// fallback above.
+	if p > len(dirty) {
+		p = len(dirty)
+	}
+	var next atomic.Int64
+	err := sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
+		check := ctxChecker(ctx)
+		for {
+			pi := int(next.Add(1)) - 1
+			if pi >= len(dirty) {
+				return nil
+			}
+			v, err := t.pairMI(ctx, dirty[pi], check)
+			if err != nil {
+				return err
+			}
+			mi.Set(dirty[pi].i, dirty[pi].j, v)
+		}
+	})
+	if err != nil {
+		return nil, MIDeltaStats{}, err
+	}
+	return mi, st, nil
+}
+
+// marginalMoved reports whether a variable's marginal distribution moved
+// beyond threshold, given its new marginal counts and the per-state delta
+// added since the prior epoch. The unchanged-distribution test is exact
+// integer cross-multiplication (old[s]·Mnew == new[s]·Mold for all s), so
+// proportional growth — same distribution, more mass — never trips it and
+// threshold 0 means "changed at all". Only past that gate is the float
+// total-variation distance compared against a positive threshold.
+func marginalMoved(newMarg, delta []uint64, threshold float64) bool {
+	var mnew, mdelta uint64
+	for _, c := range newMarg {
+		mnew += c
+	}
+	for _, d := range delta {
+		mdelta += d
+	}
+	if mdelta == 0 {
+		return false
+	}
+	mold := mnew - mdelta
+	if mold == 0 {
+		return true
+	}
+	changed := false
+	for s := range newMarg {
+		if (newMarg[s]-delta[s])*mnew != newMarg[s]*mold {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return false
+	}
+	if threshold <= 0 {
+		return true
+	}
+	tv := 0.0
+	for s := range newMarg {
+		oldP := float64(newMarg[s]-delta[s]) / float64(mold)
+		newP := float64(newMarg[s]) / float64(mnew)
+		tv += math.Abs(newP - oldP)
+	}
+	return tv/2 > threshold
+}

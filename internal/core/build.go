@@ -82,6 +82,13 @@ type Options struct {
 	// primitives aggregate per worker in plain locals and publish once per
 	// build, so the disabled cost is a handful of nil checks per build.
 	Obs *obs.Registry
+	// Refreeze selects how Builder.SnapshotCtx materializes each epoch:
+	// FreezeFull drains every partition, FreezeIncremental records delta
+	// runs between snapshots and re-freezes only what changed (bit-identical
+	// either way). Incremental mode decorates each partition table with a
+	// delta recorder, so it costs a few stores per mutation; full mode adds
+	// nothing. Only Builder snapshots consult it — one-shot Build ignores it.
+	Refreeze FreezeMode
 }
 
 // maxTableHint caps the per-partition up-front allocation; tables grow on

@@ -19,6 +19,20 @@ import (
 // CAS loop against other reference movements, never against a lock), which
 // keeps the serving read path as coordination-free as the primitives it
 // fronts.
+//
+// Cross-epoch partition aliasing: under incremental re-freeze
+// (Options.Refreeze == FreezeIncremental) consecutive epochs' tables share
+// the columnar blocks of partitions that did not change between them — the
+// newer frozenTable aliases the older one's frozenPart slices verbatim.
+// Retiring and draining an epoch severs only that Snapshot's table pointer;
+// it never touches the blocks themselves, which stay alive for exactly as
+// long as any epoch's table references them (ordinary GC reachability).
+// Blocks are immutable after construction, so a live epoch reading through
+// an aliased block is race-free regardless of what its sibling epochs do.
+// Dirty partitions are re-materialized into fresh arrays each epoch
+// (frozenPart.born records which epoch), so a retired epoch shares nothing
+// through them — the severed table pointer is the only route, and it
+// panics.
 type Snapshot struct {
 	epoch     uint64
 	table     atomic.Pointer[PotentialTable]

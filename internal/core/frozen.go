@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"waitfreebn/internal/hashtable"
 	"waitfreebn/internal/sched"
 )
 
@@ -24,43 +25,96 @@ const scanBlockSize = 1024
 // more variable per halving collapses out of the pair loop.
 const frozenScanBlockSize = 256
 
-// frozenTable is an immutable columnar snapshot of the partition hashtables:
-// all entries in dense structure-of-arrays form, partition-major, sorted by
-// key within each partition. Scans become sequential streaming reads that
-// can be split by index range into even chunks, eliminating both per-entry
-// closure dispatch through hashtable Range and partition-count limits on
-// read parallelism. Published via an atomic pointer, it is safe for any
-// number of concurrent readers.
-type frozenTable struct {
-	keys    []uint64 // all keys, partition-major, sorted within a partition
-	counts  []uint64 // counts[i] is the count recorded for keys[i]
-	partOff []int    // partition p occupies keys[partOff[p]:partOff[p+1]]
+// frozenPart is one partition's dense sorted columnar block: parallel
+// key/count columns sorted by key. Blocks are the unit of cross-epoch
+// sharing — an incremental re-freeze (Builder.SnapshotCtx under
+// FreezeIncremental) aliases the blocks of partitions untouched since the
+// previous snapshot verbatim into the new epoch's frozenTable, so a clean
+// partition's memory is owned jointly by every epoch that references it and
+// is reclaimed only when the last of them drains. Blocks are immutable
+// after construction, which is what makes the aliasing safe.
+type frozenPart struct {
+	keys   []uint64 // partition's keys, sorted ascending
+	counts []uint64 // counts[i] is the count recorded for keys[i]
+	// born is the freeze epoch that materialized this block (0 when the
+	// snapshot was taken outside a Builder lineage). A block aliased from a
+	// prior epoch keeps its original stamp, so born < the table's epoch
+	// identifies reused blocks.
+	born uint64
 }
 
+// frozenTable is an immutable columnar snapshot of the partition hashtables:
+// all entries in dense structure-of-arrays form, one sorted block per
+// partition. Scans become sequential streaming reads that can be split by
+// global index range into even chunks, eliminating both per-entry closure
+// dispatch through hashtable Range and partition-count limits on read
+// parallelism. Published via an atomic pointer, it is safe for any number
+// of concurrent readers.
+type frozenTable struct {
+	parts []frozenPart
+	off   []int // partition p holds global entry ranks [off[p], off[p+1])
+	// epoch is the Builder snapshot ordinal this table was frozen at
+	// (monotonic per builder lineage; 0 for tables frozen via FreezeCtx
+	// directly). The epoch stamps MarginalCache entries and anchors the
+	// delta-aware all-pairs MI reuse.
+	epoch uint64
+	// varMarg[v][s] is the per-variable marginal count of state s —
+	// maintained across incremental re-freezes by adding the delta summary,
+	// so each epoch knows its single-variable marginals without a scan.
+	// nil outside an incremental Builder lineage.
+	varMarg [][]uint64
+	// summary describes what changed relative to the previous epoch
+	// (nil on a full freeze or when the delta capture overflowed).
+	summary *ChangeSummary
+}
+
+// ChangeSummary records what one incremental re-freeze changed relative to
+// the epoch it was derived from: which partitions were touched and how much
+// marginal mass each variable gained. The delta-aware all-pairs MI and the
+// epoch-versioned cache invalidation consume it.
+type ChangeSummary struct {
+	FromEpoch uint64
+	ToEpoch   uint64
+	// DirtyParts[h] reports whether partition h was re-materialized (merged
+	// or drained) rather than aliased from the previous epoch.
+	DirtyParts []bool
+	// VarDelta[v][s] is how many observations of variable v in state s were
+	// added between the two epochs — exact, derived from the merged delta
+	// runs. nil when the delta log overflowed (the summary is then only
+	// structural: every pair must be treated as dirty).
+	VarDelta [][]uint64
+	// AddedMass is the total count mass added (sum over any VarDelta row).
+	AddedMass uint64
+}
+
+// numEntries returns the total entry count across all partitions.
+func (ft *frozenTable) numEntries() int { return ft.off[len(ft.off)-1] }
+
 // get returns the count for key, binary-searching each partition's sorted
-// segment: O(P log n/P) instead of the live path's O(P) probe sequences.
+// block: O(P log n/P) instead of the live path's O(P) probe sequences.
 func (ft *frozenTable) get(key uint64) uint64 {
-	for p := 0; p+1 < len(ft.partOff); p++ {
-		seg := ft.keys[ft.partOff[p]:ft.partOff[p+1]]
+	for p := range ft.parts {
+		seg := ft.parts[p].keys
 		i := sort.Search(len(seg), func(i int) bool { return seg[i] >= key })
 		if i < len(seg) && seg[i] == key {
-			return ft.counts[ft.partOff[p]+i]
+			return ft.parts[p].counts[i]
 		}
 	}
 	return 0
 }
 
 // scan streams the snapshot to block(w, keys, counts, true) with p workers,
-// each owning an even index range regardless of how skewed the original
-// partitions were. Blocks never cross a partition boundary: keys are sorted
-// within a partition, and delivering only sorted blocks is what lets sorted
-// kernels (allPairsFused) collapse constant-digit work. Workers observe ctx
-// once per block.
+// each owning an even global index range regardless of how skewed the
+// original partitions were. Blocks never cross a partition boundary: keys
+// are sorted within a partition, and delivering only sorted blocks is what
+// lets sorted kernels (allPairsFused) collapse constant-digit work. Workers
+// observe ctx once per block.
 func (ft *frozenTable) scan(ctx context.Context, p int, block func(w int, keys, counts []uint64, sorted bool)) error {
-	spans := sched.BlockPartition(len(ft.keys), p)
+	spans := sched.BlockPartition(ft.numEntries(), p)
 	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
 		done := ctx.Done()
 		var cause error
+		cur := 0 // partition the emit closure slices from
 		emit := func(c sched.Span) bool {
 			select {
 			case <-done:
@@ -68,13 +122,18 @@ func (ft *frozenTable) scan(ctx context.Context, p int, block func(w int, keys, 
 				return false
 			default:
 			}
-			block(w, ft.keys[c.Lo:c.Hi], ft.counts[c.Lo:c.Hi], true)
+			lo, hi := c.Lo-ft.off[cur], c.Hi-ft.off[cur]
+			block(w, ft.parts[cur].keys[lo:hi], ft.parts[cur].counts[lo:hi], true)
 			return true
 		}
 		s := spans[w]
-		for pi := 0; pi+1 < len(ft.partOff) && cause == nil; pi++ {
-			seg := sched.Span{Lo: max(s.Lo, ft.partOff[pi]), Hi: min(s.Hi, ft.partOff[pi+1])}
+		for pi := range ft.parts {
+			if cause != nil {
+				break
+			}
+			seg := sched.Span{Lo: max(s.Lo, ft.off[pi]), Hi: min(s.Hi, ft.off[pi+1])}
 			if seg.Lo < seg.Hi {
+				cur = pi
 				seg.Chunks(frozenScanBlockSize, emit)
 			}
 		}
@@ -92,15 +151,51 @@ func (s kvSlice) Swap(i, j int) {
 	s.counts[i], s.counts[j] = s.counts[j], s.counts[i]
 }
 
-// FreezeStats summarizes one Freeze operation.
+// FreezeStats summarizes one Freeze (or incremental re-freeze) operation.
 type FreezeStats struct {
 	Entries    int           // distinct keys captured in the snapshot
-	Partitions int           // partitions drained
+	Partitions int           // partitions captured
 	Duration   time.Duration // wall clock of the freeze (0 if already frozen)
+
+	// Incremental re-freeze accounting. A full freeze reports every
+	// partition under DrainedPartitions/DrainedKeys; an incremental one
+	// splits the partitions across the three paths.
+	Incremental       bool // produced by the incremental merge path
+	ReusedPartitions  int  // clean partitions aliased verbatim from the prior epoch
+	MergedPartitions  int  // dirty partitions produced by sorted-run merge
+	DrainedPartitions int  // partitions drained+sorted from the hashtables
+	MergedRuns        int  // delta runs consumed by the merges
+	DrainedKeys       int  // keys that went through the drain+sort path
+	MergedKeys        int  // delta keys that went through the merge kernel
+	// DirtyPairs is the number of variable pairs whose MI could have moved
+	// given the change summary (every pair touching a variable with any
+	// marginal delta; all pairs when the summary is degraded or absent).
+	DirtyPairs int
 }
 
 // Frozen reports whether the table currently carries a frozen snapshot.
 func (t *PotentialTable) Frozen() bool { return t.frozen.Load() != nil }
+
+// FreezeEpoch returns the snapshot's freeze-epoch stamp: the Builder
+// snapshot ordinal for tables produced by Builder.SnapshotCtx, 0 when the
+// table is not frozen or was frozen outside a builder lineage. The stamp is
+// what keys epoch-versioned consumers (MarginalCache entries, delta-aware
+// all-pairs MI) to exactly one epoch.
+func (t *PotentialTable) FreezeEpoch() uint64 {
+	if ft := t.frozen.Load(); ft != nil {
+		return ft.epoch
+	}
+	return 0
+}
+
+// changeSummary returns the snapshot's change summary relative to its
+// predecessor epoch, or nil.
+func (t *PotentialTable) changeSummary() *ChangeSummary {
+	if ft := t.frozen.Load(); ft != nil {
+		return ft.summary
+	}
+	return nil
+}
 
 // Freeze captures a frozen columnar snapshot of the table using p workers
 // (p <= 0 selects GOMAXPROCS) and routes all subsequent scans through it.
@@ -127,7 +222,7 @@ func (t *PotentialTable) FreezeCtx(ctx context.Context, p int) (FreezeStats, err
 	t.structMu.Lock()
 	defer t.structMu.Unlock()
 	if ft := t.frozen.Load(); ft != nil {
-		return FreezeStats{Entries: len(ft.keys), Partitions: len(ft.partOff) - 1}, nil
+		return FreezeStats{Entries: ft.numEntries(), Partitions: len(ft.parts)}, nil
 	}
 	start := time.Now()
 	parts := t.liveParts()
@@ -138,15 +233,48 @@ func (t *PotentialTable) FreezeCtx(ctx context.Context, p int) (FreezeStats, err
 		p = len(parts)
 	}
 
-	partOff := make([]int, len(parts)+1)
-	for i, part := range parts {
-		partOff[i+1] = partOff[i] + part.Len()
+	ft, err := freezeParts(ctx, parts, p, 0)
+	if err != nil {
+		return FreezeStats{}, err
 	}
-	total := partOff[len(parts)]
-	ft := &frozenTable{
-		keys:    make([]uint64, total),
-		counts:  make([]uint64, total),
-		partOff: partOff,
+
+	// First snapshot wins if two goroutines race to freeze; both are
+	// equivalent captures of the same quiescent partitions.
+	t.frozen.CompareAndSwap(nil, ft)
+	total := ft.numEntries()
+	st := FreezeStats{
+		Entries: total, Partitions: len(parts), Duration: time.Since(start),
+		DrainedPartitions: len(parts), DrainedKeys: total,
+	}
+	if r := t.obs; r != nil {
+		r.Help(metricFreezeSeconds, "wall clock of PotentialTable.Freeze")
+		r.Histogram(metricFreezeSeconds).Observe(st.Duration)
+		r.Help(metricFrozenEntries, "entries captured in the current frozen snapshot")
+		r.Gauge(metricFrozenEntries).Set(float64(st.Entries))
+	}
+	return st, nil
+}
+
+// freezeParts drains every partition into a fresh frozenTable with p
+// workers, stamping each block born=epoch. All blocks share one flat
+// backing allocation (capacity-clamped sub-slices), preserving the dense
+// streaming layout of a cold freeze.
+func freezeParts(ctx context.Context, parts []hashtable.Counter, p int, epoch uint64) (*frozenTable, error) {
+	off := make([]int, len(parts)+1)
+	for i, part := range parts {
+		off[i+1] = off[i] + part.Len()
+	}
+	total := off[len(parts)]
+	flatKeys := make([]uint64, total)
+	flatCounts := make([]uint64, total)
+	ft := &frozenTable{parts: make([]frozenPart, len(parts)), off: off, epoch: epoch}
+	for i := range parts {
+		lo, hi := off[i], off[i+1]
+		ft.parts[i] = frozenPart{
+			keys:   flatKeys[lo:hi:hi],
+			counts: flatCounts[lo:hi:hi],
+			born:   epoch,
+		}
 	}
 
 	assign := sched.CyclicAssign(len(parts), p)
@@ -158,36 +286,33 @@ func (t *PotentialTable) FreezeCtx(ctx context.Context, p int) (FreezeStats, err
 				return context.Cause(ctx)
 			default:
 			}
-			lo, hi := partOff[pi], partOff[pi+1]
-			keys, counts := ft.keys[lo:hi], ft.counts[lo:hi]
-			n := 0
-			parts[pi].Range(func(key, count uint64) bool {
-				keys[n], counts[n] = key, count
-				n++
-				return true
-			})
-			if n != len(keys) {
-				return fmt.Errorf("core: partition %d yielded %d entries, expected %d (table mutated during Freeze?)", pi, n, len(keys))
+			if err := drainSorted(parts[pi], ft.parts[pi].keys, ft.parts[pi].counts, pi); err != nil {
+				return err
 			}
-			sort.Sort(kvSlice{keys: keys, counts: counts})
 		}
 		return nil
 	})
 	if err != nil {
-		return FreezeStats{}, err
+		return nil, err
 	}
+	return ft, nil
+}
 
-	// First snapshot wins if two goroutines race to freeze; both are
-	// equivalent captures of the same quiescent partitions.
-	t.frozen.CompareAndSwap(nil, ft)
-	st := FreezeStats{Entries: total, Partitions: len(parts), Duration: time.Since(start)}
-	if r := t.obs; r != nil {
-		r.Help(metricFreezeSeconds, "wall clock of PotentialTable.Freeze")
-		r.Histogram(metricFreezeSeconds).Observe(st.Duration)
-		r.Help(metricFrozenEntries, "entries captured in the current frozen snapshot")
-		r.Gauge(metricFrozenEntries).Set(float64(st.Entries))
+// drainSorted drains one quiescent partition into the keys/counts columns
+// (which must have length part.Len()) and co-sorts them by key — the cold
+// freeze path for one partition.
+func drainSorted(part hashtable.Counter, keys, counts []uint64, pi int) error {
+	n := 0
+	part.Range(func(key, count uint64) bool {
+		keys[n], counts[n] = key, count
+		n++
+		return true
+	})
+	if n != len(keys) {
+		return fmt.Errorf("core: partition %d yielded %d entries, expected %d (table mutated during Freeze?)", pi, n, len(keys))
 	}
-	return st, nil
+	sort.Sort(kvSlice{keys: keys, counts: counts})
+	return nil
 }
 
 // scanBlocksCtx is the shared read-side loop of Algorithm 3 and its fused
@@ -211,7 +336,7 @@ func (t *PotentialTable) scanBlocksCtx(ctx context.Context, p int, block func(w 
 	var entries int
 	if ft != nil {
 		err = ft.scan(ctx, p, block)
-		entries = len(ft.keys)
+		entries = ft.numEntries()
 	} else {
 		err = t.scanLiveBlocks(ctx, p, block)
 		entries = t.Len()

@@ -55,11 +55,11 @@ func TestFrozenSnapshotSortedPerPartition(t *testing.T) {
 	if ft == nil {
 		t.Fatal("no snapshot")
 	}
-	if len(ft.partOff) != pt.Partitions()+1 {
-		t.Fatalf("partOff has %d bounds for %d partitions", len(ft.partOff), pt.Partitions())
+	if len(ft.parts) != pt.Partitions() {
+		t.Fatalf("snapshot has %d blocks for %d partitions", len(ft.parts), pt.Partitions())
 	}
-	for p := 0; p+1 < len(ft.partOff); p++ {
-		seg := ft.keys[ft.partOff[p]:ft.partOff[p+1]]
+	for p := range ft.parts {
+		seg := ft.parts[p].keys
 		if !sort.SliceIsSorted(seg, func(i, j int) bool { return seg[i] < seg[j] }) {
 			t.Fatalf("partition %d segment not sorted", p)
 		}

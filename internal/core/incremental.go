@@ -40,7 +40,15 @@ type Builder struct {
 	split    *splitState // hot-key splitting state; nil when disabled
 	barrier  *sched.Barrier
 	stats    Stats
-	done     bool
+	// Incremental re-freeze lineage (Options.Refreeze == FreezeIncremental):
+	// delta[h] is home partition h's mutation log since the last snapshot,
+	// prev the last published epoch's columnar table (clean partitions of
+	// the next epoch alias its blocks), snapEpoch the monotonic snapshot
+	// ordinal stamped into each epoch.
+	delta     []*deltaPart
+	prev      *frozenTable
+	snapEpoch uint64
+	done      bool
 	// failed poisons the builder after a block that errored or was
 	// cancelled mid-protocol: the barrier may be aborted and the queues
 	// and tables partially updated, so no consistent continuation exists.
@@ -69,6 +77,16 @@ func NewBuilder(codec *encoding.Codec, blockHint int, opts Options) *Builder {
 	}
 	for i := range b.parts {
 		b.parts[i] = newPartTable(opts.Table, opts.Partition, opts.TableHint, opts.NumPartitions, codec.KeySpace(), i)
+	}
+	if opts.Refreeze == FreezeIncremental {
+		// Decorate each partition with a delta recorder. Logs start in the
+		// overflowed state: the first snapshot drains everything regardless,
+		// so capturing before it would be pure overhead.
+		b.delta = make([]*deltaPart, len(b.parts))
+		for i := range b.parts {
+			b.delta[i] = &deltaPart{dirty: true, over: true}
+			b.parts[i] = &recCounter{Counter: b.parts[i], d: b.delta[i]}
+		}
 	}
 	b.queues = newQueueMatrix(opts.P, opts.Queue, opts.RingCapacity, opts.NoSpill)
 	b.stats.P = opts.P
@@ -218,6 +236,12 @@ func (b *Builder) ImportTable(t *PotentialTable) error {
 	// Keys bucket by home partition, not by current owner: parts is indexed
 	// by home, and a Rebalance between import and the next block must find
 	// every key in parts[home(key)].
+	// An import's mutation mass rivals the table itself, so a later merge
+	// re-freeze could never beat a drain: abandon the delta logs up front
+	// (dirty stays exact; only the delta detail is dropped).
+	for _, dp := range b.delta {
+		dp.forceFull()
+	}
 	imp := make([]importBuf, len(b.parts))
 	t.Range(func(key, count uint64) bool {
 		h := b.home(key)
@@ -278,6 +302,9 @@ func (b *Builder) SnapshotCtx(ctx context.Context, p int) (*PotentialTable, Free
 	if b.failed != nil {
 		return nil, FreezeStats{}, fmt.Errorf("core: Builder poisoned by earlier failed block: %w", b.failed)
 	}
+	if b.opts.Refreeze == FreezeIncremental {
+		return b.snapshotIncrementalCtx(ctx, p)
+	}
 	// Freeze through a scratch table over the live partitions, then detach:
 	// the returned table holds only the columnar copy, so later AddBlock
 	// mutations of b.parts cannot be observed through it.
@@ -287,6 +314,12 @@ func (b *Builder) SnapshotCtx(ctx context.Context, p int) (*PotentialTable, Free
 	if err != nil {
 		return nil, FreezeStats{}, err
 	}
+	// Stamp the epoch ordinal: full-mode snapshots participate in the same
+	// monotonic lineage (epoch-versioned caches key on it), they just never
+	// reuse blocks. The snapshot has not escaped yet, so the write is
+	// race-free.
+	b.snapEpoch++
+	scratch.frozen.Load().epoch = b.snapEpoch
 	out := &PotentialTable{codec: b.codec, m: scratch.m}
 	out.SetObs(b.opts.Obs)
 	out.frozen.Store(scratch.frozen.Load())

@@ -102,9 +102,12 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Cells     int64  `json:"cells"`
-	MaxCells  int64  `json:"max_cells"`
+	// EpochEvictions counts entries dropped because their freeze-epoch stamp
+	// no longer matched the table being queried (epoch-swap invalidation).
+	EpochEvictions uint64 `json:"epoch_evictions"`
+	Entries        int    `json:"entries"`
+	Cells          int64  `json:"cells"`
+	MaxCells       int64  `json:"max_cells"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 when nothing was looked up.
@@ -118,8 +121,8 @@ func (s CacheStats) HitRate() float64 {
 
 // String renders the stats as a single human-readable line.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d (%.1f%% hit rate) entries=%d cells=%d/%d evictions=%d",
-		s.Hits, s.Misses, 100*s.HitRate(), s.Entries, s.Cells, s.MaxCells, s.Evictions)
+	return fmt.Sprintf("hits=%d misses=%d (%.1f%% hit rate) entries=%d cells=%d/%d evictions=%d epoch-evictions=%d",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Entries, s.Cells, s.MaxCells, s.Evictions, s.EpochEvictions)
 }
 
 // MarginalCache memoizes marginal tables by their variable set so repeated
@@ -135,10 +138,10 @@ type MarginalCache struct {
 	mu       sync.Mutex
 	maxCells int64
 	cells    int64
-	entries  map[string]*Marginal
+	entries  map[string]cacheEntry
 	fifo     []string
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, epochEvictions uint64
 
 	// obs handles, hoisted at construction (nil when disabled).
 	mHits, mMisses, mEvictions *obs.Counter
@@ -152,7 +155,7 @@ func NewMarginalCache(maxCells int, reg *obs.Registry) *MarginalCache {
 	if maxCells <= 0 {
 		panic(fmt.Sprintf("core: NewMarginalCache with maxCells = %d", maxCells))
 	}
-	c := &MarginalCache{maxCells: int64(maxCells), entries: make(map[string]*Marginal)}
+	c := &MarginalCache{maxCells: int64(maxCells), entries: make(map[string]cacheEntry)}
 	if reg != nil {
 		reg.Help(metricCacheHits, "marginal-cache lookups served from memory")
 		reg.Help(metricCacheMisses, "marginal-cache lookups that required a table scan")
@@ -175,59 +178,85 @@ func (c *MarginalCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   len(c.entries),
-		Cells:     c.cells,
-		MaxCells:  c.maxCells,
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evictions,
+		EpochEvictions: c.epochEvictions,
+		Entries:        len(c.entries),
+		Cells:          c.cells,
+		MaxCells:       c.maxCells,
 	}
 }
 
-// get returns the cached canonical marginal for key, or nil. Counts hits
-// and misses.
-func (c *MarginalCache) get(key string) *Marginal {
+// cacheEntry stamps a cached marginal with the freeze epoch of the table it
+// was computed from: a lookup under a different epoch is a miss that evicts
+// the stale entry in place, so an epoch swap invalidates lazily — entry by
+// entry as each is next touched — instead of wholesale.
+type cacheEntry struct {
+	mg    *Marginal
+	epoch uint64
+}
+
+// get returns the cached canonical marginal for key at the given freeze
+// epoch, or nil. A stamp mismatch evicts the stale entry and counts as a
+// miss. Counts hits and misses.
+func (c *MarginalCache) get(key string, epoch uint64) *Marginal {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
-	mg := c.entries[key]
-	if mg != nil {
+	ent, ok := c.entries[key]
+	if ok && ent.epoch != epoch {
+		// Stale epoch: drop it now rather than waiting for FIFO pressure.
+		// Its fifo slot stays behind; the eviction loop tolerates victims
+		// that are already gone.
+		c.cells -= int64(len(ent.mg.Counts))
+		delete(c.entries, key)
+		c.epochEvictions++
+		ok = false
+	}
+	if ok {
 		c.hits++
 	} else {
 		c.misses++
 	}
 	c.mu.Unlock()
-	if mg != nil {
+	if ok {
 		c.mHits.Inc()
-	} else {
-		c.mMisses.Inc()
+		return ent.mg
 	}
-	return mg
+	c.mMisses.Inc()
+	return nil
 }
 
-// put inserts a canonical marginal, evicting FIFO until it fits. Entries
-// larger than the whole budget are not cached.
-func (c *MarginalCache) put(key string, mg *Marginal) {
+// put inserts a canonical marginal stamped with its table's freeze epoch,
+// evicting FIFO until it fits. Entries larger than the whole budget are not
+// cached.
+func (c *MarginalCache) put(key string, epoch uint64, mg *Marginal) {
 	if c == nil || int64(len(mg.Counts)) > c.maxCells {
 		return
 	}
 	c.mu.Lock()
-	if _, ok := c.entries[key]; ok {
+	if ent, ok := c.entries[key]; ok && ent.epoch == epoch {
 		c.mu.Unlock()
 		return
+	} else if ok {
+		// Same varset computed at a newer epoch: replace the stale entry.
+		c.cells -= int64(len(ent.mg.Counts))
+		delete(c.entries, key)
+		c.epochEvictions++
 	}
 	evicted := uint64(0)
 	for c.cells+int64(len(mg.Counts)) > c.maxCells && len(c.fifo) > 0 {
 		victim := c.fifo[0]
 		c.fifo = c.fifo[1:]
 		if old, ok := c.entries[victim]; ok {
-			c.cells -= int64(len(old.Counts))
+			c.cells -= int64(len(old.mg.Counts))
 			delete(c.entries, victim)
 			evicted++
 		}
 	}
-	c.entries[key] = mg
+	c.entries[key] = cacheEntry{mg: mg, epoch: epoch}
 	c.fifo = append(c.fifo, key)
 	c.cells += int64(len(mg.Counts))
 	c.evictions += evicted
@@ -288,6 +317,12 @@ func (t *PotentialTable) MarginalizeManyCachedCtx(ctx context.Context, varsets [
 	canon := make([][]int, len(varsets))
 	keys := make([]string, len(varsets))
 
+	// Entries are keyed by (varset, freeze epoch): after an epoch swap the
+	// same cache serves the new table, invalidating stale entries lazily as
+	// they are touched. Unfrozen and non-builder tables stamp epoch 0,
+	// which behaves exactly like the unversioned cache.
+	epoch := t.FreezeEpoch()
+
 	// Resolve hits; group misses by canonical key.
 	missOrder := make([]string, 0, len(varsets)) // first-seen order
 	missSets := make(map[string][]int)           // key → canonical varset
@@ -295,7 +330,7 @@ func (t *PotentialTable) MarginalizeManyCachedCtx(ctx context.Context, varsets [
 	for k, vars := range varsets {
 		canon[k] = sortedVarset(vars)
 		keys[k] = varsetKey(canon[k])
-		if mg := cache.get(keys[k]); mg != nil {
+		if mg := cache.get(keys[k], epoch); mg != nil {
 			out[k] = mg.Reorder(vars)
 			continue
 		}
@@ -327,7 +362,7 @@ func (t *PotentialTable) MarginalizeManyCachedCtx(ctx context.Context, varsets [
 			return nil, err
 		}
 		for i, key := range missOrder[lo:hi] {
-			cache.put(key, ms[i])
+			cache.put(key, epoch, ms[i])
 			for _, k := range missers[key] {
 				out[k] = ms[i].Reorder(varsets[k])
 			}

@@ -42,6 +42,11 @@ const (
 	metricScanEntries     = "core_scan_entries_total"
 	metricScanSeconds     = "core_scan_seconds"
 	metricScanClamped     = "core_scan_clamped_total"
+
+	metricRefreezeReused      = "core_refreeze_reused_partitions_total"
+	metricRefreezeMergedRuns  = "core_refreeze_merged_runs_total"
+	metricRefreezeDrainedKeys = "core_refreeze_drained_keys_total"
+	metricRefreezeMergedKeys  = "core_refreeze_merged_keys_total"
 )
 
 // publishBuildMetrics records one completed build into the registry. It
@@ -154,6 +159,7 @@ func publishPartitionMetrics(r *obs.Registry, parts []hashtable.Counter) {
 	probeMax, probeMeanSum := 0, 0.0
 	probed := 0
 	for i, part := range parts {
+		part = unwrapCounter(part)
 		n := part.Len()
 		total += n
 		if n > maxLen {

@@ -228,7 +228,7 @@ func (t *PotentialTable) Partitions() int {
 	parts := t.liveParts()
 	if len(parts) == 0 {
 		if ft := t.frozen.Load(); ft != nil {
-			return len(ft.partOff) - 1
+			return len(ft.parts)
 		}
 	}
 	return len(parts)
@@ -240,7 +240,7 @@ func (t *PotentialTable) NumSamples() uint64 { return t.m }
 // Len returns the number of distinct keys across all partitions.
 func (t *PotentialTable) Len() int {
 	if ft := t.frozen.Load(); ft != nil {
-		return len(ft.keys)
+		return ft.numEntries()
 	}
 	total := 0
 	for _, p := range t.liveParts() {
@@ -269,8 +269,10 @@ func (t *PotentialTable) Get(key uint64) uint64 {
 func (t *PotentialTable) Total() uint64 {
 	if ft := t.frozen.Load(); ft != nil {
 		var total uint64
-		for _, c := range ft.counts {
-			total += c
+		for p := range ft.parts {
+			for _, c := range ft.parts[p].counts {
+				total += c
+			}
 		}
 		return total
 	}
@@ -285,9 +287,9 @@ func (t *PotentialTable) Total() uint64 {
 // the balance metric discussed in Section IV-C.
 func (t *PotentialTable) PartitionSizes() []int {
 	if ft := t.frozen.Load(); ft != nil {
-		sizes := make([]int, len(ft.partOff)-1)
+		sizes := make([]int, len(ft.parts))
 		for i := range sizes {
-			sizes[i] = ft.partOff[i+1] - ft.partOff[i]
+			sizes[i] = len(ft.parts[i].keys)
 		}
 		return sizes
 	}
@@ -306,9 +308,11 @@ func (t *PotentialTable) PartitionSizes() []int {
 // partitions at all.
 func (t *PotentialTable) Range(fn func(key, count uint64) bool) {
 	if ft := t.frozen.Load(); ft != nil {
-		for i, key := range ft.keys {
-			if !fn(key, ft.counts[i]) {
-				return
+		for p := range ft.parts {
+			for i, key := range ft.parts[p].keys {
+				if !fn(key, ft.parts[p].counts[i]) {
+					return
+				}
 			}
 		}
 		return
@@ -388,9 +392,9 @@ func (t *PotentialTable) Rebalance(parts int) {
 // asks each partition, which is exact while writers are quiescent.
 func (t *PotentialTable) PartitionMass() []uint64 {
 	if ft := t.frozen.Load(); ft != nil {
-		mass := make([]uint64, len(ft.partOff)-1)
+		mass := make([]uint64, len(ft.parts))
 		for p := range mass {
-			for _, c := range ft.counts[ft.partOff[p]:ft.partOff[p+1]] {
+			for _, c := range ft.parts[p].counts {
 				mass[p] += c
 			}
 		}

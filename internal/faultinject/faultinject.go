@@ -61,6 +61,12 @@ const (
 	// starts. The refresh loop must retry and, past its budget, roll back to
 	// the previously published epoch instead of dying.
 	FreezeFail
+	// RefreezeMergeFail makes an incremental re-freeze fail inside the
+	// dirty-partition merge, after path selection but before any block is
+	// published. The builder's snapshot lineage must stay untouched, so the
+	// refresh loop's rollback-and-recover contract holds unchanged in
+	// incremental mode.
+	RefreezeMergeFail
 
 	numPoints
 )
@@ -88,6 +94,8 @@ func (p Point) String() string {
 		return "recover-replay"
 	case FreezeFail:
 		return "freeze-fail"
+	case RefreezeMergeFail:
+		return "refreeze-merge"
 	default:
 		return "unknown"
 	}
@@ -305,5 +313,5 @@ func pointByName(name string) (Point, error) {
 			return pt, nil
 		}
 	}
-	return 0, fmt.Errorf("faultinject: unknown key %q (want seed, worker, stall-dur, or a point: queue-push, panic-stage1, panic-stage2, stall, table-grow, wal-write, wal-fsync, checkpoint-write, recover-replay, freeze-fail)", name)
+	return 0, fmt.Errorf("faultinject: unknown key %q (want seed, worker, stall-dur, or a point: queue-push, panic-stage1, panic-stage2, stall, table-grow, wal-write, wal-fsync, checkpoint-write, recover-replay, freeze-fail, refreeze-merge)", name)
 }

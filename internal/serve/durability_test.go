@@ -21,6 +21,13 @@ import (
 // callers drive Recover explicitly to model the restart boundary.
 func openDurable(t *testing.T, dir string, card []int, every int) (*Manager, *obs.Registry) {
 	t.Helper()
+	return openDurableMode(t, dir, card, every, core.FreezeFull)
+}
+
+// openDurableMode is openDurable with an explicit epoch re-freeze strategy,
+// for the chaos sweep that exercises both.
+func openDurableMode(t *testing.T, dir string, card []int, every int, mode core.FreezeMode) (*Manager, *obs.Registry) {
+	t.Helper()
 	reg := obs.NewRegistry()
 	log, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways, Obs: reg})
 	if err != nil {
@@ -31,7 +38,7 @@ func openDurable(t *testing.T, dir string, card []int, every int) (*Manager, *ob
 		t.Fatal(err)
 	}
 	mgr, err := NewManager(context.Background(), mustCodec(t, card), ManagerConfig{
-		Build:           core.Options{P: 2, Obs: reg},
+		Build:           core.Options{P: 2, Obs: reg, Refreeze: mode},
 		WAL:             log,
 		Checkpoints:     ck,
 		CheckpointEvery: every,
@@ -77,12 +84,12 @@ func randBatch(rng *rand.Rand, card []int, n int) [][]uint8 {
 }
 
 // TestChaosCrashRecoverBitIdentical is the crash-restart equivalence sweep:
-// for every kill point and seed, a manager ingests (durably acked) batches,
-// is killed at the designated point WITHOUT any shutdown flush, and a fresh
-// manager recovers from the same dir. The recovered table must be
-// bit-identical to a batch build over every acked row — acked-but-lost rows
-// are exactly zero with fsync-per-append, at every kill point. Run under
-// -race.
+// for every re-freeze mode, kill point, and seed, a manager ingests (durably
+// acked) batches, is killed at the designated point WITHOUT any shutdown
+// flush, and a fresh manager recovers from the same dir. The recovered table
+// must be bit-identical to a batch build over every acked row — acked-but-
+// lost rows are exactly zero with fsync-per-append, at every kill point. Run
+// under -race.
 func TestChaosCrashRecoverBitIdentical(t *testing.T) {
 	card := []int{2, 3, 2}
 	ctx := context.Background()
@@ -90,95 +97,109 @@ func TestChaosCrashRecoverBitIdentical(t *testing.T) {
 		"after-ingest",     // acked rows pending, never built
 		"mid-build",        // worker panic poisons the refresh, then crash
 		"freeze-fail",      // freeze aborts the swap, then crash
+		"refreeze-merge",   // incremental-mode delta merge fails mid-refreeze
 		"after-publish",    // epoch published, no checkpoint for it
 		"after-checkpoint", // checkpoint current, WAL tail empty-ish
 		"checkpoint-fail",  // publish acked, checkpoint write injected to fail
 	}
-	for seed := uint64(1); seed <= 3; seed++ {
-		for _, kp := range killPoints {
-			t.Run(fmt.Sprintf("seed%d/%s", seed, kp), func(t *testing.T) {
-				dir := t.TempDir()
-				rng := rand.New(rand.NewSource(int64(seed)))
-				every := 1
-				if kp == "after-publish" {
-					every = 1 << 20 // no periodic checkpoints: recovery is pure replay
+	modes := []core.FreezeMode{core.FreezeFull, core.FreezeIncremental}
+	for _, mode := range modes {
+		for seed := uint64(1); seed <= 3; seed++ {
+			for _, kp := range killPoints {
+				if kp == "refreeze-merge" && mode != core.FreezeIncremental {
+					continue // the merge point only exists on the incremental path
 				}
-				var acked [][]uint8
+				t.Run(fmt.Sprintf("%s/seed%d/%s", mode, seed, kp), func(t *testing.T) {
+					dir := t.TempDir()
+					rng := rand.New(rand.NewSource(int64(seed)))
+					every := 1
+					if kp == "after-publish" {
+						every = 1 << 20 // no periodic checkpoints: recovery is pure replay
+					}
+					var acked [][]uint8
 
-				mgr, _ := openDurable(t, dir, card, every)
-				if err := mgr.Recover(ctx); err != nil {
-					t.Fatal(err)
-				}
-				// Normal life before the kill: a few acked batches and
-				// publish cycles.
-				for i := 0; i < 3; i++ {
-					batch := randBatch(rng, card, 10+rng.Intn(40))
-					if err := mgr.Ingest(batch); err != nil {
+					mgr, _ := openDurableMode(t, dir, card, every, mode)
+					if err := mgr.Recover(ctx); err != nil {
 						t.Fatal(err)
 					}
-					acked = append(acked, batch...)
-					if rng.Intn(2) == 0 {
+					// Normal life before the kill: a few acked batches and
+					// publish cycles.
+					for i := 0; i < 3; i++ {
+						batch := randBatch(rng, card, 10+rng.Intn(40))
+						if err := mgr.Ingest(batch); err != nil {
+							t.Fatal(err)
+						}
+						acked = append(acked, batch...)
+						if rng.Intn(2) == 0 {
+							if _, err := mgr.Refresh(ctx); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					// The kill scenario itself.
+					final := randBatch(rng, card, 10+rng.Intn(40))
+					if err := mgr.Ingest(final); err != nil {
+						t.Fatal(err)
+					}
+					acked = append(acked, final...)
+					switch kp {
+					case "after-ingest":
+						// Crash with the batch acked but unbuilt.
+					case "mid-build":
+						restore := faultinject.Activate(
+							faultinject.NewPlan(seed).WithRate(faultinject.PanicStage1, 1))
+						if _, err := mgr.Refresh(ctx); !errors.Is(err, ErrRolledBack) {
+							t.Fatalf("poisoned refresh error = %v, want ErrRolledBack", err)
+						}
+						restore()
+					case "freeze-fail":
+						restore := faultinject.Activate(
+							faultinject.NewPlan(seed).WithRate(faultinject.FreezeFail, 1))
+						if _, err := mgr.Refresh(ctx); !errors.Is(err, ErrRolledBack) {
+							t.Fatalf("freeze-fail refresh error = %v, want ErrRolledBack", err)
+						}
+						restore()
+					case "refreeze-merge":
+						restore := faultinject.Activate(
+							faultinject.NewPlan(seed).WithRate(faultinject.RefreezeMergeFail, 1))
+						if _, err := mgr.Refresh(ctx); !errors.Is(err, ErrRolledBack) {
+							t.Fatalf("refreeze-merge refresh error = %v, want ErrRolledBack", err)
+						}
+						restore()
+					case "after-publish", "after-checkpoint":
 						if _, err := mgr.Refresh(ctx); err != nil {
 							t.Fatal(err)
 						}
+					case "checkpoint-fail":
+						restore := faultinject.Activate(
+							faultinject.NewPlan(seed).WithRate(faultinject.CheckpointWriteFail, 1))
+						if _, err := mgr.Refresh(ctx); err != nil {
+							t.Fatalf("checkpoint failure must not fail the refresh: %v", err)
+						}
+						restore()
 					}
-				}
-				// The kill scenario itself.
-				final := randBatch(rng, card, 10+rng.Intn(40))
-				if err := mgr.Ingest(final); err != nil {
-					t.Fatal(err)
-				}
-				acked = append(acked, final...)
-				switch kp {
-				case "after-ingest":
-					// Crash with the batch acked but unbuilt.
-				case "mid-build":
-					restore := faultinject.Activate(
-						faultinject.NewPlan(seed).WithRate(faultinject.PanicStage1, 1))
-					if _, err := mgr.Refresh(ctx); !errors.Is(err, ErrRolledBack) {
-						t.Fatalf("poisoned refresh error = %v, want ErrRolledBack", err)
-					}
-					restore()
-				case "freeze-fail":
-					restore := faultinject.Activate(
-						faultinject.NewPlan(seed).WithRate(faultinject.FreezeFail, 1))
-					if _, err := mgr.Refresh(ctx); !errors.Is(err, ErrRolledBack) {
-						t.Fatalf("freeze-fail refresh error = %v, want ErrRolledBack", err)
-					}
-					restore()
-				case "after-publish", "after-checkpoint":
-					if _, err := mgr.Refresh(ctx); err != nil {
-						t.Fatal(err)
-					}
-				case "checkpoint-fail":
-					restore := faultinject.Activate(
-						faultinject.NewPlan(seed).WithRate(faultinject.CheckpointWriteFail, 1))
-					if _, err := mgr.Refresh(ctx); err != nil {
-						t.Fatalf("checkpoint failure must not fail the refresh: %v", err)
-					}
-					restore()
-				}
-				// CRASH: the manager is abandoned — no Shutdown, no Close, no
-				// final checkpoint. Only what Ingest made durable survives.
+					// CRASH: the manager is abandoned — no Shutdown, no Close, no
+					// final checkpoint. Only what Ingest made durable survives.
 
-				mgr2, reg2 := openDurable(t, dir, card, 1)
-				if mgr2.Ready() {
-					t.Fatal("durable manager reports ready before recovery")
-				}
-				if err := mgr2.Recover(ctx); err != nil {
-					t.Fatalf("recover after %s: %v", kp, err)
-				}
-				if !mgr2.Ready() {
-					t.Fatal("manager not ready after successful recovery")
-				}
-				snap := mgr2.Acquire()
-				tableBytesEqual(t, snap.Table(), batchTable(t, card, acked))
-				snap.Release()
-				if got := reg2.Gauge(metricRecoveredRows).Value(); got != float64(len(acked)) {
-					t.Fatalf("recovered-rows gauge = %v, want %d", got, len(acked))
-				}
-				mgr2.Close()
-			})
+					mgr2, reg2 := openDurableMode(t, dir, card, 1, mode)
+					if mgr2.Ready() {
+						t.Fatal("durable manager reports ready before recovery")
+					}
+					if err := mgr2.Recover(ctx); err != nil {
+						t.Fatalf("recover after %s: %v", kp, err)
+					}
+					if !mgr2.Ready() {
+						t.Fatal("manager not ready after successful recovery")
+					}
+					snap := mgr2.Acquire()
+					tableBytesEqual(t, snap.Table(), batchTable(t, card, acked))
+					snap.Release()
+					if got := reg2.Gauge(metricRecoveredRows).Value(); got != float64(len(acked)) {
+						t.Fatalf("recovered-rows gauge = %v, want %d", got, len(acked))
+					}
+					mgr2.Close()
+				})
+			}
 		}
 	}
 }

@@ -62,6 +62,12 @@ const (
 	metricRebalances     = "serve_rebalances_total"
 	metricRebalanceMoves = "serve_rebalance_moves_total"
 	metricOwnerImbalance = "serve_owner_imbalance"
+	// Last-refresh freeze shape, meaningful under -refreeze=incremental:
+	// which fraction of the epoch swap was aliased, merged, or re-drained.
+	metricFreezeReused   = "serve_freeze_reused_partitions"
+	metricFreezeMerged   = "serve_freeze_merged_partitions"
+	metricFreezeDrainedK = "serve_freeze_drained_keys"
+	metricFreezeMergedK  = "serve_freeze_merged_keys"
 )
 
 // ErrOverloaded is returned by Ingest when accepting the rows would exceed
@@ -183,8 +189,9 @@ type Manager struct {
 	ckptEpoch uint64
 	hasCkpt   bool
 	sinceCkpt int
-	dirty     bool   // builder holds rows not yet in the published table
-	nextEpoch uint64 // epoch number the next publish uses
+	dirty      bool              // builder holds rows not yet in the published table
+	lastFreeze core.FreezeStats // stats of the freeze behind the published table
+	nextEpoch  uint64           // epoch number the next publish uses
 	sinceReb  int    // publishes since the last rebalance check
 	freezeSeq uint64 // freeze-fail fault-point occurrence counter
 	replaySeq uint64 // recover-replay fault-point occurrence counter
@@ -209,6 +216,10 @@ type Manager struct {
 	samplesG   *obs.Gauge
 	recoveryG  *obs.Gauge
 	recRowsG   *obs.Gauge
+	reusedG    *obs.Gauge
+	mergedG    *obs.Gauge
+	drainedKG  *obs.Gauge
+	mergedKG   *obs.Gauge
 	refreshH   *obs.Histogram
 }
 
@@ -243,6 +254,10 @@ func NewManager(ctx context.Context, codec *encoding.Codec, cfg ManagerConfig) (
 		samplesG:   reg.Gauge(metricEpochSamples),
 		recoveryG:  reg.Gauge(metricRecoverySecs),
 		recRowsG:   reg.Gauge(metricRecoveredRows),
+		reusedG:    reg.Gauge(metricFreezeReused),
+		mergedG:    reg.Gauge(metricFreezeMerged),
+		drainedKG:  reg.Gauge(metricFreezeDrainedK),
+		mergedKG:   reg.Gauge(metricFreezeMergedK),
 		refreshH:   reg.Histogram(metricRefreshHist),
 	}
 	if reg != nil {
@@ -259,13 +274,18 @@ func NewManager(ctx context.Context, codec *encoding.Codec, cfg ManagerConfig) (
 		reg.Help(metricRebalances, "partition-to-owner rebalances applied between epochs")
 		reg.Help(metricRebalanceMoves, "partitions re-homed to a different owner by rebalances")
 		reg.Help(metricOwnerImbalance, "max/mean owner load after the last rebalance check (1 = flat)")
+		reg.Help(metricFreezeReused, "partitions aliased from the prior epoch by the last freeze")
+		reg.Help(metricFreezeMerged, "partitions produced by delta merge in the last freeze")
+		reg.Help(metricFreezeDrainedK, "keys drained+sorted by the last freeze")
+		reg.Help(metricFreezeMergedK, "delta keys merged by the last freeze")
 	}
-	pt, _, err := m.builder.SnapshotCtx(ctx, cfg.FreezeP)
+	pt, fst, err := m.builder.SnapshotCtx(ctx, cfg.FreezeP)
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial snapshot: %w", err)
 	}
 	m.publish(pt)
 	m.lastTable = pt
+	m.recordFreezeLocked(fst)
 	if cfg.WAL == nil {
 		m.ready.Store(true)
 	}
@@ -481,19 +501,39 @@ func (m *Manager) Refresh(ctx context.Context) (bool, error) {
 		m.rollbacks.Inc()
 		return false, fmt.Errorf("%w: refresh freeze: %v", ErrRolledBack, err)
 	}
-	pt, _, err := m.builder.SnapshotCtx(ctx, m.cfg.FreezeP)
+	pt, fst, err := m.builder.SnapshotCtx(ctx, m.cfg.FreezeP)
 	if err != nil {
 		m.rollbacks.Inc()
 		return false, fmt.Errorf("%w: refresh freeze: %v", ErrRolledBack, err)
 	}
 	m.publish(pt)
 	m.lastTable = pt
+	m.recordFreezeLocked(fst)
 	m.pubSeq = m.builtSeq
 	m.dirty = false
 	m.refreshH.Observe(time.Since(start))
 	m.checkpointLocked(false)
 	m.maybeRebalanceLocked()
 	return true, nil
+}
+
+// recordFreezeLocked remembers the freeze behind the just-published table
+// and mirrors its shape into the gauges. Caller holds m.mu (or is the
+// constructor).
+func (m *Manager) recordFreezeLocked(fst core.FreezeStats) {
+	m.lastFreeze = fst
+	m.reusedG.Set(float64(fst.ReusedPartitions))
+	m.mergedG.Set(float64(fst.MergedPartitions))
+	m.drainedKG.Set(float64(fst.DrainedKeys))
+	m.mergedKG.Set(float64(fst.MergedKeys))
+}
+
+// LastFreezeStats reports the freeze behind the currently published epoch —
+// how much of the last swap was aliased, merged, or re-drained.
+func (m *Manager) LastFreezeStats() core.FreezeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastFreeze
 }
 
 // maybeRebalanceLocked applies the between-epoch partition rebalance when one
@@ -627,12 +667,13 @@ func (m *Manager) Recover(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("serve: recover: replay: %w", err)
 	}
-	pt, _, err := m.builder.SnapshotCtx(ctx, m.cfg.FreezeP)
+	pt, fst, err := m.builder.SnapshotCtx(ctx, m.cfg.FreezeP)
 	if err != nil {
 		return fmt.Errorf("serve: recover: freeze: %w", err)
 	}
 	m.publish(pt)
 	m.lastTable = pt
+	m.recordFreezeLocked(fst)
 	m.pubSeq = m.builtSeq
 	m.dirty = false
 	// Post-recovery checkpoint, amortized: writing one costs a full table

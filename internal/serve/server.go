@@ -33,10 +33,19 @@ type Config struct {
 	Build core.Options
 	// Model, when non-nil, enables /v1/infer over the network's CPTs.
 	Model *bn.Network
+	// FreezeP is the freeze/merge parallelism each epoch swap uses. Default
+	// 0 defers to the builder's own worker count — freeze cost scales with
+	// the build, not with Build.P's historical accident of also gating
+	// reads.
+	FreezeP int
 	// ReadP is the per-query scan parallelism. Default 1: under concurrent
 	// load, parallelism across requests beats parallelism within one, and
 	// every marginal is bit-identical at any ReadP anyway.
 	ReadP int
+	// MargCacheCells bounds the epoch-versioned marginal cache serving
+	// /v1/marginal (total count cells across entries). 0 picks the default
+	// (64Ki cells); negative disables caching.
+	MargCacheCells int
 	// MaxInflight bounds concurrently executing requests (default 64);
 	// QueueTimeout bounds how long an excess request queues for a slot
 	// before a 429 (default 100ms).
@@ -67,6 +76,9 @@ func (c Config) withDefaults() Config {
 	if c.ReadP <= 0 {
 		c.ReadP = 1
 	}
+	if c.MargCacheCells == 0 {
+		c.MargCacheCells = 1 << 16
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Second
 	}
@@ -79,11 +91,12 @@ func (c Config) withDefaults() Config {
 // Server is the bnserve HTTP surface: /v1/ query endpoints over the epoch
 // manager's current snapshot, plus /metrics and /metrics.json.
 type Server struct {
-	cfg Config
-	mgr *Manager
-	adm *admission
-	reg *obs.Registry
-	mux *http.ServeMux
+	cfg   Config
+	mgr   *Manager
+	adm   *admission
+	reg   *obs.Registry
+	mux   *http.ServeMux
+	cache *core.MarginalCache // nil when MargCacheCells < 0
 
 	requests func(endpoint, code string) *obs.Counter
 	latency  func(endpoint string) *obs.Histogram
@@ -100,7 +113,7 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	mgr, err := NewManager(ctx, cfg.Codec, ManagerConfig{
 		Build:           cfg.Build,
-		FreezeP:         cfg.Build.P,
+		FreezeP:         cfg.FreezeP,
 		IngestBatch:     cfg.IngestBatch,
 		MaxPending:      cfg.MaxPending,
 		WAL:             cfg.WAL,
@@ -132,6 +145,9 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 		sizes: func(endpoint string) *obs.SizeHistogram {
 			return reg.SizeHistogram(metricResponseSizes, "endpoint", endpoint)
 		},
+	}
+	if cfg.MargCacheCells > 0 {
+		s.cache = core.NewMarginalCache(cfg.MargCacheCells, reg)
 	}
 	s.mux.Handle("GET /v1/marginal", s.handle("marginal", s.handleMarginal))
 	s.mux.Handle("GET /v1/mi", s.handle("mi", s.handleMI))
@@ -371,10 +387,20 @@ func (s *Server) handleMarginal(ctx context.Context, r *http.Request) (any, erro
 
 	snap := s.mgr.Acquire()
 	defer snap.Release()
-	mg, err := snap.Table().MarginalizeCtx(ctx, order, s.cfg.ReadP)
+	pt := snap.Table()
+	// The epoch-versioned cache memoizes repeated marginal queries within
+	// one epoch and invalidates lazily after a swap. Tables without a
+	// freeze-epoch stamp (the pre-recovery placeholder) bypass it — epoch 0
+	// entries from different tables would collide.
+	cache := s.cache
+	if pt.FreezeEpoch() == 0 {
+		cache = nil
+	}
+	mgs, err := pt.MarginalizeManyCachedCtx(ctx, [][]int{order}, s.cfg.ReadP, cache)
 	if err != nil {
 		return nil, err
 	}
+	mg := mgs[0]
 
 	block := 1
 	for _, v := range vars {
