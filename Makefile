@@ -3,7 +3,7 @@ GO ?= go
 # Extra seeds for the chaos sweep, e.g. `make chaos CHAOS_SEEDS=11,12,13`.
 CHAOS_SEEDS ?=
 
-.PHONY: all build vet test race check chaos chaos-serve serve-smoke bench-obs bench-phases bench-scan bench-build bench-serve bench-recover bench-skew bench-refreeze bench-artifacts clean
+.PHONY: all build vet test race check chaos chaos-serve serve-smoke alloc-check compare-smoke bench-obs bench-phases bench-scan bench-build bench-serve bench-recover bench-skew bench-refreeze bench-artifacts bench-compare clean
 
 all: check
 
@@ -50,8 +50,21 @@ chaos-serve:
 serve-smoke:
 	$(GO) run ./cmd/bnbench -exp serve -m 20000 -n 8 -r 3 -serve-dur 300ms -clients 1,4 -wflist 0.1 -skewlist 0 > /dev/null
 
+# alloc-check runs the AllocsPerRun gates: after warmup, a cache-hit
+# /v1/marginal or /v1/epoch request must perform ZERO heap allocations
+# (parse, admission, snapshot pin, cache lookup, envelope encode), and the
+# hand-rolled float encoder must match encoding/json byte for byte.
+alloc-check:
+	$(GO) test -run 'TestAllocFree|TestJSONFloatParity|TestFastPathMatchesSlowPathBytes' -count 1 ./internal/serve/
+
+# compare-smoke exercises the variance-aware artifact comparator end to
+# end: the committed serving artifact diffed against itself must show zero
+# regressions at any gate.
+compare-smoke:
+	$(GO) run ./cmd/bnbench -compare BENCH_serve.json -with BENCH_serve.json -gate 1 > /dev/null
+
 # check is the gate every change must pass (see README "Development").
-check: vet build test race chaos chaos-serve serve-smoke
+check: vet build test race chaos chaos-serve serve-smoke alloc-check compare-smoke
 
 # bench-obs measures the observability overhead: BenchmarkBuildObsDisabled
 # (Options.Obs == nil, the default) vs BenchmarkBuildObsEnabled. The
@@ -92,12 +105,23 @@ bench-build:
 	$(GO) run ./cmd/bnbench -exp build -m 1000000 -n 30 -r 2 -reps 3 -maxP 8 -artifact-dir .
 
 # bench-serve regenerates BENCH_serve.json: the full concurrency ×
-# read/write mix × key-skew sweep against an in-process bnserve (skew now
-# applied to the ingest generator as well as query-variable choice), with
-# the bit-identity audit, per-partition occupancy imbalance, and
-# server-side histogram scrape.
+# read/write mix × key-skew × coalescing-window sweep against an in-process
+# bnserve, with the bit-identity audit, per-partition occupancy imbalance,
+# server-side histogram scrape, and the read-coalescing acceptance gate
+# (cache off, >= 8 clients: byte-identical responses and >= 2x throughput
+# or >= 4x fewer fused scan passes per read vs window 0).
 bench-serve:
-	$(GO) run ./cmd/bnbench -exp serve -m 200000 -n 12 -r 3 -artifact-dir .
+	$(GO) run ./cmd/bnbench -exp serve -m 200000 -n 12 -r 3 -coalesce-list 0,200us -distinct-queries 64 -artifact-dir .
+
+# bench-compare diffs two benchmark artifacts benchstat-style, pairing
+# Timing objects (mean ± sample spread, range-overlap significance) and
+# unit-suffixed scalars, and fails on significant regressions beyond GATE%:
+#   make bench-compare OLD=/tmp/before.json NEW=BENCH_serve.json GATE=10
+OLD ?= /tmp/BENCH_serve.json
+NEW ?= BENCH_serve.json
+GATE ?= 10
+bench-compare:
+	$(GO) run ./cmd/bnbench -compare $(OLD) -with $(NEW) -gate $(GATE)
 
 # bench-recover regenerates BENCH_recover.json: crash-recovery time across
 # the checkpoint-cadence sweep (1 = checkpoint every epoch … 0 = pure WAL

@@ -27,9 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"waitfreebn/internal/bench"
 	"waitfreebn/internal/bn"
@@ -65,12 +67,22 @@ func main() {
 		skews    = flag.String("skews", "0,0.8,1.2,2.0", "-exp skew: comma-separated key-rank Zipf exponents (0 = uniform)")
 		count    = flag.Int("count", 3, "variance-aware experiments (-exp refreeze): timing samples per sweep cell, all recorded in the artifact")
 		fracList = flag.String("fraclist", "0.01,0.05,0.1,0.5", "-exp refreeze: comma-separated ingest-delta fractions of m per refresh")
+		coalList = flag.String("coalesce-list", "0,200us", "-exp serve: comma-separated read-coalescing windows to sweep (durations; 0 = off)")
+		distinct = flag.Int("distinct-queries", 64, "-exp serve: size of the fixed read-query working set each sweep cell draws from")
 		artDir   = flag.String("artifact-dir", "", "also write each JSON experiment's output to <dir>/BENCH_<exp>.json (empty = stdout only; the make bench-* targets pass '.')")
+		cmpOld   = flag.String("compare", "", "compare mode: path to the baseline BENCH_*.json; skips all experiments")
+		cmpNew   = flag.String("with", "", "compare mode: path to the candidate artifact (default: the baseline's basename in the current directory)")
+		cmpGate  = flag.Float64("gate", 0, "compare mode: fail if any significant metric regresses by more than this percent (0 = report only)")
 	)
 	coreFl := cliopt.AddCore(flag.CommandLine)
 	obsFl := cliopt.AddObs(flag.CommandLine)
 	rtFl := cliopt.AddRuntime(flag.CommandLine)
 	flag.Parse()
+
+	if *cmpOld != "" {
+		runCompare(*cmpOld, *cmpNew, *cmpGate)
+		return
+	}
 
 	ctx, cleanup, err := rtFl.Context()
 	if err != nil {
@@ -129,9 +141,14 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("bad -skewlist: %w", err))
 		}
+		windows, err := parseDurations(*coalList)
+		if err != nil {
+			fatal(fmt.Errorf("bad -coalesce-list: %w", err))
+		}
 		out, err := bench.RunServe(ctx, bench.ServeParams{
 			M: *m, N: *n, R: *r, Seed: *seed,
 			Duration: *srvDur, Clients: clients, WriteFracs: wfs, Skews: skews,
+			Windows: windows, DistinctQueries: *distinct,
 		})
 		if err != nil {
 			fatal(err)
@@ -142,6 +159,10 @@ func main() {
 		out.Flags = setFlags()
 		if err := bench.EmitJSON("serve", *artDir, out); err != nil {
 			fatal(err)
+		}
+		if out.Gate != nil && !out.Gate.Pass {
+			fatal(fmt.Errorf("serve: coalescing gate failed at %d clients: throughput %.2fx, scan reduction %.2fx, identical=%v (need bit-identical responses and >= 2x throughput or >= 4x scan reduction)",
+				out.Gate.Clients, out.Gate.ThroughputX, out.Gate.ScanReductionX, out.Gate.ResponsesIdentical))
 		}
 		return
 	}
@@ -600,6 +621,57 @@ func parseList(s string) ([]int, error) {
 			return nil, fmt.Errorf("non-positive value %d", v)
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runCompare is the `bnbench -compare old.json [-with new.json] [-gate pct]`
+// entry point: a variance-aware diff of two benchmark artifacts. With -with
+// unset it diffs the baseline against its committed namesake in the current
+// directory, which is the post-regeneration workflow: stash the old artifact,
+// run `make bench-<exp>`, then compare.
+func runCompare(oldPath, newPath string, gatePct float64) {
+	if newPath == "" {
+		newPath = filepath.Base(oldPath)
+		if abs, err := filepath.Abs(newPath); err == nil {
+			if oldAbs, err2 := filepath.Abs(oldPath); err2 == nil && abs == oldAbs {
+				fatal(fmt.Errorf("compare: -with not given and baseline %s already is ./%s; pass -with explicitly", oldPath, newPath))
+			}
+		}
+	}
+	c, err := bench.CompareFiles(oldPath, newPath, gatePct)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if len(c.Regressions) > 0 {
+		fatal(fmt.Errorf("compare: %d metric(s) regressed beyond the %.1f%% gate", len(c.Regressions), gatePct))
+	}
+}
+
+// parseDurations parses a comma-separated list of Go durations; a bare "0"
+// is accepted as zero (coalescing off).
+func parseDurations(s string) ([]time.Duration, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, err
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("negative window %s", d)
+		}
+		out = append(out, d)
 	}
 	return out, nil
 }

@@ -98,6 +98,7 @@ func main() {
 		FreezeP:        serveFl.FreezeP,
 		ReadP:          serveFl.ReadP,
 		MargCacheCells: serveFl.MargCacheCells,
+		CoalesceWindow: serveFl.CoalesceWindow,
 		MaxInflight:    serveFl.MaxInflight,
 		QueueTimeout:   serveFl.QueueTimeout,
 		RequestTimeout: serveFl.RequestTimeout,

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file is the variance-aware artifact comparator behind
+// `bnbench -compare` and `make bench-compare`: it diffs two BENCH_*.json
+// files benchstat-style. Timing objects (samples_s/mean_s/min_s) compare
+// mean against mean with the sample spread shown, and a delta is only
+// deemed significant when the two sample ranges do not overlap; bare
+// numeric leaves with a recognizable performance unit (_s, _us, req_per_s,
+// scans_per_read, ...) compare directly. An optional gate percentage turns
+// significant regressions into a non-zero exit.
+
+// CompareRow is one aligned metric across the two artifacts.
+type CompareRow struct {
+	Metric         string
+	Old, New       float64 // means (Timing) or raw values (scalar leaf)
+	OldSpread      float64 // (max-min)/mean of samples; NaN for scalar leaves
+	NewSpread      float64
+	DeltaPct       float64 // (new-old)/old * 100
+	HigherIsBetter bool
+	Significant    bool // sample ranges disjoint; scalar leaves are always "significant"
+}
+
+// Comparison is the full diff of two artifacts.
+type Comparison struct {
+	OldPath, NewPath string
+	Rows             []CompareRow
+	// Regressions are the rows that moved in the losing direction by more
+	// than the gate percentage (and significantly, for sampled metrics).
+	Regressions []CompareRow
+	Notes       []string // structural mismatches skipped during alignment
+}
+
+// CompareFiles loads and diffs two artifacts. gatePct <= 0 reports without
+// gating; otherwise any significant move worse than gatePct% is recorded
+// as a regression.
+func CompareFiles(oldPath, newPath string, gatePct float64) (*Comparison, error) {
+	load := func(path string) (any, error) {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc any
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return doc, nil
+	}
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{OldPath: oldPath, NewPath: newPath}
+	c.walk("", oldDoc, newDoc)
+	for _, r := range c.Rows {
+		worse := r.DeltaPct
+		if r.HigherIsBetter {
+			worse = -r.DeltaPct
+		}
+		if gatePct > 0 && r.Significant && worse > gatePct {
+			c.Regressions = append(c.Regressions, r)
+		}
+	}
+	return c, nil
+}
+
+// configLeaves are numeric leaves whose unit suffix looks like a
+// performance metric but records sweep configuration — comparing them
+// would gate on setup, not results.
+var configLeaves = map[string]bool{
+	"cell_duration_s":    true,
+	"coalesce_window_us": true,
+}
+
+// metricDirection classifies a leaf key: comparable at all, and if so
+// whether larger is better. Unit suffix order matters — rates (_per_s)
+// and ratios (_x) are higher-better, durations (_s, _us) lower-better.
+func metricDirection(key string) (comparable, higherBetter bool) {
+	if configLeaves[key] {
+		return false, false
+	}
+	switch {
+	case strings.HasSuffix(key, "_per_s") || strings.HasSuffix(key, "_x"):
+		return true, true
+	case strings.HasSuffix(key, "_us") || strings.HasSuffix(key, "_s") ||
+		strings.HasSuffix(key, "_seconds") || key == "scans_per_read":
+		return true, false
+	}
+	return false, false
+}
+
+// asTiming recognizes a Timing-shaped JSON object.
+func asTiming(v any) (samples []float64, mean float64, ok bool) {
+	m, isMap := v.(map[string]any)
+	if !isMap {
+		return nil, 0, false
+	}
+	rawSamples, hasSamples := m["samples_s"].([]any)
+	rawMean, hasMean := m["mean_s"].(float64)
+	_, hasMin := m["min_s"].(float64)
+	if !hasSamples || !hasMean || !hasMin {
+		return nil, 0, false
+	}
+	for _, s := range rawSamples {
+		f, isNum := s.(float64)
+		if !isNum {
+			return nil, 0, false
+		}
+		samples = append(samples, f)
+	}
+	return samples, rawMean, true
+}
+
+func spreadOf(samples []float64, mean float64) (lo, hi, spread float64) {
+	if len(samples) == 0 || mean == 0 {
+		return mean, mean, 0
+	}
+	lo, hi = samples[0], samples[0]
+	for _, s := range samples {
+		lo, hi = math.Min(lo, s), math.Max(hi, s)
+	}
+	return lo, hi, (hi - lo) / math.Abs(mean) * 100
+}
+
+// walk aligns the two documents structurally: objects by key, arrays by
+// index, Timing objects and unit-suffixed numeric leaves as comparison
+// rows. Structure present on only one side is noted, not an error — new
+// columns appear as artifacts evolve.
+func (c *Comparison) walk(path string, oldV, newV any) {
+	if oldSamples, oldMean, ok := asTiming(oldV); ok {
+		newSamples, newMean, ok2 := asTiming(newV)
+		if !ok2 {
+			c.Notes = append(c.Notes, path+": timing in old, not in new")
+			return
+		}
+		oldLo, oldHi, oldSpread := spreadOf(oldSamples, oldMean)
+		newLo, newHi, newSpread := spreadOf(newSamples, newMean)
+		row := CompareRow{
+			Metric: path, Old: oldMean, New: newMean,
+			OldSpread: oldSpread, NewSpread: newSpread,
+			// Benchstat's spirit: a shift within the overlap of the two
+			// sample ranges is noise, not signal.
+			Significant: newLo > oldHi || newHi < oldLo,
+		}
+		if oldMean != 0 {
+			row.DeltaPct = (newMean - oldMean) / math.Abs(oldMean) * 100
+		}
+		c.Rows = append(c.Rows, row)
+		return
+	}
+	switch o := oldV.(type) {
+	case map[string]any:
+		n, ok := newV.(map[string]any)
+		if !ok {
+			c.Notes = append(c.Notes, path+": object in old, not in new")
+			return
+		}
+		keys := make([]string, 0, len(o))
+		for k := range o {
+			if _, both := n[k]; both {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub := k
+			if path != "" {
+				sub = path + "." + k
+			}
+			c.walk(sub, o[k], n[k])
+		}
+	case []any:
+		n, ok := newV.([]any)
+		if !ok {
+			c.Notes = append(c.Notes, path+": array in old, not in new")
+			return
+		}
+		limit := len(o)
+		if len(n) < limit {
+			limit = len(n)
+		}
+		if len(o) != len(n) {
+			c.Notes = append(c.Notes, fmt.Sprintf("%s: %d elements in old, %d in new; comparing first %d",
+				path, len(o), len(n), limit))
+		}
+		for i := 0; i < limit; i++ {
+			c.walk(fmt.Sprintf("%s[%d]", path, i), o[i], n[i])
+		}
+	case float64:
+		key := path
+		if dot := strings.LastIndexByte(path, '.'); dot >= 0 {
+			key = path[dot+1:]
+		}
+		comparable, higher := metricDirection(key)
+		if !comparable {
+			return
+		}
+		nf, ok := newV.(float64)
+		if !ok {
+			c.Notes = append(c.Notes, path+": number in old, not in new")
+			return
+		}
+		row := CompareRow{
+			Metric: path, Old: o, New: nf,
+			OldSpread: math.NaN(), NewSpread: math.NaN(),
+			HigherIsBetter: higher, Significant: true,
+		}
+		if o != 0 {
+			row.DeltaPct = (nf - o) / math.Abs(o) * 100
+		} else if nf == 0 {
+			row.DeltaPct = 0
+		} else {
+			row.DeltaPct = math.Inf(1)
+		}
+		c.Rows = append(c.Rows, row)
+	}
+}
+
+// WriteText renders the comparison benchstat-style: one row per aligned
+// metric, sampled metrics with their spread, insignificant deltas marked
+// with ~.
+func (c *Comparison) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compare: old=%s new=%s\n", c.OldPath, c.NewPath)
+	fmt.Fprintf(&b, "%-52s %16s %16s %10s\n", "metric", "old", "new", "delta")
+	for _, r := range c.Rows {
+		oldCol, newCol := formatMetric(r.Old, r.OldSpread), formatMetric(r.New, r.NewSpread)
+		delta := fmt.Sprintf("%+.1f%%", r.DeltaPct)
+		if math.IsInf(r.DeltaPct, 1) {
+			delta = "+inf"
+		}
+		if !r.Significant {
+			delta = "~ " + delta
+		}
+		fmt.Fprintf(&b, "%-52s %16s %16s %10s\n", r.Metric, oldCol, newCol, delta)
+	}
+	for _, n := range c.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(c.Regressions) > 0 {
+		fmt.Fprintf(&b, "REGRESSIONS (%d):\n", len(c.Regressions))
+		for _, r := range c.Regressions {
+			dir := "slower"
+			if r.HigherIsBetter {
+				dir = "lower"
+			}
+			fmt.Fprintf(&b, "  %s: %+.1f%% %s\n", r.Metric, r.DeltaPct, dir)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatMetric(v, spread float64) string {
+	if math.IsNaN(spread) {
+		return fmt.Sprintf("%.4g", v)
+	}
+	return fmt.Sprintf("%.4g ±%.0f%%", v, spread)
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name, blob string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareFiles covers the three comparator behaviors: Timing objects
+// diff by mean with range-overlap significance, unit-suffixed scalars diff
+// directly with direction awareness, and the gate catches only significant
+// moves in the losing direction.
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldBlob := `{
+		"series": [{
+			"build": {"samples_s": [1.00, 1.02, 0.98], "mean_s": 1.0, "min_s": 0.98},
+			"noisy": {"samples_s": [0.90, 1.10], "mean_s": 1.0, "min_s": 0.90}
+		}],
+		"cells": [{"req_per_s": 1000, "read_p50_us": 40, "scans_per_read": 1.0, "coalesce_window_us": 0, "clients": 8}]
+	}`
+	newBlob := `{
+		"series": [{
+			"build": {"samples_s": [1.30, 1.32, 1.28], "mean_s": 1.3, "min_s": 1.28},
+			"noisy": {"samples_s": [0.95, 1.05], "mean_s": 1.0, "min_s": 0.95}
+		}],
+		"cells": [{"req_per_s": 2400, "read_p50_us": 44, "scans_per_read": 0.2, "coalesce_window_us": 200, "clients": 8}]
+	}`
+	oldPath := writeArtifact(t, dir, "old.json", oldBlob)
+	newPath := writeArtifact(t, dir, "new.json", newBlob)
+
+	c, err := CompareFiles(oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := map[string]CompareRow{}
+	for _, r := range c.Rows {
+		rows[r.Metric] = r
+	}
+
+	build, ok := rows["series[0].build"]
+	if !ok {
+		t.Fatalf("no row for series[0].build; rows: %v", rows)
+	}
+	if !build.Significant || math.Abs(build.DeltaPct-30) > 0.01 {
+		t.Errorf("build row = %+v, want significant +30%%", build)
+	}
+
+	noisy, ok := rows["series[0].noisy"]
+	if !ok {
+		t.Fatal("no row for series[0].noisy")
+	}
+	if noisy.Significant {
+		t.Errorf("noisy row significant despite overlapping sample ranges: %+v", noisy)
+	}
+
+	rps := rows["cells[0].req_per_s"]
+	if !rps.HigherIsBetter || math.Abs(rps.DeltaPct-140) > 0.01 {
+		t.Errorf("req_per_s row = %+v, want higher-better +140%%", rps)
+	}
+	p50 := rows["cells[0].read_p50_us"]
+	if p50.HigherIsBetter || math.Abs(p50.DeltaPct-10) > 0.01 {
+		t.Errorf("read_p50_us row = %+v, want lower-better +10%%", p50)
+	}
+	if _, present := rows["cells[0].coalesce_window_us"]; present {
+		t.Error("coalesce_window_us is sweep config and must not be compared")
+	}
+	if _, present := rows["cells[0].clients"]; present {
+		t.Error("clients has no unit suffix and must not be compared")
+	}
+
+	// Gate at 10%: build regressed +30% significantly; read_p50_us moved
+	// exactly +10%, which does not exceed the gate; req_per_s and
+	// scans_per_read improved; noisy is insignificant.
+	if len(c.Regressions) != 1 || c.Regressions[0].Metric != "series[0].build" {
+		t.Errorf("regressions = %+v, want exactly series[0].build", c.Regressions)
+	}
+
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"series[0].build", "+30.0%", "~ ", "REGRESSIONS (1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareFilesSelf locks the self-compare invariant `make check`
+// relies on: an artifact diffed against itself has zero regressions at
+// any gate, and all deltas are zero.
+func TestCompareFilesSelf(t *testing.T) {
+	dir := t.TempDir()
+	blob := `{
+		"timing": {"samples_s": [2.0, 2.2], "mean_s": 2.1, "min_s": 2.0},
+		"req_per_s": 512.5,
+		"lat_us": 33
+	}`
+	path := writeArtifact(t, dir, "self.json", blob)
+	c, err := CompareFiles(path, path, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regressions) != 0 {
+		t.Errorf("self-compare produced regressions: %+v", c.Regressions)
+	}
+	for _, r := range c.Rows {
+		if r.DeltaPct != 0 {
+			t.Errorf("%s: self-compare delta %.3f%%, want 0", r.Metric, r.DeltaPct)
+		}
+	}
+	if len(c.Rows) != 3 {
+		t.Errorf("got %d rows, want 3 (timing, req_per_s, lat_us)", len(c.Rows))
+	}
+}
+
+// TestCompareFilesStructuralDrift: mismatched array lengths compare the
+// common prefix and note the drift instead of erroring.
+func TestCompareFilesStructuralDrift(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", `{"cells": [{"lat_us": 10}, {"lat_us": 20}]}`)
+	newPath := writeArtifact(t, dir, "new.json", `{"cells": [{"lat_us": 12}]}`)
+	c, err := CompareFiles(oldPath, newPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 1 || c.Rows[0].Metric != "cells[0].lat_us" {
+		t.Errorf("rows = %+v, want exactly cells[0].lat_us", c.Rows)
+	}
+	if len(c.Notes) != 1 || !strings.Contains(c.Notes[0], "2 elements in old, 1 in new") {
+		t.Errorf("notes = %v, want length-mismatch note", c.Notes)
+	}
+}

@@ -20,7 +20,7 @@ var CanonicalFlags = map[string]string{
 	"build":    "-exp build -m 1000000 -maxP 8 -n 30 -r 2 -reps 3",
 	"phases":   "-exp phases -m 200000 -maxP 8 -n 40 -r 2 -reps 3",
 	"scan":     "-exp scan -m 1000000 -maxP 8 -n 30 -r 2 -reps 3",
-	"serve":    "-exp serve -m 200000 -n 12 -r 3",
+	"serve":    "-coalesce-list 0,200us -distinct-queries 64 -exp serve -m 200000 -n 12 -r 3",
 	"recover":  "-exp recover -m 200000 -n 12 -r 3",
 	"skew":     "-exp skew -m 400000 -maxP 8 -n 12 -r 3 -reps 3",
 	"refreeze": "-count 3 -exp refreeze -m 300000 -maxP 4 -n 12 -r 3",

@@ -34,6 +34,14 @@ type ServeParams struct {
 	WriteFracs []float64     // fraction of requests that are ingest writes
 	Skews      []float64     // Zipf s for query-variable choice AND ingest-row states (0 = uniform)
 	Batch      int           // rows per ingest write
+	// Windows sweeps the read-coalescing window (0 = coalescing off); the
+	// sweep crosses it with every other axis, and the gate compares the
+	// first nonzero window against 0.
+	Windows []time.Duration
+	// DistinctQueries bounds the read query space per cell to a fixed set
+	// of shapes, so coalescing's in-flight dedup has material effect — an
+	// unbounded query space would make every concurrent query distinct.
+	DistinctQueries int
 }
 
 func (p ServeParams) withDefaults() ServeParams {
@@ -64,19 +72,37 @@ func (p ServeParams) withDefaults() ServeParams {
 	if p.Batch <= 0 {
 		p.Batch = 64
 	}
+	if len(p.Windows) == 0 {
+		p.Windows = []time.Duration{0, 200 * time.Microsecond}
+	}
+	if p.DistinctQueries <= 0 {
+		p.DistinctQueries = 64
+	}
 	return p
 }
 
 // ServeCell is one sweep point of the serving benchmark.
 type ServeCell struct {
-	Clients   int     `json:"clients"`
-	WriteFrac float64 `json:"write_frac"`
-	Skew      float64 `json:"skew"`
+	Clients          int     `json:"clients"`
+	WriteFrac        float64 `json:"write_frac"`
+	Skew             float64 `json:"skew"`
+	CoalesceWindowUS float64 `json:"coalesce_window_us"`
 
 	Requests   int     `json:"requests"`
+	Reads      int     `json:"reads"`
 	Errors     int     `json:"errors"`
 	Rejected   int     `json:"rejected"` // 429s (admission or ingest overflow)
 	Throughput float64 `json:"req_per_s"`
+
+	// ScanPasses is the number of read-side table scan passes the cell
+	// cost (delta of core_scan_passes_total); ScansPerRead normalizes by
+	// the read count — coalescing and the marginal cache both push it
+	// toward zero. CoalesceBatches / CoalescedRequests are the coalescer's
+	// own deltas for the cell.
+	ScanPasses        uint64  `json:"scan_passes"`
+	ScansPerRead      float64 `json:"scans_per_read"`
+	CoalesceBatches   uint64  `json:"coalesce_batches"`
+	CoalescedRequests uint64  `json:"coalesced_requests"`
 
 	ReadP50Micros  float64 `json:"read_p50_us"`
 	ReadP99Micros  float64 `json:"read_p99_us"`
@@ -108,9 +134,33 @@ type ServeResult struct {
 	FinalEpoch   uint64 `json:"final_epoch"`
 	FinalSamples uint64 `json:"final_samples"`
 	BitIdentical bool   `json:"bit_identical_to_batch"`
+	// Gate is the coalescing acceptance measurement (read-only, cache
+	// disabled): coalesced vs uncoalesced throughput and scan cost.
+	Gate *ServeGate `json:"coalesce_gate,omitempty"`
 	// Server-side histograms scraped from /metrics.json after the sweep.
 	ServerP50Micros map[string]float64 `json:"server_p50_us"`
 	ServerP99Micros map[string]float64 `json:"server_p99_us"`
+}
+
+// ServeGate is the coalescing acceptance gate: at >=8 concurrent read
+// clients over a bounded query set with the marginal cache disabled (so
+// every query costs real scan work in both modes), coalescing must deliver
+// >=2x read throughput OR a >=4x reduction in scan passes per request,
+// with byte-identical responses.
+type ServeGate struct {
+	Clients          int     `json:"clients"`
+	CoalesceWindowUS float64 `json:"coalesce_window_us"`
+	DistinctQueries  int     `json:"distinct_queries"`
+
+	BaselineReqPerS       float64 `json:"baseline_req_per_s"`
+	CoalescedReqPerS      float64 `json:"coalesced_req_per_s"`
+	ThroughputX           float64 `json:"throughput_x"`
+	BaselineScansPerRead  float64 `json:"baseline_scans_per_read"`
+	CoalescedScansPerRead float64 `json:"coalesced_scans_per_read"`
+	ScanReductionX        float64 `json:"scan_reduction_x"`
+
+	ResponsesIdentical bool `json:"responses_identical"`
+	Pass               bool `json:"pass"`
 }
 
 // RunServe runs the closed-loop serving sweep. Every row the server
@@ -189,20 +239,34 @@ func RunServe(ctx context.Context, pr ServeParams) (*ServeResult, error) {
 	for _, clients := range pr.Clients {
 		for _, wf := range pr.WriteFracs {
 			for _, skew := range pr.Skews {
-				if err := ctx.Err(); err != nil {
-					return nil, context.Cause(ctx)
+				queries := buildQuerySet(pr, skew)
+				for _, window := range pr.Windows {
+					if err := ctx.Err(); err != nil {
+						return nil, context.Cause(ctx)
+					}
+					srv.SetCoalesceWindow(window)
+					scans0 := scanPassTotal(reg)
+					batches0 := reg.Counter("serve_coalesce_batches_total").Value()
+					joined0 := reg.Counter("serve_coalesced_requests_total").Value()
+					cell := runServeCell(pr, base, clients, wf, skew, queries, &acceptMu, &allRows)
+					cell.CoalesceWindowUS = float64(window) / float64(time.Microsecond)
+					cell.ScanPasses = scanPassTotal(reg) - scans0
+					if cell.Reads > 0 {
+						cell.ScansPerRead = float64(cell.ScanPasses) / float64(cell.Reads)
+					}
+					cell.CoalesceBatches = reg.Counter("serve_coalesce_batches_total").Value() - batches0
+					cell.CoalescedRequests = reg.Counter("serve_coalesced_requests_total").Value() - joined0
+					cell.EpochsPublished = reg.Counter("serve_epochs_published_total").Value()
+					cell.RowsIngested = reg.Counter("serve_ingest_rows_total").Value()
+					snap := mgr.Acquire()
+					cell.MassImbalance = massImbalance(snap.Table().PartitionMass())
+					snap.Release()
+					out.Cells = append(out.Cells, cell)
+					fmt.Fprintf(os.Stderr,
+						"serve: clients=%d write=%.0f%% skew=%.1f coalesce=%.0fµs  %.0f req/s  read p50/p99 %.0f/%.0fµs  scans/read %.3f  rejected=%d\n",
+						clients, wf*100, skew, cell.CoalesceWindowUS, cell.Throughput,
+						cell.ReadP50Micros, cell.ReadP99Micros, cell.ScansPerRead, cell.Rejected)
 				}
-				cell := runServeCell(pr, base, clients, wf, skew, &acceptMu, &allRows)
-				cell.EpochsPublished = reg.Counter("serve_epochs_published_total").Value()
-				cell.RowsIngested = reg.Counter("serve_ingest_rows_total").Value()
-				snap := mgr.Acquire()
-				cell.MassImbalance = massImbalance(snap.Table().PartitionMass())
-				snap.Release()
-				out.Cells = append(out.Cells, cell)
-				fmt.Fprintf(os.Stderr,
-					"serve: clients=%d write=%.0f%% skew=%.1f  %.0f req/s  read p50/p99 %.0f/%.0fµs  rejected=%d\n",
-					clients, wf*100, skew, cell.Throughput,
-					cell.ReadP50Micros, cell.ReadP99Micros, cell.Rejected)
 			}
 		}
 	}
@@ -224,8 +288,174 @@ func RunServe(ctx context.Context, pr ServeParams) (*ServeResult, error) {
 	}
 	out.BitIdentical = ok
 
+	// With the data static (refresher stopped, final epoch published), run
+	// the coalescing acceptance gate.
+	out.Gate = runServeGate(pr, srv, reg, base)
+
 	out.ServerP50Micros, out.ServerP99Micros = scrapeLatencies(base)
 	return out, nil
+}
+
+// scanPassTotal sums the read-side scan-pass counter across table paths.
+func scanPassTotal(reg *obs.Registry) uint64 {
+	return reg.Counter("core_scan_passes_total", "path", "frozen").Value() +
+		reg.Counter("core_scan_passes_total", "path", "live").Value()
+}
+
+// buildQuerySet derives the cell's fixed read-query set: DistinctQueries
+// URLs mixing single- and two-variable marginals (70%) with MI pairs
+// (30%), variables drawn by the cell's skew law. Bounding the set is what
+// gives concurrent clients overlapping in-flight queries to dedup.
+func buildQuerySet(pr ServeParams, skew float64) []string {
+	rng := rand.New(rand.NewSource(int64(pr.Seed)*31 + int64(skew*1000)))
+	var varCDF []float64
+	if skew > 0 {
+		varCDF = zipfCDF(pr.N, skew)
+	}
+	pickVar := func() int {
+		if varCDF != nil {
+			return pickCDF(rng, varCDF)
+		}
+		return rng.Intn(pr.N)
+	}
+	queries := make([]string, 0, pr.DistinctQueries)
+	seen := make(map[string]bool, pr.DistinctQueries)
+	for attempts := 0; len(queries) < pr.DistinctQueries && attempts < 50*pr.DistinctQueries; attempts++ {
+		var q string
+		if kind := rng.Float64(); kind >= 0.7 {
+			i, j := pickVar(), pickVar()
+			if j == i {
+				j = (i + 1) % pr.N
+			}
+			q = fmt.Sprintf("/v1/mi?i=%d&j=%d", i, j)
+		} else if kind < 0.35 {
+			q = fmt.Sprintf("/v1/marginal?vars=%d", pickVar())
+		} else {
+			a, b := pickVar(), pickVar()
+			if b == a {
+				b = (a + 1) % pr.N
+			}
+			q = fmt.Sprintf("/v1/marginal?vars=%d,%d", a, b)
+		}
+		if !seen[q] {
+			seen[q] = true
+			queries = append(queries, q)
+		}
+	}
+	return queries
+}
+
+// runServeGate measures the acceptance gate on the quiesced server: the
+// same read-only closed loop at >=8 clients, marginal cache disabled so
+// every query pays its scan in both modes, coalescing off vs on. It also
+// audits that both modes answer every query in the set byte-identically.
+func runServeGate(pr ServeParams, srv *serve.Server, reg *obs.Registry, base string) *ServeGate {
+	window := time.Duration(0)
+	for _, w := range pr.Windows {
+		if w > 0 {
+			window = w
+			break
+		}
+	}
+	if window == 0 {
+		window = 200 * time.Microsecond
+	}
+	clients := 8
+	for _, c := range pr.Clients {
+		if c > clients {
+			clients = c
+		}
+	}
+	queries := buildQuerySet(pr, 0)
+	g := &ServeGate{
+		Clients:          clients,
+		CoalesceWindowUS: float64(window) / float64(time.Microsecond),
+		DistinctQueries:  len(queries),
+	}
+
+	srv.SetReadCacheEnabled(false)
+	defer srv.SetReadCacheEnabled(true)
+	defer srv.SetCoalesceWindow(0)
+
+	// Byte-identity audit across modes: the table is static, so every
+	// query must answer the exact same body with and without coalescing.
+	cl := &http.Client{Timeout: 10 * time.Second}
+	bodies := make(map[string]string, len(queries))
+	g.ResponsesIdentical = true
+	for _, mode := range []time.Duration{0, window} {
+		srv.SetCoalesceWindow(mode)
+		for _, q := range queries {
+			resp, err := cl.Get(base + q)
+			if err != nil {
+				g.ResponsesIdentical = false
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if mode == 0 {
+				bodies[q] = string(body)
+			} else if string(body) != bodies[q] {
+				g.ResponsesIdentical = false
+				fmt.Fprintf(os.Stderr, "serve gate: %s: coalesced body differs from uncoalesced\n", q)
+			}
+		}
+	}
+
+	measure := func(w time.Duration) (reqPerS, scansPerRead float64) {
+		srv.SetCoalesceWindow(w)
+		scans0 := scanPassTotal(reg)
+		stop := make(chan struct{})
+		counts := make([]int, clients)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(pr.Seed) + int64(id)*104729))
+				cl := &http.Client{Timeout: 10 * time.Second}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					code, err := doGet(cl, base+queries[rng.Intn(len(queries))])
+					if err == nil && code == http.StatusOK {
+						counts[id]++
+					}
+				}
+			}(c)
+		}
+		start := time.Now()
+		time.Sleep(pr.Duration)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start)
+		reads := 0
+		for _, n := range counts {
+			reads += n
+		}
+		scans := scanPassTotal(reg) - scans0
+		if reads > 0 {
+			scansPerRead = float64(scans) / float64(reads)
+		}
+		return float64(reads) / elapsed.Seconds(), scansPerRead
+	}
+
+	g.BaselineReqPerS, g.BaselineScansPerRead = measure(0)
+	g.CoalescedReqPerS, g.CoalescedScansPerRead = measure(window)
+	if g.BaselineReqPerS > 0 {
+		g.ThroughputX = g.CoalescedReqPerS / g.BaselineReqPerS
+	}
+	if g.CoalescedScansPerRead > 0 {
+		g.ScanReductionX = g.BaselineScansPerRead / g.CoalescedScansPerRead
+	}
+	g.Pass = g.ResponsesIdentical && (g.ThroughputX >= 2 || g.ScanReductionX >= 4)
+	fmt.Fprintf(os.Stderr,
+		"serve gate: clients=%d window=%.0fµs  %.0f → %.0f req/s (%.2fx)  scans/read %.3f → %.3f (%.1fx)  identical=%v  pass=%v\n",
+		clients, g.CoalesceWindowUS, g.BaselineReqPerS, g.CoalescedReqPerS, g.ThroughputX,
+		g.BaselineScansPerRead, g.CoalescedScansPerRead, g.ScanReductionX, g.ResponsesIdentical, g.Pass)
+	return g
 }
 
 // zipfCDF returns the cumulative distribution of P(i) ∝ 1/(i+1)^s over k
@@ -250,11 +480,12 @@ func pickCDF(rng *rand.Rand, cdf []float64) int {
 }
 
 // runServeCell drives one sweep point: `clients` closed-loop goroutines
-// issuing reads (70% marginal, 30% MI, variables Zipf-skewed) and writes
-// (ingest batches whose row states follow the same Zipf law, so a skewed
-// cell skews the table the server is building, not just which variables
-// get queried) against the live server for the cell duration.
-func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew float64, acceptMu *sync.Mutex, allRows *[][]uint8) ServeCell {
+// issuing reads (drawn from the cell's bounded query set — 70% marginal,
+// 30% MI, variables Zipf-skewed at set construction) and writes (ingest
+// batches whose row states follow the same Zipf law, so a skewed cell
+// skews the table the server is building, not just which variables get
+// queried) against the live server for the cell duration.
+func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew float64, queries []string, acceptMu *sync.Mutex, allRows *[][]uint8) ServeCell {
 	type clientStats struct {
 		reads, writes []time.Duration
 		errors        int
@@ -268,16 +499,9 @@ func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew floa
 		go func(id int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(pr.Seed) + int64(id)*7919))
-			var varCDF, stateCDF []float64
+			var stateCDF []float64
 			if skew > 0 {
-				varCDF = zipfCDF(pr.N, skew)
 				stateCDF = zipfCDF(pr.R, skew)
-			}
-			pickVar := func() int {
-				if varCDF != nil {
-					return pickCDF(rng, varCDF)
-				}
-				return rng.Intn(pr.N)
 			}
 			pickState := func() uint8 {
 				if stateCDF != nil {
@@ -324,18 +548,7 @@ func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew floa
 					}
 					continue
 				}
-				var url string
-				if rng.Float64() < 0.7 {
-					url = fmt.Sprintf("%s/v1/marginal?vars=%d", base, pickVar())
-				} else {
-					i := pickVar()
-					j := pickVar()
-					if j == i {
-						j = (i + 1) % pr.N
-					}
-					url = fmt.Sprintf("%s/v1/mi?i=%d&j=%d", base, i, j)
-				}
-				code, err := doGet(cl, url)
+				code, err := doGet(cl, base+queries[rng.Intn(len(queries))])
 				switch {
 				case err != nil:
 					st.errors++
@@ -364,6 +577,7 @@ func runServeCell(pr ServeParams, base string, clients int, writeFrac, skew floa
 		cell.Rejected += results[i].rejected
 	}
 	cell.Requests = len(reads) + len(writes) + cell.Errors + cell.Rejected
+	cell.Reads = len(reads)
 	cell.Throughput = float64(len(reads)+len(writes)) / elapsed.Seconds()
 	cell.ReadP50Micros = quantileMicros(reads, 0.5)
 	cell.ReadP99Micros = quantileMicros(reads, 0.99)

@@ -181,6 +181,7 @@ type Serve struct {
 	ReadP          int
 	Refreeze       string
 	MargCacheCells int
+	CoalesceWindow time.Duration
 	RebalanceEvery int
 
 	// Durability flags (all inert unless WALDir is set).
@@ -207,6 +208,7 @@ func AddServe(fs *flag.FlagSet) *Serve {
 	fs.IntVar(&s.ReadP, "read-p", 1, "per-query scan parallelism (1 = favor cross-request parallelism)")
 	fs.StringVar(&s.Refreeze, "refreeze", "full", "epoch re-freeze strategy: full (drain+sort every partition) or incremental (alias clean partitions, merge sorted delta runs into dirty ones; bit-identical)")
 	fs.IntVar(&s.MargCacheCells, "marg-cache", 1<<16, "epoch-versioned marginal cache budget in count cells for /v1/marginal (negative = disable)")
+	fs.DurationVar(&s.CoalesceWindow, "coalesce-window", 200*time.Microsecond, "batch concurrent cache-missing read queries into one fused scan: queries arriving while a scan runs or within this window share a single pass (0 = off)")
 	fs.IntVar(&s.RebalanceEvery, "rebalance-every", 0, "re-map the heaviest builder partitions across owner workers every N epoch publishes, using the occupancy histogram (0 = off)")
 	fs.StringVar(&s.WALDir, "wal-dir", "", "directory for the write-ahead log and epoch checkpoints; ingest is acked only after the WAL append (durability off when empty)")
 	fs.StringVar(&s.Fsync, "fsync", "batch", "WAL fsync policy: always (fsync before every ack), batch (fsync at publish/checkpoint barriers), never")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"waitfreebn/internal/encoding"
@@ -328,6 +329,33 @@ func newFusedScratch(n, maxCard int) *fusedScratch {
 	}
 }
 
+// fusedScratchPool recycles fusedScratch working sets across scans. Safe
+// because every per-block field (constV, runsHint, histOK, h1OK, rare) is
+// re-derived at the top of each block; only the geometry must fit.
+var fusedScratchPool sync.Pool
+
+// getFusedScratch returns a worker scratch sized for (n, maxCard), reusing
+// a pooled one when its geometry is large enough. newFusedScratch sizes all
+// n-proportional fields together, so checking histOK (length n) and hist
+// (length n·maxCard) covers the rest.
+func getFusedScratch(n, maxCard int) *fusedScratch {
+	if v := fusedScratchPool.Get(); v != nil {
+		sc := v.(*fusedScratch)
+		if len(sc.histOK) >= n && len(sc.hist) >= n*maxCard {
+			return sc
+		}
+	}
+	return newFusedScratch(n, maxCard)
+}
+
+func putFusedScratch(scratch []*fusedScratch) {
+	for _, sc := range scratch {
+		if sc != nil {
+			fusedScratchPool.Put(sc)
+		}
+	}
+}
+
 // histFor returns variable j's histogram of the block's counts, building it
 // on first use within the block. When the column's value runs are long the
 // run accumulates in a register before touching the histogram cell; short
@@ -414,15 +442,12 @@ func (t *PotentialTable) allPairsFused(ctx context.Context, mi *MIMatrix, p int)
 	}
 	totalCells := offsets[len(offsets)-1]
 
-	partials := make([][]uint64, p)
-	for w := range partials {
-		partials[w] = make([]uint64, totalCells)
-	}
+	partials := getPartials(p, totalCells)
 	scratch := make([]*fusedScratch, p)
 	if err := t.scanBlocksCtx(ctx, p, func(w int, keys, counts []uint64, sorted bool) {
 		sc := scratch[w]
 		if sc == nil {
-			sc = newFusedScratch(n, maxCard)
+			sc = getFusedScratch(n, maxCard)
 			scratch[w] = sc
 		}
 		pc := partials[w]
@@ -451,8 +476,10 @@ func (t *PotentialTable) allPairsFused(ctx context.Context, mi *MIMatrix, p int)
 	}); err != nil {
 		return err
 	}
+	putFusedScratch(scratch)
 
 	merged := mergePartials(partials)
+	putPartials(partials)
 	idx = 0
 	for i := 0; i < n-1; i++ {
 		for j := i + 1; j < n; j++ {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"waitfreebn/internal/hashtable"
@@ -350,9 +351,23 @@ func (t *PotentialTable) scanBlocksCtx(ctx context.Context, p int, block func(w 
 		r.Counter(metricScanEntries, "path", path).Add(uint64(entries))
 		r.Help(metricScanSeconds, "wall clock of read-side scans, by path")
 		r.Histogram(metricScanSeconds, "path", path).Observe(time.Since(start))
+		r.Help(metricScanPasses, "completed read-side table scan passes, by path")
+		r.Counter(metricScanPasses, "path", path).Inc()
 	}
 	return err
 }
+
+// liveScanScratch recycles the per-worker (keys, counts) gather blocks of
+// scanLiveBlocks across scans, so a live-path query costs no per-scan
+// scratch allocation in steady state.
+var liveScanScratch = sync.Pool{New: func() any {
+	return &liveScratch{
+		keys:   make([]uint64, 0, scanBlockSize),
+		counts: make([]uint64, 0, scanBlockSize),
+	}
+}}
+
+type liveScratch struct{ keys, counts []uint64 }
 
 // scanLiveBlocks is the live-table arm of scanBlocksCtx: partitions are
 // assigned to workers cyclically and each worker's Range output is gathered
@@ -365,8 +380,10 @@ func (t *PotentialTable) scanLiveBlocks(ctx context.Context, p int, block func(w
 	return sched.RunCtx(ctx, p, func(ctx context.Context, w int) error {
 		done := ctx.Done()
 		var cause error
-		keys := make([]uint64, 0, scanBlockSize)
-		counts := make([]uint64, 0, scanBlockSize)
+		scratch := liveScanScratch.Get().(*liveScratch)
+		defer liveScanScratch.Put(scratch)
+		keys := scratch.keys[:0]
+		counts := scratch.counts[:0]
 		for _, part := range assign[w] {
 			parts[part].Range(func(key, count uint64) bool {
 				keys = append(keys, key)

@@ -267,6 +267,50 @@ func (c *MarginalCache) put(key string, epoch uint64, mg *Marginal) {
 	c.mEntries.Set(float64(entries))
 }
 
+// AppendVarsetKey appends the canonical cache-key encoding of vars — which
+// must already be sorted ascending — to dst and returns the extended slice.
+// It is the allocation-free form of varsetKey for callers that keep their
+// own key scratch (the serve read hot path); pair with GetSorted.
+func AppendVarsetKey(dst []byte, vars ...int) []byte {
+	for _, v := range vars {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+// GetSorted returns the cached canonical marginal for the sorted varset
+// whose AppendVarsetKey encoding is key, at the given freeze epoch, or nil.
+// The hit path performs no heap allocation (the map index on string(key)
+// compiles to an allocation-free lookup), which is what lets the serve
+// layer answer a repeated marginal query without touching the allocator.
+// Semantics match the unexported get: a stale-epoch entry is evicted in
+// place and counted as a miss.
+func (c *MarginalCache) GetSorted(key []byte, epoch uint64) *Marginal {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	ent, ok := c.entries[string(key)]
+	if ok && ent.epoch != epoch {
+		c.cells -= int64(len(ent.mg.Counts))
+		delete(c.entries, string(key))
+		c.epochEvictions++
+		ok = false
+	}
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if ok {
+		c.mHits.Inc()
+		return ent.mg
+	}
+	c.mMisses.Inc()
+	return nil
+}
+
 // varsetKey encodes a canonical (sorted) variable set as a map key.
 func varsetKey(vars []int) string {
 	buf := make([]byte, 0, 2*len(vars)+1)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"waitfreebn/internal/sched"
 )
@@ -123,6 +124,48 @@ func mergePartials(partials [][]uint64) []uint64 {
 	return counts
 }
 
+// partialPool recycles the per-worker partial-count arrays of the scan
+// kernels across queries. The lifetime rule every consumer follows:
+// partials[0] escapes into the returned Marginal's Counts (and from there
+// into the MarginalCache, which shares entries across requests), so it is
+// always freshly allocated; only workers 1..p-1 draw from the pool, and
+// they are returned immediately after mergePartials — at which point no
+// reference to them survives.
+var partialPool sync.Pool
+
+// getPartials returns p per-worker partial arrays of cells zeroed counts.
+// partials[0] is fresh (it will escape); the rest are pooled when a large
+// enough array is available.
+func getPartials(p, cells int) [][]uint64 {
+	partials := make([][]uint64, p)
+	partials[0] = make([]uint64, cells)
+	for w := 1; w < p; w++ {
+		partials[w] = pooledU64(cells)
+	}
+	return partials
+}
+
+func pooledU64(cells int) []uint64 {
+	if v := partialPool.Get(); v != nil {
+		s := *v.(*[]uint64)
+		if cap(s) >= cells {
+			s = s[:cells]
+			clear(s)
+			return s
+		}
+	}
+	return make([]uint64, cells)
+}
+
+// putPartials releases partials[1:] back to the pool. partials[0] is left
+// alone: its cells are the result the caller is about to hand out.
+func putPartials(partials [][]uint64) {
+	for w := 1; w < len(partials); w++ {
+		s := partials[w]
+		partialPool.Put(&s)
+	}
+}
+
 // Marginalize computes the marginal distribution over vars using p workers
 // (Algorithm 3). Each worker scans a disjoint subset of the partitions,
 // decoding only the variables in vars from each key and accumulating a
@@ -146,10 +189,7 @@ func (t *PotentialTable) MarginalizeCtx(ctx context.Context, vars []int, p int) 
 	dec := t.codec.SubsetDecoder(vars)
 	cells := dec.Cells()
 
-	partials := make([][]uint64, p)
-	for w := range partials {
-		partials[w] = make([]uint64, cells)
-	}
+	partials := getPartials(p, cells)
 	if err := t.scanBlocksCtx(ctx, p, func(w int, keys, counts []uint64, _ bool) {
 		pc := partials[w]
 		for e, key := range keys {
@@ -163,10 +203,12 @@ func (t *PotentialTable) MarginalizeCtx(ctx context.Context, vars []int, p int) 
 	for k, v := range vars {
 		card[k] = t.codec.Cardinality(v)
 	}
+	counts := mergePartials(partials)
+	putPartials(partials)
 	return &Marginal{
 		Vars:   append([]int(nil), vars...),
 		Card:   card,
-		Counts: mergePartials(partials),
+		Counts: counts,
 		M:      t.m,
 	}, nil
 }
@@ -190,10 +232,7 @@ func (t *PotentialTable) MarginalizePairCtx(ctx context.Context, i, j int, p int
 	ri, rj := t.codec.Cardinality(i), t.codec.Cardinality(j)
 	cells := ri * rj
 
-	partials := make([][]uint64, p)
-	for w := range partials {
-		partials[w] = make([]uint64, cells)
-	}
+	partials := getPartials(p, cells)
 	if err := t.scanBlocksCtx(ctx, p, func(w int, keys, counts []uint64, _ bool) {
 		pc := partials[w]
 		for e, key := range keys {
@@ -202,10 +241,12 @@ func (t *PotentialTable) MarginalizePairCtx(ctx context.Context, i, j int, p int
 	}); err != nil {
 		return nil, err
 	}
+	counts := mergePartials(partials)
+	putPartials(partials)
 	return &Marginal{
 		Vars:   []int{i, j},
 		Card:   []int{ri, rj},
-		Counts: mergePartials(partials),
+		Counts: counts,
 		M:      t.m,
 	}, nil
 }

@@ -38,10 +38,7 @@ func (t *PotentialTable) MarginalizeManyCtx(ctx context.Context, varsets [][]int
 	}
 	totalCells := offsets[len(varsets)]
 
-	partials := make([][]uint64, p)
-	for w := range partials {
-		partials[w] = make([]uint64, totalCells)
-	}
+	partials := getPartials(p, totalCells)
 	if err := t.scanBlocksCtx(ctx, p, func(w int, keys, counts []uint64, _ bool) {
 		pc := partials[w]
 		for e, key := range keys {
@@ -53,6 +50,7 @@ func (t *PotentialTable) MarginalizeManyCtx(ctx context.Context, varsets [][]int
 		return nil, err
 	}
 	merged := mergePartials(partials)
+	putPartials(partials)
 
 	out := make([]*Marginal, len(varsets))
 	for k, vars := range varsets {

@@ -41,6 +41,7 @@ const (
 	metricFrozenEntries   = "core_frozen_entries"
 	metricScanEntries     = "core_scan_entries_total"
 	metricScanSeconds     = "core_scan_seconds"
+	metricScanPasses      = "core_scan_passes_total"
 	metricScanClamped     = "core_scan_clamped_total"
 
 	metricRefreezeReused      = "core_refreeze_reused_partitions_total"

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/obs"
+)
+
+// Metric names published by the read-path query coalescer.
+const (
+	metricCoalesceBatches   = "serve_coalesce_batches_total"
+	metricCoalescedRequests = "serve_coalesced_requests_total"
+	metricScanShares        = "serve_scan_shares_total"
+	metricCoalesceBatchSize = "serve_coalesce_batch_size"
+	metricCoalesceWait      = "serve_coalesce_wait_seconds"
+)
+
+// coalescer is the read-path rendezvous: concurrent /v1/marginal and /v1/mi
+// queries that miss the marginal cache while a fused scan is in flight (or
+// within the batching window) are parked in one queryBatch, their varsets
+// deduplicated, and submitted as a single MarginalizeManyCachedCtx pass —
+// a burst of K distinct queries costs one table scan, not K.
+//
+// The batching discipline is adaptive group commit. The first query to
+// arrive opens a batch and spawns its leader goroutine; the leader takes
+// the scan token (capacity 1, so fused scans serialize — and every query
+// arriving while a predecessor scan holds it joins this batch for free),
+// then gathers in window-sized rounds, extending the rendezvous while the
+// batch is still attracting waiters, up to maxGatherRounds, and only then
+// detaches. The extension matters because a completed batch fans its
+// responses out one waiter at a time: the re-issued queries trickle back
+// over several windows — starting right after the token frees — and a
+// single fixed window would detach after catching only the first few. Gathering is armed only while the coalescer
+// believes it is in a miss storm (the previous executed batch was shared,
+// or the window was just (re)configured — a probe). A sequential stream of
+// cache misses — one client repopulating after an epoch swap — immediately
+// observes a singleton batch, drops out of storm mode, and pays no window
+// at all, while concurrent misses keep re-arming it. Waiting only when the
+// leader already has company cannot work: on few cores the leader is
+// scheduled before any companion CAN land, sees an empty batch, and never
+// batches. Cache hits are answered in the fast path and never enter the
+// coalescer, so the window taxes only queries that already pay a scan.
+//
+// Buffer lifetimes across the coalescer boundary: results are *core.Marginal
+// values owned by the scan (or by the MarginalCache, which shares entries
+// across requests) and are NEVER pooled; waiters treat them as shared and
+// read-only, copying what they need into their own pooled response buffers.
+// The vars slice a waiter passes in may be pooled scratch — join copies it.
+type coalescer struct {
+	mgr   *Manager
+	cache *core.MarginalCache
+	readP int
+
+	// window is the batching window in nanoseconds; 0 disables coalescing
+	// entirely (Do executes directly). Atomic so the serve bench can sweep
+	// coalescing on/off against a live server.
+	window atomic.Int64
+	// cacheOff bypasses the marginal cache on every coalesced and direct
+	// query — the bench gate hook that makes scan-pass counts comparable
+	// between coalesced and uncoalesced modes.
+	cacheOff atomic.Bool
+	// stormy is the adaptive-window state: true while the previous executed
+	// batch was shared (or after SetWindow re-arms the probe), meaning the
+	// window sleep is worth paying. See the group-commit note above.
+	stormy atomic.Bool
+
+	mu      sync.Mutex
+	pending *queryBatch
+	// token serializes fused scans; see the group-commit note above.
+	token chan struct{}
+
+	batches   *obs.Counter
+	coalesced *obs.Counter
+	shares    *obs.Counter
+	batchSize *obs.SizeHistogram
+	wait      *obs.Histogram
+}
+
+func newCoalescer(mgr *Manager, cache *core.MarginalCache, readP int, window time.Duration, reg *obs.Registry) *coalescer {
+	c := &coalescer{
+		mgr:   mgr,
+		cache: cache,
+		readP: readP,
+		token: make(chan struct{}, 1),
+	}
+	c.window.Store(int64(window))
+	c.stormy.Store(window > 0)
+	if reg != nil {
+		reg.Help(metricCoalesceBatches, "fused scan batches executed by the read coalescer")
+		reg.Help(metricCoalescedRequests, "read queries that joined a coalescer batch")
+		reg.Help(metricScanShares, "read queries that shared their fused scan with at least one other query")
+		reg.Help(metricCoalesceBatchSize, "queries per executed coalescer batch")
+		reg.Help(metricCoalesceWait, "rendezvous wait from batch open to fused scan start")
+		c.batches = reg.Counter(metricCoalesceBatches)
+		c.coalesced = reg.Counter(metricCoalescedRequests)
+		c.shares = reg.Counter(metricScanShares)
+		c.batchSize = reg.SizeHistogram(metricCoalesceBatchSize)
+		c.wait = reg.Histogram(metricCoalesceWait)
+	}
+	return c
+}
+
+// SetWindow changes the batching window on a live coalescer (0 = off) and
+// re-arms the storm probe so the next batch tests the new window.
+func (c *coalescer) SetWindow(d time.Duration) {
+	c.window.Store(int64(d))
+	c.stormy.Store(d > 0)
+}
+
+// queryBatch is one rendezvous of concurrent queries sharing a fused scan.
+type queryBatch struct {
+	created time.Time
+	varsets [][]int        // deduped requested varsets, arrival order, private copies
+	slots   map[string]int // exact-order varset key → index into varsets
+	waiters int            // queries parked on this batch, dupes included
+
+	// live counts waiters still interested in the result. A waiter whose
+	// context expires decrements it and the last one out cancels the scan —
+	// so the shared scan survives any individual cancellation, which is
+	// what keeps dedup'd requests completing when one waiter gives up.
+	live    atomic.Int64
+	scanCtx context.Context
+	cancel  context.CancelFunc
+
+	done    chan struct{}
+	results []*core.Marginal // index-aligned with varsets
+	epoch   uint64
+	err     error
+}
+
+// appendOrderKey encodes a varset in its exact requested order — unlike the
+// cache's canonical sorted key, axis order matters for result layout, so
+// only identically-ordered requests may share a result pointer.
+func appendOrderKey(dst []byte, vars []int) []byte {
+	for _, v := range vars {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+// Do executes one marginal query over vars (exact requested axis order)
+// through the coalescer, returning the shared read-only marginal and the
+// manager epoch it was served from. keyScratch is caller-owned scratch for
+// the dedup key; it is not retained.
+func (c *coalescer) Do(ctx context.Context, vars []int, keyScratch []byte) (*core.Marginal, uint64, error) {
+	if c.window.Load() == 0 {
+		return c.direct(ctx, vars)
+	}
+	key := appendOrderKey(keyScratch[:0], vars)
+	c.mu.Lock()
+	b := c.pending
+	if b == nil {
+		b = &queryBatch{
+			created: time.Now(),
+			slots:   make(map[string]int, 8),
+			done:    make(chan struct{}),
+		}
+		b.scanCtx, b.cancel = context.WithCancel(context.Background())
+		c.pending = b
+		go c.lead(b)
+	}
+	slot, ok := b.slots[string(key)]
+	if !ok {
+		slot = len(b.varsets)
+		b.varsets = append(b.varsets, append([]int(nil), vars...))
+		b.slots[string(key)] = slot
+	}
+	b.waiters++
+	b.live.Add(1)
+	c.mu.Unlock()
+	c.coalesced.Inc()
+
+	select {
+	case <-b.done:
+		if b.err != nil {
+			return nil, 0, b.err
+		}
+		return b.results[slot], b.epoch, nil
+	case <-ctx.Done():
+		if b.live.Add(-1) == 0 {
+			// Every waiter has abandoned the batch: nobody will read the
+			// result, so the shared scan may stop.
+			b.cancel()
+		}
+		return nil, 0, ctx.Err()
+	}
+}
+
+// maxGatherRounds caps the rendezvous at this many windows, bounding the
+// latency a storm-mode leader may add before its fused scan starts.
+const maxGatherRounds = 8
+
+// lead is the batch's leader goroutine: take the scan token, gather for up
+// to maxGatherRounds group-commit windows while armed, detach, scan once,
+// distribute.
+func (c *coalescer) lead(b *queryBatch) {
+	c.token <- struct{}{}
+	defer func() { <-c.token }()
+
+	// Gather AFTER acquiring the token, not before: while a predecessor
+	// scan held it, every interested query was already parked (in that scan
+	// or in this batch) — nothing new can arrive. The re-issued queries
+	// trickle in over the windows right after the predecessor fans its
+	// responses out, which is exactly now. Stop as soon as a full window
+	// passes without a new waiter.
+	if w := c.window.Load(); w > 0 && c.stormy.Load() {
+		prev := -1
+		for round := 0; round < maxGatherRounds; round++ {
+			c.mu.Lock()
+			now := b.waiters
+			c.mu.Unlock()
+			if now == prev {
+				break
+			}
+			prev = now
+			time.Sleep(time.Duration(w))
+		}
+	}
+
+	// Detach: from here on, new arrivals open the next batch (which will
+	// sleep its own window and block on the token until this scan finishes
+	// — accumulating for free).
+	c.mu.Lock()
+	if c.pending == b {
+		c.pending = nil
+	}
+	varsets := b.varsets
+	waiters := b.waiters
+	c.mu.Unlock()
+	c.stormy.Store(waiters > 1)
+	c.wait.Observe(time.Since(b.created))
+
+	defer close(b.done)
+	defer b.cancel()
+	if b.live.Load() == 0 {
+		b.err = context.Canceled
+		return
+	}
+	c.scan(b, varsets)
+
+	c.batches.Inc()
+	c.batchSize.Observe(waiters)
+	if waiters > 1 {
+		c.shares.Add(uint64(waiters))
+	}
+}
+
+// scan runs the batch's single fused pass. A panic here would otherwise
+// escape every request's recover (the leader is its own goroutine), so it
+// is contained and distributed to the waiters as an internal error.
+func (c *coalescer) scan(b *queryBatch, varsets [][]int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			b.err = fmt.Errorf("serve: coalesced scan panic: %v", rec)
+		}
+	}()
+	snap := c.mgr.Acquire()
+	defer snap.Release()
+	pt := snap.Table()
+	cache := c.cache
+	if c.cacheOff.Load() || pt.FreezeEpoch() == 0 {
+		cache = nil
+	}
+	b.results, b.err = pt.MarginalizeManyCachedCtx(b.scanCtx, varsets, c.readP, cache)
+	b.epoch = snap.Epoch()
+}
+
+// direct is the uncoalesced arm (window 0): one query, one cached/fused
+// pass, on the caller's own context.
+func (c *coalescer) direct(ctx context.Context, vars []int) (*core.Marginal, uint64, error) {
+	snap := c.mgr.Acquire()
+	defer snap.Release()
+	pt := snap.Table()
+	cache := c.cache
+	if c.cacheOff.Load() || pt.FreezeEpoch() == 0 {
+		cache = nil
+	}
+	mgs, err := pt.MarginalizeManyCachedCtx(ctx, [][]int{vars}, c.readP, cache)
+	if err != nil {
+		return nil, 0, err
+	}
+	return mgs[0], snap.Epoch(), nil
+}

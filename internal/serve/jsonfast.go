@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"waitfreebn/internal/core"
+	"waitfreebn/internal/stats"
+)
+
+// This file is the allocation-free serve hot path: hand-rolled query
+// parsing and JSON envelope encoding for the three read endpoints whose
+// steady state is a marginal-cache hit (/v1/marginal, /v1/mi, /v1/epoch).
+// The encoders reproduce encoding/json's output byte for byte — the golden
+// and bit-identity tests compare fast-path responses against json.Marshal
+// of the same response structs — and every scratch buffer a request needs
+// lives in one pooled respBuf whose lifetime is exactly the request.
+//
+// Anything the fast path cannot express (percent/plus escapes, a given=
+// clause, unknown parameters) is detected syntactically on RawQuery before
+// admission and falls back to the encoding/json slow path, so behavior is
+// identical either way.
+
+// respBuf carries every per-request buffer of the fast path. body holds
+// the encoded envelope; key is varset-key scratch shared with the
+// coalescer; vars and u64 hold parsed varsets and transposed counts.
+// Lifetime rule: a respBuf is released only after the response bytes are
+// written out, and nothing reachable from a result (cache entries,
+// coalescer batches) may alias its memory — the poison-on-release test
+// hook scribbles over freed buffers to catch violations.
+type respBuf struct {
+	body []byte
+	key  []byte
+	vars []int
+	u64  []uint64
+}
+
+var respBufPool = sync.Pool{New: func() any {
+	return &respBuf{
+		body: make([]byte, 0, 4096),
+		key:  make([]byte, 0, 64),
+		vars: make([]int, 0, 16),
+		u64:  make([]uint64, 0, 256),
+	}
+}}
+
+// poisonPooled, when set (tests only), overwrites every released respBuf
+// with sentinel bytes so any retained alias of pooled memory corrupts
+// loudly instead of silently.
+var poisonPooled atomic.Bool
+
+func getRespBuf() *respBuf { return respBufPool.Get().(*respBuf) }
+
+func putRespBuf(rb *respBuf) {
+	if poisonPooled.Load() {
+		body := rb.body[:cap(rb.body)]
+		for i := range body {
+			body[i] = 0xDB
+		}
+		key := rb.key[:cap(rb.key)]
+		for i := range key {
+			key[i] = 0xDB
+		}
+		vars := rb.vars[:cap(rb.vars)]
+		for i := range vars {
+			vars[i] = -1
+		}
+		u64 := rb.u64[:cap(rb.u64)]
+		for i := range u64 {
+			u64[i] = ^uint64(0)
+		}
+	}
+	rb.body, rb.key, rb.vars, rb.u64 = rb.body[:0], rb.key[:0], rb.vars[:0], rb.u64[:0]
+	respBufPool.Put(rb)
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip form, %f style unless the magnitude forces %e, with
+// the two-digit negative exponent contracted (1e-09 → 1e-9).
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// fastEligible reports whether RawQuery can be interpreted without URL
+// decoding: '%' escapes and '+' (space) force the slow path.
+func fastEligible(raw string) bool {
+	return strings.IndexByte(raw, '%') < 0 && strings.IndexByte(raw, '+') < 0
+}
+
+// singleParam scans raw for exactly one occurrence of key and no other
+// parameters, returning its value without allocating. Unknown or repeated
+// parameters report !ok — the slow path resolves their semantics.
+func singleParam(raw, key string) (val string, ok bool) {
+	found := false
+	for len(raw) > 0 {
+		seg := raw
+		if amp := strings.IndexByte(raw, '&'); amp >= 0 {
+			seg, raw = raw[:amp], raw[amp+1:]
+		} else {
+			raw = ""
+		}
+		if seg == "" {
+			continue
+		}
+		k, v := seg, ""
+		if eq := strings.IndexByte(seg, '='); eq >= 0 {
+			k, v = seg[:eq], seg[eq+1:]
+		}
+		if k != key || found {
+			return "", false
+		}
+		found, val = true, v
+	}
+	return val, found
+}
+
+// pairParams is singleParam for two keys in either order (the /v1/mi
+// query shape: i and j, each exactly once, nothing else).
+func pairParams(raw, key1, key2 string) (v1, v2 string, ok bool) {
+	seen1, seen2 := false, false
+	for len(raw) > 0 {
+		seg := raw
+		if amp := strings.IndexByte(raw, '&'); amp >= 0 {
+			seg, raw = raw[:amp], raw[amp+1:]
+		} else {
+			raw = ""
+		}
+		if seg == "" {
+			continue
+		}
+		k, v := seg, ""
+		if eq := strings.IndexByte(seg, '='); eq >= 0 {
+			k, v = seg[:eq], seg[eq+1:]
+		}
+		switch {
+		case k == key1 && !seen1:
+			seen1, v1 = true, v
+		case k == key2 && !seen2:
+			seen2, v2 = true, v
+		default:
+			return "", "", false
+		}
+	}
+	return v1, v2, seen1 && seen2
+}
+
+// appendParsedVars parses a comma-separated variable list into dst,
+// enforcing the same range and duplicate rules (and error messages) as the
+// slow path's parseVars. Allocation-free for valid input.
+func appendParsedVars(dst []int, raw string, n int) ([]int, error) {
+	if raw == "" {
+		return nil, badQuery("missing required parameter %q", "vars")
+	}
+	for len(raw) > 0 {
+		part := raw
+		if c := strings.IndexByte(raw, ','); c >= 0 {
+			part, raw = raw[:c], raw[c+1:]
+		} else {
+			raw = ""
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, badQuery("%s: %q is not an integer", "vars", part)
+		}
+		if v < 0 || v >= n {
+			return nil, badQuery("%s: variable %d out of range [0,%d)", "vars", v, n)
+		}
+		for _, prev := range dst {
+			if prev == v {
+				return nil, badQuery("%s: variable %d repeated", "vars", v)
+			}
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// serveMarginalFast answers /v1/marginal?vars=... (no given clause) into
+// rb.body. The steady state — current-epoch cache hit on a sorted varset —
+// performs zero heap allocations: pooled scratch, a map lookup keyed by
+// stack bytes, and a hand-rolled encode of the shared cached marginal.
+// Misses route through the coalescer.
+func (s *Server) serveMarginalFast(rctx context.Context, varsRaw string, rb *respBuf) error {
+	vars, err := appendParsedVars(rb.vars[:0], varsRaw, s.cfg.Codec.NumVars())
+	if err != nil {
+		return err
+	}
+	rb.vars = vars
+
+	var mg *core.Marginal
+	var respEpoch uint64
+	snap := s.mgr.Acquire()
+	pt := snap.Table()
+	if fe := pt.FreezeEpoch(); fe != 0 && s.cache != nil && !s.co.cacheOff.Load() && sort.IntsAreSorted(vars) {
+		rb.key = core.AppendVarsetKey(rb.key[:0], vars...)
+		mg = s.cache.GetSorted(rb.key, fe)
+	}
+	if mg != nil {
+		respEpoch = snap.Epoch()
+		snap.Release()
+	} else {
+		snap.Release()
+		ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
+		mg, respEpoch, err = s.co.Do(ctx, vars, rb.key)
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+
+	b := append(rb.body[:0], `{"data":{"epoch":`...)
+	b = strconv.AppendUint(b, respEpoch, 10)
+	b = append(b, `,"m":`...)
+	b = strconv.AppendUint(b, mg.M, 10)
+	b = append(b, `,"vars":[`...)
+	for k, v := range vars {
+		if k > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, `],"card":[`...)
+	for k, c := range mg.Card {
+		if k > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(c), 10)
+	}
+	b = append(b, `],"counts":[`...)
+	for k, c := range mg.Counts {
+		if k > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, c, 10)
+	}
+	b = append(b, `],"probs":[`...)
+	total := mg.M
+	for k, c := range mg.Counts {
+		if k > 0 {
+			b = append(b, ',')
+		}
+		var p float64
+		if total > 0 {
+			p = float64(c) / float64(total)
+		}
+		b = appendJSONFloat(b, p)
+	}
+	rb.body = append(b, "]}}\n"...)
+	return nil
+}
+
+// serveMIFast answers /v1/mi?i=..&j=.. into rb.body. A current-epoch cache
+// hit on the canonical (sorted) pair serves without a scan — for i > j the
+// cached joint is transposed into pooled scratch, preserving the exact
+// integer counts and therefore bit-identical MI and G. Misses route
+// through the coalescer like any marginal.
+func (s *Server) serveMIFast(rctx context.Context, iRaw, jRaw string, rb *respBuf) error {
+	i, err := strconv.Atoi(iRaw)
+	if err != nil {
+		return badQuery("i: %q is not an integer", iRaw)
+	}
+	j, err := strconv.Atoi(jRaw)
+	if err != nil {
+		return badQuery("j: %q is not an integer", jRaw)
+	}
+	n := s.cfg.Codec.NumVars()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return badQuery("variable pair (%d,%d) out of range [0,%d)", i, j, n)
+	}
+	if i == j {
+		return badQuery("i and j must differ")
+	}
+
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	var cached *core.Marginal
+	var respEpoch uint64
+	snap := s.mgr.Acquire()
+	pt := snap.Table()
+	if fe := pt.FreezeEpoch(); fe != 0 && s.cache != nil && !s.co.cacheOff.Load() {
+		rb.key = core.AppendVarsetKey(rb.key[:0], lo, hi)
+		cached = s.cache.GetSorted(rb.key, fe)
+	}
+	ri, rj := s.cfg.Codec.Cardinality(i), s.cfg.Codec.Cardinality(j)
+	var counts []uint64
+	var mTotal uint64
+	if cached != nil {
+		respEpoch = snap.Epoch()
+		mTotal = cached.M
+		snap.Release()
+		if i <= j {
+			counts = cached.Counts
+		} else {
+			// Transpose the canonical (j,i) joint into (i,j) layout in
+			// pooled scratch; the permuted cells are the exact integers the
+			// direct scan would produce.
+			if cap(rb.u64) < ri*rj {
+				rb.u64 = make([]uint64, ri*rj)
+			}
+			counts = rb.u64[:ri*rj]
+			for sj := 0; sj < rj; sj++ {
+				for si := 0; si < ri; si++ {
+					counts[si*rj+sj] = cached.Counts[sj*ri+si]
+				}
+			}
+		}
+	} else {
+		snap.Release()
+		rb.vars = append(rb.vars[:0], i, j)
+		ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
+		var mg *core.Marginal
+		mg, respEpoch, err = s.co.Do(ctx, rb.vars, rb.key)
+		cancel()
+		if err != nil {
+			return err
+		}
+		counts = mg.Counts
+		mTotal = mg.M
+	}
+
+	b := append(rb.body[:0], `{"data":{"epoch":`...)
+	b = strconv.AppendUint(b, respEpoch, 10)
+	b = append(b, `,"m":`...)
+	b = strconv.AppendUint(b, mTotal, 10)
+	b = append(b, `,"i":`...)
+	b = strconv.AppendInt(b, int64(i), 10)
+	b = append(b, `,"j":`...)
+	b = strconv.AppendInt(b, int64(j), 10)
+	b = append(b, `,"ri":`...)
+	b = strconv.AppendInt(b, int64(ri), 10)
+	b = append(b, `,"rj":`...)
+	b = strconv.AppendInt(b, int64(rj), 10)
+	b = append(b, `,"counts":[`...)
+	for k, c := range counts {
+		if k > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, c, 10)
+	}
+	b = append(b, `],"mi_bits":`...)
+	b = appendJSONFloat(b, stats.MutualInfoCounts(counts, ri, rj))
+	b = append(b, `,"g":`...)
+	b = appendJSONFloat(b, stats.GStatistic(counts, ri, rj))
+	rb.body = append(b, "}}\n"...)
+	return nil
+}
+
+// serveEpochFast answers /v1/epoch into rb.body.
+func (s *Server) serveEpochFast(_ context.Context, _ string, rb *respBuf) error {
+	snap := s.mgr.Acquire()
+	pt := snap.Table()
+	epoch, m, keys, refs := snap.Epoch(), pt.NumSamples(), pt.Len(), snap.Refs()
+	snap.Release()
+
+	b := append(rb.body[:0], `{"data":{"epoch":`...)
+	b = strconv.AppendUint(b, epoch, 10)
+	b = append(b, `,"m":`...)
+	b = strconv.AppendUint(b, m, 10)
+	b = append(b, `,"keys":`...)
+	b = strconv.AppendInt(b, int64(keys), 10)
+	b = append(b, `,"refs":`...)
+	b = strconv.AppendInt(b, refs, 10)
+	b = append(b, `,"pending":`...)
+	b = strconv.AppendInt(b, int64(s.mgr.Pending()), 10)
+	rb.body = append(b, "}}\n"...)
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation gates skip under -race: the detector disables sync.Pool's
+// per-P fast path, so pooled gets allocate bookkeeping that is absent from
+// production builds.
+const raceEnabled = false

@@ -46,6 +46,12 @@ type Config struct {
 	// /v1/marginal (total count cells across entries). 0 picks the default
 	// (64Ki cells); negative disables caching.
 	MargCacheCells int
+	// CoalesceWindow batches concurrent read queries that miss the marginal
+	// cache into one fused scan: queries arriving while a scan is in flight
+	// or within this window of each other share a single
+	// MarginalizeManyCachedCtx pass. 0 disables coalescing (every query
+	// scans for itself); bnserve defaults the flag to 200µs.
+	CoalesceWindow time.Duration
 	// MaxInflight bounds concurrently executing requests (default 64);
 	// QueueTimeout bounds how long an excess request queues for a slot
 	// before a 429 (default 100ms).
@@ -97,6 +103,7 @@ type Server struct {
 	reg   *obs.Registry
 	mux   *http.ServeMux
 	cache *core.MarginalCache // nil when MargCacheCells < 0
+	co    *coalescer
 
 	requests func(endpoint, code string) *obs.Counter
 	latency  func(endpoint string) *obs.Histogram
@@ -149,11 +156,12 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.MargCacheCells > 0 {
 		s.cache = core.NewMarginalCache(cfg.MargCacheCells, reg)
 	}
-	s.mux.Handle("GET /v1/marginal", s.handle("marginal", s.handleMarginal))
-	s.mux.Handle("GET /v1/mi", s.handle("mi", s.handleMI))
+	s.co = newCoalescer(mgr, s.cache, cfg.ReadP, cfg.CoalesceWindow, reg)
+	s.mux.Handle("GET /v1/marginal", s.fastMarginal(s.handle("marginal", s.handleMarginal)))
+	s.mux.Handle("GET /v1/mi", s.fastMI(s.handle("mi", s.handleMI)))
 	s.mux.Handle("GET /v1/infer", s.handle("infer", s.handleInfer))
 	s.mux.Handle("POST /v1/ingest", s.handle("ingest", s.handleIngest))
-	s.mux.Handle("GET /v1/epoch", s.handle("epoch", s.handleEpoch))
+	s.mux.Handle("GET /v1/epoch", s.fastEpoch(s.handle("epoch", s.handleEpoch)))
 	// Health endpoints bypass admission control and the ready gate: a
 	// saturated or recovering server must still answer its orchestrator.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -172,6 +180,131 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Manager exposes the epoch manager (for preloading and tests).
 func (s *Server) Manager() *Manager { return s.mgr }
+
+// SetCoalesceWindow changes the read-coalescing window on a live server
+// (0 = off). The serve bench uses this to sweep coalescing on/off against
+// one warmed server.
+func (s *Server) SetCoalesceWindow(d time.Duration) { s.co.SetWindow(d) }
+
+// SetReadCacheEnabled toggles the marginal cache on the read path without
+// dropping its contents. The serve bench gate disables it so scan-pass
+// counts compare coalesced against uncoalesced execution rather than cache
+// hits against cache hits.
+func (s *Server) SetReadCacheEnabled(on bool) { s.co.cacheOff.Store(!on) }
+
+// fastMetrics are the pre-resolved success-path metric handles of one fast
+// endpoint: resolving a labeled counter through the registry takes a mutex
+// and a variadic allocation, so the hot path resolves once at mount time.
+type fastMetrics struct {
+	endpoint string
+	ok       *obs.Counter
+	latency  *obs.Histogram
+	sizes    *obs.SizeHistogram
+}
+
+func (s *Server) fastMetricsFor(endpoint string) fastMetrics {
+	return fastMetrics{
+		endpoint: endpoint,
+		ok:       s.requests(endpoint, "ok"),
+		latency:  s.latency(endpoint),
+		sizes:    s.sizes(endpoint),
+	}
+}
+
+// runFast executes one eligible fast-path request: the same ready gate,
+// admission control, and metrics as handle(), but with pooled buffers and
+// the hand-rolled encoder in place of encoding/json. fn fills rb.body with
+// the complete envelope (including the trailing newline) or returns an
+// error, which takes the ordinary envelope writer (error paths may
+// allocate; the steady state never reaches them).
+func (s *Server) runFast(w http.ResponseWriter, r *http.Request, fm *fastMetrics,
+	fn func(ctx context.Context, rb *respBuf) error) {
+	start := time.Now()
+	if !s.mgr.Ready() {
+		reason := "recovering; retry after /readyz reports ready"
+		if s.mgr.Draining() {
+			reason = "draining for shutdown"
+		}
+		n := writeEnvelope(w, http.StatusServiceUnavailable, envelope{Error: &envelopeError{
+			CodeNotReady, reason}})
+		s.requests(fm.endpoint, CodeNotReady).Inc()
+		fm.sizes.Observe(n)
+		fm.latency.Observe(time.Since(start))
+		return
+	}
+	if !s.adm.enter(r.Context()) {
+		n := writeEnvelope(w, http.StatusTooManyRequests, envelope{Error: &envelopeError{
+			CodeAdmissionRejected, "too many requests in flight; retry"}})
+		s.requests(fm.endpoint, CodeAdmissionRejected).Inc()
+		fm.sizes.Observe(n)
+		fm.latency.Observe(time.Since(start))
+		return
+	}
+	defer s.adm.leave()
+
+	rb := getRespBuf()
+	if err := fn(r.Context(), rb); err != nil {
+		putRespBuf(rb)
+		ae := toAPIError(err)
+		n := writeEnvelope(w, ae.status, envelope{Error: &envelopeError{ae.code, ae.msg}})
+		s.requests(fm.endpoint, ae.code).Inc()
+		fm.sizes.Observe(n)
+		fm.latency.Observe(time.Since(start))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(rb.body)
+	n := len(rb.body)
+	putRespBuf(rb)
+	fm.ok.Inc()
+	fm.sizes.Observe(n)
+	fm.latency.Observe(time.Since(start))
+}
+
+// fastMarginal mounts the allocation-free /v1/marginal path, delegating to
+// the encoding/json slow handler whenever the query needs URL decoding or
+// carries anything beyond a single vars parameter (e.g. a given clause).
+func (s *Server) fastMarginal(slow http.Handler) http.Handler {
+	fm := s.fastMetricsFor("marginal")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.RawQuery
+		varsRaw, ok := singleParam(raw, "vars")
+		if !ok || !fastEligible(raw) {
+			slow.ServeHTTP(w, r)
+			return
+		}
+		s.runFast(w, r, &fm, func(ctx context.Context, rb *respBuf) error {
+			return s.serveMarginalFast(ctx, varsRaw, rb)
+		})
+	})
+}
+
+// fastMI mounts the pooled-buffer /v1/mi path (i and j, nothing else).
+func (s *Server) fastMI(slow http.Handler) http.Handler {
+	fm := s.fastMetricsFor("mi")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.RawQuery
+		iRaw, jRaw, ok := pairParams(raw, "i", "j")
+		if !ok || !fastEligible(raw) {
+			slow.ServeHTTP(w, r)
+			return
+		}
+		s.runFast(w, r, &fm, func(ctx context.Context, rb *respBuf) error {
+			return s.serveMIFast(ctx, iRaw, jRaw, rb)
+		})
+	})
+}
+
+// fastEpoch mounts the pooled-buffer /v1/epoch path. The endpoint takes no
+// parameters, so every request is eligible.
+func (s *Server) fastEpoch(http.Handler) http.Handler {
+	fm := s.fastMetricsFor("epoch")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.runFast(w, r, &fm, func(ctx context.Context, rb *respBuf) error {
+			return s.serveEpochFast(ctx, "", rb)
+		})
+	})
+}
 
 // Run recovers from the WAL when one is attached (the server answers
 // /healthz and a 503 /readyz throughout), then drives the background
@@ -385,22 +518,16 @@ func (s *Server) handleMarginal(ctx context.Context, r *http.Request) (any, erro
 	sort.Ints(givenVars)
 	order := append(append([]int{}, givenVars...), vars...)
 
-	snap := s.mgr.Acquire()
-	defer snap.Release()
-	pt := snap.Table()
-	// The epoch-versioned cache memoizes repeated marginal queries within
-	// one epoch and invalidates lazily after a swap. Tables without a
-	// freeze-epoch stamp (the pre-recovery placeholder) bypass it — epoch 0
-	// entries from different tables would collide.
-	cache := s.cache
-	if pt.FreezeEpoch() == 0 {
-		cache = nil
-	}
-	mgs, err := pt.MarginalizeManyCachedCtx(ctx, [][]int{order}, s.cfg.ReadP, cache)
+	// The coalescer resolves the query against the epoch-versioned marginal
+	// cache (memoizing repeated queries within one epoch, invalidating
+	// lazily after a swap) and batches concurrent cache misses into shared
+	// fused scans. Tables without a freeze-epoch stamp (the pre-recovery
+	// placeholder) bypass the cache — epoch 0 entries from different tables
+	// would collide.
+	mg, respEpoch, err := s.co.Do(ctx, order, nil)
 	if err != nil {
 		return nil, err
 	}
-	mg := mgs[0]
 
 	block := 1
 	for _, v := range vars {
@@ -431,7 +558,7 @@ func (s *Server) handleMarginal(ctx context.Context, r *http.Request) (any, erro
 		card[i] = s.cfg.Codec.Cardinality(v)
 	}
 	resp := marginalResponse{
-		Epoch:  snap.Epoch(),
+		Epoch:  respEpoch,
 		M:      mg.M,
 		Vars:   vars,
 		Card:   card,
@@ -482,15 +609,17 @@ func (s *Server) handleMI(ctx context.Context, r *http.Request) (any, error) {
 		return nil, badQuery("i and j must differ")
 	}
 
-	snap := s.mgr.Acquire()
-	defer snap.Release()
-	joint, err := snap.Table().MarginalizePairCtx(ctx, i, j, s.cfg.ReadP)
+	// Route through the coalescer so /v1/mi shares the epoch-versioned
+	// marginal cache and fused scans with /v1/marginal: the (i,j) joint is
+	// cached under its canonical sorted varset and reordered per request,
+	// preserving the exact integer counts MI and G are derived from.
+	joint, respEpoch, err := s.co.Do(ctx, []int{i, j}, nil)
 	if err != nil {
 		return nil, err
 	}
 	ri, rj := joint.Card[0], joint.Card[1]
 	return miResponse{
-		Epoch:  snap.Epoch(),
+		Epoch:  respEpoch,
 		M:      joint.M,
 		I:      i,
 		J:      j,
